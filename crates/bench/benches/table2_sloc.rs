@@ -1,0 +1,116 @@
+//! Table 2: sizes of CubicleOS components — the paper reports the SLOC
+//! of its trusted runtime, builder, window support and application
+//! ports. This harness counts the equivalent sizes of this
+//! reproduction's modules (non-blank, non-comment lines, tests
+//! excluded), next to the paper's numbers.
+
+use cubicle_bench::report::banner;
+use std::fs;
+use std::path::Path;
+
+/// Counts non-blank, non-comment source lines, stopping at the unit-test
+/// module (the original C components have their tests out of tree).
+fn sloc_file(path: &Path) -> usize {
+    let Ok(text) = fs::read_to_string(path) else { return 0 };
+    let mut n = 0;
+    for line in text.lines() {
+        let t = line.trim();
+        if t == "#[cfg(test)]" {
+            break;
+        }
+        if t.is_empty() || t.starts_with("//") || t.starts_with("//!") || t.starts_with("///") {
+            continue;
+        }
+        n += 1;
+    }
+    n
+}
+
+fn sloc_dir(dir: &Path) -> usize {
+    let mut total = 0;
+    if let Ok(entries) = fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                total += sloc_dir(&p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                total += sloc_file(&p);
+            }
+        }
+    }
+    total
+}
+
+fn main() {
+    banner(
+        "Table 2: sizes of CubicleOS components",
+        "Sartakov et al., ASPLOS'21, Table 2",
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let crates = root.join("crates");
+
+    let rows: [(&str, &str, Vec<std::path::PathBuf>, &str); 6] = [
+        (
+            "Monitor (all components)",
+            "3,000 C + 110 ASM",
+            vec![crates.join("core/src"), crates.join("mpk/src")],
+            "kernel + simulated MPK machine",
+        ),
+        (
+            "Builder",
+            "640 Python",
+            vec![crates.join("core/src/builder.rs")],
+            "trampoline generation + signing",
+        ),
+        (
+            "Unikraft window support",
+            "600 C",
+            vec![crates.join("vfs/src/port.rs")],
+            "window management port layer",
+        ),
+        (
+            "SQLite port",
+            "620 C",
+            vec![crates.join("sqldb/src/storage.rs")],
+            "storage env routing through windows",
+        ),
+        (
+            "NGINX port",
+            "390 C",
+            vec![crates.join("httpd/src/driver.rs")],
+            "deployment wiring + windowed I/O",
+        ),
+        (
+            "(whole library OS + apps)",
+            "n/a (third-party)",
+            vec![
+                crates.join("ukbase/src"),
+                crates.join("vfs/src"),
+                crates.join("ramfs/src"),
+                crates.join("net/src"),
+                crates.join("httpd/src"),
+                crates.join("sqldb/src"),
+            ],
+            "substrates rebuilt from scratch here",
+        ),
+    ];
+
+    println!(
+        "\n{:<28} {:>18} {:>12}   {}",
+        "component", "paper (SLOC)", "this repo", "notes"
+    );
+    println!("{}", "-".repeat(96));
+    for (name, paper, paths, note) in rows {
+        let sloc: usize = paths
+            .iter()
+            .map(|p| if p.is_dir() { sloc_dir(p) } else { sloc_file(p) })
+            .sum();
+        println!("{name:<28} {paper:>18} {sloc:>12}   {note}");
+    }
+    println!(
+        "\nnote: the paper ports existing third-party code (Unikraft, SQLite, NGINX);\n\
+         this reproduction implements those substrates from scratch, so its 'port'\n\
+         rows count only the window-management layers, which are the paper's\n\
+         developer-effort claim."
+    );
+}

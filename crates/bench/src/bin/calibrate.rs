@@ -1,0 +1,77 @@
+//! Calibration probe: prints the raw numbers behind the Figure 10
+//! ratios so the cost constants can be fixed once, globally.
+
+use cubicle_bench::scenario::{
+    speedtest_total_cycles, Partitioning, UNIKRAFT_BOUNDARY_TAX,
+};
+use cubicle_core::IsolationMode;
+use cubicle_sqldb::speedtest::SpeedtestConfig;
+use std::time::Instant;
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let cfg = SpeedtestConfig { scale, ..Default::default() };
+    println!("scale = {scale} ({} rows)", cfg.rows());
+
+    let run = |label: &str, mode: IsolationMode, p: Partitioning, tax: u64| -> u64 {
+        let t = Instant::now();
+        let (cycles, _) = speedtest_total_cycles(mode, p, tax, &cfg).unwrap();
+        println!(
+            "{label:<28} {cycles:>16} cycles   ({:.2} sim-s)   [host {:.1?}]",
+            cycles as f64 / 2.2e9,
+            t.elapsed()
+        );
+        cycles
+    };
+
+    let linux = run("Linux (native)", IsolationMode::Unikraft, Partitioning::Merged, 0);
+    let unikraft = run(
+        "Unikraft",
+        IsolationMode::Unikraft,
+        Partitioning::Merged,
+        UNIKRAFT_BOUNDARY_TAX,
+    );
+    let cub3 = run(
+        "CubicleOS-3",
+        IsolationMode::Full,
+        Partitioning::Merged,
+        UNIKRAFT_BOUNDARY_TAX,
+    );
+    let cub4 = run(
+        "CubicleOS-4",
+        IsolationMode::Full,
+        Partitioning::Split,
+        UNIKRAFT_BOUNDARY_TAX,
+    );
+    let gen3 = run(
+        "Genode-3 (Linux)",
+        cubicle_ipc::mode_for(cubicle_ipc::GENODE_LINUX),
+        Partitioning::Merged,
+        0,
+    );
+    let gen4 = run(
+        "Genode-4 (Linux)",
+        cubicle_ipc::mode_for(cubicle_ipc::GENODE_LINUX),
+        Partitioning::Split,
+        0,
+    );
+    println!();
+    println!("--- Fig 10a (slowdown vs Linux; paper: 2.8 / 1.4 / 29 / 4.1 / 5.4) ---");
+    for (label, v) in [
+        ("Unikraft", unikraft),
+        ("Genode-3", gen3),
+        ("Genode-4", gen4),
+        ("CubicleOS-3", cub3),
+        ("CubicleOS-4", cub4),
+    ] {
+        println!("{label:<14} {:.2}x", v as f64 / linux as f64);
+    }
+    println!();
+    println!("--- Fig 10b (4-comp vs 3-comp; paper: 7.5 / 4.5 / 4.7 / ~20 / 1.4) ---");
+    for k in cubicle_ipc::KERNELS {
+        let m3 = run(&format!("{}-3", k.kernel), cubicle_ipc::mode_for(k), Partitioning::Merged, 0);
+        let m4 = run(&format!("{}-4", k.kernel), cubicle_ipc::mode_for(k), Partitioning::Split, 0);
+        println!("{:<14} {:.2}x", k.kernel, m4 as f64 / m3 as f64);
+    }
+    println!("{:<14} {:.2}x  (CubicleOS)", "CubicleOS", cub4 as f64 / cub3 as f64);
+}

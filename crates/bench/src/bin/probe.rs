@@ -1,0 +1,26 @@
+//! Deeper probe: call counts and cycle breakdown per configuration.
+use cubicle_bench::scenario::{build_sqlite, Partitioning};
+use cubicle_core::IsolationMode;
+use cubicle_sqldb::speedtest::SpeedtestConfig;
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let cfg = SpeedtestConfig { scale, ..Default::default() };
+    for (label, mode, p) in [
+        ("Linux-3", IsolationMode::Unikraft, Partitioning::Merged),
+        ("Linux-4", IsolationMode::Unikraft, Partitioning::Split),
+    ] {
+        let mut dep = build_sqlite(mode, p, 0).unwrap();
+        let mut db = dep.open_db(256).unwrap();
+        let t0 = dep.sys.now();
+        let _ = dep.run_speedtest(&mut db, &cfg).unwrap();
+        let cycles = dep.sys.now() - t0;
+        let (_, stats) = dep.sys.since_boot();
+        let app_core = stats.edge(dep.app, dep.core_cid);
+        let core_ramfs = stats.edge(dep.core_cid, dep.ramfs_cid);
+        println!("{label}: cycles={cycles} cross_calls={} app->core={} core->ramfs={} ipc_bytes={}",
+            stats.cross_calls, app_core, core_ramfs, stats.ipc_bytes);
+        let ps = db.pager_stats();
+        println!("   pager: hits={} misses={} evictions={} syncs={} commits={}", ps.hits, ps.misses, ps.evictions, ps.syncs, ps.commits);
+    }
+}

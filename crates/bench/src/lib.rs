@@ -1,0 +1,11 @@
+//! # cubicle-bench — harnesses that regenerate every table and figure
+//!
+//! Each `benches/figNN_*.rs` target (plain `harness = false` binaries run
+//! by `cargo bench`) prints the rows/series of one paper table or figure.
+//! This library holds the shared deployment builders and reporting
+//! helpers, most importantly [`scenario::SqliteDeployment`]: the SQLite
+//! stack in the paper's 3- and 4-component partitionings (Figure 9) under
+//! any isolation mode or IPC kernel model.
+
+pub mod report;
+pub mod scenario;

@@ -1,0 +1,46 @@
+//! Text reporting helpers shared by the figure harnesses.
+
+use cubicle_ukbase::time::cycles_to_ms;
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref})");
+    println!("================================================================");
+}
+
+/// A simple ASCII bar scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    "#".repeat(n.min(width))
+}
+
+/// Formats cycles as milliseconds on the paper's 2.2 GHz testbed.
+pub fn ms(cycles: u64) -> String {
+    format!("{:.3} ms", cycles_to_ms(cycles))
+}
+
+/// Formats a slowdown factor.
+pub fn factor(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########", "clamped at width");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(factor(1.5), "1.50x");
+        assert!(ms(2_200_000).starts_with("1.000"));
+    }
+}

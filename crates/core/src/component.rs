@@ -1,0 +1,164 @@
+//! Components and the images the loader consumes.
+//!
+//! A component is one third-party library OS module (vfscore, ramfs,
+//! lwip, …) or the application itself. Components are compiled separately
+//! ("as a separate dynamic library", paper §5.2) and handed to the loader
+//! as a [`ComponentImage`]: synthetic code, sizes of its data/heap/stack
+//! segments, and the export table the trusted builder produced.
+
+use crate::builder::SignedExport;
+use crate::error::CubicleError;
+use crate::value::Value;
+use cubicle_mpk::insn::CodeImage;
+use std::any::Any;
+
+/// Runtime state of a loaded component.
+///
+/// Implementations hold whatever Rust state the component needs; all data
+/// that crosses cubicle boundaries must live in simulated memory
+/// (allocated via `System::heap_alloc` etc.), which is what the isolation
+/// machinery actually protects.
+pub trait Component: Any {
+    /// Upcast for entry-point downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Downcasts a component reference inside an entry point.
+///
+/// # Panics
+///
+/// Panics when the component is not a `T` — entry points are registered
+/// together with their component by the loader, so a mismatch is a bug in
+/// the trusted image, not a runtime condition.
+pub fn component_mut<T: Component>(c: &mut dyn Component) -> &mut T {
+    c.as_any_mut()
+        .downcast_mut::<T>()
+        .expect("entry point dispatched on the wrong component type")
+}
+
+/// Implements [`Component`] for a concrete state type.
+#[macro_export]
+macro_rules! impl_component {
+    ($ty:ty) => {
+        impl $crate::Component for $ty {
+            fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+                self
+            }
+        }
+    };
+}
+
+/// Signature of a public entry point, as dispatched by its trampoline.
+///
+/// `sys` is the kernel, `this` the component's own state, `args` the call
+/// frame. Domain errors are returned POSIX-style as `Value::I64(-errno)`;
+/// `Err` is reserved for isolation/kernel failures.
+pub type EntryFn =
+    fn(&mut crate::System, &mut dyn Component, &[Value]) -> Result<Value, CubicleError>;
+
+/// A complete component image for the loader.
+#[derive(Debug)]
+pub struct ComponentImage {
+    /// Component name (also the cubicle name when loaded standalone).
+    pub name: String,
+    /// Synthetic machine code, scanned for forbidden instructions.
+    pub code: CodeImage,
+    /// Pages of global data to map read-write.
+    pub data_pages: usize,
+    /// Pages of initial heap grant.
+    pub heap_pages: usize,
+    /// Pages of per-cubicle stack.
+    pub stack_pages: usize,
+    /// Loaded as a shared cubicle (LIBC-style: executes with the caller's
+    /// privileges, its static data is accessible to everyone)?
+    pub shared: bool,
+    /// Exported entry points with builder-signed trampoline descriptors.
+    pub exports: Vec<(SignedExport, EntryFn)>,
+}
+
+impl ComponentImage {
+    /// Starts a builder-style description of a component with sensible
+    /// segment defaults (16 heap pages, 4 stack pages, 2 data pages).
+    pub fn new(name: impl Into<String>, code: CodeImage) -> ComponentImage {
+        ComponentImage {
+            name: name.into(),
+            code,
+            data_pages: 2,
+            heap_pages: 16,
+            stack_pages: 4,
+            shared: false,
+            exports: Vec::new(),
+        }
+    }
+
+    /// Sets the initial heap grant in pages.
+    pub fn heap_pages(mut self, pages: usize) -> ComponentImage {
+        self.heap_pages = pages;
+        self
+    }
+
+    /// Sets the stack size in pages.
+    pub fn stack_pages(mut self, pages: usize) -> ComponentImage {
+        self.stack_pages = pages;
+        self
+    }
+
+    /// Sets the global data size in pages.
+    pub fn data_pages(mut self, pages: usize) -> ComponentImage {
+        self.data_pages = pages;
+        self
+    }
+
+    /// Marks the component as a shared cubicle.
+    pub fn shared(mut self) -> ComponentImage {
+        self.shared = true;
+        self
+    }
+
+    /// Adds a signed export.
+    pub fn export(mut self, signed: SignedExport, func: EntryFn) -> ComponentImage {
+        self.exports.push((signed, func));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe {
+        hits: u32,
+    }
+    impl_component!(Probe);
+
+    #[test]
+    fn component_mut_downcasts() {
+        let mut p = Probe { hits: 3 };
+        let dynamic: &mut dyn Component = &mut p;
+        assert_eq!(component_mut::<Probe>(dynamic).hits, 3);
+        component_mut::<Probe>(dynamic).hits += 1;
+        assert_eq!(p.hits, 4);
+    }
+
+    struct Other;
+    impl_component!(Other);
+
+    #[test]
+    #[should_panic(expected = "wrong component type")]
+    fn wrong_downcast_panics() {
+        let mut o = Other;
+        let dynamic: &mut dyn Component = &mut o;
+        component_mut::<Probe>(dynamic);
+    }
+
+    #[test]
+    fn image_builder_defaults() {
+        let img = ComponentImage::new("ramfs", CodeImage::plain(100));
+        assert_eq!(img.name, "ramfs");
+        assert_eq!(img.data_pages, 2);
+        assert!(!img.shared);
+        let img = img.heap_pages(32).stack_pages(8).data_pages(1).shared();
+        assert_eq!((img.heap_pages, img.stack_pages, img.data_pages), (32, 8, 1));
+        assert!(img.shared);
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-cubicle kernel state.
+
+use crate::heap::SubAllocator;
+use crate::ids::{CubicleId, WindowId};
+use crate::window::Window;
+use cubicle_mpk::{ProtKey, VAddr};
+
+/// The kind of memory a page holds, recorded in the monitor's page
+/// metadata map (paper §5.3: "owner and type (code, global data, stack or
+/// heap)").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegionType {
+    /// Executable component code.
+    Code,
+    /// Global (static) data.
+    GlobalData,
+    /// Per-cubicle stack.
+    Stack,
+    /// Heap.
+    Heap,
+}
+
+/// Kernel-side record of one cubicle.
+#[derive(Debug)]
+pub struct Cubicle {
+    /// This cubicle's ID.
+    pub id: CubicleId,
+    /// Human-readable name (e.g. `VFSCORE`).
+    pub name: String,
+    /// The MPK key all this cubicle's pages are tagged with.
+    pub key: ProtKey,
+    /// Shared cubicles (LIBC-style) execute with the caller's privileges
+    /// and their static data is accessible to every cubicle.
+    pub shared: bool,
+    /// Byte-granularity heap sub-allocator.
+    pub heap: SubAllocator,
+    /// Base of the per-cubicle stack region.
+    pub stack_base: VAddr,
+    /// Stack size in bytes.
+    pub stack_len: usize,
+    /// Current bump offset into the stack (grows upward in the model).
+    pub stack_used: usize,
+    /// Window descriptors owned by this cubicle.
+    pub windows: Vec<Window>,
+    next_window: u32,
+}
+
+impl Cubicle {
+    /// Creates an empty cubicle record.
+    pub fn new(id: CubicleId, name: impl Into<String>, key: ProtKey, shared: bool) -> Cubicle {
+        Cubicle {
+            id,
+            name: name.into(),
+            key,
+            shared,
+            heap: SubAllocator::new(),
+            stack_base: VAddr::NULL,
+            stack_len: 0,
+            stack_used: 0,
+            windows: Vec::new(),
+            next_window: 1, // window 0 is the implicit self-window
+        }
+    }
+
+    /// Creates a new empty window and returns its ID.
+    pub fn window_init(&mut self) -> WindowId {
+        let id = WindowId(self.next_window);
+        self.next_window += 1;
+        self.windows.push(Window::new(id));
+        id
+    }
+
+    /// Looks up a window by ID.
+    pub fn window(&self, wid: WindowId) -> Option<&Window> {
+        self.windows.iter().find(|w| w.id() == wid)
+    }
+
+    /// Looks up a window mutably.
+    pub fn window_mut(&mut self, wid: WindowId) -> Option<&mut Window> {
+        self.windows.iter_mut().find(|w| w.id() == wid)
+    }
+
+    /// Destroys a window; returns `true` if it existed.
+    pub fn window_destroy(&mut self, wid: WindowId) -> bool {
+        let before = self.windows.len();
+        self.windows.retain(|w| w.id() != wid);
+        self.windows.len() != before
+    }
+
+    /// Number of live windows.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c() -> Cubicle {
+        Cubicle::new(CubicleId(1), "VFS", ProtKey::new(1).unwrap(), false)
+    }
+
+    #[test]
+    fn window_lifecycle() {
+        let mut cu = c();
+        let w1 = cu.window_init();
+        let w2 = cu.window_init();
+        assert_ne!(w1, w2);
+        assert_eq!(cu.window_count(), 2);
+        assert!(cu.window(w1).is_some());
+        assert!(cu.window_destroy(w1));
+        assert!(!cu.window_destroy(w1));
+        assert!(cu.window(w1).is_none());
+        assert_eq!(cu.window_count(), 1);
+    }
+
+    #[test]
+    fn window_ids_not_reused() {
+        let mut cu = c();
+        let w1 = cu.window_init();
+        cu.window_destroy(w1);
+        let w2 = cu.window_init();
+        assert_ne!(w1, w2, "destroyed IDs must not be recycled");
+    }
+
+    #[test]
+    fn names_and_flags() {
+        let cu = c();
+        assert_eq!(cu.name, "VFS");
+        assert!(!cu.shared);
+        assert_eq!(cu.id, CubicleId(1));
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-cubicle memory sub-allocator.
+//!
+//! "Each isolated cubicle has its own memory sub-allocator" (paper §4):
+//! the monitor grants whole pages to a cubicle, and this first-fit
+//! free-list allocator carves them into byte-granularity allocations.
+//! Allocator metadata is kept host-side for simulation clarity; only the
+//! allocated storage itself lives in simulated memory.
+
+use cubicle_mpk::VAddr;
+
+/// A first-fit free-list allocator with coalescing.
+///
+/// # Example
+///
+/// ```
+/// use cubicle_core::SubAllocator;
+/// use cubicle_mpk::VAddr;
+///
+/// let mut heap = SubAllocator::new();
+/// heap.add_region(VAddr::new(0x10000), 4096);
+/// let a = heap.alloc(100, 8).unwrap();
+/// let b = heap.alloc(200, 8).unwrap();
+/// assert_ne!(a, b);
+/// heap.free(a).unwrap();
+/// heap.free(b).unwrap();
+/// // after freeing everything, a full-size allocation fits again
+/// assert!(heap.alloc(4096, 1).is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SubAllocator {
+    /// Free blocks, sorted by start address, always coalesced.
+    free: Vec<(u64, usize)>,
+    /// Live allocations: start → length.
+    live: Vec<(u64, usize)>,
+    /// Total bytes handed to the allocator via [`SubAllocator::add_region`].
+    capacity: usize,
+    /// Bytes currently allocated.
+    in_use: usize,
+}
+
+/// Error returned by [`SubAllocator::free`] for a pointer that was never
+/// allocated (or was already freed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InvalidFree(pub VAddr);
+
+impl std::fmt::Display for InvalidFree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid free of {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidFree {}
+
+impl SubAllocator {
+    /// Creates an empty allocator with no backing memory.
+    pub fn new() -> SubAllocator {
+        SubAllocator::default()
+    }
+
+    /// Donates the region `[start, start+len)` to the allocator.
+    pub fn add_region(&mut self, start: VAddr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.capacity += len;
+        self.insert_free(start.raw(), len);
+    }
+
+    /// Total bytes under management.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Allocates `size` bytes aligned to `align`.
+    ///
+    /// Returns `None` when no free block fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or `size` is zero.
+    pub fn alloc(&mut self, size: usize, align: usize) -> Option<VAddr> {
+        assert!(size > 0, "zero-size allocation");
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let align = align as u64;
+        let mut chosen: Option<(usize, u64)> = None;
+        for (i, &(start, len)) in self.free.iter().enumerate() {
+            let aligned = (start + align - 1) & !(align - 1);
+            let pad = (aligned - start) as usize;
+            if pad + size <= len {
+                chosen = Some((i, aligned));
+                break;
+            }
+        }
+        let (i, aligned) = chosen?;
+        let (start, len) = self.free[i];
+        let pad = (aligned - start) as usize;
+        self.free.remove(i);
+        if pad > 0 {
+            self.insert_free(start, pad);
+        }
+        let tail = len - pad - size;
+        if tail > 0 {
+            self.insert_free(aligned + size as u64, tail);
+        }
+        let idx = self.live.partition_point(|&(s, _)| s < aligned);
+        self.live.insert(idx, (aligned, size));
+        self.in_use += size;
+        Some(VAddr::new(aligned))
+    }
+
+    /// Releases an allocation made by [`SubAllocator::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFree`] when `addr` is not a live allocation.
+    pub fn free(&mut self, addr: VAddr) -> Result<usize, InvalidFree> {
+        let raw = addr.raw();
+        let idx = self
+            .live
+            .binary_search_by_key(&raw, |&(s, _)| s)
+            .map_err(|_| InvalidFree(addr))?;
+        let (start, len) = self.live.remove(idx);
+        self.in_use -= len;
+        self.insert_free(start, len);
+        Ok(len)
+    }
+
+    /// Size of the live allocation at `addr`, if any.
+    pub fn allocation_len(&self, addr: VAddr) -> Option<usize> {
+        self.live
+            .binary_search_by_key(&addr.raw(), |&(s, _)| s)
+            .ok()
+            .map(|i| self.live[i].1)
+    }
+
+    fn insert_free(&mut self, start: u64, len: usize) {
+        let idx = self.free.partition_point(|&(s, _)| s < start);
+        self.free.insert(idx, (start, len));
+        // Coalesce with successor, then predecessor.
+        if idx + 1 < self.free.len() {
+            let (s, l) = self.free[idx];
+            let (ns, nl) = self.free[idx + 1];
+            if s + l as u64 == ns {
+                self.free[idx] = (s, l + nl);
+                self.free.remove(idx + 1);
+            }
+        }
+        if idx > 0 {
+            let (ps, pl) = self.free[idx - 1];
+            let (s, l) = self.free[idx];
+            if ps + pl as u64 == s {
+                self.free[idx - 1] = (ps, pl + l);
+                self.free.remove(idx);
+            }
+        }
+    }
+
+    /// Number of fragments on the free list (diagnostics).
+    pub fn fragments(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap(len: usize) -> SubAllocator {
+        let mut h = SubAllocator::new();
+        h.add_region(VAddr::new(0x10000), len);
+        h
+    }
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut h = heap(4096);
+        let a = h.alloc(128, 8).unwrap();
+        assert_eq!(h.in_use(), 128);
+        assert_eq!(h.allocation_len(a), Some(128));
+        assert_eq!(h.free(a).unwrap(), 128);
+        assert_eq!(h.in_use(), 0);
+        assert_eq!(h.allocation_len(a), None);
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mut h = heap(4096);
+        let mut spans = Vec::new();
+        for i in 1..=16 {
+            let a = h.alloc(i * 10, 8).unwrap();
+            spans.push((a.raw(), a.raw() + (i * 10) as u64));
+        }
+        spans.sort();
+        for pair in spans.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "overlap: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut h = heap(4096);
+        h.alloc(3, 1).unwrap();
+        let a = h.alloc(64, 64).unwrap();
+        assert!(a.is_aligned(64));
+        let b = h.alloc(100, 4096).map(|v| v.is_aligned(4096));
+        // Either it fit (and is aligned) or there was no aligned space.
+        assert_ne!(b, Some(false));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut h = heap(256);
+        assert!(h.alloc(300, 1).is_none());
+        let a = h.alloc(256, 1).unwrap();
+        assert!(h.alloc(1, 1).is_none());
+        h.free(a).unwrap();
+        assert!(h.alloc(256, 1).is_some());
+    }
+
+    #[test]
+    fn coalescing_rebuilds_big_blocks() {
+        let mut h = heap(4096);
+        let a = h.alloc(1000, 1).unwrap();
+        let b = h.alloc(1000, 1).unwrap();
+        let c = h.alloc(1000, 1).unwrap();
+        h.free(b).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        assert_eq!(h.fragments(), 1);
+        assert!(h.alloc(4096, 1).is_some());
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut h = heap(4096);
+        let a = h.alloc(10, 1).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(InvalidFree(a)));
+    }
+
+    #[test]
+    fn free_of_interior_pointer_rejected() {
+        let mut h = heap(4096);
+        let a = h.alloc(100, 1).unwrap();
+        assert!(h.free(a + 4).is_err());
+    }
+
+    #[test]
+    fn multiple_regions() {
+        let mut h = SubAllocator::new();
+        h.add_region(VAddr::new(0x10000), 128);
+        h.add_region(VAddr::new(0x20000), 4096);
+        assert_eq!(h.capacity(), 128 + 4096);
+        // Too big for the first region, must come from the second.
+        let a = h.alloc(1024, 1).unwrap();
+        assert!(a.raw() >= 0x20000);
+    }
+
+    #[test]
+    fn zero_len_region_ignored() {
+        let mut h = SubAllocator::new();
+        h.add_region(VAddr::new(0x1000), 0);
+        assert_eq!(h.capacity(), 0);
+        assert!(h.alloc(1, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-size")]
+    fn zero_size_alloc_panics() {
+        heap(64).alloc(0, 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Identifier newtypes used throughout the kernel.
+
+use std::fmt;
+
+/// Identifies a cubicle (an isolation compartment).
+///
+/// Cubicle 0 is always the trusted monitor. The paper's evaluation never
+/// needs more than the 16 compartments afforded by MPK's 16 keys; we allow
+/// up to 64 cubicle IDs so the window bitmask fits a `u64`, but key
+/// assignment still fails beyond 16 (see `System::load`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CubicleId(pub u16);
+
+impl CubicleId {
+    /// The trusted monitor's cubicle.
+    pub const MONITOR: CubicleId = CubicleId(0);
+
+    /// Index into per-cubicle tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The bit representing this cubicle in a window's ACL bitmask.
+    pub const fn mask_bit(self) -> u64 {
+        1u64 << self.0
+    }
+}
+
+impl fmt::Display for CubicleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cubicle#{}", self.0)
+    }
+}
+
+/// Identifies a window within its owning cubicle.
+///
+/// Window IDs are only meaningful together with their owner: windows "are
+/// assigned to the calling cubicle, and can only be managed by it"
+/// (paper §4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WindowId(pub u32);
+
+impl fmt::Display for WindowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "window#{}", self.0)
+    }
+}
+
+/// Identifies a public entry point registered with the loader; each entry
+/// has exactly one trusted cross-cubicle call trampoline.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EntryId(pub u32);
+
+impl EntryId {
+    /// Index into the global entry table.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "entry#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_is_zero() {
+        assert_eq!(CubicleId::MONITOR.index(), 0);
+        assert_eq!(CubicleId::MONITOR.mask_bit(), 1);
+    }
+
+    #[test]
+    fn mask_bits_are_disjoint() {
+        let bits: Vec<u64> = (0..64).map(|i| CubicleId(i).mask_bit()).collect();
+        let mut acc = 0u64;
+        for b in &bits {
+            assert_eq!(acc & b, 0);
+            acc |= b;
+        }
+        assert_eq!(acc, u64::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CubicleId(3).to_string(), "cubicle#3");
+        assert_eq!(WindowId(1).to_string(), "window#1");
+        assert_eq!(EntryId(9).to_string(), "entry#9");
+    }
+}

@@ -1,0 +1,152 @@
+//! Kernel-level event statistics.
+//!
+//! Figures 5 and 8 of the paper annotate the component graphs with
+//! cross-cubicle call counts "obtained during benchmark measurement
+//! time"; the ablation in Figure 6 decomposes overhead into trampoline,
+//! MPK and window costs. These counters provide the raw data.
+
+use crate::ids::CubicleId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Counters maintained by the kernel (in addition to the machine-level
+/// counters in [`cubicle_mpk::MachineStats`]).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SysStats {
+    /// Total cross-cubicle calls dispatched.
+    pub cross_calls: u64,
+    /// Calls per (caller, callee) edge.
+    pub call_edges: HashMap<(CubicleId, CubicleId), u64>,
+    /// Protection faults resolved by trap-and-map (page retagged).
+    pub faults_resolved: u64,
+    /// Protection faults denied (no open window).
+    pub faults_denied: u64,
+    /// Window descriptors probed during ACL searches.
+    pub acl_probes: u64,
+    /// Window management operations (init/add/open/close/…).
+    pub window_ops: u64,
+    /// Bytes of stack-resident arguments copied across per-cubicle stacks
+    /// by trampolines.
+    pub stack_bytes_copied: u64,
+    /// Messages sent by the IPC baseline transport.
+    pub ipc_msgs: u64,
+    /// Payload bytes marshalled by the IPC baseline transport.
+    pub ipc_bytes: u64,
+}
+
+impl SysStats {
+    /// Records one call on the `caller → callee` edge.
+    pub fn record_edge(&mut self, caller: CubicleId, callee: CubicleId) {
+        *self.call_edges.entry((caller, callee)).or_insert(0) += 1;
+        self.cross_calls += 1;
+    }
+
+    /// Calls observed on the `caller → callee` edge.
+    pub fn edge(&self, caller: CubicleId, callee: CubicleId) -> u64 {
+        self.call_edges.get(&(caller, callee)).copied().unwrap_or(0)
+    }
+
+    /// Total calls *into* `callee` from anyone.
+    pub fn calls_into(&self, callee: CubicleId) -> u64 {
+        self.call_edges.iter().filter(|((_, to), _)| *to == callee).map(|(_, n)| n).sum()
+    }
+
+    /// Difference `self - earlier`, for windowed measurements (e.g.,
+    /// excluding boot). Edges absent from `earlier` are kept as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has counters larger than `self` (it must be a
+    /// snapshot taken before).
+    pub fn since(&self, earlier: &SysStats) -> SysStats {
+        assert!(earlier.cross_calls <= self.cross_calls, "snapshot is not earlier");
+        let mut edges = HashMap::new();
+        for (&edge, &n) in &self.call_edges {
+            let base = earlier.call_edges.get(&edge).copied().unwrap_or(0);
+            assert!(base <= n, "snapshot is not earlier");
+            if n - base > 0 {
+                edges.insert(edge, n - base);
+            }
+        }
+        SysStats {
+            cross_calls: self.cross_calls - earlier.cross_calls,
+            call_edges: edges,
+            faults_resolved: self.faults_resolved - earlier.faults_resolved,
+            faults_denied: self.faults_denied - earlier.faults_denied,
+            acl_probes: self.acl_probes - earlier.acl_probes,
+            window_ops: self.window_ops - earlier.window_ops,
+            stack_bytes_copied: self.stack_bytes_copied - earlier.stack_bytes_copied,
+            ipc_msgs: self.ipc_msgs - earlier.ipc_msgs,
+            ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
+        }
+    }
+}
+
+impl fmt::Display for SysStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cross-calls: {}  faults: {} resolved / {} denied  acl-probes: {}  window-ops: {}",
+            self.cross_calls,
+            self.faults_resolved,
+            self.faults_denied,
+            self.acl_probes,
+            self.window_ops
+        )?;
+        let mut edges: Vec<_> = self.call_edges.iter().collect();
+        edges.sort();
+        for ((from, to), n) in edges {
+            writeln!(f, "  {from} -> {to}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_accumulate() {
+        let mut s = SysStats::default();
+        s.record_edge(CubicleId(1), CubicleId(2));
+        s.record_edge(CubicleId(1), CubicleId(2));
+        s.record_edge(CubicleId(2), CubicleId(3));
+        assert_eq!(s.edge(CubicleId(1), CubicleId(2)), 2);
+        assert_eq!(s.edge(CubicleId(2), CubicleId(3)), 1);
+        assert_eq!(s.edge(CubicleId(3), CubicleId(1)), 0);
+        assert_eq!(s.cross_calls, 3);
+        assert_eq!(s.calls_into(CubicleId(2)), 2);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut s = SysStats::default();
+        s.record_edge(CubicleId(1), CubicleId(2));
+        let snapshot = s.clone();
+        s.record_edge(CubicleId(1), CubicleId(2));
+        s.record_edge(CubicleId(4), CubicleId(5));
+        s.faults_resolved = 7;
+        let d = s.since(&snapshot);
+        assert_eq!(d.cross_calls, 2);
+        assert_eq!(d.edge(CubicleId(1), CubicleId(2)), 1);
+        assert_eq!(d.edge(CubicleId(4), CubicleId(5)), 1);
+        assert_eq!(d.faults_resolved, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not earlier")]
+    fn since_rejects_future_snapshot() {
+        let mut later = SysStats::default();
+        later.record_edge(CubicleId(1), CubicleId(2));
+        SysStats::default().since(&later);
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let mut s = SysStats::default();
+        s.record_edge(CubicleId(1), CubicleId(2));
+        let out = s.to_string();
+        assert!(out.contains("cubicle#1 -> cubicle#2: 1"));
+    }
+}

@@ -1,0 +1,1186 @@
+//! The CubicleOS kernel: loader, monitor, cross-cubicle calls, windows.
+//!
+//! [`System`] owns the simulated [`Machine`], the cubicle table, the page
+//! metadata map, the entry-point (trampoline) registry and the component
+//! registry. It implements the paper's four trusted pieces:
+//!
+//! * the **loader** (§5.4): [`System::load`] scans code for forbidden
+//!   instructions, verifies builder signatures, maps segments W^X with a
+//!   fresh MPK key, and registers trampolines;
+//! * the **monitor** (§5.3): page metadata + window ACLs + the lazy
+//!   trap-and-map fault handler behind every memory access;
+//! * **cross-cubicle call trampolines** (§5.5): [`System::cross_call`]
+//!   switches PKRU and stacks and enforces that inter-component control
+//!   flow only passes through registered public entries;
+//! * the **window API** (Table 1): `window_init` / `window_add` /
+//!   `window_open` / ….
+
+use crate::builder::Builder;
+use crate::component::{Component, ComponentImage, EntryFn};
+use crate::cubicle::{Cubicle, RegionType};
+use crate::error::{CubicleError, Result};
+use crate::ids::{CubicleId, EntryId, WindowId};
+use crate::mode::IsolationMode;
+use crate::stats::SysStats;
+use crate::value::Value;
+use cubicle_mpk::{
+    pages_covering, AccessKind, CostModel, Fault, FaultKind, Machine, MachineStats, PageFlags,
+    PageNum, Pkru, ProtKey, VAddr, NUM_KEYS, PAGE_SIZE,
+};
+use std::collections::HashMap;
+
+/// The reserved "parked" protection key used by tag virtualisation: it
+/// is never granted in any PKRU set, so pages of unbound cubicles are
+/// inaccessible until trap-and-map faults them back in.
+pub const PARKED_KEY: ProtKey = match ProtKey::new(15) {
+    Some(k) => k,
+    None => unreachable!(),
+};
+
+/// Per-page metadata kept by the monitor (paper §5.3: "CubicleOS keeps a
+/// page metadata map that identifies the window descriptor array
+/// corresponding to that page, together with its owner and type").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PageMeta {
+    /// The owning cubicle (fixed at allocation time).
+    pub owner: CubicleId,
+    /// What the page holds.
+    pub region: RegionType,
+}
+
+/// Handle returned by the loader.
+#[derive(Clone, Debug)]
+pub struct LoadedComponent {
+    /// The cubicle the component was loaded into.
+    pub cid: CubicleId,
+    /// The component's registry slot.
+    pub slot: usize,
+    /// Public entry points by symbol name.
+    pub entries: HashMap<String, EntryId>,
+}
+
+impl LoadedComponent {
+    /// Looks up an entry by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the symbol was not exported — resolving a missing
+    /// symbol is a deployment error, caught at boot.
+    pub fn entry(&self, name: &str) -> EntryId {
+        *self
+            .entries
+            .get(name)
+            .unwrap_or_else(|| panic!("symbol `{name}` not exported by component"))
+    }
+}
+
+#[derive(Clone)]
+struct EntryDesc {
+    name: String,
+    cubicle: CubicleId,
+    slot: usize,
+    func: EntryFn,
+    stack_arg_bytes: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    cubicle: CubicleId,
+}
+
+/// Snapshot of clock + counters, used to window measurements.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Cycle counter at snapshot time.
+    pub cycles: u64,
+    /// Kernel counters at snapshot time.
+    pub stats: SysStats,
+    /// Machine counters at snapshot time.
+    pub machine: MachineStats,
+}
+
+/// The CubicleOS kernel. See the module documentation.
+pub struct System {
+    machine: Machine,
+    mode: IsolationMode,
+    cubicles: Vec<Cubicle>,
+    components: Vec<Option<Box<dyn Component>>>,
+    component_names: Vec<String>,
+    entries: Vec<EntryDesc>,
+    entry_names: HashMap<String, EntryId>,
+    page_meta: HashMap<PageNum, PageMeta>,
+    call_stack: Vec<Frame>,
+    next_page: u64,
+    next_key: u8,
+    stats: SysStats,
+    verifier: Builder,
+    boot: Option<Snapshot>,
+    boundary_tax: u64,
+    key_virt: Option<KeyVirt>,
+}
+
+/// MPK tag virtualisation state (paper §8: "if more tags were required,
+/// CubicleOS could use existing tag virtualisation mechanisms [libmpk]").
+///
+/// Cubicles receive *virtual* keys; at most 15 of them (key 0 stays with
+/// the monitor) are bound to physical keys at a time. Binding a cubicle
+/// whose key table is full evicts the least-recently-used binding and
+/// retags every page of the evicted cubicle to the incoming one's
+/// physical key owner — each retag at full `pkey_mprotect` cost, which is
+/// what makes virtualisation expensive and the paper's "one key per
+/// compartment" frugality valuable.
+struct KeyVirt {
+    /// physical key (1..=15) → bound cubicle, with an LRU tick.
+    bindings: Vec<(ProtKey, Option<(CubicleId, u64)>)>,
+    tick: u64,
+    /// Evictions performed (statistics).
+    evictions: u64,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("mode", &self.mode)
+            .field("cubicles", &self.cubicles.len())
+            .field("entries", &self.entries.len())
+            .field("cycles", &self.machine.now())
+            .finish()
+    }
+}
+
+impl System {
+    /// Creates a kernel in the given isolation mode with the calibrated
+    /// paper cost model.
+    pub fn new(mode: IsolationMode) -> System {
+        System::with_cost_model(mode, CostModel::paper())
+    }
+
+    /// Creates a kernel with a custom cost model (e.g. [`CostModel::free`]
+    /// in tests that assert on event counts).
+    pub fn with_cost_model(mode: IsolationMode, cost: CostModel) -> System {
+        let mut machine = Machine::with_cost_model(cost);
+        // Boot executes as the trusted monitor with access to everything.
+        machine.set_pkru_at_load(Pkru::allow_all());
+        let monitor = Cubicle::new(CubicleId::MONITOR, "MONITOR", ProtKey::MONITOR, false);
+        System {
+            machine,
+            mode,
+            cubicles: vec![monitor],
+            components: Vec::new(),
+            component_names: Vec::new(),
+            entries: Vec::new(),
+            entry_names: HashMap::new(),
+            page_meta: HashMap::new(),
+            call_stack: Vec::new(),
+            next_page: 16, // leave low memory (incl. page 0) unmapped
+            next_key: 1,   // key 0 is the monitor's
+            stats: SysStats::default(),
+            verifier: Builder::new(),
+            boot: None,
+            boundary_tax: 0,
+            key_virt: None,
+        }
+    }
+
+    /// Enables MPK tag virtualisation (paper §8): more than 15 isolated
+    /// cubicles share the hardware's keys. Physical keys 1–14 form a
+    /// binding pool (key 15 is reserved as the inaccessible "parked"
+    /// tag); entering a parked cubicle binds it, evicting the
+    /// least-recently-used binding and retagging the evicted key's pages
+    /// to parked — each at full `pkey_mprotect` cost. Call before
+    /// loading components.
+    pub fn enable_key_virtualisation(&mut self) {
+        if self.key_virt.is_none() {
+            self.key_virt = Some(KeyVirt {
+                bindings: (1..PARKED_KEY.raw())
+                    .map(|k| (ProtKey::new(k).expect("in range"), None))
+                    .collect(),
+                tick: 0,
+                evictions: 0,
+            });
+        }
+    }
+
+    /// Number of key-binding evictions performed by the virtualisation
+    /// layer (0 when virtualisation is off or never needed).
+    pub fn key_evictions(&self) -> u64 {
+        self.key_virt.as_ref().map_or(0, |kv| kv.evictions)
+    }
+
+    /// Binds `cid` to a physical key if it is parked. No-op without
+    /// virtualisation (keys are permanent then).
+    fn ensure_bound(&mut self, cid: CubicleId) {
+        let Some(kv) = &mut self.key_virt else { return };
+        kv.tick += 1;
+        let tick = kv.tick;
+        if self.cubicles[cid.index()].key != PARKED_KEY {
+            // refresh the LRU stamp of the existing binding
+            let key = self.cubicles[cid.index()].key;
+            if let Some(slot) = kv.bindings.iter_mut().find(|(k, _)| *k == key) {
+                if let Some((bound, t)) = &mut slot.1 {
+                    if *bound == cid && !self.cubicles[cid.index()].shared {
+                        *t = tick;
+                    }
+                }
+            }
+            return;
+        }
+        // find a free physical key, or evict the least recently used
+        // binding that is neither pinned (shared) nor currently running
+        let active: Vec<CubicleId> = self.call_stack.iter().map(|f| f.cubicle).collect();
+        let slot_idx = kv
+            .bindings
+            .iter()
+            .position(|(_, b)| b.is_none())
+            .unwrap_or_else(|| {
+                kv.bindings
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, b))| {
+                        b.is_some_and(|(c, t)| t != u64::MAX && !active.contains(&c))
+                    })
+                    .min_by_key(|(_, (_, b))| b.expect("filtered").1)
+                    .map(|(i, _)| i)
+                    .expect("at least one evictable binding")
+            });
+        let (phys, prev) = kv.bindings[slot_idx];
+        kv.bindings[slot_idx].1 = Some((cid, tick));
+        if let Some((evicted, _)) = prev {
+            kv.evictions += 1;
+            self.cubicles[evicted.index()].key = PARKED_KEY;
+            // all pages currently tagged with the physical key are parked;
+            // trap-and-map will lazily fault them back in for whoever is
+            // authorised (each retag at pkey_mprotect cost)
+            for page in self.machine.pages_with_key(phys) {
+                self.machine
+                    .set_page_key(page.base(), PARKED_KEY)
+                    .expect("page exists");
+            }
+        }
+        self.cubicles[cid.index()].key = phys;
+    }
+
+    /// Sets a platform overhead charged on every (non-merged)
+    /// cross-component call, in any mode.
+    ///
+    /// The paper's Unikraft-on-Linux baseline is 2.8× slower than native
+    /// Linux (Fig. 10a) because the user-level library OS pays a shim /
+    /// platform path on each OS interaction that the in-kernel Linux
+    /// implementation does not. Harnesses model that single factor here:
+    /// the "Linux" baseline runs with tax 0, all Unikraft-derived
+    /// configurations (including CubicleOS) with the calibrated value.
+    pub fn set_boundary_tax(&mut self, cycles: u64) {
+        self.boundary_tax = cycles;
+    }
+
+    // =====================================================================
+    // Introspection
+    // =====================================================================
+
+    /// The isolation mode this kernel runs in.
+    pub fn mode(&self) -> IsolationMode {
+        self.mode
+    }
+
+    /// Read-only view of the machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Simulated cycle counter.
+    pub fn now(&self) -> u64 {
+        self.machine.now()
+    }
+
+    /// Charges simulated compute cycles (component work that does not
+    /// touch simulated memory).
+    pub fn charge(&mut self, cycles: u64) {
+        self.machine.charge(cycles);
+    }
+
+    /// Kernel counters.
+    pub fn stats(&self) -> &SysStats {
+        &self.stats
+    }
+
+    /// Machine counters.
+    pub fn machine_stats(&self) -> MachineStats {
+        self.machine.stats()
+    }
+
+    /// The cubicle currently executing (the monitor during boot).
+    pub fn current_cubicle(&self) -> CubicleId {
+        self.call_stack.last().map_or(CubicleId::MONITOR, |f| f.cubicle)
+    }
+
+    /// The cubicle that called the currently executing one (useful for
+    /// allocator components that grant memory to their caller).
+    pub fn caller_cubicle(&self) -> CubicleId {
+        if self.call_stack.len() >= 2 {
+            self.call_stack[self.call_stack.len() - 2].cubicle
+        } else {
+            CubicleId::MONITOR
+        }
+    }
+
+    /// Name of a cubicle.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an ID never returned by this kernel.
+    pub fn cubicle_name(&self, cid: CubicleId) -> &str {
+        &self.cubicles[cid.index()].name
+    }
+
+    /// Finds a cubicle by name.
+    pub fn find_cubicle(&self, name: &str) -> Option<CubicleId> {
+        self.cubicles.iter().find(|c| c.name == name).map(|c| c.id)
+    }
+
+    /// Iterates over all cubicles.
+    pub fn cubicles(&self) -> impl Iterator<Item = &Cubicle> {
+        self.cubicles.iter()
+    }
+
+    /// The owner of the page containing `addr`, if mapped.
+    pub fn page_owner(&self, addr: VAddr) -> Option<CubicleId> {
+        self.page_meta.get(&addr.page()).map(|m| m.owner)
+    }
+
+    /// Takes a measurement snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { cycles: self.machine.now(), stats: self.stats.clone(), machine: self.machine.stats() }
+    }
+
+    /// Marks the end of boot; [`System::since_boot`] reports counters
+    /// accumulated afterwards.
+    pub fn mark_boot_complete(&mut self) {
+        self.boot = Some(self.snapshot());
+    }
+
+    /// Cycles and kernel counters since [`System::mark_boot_complete`]
+    /// (or since creation if boot was never marked).
+    pub fn since_boot(&self) -> (u64, SysStats) {
+        match &self.boot {
+            Some(snap) => (self.machine.now() - snap.cycles, self.stats.since(&snap.stats)),
+            None => (self.machine.now(), self.stats.clone()),
+        }
+    }
+
+    // =====================================================================
+    // Loader (paper §5.4)
+    // =====================================================================
+
+    /// Loads a component into a fresh cubicle.
+    ///
+    /// Performs the loader's integrity duties: scans the code image for
+    /// forbidden `wrpkru`/`syscall` sequences, verifies that every export
+    /// was signed by the trusted builder, maps code execute-only and data
+    /// read-write (W^X), tags all pages with the cubicle's fresh MPK key,
+    /// populates the page metadata map and registers one trampoline per
+    /// public entry.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::ForbiddenInstruction`],
+    /// [`CubicleError::UntrustedTrampoline`], [`CubicleError::OutOfKeys`],
+    /// [`CubicleError::TooManyCubicles`], or a duplicate-symbol error.
+    pub fn load(
+        &mut self,
+        image: ComponentImage,
+        state: Box<dyn Component>,
+    ) -> Result<LoadedComponent> {
+        if self.cubicles.len() >= 64 {
+            return Err(CubicleError::TooManyCubicles);
+        }
+        let cid = CubicleId(self.cubicles.len() as u16);
+        let key = match &mut self.key_virt {
+            None => {
+                if self.next_key as usize >= NUM_KEYS {
+                    return Err(CubicleError::OutOfKeys);
+                }
+                let key = ProtKey::new(self.next_key).expect("bounded above");
+                self.next_key += 1;
+                key
+            }
+            Some(kv) => {
+                // virtualised: hand out pool keys while they last; shared
+                // cubicles pin theirs (they must stay reachable from
+                // every PKRU set), isolated ones start parked when the
+                // pool is exhausted and bind on first entry.
+                match kv.bindings.iter_mut().find(|(_, b)| b.is_none()) {
+                    Some(slot) => {
+                        let tick = if image.shared { u64::MAX } else { 0 };
+                        slot.1 = Some((cid, tick));
+                        slot.0
+                    }
+                    None if image.shared => return Err(CubicleError::OutOfKeys),
+                    None => PARKED_KEY,
+                }
+            }
+        };
+        let cubicle = Cubicle::new(cid, image.name.clone(), key, image.shared);
+        self.cubicles.push(cubicle);
+        self.install(image, state, cid)
+    }
+
+    /// Loads a component into an *existing* cubicle (same key, same
+    /// protection domain). This builds the merged configurations of
+    /// Figure 9a (e.g. `CORE+RAMFS` sharing one compartment).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`System::load`].
+    pub fn load_into(
+        &mut self,
+        image: ComponentImage,
+        state: Box<dyn Component>,
+        cid: CubicleId,
+    ) -> Result<LoadedComponent> {
+        if cid.index() >= self.cubicles.len() {
+            return Err(CubicleError::InvalidArgument("load_into: no such cubicle"));
+        }
+        self.install(image, state, cid)
+    }
+
+    fn install(
+        &mut self,
+        image: ComponentImage,
+        state: Box<dyn Component>,
+        cid: CubicleId,
+    ) -> Result<LoadedComponent> {
+        // Rule: refuse code containing instructions that would undermine
+        // the isolation mechanisms.
+        if let Some(bad) = image.code.scan_forbidden() {
+            // roll back an empty cubicle created by `load`
+            return Err(CubicleError::ForbiddenInstruction(bad));
+        }
+        // Rule: trampolines must come from the trusted builder.
+        for (signed, _) in &image.exports {
+            if !self.verifier.verify(signed) {
+                return Err(CubicleError::UntrustedTrampoline { entry: signed.decl.name.clone() });
+            }
+        }
+        for (signed, _) in &image.exports {
+            if self.entry_names.contains_key(&signed.decl.name) {
+                return Err(CubicleError::DuplicateSymbol(signed.decl.name.clone()));
+            }
+        }
+
+        let key = self.cubicles[cid.index()].key;
+
+        // Map code pages: write the image through a temporary RW mapping,
+        // then flip to execute-only (W^X).
+        let code_pages = image.code.len().div_ceil(PAGE_SIZE).max(1);
+        let code_base = self.map_fresh(code_pages, key, PageFlags::rw(), cid, RegionType::Code);
+        let mut off = 0;
+        for chunk in image.code.bytes().chunks(PAGE_SIZE) {
+            self.machine
+                .write(code_base + off, chunk)
+                .expect("loader writes its own fresh mapping");
+            off += chunk.len();
+        }
+        for page in 0..code_pages {
+            self.machine
+                .set_page_flags(code_base + page * PAGE_SIZE, PageFlags::x())
+                .expect("just mapped");
+        }
+
+        // Global data, heap and stack.
+        if image.data_pages > 0 {
+            self.map_fresh(image.data_pages, key, PageFlags::rw(), cid, RegionType::GlobalData);
+        }
+        if image.heap_pages > 0 {
+            let heap_base =
+                self.map_fresh(image.heap_pages, key, PageFlags::rw(), cid, RegionType::Heap);
+            self.cubicles[cid.index()]
+                .heap
+                .add_region(heap_base, image.heap_pages * PAGE_SIZE);
+        }
+        if image.stack_pages > 0 {
+            let stack_base =
+                self.map_fresh(image.stack_pages, key, PageFlags::rw(), cid, RegionType::Stack);
+            let c = &mut self.cubicles[cid.index()];
+            c.stack_base = stack_base;
+            c.stack_len = image.stack_pages * PAGE_SIZE;
+        }
+
+        // Register the component and its trampolines.
+        let slot = self.components.len();
+        self.components.push(Some(state));
+        self.component_names.push(image.name.clone());
+        let mut entries = HashMap::new();
+        for (signed, func) in image.exports {
+            let id = EntryId(self.entries.len() as u32);
+            self.entries.push(EntryDesc {
+                name: signed.decl.name.clone(),
+                cubicle: cid,
+                slot,
+                func,
+                stack_arg_bytes: signed.decl.stack_arg_bytes(),
+            });
+            self.entry_names.insert(signed.decl.name.clone(), id);
+            entries.insert(signed.decl.name, id);
+        }
+        Ok(LoadedComponent { cid, slot, entries })
+    }
+
+    fn map_fresh(
+        &mut self,
+        pages: usize,
+        key: ProtKey,
+        flags: PageFlags,
+        owner: CubicleId,
+        region: RegionType,
+    ) -> VAddr {
+        let base = VAddr::new(self.next_page * PAGE_SIZE as u64);
+        // +1: keep an unmapped guard page between regions so overruns
+        // fault instead of silently touching a neighbour.
+        self.next_page += pages as u64 + 1;
+        for i in 0..pages {
+            let addr = base + i * PAGE_SIZE;
+            self.machine.map_page(addr, key, flags);
+            self.page_meta.insert(addr.page(), PageMeta { owner, region });
+        }
+        base
+    }
+
+    // =====================================================================
+    // Cross-cubicle calls (paper §5.5)
+    // =====================================================================
+
+    /// Resolves a public entry point by symbol name.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchEntry`] when the symbol was never exported —
+    /// the control-flow-integrity guarantee: there is no way to transfer
+    /// control across cubicles except through registered trampolines.
+    pub fn entry(&self, name: &str) -> Result<EntryId> {
+        self.entry_names.get(name).copied().ok_or_else(|| CubicleError::NoSuchEntry(name.into()))
+    }
+
+    /// Runs `f` against the state of the component in `slot`, downcast to
+    /// `T`. A trusted-boot/diagnostic facility (mount tables, console
+    /// logs); components themselves must interact via
+    /// [`System::cross_call`].
+    ///
+    /// Returns `None` when the slot is empty (component currently
+    /// executing) or holds a different type.
+    pub fn with_component_mut<T: Component, R>(
+        &mut self,
+        slot: usize,
+        f: impl FnOnce(&mut T, &mut System) -> R,
+    ) -> Option<R> {
+        let mut comp = self.components.get_mut(slot)?.take()?;
+        let out = match comp.as_any_mut().downcast_mut::<T>() {
+            Some(t) => Some(f(t, self)),
+            None => None,
+        };
+        self.components[slot] = Some(comp);
+        out
+    }
+
+    /// Symbol name of a registered entry.
+    pub fn entry_name(&self, entry: EntryId) -> Option<&str> {
+        self.entries.get(entry.index()).map(|d| d.name.as_str())
+    }
+
+    /// Performs a cross-cubicle call through the entry's trampoline.
+    ///
+    /// Depending on the isolation mode this charges a plain call
+    /// (Unikraft), the trampoline + PKRU switches (CubicleOS modes), or a
+    /// marshalled message round trip (IPC baselines). The callee runs
+    /// with its own cubicle's PKRU permission set; any access it makes to
+    /// the caller's buffers goes through trap-and-map.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchEntry`] for an unregistered entry,
+    /// [`CubicleError::ReentrantCall`] for nested A→B→A calls, plus
+    /// anything the callee itself returns.
+    pub fn cross_call(&mut self, entry: EntryId, args: &[Value]) -> Result<Value> {
+        let desc = self
+            .entries
+            .get(entry.index())
+            .ok_or_else(|| CubicleError::NoSuchEntry(format!("{entry}")))?;
+        let (func, callee, slot, stack_bytes) =
+            (desc.func, desc.cubicle, desc.slot, desc.stack_arg_bytes);
+        let caller = self.current_cubicle();
+        self.stats.record_edge(caller, callee);
+
+        let cost = *self.machine.cost_model();
+        if caller == callee {
+            // Components merged into one cubicle (Fig. 9a) call each
+            // other directly: no trampoline, no PKRU switch, no message.
+            self.machine.charge(cost.call);
+            let mut comp = self.components[slot]
+                .take()
+                .ok_or(CubicleError::ReentrantCall(callee))?;
+            self.call_stack.push(Frame { cubicle: callee });
+            let result = func(self, comp.as_mut(), args);
+            self.call_stack.pop();
+            self.components[slot] = Some(comp);
+            return result;
+        }
+        self.machine.charge(self.boundary_tax);
+        match self.mode {
+            IsolationMode::Unikraft => {
+                self.machine.charge(cost.call);
+            }
+            IsolationMode::Ipc(m) => {
+                let bytes: usize =
+                    args.iter().map(|v| v.bytes_in() + v.bytes_out()).sum();
+                self.machine.charge(m.fixed + m.per_byte * bytes as u64);
+                self.stats.ipc_msgs += 2; // request + reply
+                self.stats.ipc_bytes += bytes as u64;
+            }
+            _ => {
+                self.machine.charge(cost.trampoline + cost.call);
+                if stack_bytes > 0 {
+                    // The trampoline copies stack-resident arguments
+                    // between the per-cubicle stacks (read + write).
+                    self.machine.charge(2 * cost.mem_access(stack_bytes));
+                    self.stats.stack_bytes_copied += stack_bytes as u64;
+                }
+                if self.mode.mpk_active() {
+                    self.ensure_bound(callee);
+                    // Guard page enters the monitor domain, trampoline
+                    // then drops to the callee's permission set.
+                    self.machine.set_pkru(Pkru::allow_all());
+                    let pkru = self.pkru_for(callee);
+                    self.machine.set_pkru(pkru);
+                }
+            }
+        }
+
+        let mut comp = self.components[slot]
+            .take()
+            .ok_or(CubicleError::ReentrantCall(callee))?;
+        self.call_stack.push(Frame { cubicle: callee });
+        let result = func(self, comp.as_mut(), args);
+        self.call_stack.pop();
+        self.components[slot] = Some(comp);
+
+        match self.mode {
+            IsolationMode::Unikraft | IsolationMode::Ipc(_) => {}
+            _ => {
+                self.machine.charge(cost.trampoline);
+                if self.mode.mpk_active() {
+                    self.machine.set_pkru(Pkru::allow_all());
+                    let pkru = self.pkru_for(self.current_cubicle());
+                    self.machine.set_pkru(pkru);
+                }
+            }
+        }
+        result
+    }
+
+    /// Convenience: resolve by name and call.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::entry`] and [`System::cross_call`].
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value> {
+        let entry = self.entry(name)?;
+        self.cross_call(entry, args)
+    }
+
+    /// Runs `f` in the execution context of `cid`, as if code inside that
+    /// cubicle were executing. Used by test harnesses and by drivers that
+    /// model the application's own code; ordinary inter-component control
+    /// transfers must use [`System::cross_call`].
+    pub fn run_in_cubicle<T>(
+        &mut self,
+        cid: CubicleId,
+        f: impl FnOnce(&mut System) -> T,
+    ) -> T {
+        if self.mode.mpk_active() {
+            self.ensure_bound(cid);
+        }
+        self.call_stack.push(Frame { cubicle: cid });
+        if self.mode.mpk_active() {
+            let pkru = self.pkru_for(cid);
+            self.machine.set_pkru_at_load(pkru);
+        }
+        let out = f(self);
+        self.call_stack.pop();
+        if self.mode.mpk_active() {
+            let pkru = self.pkru_for(self.current_cubicle());
+            self.machine.set_pkru_at_load(pkru);
+        }
+        out
+    }
+
+    /// The PKRU permission set a cubicle executes with: its own key plus
+    /// every shared cubicle's key (shared static data "is shared among
+    /// all cubicles", paper §3). The monitor gets everything.
+    pub fn pkru_for(&self, cid: CubicleId) -> Pkru {
+        if cid == CubicleId::MONITOR {
+            return Pkru::allow_all();
+        }
+        let mut pkru = Pkru::deny_all().allowing(self.cubicles[cid.index()].key);
+        for c in &self.cubicles {
+            if c.shared {
+                pkru = pkru.allowing(c.key);
+            }
+        }
+        pkru
+    }
+
+    // =====================================================================
+    // Monitor: trap-and-map (paper §5.3, Fig. 4)
+    // =====================================================================
+
+    fn resolve_fault(&mut self, fault: Fault) -> Result<()> {
+        // Only protection-key faults are subject to window authorisation.
+        let FaultKind::ProtectionKey(_) = fault.kind else {
+            return Err(CubicleError::MachineFault(fault));
+        };
+        if !self.mode.mpk_active() {
+            return Err(CubicleError::MachineFault(fault));
+        }
+        let cost = *self.machine.cost_model();
+        // ❶ the fault is captured by the monitor
+        self.machine.charge(cost.trap);
+        // ❷ O(1) page metadata lookup: owner + window descriptor array
+        self.machine.charge(cost.page_meta_lookup);
+        let meta = match self.page_meta.get(&fault.addr.page()) {
+            Some(m) => *m,
+            None => return Err(CubicleError::MachineFault(fault)),
+        };
+        let accessor = self.current_cubicle();
+        let accessor_key = self.cubicles[accessor.index()].key;
+
+        // Implicit window 0: the owner always reclaims its own pages
+        // (lazily retagged back — causal tag consistency, §5.6).
+        if meta.owner == accessor {
+            self.retag(fault.addr, accessor_key)?;
+            self.stats.faults_resolved += 1;
+            return Ok(());
+        }
+
+        // Ablation mode "w/o ACLs": windows are open for any access.
+        if !self.mode.acls_active() {
+            self.retag(fault.addr, accessor_key)?;
+            self.stats.faults_resolved += 1;
+            return Ok(());
+        }
+
+        // ❸ linear search of the owner's window descriptors,
+        // ❹ O(1) bitmask check per covering descriptor.
+        let owner_idx = meta.owner.index();
+        let mut probes = 0u64;
+        let mut allowed = false;
+        for w in &self.cubicles[owner_idx].windows {
+            let check = w.check(fault.addr, accessor);
+            probes += check.probes;
+            if check.covers && check.allowed {
+                allowed = true;
+                break;
+            }
+        }
+        self.stats.acl_probes += probes;
+        self.machine.charge(cost.acl_probe * probes);
+        if allowed {
+            // ❺ assign the accessor's MPK tag to the page (zero-copy)
+            self.retag(fault.addr, accessor_key)?;
+            self.stats.faults_resolved += 1;
+            Ok(())
+        } else {
+            self.stats.faults_denied += 1;
+            Err(CubicleError::WindowDenied { accessor, owner: meta.owner, addr: fault.addr })
+        }
+    }
+
+    fn retag(&mut self, addr: VAddr, key: ProtKey) -> Result<()> {
+        self.machine.set_page_key(addr, key).map_err(CubicleError::MachineFault)
+    }
+
+    // =====================================================================
+    // Checked memory access (components' only door to data)
+    // =====================================================================
+
+    /// Reads `buf.len()` bytes at `addr` with the current cubicle's
+    /// privileges, transparently running trap-and-map on faults.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::WindowDenied`] when the monitor refuses the access,
+    /// [`CubicleError::MachineFault`] for unmapped/invalid memory.
+    pub fn read(&mut self, addr: VAddr, buf: &mut [u8]) -> Result<()> {
+        let budget = buf.len() / PAGE_SIZE + 3;
+        for _ in 0..budget {
+            match self.machine.read(addr, buf) {
+                Ok(()) => return Ok(()),
+                Err(fault) => self.resolve_fault(fault)?,
+            }
+        }
+        unreachable!("trap-and-map retags a page per retry; budget suffices")
+    }
+
+    /// Writes `data` at `addr` with the current cubicle's privileges.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::read`].
+    pub fn write(&mut self, addr: VAddr, data: &[u8]) -> Result<()> {
+        let budget = data.len() / PAGE_SIZE + 3;
+        for _ in 0..budget {
+            match self.machine.write(addr, data) {
+                Ok(()) => return Ok(()),
+                Err(fault) => self.resolve_fault(fault)?,
+            }
+        }
+        unreachable!("trap-and-map retags a page per retry; budget suffices")
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::read`].
+    pub fn read_vec(&mut self, addr: VAddr, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::read`].
+    pub fn read_u64(&mut self, addr: VAddr) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::write`].
+    pub fn write_u64(&mut self, addr: VAddr, v: u64) -> Result<()> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::read`].
+    pub fn read_u32(&mut self, addr: VAddr) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::write`].
+    pub fn write_u32(&mut self, addr: VAddr, v: u32) -> Result<()> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (both in simulated memory),
+    /// subject to the current cubicle's privileges on both sides.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::read`].
+    pub fn copy(&mut self, dst: VAddr, src: VAddr, len: usize) -> Result<()> {
+        let mut remaining = len;
+        let mut s = src;
+        let mut d = dst;
+        let mut tmp = [0u8; PAGE_SIZE];
+        while remaining > 0 {
+            let chunk = remaining.min(PAGE_SIZE);
+            self.read(s, &mut tmp[..chunk])?;
+            self.write(d, &tmp[..chunk])?;
+            remaining -= chunk;
+            s += chunk;
+            d += chunk;
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `addr` with `byte`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::write`].
+    pub fn fill(&mut self, addr: VAddr, byte: u8, len: usize) -> Result<()> {
+        let tmp = [byte; PAGE_SIZE];
+        let mut remaining = len;
+        let mut d = addr;
+        while remaining > 0 {
+            let chunk = remaining.min(PAGE_SIZE);
+            self.write(d, &tmp[..chunk])?;
+            remaining -= chunk;
+            d += chunk;
+        }
+        Ok(())
+    }
+
+    // =====================================================================
+    // Memory management primitives (monitor services, paper §4)
+    // =====================================================================
+
+    /// Allocates `size` bytes (aligned to `align`) from the current
+    /// cubicle's heap sub-allocator, growing it with fresh monitor-granted
+    /// pages when needed.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::OutOfMemory`] if the grant fails (address space
+    /// exhaustion, which the simulation never hits in practice).
+    pub fn heap_alloc(&mut self, size: usize, align: usize) -> Result<VAddr> {
+        let cid = self.current_cubicle();
+        self.heap_alloc_for(cid, size, align)
+    }
+
+    /// [`System::heap_alloc`] on behalf of an explicit cubicle (used by
+    /// boot code constructing another cubicle's initial state).
+    ///
+    /// # Errors
+    ///
+    /// As [`System::heap_alloc`].
+    pub fn heap_alloc_for(&mut self, cid: CubicleId, size: usize, align: usize) -> Result<VAddr> {
+        if let Some(addr) = self.cubicles[cid.index()].heap.alloc(size, align) {
+            return Ok(addr);
+        }
+        // Grow: grant enough pages for the request (plus slack).
+        let pages = size.div_ceil(PAGE_SIZE).max(16);
+        let key = self.cubicles[cid.index()].key;
+        let base = self.map_fresh(pages, key, PageFlags::rw(), cid, RegionType::Heap);
+        self.cubicles[cid.index()].heap.add_region(base, pages * PAGE_SIZE);
+        self.cubicles[cid.index()]
+            .heap
+            .alloc(size, align)
+            .ok_or(CubicleError::OutOfMemory(cid))
+    }
+
+    /// Frees a heap allocation of the current cubicle.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::InvalidArgument`] for a pointer that is not a live
+    /// allocation of this cubicle.
+    pub fn heap_free(&mut self, addr: VAddr) -> Result<()> {
+        let cid = self.current_cubicle();
+        self.cubicles[cid.index()]
+            .heap
+            .free(addr)
+            .map(|_| ())
+            .map_err(|_| CubicleError::InvalidArgument("heap_free: not a live allocation"))
+    }
+
+    /// Allocates `len` bytes on the current cubicle's stack (16-byte
+    /// aligned), like a local variable in the original C components.
+    /// Balance with [`System::stack_free`].
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::OutOfMemory`] on stack overflow.
+    pub fn stack_alloc(&mut self, len: usize) -> Result<VAddr> {
+        let cid = self.current_cubicle();
+        let c = &mut self.cubicles[cid.index()];
+        let len = len.div_ceil(16) * 16;
+        if c.stack_used + len > c.stack_len {
+            return Err(CubicleError::OutOfMemory(cid));
+        }
+        let addr = c.stack_base + c.stack_used;
+        c.stack_used += len;
+        Ok(addr)
+    }
+
+    /// Releases the most recent `len` bytes of stack allocation.
+    pub fn stack_free(&mut self, len: usize) {
+        let cid = self.current_cubicle();
+        let c = &mut self.cubicles[cid.index()];
+        let len = len.div_ceil(16) * 16;
+        c.stack_used = c.stack_used.saturating_sub(len);
+    }
+
+    /// Allocates `pages` fresh, page-aligned pages owned by the current
+    /// cubicle (coarse allocations; what the `ALLOC` component hands out).
+    pub fn alloc_pages(&mut self, pages: usize) -> VAddr {
+        let cid = self.current_cubicle();
+        let key = self.cubicles[cid.index()].key;
+        self.map_fresh(pages.max(1), key, PageFlags::rw(), cid, RegionType::Heap)
+    }
+
+    /// Transfers ownership of the pages covering `[addr, addr+len)` from
+    /// the current cubicle to `to`, retagging them. Used by the
+    /// system-wide allocator component to grant coarse allocations to its
+    /// callers ("pages are strictly assigned an owner ... at allocation
+    /// time", §5.3).
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NotOwner`] when a covered page is not owned by the
+    /// current cubicle.
+    pub fn grant_pages_to(&mut self, addr: VAddr, len: usize, to: CubicleId) -> Result<()> {
+        let cid = self.current_cubicle();
+        for page in pages_covering(addr, len) {
+            match self.page_meta.get(&page) {
+                Some(m) if m.owner == cid => {}
+                _ => return Err(CubicleError::NotOwner { addr: page.base() }),
+            }
+        }
+        let key = self.cubicles[to.index()].key;
+        for page in pages_covering(addr, len) {
+            self.page_meta.get_mut(&page).expect("checked above").owner = to;
+            if self.mode.mpk_active() {
+                self.machine.set_page_key(page.base(), key).expect("mapped");
+            } else {
+                self.machine.set_page_key_at_load(page.base(), key).expect("mapped");
+            }
+        }
+        Ok(())
+    }
+
+    // =====================================================================
+    // Window API (paper Table 1)
+    // =====================================================================
+
+    fn charge_window_op(&mut self) {
+        self.stats.window_ops += 1;
+        if self.mode.acls_active() {
+            // Window management is a call into the trusted monitor
+            // cubicle: trampoline + PKRU switches + the operation itself.
+            let cost = *self.machine.cost_model();
+            self.machine.charge(cost.trampoline + 2 * cost.wrpkru + 25);
+        }
+    }
+
+    /// `cubicle_window_init`: creates an empty window owned by the
+    /// current cubicle.
+    pub fn window_init(&mut self) -> WindowId {
+        self.charge_window_op();
+        let cid = self.current_cubicle();
+        self.cubicles[cid.index()].window_init()
+    }
+
+    /// `cubicle_window_add`: associates `[ptr, ptr+len)` with window
+    /// `wid`.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchWindow`] or [`CubicleError::NotOwner`] when
+    /// the range is not owned by the calling cubicle.
+    pub fn window_add(&mut self, wid: WindowId, ptr: VAddr, len: usize) -> Result<()> {
+        self.charge_window_op();
+        let cid = self.current_cubicle();
+        for page in pages_covering(ptr, len) {
+            match self.page_meta.get(&page) {
+                Some(m) if m.owner == cid => {}
+                _ => return Err(CubicleError::NotOwner { addr: page.base() }),
+            }
+        }
+        self.cubicles[cid.index()]
+            .window_mut(wid)
+            .ok_or(CubicleError::NoSuchWindow(wid))?
+            .add_range(ptr, len);
+        Ok(())
+    }
+
+    /// `cubicle_window_remove`: removes the range previously added at
+    /// `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchWindow`] when `wid` does not exist or
+    /// [`CubicleError::InvalidArgument`] when no range starts at `ptr`.
+    pub fn window_remove(&mut self, wid: WindowId, ptr: VAddr) -> Result<()> {
+        self.charge_window_op();
+        let cid = self.current_cubicle();
+        let w = self.cubicles[cid.index()]
+            .window_mut(wid)
+            .ok_or(CubicleError::NoSuchWindow(wid))?;
+        if w.remove_range(ptr) {
+            Ok(())
+        } else {
+            Err(CubicleError::InvalidArgument("window_remove: no range at ptr"))
+        }
+    }
+
+    /// `cubicle_window_open`: allows `peer` to access the window.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchWindow`].
+    pub fn window_open(&mut self, wid: WindowId, peer: CubicleId) -> Result<()> {
+        self.charge_window_op();
+        let cid = self.current_cubicle();
+        self.cubicles[cid.index()]
+            .window_mut(wid)
+            .ok_or(CubicleError::NoSuchWindow(wid))?
+            .open_for(peer);
+        Ok(())
+    }
+
+    /// `cubicle_window_close`: disallows `peer`.
+    ///
+    /// Closing is *lazy*: pages already retagged to the peer stay
+    /// readable by it until another authorised cubicle touches them —
+    /// the paper's causal tag consistency (§5.6).
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchWindow`].
+    pub fn window_close(&mut self, wid: WindowId, peer: CubicleId) -> Result<()> {
+        self.charge_window_op();
+        let cid = self.current_cubicle();
+        self.cubicles[cid.index()]
+            .window_mut(wid)
+            .ok_or(CubicleError::NoSuchWindow(wid))?
+            .close_for(peer);
+        Ok(())
+    }
+
+    /// `cubicle_window_close_all`: closes the window for every cubicle.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchWindow`].
+    pub fn window_close_all(&mut self, wid: WindowId) -> Result<()> {
+        self.charge_window_op();
+        let cid = self.current_cubicle();
+        self.cubicles[cid.index()]
+            .window_mut(wid)
+            .ok_or(CubicleError::NoSuchWindow(wid))?
+            .close_all();
+        Ok(())
+    }
+
+    /// `cubicle_window_destroy`: destroys the window.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchWindow`].
+    pub fn window_destroy(&mut self, wid: WindowId) -> Result<()> {
+        self.charge_window_op();
+        let cid = self.current_cubicle();
+        if self.cubicles[cid.index()].window_destroy(wid) {
+            Ok(())
+        } else {
+            Err(CubicleError::NoSuchWindow(wid))
+        }
+    }
+
+    /// Verifies the access `kind` at `[addr, addr+len)` is possible under
+    /// the current cubicle without performing it (diagnostics/tests).
+    ///
+    /// # Errors
+    ///
+    /// The fault the access would raise, if any (window resolution not
+    /// attempted).
+    pub fn probe_access(&self, addr: VAddr, len: usize, kind: AccessKind) -> Result<()> {
+        self.machine.check_access(addr, len, kind).map_err(CubicleError::MachineFault)
+    }
+}

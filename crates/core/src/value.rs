@@ -1,0 +1,212 @@
+//! Values passed across cubicle boundaries.
+//!
+//! Cross-cubicle calls keep "the same semantics as direct function calls:
+//! e.g., the caller can pass a pointer and a scalar value to the callee"
+//! (paper §2.1). A [`Value`] is therefore either a scalar or a pointer;
+//! buffers are passed as *pointer + length* with a transfer direction so
+//! that the message-passing baselines (which must copy) can account for
+//! data movement, while CubicleOS itself passes them zero-copy.
+
+use cubicle_mpk::VAddr;
+use std::fmt;
+
+/// Direction of a buffer argument, from the caller's perspective.
+///
+/// CubicleOS ignores the direction (windows make the bytes directly
+/// accessible); the IPC baselines use it to decide which way the bytes
+/// must be copied through messages.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BufDir {
+    /// The callee reads the buffer (e.g., `write(fd, buf, n)`).
+    In,
+    /// The callee fills the buffer (e.g., `read(fd, buf, n)`).
+    Out,
+    /// The callee both reads and updates it.
+    InOut,
+}
+
+/// One argument or return value of a cross-cubicle call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// No value (a `void` return).
+    Unit,
+    /// A signed scalar, also used for POSIX-style `-errno` returns.
+    I64(i64),
+    /// An unsigned scalar.
+    U64(u64),
+    /// A raw pointer into the simulated address space.
+    Ptr(VAddr),
+    /// A pointer + length pair with a transfer direction.
+    Buf {
+        /// Start of the buffer.
+        addr: VAddr,
+        /// Length in bytes.
+        len: usize,
+        /// Transfer direction.
+        dir: BufDir,
+    },
+}
+
+impl Value {
+    /// Convenience constructor for an input buffer.
+    pub fn buf_in(addr: VAddr, len: usize) -> Value {
+        Value::Buf { addr, len, dir: BufDir::In }
+    }
+
+    /// Convenience constructor for an output buffer.
+    pub fn buf_out(addr: VAddr, len: usize) -> Value {
+        Value::Buf { addr, len, dir: BufDir::Out }
+    }
+
+    /// Extracts an `i64`, panicking with a descriptive message otherwise.
+    ///
+    /// Entry-point implementations use these accessors to destructure
+    /// their arguments; a type mismatch is a bug in the trampoline
+    /// signature, which the trusted builder generated, hence a panic
+    /// rather than a recoverable error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not [`Value::I64`].
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(v) => *v,
+            other => panic!("expected I64 argument, got {other:?}"),
+        }
+    }
+
+    /// Extracts a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not [`Value::U64`].
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            Value::U64(v) => *v,
+            other => panic!("expected U64 argument, got {other:?}"),
+        }
+    }
+
+    /// Extracts a pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not [`Value::Ptr`].
+    pub fn as_ptr(&self) -> VAddr {
+        match self {
+            Value::Ptr(p) => *p,
+            other => panic!("expected Ptr argument, got {other:?}"),
+        }
+    }
+
+    /// Extracts a buffer as `(addr, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not [`Value::Buf`].
+    pub fn as_buf(&self) -> (VAddr, usize) {
+        match self {
+            Value::Buf { addr, len, .. } => (*addr, *len),
+            other => panic!("expected Buf argument, got {other:?}"),
+        }
+    }
+
+    /// Bytes that an IPC transport must copy caller→callee for this value.
+    pub fn bytes_in(&self) -> usize {
+        match self {
+            Value::Buf { len, dir: BufDir::In | BufDir::InOut, .. } => *len,
+            _ => 0,
+        }
+    }
+
+    /// Bytes that an IPC transport must copy callee→caller for this value.
+    pub fn bytes_out(&self) -> usize {
+        match self {
+            Value::Buf { len, dir: BufDir::Out | BufDir::InOut, .. } => *len,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}u"),
+            Value::Ptr(p) => write!(f, "{p}"),
+            Value::Buf { addr, len, dir } => write!(f, "buf({addr}, {len}, {dir:?})"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<VAddr> for Value {
+    fn from(p: VAddr) -> Value {
+        Value::Ptr(p)
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Value {
+        Value::Unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::I64(-5).as_i64(), -5);
+        assert_eq!(Value::U64(7).as_u64(), 7);
+        assert_eq!(Value::Ptr(VAddr::new(0x10)).as_ptr(), VAddr::new(0x10));
+        assert_eq!(Value::buf_in(VAddr::new(0x20), 4).as_buf(), (VAddr::new(0x20), 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected I64")]
+    fn type_confusion_panics() {
+        Value::U64(1).as_i64();
+    }
+
+    #[test]
+    fn transfer_accounting_by_direction() {
+        let a = VAddr::new(0x1000);
+        assert_eq!(Value::buf_in(a, 100).bytes_in(), 100);
+        assert_eq!(Value::buf_in(a, 100).bytes_out(), 0);
+        assert_eq!(Value::buf_out(a, 100).bytes_in(), 0);
+        assert_eq!(Value::buf_out(a, 100).bytes_out(), 100);
+        let io = Value::Buf { addr: a, len: 8, dir: BufDir::InOut };
+        assert_eq!(io.bytes_in(), 8);
+        assert_eq!(io.bytes_out(), 8);
+        assert_eq!(Value::I64(3).bytes_in() + Value::I64(3).bytes_out(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::I64(3));
+        assert_eq!(Value::from(3u64), Value::U64(3));
+        assert_eq!(Value::from(VAddr::new(1)), Value::Ptr(VAddr::new(1)));
+        assert_eq!(Value::from(()), Value::Unit);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::I64(-1).to_string(), "-1");
+        assert_eq!(Value::U64(1).to_string(), "1u");
+    }
+}

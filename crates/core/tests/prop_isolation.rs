@@ -1,0 +1,145 @@
+//! Property-based tests of the isolation invariants (proptest).
+//!
+//! The central safety property of CubicleOS: **no sequence of window
+//! operations ever lets a cubicle read memory whose owner has not
+//! currently opened a covering window for it** — and conversely, an
+//! open window always admits the grantee.
+
+use cubicle_core::{
+    impl_component, ComponentImage, CubicleError, CubicleId, IsolationMode, System, WindowId,
+};
+use cubicle_mpk::insn::CodeImage;
+use cubicle_mpk::VAddr;
+use cubicle_mpk::CostModel;
+use proptest::prelude::*;
+
+struct Dummy;
+impl_component!(Dummy);
+
+#[derive(Clone, Copy, Debug)]
+enum WinOp {
+    Open(u8),     // open for peer i
+    Close(u8),    // close for peer i
+    CloseAll,
+    OwnerTouch,   // owner reclaims the page
+    PeerRead(u8), // peer i attempts a read
+}
+
+fn arb_op() -> impl Strategy<Value = WinOp> {
+    prop_oneof![
+        (0u8..3).prop_map(WinOp::Open),
+        (0u8..3).prop_map(WinOp::Close),
+        Just(WinOp::CloseAll),
+        Just(WinOp::OwnerTouch),
+        (0u8..3).prop_map(WinOp::PeerRead),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_acl_algebra_never_leaks(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut sys = System::with_cost_model(IsolationMode::Full, CostModel::free());
+        let owner = sys
+            .load(ComponentImage::new("OWNER", CodeImage::plain(64)), Box::new(Dummy))
+            .unwrap()
+            .cid;
+        let peers: Vec<CubicleId> = (0..3)
+            .map(|i| {
+                sys.load(ComponentImage::new(format!("P{i}"), CodeImage::plain(64)), Box::new(Dummy))
+                    .unwrap()
+                    .cid
+            })
+            .collect();
+        let (buf, wid): (VAddr, WindowId) = sys.run_in_cubicle(owner, |sys| {
+            let buf = sys.heap_alloc(4096, 4096).unwrap();
+            sys.write(buf, b"owner data").unwrap();
+            let wid = sys.window_init();
+            sys.window_add(wid, buf, 4096).unwrap();
+            (buf, wid)
+        });
+
+        // model state: which peers the window is open for, and — for the
+        // causal-consistency rule — who currently "holds" the page tag.
+        let mut open = [false; 3];
+        let mut holder: Option<usize> = None; // None = owner holds it
+
+        for op in ops {
+            match op {
+                WinOp::Open(i) => {
+                    let i = i as usize;
+                    sys.run_in_cubicle(owner, |sys| sys.window_open(wid, peers[i]).unwrap());
+                    open[i] = true;
+                }
+                WinOp::Close(i) => {
+                    let i = i as usize;
+                    sys.run_in_cubicle(owner, |sys| sys.window_close(wid, peers[i]).unwrap());
+                    open[i] = false;
+                }
+                WinOp::CloseAll => {
+                    sys.run_in_cubicle(owner, |sys| sys.window_close_all(wid).unwrap());
+                    open = [false; 3];
+                }
+                WinOp::OwnerTouch => {
+                    sys.run_in_cubicle(owner, |sys| sys.read_vec(buf, 4).unwrap());
+                    holder = None;
+                }
+                WinOp::PeerRead(i) => {
+                    let i = i as usize;
+                    let res = sys.run_in_cubicle(peers[i], |sys| sys.read_vec(buf, 4));
+                    // expected: allowed iff the window is open for the
+                    // peer, or the peer already holds the page tag
+                    // (causal consistency after a lazy close).
+                    let expect_ok = open[i] || holder == Some(i);
+                    match res {
+                        Ok(_) => {
+                            prop_assert!(
+                                expect_ok,
+                                "peer {i} read owner memory while closed (holder {holder:?})"
+                            );
+                            holder = Some(i);
+                        }
+                        Err(CubicleError::WindowDenied { .. }) => {
+                            prop_assert!(
+                                !expect_ok,
+                                "peer {i} denied although window open (holder {holder:?})"
+                            );
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suballocator_never_hands_out_overlaps(
+        ops in proptest::collection::vec((any::<bool>(), 1usize..400), 1..80)
+    ) {
+        use cubicle_core::SubAllocator;
+        let mut heap = SubAllocator::new();
+        heap.add_region(VAddr::new(0x10000), 16 * 4096);
+        let mut live: Vec<(u64, usize)> = Vec::new();
+        for (is_alloc, size) in ops {
+            if is_alloc || live.is_empty() {
+                if let Some(a) = heap.alloc(size, 8) {
+                    let start = a.raw();
+                    for &(s, l) in &live {
+                        prop_assert!(
+                            start + size as u64 <= s || s + l as u64 <= start,
+                            "overlap: [{start:#x}+{size}] vs [{s:#x}+{l}]"
+                        );
+                    }
+                    live.push((start, size));
+                }
+            } else {
+                let (start, _) = live.swap_remove(size % live.len());
+                heap.free(VAddr::new(start)).unwrap();
+            }
+        }
+        // everything still accounted for
+        let total: usize = live.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(heap.in_use(), total);
+    }
+}

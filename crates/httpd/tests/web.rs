@@ -1,0 +1,121 @@
+//! End-to-end HTTP tests over the full 8-partition deployment.
+
+use cubicle_core::IsolationMode;
+use cubicle_httpd::{boot_web, WebDeployment};
+use cubicle_net::WireModel;
+
+fn fast_wire() -> WireModel {
+    WireModel { hop_cycles: 2_000, per_byte_cycles: 1, request_overhead_cycles: 0 }
+}
+
+fn served(dep: &mut WebDeployment) -> u64 {
+    dep.sys
+        .with_component_mut::<cubicle_httpd::Httpd, _>(dep.httpd_slot, |h, _| h.requests_served)
+        .unwrap()
+}
+
+#[test]
+fn serves_a_small_file() {
+    let mut dep = boot_web(IsolationMode::Full).unwrap();
+    dep.put_file("/hello.html", b"<h1>cubicles</h1>").unwrap();
+    let (latency, resp) = dep.fetch("/hello.html", fast_wire()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"<h1>cubicles</h1>");
+    assert!(latency > 0);
+    assert_eq!(served(&mut dep), 1);
+}
+
+#[test]
+fn serves_large_files_across_many_segments() {
+    let mut dep = boot_web(IsolationMode::Full).unwrap();
+    let content: Vec<u8> = (0..300_000u32).map(|i| (i % 253) as u8).collect();
+    dep.put_file("/big.bin", &content).unwrap();
+    let (_lat, resp) = dep.fetch("/big.bin", fast_wire()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body.len(), content.len());
+    assert_eq!(resp.body, content);
+}
+
+#[test]
+fn missing_file_is_404() {
+    let mut dep = boot_web(IsolationMode::Full).unwrap();
+    let (_lat, resp) = dep.fetch("/nope.html", fast_wire()).unwrap();
+    assert_eq!(resp.status, 404);
+}
+
+#[test]
+fn sequential_requests_reuse_the_stack() {
+    let mut dep = boot_web(IsolationMode::Full).unwrap();
+    for i in 0..5 {
+        dep.put_file(&format!("/f{i}.txt"), format!("content {i}").as_bytes()).unwrap();
+    }
+    for i in 0..5 {
+        let (_lat, resp) = dep.fetch(&format!("/f{i}.txt"), fast_wire()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, format!("content {i}").as_bytes());
+    }
+    assert_eq!(served(&mut dep), 5);
+    assert_eq!(dep.sys.stats().faults_denied, 0, "no isolation violations while serving");
+}
+
+#[test]
+fn works_in_all_isolation_modes() {
+    for mode in [
+        IsolationMode::Unikraft,
+        IsolationMode::NoMpk,
+        IsolationMode::NoAcl,
+        IsolationMode::Full,
+    ] {
+        let mut dep = boot_web(mode).unwrap();
+        dep.put_file("/x", b"same bytes in every mode").unwrap();
+        let (_lat, resp) = dep.fetch("/x", fast_wire()).unwrap();
+        assert_eq!(resp.status, 200, "{mode:?}");
+        assert_eq!(resp.body, b"same bytes in every mode", "{mode:?}");
+    }
+}
+
+#[test]
+fn isolation_slows_downloads_monotonically() {
+    // Figure 7's premise: the same download costs more under CubicleOS.
+    let content = vec![0xAAu8; 128 * 1024];
+    let mut latencies = Vec::new();
+    for mode in [IsolationMode::Unikraft, IsolationMode::Full] {
+        let mut dep = boot_web(mode).unwrap();
+        dep.put_file("/payload", &content).unwrap();
+        let (lat, resp) = dep.fetch("/payload", fast_wire()).unwrap();
+        assert_eq!(resp.body.len(), content.len());
+        latencies.push(lat);
+    }
+    assert!(
+        latencies[1] > latencies[0],
+        "CubicleOS ({}) must be slower than Unikraft ({})",
+        latencies[1],
+        latencies[0]
+    );
+}
+
+#[test]
+fn figure5_component_graph() {
+    let mut dep = boot_web(IsolationMode::Full).unwrap();
+    dep.put_file("/f", &vec![1u8; 100_000]).unwrap();
+    dep.sys.mark_boot_complete(); // measure the request only
+    dep.fetch("/f", fast_wire()).unwrap();
+    let sys = &dep.sys;
+    let (_, stats) = sys.since_boot();
+    let nginx = sys.find_cubicle("NGINX").unwrap();
+    let lwip = sys.find_cubicle("LWIP").unwrap();
+    let netdev = sys.find_cubicle("NETDEV").unwrap();
+    let vfs = sys.find_cubicle("VFSCORE").unwrap();
+    let ramfs = sys.find_cubicle("RAMFS").unwrap();
+    // the Figure 5 edges, all active:
+    assert!(stats.edge(nginx, lwip) > 0);
+    assert!(stats.edge(lwip, netdev) > 0);
+    assert!(stats.edge(nginx, vfs) > 0);
+    assert!(stats.edge(vfs, ramfs) > 0);
+    // and the forbidden shortcuts, all absent:
+    assert_eq!(stats.edge(nginx, netdev), 0);
+    assert_eq!(stats.edge(nginx, ramfs), 0);
+    assert_eq!(stats.edge(lwip, ramfs), 0);
+    // LWIP→NETDEV dominates NGINX→LWIP (segmentation fan-out, Fig. 5)
+    assert!(stats.edge(lwip, netdev) > stats.edge(nginx, lwip));
+}

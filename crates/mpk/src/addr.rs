@@ -1,0 +1,246 @@
+//! Virtual addresses and page numbers.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Size of a virtual memory page in bytes (4 KiB, as on x86-64).
+pub const PAGE_SIZE: usize = 4096;
+
+/// A virtual address in the simulated address space.
+///
+/// Addresses are plain 64-bit values; the zero address is conventionally
+/// left unmapped so it can play the role of a null pointer.
+///
+/// # Example
+///
+/// ```
+/// use cubicle_mpk::{VAddr, PAGE_SIZE};
+///
+/// let a = VAddr::new(0x1234);
+/// assert_eq!(a.page().base(), VAddr::new(0x1000));
+/// assert_eq!(a.page_offset(), 0x234);
+/// assert_eq!(a + 10, VAddr::new(0x123e));
+/// assert_eq!(a.align_up(PAGE_SIZE as u64), VAddr::new(0x2000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(u64);
+
+impl VAddr {
+    /// The null address.
+    pub const NULL: VAddr = VAddr(0);
+
+    /// Creates an address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        VAddr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the page containing this address.
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 / PAGE_SIZE as u64)
+    }
+
+    /// Returns the offset of this address within its page.
+    pub const fn page_offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+
+    /// Returns `true` if the address is aligned to `align` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn is_aligned(self, align: u64) -> bool {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (align - 1) == 0
+    }
+
+    /// Rounds the address up to the next multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align_up(self, align: u64) -> VAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        VAddr((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Rounds the address down to the previous multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align_down(self, align: u64) -> VAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        VAddr(self.0 & !(align - 1))
+    }
+
+    /// Byte distance from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier > self`.
+    pub fn offset_from(self, earlier: VAddr) -> usize {
+        assert!(earlier.0 <= self.0, "offset_from: argument is later");
+        (self.0 - earlier.0) as usize
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl Add<usize> for VAddr {
+    type Output = VAddr;
+
+    fn add(self, rhs: usize) -> VAddr {
+        VAddr(self.0 + rhs as u64)
+    }
+}
+
+impl AddAssign<usize> for VAddr {
+    fn add_assign(&mut self, rhs: usize) {
+        self.0 += rhs as u64;
+    }
+}
+
+impl Sub<usize> for VAddr {
+    type Output = VAddr;
+
+    fn sub(self, rhs: usize) -> VAddr {
+        VAddr(self.0 - rhs as u64)
+    }
+}
+
+impl From<u64> for VAddr {
+    fn from(raw: u64) -> Self {
+        VAddr(raw)
+    }
+}
+
+/// A virtual page number (address divided by [`PAGE_SIZE`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PageNum(pub u64);
+
+impl PageNum {
+    /// Returns the base address of this page.
+    pub const fn base(self) -> VAddr {
+        VAddr(self.0 * PAGE_SIZE as u64)
+    }
+
+    /// Returns the page immediately after this one.
+    pub const fn next(self) -> PageNum {
+        PageNum(self.0 + 1)
+    }
+}
+
+/// Iterates over all pages covering the byte range `[start, start + len)`.
+///
+/// Returns an empty iterator when `len == 0`.
+///
+/// # Example
+///
+/// ```
+/// use cubicle_mpk::{VAddr, PAGE_SIZE};
+/// use cubicle_mpk::pages_covering;
+///
+/// let pages: Vec<_> = pages_covering(VAddr::new(0xff0), 0x20).collect();
+/// assert_eq!(pages.len(), 2); // straddles a page boundary
+/// ```
+pub fn pages_covering(start: VAddr, len: usize) -> impl Iterator<Item = PageNum> {
+    let first = start.page().0;
+    let last = if len == 0 {
+        first // produce an empty range below
+    } else {
+        (start + (len - 1)).page().0 + 1
+    };
+    (first..last).map(PageNum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_offset() {
+        let a = VAddr::new(3 * PAGE_SIZE as u64 + 17);
+        assert_eq!(a.page(), PageNum(3));
+        assert_eq!(a.page_offset(), 17);
+        assert_eq!(a.page().base(), VAddr::new(3 * PAGE_SIZE as u64));
+    }
+
+    #[test]
+    fn alignment() {
+        let a = VAddr::new(0x1001);
+        assert!(!a.is_aligned(0x1000));
+        assert_eq!(a.align_up(0x1000), VAddr::new(0x2000));
+        assert_eq!(a.align_down(0x1000), VAddr::new(0x1000));
+        let b = VAddr::new(0x2000);
+        assert_eq!(b.align_up(0x1000), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VAddr::new(100);
+        assert_eq!(a + 28, VAddr::new(128));
+        assert_eq!((a + 28) - 28, a);
+        assert_eq!((a + 28).offset_from(a), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset_from")]
+    fn offset_from_panics_when_reversed() {
+        VAddr::new(10).offset_from(VAddr::new(20));
+    }
+
+    #[test]
+    fn pages_covering_empty() {
+        assert_eq!(pages_covering(VAddr::new(0x1000), 0).count(), 0);
+    }
+
+    #[test]
+    fn pages_covering_single() {
+        let v: Vec<_> = pages_covering(VAddr::new(0x1000), 1).collect();
+        assert_eq!(v, vec![PageNum(1)]);
+        let v: Vec<_> = pages_covering(VAddr::new(0x1fff), 1).collect();
+        assert_eq!(v, vec![PageNum(1)]);
+    }
+
+    #[test]
+    fn pages_covering_straddle() {
+        let v: Vec<_> = pages_covering(VAddr::new(0x1ff0), 0x20).collect();
+        assert_eq!(v, vec![PageNum(1), PageNum(2)]);
+        let v: Vec<_> = pages_covering(VAddr::new(0x1000), 2 * PAGE_SIZE).collect();
+        assert_eq!(v, vec![PageNum(1), PageNum(2)]);
+    }
+
+    #[test]
+    fn null_address() {
+        assert!(VAddr::NULL.is_null());
+        assert!(!VAddr::new(1).is_null());
+        assert_eq!(VAddr::default(), VAddr::NULL);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", VAddr::new(0x1000)), "0x1000");
+        assert_eq!(format!("{:?}", VAddr::new(0x1000)), "VAddr(0x1000)");
+    }
+}

@@ -1,0 +1,110 @@
+//! Protection faults raised by the simulated machine.
+
+use crate::addr::VAddr;
+use crate::pkru::ProtKey;
+use std::error::Error;
+use std::fmt;
+
+/// The kind of memory access that faulted.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+    /// An instruction fetch.
+    Execute,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Execute => "execute",
+        })
+    }
+}
+
+/// Why an access faulted.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultKind {
+    /// The page is not mapped at all.
+    NotPresent,
+    /// The page is mapped but its R/W/X permissions disallow the access.
+    Permission,
+    /// The page's protection key is blocked by the current PKRU value.
+    ///
+    /// This is the fault CubicleOS' monitor intercepts for trap-and-map
+    /// (paper Fig. 4): it carries the key so the handler can identify the
+    /// owning cubicle.
+    ProtectionKey(ProtKey),
+}
+
+/// A memory protection fault.
+///
+/// Delivered as the error of [`crate::Machine::read`] and friends; the
+/// CubicleOS monitor inspects it, may retag the page, and retries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fault {
+    /// The faulting virtual address.
+    pub addr: VAddr,
+    /// What the access was trying to do.
+    pub access: AccessKind,
+    /// Why it was refused.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::NotPresent => {
+                write!(f, "page fault: {} of unmapped address {}", self.access, self.addr)
+            }
+            FaultKind::Permission => {
+                write!(f, "permission fault: {} of {} denied by page flags", self.access, self.addr)
+            }
+            FaultKind::ProtectionKey(key) => write!(
+                f,
+                "protection-key fault: {} of {} denied by PKRU for {}",
+                self.access, self.addr, key
+            ),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let f = Fault {
+            addr: VAddr::new(0x2000),
+            access: AccessKind::Write,
+            kind: FaultKind::ProtectionKey(ProtKey::new(5).unwrap()),
+        };
+        let s = f.to_string();
+        assert!(s.contains("0x2000"));
+        assert!(s.contains("write"));
+        assert!(s.contains("pk5"));
+    }
+
+    #[test]
+    fn not_present_display() {
+        let f = Fault {
+            addr: VAddr::new(0x10),
+            access: AccessKind::Read,
+            kind: FaultKind::NotPresent,
+        };
+        assert!(f.to_string().contains("unmapped"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error>() {}
+        assert_error::<Fault>();
+    }
+}

@@ -1,0 +1,222 @@
+//! Synthetic instruction streams for the loader's binary scan.
+//!
+//! CubicleOS' loader refuses to map code executable if it contains byte
+//! sequences encoding `wrpkru` or `syscall` instructions (paper §5.4),
+//! because either would let a component escape its cubicle. On real
+//! hardware this is a scan for `0F 01 EF` / `0F 05`, including unaligned
+//! occurrences; our machine model keeps the same two-level structure: a
+//! [`CodeImage`] is a byte stream, and the scanner looks for the encoded
+//! sequences at *any* byte offset, exactly like the ERIM-style scanners
+//! cited by the paper.
+
+use std::fmt;
+
+/// Encoding of `wrpkru` on x86-64.
+pub const WRPKRU_BYTES: [u8; 3] = [0x0F, 0x01, 0xEF];
+/// Encoding of `syscall` on x86-64.
+pub const SYSCALL_BYTES: [u8; 2] = [0x0F, 0x05];
+
+/// One instruction in a synthetic component binary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Insn {
+    /// An ordinary, harmless instruction occupying `len` bytes with
+    /// non-significant content.
+    Plain { len: u8 },
+    /// A `wrpkru` — forbidden in untrusted cubicles.
+    Wrpkru,
+    /// A `syscall` — forbidden in untrusted cubicles.
+    Syscall,
+    /// An instruction whose *immediate operand* embeds the given bytes.
+    /// Used to test that the scanner finds unaligned occurrences of
+    /// forbidden sequences inside larger instructions.
+    ImmCarrier { imm: [u8; 4] },
+}
+
+impl Insn {
+    /// Encoded length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Insn::Plain { len } => *len as usize,
+            Insn::Wrpkru => WRPKRU_BYTES.len(),
+            Insn::Syscall => SYSCALL_BYTES.len(),
+            Insn::ImmCarrier { .. } => 1 + 4,
+        }
+    }
+
+    /// Returns `true` if the encoding is empty (never, but required pair
+    /// for `len`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Insn::Plain { len } => out.extend(std::iter::repeat(0x90).take(*len as usize)),
+            Insn::Wrpkru => out.extend_from_slice(&WRPKRU_BYTES),
+            Insn::Syscall => out.extend_from_slice(&SYSCALL_BYTES),
+            Insn::ImmCarrier { imm } => {
+                out.push(0xB8); // mov eax, imm32
+                out.extend_from_slice(imm);
+            }
+        }
+    }
+}
+
+/// A component's code, as handed to the loader.
+///
+/// # Example
+///
+/// ```
+/// use cubicle_mpk::insn::{CodeImage, Insn, ForbiddenInsn};
+///
+/// let clean = CodeImage::from_insns(&[Insn::Plain { len: 5 }]);
+/// assert!(clean.scan_forbidden().is_none());
+///
+/// let dirty = CodeImage::from_insns(&[Insn::Plain { len: 2 }, Insn::Syscall]);
+/// assert_eq!(dirty.scan_forbidden(), Some(ForbiddenInsn::Syscall));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CodeImage {
+    bytes: Vec<u8>,
+}
+
+/// A forbidden instruction found by the scanner.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ForbiddenInsn {
+    /// A `wrpkru` byte sequence.
+    Wrpkru,
+    /// A `syscall` byte sequence.
+    Syscall,
+}
+
+impl fmt::Display for ForbiddenInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ForbiddenInsn::Wrpkru => "wrpkru",
+            ForbiddenInsn::Syscall => "syscall",
+        })
+    }
+}
+
+impl CodeImage {
+    /// Builds an image by encoding a sequence of instructions.
+    pub fn from_insns(insns: &[Insn]) -> CodeImage {
+        let mut bytes = Vec::new();
+        for insn in insns {
+            insn.encode_into(&mut bytes);
+        }
+        CodeImage { bytes }
+    }
+
+    /// Builds an image of `len` harmless bytes — the common case for
+    /// components that are trusted to have been compiled from honest
+    /// source but still go through the scan.
+    pub fn plain(len: usize) -> CodeImage {
+        CodeImage { bytes: vec![0x90; len] }
+    }
+
+    /// Builds an image from raw bytes (e.g., from a test vector).
+    pub fn from_bytes(bytes: Vec<u8>) -> CodeImage {
+        CodeImage { bytes }
+    }
+
+    /// The encoded bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` if the image has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Scans for forbidden byte sequences at any offset (paper §5.4:
+    /// "the loader scans code pages for binary sequences containing
+    /// system call or wrpkru instructions ... and refuses to load code if
+    /// any such sequence is found").
+    pub fn scan_forbidden(&self) -> Option<ForbiddenInsn> {
+        let b = &self.bytes;
+        for i in 0..b.len() {
+            if b[i..].starts_with(&WRPKRU_BYTES) {
+                return Some(ForbiddenInsn::Wrpkru);
+            }
+            if b[i..].starts_with(&SYSCALL_BYTES) {
+                return Some(ForbiddenInsn::Syscall);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_image_is_clean() {
+        assert!(CodeImage::plain(1024).scan_forbidden().is_none());
+    }
+
+    #[test]
+    fn explicit_wrpkru_found() {
+        let img = CodeImage::from_insns(&[Insn::Plain { len: 7 }, Insn::Wrpkru]);
+        assert_eq!(img.scan_forbidden(), Some(ForbiddenInsn::Wrpkru));
+    }
+
+    #[test]
+    fn explicit_syscall_found() {
+        let img = CodeImage::from_insns(&[Insn::Syscall]);
+        assert_eq!(img.scan_forbidden(), Some(ForbiddenInsn::Syscall));
+    }
+
+    #[test]
+    fn unaligned_sequence_inside_immediate_found() {
+        // A wrpkru hidden in the immediate of a mov: the scanner must find
+        // byte sequences regardless of instruction boundaries.
+        let img = CodeImage::from_insns(&[
+            Insn::Plain { len: 3 },
+            Insn::ImmCarrier { imm: [0x0F, 0x01, 0xEF, 0x00] },
+        ]);
+        assert_eq!(img.scan_forbidden(), Some(ForbiddenInsn::Wrpkru));
+    }
+
+    #[test]
+    fn sequence_straddling_two_instructions_found() {
+        // 0x0F as the last byte of one instruction's encoding and 0x05
+        // leading the next would decode as `syscall` if jumped into.
+        let img = CodeImage::from_bytes(vec![0x90, 0x0F, 0x05, 0x90]);
+        assert_eq!(img.scan_forbidden(), Some(ForbiddenInsn::Syscall));
+    }
+
+    #[test]
+    fn wrpkru_reported_before_syscall_when_earlier() {
+        let img = CodeImage::from_insns(&[Insn::Wrpkru, Insn::Syscall]);
+        assert_eq!(img.scan_forbidden(), Some(ForbiddenInsn::Wrpkru));
+    }
+
+    #[test]
+    fn lengths_add_up() {
+        let insns = [
+            Insn::Plain { len: 4 },
+            Insn::Wrpkru,
+            Insn::Syscall,
+            Insn::ImmCarrier { imm: [0; 4] },
+        ];
+        let img = CodeImage::from_insns(&insns);
+        let expect: usize = insns.iter().map(Insn::len).sum();
+        assert_eq!(img.len(), expect);
+        assert!(!img.is_empty());
+        assert!(CodeImage::default().is_empty());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ForbiddenInsn::Wrpkru.to_string(), "wrpkru");
+        assert_eq!(ForbiddenInsn::Syscall.to_string(), "syscall");
+    }
+}

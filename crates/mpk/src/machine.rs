@@ -1,0 +1,574 @@
+//! The simulated machine: paged memory, PKRU, faults, cycle counter.
+
+use crate::addr::{pages_covering, PageNum, VAddr, PAGE_SIZE};
+use crate::cost::CostModel;
+use crate::fault::{AccessKind, Fault, FaultKind};
+use crate::page::{PageEntry, PageFlags};
+use crate::pkru::{Pkru, ProtKey};
+use std::collections::HashMap;
+
+/// Event counters maintained by the machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MachineStats {
+    /// Data loads performed.
+    pub reads: u64,
+    /// Data stores performed.
+    pub writes: u64,
+    /// Bytes loaded.
+    pub bytes_read: u64,
+    /// Bytes stored.
+    pub bytes_written: u64,
+    /// PKRU register writes (`wrpkru`).
+    pub wrpkru: u64,
+    /// Page key re-assignments (`pkey_mprotect`).
+    pub retags: u64,
+    /// Protection faults raised (all kinds).
+    pub faults: u64,
+}
+
+/// The simulated MPK machine.
+///
+/// Owns the page table, page frames, the current thread's PKRU register and
+/// the cycle counter. See the crate-level documentation for an example.
+///
+/// The machine enforces *mechanism* only: every access is checked against
+/// the page flags and the PKRU value, and violations surface as [`Fault`]s.
+/// It has no notion of cubicles or windows — that policy lives in
+/// `cubicle-core`, which reacts to faults by consulting its window ACLs and
+/// retagging pages ([`Machine::set_page_key`]).
+#[derive(Debug, Default)]
+pub struct Machine {
+    page_table: HashMap<PageNum, PageEntry>,
+    frames: HashMap<PageNum, Box<[u8]>>,
+    pkru: Pkru,
+    cycles: u64,
+    cost: CostModel,
+    stats: MachineStats,
+    /// Models the paper's proposed hardware modification (§5.5): "whenever
+    /// read and write access is disabled \[for a key\], execution is too".
+    /// Enabled by default, as CubicleOS assumes it for CFI.
+    exec_obeys_pkru: bool,
+}
+
+impl Machine {
+    /// Creates a machine with the calibrated [`CostModel::paper`] costs.
+    pub fn new() -> Machine {
+        Machine::with_cost_model(CostModel::paper())
+    }
+
+    /// Creates a machine with a custom cost model.
+    pub fn with_cost_model(cost: CostModel) -> Machine {
+        Machine {
+            page_table: HashMap::new(),
+            frames: HashMap::new(),
+            pkru: Pkru::deny_all(),
+            cycles: 0,
+            cost,
+            stats: MachineStats::default(),
+            exec_obeys_pkru: true,
+        }
+    }
+
+    /// Returns the active cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Enables or disables the paper's MPK hardware modification that makes
+    /// execution rights follow the PKRU access-disable bit (§5.5).
+    pub fn set_exec_obeys_pkru(&mut self, enabled: bool) {
+        self.exec_obeys_pkru = enabled;
+    }
+
+    // ---------------------------------------------------------------------
+    // Cycle accounting
+    // ---------------------------------------------------------------------
+
+    /// Current simulated cycle count.
+    pub fn now(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Charges `cycles` of simulated work (used by components to model
+    /// compute that does not touch simulated memory).
+    pub fn charge(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    // ---------------------------------------------------------------------
+    // Page table management
+    // ---------------------------------------------------------------------
+
+    /// Maps the page containing `addr` with the given key and flags,
+    /// backed by a zeroed frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already mapped — the caller (the CubicleOS
+    /// monitor) owns the address-space layout, so a double map is a kernel
+    /// bug, not a recoverable condition.
+    pub fn map_page(&mut self, addr: VAddr, key: ProtKey, flags: PageFlags) {
+        let page = addr.page();
+        let prev = self.page_table.insert(page, PageEntry::new(key, flags));
+        assert!(prev.is_none(), "page {page:?} double-mapped");
+        self.frames.insert(page, vec![0u8; PAGE_SIZE].into_boxed_slice());
+    }
+
+    /// Unmaps the page containing `addr`, discarding its contents.
+    ///
+    /// Returns `true` if a page was actually unmapped.
+    pub fn unmap_page(&mut self, addr: VAddr) -> bool {
+        let page = addr.page();
+        self.frames.remove(&page);
+        self.page_table.remove(&page).is_some()
+    }
+
+    /// Returns the page-table entry for the page containing `addr`.
+    pub fn page_entry(&self, addr: VAddr) -> Option<PageEntry> {
+        self.page_table.get(&addr.page()).copied()
+    }
+
+    /// All pages currently tagged with `key` (used by tag-virtualisation
+    /// layers that must park an evicted key's pages).
+    pub fn pages_with_key(&self, key: ProtKey) -> Vec<PageNum> {
+        let mut pages: Vec<PageNum> =
+            self.page_table.iter().filter(|(_, e)| e.key == key).map(|(&p, _)| p).collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Re-assigns the protection key of a mapped page, charging the
+    /// `pkey_mprotect` cost. This is the retag operation at the heart of
+    /// trap-and-map: the frame contents are untouched (zero-copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] with [`FaultKind::NotPresent`] if the page is
+    /// not mapped.
+    pub fn set_page_key(&mut self, addr: VAddr, key: ProtKey) -> Result<(), Fault> {
+        let page = addr.page();
+        match self.page_table.get_mut(&page) {
+            Some(entry) => {
+                entry.key = key;
+                self.cycles += self.cost.pkey_mprotect;
+                self.stats.retags += 1;
+                Ok(())
+            }
+            None => Err(Fault {
+                addr,
+                access: AccessKind::Write,
+                kind: FaultKind::NotPresent,
+            }),
+        }
+    }
+
+    /// Like [`Machine::set_page_key`] but free of charge: used at load /
+    /// deployment time, which the paper's measurements exclude.
+    pub fn set_page_key_at_load(&mut self, addr: VAddr, key: ProtKey) -> Result<(), Fault> {
+        let page = addr.page();
+        match self.page_table.get_mut(&page) {
+            Some(entry) => {
+                entry.key = key;
+                Ok(())
+            }
+            None => Err(Fault {
+                addr,
+                access: AccessKind::Write,
+                kind: FaultKind::NotPresent,
+            }),
+        }
+    }
+
+    /// Changes the R/W/X flags of a mapped page (loader only; free).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] if the page is not mapped.
+    pub fn set_page_flags(&mut self, addr: VAddr, flags: PageFlags) -> Result<(), Fault> {
+        let page = addr.page();
+        match self.page_table.get_mut(&page) {
+            Some(entry) => {
+                entry.flags = flags;
+                Ok(())
+            }
+            None => Err(Fault {
+                addr,
+                access: AccessKind::Read,
+                kind: FaultKind::NotPresent,
+            }),
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // PKRU
+    // ---------------------------------------------------------------------
+
+    /// Current PKRU value of the (single) hardware thread.
+    pub fn pkru(&self) -> Pkru {
+        self.pkru
+    }
+
+    /// Writes the PKRU register (`wrpkru`), charging ~20 cycles.
+    pub fn set_pkru(&mut self, pkru: Pkru) {
+        self.pkru = pkru;
+        self.cycles += self.cost.wrpkru;
+        self.stats.wrpkru += 1;
+    }
+
+    /// Writes the PKRU register without charging cycles (boot-time setup).
+    pub fn set_pkru_at_load(&mut self, pkru: Pkru) {
+        self.pkru = pkru;
+    }
+
+    // ---------------------------------------------------------------------
+    // Checked access
+    // ---------------------------------------------------------------------
+
+    /// Checks whether an access of `len` bytes at `addr` would be allowed
+    /// under the current PKRU, without performing it or charging cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Fault`] the access would raise.
+    pub fn check_access(&self, addr: VAddr, len: usize, access: AccessKind) -> Result<(), Fault> {
+        for page in pages_covering(addr, len) {
+            let entry = self.page_table.get(&page).ok_or(Fault {
+                addr: page.base().max(addr),
+                access,
+                kind: FaultKind::NotPresent,
+            })?;
+            let flags_ok = match access {
+                AccessKind::Read => entry.flags.can_read(),
+                AccessKind::Write => entry.flags.can_write(),
+                AccessKind::Execute => entry.flags.can_execute(),
+            };
+            if !flags_ok {
+                return Err(Fault {
+                    addr: page.base().max(addr),
+                    access,
+                    kind: FaultKind::Permission,
+                });
+            }
+            let rights = self.pkru.rights(entry.key);
+            let key_ok = match access {
+                AccessKind::Read => rights.can_read(),
+                AccessKind::Write => rights.can_write(),
+                // The paper's proposed hardware change: AD=1 also disables
+                // execution. Without the change, MPK never blocks fetches.
+                AccessKind::Execute => !self.exec_obeys_pkru || rights.can_read(),
+            };
+            if !key_ok {
+                return Err(Fault {
+                    addr: page.base().max(addr),
+                    access,
+                    kind: FaultKind::ProtectionKey(entry.key),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads `buf.len()` bytes starting at `addr`.
+    ///
+    /// The access is atomic: either every covered page passes the
+    /// protection checks and the full range is copied, or nothing is.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] and counts it in [`MachineStats::faults`] when
+    /// any covered page refuses the access.
+    pub fn read(&mut self, addr: VAddr, buf: &mut [u8]) -> Result<(), Fault> {
+        if let Err(fault) = self.check_access(addr, buf.len(), AccessKind::Read) {
+            self.stats.faults += 1;
+            return Err(fault);
+        }
+        self.cycles += self.cost.mem_access(buf.len());
+        self.stats.reads += 1;
+        self.stats.bytes_read += buf.len() as u64;
+        let mut done = 0;
+        let mut cur = addr;
+        while done < buf.len() {
+            let page = cur.page();
+            let off = cur.page_offset();
+            let chunk = (PAGE_SIZE - off).min(buf.len() - done);
+            let frame = self.frames.get(&page).expect("mapped page has a frame");
+            buf[done..done + chunk].copy_from_slice(&frame[off..off + chunk]);
+            done += chunk;
+            cur = page.next().base();
+        }
+        Ok(())
+    }
+
+    /// Stores `data` starting at `addr`. Atomic like [`Machine::read`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] when any covered page refuses the access.
+    pub fn write(&mut self, addr: VAddr, data: &[u8]) -> Result<(), Fault> {
+        if let Err(fault) = self.check_access(addr, data.len(), AccessKind::Write) {
+            self.stats.faults += 1;
+            return Err(fault);
+        }
+        self.cycles += self.cost.mem_access(data.len());
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        let mut done = 0;
+        let mut cur = addr;
+        while done < data.len() {
+            let page = cur.page();
+            let off = cur.page_offset();
+            let chunk = (PAGE_SIZE - off).min(data.len() - done);
+            let frame = self.frames.get_mut(&page).expect("mapped page has a frame");
+            frame[off..off + chunk].copy_from_slice(&data[done..done + chunk]);
+            done += chunk;
+            cur = page.next().base();
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults from [`Machine::read`].
+    pub fn read_u64(&mut self, addr: VAddr) -> Result<u64, Fault> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults from [`Machine::write`].
+    pub fn write_u64(&mut self, addr: VAddr, value: u64) -> Result<(), Fault> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Checks an instruction fetch at `addr` (one simulated instruction).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] when the page is unmapped, not executable, or —
+    /// with the paper's hardware modification — its key is
+    /// access-disabled in the current PKRU.
+    pub fn fetch_check(&mut self, addr: VAddr) -> Result<(), Fault> {
+        match self.check_access(addr, 1, AccessKind::Execute) {
+            Ok(()) => Ok(()),
+            Err(fault) => {
+                self.stats.faults += 1;
+                Err(fault)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rw_page(m: &mut Machine, raw: u64, key: u8) -> VAddr {
+        let addr = VAddr::new(raw);
+        m.map_page(addr, ProtKey::new(key).unwrap(), PageFlags::rw());
+        addr
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.write(a + 100, b"cubicle").unwrap();
+        let mut buf = [0u8; 7];
+        m.read(a + 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"cubicle");
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        rw_page(&mut m, 0x2000, 1);
+        m.set_pkru(Pkru::allow_all());
+        let data: Vec<u8> = (0..=255).collect();
+        m.write(a + (PAGE_SIZE - 100), &data).unwrap();
+        let mut buf = vec![0u8; 256];
+        m.read(a + (PAGE_SIZE - 100), &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn pkru_blocks_and_faults_are_counted() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 3);
+        m.set_pkru(Pkru::deny_all());
+        let err = m.write(a, b"x").unwrap_err();
+        assert_eq!(err.kind, FaultKind::ProtectionKey(ProtKey::new(3).unwrap()));
+        assert_eq!(m.stats().faults, 1);
+    }
+
+    #[test]
+    fn read_only_key_blocks_writes_only() {
+        let mut m = Machine::new();
+        let k = ProtKey::new(2).unwrap();
+        let a = rw_page(&mut m, 0x1000, 2);
+        m.set_pkru(Pkru::deny_all().allowing_read(k));
+        let mut buf = [0u8; 4];
+        assert!(m.read(a, &mut buf).is_ok());
+        assert!(m.write(a, b"nope").is_err());
+    }
+
+    #[test]
+    fn page_flags_override_pkru() {
+        let mut m = Machine::new();
+        let a = VAddr::new(0x1000);
+        m.map_page(a, ProtKey::new(1).unwrap(), PageFlags::r());
+        m.set_pkru(Pkru::allow_all());
+        assert!(m.read(a, &mut [0u8; 1]).is_ok());
+        let err = m.write(a, b"x").unwrap_err();
+        assert_eq!(err.kind, FaultKind::Permission);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = Machine::new();
+        m.set_pkru(Pkru::allow_all());
+        let err = m.read(VAddr::new(0x5000), &mut [0u8; 1]).unwrap_err();
+        assert_eq!(err.kind, FaultKind::NotPresent);
+    }
+
+    #[test]
+    fn atomicity_on_partial_failure() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        // second page unmapped: nothing must be written to the first
+        m.set_pkru(Pkru::allow_all());
+        let data = vec![0xAA; PAGE_SIZE + 10];
+        assert!(m.write(a, &data).is_err());
+        let mut probe = [0u8; 1];
+        m.read(a, &mut probe).unwrap();
+        assert_eq!(probe[0], 0, "failed cross-page write must not be partial");
+    }
+
+    #[test]
+    fn retag_preserves_contents_zero_copy() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.write(a, b"payload").unwrap();
+        let before = m.stats().retags;
+        m.set_page_key(a, ProtKey::new(9).unwrap()).unwrap();
+        assert_eq!(m.stats().retags, before + 1);
+        assert_eq!(m.page_entry(a).unwrap().key, ProtKey::new(9).unwrap());
+        let mut buf = [0u8; 7];
+        m.read(a, &mut buf).unwrap();
+        assert_eq!(&buf, b"payload");
+    }
+
+    #[test]
+    fn retag_charges_pkey_mprotect() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        let t0 = m.now();
+        m.set_page_key(a, ProtKey::new(2).unwrap()).unwrap();
+        assert_eq!(m.now() - t0, CostModel::paper().pkey_mprotect);
+    }
+
+    #[test]
+    fn load_time_retag_is_free() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        let t0 = m.now();
+        m.set_page_key_at_load(a, ProtKey::new(2).unwrap()).unwrap();
+        assert_eq!(m.now(), t0);
+        assert_eq!(m.stats().retags, 0);
+    }
+
+    #[test]
+    fn wrpkru_charges_20_cycles() {
+        let mut m = Machine::new();
+        let t0 = m.now();
+        m.set_pkru(Pkru::allow_all());
+        assert_eq!(m.now() - t0, 20);
+        assert_eq!(m.stats().wrpkru, 1);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.write_u64(a + 8, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read_u64(a + 8).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn exec_only_page_is_unreadable() {
+        let mut m = Machine::new();
+        let a = VAddr::new(0x1000);
+        m.map_page(a, ProtKey::new(1).unwrap(), PageFlags::x());
+        m.set_pkru(Pkru::allow_all());
+        assert!(m.read(a, &mut [0u8; 1]).is_err());
+        assert!(m.fetch_check(a).is_ok());
+    }
+
+    #[test]
+    fn exec_obeys_pkru_hardware_modification() {
+        let mut m = Machine::new();
+        let k = ProtKey::new(4).unwrap();
+        let a = VAddr::new(0x1000);
+        m.map_page(a, k, PageFlags::x());
+        m.set_pkru(Pkru::deny_all());
+        // With the paper's hardware change (default): fetch faults.
+        let err = m.fetch_check(a).unwrap_err();
+        assert_eq!(err.kind, FaultKind::ProtectionKey(k));
+        // Vanilla MPK: fetch is not subject to keys.
+        m.set_exec_obeys_pkru(false);
+        assert!(m.fetch_check(a).is_ok());
+    }
+
+    #[test]
+    fn unmap_discards() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        assert!(m.unmap_page(a));
+        assert!(!m.unmap_page(a));
+        m.set_pkru(Pkru::allow_all());
+        assert!(m.read(a, &mut [0u8; 1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "double-mapped")]
+    fn double_map_panics() {
+        let mut m = Machine::new();
+        rw_page(&mut m, 0x1000, 1);
+        rw_page(&mut m, 0x1000, 2);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.write(a, &[1, 2, 3]).unwrap();
+        m.read(a, &mut [0u8; 2]).unwrap();
+        let s = m.stats();
+        assert_eq!(s.bytes_written, 3);
+        assert_eq!(s.bytes_read, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+    }
+
+    #[test]
+    fn charge_advances_clock() {
+        let mut m = Machine::with_cost_model(CostModel::free());
+        m.charge(123);
+        assert_eq!(m.now(), 123);
+    }
+}

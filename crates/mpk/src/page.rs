@@ -1,0 +1,126 @@
+//! Page-table entries: classic permissions plus the MPK key.
+
+use crate::pkru::ProtKey;
+use std::fmt;
+
+/// Classic per-page permissions (read / write / execute).
+///
+/// CubicleOS' loader enforces W^X: code pages are execute-only, data pages
+/// are read-write but never executable (paper §4, loader rule 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PageFlags {
+    read: bool,
+    write: bool,
+    execute: bool,
+}
+
+impl PageFlags {
+    /// Read-only data page.
+    pub const fn r() -> PageFlags {
+        PageFlags { read: true, write: false, execute: false }
+    }
+
+    /// Read-write data page.
+    pub const fn rw() -> PageFlags {
+        PageFlags { read: true, write: true, execute: false }
+    }
+
+    /// Execute-only code page (CubicleOS maps component code X-only).
+    pub const fn x() -> PageFlags {
+        PageFlags { read: false, write: false, execute: true }
+    }
+
+    /// Read + execute page (not used by the CubicleOS loader, provided for
+    /// completeness of the machine model).
+    pub const fn rx() -> PageFlags {
+        PageFlags { read: true, write: false, execute: true }
+    }
+
+    /// Returns `true` if reads are permitted.
+    pub const fn can_read(self) -> bool {
+        self.read
+    }
+
+    /// Returns `true` if writes are permitted.
+    pub const fn can_write(self) -> bool {
+        self.write
+    }
+
+    /// Returns `true` if instruction fetch is permitted.
+    pub const fn can_execute(self) -> bool {
+        self.execute
+    }
+}
+
+impl fmt::Display for PageFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { "r" } else { "-" },
+            if self.write { "w" } else { "-" },
+            if self.execute { "x" } else { "-" }
+        )
+    }
+}
+
+/// A page-table entry in the simulated machine: permissions plus the 4-bit
+/// protection key (paper §2.2: "MPK assigns a 4-bit key to each virtual
+/// page by extending the page table structures").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PageEntry {
+    /// Protection key tagged onto this page.
+    pub key: ProtKey,
+    /// Classic read/write/execute permissions.
+    pub flags: PageFlags,
+}
+
+impl PageEntry {
+    /// Creates a page-table entry.
+    pub const fn new(key: ProtKey, flags: PageFlags) -> PageEntry {
+        PageEntry { key, flags }
+    }
+}
+
+impl fmt::Display for PageEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.flags, self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_constructors() {
+        assert!(PageFlags::r().can_read());
+        assert!(!PageFlags::r().can_write());
+        assert!(!PageFlags::r().can_execute());
+
+        assert!(PageFlags::rw().can_read());
+        assert!(PageFlags::rw().can_write());
+        assert!(!PageFlags::rw().can_execute());
+
+        assert!(!PageFlags::x().can_read());
+        assert!(!PageFlags::x().can_write());
+        assert!(PageFlags::x().can_execute());
+
+        assert!(PageFlags::rx().can_read());
+        assert!(PageFlags::rx().can_execute());
+    }
+
+    #[test]
+    fn default_denies_everything() {
+        let f = PageFlags::default();
+        assert!(!f.can_read() && !f.can_write() && !f.can_execute());
+    }
+
+    #[test]
+    fn display_is_ls_style() {
+        assert_eq!(format!("{}", PageFlags::rw()), "rw-");
+        assert_eq!(format!("{}", PageFlags::x()), "--x");
+        let e = PageEntry::new(ProtKey::new(2).unwrap(), PageFlags::r());
+        assert_eq!(format!("{e}"), "r-- pk2");
+    }
+}

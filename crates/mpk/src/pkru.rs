@@ -1,0 +1,280 @@
+//! Protection keys and the PKRU register.
+
+use std::fmt;
+
+/// Number of protection keys supported by the hardware (paper §2.2: MPK
+/// supports 16 keys of 4 bits each).
+pub const NUM_KEYS: usize = 16;
+
+/// A 4-bit memory protection key, assigned per page.
+///
+/// Key 0 is conventionally reserved for the trusted monitor (the kernel of
+/// CubicleOS), mirroring how Linux reserves pkey 0 for "default" memory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProtKey(u8);
+
+impl ProtKey {
+    /// The monitor's key: the trusted CubicleOS runtime tags its own pages
+    /// (and trampoline code thunks) with this key.
+    pub const MONITOR: ProtKey = ProtKey(0);
+
+    /// Creates a protection key, returning `None` when `raw >= 16`.
+    pub const fn new(raw: u8) -> Option<ProtKey> {
+        if raw < NUM_KEYS as u8 {
+            Some(ProtKey(raw))
+        } else {
+            None
+        }
+    }
+
+    /// Returns the raw 4-bit key value.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all 16 keys.
+    pub fn all() -> impl Iterator<Item = ProtKey> {
+        (0..NUM_KEYS as u8).map(ProtKey)
+    }
+}
+
+impl fmt::Display for ProtKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pk{}", self.0)
+    }
+}
+
+/// Access rights the current thread holds on one protection key.
+///
+/// Encodes MPK's two per-key bits: *access disable* (AD) and *write
+/// disable* (WD).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum KeyRights {
+    /// AD = 1: neither reads nor writes are allowed.
+    #[default]
+    None,
+    /// AD = 0, WD = 1: reads allowed, writes disallowed.
+    ReadOnly,
+    /// AD = 0, WD = 0: reads and writes allowed.
+    ReadWrite,
+}
+
+impl KeyRights {
+    /// Returns `true` if reads are permitted.
+    pub const fn can_read(self) -> bool {
+        !matches!(self, KeyRights::None)
+    }
+
+    /// Returns `true` if writes are permitted.
+    pub const fn can_write(self) -> bool {
+        matches!(self, KeyRights::ReadWrite)
+    }
+}
+
+/// The per-thread PKRU register: 2 bits of rights for each of the 16 keys.
+///
+/// `Pkru` is a plain value — writing it to the machine models the
+/// unprivileged `wrpkru` instruction (~20 cycles, paper §2.2).
+///
+/// # Example
+///
+/// ```
+/// use cubicle_mpk::{Pkru, ProtKey, KeyRights};
+///
+/// let k3 = ProtKey::new(3).unwrap();
+/// let pkru = Pkru::deny_all().allowing(k3).allowing_read(ProtKey::new(5).unwrap());
+/// assert_eq!(pkru.rights(k3), KeyRights::ReadWrite);
+/// assert_eq!(pkru.rights(ProtKey::new(5).unwrap()), KeyRights::ReadOnly);
+/// assert_eq!(pkru.rights(ProtKey::new(7).unwrap()), KeyRights::None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pkru(u32);
+
+impl Pkru {
+    const AD: u32 = 0b01;
+    const WD: u32 = 0b10;
+
+    /// A PKRU value that denies access to every key.
+    pub const fn deny_all() -> Pkru {
+        Pkru(0x5555_5555) // AD bit set for all 16 keys
+    }
+
+    /// A PKRU value that grants read/write on every key.
+    ///
+    /// This is what the trusted monitor runs with (it has access to all
+    /// cubicles' window descriptor arrays, paper §5.3).
+    pub const fn allow_all() -> Pkru {
+        Pkru(0)
+    }
+
+    /// Returns the raw 32-bit register value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Creates a PKRU from a raw 32-bit register value.
+    pub const fn from_raw(raw: u32) -> Pkru {
+        Pkru(raw)
+    }
+
+    /// Returns the rights this register grants on `key`.
+    pub const fn rights(self, key: ProtKey) -> KeyRights {
+        let bits = (self.0 >> (key.raw() * 2)) & 0b11;
+        if bits & Self::AD != 0 {
+            KeyRights::None
+        } else if bits & Self::WD != 0 {
+            KeyRights::ReadOnly
+        } else {
+            KeyRights::ReadWrite
+        }
+    }
+
+    /// Returns a copy of this register with `rights` set for `key`.
+    pub const fn with(self, key: ProtKey, rights: KeyRights) -> Pkru {
+        let shift = key.raw() * 2;
+        let cleared = self.0 & !(0b11 << shift);
+        let bits = match rights {
+            KeyRights::None => Self::AD,
+            KeyRights::ReadOnly => Self::WD,
+            KeyRights::ReadWrite => 0,
+        };
+        Pkru(cleared | (bits << shift))
+    }
+
+    /// Returns a copy with read/write access granted on `key`.
+    pub const fn allowing(self, key: ProtKey) -> Pkru {
+        self.with(key, KeyRights::ReadWrite)
+    }
+
+    /// Returns a copy with read-only access granted on `key`.
+    pub const fn allowing_read(self, key: ProtKey) -> Pkru {
+        self.with(key, KeyRights::ReadOnly)
+    }
+
+    /// Returns a copy with all access revoked on `key`.
+    pub const fn denying(self, key: ProtKey) -> Pkru {
+        self.with(key, KeyRights::None)
+    }
+}
+
+impl Default for Pkru {
+    /// The default register denies everything — components start with no
+    /// rights until the monitor grants them.
+    fn default() -> Self {
+        Pkru::deny_all()
+    }
+}
+
+impl fmt::Debug for Pkru {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pkru({:#010x})", self.0)
+    }
+}
+
+impl fmt::Display for Pkru {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "[")?;
+        for key in ProtKey::all() {
+            let r = self.rights(key);
+            if r != KeyRights::None {
+                if !first {
+                    write!(f, " ")?;
+                }
+                first = false;
+                let tag = if r.can_write() { "rw" } else { "r" };
+                write!(f, "{key}:{tag}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_bounds() {
+        assert!(ProtKey::new(0).is_some());
+        assert!(ProtKey::new(15).is_some());
+        assert!(ProtKey::new(16).is_none());
+        assert_eq!(ProtKey::all().count(), NUM_KEYS);
+    }
+
+    #[test]
+    fn deny_all_denies_everything() {
+        let p = Pkru::deny_all();
+        for key in ProtKey::all() {
+            assert_eq!(p.rights(key), KeyRights::None);
+        }
+    }
+
+    #[test]
+    fn allow_all_allows_everything() {
+        let p = Pkru::allow_all();
+        for key in ProtKey::all() {
+            assert_eq!(p.rights(key), KeyRights::ReadWrite);
+        }
+    }
+
+    #[test]
+    fn with_is_isolated_per_key() {
+        let k2 = ProtKey::new(2).unwrap();
+        let k9 = ProtKey::new(9).unwrap();
+        let p = Pkru::deny_all().allowing(k2).allowing_read(k9);
+        assert_eq!(p.rights(k2), KeyRights::ReadWrite);
+        assert_eq!(p.rights(k9), KeyRights::ReadOnly);
+        for key in ProtKey::all() {
+            if key != k2 && key != k9 {
+                assert_eq!(p.rights(key), KeyRights::None);
+            }
+        }
+    }
+
+    #[test]
+    fn rights_transitions_round_trip() {
+        let k = ProtKey::new(7).unwrap();
+        for rights in [KeyRights::None, KeyRights::ReadOnly, KeyRights::ReadWrite] {
+            let p = Pkru::allow_all().with(k, rights);
+            assert_eq!(p.rights(k), rights);
+        }
+    }
+
+    #[test]
+    fn denying_revokes() {
+        let k = ProtKey::new(4).unwrap();
+        let p = Pkru::allow_all().denying(k);
+        assert_eq!(p.rights(k), KeyRights::None);
+        assert!(!p.rights(k).can_read());
+        assert!(!p.rights(k).can_write());
+    }
+
+    #[test]
+    fn readonly_semantics() {
+        assert!(KeyRights::ReadOnly.can_read());
+        assert!(!KeyRights::ReadOnly.can_write());
+        assert!(KeyRights::ReadWrite.can_write());
+        assert!(!KeyRights::None.can_read());
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let k = ProtKey::new(1).unwrap();
+        let p = Pkru::deny_all().allowing(k);
+        assert_eq!(Pkru::from_raw(p.raw()), p);
+    }
+
+    #[test]
+    fn display_compact() {
+        let k1 = ProtKey::new(1).unwrap();
+        let p = Pkru::deny_all().allowing(k1);
+        assert_eq!(format!("{p}"), "[pk1:rw]");
+        assert_eq!(format!("{}", Pkru::deny_all()), "[]");
+    }
+
+    #[test]
+    fn default_denies() {
+        assert_eq!(Pkru::default(), Pkru::deny_all());
+    }
+}

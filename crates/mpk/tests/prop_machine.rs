@@ -1,0 +1,117 @@
+//! Property tests of the machine model: the PKRU check is exactly the
+//! MPK specification, and memory behaves like memory.
+
+use cubicle_mpk::{
+    pages_covering, KeyRights, Machine, PageFlags, Pkru, ProtKey, VAddr, PAGE_SIZE,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_rights() -> impl Strategy<Value = KeyRights> {
+    prop_oneof![Just(KeyRights::None), Just(KeyRights::ReadOnly), Just(KeyRights::ReadWrite)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pkru_bits_are_independent(assignments in proptest::collection::vec((0u8..16, arb_rights()), 0..40)) {
+        let mut model: HashMap<u8, KeyRights> = HashMap::new();
+        let mut pkru = Pkru::deny_all();
+        for (key, rights) in assignments {
+            pkru = pkru.with(ProtKey::new(key).unwrap(), rights);
+            model.insert(key, rights);
+        }
+        for k in 0..16u8 {
+            let expect = model.get(&k).copied().unwrap_or(KeyRights::None);
+            prop_assert_eq!(pkru.rights(ProtKey::new(k).unwrap()), expect);
+        }
+    }
+
+    #[test]
+    fn access_allowed_iff_flags_and_key_allow(
+        key in 0u8..16,
+        allowed in arb_rights(),
+        write in any::<bool>(),
+        readable in any::<bool>(),
+        writable in any::<bool>(),
+    ) {
+        let mut m = Machine::new();
+        let addr = VAddr::new(0x4000);
+        let flags = match (readable, writable) {
+            (true, true) => PageFlags::rw(),
+            (true, false) => PageFlags::r(),
+            // the machine model has no write-only pages: fall back to rw
+            (false, true) => PageFlags::rw(),
+            (false, false) => PageFlags::x(),
+        };
+        let readable = flags.can_read();
+        let writable = flags.can_write();
+        let k = ProtKey::new(key).unwrap();
+        m.map_page(addr, k, flags);
+        m.set_pkru(Pkru::deny_all().with(k, allowed));
+        let ok = if write {
+            m.write(addr, &[1]).is_ok()
+        } else {
+            m.read(addr, &mut [0]).is_ok()
+        };
+        let expect = if write {
+            writable && allowed.can_write()
+        } else {
+            readable && allowed.can_read()
+        };
+        prop_assert_eq!(ok, expect, "write={} flags={:?} rights={:?}", write, flags, allowed);
+    }
+
+    #[test]
+    fn memory_behaves_like_memory(
+        writes in proptest::collection::vec((0usize..3 * PAGE_SIZE - 64, proptest::collection::vec(any::<u8>(), 1..64)), 1..30)
+    ) {
+        let mut m = Machine::new();
+        let base = VAddr::new(0x10000);
+        for i in 0..3 {
+            m.map_page(base + i * PAGE_SIZE, ProtKey::new(1).unwrap(), PageFlags::rw());
+        }
+        m.set_pkru(Pkru::allow_all());
+        let mut model = vec![0u8; 3 * PAGE_SIZE];
+        for (off, data) in writes {
+            m.write(base + off, &data).unwrap();
+            model[off..off + data.len()].copy_from_slice(&data);
+        }
+        let mut got = vec![0u8; 3 * PAGE_SIZE];
+        m.read(base, &mut got).unwrap();
+        prop_assert_eq!(got, model);
+    }
+
+    #[test]
+    fn retagging_never_corrupts_data(
+        tags in proptest::collection::vec(0u8..16, 1..20)
+    ) {
+        let mut m = Machine::new();
+        let addr = VAddr::new(0x8000);
+        m.map_page(addr, ProtKey::new(0).unwrap(), PageFlags::rw());
+        m.set_pkru(Pkru::allow_all());
+        let payload: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 241) as u8).collect();
+        m.write(addr, &payload).unwrap();
+        for t in tags {
+            m.set_page_key(addr, ProtKey::new(t).unwrap()).unwrap();
+        }
+        let mut back = vec![0u8; PAGE_SIZE];
+        m.read(addr, &mut back).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn pages_covering_is_exact(start in 0u64..1_000_000, len in 0usize..20_000) {
+        let pages: Vec<_> = pages_covering(VAddr::new(start), len).collect();
+        if len == 0 {
+            prop_assert!(pages.is_empty());
+        } else {
+            let first = start / PAGE_SIZE as u64;
+            let last = (start + len as u64 - 1) / PAGE_SIZE as u64;
+            prop_assert_eq!(pages.len() as u64, last - first + 1);
+            prop_assert_eq!(pages.first().unwrap().0, first);
+            prop_assert_eq!(pages.last().unwrap().0, last);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Host-side client endpoint: the external load generator.
+//!
+//! The paper drives NGINX with `siege` from outside the library OS. In
+//! the simulation, the outside world is host-side Rust: [`SimClient`]
+//! speaks the simplified TCP of [`crate::frame`] directly on the
+//! `NETDEV` wire queues and charges wall-clock costs for the network
+//! itself through a [`WireModel`], so that end-to-end latencies include
+//! propagation and bandwidth as well as the server's (simulated) CPU.
+
+use crate::frame::{flags, Segment, MSS};
+use crate::netdev::Netdev;
+use cubicle_core::System;
+use std::collections::VecDeque;
+
+/// Network cost model (charged on the simulated clock).
+#[derive(Clone, Copy, Debug)]
+pub struct WireModel {
+    /// Propagation + peer processing per direction change (half RTT).
+    pub hop_cycles: u64,
+    /// Serialisation cost per payload byte (link bandwidth).
+    pub per_byte_cycles: u64,
+    /// Fixed client-side cost per request: load-generator work,
+    /// connection management, kernel socket path on the client host.
+    /// Dominates small-file latency (the paper's 5–6 ms floor).
+    pub request_overhead_cycles: u64,
+}
+
+impl Default for WireModel {
+    /// ≈0.1 ms per hop, ≈10 Gbit/s, and a ≈5 ms per-request client cost —
+    /// calibrated to the paper's Figure 7 floor and slope on the 2.2 GHz
+    /// testbed (see EXPERIMENTS.md).
+    fn default() -> Self {
+        WireModel { hop_cycles: 220_000, per_byte_cycles: 8, request_overhead_cycles: 11_000_000 }
+    }
+}
+
+/// A TCP client living outside the library OS.
+#[derive(Debug)]
+pub struct SimClient {
+    /// Client ephemeral port.
+    pub port: u16,
+    /// Server port to talk to.
+    pub server_port: u16,
+    wire: WireModel,
+    netdev_slot: usize,
+    seq: u32,
+    rcv_nxt: u32,
+    established: bool,
+    fin_seen: bool,
+    /// Response bytes received in order.
+    pub received: Vec<u8>,
+    /// Bytes waiting to be sent once established.
+    pending: VecDeque<u8>,
+    syn_sent: bool,
+    advertised_wnd: u16,
+}
+
+impl SimClient {
+    /// Creates a client bound to the netdev in registry slot
+    /// `netdev_slot`.
+    pub fn new(netdev_slot: usize, port: u16, server_port: u16, wire: WireModel) -> SimClient {
+        SimClient {
+            port,
+            server_port,
+            wire,
+            netdev_slot,
+            seq: 5_000,
+            rcv_nxt: 0,
+            established: false,
+            fin_seen: false,
+            received: Vec::new(),
+            pending: VecDeque::new(),
+            syn_sent: false,
+            advertised_wnd: u16::MAX,
+        }
+    }
+
+    /// Is the connection established?
+    pub fn is_established(&self) -> bool {
+        self.established
+    }
+
+    /// Did the server send FIN (response complete)?
+    pub fn fin_seen(&self) -> bool {
+        self.fin_seen
+    }
+
+    /// Caps the client's advertised receive window (flow-control tests).
+    pub fn set_window(&mut self, wnd: u16) {
+        self.advertised_wnd = wnd;
+    }
+
+    /// Queues request bytes (sent after the handshake completes).
+    pub fn send(&mut self, data: &[u8]) {
+        self.pending.extend(data);
+    }
+
+    fn push_to_server(&self, sys: &mut System, seg: &Segment) {
+        let bytes = seg.encode();
+        sys.charge(self.wire.per_byte_cycles * seg.payload.len() as u64);
+        sys.with_component_mut::<Netdev, _>(self.netdev_slot, |dev, _| {
+            dev.rx_wire.push_back(bytes);
+        })
+        .expect("netdev slot");
+    }
+
+    fn segment(&self, seq: u32, flag_bits: u8, payload: Vec<u8>) -> Segment {
+        Segment {
+            sport: self.port,
+            dport: self.server_port,
+            seq,
+            ack: self.rcv_nxt,
+            flags: flag_bits,
+            wnd: self.advertised_wnd,
+            payload,
+        }
+    }
+
+    /// One client-side step: receive every frame the server has emitted,
+    /// ack data, progress the handshake, and transmit pending request
+    /// bytes. Charges one hop per direction that carried traffic.
+    /// Returns the number of frames processed.
+    pub fn pump(&mut self, sys: &mut System) -> usize {
+        // collect the server's outbound frames
+        let frames: Vec<Vec<u8>> = sys
+            .with_component_mut::<Netdev, _>(self.netdev_slot, |dev, _| {
+                dev.tx_wire.drain(..).collect()
+            })
+            .expect("netdev slot");
+        let mut processed = 0;
+        let mut sent_any = false;
+        if !frames.is_empty() {
+            sys.charge(self.wire.hop_cycles); // server → client propagation
+        }
+        let mut foreign: Vec<Vec<u8>> = Vec::new();
+        for bytes in frames {
+            let Some(seg) = Segment::decode(&bytes) else { continue };
+            if seg.dport != self.port {
+                // traffic for another endpoint: leave it on the wire
+                foreign.push(bytes);
+                continue;
+            }
+            processed += 1;
+            sys.charge(self.wire.per_byte_cycles * seg.payload.len() as u64);
+            if seg.has(flags::SYN) && seg.has(flags::ACK) {
+                self.rcv_nxt = seg.seq.wrapping_add(1);
+                self.seq = self.seq.wrapping_add(1); // our SYN is acked
+                self.established = true;
+                let ack = self.segment(self.seq, flags::ACK, Vec::new());
+                self.push_to_server(sys, &ack);
+                sent_any = true;
+                continue;
+            }
+            if !seg.payload.is_empty() && seg.seq == self.rcv_nxt {
+                self.received.extend_from_slice(&seg.payload);
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                let ack = self.segment(self.seq, flags::ACK, Vec::new());
+                self.push_to_server(sys, &ack);
+                sent_any = true;
+            }
+            if seg.has(flags::FIN) && seg.seq == self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                self.fin_seen = true;
+                let ack = self.segment(self.seq, flags::ACK, Vec::new());
+                self.push_to_server(sys, &ack);
+                sent_any = true;
+            }
+        }
+        // connection initiation / request transmission
+        if !self.syn_sent {
+            let syn = self.segment(self.seq, flags::SYN, Vec::new());
+            self.push_to_server(sys, &syn);
+            self.syn_sent = true;
+            sent_any = true;
+        } else if self.established {
+            while !self.pending.is_empty() {
+                let take = self.pending.len().min(MSS);
+                let payload: Vec<u8> = self.pending.drain(..take).collect();
+                let n = payload.len() as u32;
+                let seg = self.segment(self.seq, flags::ACK, payload);
+                self.push_to_server(sys, &seg);
+                self.seq = self.seq.wrapping_add(n);
+                sent_any = true;
+            }
+        }
+        if sent_any {
+            sys.charge(self.wire.hop_cycles); // client → server propagation
+        }
+        if !foreign.is_empty() {
+            sys.with_component_mut::<Netdev, _>(self.netdev_slot, |dev, _| {
+                for (i, bytes) in foreign.into_iter().enumerate() {
+                    dev.tx_wire.insert(i, bytes);
+                }
+            })
+            .expect("netdev slot");
+        }
+        processed
+    }
+}

@@ -1,0 +1,136 @@
+//! Wire format of the simulated network: a simplified TCP segment.
+//!
+//! The evaluation needs a transport with the properties that shape
+//! Figure 7 — MSS-sized segmentation, a bounded send buffer, ack-clocked
+//! flow control — not a byte-exact TCP/IP implementation. Segments
+//! therefore carry a compact 16-byte header (ports, seq/ack numbers,
+//! flags, receive window) and no IP layer or checksums; the wire is
+//! reliable and ordered. Every simplification is noted in DESIGN.md.
+
+/// Maximum TCP segment payload (Ethernet MTU 1500 − 40 bytes of headers,
+/// like the paper's LWIP).
+pub const MSS: usize = 1460;
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Segment flags.
+pub mod flags {
+    /// Connection request.
+    pub const SYN: u8 = 0x01;
+    /// Acknowledgement field is valid.
+    pub const ACK: u8 = 0x02;
+    /// Sender is done.
+    pub const FIN: u8 = 0x04;
+    /// Reset.
+    pub const RST: u8 = 0x08;
+}
+
+/// A simplified TCP segment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Segment {
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Acknowledgement number (next expected byte), valid with `ACK`.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: u8,
+    /// Receive window in bytes.
+    pub wnd: u16,
+    /// Payload.
+    pub payload: Vec<u8>,
+}
+
+impl Segment {
+    /// Serialises the segment to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.sport.to_be_bytes());
+        out.extend_from_slice(&self.dport.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(self.flags);
+        out.push(0);
+        out.extend_from_slice(&self.wnd.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a segment from wire bytes.
+    ///
+    /// Returns `None` for runt frames or oversized payloads.
+    pub fn decode(bytes: &[u8]) -> Option<Segment> {
+        if bytes.len() < HEADER_LEN || bytes.len() > HEADER_LEN + MSS {
+            return None;
+        }
+        Some(Segment {
+            sport: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dport: u16::from_be_bytes([bytes[2], bytes[3]]),
+            seq: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ack: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            flags: bytes[12],
+            wnd: u16::from_be_bytes([bytes[14], bytes[15]]),
+            payload: bytes[HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// Does the segment carry `flag`?
+    pub fn has(&self, flag: u8) -> bool {
+        self.flags & flag != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> Segment {
+        Segment {
+            sport: 49152,
+            dport: 80,
+            seq: 1_000_000,
+            ack: 42,
+            flags: flags::ACK | flags::SYN,
+            wnd: 65_535,
+            payload: b"GET / HTTP/1.0\r\n\r\n".to_vec(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = seg();
+        assert_eq!(Segment::decode(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let mut s = seg();
+        s.payload.clear();
+        assert_eq!(Segment::decode(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn max_payload_round_trip() {
+        let mut s = seg();
+        s.payload = vec![0xAB; MSS];
+        assert_eq!(Segment::decode(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn runt_and_oversize_rejected() {
+        assert_eq!(Segment::decode(&[0u8; HEADER_LEN - 1]), None);
+        assert_eq!(Segment::decode(&vec![0u8; HEADER_LEN + MSS + 1]), None);
+    }
+
+    #[test]
+    fn flags_queryable() {
+        let s = seg();
+        assert!(s.has(flags::SYN));
+        assert!(s.has(flags::ACK));
+        assert!(!s.has(flags::FIN));
+    }
+}

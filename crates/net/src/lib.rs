@@ -1,0 +1,58 @@
+//! # cubicle-net — `NETDEV` and `LWIP` cubicles
+//!
+//! The network half of the paper's NGINX deployment (Figure 5): the
+//! network device driver (`NETDEV`) and the TCP/IP stack (`LWIP`) are
+//! mutually isolated cubicles; the application reaches sockets through
+//! cross-cubicle calls into `LWIP`, which reaches the device through
+//! cross-cubicle calls into `NETDEV` — the two hottest edges of
+//! Figure 5 (6,991k and 1,948k calls).
+//!
+//! The properties that shape Figure 7 are reproduced faithfully: MSS
+//! (1460 B) segmentation, a 64 KiB send buffer, ack-clocked flow control,
+//! and a poll-driven single-threaded event loop. See `DESIGN.md` for the
+//! deliberate simplifications (no IP layer, reliable ordered wire, no
+//! retransmission).
+
+mod client;
+pub mod frame;
+mod lwip;
+mod netdev;
+
+pub use client::{SimClient, WireModel};
+pub use frame::{Segment, MSS};
+pub use lwip::{image as lwip_image, Lwip, LwipProxy, PBUF_REFILL_SEGMENTS, RCV_WND, SND_BUF};
+pub use netdev::{image as netdev_image, Netdev, NetdevProxy, MAX_FRAME, RING_SLOTS};
+
+use cubicle_core::{Result, System};
+
+/// Handles to the booted network stack.
+#[derive(Clone, Copy, Debug)]
+pub struct NetStack {
+    /// Socket API proxy.
+    pub lwip: LwipProxy,
+    /// Device proxy (rarely used directly by applications).
+    pub netdev: NetdevProxy,
+    /// Registry slot of `NETDEV` (wire access for the host-side client).
+    pub netdev_slot: usize,
+    /// Registry slot of `LWIP` (statistics access).
+    pub lwip_slot: usize,
+}
+
+/// Loads `NETDEV` and `LWIP` and wires them together.
+///
+/// # Errors
+///
+/// Loader or initialisation errors.
+pub fn boot_net(sys: &mut System) -> Result<NetStack> {
+    let dev_loaded = sys.load(netdev_image(), Box::new(Netdev::default()))?;
+    let netdev = NetdevProxy::resolve(&dev_loaded);
+    let lwip_loaded = sys.load(lwip_image(), Box::new(Lwip::default()))?;
+    let lwip = LwipProxy::resolve(&lwip_loaded);
+    sys.with_component_mut::<Lwip, _>(lwip_loaded.slot, |l, _| l.set_netdev(netdev))
+        .expect("lwip slot holds Lwip");
+    let r = lwip.init(sys)?;
+    if r != 0 {
+        return Err(cubicle_core::CubicleError::Component(format!("lwip_init failed: {r}")));
+    }
+    Ok(NetStack { lwip, netdev, netdev_slot: dev_loaded.slot, lwip_slot: lwip_loaded.slot })
+}

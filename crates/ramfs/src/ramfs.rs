@@ -1,0 +1,458 @@
+//! The `RAMFS` component implementation.
+
+use cubicle_core::{
+    component_mut, impl_component, Builder, Component, ComponentImage, Errno, LoadedComponent,
+    Result, System, Value,
+};
+use cubicle_mpk::insn::CodeImage;
+use cubicle_mpk::{VAddr, PAGE_SIZE};
+use cubicle_ukbase::AllocProxy;
+use cubicle_vfs::path::components;
+use cubicle_vfs::{FsOps, Vfs};
+
+/// Pages requested from `ALLOC` per pool refill (coarse-grained
+/// allocation, paper Fig. 8).
+pub const POOL_CHUNK_PAGES: usize = 64;
+
+/// Cycles of RAMFS-internal work per operation.
+const RAMFS_OP_COST: u64 = 80;
+
+#[derive(Debug)]
+enum Inode {
+    Dir { entries: Vec<(String, usize)> },
+    File { size: u64, extents: Vec<VAddr> },
+}
+
+/// State of the `RAMFS` component.
+#[derive(Debug)]
+pub struct Ramfs {
+    inodes: Vec<Option<Inode>>,
+    pool: Vec<VAddr>,
+    alloc: Option<AllocProxy>,
+    /// Extent pages currently in use (statistics).
+    pub pages_used: u64,
+}
+
+impl Default for Ramfs {
+    fn default() -> Self {
+        Ramfs {
+            inodes: vec![Some(Inode::Dir { entries: Vec::new() })], // root = ino 0
+            pool: Vec::new(),
+            alloc: None,
+            pages_used: 0,
+        }
+    }
+}
+
+impl_component!(Ramfs);
+
+impl Ramfs {
+    /// Wires the coarse allocator; without it the backend grows extents
+    /// from its own cubicle heap (standalone tests).
+    pub fn set_alloc(&mut self, alloc: AllocProxy) {
+        self.alloc = Some(alloc);
+    }
+
+    fn lookup_path(&self, path: &str) -> std::result::Result<usize, i64> {
+        let mut ino = 0usize;
+        for comp in components(path) {
+            match self.inodes.get(ino).and_then(Option::as_ref) {
+                Some(Inode::Dir { entries }) => {
+                    match entries.iter().find(|(n, _)| *n == comp) {
+                        Some((_, child)) => ino = *child,
+                        None => return Err(Errno::Enoent.neg()),
+                    }
+                }
+                Some(Inode::File { .. }) => return Err(Errno::Enotdir.neg()),
+                None => return Err(Errno::Enoent.neg()),
+            }
+        }
+        Ok(ino)
+    }
+
+    fn file_mut(&mut self, ino: i64) -> std::result::Result<(&mut u64, &mut Vec<VAddr>), i64> {
+        match usize::try_from(ino).ok().and_then(|i| self.inodes.get_mut(i)?.as_mut()) {
+            Some(Inode::File { size, extents }) => Ok((size, extents)),
+            Some(Inode::Dir { .. }) => Err(Errno::Eisdir.neg()),
+            None => Err(Errno::Enoent.neg()),
+        }
+    }
+
+    fn take_page(&mut self, sys: &mut System) -> Result<VAddr> {
+        if self.pool.is_empty() {
+            match self.alloc {
+                Some(proxy) => {
+                    let base = proxy.palloc(sys, POOL_CHUNK_PAGES)?;
+                    for i in 0..POOL_CHUNK_PAGES {
+                        self.pool.push(base + i * PAGE_SIZE);
+                    }
+                }
+                None => {
+                    let base = sys.alloc_pages(POOL_CHUNK_PAGES);
+                    for i in 0..POOL_CHUNK_PAGES {
+                        self.pool.push(base + i * PAGE_SIZE);
+                    }
+                }
+            }
+        }
+        let page = self.pool.pop().expect("refilled above");
+        // Pool pages may hold stale contents from a previous file.
+        sys.fill(page, 0, PAGE_SIZE)?;
+        self.pages_used += 1;
+        Ok(page)
+    }
+}
+
+/// Builds the loadable `RAMFS` image.
+pub fn image() -> ComponentImage {
+    let b = Builder::new();
+    ComponentImage::new("RAMFS", CodeImage::plain(12 * 1024))
+        .heap_pages(8)
+        .export(b.export("long ramfs_lookup(const char *path, size_t len)").unwrap(), e_lookup)
+        .export(
+            b.export("long ramfs_create(const char *path, size_t len, int is_dir)").unwrap(),
+            e_create,
+        )
+        .export(b.export("long ramfs_remove(const char *path, size_t len)").unwrap(), e_remove)
+        .export(
+            b.export("long ramfs_read(long ino, void *buf, size_t n, uint64_t off)").unwrap(),
+            e_read,
+        )
+        .export(
+            b.export("long ramfs_write(long ino, const void *buf, size_t n, uint64_t off)")
+                .unwrap(),
+            e_write,
+        )
+        .export(b.export("long ramfs_truncate(long ino, uint64_t len)").unwrap(), e_truncate)
+        .export(b.export("long ramfs_size(long ino)").unwrap(), e_size)
+        .export(b.export("long ramfs_sync(long ino)").unwrap(), e_sync)
+        .export(
+            b.export("long ramfs_readdir(long ino, void *buf, size_t n, long index)").unwrap(),
+            e_readdir,
+        )
+        .export(b.export("long ramfs_is_dir(long ino)").unwrap(), e_is_dir)
+}
+
+/// Fills `VFSCORE`'s callback table with this backend's entries.
+pub fn fs_ops(loaded: &LoadedComponent) -> FsOps {
+    FsOps {
+        cid: loaded.cid,
+        lookup: loaded.entry("ramfs_lookup"),
+        create: loaded.entry("ramfs_create"),
+        remove: loaded.entry("ramfs_remove"),
+        read: loaded.entry("ramfs_read"),
+        write: loaded.entry("ramfs_write"),
+        truncate: loaded.entry("ramfs_truncate"),
+        size: loaded.entry("ramfs_size"),
+        sync: loaded.entry("ramfs_sync"),
+        readdir: loaded.entry("ramfs_readdir"),
+        is_dir: loaded.entry("ramfs_is_dir"),
+    }
+}
+
+/// Boot-time wiring: mounts this backend into a loaded `VFSCORE` at
+/// `prefix` (Unikraft fills callback tables at initialisation time).
+pub fn mount_at(sys: &mut System, vfs_slot: usize, ramfs: &LoadedComponent, prefix: &str) {
+    let ops = fs_ops(ramfs);
+    sys.with_component_mut::<Vfs, _>(vfs_slot, |vfs, _| vfs.mount(prefix, ops))
+        .expect("vfs slot holds the Vfs component");
+}
+
+fn read_rel_path(sys: &mut System, args: &[Value]) -> Result<std::result::Result<String, i64>> {
+    let (addr, len) = args[0].as_buf();
+    if len > 4096 {
+        return Ok(Err(Errno::Einval.neg()));
+    }
+    let bytes = match sys.read_vec(addr, len) {
+        Ok(b) => b,
+        Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
+            return Ok(Err(Errno::Eacces.neg()))
+        }
+        Err(e) => return Err(e),
+    };
+    match String::from_utf8(bytes) {
+        Ok(s) => Ok(Ok(s)),
+        Err(_) => Ok(Err(Errno::Einval.neg())),
+    }
+}
+
+fn e_lookup(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST);
+    let path = match read_rel_path(sys, args)? {
+        Ok(p) => p,
+        Err(e) => return Ok(Value::I64(e)),
+    };
+    let fs = component_mut::<Ramfs>(this);
+    match fs.lookup_path(&path) {
+        Ok(ino) => Ok(Value::I64(ino as i64)),
+        Err(e) => Ok(Value::I64(e)),
+    }
+}
+
+fn e_create(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST);
+    let path = match read_rel_path(sys, args)? {
+        Ok(p) => p,
+        Err(e) => return Ok(Value::I64(e)),
+    };
+    let is_dir = args[1].as_i64() != 0;
+    let fs = component_mut::<Ramfs>(this);
+    let mut comps = components(&path);
+    let Some(name) = comps.pop() else {
+        return Ok(Value::I64(Errno::Eexist.neg())); // root always exists
+    };
+    let parent = match fs.lookup_path(&comps.join("/")) {
+        Ok(i) => i,
+        Err(e) => return Ok(Value::I64(e)),
+    };
+    // Parent must be a directory without a same-named entry.
+    match fs.inodes.get(parent).and_then(Option::as_ref) {
+        Some(Inode::Dir { entries }) => {
+            if entries.iter().any(|(n, _)| *n == name) {
+                return Ok(Value::I64(Errno::Eexist.neg()));
+            }
+        }
+        _ => return Ok(Value::I64(Errno::Enotdir.neg())),
+    }
+    let ino = fs.inodes.len();
+    fs.inodes.push(Some(if is_dir {
+        Inode::Dir { entries: Vec::new() }
+    } else {
+        Inode::File { size: 0, extents: Vec::new() }
+    }));
+    match fs.inodes[parent].as_mut() {
+        Some(Inode::Dir { entries }) => entries.push((name, ino)),
+        _ => unreachable!("checked above"),
+    }
+    Ok(Value::I64(ino as i64))
+}
+
+fn e_remove(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST);
+    let path = match read_rel_path(sys, args)? {
+        Ok(p) => p,
+        Err(e) => return Ok(Value::I64(e)),
+    };
+    let fs = component_mut::<Ramfs>(this);
+    let mut comps = components(&path);
+    let Some(name) = comps.pop() else {
+        return Ok(Value::I64(Errno::Einval.neg())); // cannot remove root
+    };
+    let parent = match fs.lookup_path(&comps.join("/")) {
+        Ok(i) => i,
+        Err(e) => return Ok(Value::I64(e)),
+    };
+    let ino = {
+        let Some(Inode::Dir { entries }) = fs.inodes.get(parent).and_then(Option::as_ref) else {
+            return Ok(Value::I64(Errno::Enotdir.neg()));
+        };
+        match entries.iter().find(|(n, _)| *n == name) {
+            Some((_, i)) => *i,
+            None => return Ok(Value::I64(Errno::Enoent.neg())),
+        }
+    };
+    match fs.inodes.get(ino).and_then(Option::as_ref) {
+        Some(Inode::Dir { entries }) if !entries.is_empty() => {
+            return Ok(Value::I64(Errno::Enotempty.neg()))
+        }
+        _ => {}
+    }
+    if let Some(Inode::File { extents, .. }) = fs.inodes[ino].take() {
+        fs.pages_used -= extents.len() as u64;
+        fs.pool.extend(extents);
+    } else {
+        fs.inodes[ino] = None;
+    }
+    if let Some(Inode::Dir { entries }) = fs.inodes[parent].as_mut() {
+        entries.retain(|(n, _)| *n != name);
+    }
+    Ok(Value::I64(0))
+}
+
+fn e_read(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST);
+    let ino = args[0].as_i64();
+    let (buf, n) = args[1].as_buf();
+    let off = args[2].as_u64();
+    let fs = component_mut::<Ramfs>(this);
+    let (size, extents) = match fs.file_mut(ino) {
+        Ok(x) => (*x.0, x.1.clone()),
+        Err(e) => return Ok(Value::I64(e)),
+    };
+    if off >= size {
+        return Ok(Value::I64(0)); // EOF
+    }
+    let n = n.min((size - off) as usize);
+    // Copy extent pages → caller's buffer (runs with RAMFS privileges;
+    // writing the caller's buffer requires the caller's window).
+    let mut copied = 0usize;
+    while copied < n {
+        let pos = off as usize + copied;
+        let page_idx = pos / PAGE_SIZE;
+        let page_off = pos % PAGE_SIZE;
+        let chunk = (PAGE_SIZE - page_off).min(n - copied);
+        let src = extents[page_idx] + page_off;
+        match cubicle_ukbase::libc::memcpy(sys, buf + copied, src, chunk) {
+            Ok(()) => {}
+            Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
+                return Ok(Value::I64(Errno::Eacces.neg()))
+            }
+            Err(e) => return Err(e),
+        }
+        copied += chunk;
+    }
+    Ok(Value::I64(n as i64))
+}
+
+fn e_write(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST);
+    let ino = args[0].as_i64();
+    let (buf, n) = args[1].as_buf();
+    let off = args[2].as_u64();
+    // Grow extents to cover [off, off+n).
+    let needed_pages = ((off as usize + n).div_ceil(PAGE_SIZE)).max(0);
+    {
+        let fs = component_mut::<Ramfs>(this);
+        if let Err(e) = fs.file_mut(ino) {
+            return Ok(Value::I64(e));
+        }
+        while {
+            let fs = component_mut::<Ramfs>(this);
+            let (_, extents) = fs.file_mut(ino).expect("checked");
+            extents.len() < needed_pages
+        } {
+            let page = {
+                let fs = component_mut::<Ramfs>(this);
+                fs.take_page(sys)?
+            };
+            let fs = component_mut::<Ramfs>(this);
+            let (_, extents) = fs.file_mut(ino).expect("checked");
+            extents.push(page);
+        }
+    }
+    let extents = {
+        let fs = component_mut::<Ramfs>(this);
+        let (_, extents) = fs.file_mut(ino).expect("checked");
+        extents.clone()
+    };
+    // Copy caller's buffer → extent pages.
+    let mut copied = 0usize;
+    while copied < n {
+        let pos = off as usize + copied;
+        let page_idx = pos / PAGE_SIZE;
+        let page_off = pos % PAGE_SIZE;
+        let chunk = (PAGE_SIZE - page_off).min(n - copied);
+        let dst = extents[page_idx] + page_off;
+        match cubicle_ukbase::libc::memcpy(sys, dst, buf + copied, chunk) {
+            Ok(()) => {}
+            Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
+                return Ok(Value::I64(Errno::Eacces.neg()))
+            }
+            Err(e) => return Err(e),
+        }
+        copied += chunk;
+    }
+    let fs = component_mut::<Ramfs>(this);
+    let (size, _) = fs.file_mut(ino).expect("checked");
+    *size = (*size).max(off + n as u64);
+    Ok(Value::I64(n as i64))
+}
+
+fn e_truncate(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST);
+    let ino = args[0].as_i64();
+    let new_len = args[1].as_u64();
+    let needed_pages = (new_len as usize).div_ceil(PAGE_SIZE);
+    {
+        let fs = component_mut::<Ramfs>(this);
+        let surplus: Vec<VAddr> = match fs.file_mut(ino) {
+            Ok((_, extents)) => {
+                // shrink: recycle surplus pages
+                let keep = needed_pages.min(extents.len());
+                extents.split_off(keep)
+            }
+            Err(e) => return Ok(Value::I64(e)),
+        };
+        fs.pages_used -= surplus.len() as u64;
+        fs.pool.extend(surplus);
+    }
+    // grow: add zeroed pages
+    loop {
+        let need_more = {
+            let fs = component_mut::<Ramfs>(this);
+            let (_, extents) = fs.file_mut(ino).expect("checked");
+            extents.len() < needed_pages
+        };
+        if !need_more {
+            break;
+        }
+        let page = {
+            let fs = component_mut::<Ramfs>(this);
+            fs.take_page(sys)?
+        };
+        let fs = component_mut::<Ramfs>(this);
+        let (_, extents) = fs.file_mut(ino).expect("checked");
+        extents.push(page);
+    }
+    let fs = component_mut::<Ramfs>(this);
+    let (size, _) = fs.file_mut(ino).expect("checked");
+    *size = new_len;
+    Ok(Value::I64(0))
+}
+
+
+fn e_size(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST / 2);
+    let ino = args[0].as_i64();
+    let fs = component_mut::<Ramfs>(this);
+    match fs.file_mut(ino) {
+        Ok((size, _)) => Ok(Value::I64(*size as i64)),
+        Err(e) => Ok(Value::I64(e)),
+    }
+}
+
+fn e_sync(sys: &mut System, _this: &mut dyn Component, _args: &[Value]) -> Result<Value> {
+    // RAM-backed: nothing to flush, but the crossing itself is the cost
+    // the paper measures.
+    sys.charge(RAMFS_OP_COST / 2);
+    Ok(Value::I64(0))
+}
+
+fn e_readdir(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST);
+    let ino = args[0].as_i64();
+    let (buf, n) = args[1].as_buf();
+    let index = args[2].as_i64();
+    let fs = component_mut::<Ramfs>(this);
+    let name = match usize::try_from(ino).ok().and_then(|i| fs.inodes.get(i)?.as_ref()) {
+        Some(Inode::Dir { entries }) => match usize::try_from(index)
+            .ok()
+            .and_then(|i| entries.get(i))
+        {
+            Some((name, _)) => name.clone(),
+            None => return Ok(Value::I64(Errno::Enoent.neg())),
+        },
+        Some(Inode::File { .. }) => return Ok(Value::I64(Errno::Enotdir.neg())),
+        None => return Ok(Value::I64(Errno::Enoent.neg())),
+    };
+    let out = name.as_bytes();
+    let len = out.len().min(n);
+    match sys.write(buf, &out[..len]) {
+        Ok(()) => Ok(Value::I64(len as i64)),
+        Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
+            Ok(Value::I64(Errno::Eacces.neg()))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn e_is_dir(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST / 2);
+    let ino = args[0].as_i64();
+    let fs = component_mut::<Ramfs>(this);
+    match usize::try_from(ino).ok().and_then(|i| fs.inodes.get(i)?.as_ref()) {
+        Some(Inode::Dir { .. }) => Ok(Value::I64(1)),
+        Some(Inode::File { .. }) => Ok(Value::I64(0)),
+        None => Ok(Value::I64(Errno::Enoent.neg())),
+    }
+}

@@ -1,0 +1,262 @@
+//! Abstract syntax tree for the supported SQL dialect.
+
+use crate::value::SqlValue;
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=` / `==`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `||`
+    Concat,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `NOT`
+    Not,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(SqlValue),
+    /// Column reference, optionally qualified (`t.col`).
+    Column {
+        /// Table qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Left operand.
+        expr: Box<Expr>,
+        /// Pattern operand.
+        pattern: Box<Expr>,
+        /// NOT LIKE?
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        lo: Box<Expr>,
+        /// Upper bound.
+        hi: Box<Expr>,
+        /// NOT BETWEEN?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// NOT IN?
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// IS NOT NULL?
+        negated: bool,
+    },
+    /// Function call (aggregates and scalars). `count(*)` sets `star`.
+    FnCall {
+        /// Lowercased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `count(*)`.
+        star: bool,
+    },
+}
+
+/// One item of a SELECT list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `expr [AS alias]`
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Output alias.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in FROM.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+/// A SELECT statement.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SelectStmt {
+    /// Output expressions.
+    pub items: Vec<SelectItem>,
+    /// FROM tables (inner joins; ON conditions are folded into `where_`).
+    pub from: Vec<TableRef>,
+    /// WHERE clause.
+    pub where_: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate (aggregate context).
+    pub having: Option<Expr>,
+    /// ORDER BY expressions with descending flags.
+    pub order_by: Vec<(Expr, bool)>,
+    /// LIMIT.
+    pub limit: Option<u64>,
+    /// OFFSET.
+    pub offset: Option<u64>,
+    /// DISTINCT?
+    pub distinct: bool,
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type (drives affinity).
+    pub decl_type: String,
+    /// INTEGER PRIMARY KEY (rowid alias)?
+    pub primary_key: bool,
+    /// NOT NULL?
+    pub not_null: bool,
+    /// UNIQUE?
+    pub unique: bool,
+    /// DEFAULT literal.
+    pub default: Option<SqlValue>,
+}
+
+/// A SQL statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// CREATE TABLE.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Columns.
+        columns: Vec<ColumnDef>,
+        /// IF NOT EXISTS?
+        if_not_exists: bool,
+    },
+    /// CREATE \[UNIQUE\] INDEX.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed columns.
+        columns: Vec<String>,
+        /// UNIQUE?
+        unique: bool,
+        /// IF NOT EXISTS?
+        if_not_exists: bool,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// IF EXISTS?
+        if_exists: bool,
+    },
+    /// DROP INDEX.
+    DropIndex {
+        /// Index name.
+        name: String,
+        /// IF EXISTS?
+        if_exists: bool,
+    },
+    /// INSERT.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Rows of value expressions.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// SELECT.
+    Select(SelectStmt),
+    /// UPDATE.
+    Update {
+        /// Target table.
+        table: String,
+        /// SET assignments.
+        sets: Vec<(String, Expr)>,
+        /// WHERE clause.
+        where_: Option<Expr>,
+    },
+    /// DELETE.
+    Delete {
+        /// Target table.
+        table: String,
+        /// WHERE clause.
+        where_: Option<Expr>,
+    },
+    /// BEGIN \[TRANSACTION\].
+    Begin,
+    /// COMMIT.
+    Commit,
+    /// ROLLBACK.
+    Rollback,
+    /// PRAGMA name [= value] (only `integrity_check` has semantics).
+    Pragma(String),
+    /// ALTER TABLE … RENAME TO ….
+    AlterRename {
+        /// Current table name.
+        table: String,
+        /// New table name.
+        to: String,
+    },
+    /// ALTER TABLE … ADD \[COLUMN\] ….
+    AlterAddColumn {
+        /// Target table.
+        table: String,
+        /// The new column (appended last; existing rows read it as the
+        /// default value).
+        column: ColumnDef,
+    },
+}

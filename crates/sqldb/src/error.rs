@@ -1,0 +1,88 @@
+//! Error type of the SQL engine.
+
+use cubicle_core::CubicleError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the database engine.
+#[derive(Clone, Debug)]
+pub enum SqlError {
+    /// Syntax error from the tokenizer/parser.
+    Parse(String),
+    /// Reference to an unknown table.
+    NoSuchTable(String),
+    /// Reference to an unknown column.
+    NoSuchColumn(String),
+    /// Reference to an unknown index.
+    NoSuchIndex(String),
+    /// Schema object already exists.
+    AlreadyExists(String),
+    /// Constraint violation (PRIMARY KEY / UNIQUE / NOT NULL).
+    Constraint(String),
+    /// Type error during evaluation.
+    Type(String),
+    /// Arity/semantic error in a statement.
+    Misuse(String),
+    /// Storage-layer failure (`-errno` from the file system stack).
+    Io(i64),
+    /// Database file is corrupted.
+    Corrupt(String),
+    /// Kernel-level failure (isolation violation etc.).
+    Kernel(CubicleError),
+    /// Transaction state error (e.g. COMMIT without BEGIN).
+    Transaction(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "syntax error: {m}"),
+            SqlError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SqlError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            SqlError::NoSuchIndex(i) => write!(f, "no such index: {i}"),
+            SqlError::AlreadyExists(o) => write!(f, "object already exists: {o}"),
+            SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            SqlError::Type(m) => write!(f, "type error: {m}"),
+            SqlError::Misuse(m) => write!(f, "misuse: {m}"),
+            SqlError::Io(e) => write!(f, "i/o error: errno {e}"),
+            SqlError::Corrupt(m) => write!(f, "database corrupt: {m}"),
+            SqlError::Kernel(e) => write!(f, "kernel error: {e}"),
+            SqlError::Transaction(m) => write!(f, "transaction error: {m}"),
+        }
+    }
+}
+
+impl Error for SqlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SqlError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CubicleError> for SqlError {
+    fn from(e: CubicleError) -> Self {
+        SqlError::Kernel(e)
+    }
+}
+
+/// Result alias for the engine.
+pub type Result<T, E = SqlError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(SqlError::NoSuchTable("t1".into()).to_string().contains("t1"));
+        assert!(SqlError::Io(-5).to_string().contains("-5"));
+    }
+
+    #[test]
+    fn kernel_source() {
+        let e = SqlError::from(CubicleError::OutOfKeys);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,31 @@
+//! # cubicle-sqldb — the SQLite-like embedded SQL engine
+//!
+//! The paper's CPU/memory-intensive workload (§6.4–6.5) is SQLite 3.30
+//! running `speedtest1` on top of the CubicleOS file stack. This crate is
+//! the laboratory substitute: a complete embedded SQL engine —
+//! tokenizer → parser → planner → executor over a B+tree storage layer
+//! with a page cache and a rollback journal — whose only door to the OS
+//! is the [`storage::StorageEnv`] abstraction.
+//!
+//! Two storage environments exist: [`storage::HostEnv`] (in-process, for
+//! engine unit tests) and [`storage::CubicleEnv`] (the real port: every
+//! file operation is a windowed cross-cubicle call through `VFSCORE` to
+//! `RAMFS`). The [`speedtest`] module reproduces the speedtest1 workload
+//! with the query identifiers used on the x-axis of Figure 6.
+
+pub mod ast;
+pub mod btree;
+mod db;
+mod error;
+mod exec;
+pub mod pager;
+pub mod parser;
+pub mod record;
+pub mod speedtest;
+pub mod storage;
+pub mod token;
+mod value;
+
+pub use db::{Database, QueryResult};
+pub use error::{Result, SqlError};
+pub use value::{Affinity, SqlValue};

@@ -1,0 +1,861 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::token::{tokenize, Token};
+use crate::value::SqlValue;
+
+/// Parses one or more `;`-separated statements.
+///
+/// # Errors
+///
+/// [`SqlError::Parse`] on any syntax error.
+pub fn parse_all(sql: &str) -> Result<Vec<Stmt>> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_punct(";") {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+/// Parses exactly one statement.
+///
+/// # Errors
+///
+/// [`SqlError::Parse`] on syntax errors or trailing tokens.
+pub fn parse_one(sql: &str) -> Result<Stmt> {
+    let stmts = parse_all(sql)?;
+    match stmts.len() {
+        1 => Ok(stmts.into_iter().next().expect("len checked")),
+        0 => Err(SqlError::Parse("empty statement".into())),
+        _ => Err(SqlError::Parse("expected a single statement".into())),
+    }
+}
+
+/// Keywords that may never appear as a bare column reference.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "order", "limit", "offset", "insert", "update",
+    "delete", "create", "drop", "table", "index", "values", "set", "into", "and", "or",
+    "join", "inner", "on", "by", "begin", "commit", "rollback", "pragma", "having", "alter",
+];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SqlError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected `{kw}`, found `{}`",
+                self.peek().map_or("end of input".to_string(), |t| t.to_string())
+            )))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected `{p}`, found `{}`",
+                self.peek().map_or("end of input".to_string(), |t| t.to_string())
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) | Token::QuotedIdent(s) => Ok(s),
+            other => Err(SqlError::Parse(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        let t = self
+            .peek()
+            .ok_or_else(|| SqlError::Parse("empty statement".into()))?
+            .clone();
+        match &t {
+            t if t.is_kw("create") => self.create(),
+            t if t.is_kw("drop") => self.drop(),
+            t if t.is_kw("insert") => self.insert(),
+            t if t.is_kw("select") => Ok(Stmt::Select(self.select()?)),
+            t if t.is_kw("update") => self.update(),
+            t if t.is_kw("delete") => self.delete(),
+            t if t.is_kw("begin") => {
+                self.pos += 1;
+                self.eat_kw("transaction");
+                Ok(Stmt::Begin)
+            }
+            t if t.is_kw("commit") => {
+                self.pos += 1;
+                self.eat_kw("transaction");
+                Ok(Stmt::Commit)
+            }
+            t if t.is_kw("rollback") => {
+                self.pos += 1;
+                self.eat_kw("transaction");
+                Ok(Stmt::Rollback)
+            }
+            t if t.is_kw("alter") => self.alter(),
+            t if t.is_kw("pragma") => {
+                self.pos += 1;
+                let name = self.ident()?;
+                if self.eat_punct("=") {
+                    let _ = self.next()?;
+                }
+                Ok(Stmt::Pragma(name.to_ascii_lowercase()))
+            }
+            other => Err(SqlError::Parse(format!("unsupported statement `{other}`"))),
+        }
+    }
+
+    fn create(&mut self) -> Result<Stmt> {
+        self.expect_kw("create")?;
+        let unique = self.eat_kw("unique");
+        if self.eat_kw("table") {
+            if unique {
+                return Err(SqlError::Parse("UNIQUE TABLE is not a thing".into()));
+            }
+            let if_not_exists = self.if_not_exists()?;
+            let name = self.ident()?;
+            self.expect_punct("(")?;
+            let mut columns = Vec::new();
+            loop {
+                columns.push(self.column_def()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+            Ok(Stmt::CreateTable { name, columns, if_not_exists })
+        } else if self.eat_kw("index") {
+            let if_not_exists = self.if_not_exists()?;
+            let name = self.ident()?;
+            self.expect_kw("on")?;
+            let table = self.ident()?;
+            self.expect_punct("(")?;
+            let mut columns = Vec::new();
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+            Ok(Stmt::CreateIndex { name, table, columns, unique, if_not_exists })
+        } else {
+            Err(SqlError::Parse("expected TABLE or INDEX after CREATE".into()))
+        }
+    }
+
+    fn if_not_exists(&mut self) -> Result<bool> {
+        if self.eat_kw("if") {
+            self.expect_kw("not")?;
+            self.expect_kw("exists")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn column_def(&mut self) -> Result<ColumnDef> {
+        let name = self.ident()?;
+        // declared type: a run of identifiers possibly with (n[,m])
+        let mut decl_type = String::new();
+        while let Some(Token::Ident(word)) = self.peek() {
+            let w = word.to_ascii_uppercase();
+            if matches!(
+                w.as_str(),
+                "PRIMARY" | "NOT" | "UNIQUE" | "DEFAULT" | "REFERENCES" | "CHECK" | "COLLATE"
+            ) {
+                break;
+            }
+            if !decl_type.is_empty() {
+                decl_type.push(' ');
+            }
+            decl_type.push_str(&w);
+            self.pos += 1;
+            if self.eat_punct("(") {
+                while !self.eat_punct(")") {
+                    self.pos += 1;
+                }
+            }
+        }
+        let mut def = ColumnDef {
+            name,
+            decl_type,
+            primary_key: false,
+            not_null: false,
+            unique: false,
+            default: None,
+        };
+        loop {
+            if self.eat_kw("primary") {
+                self.expect_kw("key")?;
+                def.primary_key = true;
+                self.eat_kw("asc");
+                self.eat_kw("desc");
+                self.eat_kw("autoincrement");
+            } else if self.eat_kw("not") {
+                self.expect_kw("null")?;
+                def.not_null = true;
+            } else if self.eat_kw("unique") {
+                def.unique = true;
+            } else if self.eat_kw("default") {
+                def.default = Some(self.literal()?);
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    fn literal(&mut self) -> Result<SqlValue> {
+        let neg = self.eat_punct("-");
+        match self.next()? {
+            Token::Integer(i) => Ok(SqlValue::Integer(if neg { -i } else { i })),
+            Token::Real(r) => Ok(SqlValue::Real(if neg { -r } else { r })),
+            Token::Str(s) if !neg => Ok(SqlValue::Text(s)),
+            Token::Blob(b) if !neg => Ok(SqlValue::Blob(b)),
+            Token::Ident(s) if !neg && s.eq_ignore_ascii_case("null") => Ok(SqlValue::Null),
+            other => Err(SqlError::Parse(format!("expected literal, found `{other}`"))),
+        }
+    }
+
+    fn alter(&mut self) -> Result<Stmt> {
+        self.expect_kw("alter")?;
+        self.expect_kw("table")?;
+        let table = self.ident()?;
+        if self.eat_kw("rename") {
+            self.expect_kw("to")?;
+            let to = self.ident()?;
+            return Ok(Stmt::AlterRename { table, to });
+        }
+        if self.eat_kw("add") {
+            self.eat_kw("column");
+            let column = self.column_def()?;
+            return Ok(Stmt::AlterAddColumn { table, column });
+        }
+        Err(SqlError::Parse("expected RENAME TO or ADD COLUMN after ALTER TABLE".into()))
+    }
+
+    fn drop(&mut self) -> Result<Stmt> {
+        self.expect_kw("drop")?;
+        let is_table = if self.eat_kw("table") {
+            true
+        } else if self.eat_kw("index") {
+            false
+        } else {
+            return Err(SqlError::Parse("expected TABLE or INDEX after DROP".into()));
+        };
+        let if_exists = if self.eat_kw("if") {
+            self.expect_kw("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        Ok(if is_table {
+            Stmt::DropTable { name, if_exists }
+        } else {
+            Stmt::DropIndex { name, if_exists }
+        })
+    }
+
+    fn insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let columns = if self.eat_punct("(") {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_punct("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+            rows.push(row);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(Stmt::Insert { table, columns, rows })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let mut stmt = SelectStmt { distinct: self.eat_kw("distinct"), ..Default::default() };
+        self.eat_kw("all");
+        loop {
+            if self.eat_punct("*") {
+                stmt.items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else if let Some(Token::Ident(s)) = self.peek() {
+                    // bare alias, unless it's a clause keyword
+                    let u = s.to_ascii_uppercase();
+                    if matches!(
+                        u.as_str(),
+                        "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "OFFSET" | "UNION"
+                    ) {
+                        None
+                    } else {
+                        Some(self.ident()?)
+                    }
+                } else {
+                    None
+                };
+                stmt.items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        if self.eat_kw("from") {
+            stmt.from.push(self.table_ref()?);
+            loop {
+                if self.eat_punct(",") {
+                    stmt.from.push(self.table_ref()?);
+                    continue;
+                }
+                // [INNER] JOIN t [ON expr] → extra table + folded condition
+                let inner = self.eat_kw("inner");
+                if self.eat_kw("join") {
+                    stmt.from.push(self.table_ref()?);
+                    if self.eat_kw("on") {
+                        let cond = self.expr()?;
+                        stmt.where_ = Some(match stmt.where_.take() {
+                            Some(w) => {
+                                Expr::Binary(BinOp::And, Box::new(w), Box::new(cond))
+                            }
+                            None => cond,
+                        });
+                    }
+                    continue;
+                }
+                if inner {
+                    return Err(SqlError::Parse("expected JOIN after INNER".into()));
+                }
+                break;
+            }
+        }
+        if self.eat_kw("where") {
+            let cond = self.expr()?;
+            stmt.where_ = Some(match stmt.where_.take() {
+                Some(w) => Expr::Binary(BinOp::And, Box::new(w), Box::new(cond)),
+                None => cond,
+            });
+        }
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                stmt.group_by.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("having") {
+            stmt.having = Some(self.expr()?);
+        }
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                stmt.order_by.push((e, desc));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("limit") {
+            match self.next()? {
+                Token::Integer(n) if n >= 0 => stmt.limit = Some(n as u64),
+                other => return Err(SqlError::Parse(format!("bad LIMIT `{other}`"))),
+            }
+            if self.eat_kw("offset") {
+                match self.next()? {
+                    Token::Integer(n) if n >= 0 => stmt.offset = Some(n as u64),
+                    other => return Err(SqlError::Parse(format!("bad OFFSET `{other}`"))),
+                }
+            }
+        }
+        Ok(stmt)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            let u = s.to_ascii_uppercase();
+            if matches!(
+                u.as_str(),
+                "WHERE"
+                    | "GROUP"
+                    | "HAVING"
+                    | "ORDER"
+                    | "LIMIT"
+                    | "JOIN"
+                    | "INNER"
+                    | "ON"
+                    | "UNION"
+                    | "OFFSET"
+            ) {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn update(&mut self) -> Result<Stmt> {
+        self.expect_kw("update")?;
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_punct("=")?;
+            sets.push((col, self.expr()?));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Stmt::Update { table, sets, where_ })
+    }
+
+    fn delete(&mut self) -> Result<Stmt> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Stmt::Delete { table, where_ })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Unary(UnOp::Not, Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+        }
+        let negated = self.eat_kw("not");
+        if self.eat_kw("like") {
+            let pattern = self.add_expr()?;
+            return Ok(Expr::Like { expr: Box::new(lhs), pattern: Box::new(pattern), negated });
+        }
+        if self.eat_kw("between") {
+            let lo = self.add_expr()?;
+            self.expect_kw("and")?;
+            let hi = self.add_expr()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect_punct("(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+            return Ok(Expr::InList { expr: Box::new(lhs), list, negated });
+        }
+        if negated {
+            return Err(SqlError::Parse("expected LIKE/BETWEEN/IN after NOT".into()));
+        }
+        let op = if self.eat_punct("=") || self.eat_punct("==") {
+            Some(BinOp::Eq)
+        } else if self.eat_punct("!=") || self.eat_punct("<>") {
+            Some(BinOp::Ne)
+        } else if self.eat_punct("<=") {
+            Some(BinOp::Le)
+        } else if self.eat_punct(">=") {
+            Some(BinOp::Ge)
+        } else if self.eat_punct("<") {
+            Some(BinOp::Lt)
+        } else if self.eat_punct(">") {
+            Some(BinOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let rhs = self.add_expr()?;
+                Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOp::Add
+            } else if self.eat_punct("-") {
+                BinOp::Sub
+            } else if self.eat_punct("||") {
+                BinOp::Concat
+            } else {
+                break;
+            };
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOp::Mul
+            } else if self.eat_punct("/") {
+                BinOp::Div
+            } else if self.eat_punct("%") {
+                BinOp::Mod
+            } else {
+                break;
+            };
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("+") {
+            return self.unary_expr();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let t = self.next()?;
+        match t {
+            Token::Integer(i) => Ok(Expr::Lit(SqlValue::Integer(i))),
+            Token::Real(r) => Ok(Expr::Lit(SqlValue::Real(r))),
+            Token::Str(s) => Ok(Expr::Lit(SqlValue::Text(s))),
+            Token::Blob(b) => Ok(Expr::Lit(SqlValue::Blob(b))),
+            Token::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Token::Ident(name) if name.eq_ignore_ascii_case("null") => {
+                Ok(Expr::Lit(SqlValue::Null))
+            }
+            Token::Ident(name) if RESERVED.iter().any(|k| name.eq_ignore_ascii_case(k)) => {
+                Err(SqlError::Parse(format!("unexpected keyword `{name}` in expression")))
+            }
+            Token::Ident(name) | Token::QuotedIdent(name) => {
+                if self.eat_punct("(") {
+                    // function call
+                    let mut args = Vec::new();
+                    let mut star = false;
+                    if self.eat_punct("*") {
+                        star = true;
+                        self.expect_punct(")")?;
+                    } else if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    Ok(Expr::FnCall { name: name.to_ascii_lowercase(), args, star })
+                } else if self.eat_punct(".") {
+                    let col = self.ident()?;
+                    Ok(Expr::Column { table: Some(name), name: col })
+                } else {
+                    Ok(Expr::Column { table: None, name })
+                }
+            }
+            other => Err(SqlError::Parse(format!("unexpected token `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse_one(
+            "CREATE TABLE t1(a INTEGER PRIMARY KEY, b TEXT NOT NULL, c DOUBLE DEFAULT 1.5)",
+        )
+        .unwrap();
+        let Stmt::CreateTable { name, columns, if_not_exists } = s else {
+            panic!("wrong stmt")
+        };
+        assert_eq!(name, "t1");
+        assert!(!if_not_exists);
+        assert_eq!(columns.len(), 3);
+        assert!(columns[0].primary_key);
+        assert!(columns[1].not_null);
+        assert_eq!(columns[2].default, Some(SqlValue::Real(1.5)));
+    }
+
+    #[test]
+    fn create_table_if_not_exists() {
+        let s = parse_one("CREATE TABLE IF NOT EXISTS t(x INT)").unwrap();
+        assert!(matches!(s, Stmt::CreateTable { if_not_exists: true, .. }));
+    }
+
+    #[test]
+    fn create_index() {
+        let s = parse_one("CREATE UNIQUE INDEX i1 ON t1(b, c)").unwrap();
+        let Stmt::CreateIndex { name, table, columns, unique, .. } = s else {
+            panic!("wrong stmt")
+        };
+        assert_eq!((name.as_str(), table.as_str(), unique), ("i1", "t1", true));
+        assert_eq!(columns, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse_one("INSERT INTO t(a,b) VALUES (1,'x'), (2,'y')").unwrap();
+        let Stmt::Insert { table, columns, rows } = s else { panic!("wrong stmt") };
+        assert_eq!(table, "t");
+        assert_eq!(columns.as_deref(), Some(&["a".to_string(), "b".to_string()][..]));
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn select_full_clause_set() {
+        let s = parse_one(
+            "SELECT a, count(*) AS n FROM t WHERE a BETWEEN 1 AND 10 \
+             GROUP BY a ORDER BY n DESC, a LIMIT 5 OFFSET 2",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!("wrong stmt") };
+        assert_eq!(sel.items.len(), 2);
+        assert!(sel.where_.is_some());
+        assert_eq!(sel.group_by.len(), 1);
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(sel.order_by[0].1, "first key is DESC");
+        assert_eq!(sel.limit, Some(5));
+        assert_eq!(sel.offset, Some(2));
+    }
+
+    #[test]
+    fn select_join_on_folds_into_where() {
+        let s = parse_one("SELECT * FROM a JOIN b ON a.id = b.id WHERE a.x > 0").unwrap();
+        let Stmt::Select(sel) = s else { panic!("wrong stmt") };
+        assert_eq!(sel.from.len(), 2);
+        // where = (a.id = b.id) AND (a.x > 0)
+        assert!(matches!(sel.where_, Some(Expr::Binary(BinOp::And, _, _))));
+    }
+
+    #[test]
+    fn select_comma_join_with_aliases() {
+        let s = parse_one("SELECT t1.a FROM t1, t2 AS x WHERE t1.a = x.b").unwrap();
+        let Stmt::Select(sel) = s else { panic!("wrong stmt") };
+        assert_eq!(sel.from[1].alias.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn precedence() {
+        // a + b * c < 10 AND NOT d  parses as  ((a + (b*c)) < 10) AND (NOT d)
+        let s = parse_one("SELECT 1 WHERE a + b * c < 10 AND NOT d").unwrap();
+        let Stmt::Select(sel) = s else { panic!("wrong stmt") };
+        let Some(Expr::Binary(BinOp::And, lhs, rhs)) = sel.where_ else { panic!("AND on top") };
+        assert!(matches!(*lhs, Expr::Binary(BinOp::Lt, _, _)));
+        assert!(matches!(*rhs, Expr::Unary(UnOp::Not, _)));
+    }
+
+    #[test]
+    fn like_between_in_not_variants() {
+        let cases = [
+            "SELECT 1 WHERE a LIKE 'x%'",
+            "SELECT 1 WHERE a NOT LIKE 'x%'",
+            "SELECT 1 WHERE a BETWEEN 1 AND 2",
+            "SELECT 1 WHERE a NOT BETWEEN 1 AND 2",
+            "SELECT 1 WHERE a IN (1,2,3)",
+            "SELECT 1 WHERE a NOT IN (1,2,3)",
+            "SELECT 1 WHERE a IS NULL",
+            "SELECT 1 WHERE a IS NOT NULL",
+        ];
+        for sql in cases {
+            parse_one(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        }
+    }
+
+    #[test]
+    fn update_delete() {
+        let s = parse_one("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
+        let Stmt::Update { sets, where_, .. } = s else { panic!("wrong stmt") };
+        assert_eq!(sets.len(), 2);
+        assert!(where_.is_some());
+        let s = parse_one("DELETE FROM t WHERE a < 0").unwrap();
+        assert!(matches!(s, Stmt::Delete { where_: Some(_), .. }));
+    }
+
+    #[test]
+    fn transactions_and_pragma() {
+        assert_eq!(parse_one("BEGIN").unwrap(), Stmt::Begin);
+        assert_eq!(parse_one("BEGIN TRANSACTION").unwrap(), Stmt::Begin);
+        assert_eq!(parse_one("COMMIT").unwrap(), Stmt::Commit);
+        assert_eq!(parse_one("ROLLBACK").unwrap(), Stmt::Rollback);
+        assert_eq!(parse_one("PRAGMA integrity_check").unwrap(), Stmt::Pragma("integrity_check".into()));
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let stmts = parse_all("BEGIN; INSERT INTO t VALUES (1); COMMIT;").unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_one("SELEC 1").is_err());
+        assert!(parse_one("SELECT FROM").is_err());
+        assert!(parse_one("INSERT INTO t VALUES").is_err());
+        assert!(parse_one("CREATE TABLE t(").is_err());
+        assert!(parse_one("SELECT 1; SELECT 2").is_err(), "parse_one rejects two stmts");
+    }
+
+    #[test]
+    fn negative_literals() {
+        let s = parse_one("INSERT INTO t VALUES (-5, -2.5)").unwrap();
+        let Stmt::Insert { rows, .. } = s else { panic!() };
+        assert_eq!(rows[0][0], Expr::Unary(UnOp::Neg, Box::new(Expr::Lit(SqlValue::Integer(5)))));
+    }
+
+    #[test]
+    fn function_calls() {
+        let s = parse_one("SELECT count(*), max(a), length(b || 'x') FROM t").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items.len(), 3);
+        let SelectItem::Expr { expr: Expr::FnCall { name, star, .. }, .. } = &sel.items[0] else {
+            panic!()
+        };
+        assert_eq!(name, "count");
+        assert!(star);
+    }
+}

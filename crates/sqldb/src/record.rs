@@ -1,0 +1,338 @@
+//! Row record serialisation and memcomparable index-key encoding.
+
+use crate::error::{Result, SqlError};
+use crate::value::SqlValue;
+
+// ---------------------------------------------------------------------------
+// Record format (row payloads): tag byte + payload per value.
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_REAL: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BLOB: u8 = 4;
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = *buf.get(*pos).ok_or_else(|| SqlError::Corrupt("truncated varint".into()))?;
+        *pos += 1;
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(SqlError::Corrupt("oversized varint".into()));
+        }
+    }
+}
+
+/// Serialises a row of values.
+pub fn encode_record(values: &[SqlValue]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8 + 2);
+    write_varint(&mut out, values.len() as u64);
+    for v in values {
+        match v {
+            SqlValue::Null => out.push(TAG_NULL),
+            SqlValue::Integer(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            SqlValue::Real(r) => {
+                out.push(TAG_REAL);
+                out.extend_from_slice(&r.to_le_bytes());
+            }
+            SqlValue::Text(s) => {
+                out.push(TAG_TEXT);
+                write_varint(&mut out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+            SqlValue::Blob(b) => {
+                out.push(TAG_BLOB);
+                write_varint(&mut out, b.len() as u64);
+                out.extend_from_slice(b);
+            }
+        }
+    }
+    out
+}
+
+/// Deserialises a row of values.
+///
+/// # Errors
+///
+/// [`SqlError::Corrupt`] on malformed input.
+pub fn decode_record(buf: &[u8]) -> Result<Vec<SqlValue>> {
+    let mut pos = 0;
+    let n = read_varint(buf, &mut pos)? as usize;
+    if n > 65_536 {
+        return Err(SqlError::Corrupt("implausible column count".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = *buf.get(pos).ok_or_else(|| SqlError::Corrupt("truncated record".into()))?;
+        pos += 1;
+        let v = match tag {
+            TAG_NULL => SqlValue::Null,
+            TAG_INT => {
+                let bytes: [u8; 8] = buf
+                    .get(pos..pos + 8)
+                    .ok_or_else(|| SqlError::Corrupt("truncated int".into()))?
+                    .try_into()
+                    .expect("8 bytes");
+                pos += 8;
+                SqlValue::Integer(i64::from_le_bytes(bytes))
+            }
+            TAG_REAL => {
+                let bytes: [u8; 8] = buf
+                    .get(pos..pos + 8)
+                    .ok_or_else(|| SqlError::Corrupt("truncated real".into()))?
+                    .try_into()
+                    .expect("8 bytes");
+                pos += 8;
+                SqlValue::Real(f64::from_le_bytes(bytes))
+            }
+            TAG_TEXT => {
+                let len = read_varint(buf, &mut pos)? as usize;
+                let bytes = buf
+                    .get(pos..pos + len)
+                    .ok_or_else(|| SqlError::Corrupt("truncated text".into()))?;
+                pos += len;
+                SqlValue::Text(
+                    String::from_utf8(bytes.to_vec())
+                        .map_err(|_| SqlError::Corrupt("invalid utf-8 in text".into()))?,
+                )
+            }
+            TAG_BLOB => {
+                let len = read_varint(buf, &mut pos)? as usize;
+                let bytes = buf
+                    .get(pos..pos + len)
+                    .ok_or_else(|| SqlError::Corrupt("truncated blob".into()))?;
+                pos += len;
+                SqlValue::Blob(bytes.to_vec())
+            }
+            t => return Err(SqlError::Corrupt(format!("unknown value tag {t}"))),
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Memcomparable key encoding: byte order == SqlValue::total_cmp order.
+// ---------------------------------------------------------------------------
+
+const RANK_NULL: u8 = 0x10;
+const RANK_NUM: u8 = 0x20;
+const RANK_TEXT: u8 = 0x30;
+const RANK_BLOB: u8 = 0x40;
+
+fn f64_sort_bits(r: f64) -> u64 {
+    let bits = r.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits // negative: flip everything
+    } else {
+        bits | (1 << 63) // positive: set sign bit
+    }
+}
+
+/// Appends the memcomparable encoding of one value.
+pub fn encode_key_value(out: &mut Vec<u8>, v: &SqlValue) {
+    match v {
+        SqlValue::Null => out.push(RANK_NULL),
+        SqlValue::Integer(i) => {
+            out.push(RANK_NUM);
+            out.extend_from_slice(&f64_sort_bits(*i as f64).to_be_bytes());
+            // disambiguate equal doubles from distinct giant ints
+            out.extend_from_slice(&((*i as u64) ^ (1 << 63)).to_be_bytes());
+        }
+        SqlValue::Real(r) => {
+            out.push(RANK_NUM);
+            out.extend_from_slice(&f64_sort_bits(*r).to_be_bytes());
+            out.extend_from_slice(&f64_sort_bits(*r).to_be_bytes());
+        }
+        SqlValue::Text(s) => {
+            out.push(RANK_TEXT);
+            // escape 0x00 → 0x00 0xFF, terminate with 0x00 0x00
+            for &b in s.as_bytes() {
+                out.push(b);
+                if b == 0 {
+                    out.push(0xFF);
+                }
+            }
+            out.extend_from_slice(&[0x00, 0x00]);
+        }
+        SqlValue::Blob(bytes) => {
+            out.push(RANK_BLOB);
+            for &b in bytes {
+                out.push(b);
+                if b == 0 {
+                    out.push(0xFF);
+                }
+            }
+            out.extend_from_slice(&[0x00, 0x00]);
+        }
+    }
+}
+
+/// Encodes a composite key (index columns), optionally terminated by a
+/// rowid for uniqueness.
+pub fn encode_index_key(values: &[SqlValue], rowid: Option<i64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 10 + 9);
+    for v in values {
+        encode_key_value(&mut out, v);
+    }
+    if let Some(rid) = rowid {
+        out.push(0xFE); // rowid marker, sorts after any value rank
+        out.extend_from_slice(&encode_rowid(rid));
+    }
+    out
+}
+
+/// Encodes a rowid as 8 sortable big-endian bytes.
+pub fn encode_rowid(rowid: i64) -> [u8; 8] {
+    ((rowid as u64) ^ (1 << 63)).to_be_bytes()
+}
+
+/// Decodes a rowid from its sortable encoding.
+pub fn decode_rowid(bytes: &[u8]) -> Result<i64> {
+    let arr: [u8; 8] = bytes
+        .get(..8)
+        .ok_or_else(|| SqlError::Corrupt("truncated rowid".into()))?
+        .try_into()
+        .expect("8 bytes");
+    Ok((u64::from_be_bytes(arr) ^ (1 << 63)) as i64)
+}
+
+/// Extracts the trailing rowid from an index key produced by
+/// [`encode_index_key`] with `rowid: Some(_)`.
+///
+/// # Errors
+///
+/// [`SqlError::Corrupt`] when the marker is missing.
+pub fn index_key_rowid(key: &[u8]) -> Result<i64> {
+    if key.len() < 9 || key[key.len() - 9] != 0xFE {
+        return Err(SqlError::Corrupt("index key has no rowid suffix".into()));
+    }
+    decode_rowid(&key[key.len() - 8..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    fn roundtrip(vals: Vec<SqlValue>) {
+        let enc = encode_record(&vals);
+        let dec = decode_record(&enc).unwrap();
+        assert_eq!(vals, dec);
+    }
+
+    #[test]
+    fn record_round_trips() {
+        roundtrip(vec![]);
+        roundtrip(vec![SqlValue::Null]);
+        roundtrip(vec![
+            SqlValue::Integer(-42),
+            SqlValue::Real(3.25),
+            SqlValue::Text("héllo".into()),
+            SqlValue::Blob(vec![0, 1, 255]),
+            SqlValue::Null,
+        ]);
+        roundtrip(vec![SqlValue::Text("x".repeat(10_000))]);
+    }
+
+    #[test]
+    fn record_rejects_garbage() {
+        assert!(decode_record(&[5]).is_err());
+        assert!(decode_record(&[1, 99]).is_err());
+        assert!(decode_record(&[1, TAG_INT, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn key_order_matches_value_order() {
+        let vals = [
+            SqlValue::Null,
+            SqlValue::Integer(i64::MIN / 2),
+            SqlValue::Integer(-1),
+            SqlValue::Real(-0.5),
+            SqlValue::Integer(0),
+            SqlValue::Real(0.5),
+            SqlValue::Integer(1),
+            SqlValue::Integer(1000),
+            SqlValue::Real(1e18),
+            SqlValue::Text("".into()),
+            SqlValue::Text("a".into()),
+            SqlValue::Text("ab".into()),
+            SqlValue::Text("b".into()),
+            SqlValue::Blob(vec![]),
+            SqlValue::Blob(vec![1]),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                let ka = encode_index_key(std::slice::from_ref(a), None);
+                let kb = encode_index_key(std::slice::from_ref(b), None);
+                let expect = a.total_cmp(b);
+                let got = ka.cmp(&kb);
+                if expect != Ordering::Equal {
+                    assert_eq!(got, expect, "{i} {a:?} vs {j} {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_prefix_orders_before_longer() {
+        let a = encode_index_key(&[SqlValue::Text("abc".into())], None);
+        let b = encode_index_key(&[SqlValue::Text("abcd".into())], None);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn embedded_nul_in_text_is_escaped() {
+        let a = encode_index_key(&[SqlValue::Text("a\0b".into())], None);
+        let b = encode_index_key(&[SqlValue::Text("a".into())], None);
+        assert!(b < a, "'a' sorts before 'a\\0b'");
+    }
+
+    #[test]
+    fn rowid_encoding_is_sortable() {
+        let ids = [i64::MIN, -5, -1, 0, 1, 42, i64::MAX];
+        for w in ids.windows(2) {
+            assert!(encode_rowid(w[0]) < encode_rowid(w[1]));
+        }
+        for id in ids {
+            assert_eq!(decode_rowid(&encode_rowid(id)).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn index_key_rowid_extraction() {
+        let k = encode_index_key(&[SqlValue::Text("x".into())], Some(77));
+        assert_eq!(index_key_rowid(&k).unwrap(), 77);
+        let k2 = encode_index_key(&[SqlValue::Integer(1)], None);
+        assert!(index_key_rowid(&k2).is_err());
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        let k1 = encode_index_key(&[SqlValue::Integer(1), SqlValue::Text("b".into())], None);
+        let k2 = encode_index_key(&[SqlValue::Integer(2), SqlValue::Text("a".into())], None);
+        assert!(k1 < k2, "first column dominates");
+    }
+}

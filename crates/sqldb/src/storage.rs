@@ -1,0 +1,374 @@
+//! Storage abstraction: the engine's door to the OS.
+//!
+//! The database engine talks to files through [`StorageFile`] /
+//! [`StorageEnv`]. Two environments exist:
+//!
+//! * [`HostEnv`] — plain in-process byte vectors; used by engine unit
+//!   tests that do not exercise isolation.
+//! * [`CubicleEnv`] — the real thing: every operation is a cross-cubicle
+//!   call into `VFSCORE`/`RAMFS` through a [`VfsPort`], with per-call
+//!   window management. This is the paper's "SQLite port" (620 SLOC of
+//!   window management, Table 2).
+
+use crate::error::{Result, SqlError};
+use cubicle_core::System;
+use cubicle_mpk::VAddr;
+use cubicle_vfs::{flags, VfsPort};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A random-access file.
+pub trait StorageFile {
+    /// Reads at `off` into `buf`; returns bytes read (0 at EOF).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Io`] with a negative errno.
+    fn pread(&mut self, sys: &mut System, off: u64, buf: &mut [u8]) -> Result<usize>;
+
+    /// Writes `data` at `off`; returns bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Io`] with a negative errno.
+    fn pwrite(&mut self, sys: &mut System, off: u64, data: &[u8]) -> Result<usize>;
+
+    /// Current file size.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Io`] with a negative errno.
+    fn size(&mut self, sys: &mut System) -> Result<u64>;
+
+    /// Truncates (or extends, zero-filled) the file.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Io`] with a negative errno.
+    fn truncate(&mut self, sys: &mut System, len: u64) -> Result<()>;
+
+    /// Durably flushes the file.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Io`] with a negative errno.
+    fn sync(&mut self, sys: &mut System) -> Result<()>;
+
+    /// Releases the handle (file descriptors, staging buffers). The
+    /// default is a no-op for handle-less backends.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Io`] with a negative errno.
+    fn close(&mut self, _sys: &mut System) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A file namespace (open / unlink / exists).
+pub trait StorageEnv {
+    /// Opens (creating if necessary) a file.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Io`] with a negative errno.
+    fn open(&mut self, sys: &mut System, path: &str) -> Result<Box<dyn StorageFile>>;
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Io`] with a negative errno.
+    fn unlink(&mut self, sys: &mut System, path: &str) -> Result<()>;
+
+    /// Does the file exist?
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Io`] with a negative errno.
+    fn exists(&mut self, sys: &mut System, path: &str) -> Result<bool>;
+}
+
+// ---------------------------------------------------------------------------
+// Host-backed environment (unit tests)
+// ---------------------------------------------------------------------------
+
+/// In-process storage environment for engine-only tests.
+#[derive(Clone, Debug, Default)]
+pub struct HostEnv {
+    files: Rc<RefCell<HashMap<String, Rc<RefCell<Vec<u8>>>>>>,
+}
+
+impl HostEnv {
+    /// Creates an empty namespace.
+    pub fn new() -> HostEnv {
+        HostEnv::default()
+    }
+}
+
+struct HostFile {
+    data: Rc<RefCell<Vec<u8>>>,
+}
+
+impl StorageFile for HostFile {
+    fn pread(&mut self, _sys: &mut System, off: u64, buf: &mut [u8]) -> Result<usize> {
+        let data = self.data.borrow();
+        let off = off as usize;
+        if off >= data.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(data.len() - off);
+        buf[..n].copy_from_slice(&data[off..off + n]);
+        Ok(n)
+    }
+
+    fn pwrite(&mut self, _sys: &mut System, off: u64, data_in: &[u8]) -> Result<usize> {
+        let mut data = self.data.borrow_mut();
+        let end = off as usize + data_in.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[off as usize..end].copy_from_slice(data_in);
+        Ok(data_in.len())
+    }
+
+    fn size(&mut self, _sys: &mut System) -> Result<u64> {
+        Ok(self.data.borrow().len() as u64)
+    }
+
+    fn truncate(&mut self, _sys: &mut System, len: u64) -> Result<()> {
+        self.data.borrow_mut().resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn sync(&mut self, _sys: &mut System) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl StorageEnv for HostEnv {
+    fn open(&mut self, _sys: &mut System, path: &str) -> Result<Box<dyn StorageFile>> {
+        let data = self
+            .files
+            .borrow_mut()
+            .entry(path.to_string())
+            .or_insert_with(|| Rc::new(RefCell::new(Vec::new())))
+            .clone();
+        Ok(Box::new(HostFile { data }))
+    }
+
+    fn unlink(&mut self, _sys: &mut System, path: &str) -> Result<()> {
+        self.files.borrow_mut().remove(path);
+        Ok(())
+    }
+
+    fn exists(&mut self, _sys: &mut System, path: &str) -> Result<bool> {
+        Ok(self.files.borrow().contains_key(path))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cubicle-backed environment (the real port)
+// ---------------------------------------------------------------------------
+
+/// Storage environment that routes through the CubicleOS file stack.
+#[derive(Clone, Debug)]
+pub struct CubicleEnv {
+    port: VfsPort,
+}
+
+impl CubicleEnv {
+    /// Wraps a [`VfsPort`] created in the application cubicle.
+    pub fn new(port: VfsPort) -> CubicleEnv {
+        CubicleEnv { port }
+    }
+}
+
+/// Staging buffer size for file I/O (two DB pages).
+const STAGING: usize = 8192;
+
+struct CubicleFile {
+    port: VfsPort,
+    fd: i64,
+    staging: VAddr,
+}
+
+fn io_err<T>(code: i64) -> Result<T> {
+    Err(SqlError::Io(code))
+}
+
+impl StorageFile for CubicleFile {
+    fn pread(&mut self, sys: &mut System, off: u64, buf: &mut [u8]) -> Result<usize> {
+        let mut done = 0;
+        while done < buf.len() {
+            let chunk = (buf.len() - done).min(STAGING);
+            let n =
+                self.port.pread(sys, self.fd, self.staging, chunk, off + done as u64)?;
+            if n < 0 {
+                return io_err(n);
+            }
+            if n == 0 {
+                break;
+            }
+            let bytes = sys.read_vec(self.staging, n as usize)?;
+            buf[done..done + n as usize].copy_from_slice(&bytes);
+            done += n as usize;
+            if (n as usize) < chunk {
+                break;
+            }
+        }
+        Ok(done)
+    }
+
+    fn pwrite(&mut self, sys: &mut System, off: u64, data: &[u8]) -> Result<usize> {
+        let mut done = 0;
+        while done < data.len() {
+            let chunk = (data.len() - done).min(STAGING);
+            sys.write(self.staging, &data[done..done + chunk])?;
+            let n =
+                self.port.pwrite(sys, self.fd, self.staging, chunk, off + done as u64)?;
+            if n < 0 {
+                return io_err(n);
+            }
+            done += n as usize;
+        }
+        Ok(done)
+    }
+
+    fn size(&mut self, sys: &mut System) -> Result<u64> {
+        match self.port.fstat(sys, self.fd)? {
+            Ok(stat) => Ok(stat.size),
+            Err(e) => io_err(e),
+        }
+    }
+
+    fn truncate(&mut self, sys: &mut System, len: u64) -> Result<()> {
+        let r = self.port.ftruncate(sys, self.fd, len)?;
+        if r < 0 {
+            return io_err(r);
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self, sys: &mut System) -> Result<()> {
+        let r = self.port.fsync(sys, self.fd)?;
+        if r < 0 {
+            return io_err(r);
+        }
+        Ok(())
+    }
+
+    fn close(&mut self, sys: &mut System) -> Result<()> {
+        if self.fd >= 0 {
+            let r = self.port.close(sys, self.fd)?;
+            self.fd = -1;
+            sys.heap_free(self.staging)?;
+            if r < 0 {
+                return io_err(r);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StorageEnv for CubicleEnv {
+    fn open(&mut self, sys: &mut System, path: &str) -> Result<Box<dyn StorageFile>> {
+        let fd = self.port.open(sys, path, flags::O_CREAT | flags::O_RDWR)?;
+        if fd < 0 {
+            return io_err(fd);
+        }
+        let staging = sys.heap_alloc(STAGING, 4096)?;
+        Ok(Box::new(CubicleFile { port: self.port.clone(), fd, staging }))
+    }
+
+    fn unlink(&mut self, sys: &mut System, path: &str) -> Result<()> {
+        let r = self.port.unlink(sys, path)?;
+        if r < 0 && r != cubicle_core::Errno::Enoent.neg() {
+            return io_err(r);
+        }
+        Ok(())
+    }
+
+    fn exists(&mut self, sys: &mut System, path: &str) -> Result<bool> {
+        match self.port.stat(sys, path)? {
+            Ok(_) => Ok(true),
+            Err(e) if e == cubicle_core::Errno::Enoent.neg() => Ok(false),
+            Err(e) => io_err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubicle_core::IsolationMode;
+
+    fn sys() -> System {
+        System::new(IsolationMode::Unikraft)
+    }
+
+    #[test]
+    fn host_file_round_trip() {
+        let mut sys = sys();
+        let mut env = HostEnv::new();
+        let mut f = env.open(&mut sys, "/db").unwrap();
+        assert_eq!(f.size(&mut sys).unwrap(), 0);
+        f.pwrite(&mut sys, 10, b"hello").unwrap();
+        assert_eq!(f.size(&mut sys).unwrap(), 15);
+        let mut buf = [0u8; 5];
+        assert_eq!(f.pread(&mut sys, 10, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        // sparse region reads back zeroed
+        let mut z = [9u8; 4];
+        f.pread(&mut sys, 0, &mut z).unwrap();
+        assert_eq!(z, [0u8; 4]);
+    }
+
+    #[test]
+    fn host_eof_semantics() {
+        let mut sys = sys();
+        let mut env = HostEnv::new();
+        let mut f = env.open(&mut sys, "/db").unwrap();
+        f.pwrite(&mut sys, 0, b"abc").unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(f.pread(&mut sys, 0, &mut buf).unwrap(), 3);
+        assert_eq!(f.pread(&mut sys, 5, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn host_unlink_and_exists() {
+        let mut sys = sys();
+        let mut env = HostEnv::new();
+        env.open(&mut sys, "/a").unwrap();
+        assert!(env.exists(&mut sys, "/a").unwrap());
+        env.unlink(&mut sys, "/a").unwrap();
+        assert!(!env.exists(&mut sys, "/a").unwrap());
+    }
+
+    #[test]
+    fn host_truncate() {
+        let mut sys = sys();
+        let mut env = HostEnv::new();
+        let mut f = env.open(&mut sys, "/t").unwrap();
+        f.pwrite(&mut sys, 0, &[1u8; 100]).unwrap();
+        f.truncate(&mut sys, 10).unwrap();
+        assert_eq!(f.size(&mut sys).unwrap(), 10);
+        f.truncate(&mut sys, 20).unwrap();
+        let mut buf = [9u8; 20];
+        f.pread(&mut sys, 0, &mut buf).unwrap();
+        assert_eq!(&buf[10..], &[0u8; 10]);
+    }
+
+    #[test]
+    fn host_handles_share_contents() {
+        let mut sys = sys();
+        let mut env = HostEnv::new();
+        let mut f1 = env.open(&mut sys, "/x").unwrap();
+        let mut f2 = env.open(&mut sys, "/x").unwrap();
+        f1.pwrite(&mut sys, 0, b"shared").unwrap();
+        let mut buf = [0u8; 6];
+        f2.pread(&mut sys, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"shared");
+    }
+}

@@ -1,0 +1,258 @@
+//! SQL values and their comparison semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically-typed SQL value (SQLite's storage classes).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlValue {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Integer(i64),
+    /// 64-bit float.
+    Real(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes.
+    Blob(Vec<u8>),
+}
+
+impl SqlValue {
+    /// SQLite type-ordering rank: NULL < numeric < text < blob.
+    fn rank(&self) -> u8 {
+        match self {
+            SqlValue::Null => 0,
+            SqlValue::Integer(_) | SqlValue::Real(_) => 1,
+            SqlValue::Text(_) => 2,
+            SqlValue::Blob(_) => 3,
+        }
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+
+    /// Numeric view (integers and reals).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            SqlValue::Integer(i) => Some(*i as f64),
+            SqlValue::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Integer view (no coercion from text).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            SqlValue::Integer(i) => Some(*i),
+            SqlValue::Real(r) => Some(*r as i64),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued truthiness: NULL → `None`.
+    pub fn truthy(&self) -> Option<bool> {
+        match self {
+            SqlValue::Null => None,
+            SqlValue::Integer(i) => Some(*i != 0),
+            SqlValue::Real(r) => Some(*r != 0.0),
+            SqlValue::Text(s) => Some(s.parse::<f64>().map(|v| v != 0.0).unwrap_or(false)),
+            SqlValue::Blob(b) => Some(!b.is_empty()),
+        }
+    }
+
+    /// Total ordering across storage classes (SQLite's ORDER BY order).
+    /// NULLs sort first; numbers compare numerically across int/real.
+    pub fn total_cmp(&self, other: &SqlValue) -> Ordering {
+        match (self, other) {
+            (SqlValue::Null, SqlValue::Null) => Ordering::Equal,
+            (SqlValue::Integer(a), SqlValue::Integer(b)) => a.cmp(b),
+            (SqlValue::Real(a), SqlValue::Real(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (SqlValue::Integer(a), SqlValue::Real(b)) => {
+                (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal)
+            }
+            (SqlValue::Real(a), SqlValue::Integer(b)) => {
+                a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal)
+            }
+            (SqlValue::Text(a), SqlValue::Text(b)) => a.cmp(b),
+            (SqlValue::Blob(a), SqlValue::Blob(b)) => a.cmp(b),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+
+    /// SQL `=` comparison with NULL propagation.
+    pub fn sql_eq(&self, other: &SqlValue) -> SqlValue {
+        if self.is_null() || other.is_null() {
+            return SqlValue::Null;
+        }
+        SqlValue::Integer(i64::from(self.total_cmp(other) == Ordering::Equal))
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Null => write!(f, "NULL"),
+            SqlValue::Integer(i) => write!(f, "{i}"),
+            SqlValue::Real(r) => write!(f, "{r}"),
+            SqlValue::Text(s) => write!(f, "{s}"),
+            SqlValue::Blob(b) => {
+                write!(f, "x'")?;
+                for byte in b {
+                    write!(f, "{byte:02x}")?;
+                }
+                write!(f, "'")
+            }
+        }
+    }
+}
+
+impl From<i64> for SqlValue {
+    fn from(v: i64) -> Self {
+        SqlValue::Integer(v)
+    }
+}
+
+impl From<f64> for SqlValue {
+    fn from(v: f64) -> Self {
+        SqlValue::Real(v)
+    }
+}
+
+impl From<&str> for SqlValue {
+    fn from(v: &str) -> Self {
+        SqlValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for SqlValue {
+    fn from(v: String) -> Self {
+        SqlValue::Text(v)
+    }
+}
+
+/// Declared column affinity (subset of SQLite's).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Affinity {
+    /// INTEGER columns.
+    Integer,
+    /// REAL columns.
+    Real,
+    /// TEXT columns.
+    Text,
+    /// BLOB / untyped columns.
+    Blob,
+}
+
+impl Affinity {
+    /// Parses a declared SQL type name.
+    pub fn from_decl(decl: &str) -> Affinity {
+        let u = decl.to_ascii_uppercase();
+        if u.contains("INT") {
+            Affinity::Integer
+        } else if u.contains("CHAR") || u.contains("TEXT") || u.contains("CLOB") {
+            Affinity::Text
+        } else if u.contains("REAL") || u.contains("FLOA") || u.contains("DOUB") {
+            Affinity::Real
+        } else {
+            Affinity::Blob
+        }
+    }
+
+    /// Applies the affinity coercion to a value being stored.
+    pub fn apply(self, v: SqlValue) -> SqlValue {
+        match (self, v) {
+            (Affinity::Integer, SqlValue::Text(s)) => match s.trim().parse::<i64>() {
+                Ok(i) => SqlValue::Integer(i),
+                Err(_) => match s.trim().parse::<f64>() {
+                    Ok(r) => SqlValue::Real(r),
+                    Err(_) => SqlValue::Text(s),
+                },
+            },
+            (Affinity::Integer, SqlValue::Real(r)) if r.fract() == 0.0 => {
+                SqlValue::Integer(r as i64)
+            }
+            (Affinity::Real, SqlValue::Integer(i)) => SqlValue::Real(i as f64),
+            (Affinity::Real, SqlValue::Text(s)) => match s.trim().parse::<f64>() {
+                Ok(r) => SqlValue::Real(r),
+                Err(_) => SqlValue::Text(s),
+            },
+            (Affinity::Text, SqlValue::Integer(i)) => SqlValue::Text(i.to_string()),
+            (Affinity::Text, SqlValue::Real(r)) => SqlValue::Text(r.to_string()),
+            (_, v) => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_across_classes() {
+        let vals = [
+            SqlValue::Null,
+            SqlValue::Integer(-5),
+            SqlValue::Real(3.5),
+            SqlValue::Integer(10),
+            SqlValue::Text("abc".into()),
+            SqlValue::Blob(vec![0]),
+        ];
+        for w in vals.windows(2) {
+            assert_ne!(w[0].total_cmp(&w[1]), Ordering::Greater, "{:?} ≤ {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn numeric_cross_type_compare() {
+        assert_eq!(SqlValue::Integer(2).total_cmp(&SqlValue::Real(2.0)), Ordering::Equal);
+        assert_eq!(SqlValue::Real(1.5).total_cmp(&SqlValue::Integer(2)), Ordering::Less);
+    }
+
+    #[test]
+    fn null_propagates_in_eq() {
+        assert_eq!(SqlValue::Null.sql_eq(&SqlValue::Integer(1)), SqlValue::Null);
+        assert_eq!(SqlValue::Integer(1).sql_eq(&SqlValue::Integer(1)), SqlValue::Integer(1));
+        assert_eq!(SqlValue::Integer(1).sql_eq(&SqlValue::Integer(2)), SqlValue::Integer(0));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(SqlValue::Null.truthy(), None);
+        assert_eq!(SqlValue::Integer(0).truthy(), Some(false));
+        assert_eq!(SqlValue::Integer(7).truthy(), Some(true));
+        assert_eq!(SqlValue::Text("0".into()).truthy(), Some(false));
+        assert_eq!(SqlValue::Text("1.5".into()).truthy(), Some(true));
+        assert_eq!(SqlValue::Text("abc".into()).truthy(), Some(false));
+    }
+
+    #[test]
+    fn affinity_from_decl() {
+        assert_eq!(Affinity::from_decl("INTEGER"), Affinity::Integer);
+        assert_eq!(Affinity::from_decl("int"), Affinity::Integer);
+        assert_eq!(Affinity::from_decl("VARCHAR(100)"), Affinity::Text);
+        assert_eq!(Affinity::from_decl("DOUBLE"), Affinity::Real);
+        assert_eq!(Affinity::from_decl("BLOB"), Affinity::Blob);
+    }
+
+    #[test]
+    fn affinity_coercion() {
+        assert_eq!(Affinity::Integer.apply(SqlValue::Text(" 42 ".into())), SqlValue::Integer(42));
+        assert_eq!(Affinity::Integer.apply(SqlValue::Real(3.0)), SqlValue::Integer(3));
+        assert_eq!(Affinity::Integer.apply(SqlValue::Real(3.5)), SqlValue::Real(3.5));
+        assert_eq!(Affinity::Real.apply(SqlValue::Integer(2)), SqlValue::Real(2.0));
+        assert_eq!(Affinity::Text.apply(SqlValue::Integer(2)), SqlValue::Text("2".into()));
+        assert_eq!(
+            Affinity::Integer.apply(SqlValue::Text("abc".into())),
+            SqlValue::Text("abc".into())
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SqlValue::Null.to_string(), "NULL");
+        assert_eq!(SqlValue::Blob(vec![0xAB, 0x01]).to_string(), "x'ab01'");
+    }
+}

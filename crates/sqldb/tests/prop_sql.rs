@@ -1,0 +1,131 @@
+//! Property tests at the SQL level: the engine must agree with a naive
+//! in-memory model, and indexed and unindexed plans must agree with
+//! each other.
+
+use cubicle_core::{IsolationMode, System};
+use cubicle_sqldb::storage::HostEnv;
+use cubicle_sqldb::{Database, SqlValue};
+use proptest::prelude::*;
+
+fn setup() -> (System, Database) {
+    let mut sys = System::new(IsolationMode::Unikraft);
+    let db = Database::open(&mut sys, Box::new(HostEnv::new()), "/prop.db").unwrap();
+    (sys, db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn indexed_and_unindexed_plans_agree(
+        rows in proptest::collection::vec((0i64..50, 0i64..1000), 1..120),
+        probe in 0i64..50,
+        lo in 0i64..25,
+        span in 0i64..30,
+    ) {
+        let (mut sys, mut db) = setup();
+        // two identical tables, one indexed
+        db.execute(&mut sys, "CREATE TABLE plain(a INTEGER, b INTEGER)").unwrap();
+        db.execute(&mut sys, "CREATE TABLE fast(a INTEGER, b INTEGER)").unwrap();
+        db.execute(&mut sys, "CREATE INDEX ifast ON fast(a)").unwrap();
+        db.execute(&mut sys, "BEGIN").unwrap();
+        for &(a, b) in &rows {
+            db.execute(&mut sys, &format!("INSERT INTO plain VALUES ({a}, {b})")).unwrap();
+            db.execute(&mut sys, &format!("INSERT INTO fast VALUES ({a}, {b})")).unwrap();
+        }
+        db.execute(&mut sys, "COMMIT").unwrap();
+
+        for cond in [
+            format!("a = {probe}"),
+            format!("a BETWEEN {lo} AND {}", lo + span),
+            format!("a >= {lo}"),
+            format!("a < {probe} AND b % 2 = 0"),
+        ] {
+            let p = db
+                .query(&mut sys, &format!("SELECT a, b FROM plain WHERE {cond} ORDER BY a, b"))
+                .unwrap();
+            let f = db
+                .query(&mut sys, &format!("SELECT a, b FROM fast WHERE {cond} ORDER BY a, b"))
+                .unwrap();
+            prop_assert_eq!(&p, &f, "condition `{}`", cond);
+        }
+    }
+
+    #[test]
+    fn aggregates_agree_with_model(
+        rows in proptest::collection::vec((0i64..8, -500i64..500), 0..80),
+    ) {
+        let (mut sys, mut db) = setup();
+        db.execute(&mut sys, "CREATE TABLE t(g INTEGER, v INTEGER)").unwrap();
+        db.execute(&mut sys, "BEGIN").unwrap();
+        for &(g, v) in &rows {
+            db.execute(&mut sys, &format!("INSERT INTO t VALUES ({g}, {v})")).unwrap();
+        }
+        db.execute(&mut sys, "COMMIT").unwrap();
+
+        let got = db
+            .query(&mut sys, "SELECT g, count(*), sum(v), min(v), max(v) FROM t GROUP BY g ORDER BY g")
+            .unwrap();
+
+        use std::collections::BTreeMap;
+        let mut model: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+        for &(g, v) in &rows {
+            model.entry(g).or_default().push(v);
+        }
+        prop_assert_eq!(got.len(), model.len());
+        for (row, (g, vs)) in got.iter().zip(model.iter()) {
+            prop_assert_eq!(&row[0], &SqlValue::Integer(*g));
+            prop_assert_eq!(&row[1], &SqlValue::Integer(vs.len() as i64));
+            prop_assert_eq!(&row[2], &SqlValue::Integer(vs.iter().sum::<i64>()));
+            prop_assert_eq!(&row[3], &SqlValue::Integer(*vs.iter().min().unwrap()));
+            prop_assert_eq!(&row[4], &SqlValue::Integer(*vs.iter().max().unwrap()));
+        }
+    }
+
+    #[test]
+    fn update_delete_agree_with_model(
+        rows in proptest::collection::vec(-100i64..100, 1..60),
+        threshold in -50i64..50,
+        delta in -10i64..10,
+    ) {
+        let (mut sys, mut db) = setup();
+        db.execute(&mut sys, "CREATE TABLE t(v INTEGER)").unwrap();
+        db.execute(&mut sys, "BEGIN").unwrap();
+        for &v in &rows {
+            db.execute(&mut sys, &format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        db.execute(&mut sys, "COMMIT").unwrap();
+
+        db.execute(&mut sys, &format!("UPDATE t SET v = v + {delta} WHERE v < {threshold}"))
+            .unwrap();
+        db.execute(&mut sys, &format!("DELETE FROM t WHERE v > {}", threshold + 20)).unwrap();
+
+        let mut model: Vec<i64> = rows
+            .iter()
+            .map(|&v| if v < threshold { v + delta } else { v })
+            .filter(|&v| v <= threshold + 20)
+            .collect();
+        model.sort_unstable();
+
+        let got: Vec<i64> = db
+            .query(&mut sys, "SELECT v FROM t ORDER BY v")
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        prop_assert_eq!(got, model);
+
+        let check = db.query(&mut sys, "PRAGMA integrity_check").unwrap();
+        prop_assert_eq!(&check[0][0], &SqlValue::Text("ok".into()));
+    }
+
+    #[test]
+    fn tokenizer_never_panics(input in "\\PC{0,200}") {
+        let _ = cubicle_sqldb::token::tokenize(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[a-zA-Z0-9 ,()'*=<>.;+-]{0,120}") {
+        let _ = cubicle_sqldb::parser::parse_all(&input);
+    }
+}

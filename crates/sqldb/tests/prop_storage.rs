@@ -1,0 +1,134 @@
+//! Property-based tests of the storage layers (proptest).
+
+use cubicle_core::{IsolationMode, System};
+use cubicle_sqldb::btree;
+use cubicle_sqldb::pager::{Pager, DB_PAGE};
+use cubicle_sqldb::record::{decode_record, encode_index_key, encode_record};
+use cubicle_sqldb::storage::HostEnv;
+use cubicle_sqldb::SqlValue;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn sys() -> System {
+    System::new(IsolationMode::Unikraft)
+}
+
+fn arb_value() -> impl Strategy<Value = SqlValue> {
+    prop_oneof![
+        Just(SqlValue::Null),
+        any::<i64>().prop_map(SqlValue::Integer),
+        // avoid NaN: total_cmp treats NaN arbitrarily
+        (-1e15f64..1e15f64).prop_map(SqlValue::Real),
+        "[a-zA-Z0-9 _%\\-]{0,40}".prop_map(SqlValue::Text),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(SqlValue::Blob),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn record_encoding_round_trips(values in proptest::collection::vec(arb_value(), 0..12)) {
+        let enc = encode_record(&values);
+        let dec = decode_record(&enc).unwrap();
+        prop_assert_eq!(values, dec);
+    }
+
+    #[test]
+    fn index_key_order_matches_value_order(a in arb_value(), b in arb_value()) {
+        let ka = encode_index_key(std::slice::from_ref(&a), None);
+        let kb = encode_index_key(std::slice::from_ref(&b), None);
+        let vo = a.total_cmp(&b);
+        if vo != std::cmp::Ordering::Equal {
+            prop_assert_eq!(ka.cmp(&kb), vo, "{:?} vs {:?}", a, b);
+        }
+    }
+
+    #[test]
+    fn btree_agrees_with_model(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u64..200, proptest::collection::vec(any::<u8>(), 0..64)),
+            1..120,
+        )
+    ) {
+        let mut s = sys();
+        let env = HostEnv::new();
+        let mut pager = Pager::open(&mut s, Box::new(env), "/prop.db", 32).unwrap();
+        pager.begin(&mut s).unwrap();
+        let mut root = btree::create(&mut s, &mut pager).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (op, key_num, val) in ops {
+            let key = key_num.to_be_bytes().to_vec();
+            match op {
+                0 => {
+                    root = btree::insert(&mut s, &mut pager, root, &key, &val).unwrap();
+                    model.insert(key, val);
+                }
+                1 => {
+                    let removed = btree::delete(&mut s, &mut pager, root, &key).unwrap();
+                    prop_assert_eq!(removed, model.remove(&key).is_some());
+                }
+                _ => {
+                    let got = btree::get(&mut s, &mut pager, root, &key).unwrap();
+                    prop_assert_eq!(got.as_ref(), model.get(&key));
+                }
+            }
+        }
+        // final full-scan equivalence
+        let mut cur = btree::Cursor::seek(&mut s, &mut pager, root, None).unwrap();
+        let mut scanned = Vec::new();
+        while let Some((k, v)) = cur.next(&mut s, &mut pager).unwrap() {
+            scanned.push((k, v));
+        }
+        let expect: Vec<(Vec<u8>, Vec<u8>)> =
+            model.into_iter().collect();
+        prop_assert_eq!(scanned, expect);
+        prop_assert!(btree::validate(&mut s, &mut pager, root).is_ok());
+    }
+
+    #[test]
+    fn pager_transactions_are_atomic(
+        committed in proptest::collection::vec((1u32..20, any::<u8>()), 1..12),
+        aborted in proptest::collection::vec((1u32..20, any::<u8>()), 1..12),
+    ) {
+        let mut s = sys();
+        let env = HostEnv::new();
+        let mut pager = Pager::open(&mut s, Box::new(env.clone()), "/txn.db", 8).unwrap();
+        // committed transaction
+        pager.begin(&mut s).unwrap();
+        let mut pages = Vec::new();
+        for _ in 0..20 {
+            pages.push(pager.allocate_page(&mut s).unwrap());
+        }
+        let mut expect: BTreeMap<u32, u8> = BTreeMap::new();
+        for &(slot, byte) in &committed {
+            let pno = pages[slot as usize % pages.len()];
+            let mut data = vec![0u8; DB_PAGE];
+            data[0] = byte;
+            pager.write_page(&mut s, pno, &data).unwrap();
+            expect.insert(pno, byte);
+        }
+        pager.commit(&mut s).unwrap();
+        // aborted transaction scribbles over the same pages
+        pager.begin(&mut s).unwrap();
+        for &(slot, byte) in &aborted {
+            let pno = pages[slot as usize % pages.len()];
+            let mut data = vec![0u8; DB_PAGE];
+            data[0] = byte.wrapping_add(101);
+            pager.write_page(&mut s, pno, &data).unwrap();
+        }
+        pager.rollback(&mut s).unwrap();
+        // every page shows exactly the committed state
+        for (&pno, &byte) in &expect {
+            let got = pager.read_page(&mut s, pno).unwrap();
+            prop_assert_eq!(got[0], byte, "page {}", pno);
+        }
+        // and the same holds after a clean reopen
+        drop(pager);
+        let mut pager = Pager::open(&mut s, Box::new(env), "/txn.db", 8).unwrap();
+        for (&pno, &byte) in &expect {
+            let got = pager.read_page(&mut s, pno).unwrap();
+            prop_assert_eq!(got[0], byte, "page {} after reopen", pno);
+        }
+    }
+}

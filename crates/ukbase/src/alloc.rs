@@ -1,0 +1,229 @@
+//! The `ALLOC` cubicle: system-wide coarse-grained allocator.
+//!
+//! Figure 5 shows `ALLOC` as "a system-wide memory allocator"; in the
+//! SQLite deployment (Figure 8) "each cubicle uses only its own memory
+//! allocation library, and ALLOC is used only for coarse-grained
+//! allocations". `ALLOC` owns an arena of pages and *transfers page
+//! ownership* to the requesting cubicle, because "pages are strictly
+//! assigned an owner and type at allocation time" (paper §5.3).
+
+use cubicle_core::{
+    impl_component, Builder, ComponentImage, CubicleId, EntryId, LoadedComponent, Result, System,
+    Value,
+};
+use cubicle_mpk::insn::CodeImage;
+use cubicle_mpk::{VAddr, PAGE_SIZE};
+
+/// State of the `ALLOC` component: a free list of reclaimed page runs.
+#[derive(Debug, Default)]
+pub struct Alloc {
+    /// Reclaimed (addr, pages) runs available for reuse.
+    free_runs: Vec<(VAddr, usize)>,
+    /// Pages ever granted (statistics).
+    pub pages_granted: u64,
+}
+
+impl_component!(Alloc);
+
+/// Synthetic code size of the component (bytes) — mirrors a small
+/// allocator's text segment.
+const CODE_SIZE: usize = 6 * 1024;
+
+/// Builds the loadable `ALLOC` image.
+pub fn image() -> ComponentImage {
+    let b = Builder::new();
+    ComponentImage::new("ALLOC", CodeImage::plain(CODE_SIZE))
+        .heap_pages(4)
+        .export(b.export("void *uk_palloc(size_t pages)").unwrap(), entry_palloc)
+        .export(b.export("void uk_pfree(void *addr, size_t pages)").unwrap(), entry_pfree)
+}
+
+fn entry_palloc(
+    sys: &mut System,
+    this: &mut dyn cubicle_core::Component,
+    args: &[Value],
+) -> Result<Value> {
+    let pages = args[0].as_u64() as usize;
+    if pages == 0 {
+        return Ok(Value::I64(cubicle_core::Errno::Einval.neg()));
+    }
+    let state = cubicle_core::component_mut::<Alloc>(this);
+    // Reuse a reclaimed run when one fits, else carve fresh pages.
+    let base = match state.free_runs.iter().position(|&(_, n)| n >= pages) {
+        Some(i) => {
+            let (addr, n) = state.free_runs[i];
+            if n == pages {
+                state.free_runs.remove(i);
+            } else {
+                state.free_runs[i] = (addr + pages * PAGE_SIZE, n - pages);
+            }
+            addr
+        }
+        None => sys.alloc_pages(pages),
+    };
+    state.pages_granted += pages as u64;
+    let caller = sys.caller_cubicle();
+    sys.grant_pages_to(base, pages * PAGE_SIZE, caller)?;
+    Ok(Value::Ptr(base))
+}
+
+fn entry_pfree(
+    sys: &mut System,
+    this: &mut dyn cubicle_core::Component,
+    args: &[Value],
+) -> Result<Value> {
+    let addr = args[0].as_ptr();
+    let pages = args[1].as_u64() as usize;
+    // The pages come back to ALLOC's ownership. The *caller* transferred
+    // them implicitly by calling pfree; from ALLOC's context we adopt
+    // them by recording the run. (Ownership metadata was flipped by the
+    // caller-side proxy before the call — see `AllocProxy::pfree`.)
+    let state = cubicle_core::component_mut::<Alloc>(this);
+    state.free_runs.push((addr, pages));
+    let _ = sys; // no memory touched: bookkeeping only
+    Ok(Value::Unit)
+}
+
+/// Typed caller-side proxy for the `ALLOC` entries.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocProxy {
+    cid: CubicleId,
+    palloc: EntryId,
+    pfree: EntryId,
+}
+
+impl AllocProxy {
+    /// Resolves the proxy from the loaded component.
+    pub fn resolve(loaded: &LoadedComponent) -> AllocProxy {
+        AllocProxy {
+            cid: loaded.cid,
+            palloc: loaded.entry("uk_palloc"),
+            pfree: loaded.entry("uk_pfree"),
+        }
+    }
+
+    /// The `ALLOC` cubicle's ID.
+    pub fn cid(&self) -> CubicleId {
+        self.cid
+    }
+
+    /// Allocates `pages` pages owned by the calling cubicle.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn palloc(&self, sys: &mut System, pages: usize) -> Result<VAddr> {
+        match sys.cross_call(self.palloc, &[Value::U64(pages as u64)])? {
+            Value::Ptr(p) => Ok(p),
+            Value::I64(e) => Err(cubicle_core::CubicleError::Component(format!(
+                "uk_palloc failed: {e}"
+            ))),
+            other => Err(cubicle_core::CubicleError::Component(format!(
+                "uk_palloc returned {other:?}"
+            ))),
+        }
+    }
+
+    /// Returns `pages` pages starting at `addr` to the allocator.
+    ///
+    /// The calling cubicle must own them; ownership is transferred back
+    /// to `ALLOC` before the call (the grant direction mirrors
+    /// `uk_palloc`).
+    ///
+    /// # Errors
+    ///
+    /// [`cubicle_core::CubicleError::NotOwner`] when the caller does not
+    /// own the pages.
+    pub fn pfree(&self, sys: &mut System, addr: VAddr, pages: usize) -> Result<()> {
+        sys.grant_pages_to(addr, pages * PAGE_SIZE, self.cid)?;
+        sys.cross_call(self.pfree, &[Value::Ptr(addr), Value::U64(pages as u64)])?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubicle_core::{CubicleError, IsolationMode};
+
+    struct Dummy;
+    impl_component!(Dummy);
+
+    fn setup() -> (System, AllocProxy, CubicleId) {
+        let mut sys = System::new(IsolationMode::Full);
+        let alloc = sys.load(image(), Box::new(Alloc::default())).unwrap();
+        let proxy = AllocProxy::resolve(&alloc);
+        let app = sys
+            .load(ComponentImage::new("APP", CodeImage::plain(64)), Box::new(Dummy))
+            .unwrap();
+        (sys, proxy, app.cid)
+    }
+
+    #[test]
+    fn palloc_grants_caller_owned_pages() {
+        let (mut sys, proxy, app) = setup();
+        let base = sys.run_in_cubicle(app, |sys| proxy.palloc(sys, 4).unwrap());
+        assert_eq!(sys.page_owner(base), Some(app));
+        sys.run_in_cubicle(app, |sys| {
+            sys.write(base, b"coarse allocation").unwrap();
+            assert_eq!(sys.read_vec(base, 6).unwrap(), b"coarse");
+        });
+    }
+
+    #[test]
+    fn pfree_reclaims_and_reuses() {
+        let (mut sys, proxy, app) = setup();
+        let (b1, b2) = sys.run_in_cubicle(app, |sys| {
+            let b1 = proxy.palloc(sys, 2).unwrap();
+            proxy.pfree(sys, b1, 2).unwrap();
+            let b2 = proxy.palloc(sys, 2).unwrap();
+            (b1, b2)
+        });
+        assert_eq!(b1, b2, "freed run is reused");
+        // After pfree + re-palloc, the app owns it again.
+        assert_eq!(sys.page_owner(b2), Some(app));
+    }
+
+    #[test]
+    fn freed_pages_are_protected_from_old_owner() {
+        let (mut sys, proxy, app) = setup();
+        let base = sys.run_in_cubicle(app, |sys| {
+            let base = proxy.palloc(sys, 1).unwrap();
+            proxy.pfree(sys, base, 1).unwrap();
+            base
+        });
+        // Ownership went back to ALLOC: the app cannot touch it anymore.
+        let denied = sys.run_in_cubicle(app, |sys| sys.read_vec(base, 8));
+        assert!(matches!(denied, Err(CubicleError::WindowDenied { .. })));
+    }
+
+    #[test]
+    fn pfree_of_unowned_pages_rejected() {
+        let (mut sys, proxy, app) = setup();
+        let other = sys
+            .load(ComponentImage::new("OTHER", CodeImage::plain(64)), Box::new(Dummy))
+            .unwrap();
+        let theirs = sys.run_in_cubicle(other.cid, |sys| proxy.palloc(sys, 1).unwrap());
+        let err = sys.run_in_cubicle(app, |sys| proxy.pfree(sys, theirs, 1));
+        assert!(matches!(err, Err(CubicleError::NotOwner { .. })));
+    }
+
+    #[test]
+    fn zero_page_request_is_einval() {
+        let (mut sys, proxy, app) = setup();
+        let err = sys.run_in_cubicle(app, |sys| proxy.palloc(sys, 0));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn calls_counted_on_alloc_edge() {
+        let (mut sys, proxy, app) = setup();
+        sys.run_in_cubicle(app, |sys| {
+            for _ in 0..3 {
+                let p = proxy.palloc(sys, 1).unwrap();
+                proxy.pfree(sys, p, 1).unwrap();
+            }
+        });
+        assert_eq!(sys.stats().edge(app, proxy.cid()), 6);
+    }
+}

@@ -1,0 +1,83 @@
+//! Boot helper: loads the Unikraft base components.
+
+use crate::alloc::{self, Alloc, AllocProxy};
+use crate::plat::{self, Plat, PlatProxy};
+use crate::time::{self, Time, TimeProxy};
+use cubicle_core::{impl_component, ComponentImage, CubicleId, Result, System};
+use cubicle_mpk::insn::CodeImage;
+
+/// Marker state for the shared `LIBC` cubicle (its routines are free
+/// functions in [`crate::libc`]; the cubicle exists so its static data
+/// pages have an owner and a shared key).
+#[derive(Debug, Default)]
+pub struct Libc;
+
+impl_component!(Libc);
+
+/// Handles to the booted base system.
+#[derive(Clone, Copy, Debug)]
+pub struct BaseSystem {
+    /// System-wide coarse allocator.
+    pub alloc: AllocProxy,
+    /// Monotonic clock.
+    pub time: TimeProxy,
+    /// Platform services.
+    pub plat: PlatProxy,
+    /// Registry slot of `PLAT` (for console inspection).
+    pub plat_slot: usize,
+    /// The shared `LIBC` cubicle.
+    pub libc_cid: CubicleId,
+}
+
+/// Loads `ALLOC`, `TIME`, `PLAT` and the shared `LIBC` cubicle — the
+/// common substrate under both application deployments (Figures 5 & 8).
+///
+/// # Errors
+///
+/// Loader errors from [`System::load`].
+pub fn boot_base(sys: &mut System) -> Result<BaseSystem> {
+    let alloc = sys.load(alloc::image(), Box::new(Alloc::default()))?;
+    let time = sys.load(time::image(), Box::new(Time::default()))?;
+    let plat = sys.load(plat::image(), Box::new(Plat::default()))?;
+    let libc = sys.load(
+        ComponentImage::new("LIBC", CodeImage::plain(48 * 1024)).shared().heap_pages(8),
+        Box::new(Libc),
+    )?;
+    Ok(BaseSystem {
+        alloc: AllocProxy::resolve(&alloc),
+        time: TimeProxy::resolve(&time),
+        plat: PlatProxy::resolve(&plat),
+        plat_slot: plat.slot,
+        libc_cid: libc.cid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubicle_core::IsolationMode;
+
+    #[test]
+    fn boots_all_base_components() {
+        let mut sys = System::new(IsolationMode::Full);
+        let base = boot_base(&mut sys).unwrap();
+        assert_eq!(sys.cubicle_name(base.alloc.cid()), "ALLOC");
+        assert_eq!(sys.cubicle_name(base.time.cid()), "TIME");
+        assert_eq!(sys.cubicle_name(base.plat.cid()), "PLAT");
+        assert_eq!(sys.cubicle_name(base.libc_cid), "LIBC");
+        assert!(sys.find_cubicle("LIBC").is_some());
+    }
+
+    #[test]
+    fn boots_in_every_isolation_mode() {
+        for mode in [
+            IsolationMode::Unikraft,
+            IsolationMode::NoMpk,
+            IsolationMode::NoAcl,
+            IsolationMode::Full,
+        ] {
+            let mut sys = System::new(mode);
+            boot_base(&mut sys).unwrap();
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # cubicle-ukbase — Unikraft base components
+//!
+//! The library OS underneath the paper's applications is Unikraft, whose
+//! base services appear as cubicles in Figures 5 and 8:
+//!
+//! * [`alloc`] — `ALLOC`, the system-wide coarse-grained page allocator
+//!   (isolated cubicle);
+//! * [`time`] — `TIME`, the monotonic clock (isolated cubicle);
+//! * [`plat`] — `PLAT`, platform services: console output and boot/halt
+//!   bookkeeping (isolated cubicle);
+//! * [`libc`] — the shared `LIBC` cubicle: `memcpy`-style helpers that
+//!   execute *with the caller's privileges and stack* (paper §3, step ❹),
+//!   so their stray accesses are subject to the caller's windows;
+//! * [`base`] — a boot helper that loads all of the above and returns
+//!   typed proxies.
+//!
+//! Every isolated component is accessed exclusively through builder-signed
+//! cross-cubicle entry points; the proxies in this crate are thin typed
+//! wrappers around [`cubicle_core::System::cross_call`].
+
+pub mod alloc;
+pub mod base;
+pub mod libc;
+pub mod plat;
+pub mod time;
+
+pub use alloc::{Alloc, AllocProxy};
+pub use base::{boot_base, BaseSystem};
+pub use plat::{Plat, PlatProxy};
+pub use time::{Time, TimeProxy};

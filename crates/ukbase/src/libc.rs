@@ -1,0 +1,176 @@
+//! The shared `LIBC` cubicle.
+//!
+//! "Shared cubicles such as LIBC are used in cases in which components
+//! contain little state and are frequently used by other components. …
+//! Calls to a shared cubicle never involve CubicleOS' runtime TCB,
+//! effectively executing with the privileges, stack and heap of their
+//! calling cubicle." (paper §3, step ❹)
+//!
+//! The helpers below are therefore plain functions, not entry points: no
+//! trampoline, no PKRU switch. Every memory access they make runs under
+//! the *current* cubicle's permission set, so a `memcpy` from another
+//! cubicle's buffer faults into trap-and-map exactly as in Figure 4.
+
+use cubicle_core::{CubicleError, Result, System};
+use cubicle_mpk::VAddr;
+
+/// Cycles of compute per 64-byte chunk a `memcpy` loop spends beyond the
+/// memory traffic itself (loop control, addressing).
+const MEMCPY_LOOP_OVERHEAD: u64 = 1;
+
+/// `memcpy(dst, src, n)` — copies `n` bytes with the caller's privileges.
+///
+/// # Errors
+///
+/// [`CubicleError::WindowDenied`] when either side is not accessible to
+/// the current cubicle; [`CubicleError::MachineFault`] for invalid memory.
+pub fn memcpy(sys: &mut System, dst: VAddr, src: VAddr, n: usize) -> Result<()> {
+    sys.charge(MEMCPY_LOOP_OVERHEAD * (n as u64 / 64 + 1));
+    sys.copy(dst, src, n)
+}
+
+/// `memset(dst, byte, n)`.
+///
+/// # Errors
+///
+/// As [`memcpy`].
+pub fn memset(sys: &mut System, dst: VAddr, byte: u8, n: usize) -> Result<()> {
+    sys.charge(MEMCPY_LOOP_OVERHEAD * (n as u64 / 64 + 1));
+    sys.fill(dst, byte, n)
+}
+
+/// `memcmp(a, b, n)` — returns the sign of the first differing byte.
+///
+/// # Errors
+///
+/// As [`memcpy`].
+pub fn memcmp(sys: &mut System, a: VAddr, b: VAddr, n: usize) -> Result<i32> {
+    sys.charge(MEMCPY_LOOP_OVERHEAD * (n as u64 / 64 + 1));
+    let va = sys.read_vec(a, n)?;
+    let vb = sys.read_vec(b, n)?;
+    for i in 0..n {
+        if va[i] != vb[i] {
+            return Ok(if va[i] < vb[i] { -1 } else { 1 });
+        }
+    }
+    Ok(0)
+}
+
+/// `strlen(s)` — length of a NUL-terminated string, bounded by `max`.
+///
+/// # Errors
+///
+/// [`CubicleError::InvalidArgument`] when no NUL appears within `max`
+/// bytes; memory errors as [`memcpy`].
+pub fn strlen(sys: &mut System, s: VAddr, max: usize) -> Result<usize> {
+    let mut len = 0;
+    let mut addr = s;
+    let mut buf = [0u8; 64];
+    while len < max {
+        let chunk = (max - len).min(64);
+        sys.read(addr, &mut buf[..chunk])?;
+        if let Some(pos) = buf[..chunk].iter().position(|&b| b == 0) {
+            return Ok(len + pos);
+        }
+        len += chunk;
+        addr += chunk;
+    }
+    Err(CubicleError::InvalidArgument("strlen: unterminated string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubicle_core::{impl_component, ComponentImage, IsolationMode, System};
+    use cubicle_mpk::insn::CodeImage;
+
+    struct Dummy;
+    impl_component!(Dummy);
+
+    fn two_cubicles() -> (System, cubicle_core::CubicleId, cubicle_core::CubicleId) {
+        let mut sys = System::new(IsolationMode::Full);
+        let a = sys.load(ComponentImage::new("A", CodeImage::plain(64)), Box::new(Dummy)).unwrap();
+        let b = sys.load(ComponentImage::new("B", CodeImage::plain(64)), Box::new(Dummy)).unwrap();
+        (sys, a.cid, b.cid)
+    }
+
+    #[test]
+    fn memcpy_within_cubicle() {
+        let (mut sys, a, _) = two_cubicles();
+        sys.run_in_cubicle(a, |sys| {
+            let src = sys.heap_alloc(128, 8).unwrap();
+            let dst = sys.heap_alloc(128, 8).unwrap();
+            sys.write(src, b"unikraft").unwrap();
+            memcpy(sys, dst, src, 8).unwrap();
+            assert_eq!(sys.read_vec(dst, 8).unwrap(), b"unikraft");
+        });
+    }
+
+    #[test]
+    fn memcpy_across_cubicles_respects_windows() {
+        // The Figure 4 scenario: LIBC's memcpy runs with RAMFS privileges
+        // and touches VFS's buffer — allowed only through a window.
+        let (mut sys, a, b) = two_cubicles();
+        let src = sys.run_in_cubicle(a, |sys| {
+            let src = sys.heap_alloc(4096, 4096).unwrap();
+            sys.write(src, b"BUF contents").unwrap();
+            src
+        });
+        // Without a window: denied.
+        let denied = sys.run_in_cubicle(b, |sys| {
+            let dst = sys.heap_alloc(64, 8).unwrap();
+            memcpy(sys, dst, src, 12)
+        });
+        assert!(matches!(denied, Err(CubicleError::WindowDenied { .. })));
+        // With a window: zero-copy grant, then the copy succeeds.
+        sys.run_in_cubicle(a, |sys| {
+            let wid = sys.window_init();
+            sys.window_add(wid, src, 4096).unwrap();
+            sys.window_open(wid, b).unwrap();
+        });
+        sys.run_in_cubicle(b, |sys| {
+            let dst = sys.heap_alloc(64, 8).unwrap();
+            memcpy(sys, dst, src, 12).unwrap();
+            assert_eq!(sys.read_vec(dst, 12).unwrap(), b"BUF contents");
+        });
+    }
+
+    #[test]
+    fn memset_and_memcmp() {
+        let (mut sys, a, _) = two_cubicles();
+        sys.run_in_cubicle(a, |sys| {
+            let p = sys.heap_alloc(256, 8).unwrap();
+            let q = sys.heap_alloc(256, 8).unwrap();
+            memset(sys, p, 0x5A, 256).unwrap();
+            memset(sys, q, 0x5A, 256).unwrap();
+            assert_eq!(memcmp(sys, p, q, 256).unwrap(), 0);
+            sys.write(q + 100, &[0x5B]).unwrap();
+            assert_eq!(memcmp(sys, p, q, 256).unwrap(), -1);
+            assert_eq!(memcmp(sys, q, p, 256).unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn strlen_finds_nul() {
+        let (mut sys, a, _) = two_cubicles();
+        sys.run_in_cubicle(a, |sys| {
+            let p = sys.heap_alloc(128, 8).unwrap();
+            sys.write(p, b"hello\0world").unwrap();
+            assert_eq!(strlen(sys, p, 128).unwrap(), 5);
+            let q = sys.heap_alloc(700, 8).unwrap();
+            sys.fill(q, b'x', 130).unwrap();
+            sys.write(q + 130, &[0]).unwrap();
+            assert_eq!(strlen(sys, q, 700).unwrap(), 130);
+        });
+    }
+
+    #[test]
+    fn strlen_unterminated_errors() {
+        let (mut sys, a, _) = two_cubicles();
+        sys.run_in_cubicle(a, |sys| {
+            let p = sys.heap_alloc(16, 8).unwrap();
+            sys.fill(p, b'x', 16).unwrap();
+            assert!(strlen(sys, p, 16).is_err());
+        });
+    }
+}

@@ -1,0 +1,175 @@
+//! The `PLAT` cubicle: platform services (console, halt).
+//!
+//! `PLAT` is "the platform code" in Figure 5 — on real Unikraft it wraps
+//! the host (Linux or KVM) for console output, memory discovery and
+//! shutdown. Here it offers console output (accumulated into a log the
+//! harness can read back) and a halt flag.
+
+use cubicle_core::{
+    impl_component, Builder, ComponentImage, CubicleId, EntryId, LoadedComponent, Result, System,
+    Value,
+};
+use cubicle_mpk::insn::CodeImage;
+use cubicle_mpk::VAddr;
+
+/// State of the `PLAT` component.
+#[derive(Debug, Default)]
+pub struct Plat {
+    /// Everything written to the console.
+    pub console: Vec<u8>,
+    /// Set by `uk_plat_halt`.
+    pub halted: bool,
+}
+
+impl_component!(Plat);
+
+/// Builds the loadable `PLAT` image.
+pub fn image() -> ComponentImage {
+    let b = Builder::new();
+    ComponentImage::new("PLAT", CodeImage::plain(8 * 1024))
+        .heap_pages(4)
+        .export(b.export("long uk_console_out(const char *buf, size_t n)").unwrap(), entry_out)
+        .export(b.export("void uk_plat_halt(void)").unwrap(), entry_halt)
+}
+
+fn entry_out(
+    sys: &mut System,
+    this: &mut dyn cubicle_core::Component,
+    args: &[Value],
+) -> Result<Value> {
+    let (addr, len) = args[0].as_buf();
+    // PLAT reads the caller's buffer — subject to the caller's windows.
+    let bytes = match sys.read_vec(addr, len) {
+        Ok(b) => b,
+        Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
+            return Ok(Value::I64(cubicle_core::Errno::Eacces.neg()))
+        }
+        Err(e) => return Err(e),
+    };
+    sys.charge(200); // host write syscall amortisation
+    cubicle_core::component_mut::<Plat>(this).console.extend_from_slice(&bytes);
+    Ok(Value::I64(len as i64))
+}
+
+fn entry_halt(
+    _sys: &mut System,
+    this: &mut dyn cubicle_core::Component,
+    _args: &[Value],
+) -> Result<Value> {
+    cubicle_core::component_mut::<Plat>(this).halted = true;
+    Ok(Value::Unit)
+}
+
+/// Typed caller-side proxy for `PLAT`.
+#[derive(Clone, Copy, Debug)]
+pub struct PlatProxy {
+    cid: CubicleId,
+    out: EntryId,
+    halt: EntryId,
+}
+
+impl PlatProxy {
+    /// Resolves the proxy from the loaded component.
+    pub fn resolve(loaded: &LoadedComponent) -> PlatProxy {
+        PlatProxy {
+            cid: loaded.cid,
+            out: loaded.entry("uk_console_out"),
+            halt: loaded.entry("uk_plat_halt"),
+        }
+    }
+
+    /// The `PLAT` cubicle's ID.
+    pub fn cid(&self) -> CubicleId {
+        self.cid
+    }
+
+    /// Writes `[buf, buf+len)` to the console. Returns bytes written or
+    /// `-errno` (POSIX style).
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn console_out(&self, sys: &mut System, buf: VAddr, len: usize) -> Result<i64> {
+        Ok(sys.cross_call(self.out, &[Value::buf_in(buf, len)])?.as_i64())
+    }
+
+    /// Requests a platform halt.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn halt(&self, sys: &mut System) -> Result<()> {
+        sys.cross_call(self.halt, &[])?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubicle_core::IsolationMode;
+
+    struct Dummy;
+    impl_component!(Dummy);
+
+    fn setup() -> (System, PlatProxy, usize, CubicleId) {
+        let mut sys = System::new(IsolationMode::Full);
+        let plat = sys.load(image(), Box::new(Plat::default())).unwrap();
+        let proxy = PlatProxy::resolve(&plat);
+        let app = sys
+            .load(ComponentImage::new("APP", CodeImage::plain(64)), Box::new(Dummy))
+            .unwrap();
+        (sys, proxy, plat.slot, app.cid)
+    }
+
+    #[test]
+    fn console_requires_window() {
+        let (mut sys, proxy, _slot, app) = setup();
+        let plat_cid = proxy.cid();
+        let res = sys.run_in_cubicle(app, |sys| {
+            let msg = sys.heap_alloc(64, 8).unwrap();
+            sys.write(msg, b"boot ok").unwrap();
+            // No window: PLAT cannot read the buffer → -EACCES.
+            proxy.console_out(sys, msg, 7).unwrap()
+        });
+        assert_eq!(res, cubicle_core::Errno::Eacces.neg());
+        let res = sys.run_in_cubicle(app, |sys| {
+            let msg = sys.heap_alloc(64, 8).unwrap();
+            sys.write(msg, b"boot ok").unwrap();
+            let wid = sys.window_init();
+            sys.window_add(wid, msg, 64).unwrap();
+            sys.window_open(wid, plat_cid).unwrap();
+            proxy.console_out(sys, msg, 7).unwrap()
+        });
+        assert_eq!(res, 7);
+    }
+
+    #[test]
+    fn console_log_accumulates() {
+        let (mut sys, proxy, slot, app) = setup();
+        let plat_cid = proxy.cid();
+        sys.run_in_cubicle(app, |sys| {
+            let msg = sys.heap_alloc(64, 8).unwrap();
+            let wid = sys.window_init();
+            sys.window_add(wid, msg, 64).unwrap();
+            sys.window_open(wid, plat_cid).unwrap();
+            sys.write(msg, b"one ").unwrap();
+            proxy.console_out(sys, msg, 4).unwrap();
+            sys.write(msg, b"two").unwrap();
+            proxy.console_out(sys, msg, 3).unwrap();
+        });
+        let log = sys
+            .with_component_mut::<Plat, _>(slot, |p, _| String::from_utf8(p.console.clone()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(log, "one two");
+    }
+
+    #[test]
+    fn halt_sets_flag() {
+        let (mut sys, proxy, slot, app) = setup();
+        sys.run_in_cubicle(app, |sys| proxy.halt(sys).unwrap());
+        let halted = sys.with_component_mut::<Plat, _>(slot, |p, _| p.halted).unwrap();
+        assert!(halted);
+    }
+}

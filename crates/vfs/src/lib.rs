@@ -1,0 +1,22 @@
+//! # cubicle-vfs — the `VFSCORE` component
+//!
+//! Unikraft's virtual file system layer, ported to CubicleOS as an
+//! isolated cubicle (it appears in both application deployments, Figures
+//! 5 and 8). `VFSCORE` owns the mount table and the file-descriptor
+//! table and dispatches every operation to a file-system backend through
+//! the callback table [`FsOps`] — the Unikraft idiom the paper's builder
+//! interposes cross-cubicle trampolines on (§5.2, item 2).
+//!
+//! Data buffers are never copied here: the caller's pointers flow through
+//! to the backend, and the caller grants access by opening windows for
+//! `VFSCORE` *and* the backend ahead of the call (the nested-call
+//! discipline of §5.6).
+
+pub mod ops;
+pub mod path;
+mod port;
+mod vfs;
+
+pub use ops::{flags, whence, FileStat, FsOps};
+pub use port::VfsPort;
+pub use vfs::{image, Vfs, VfsProxy, MAX_FDS};

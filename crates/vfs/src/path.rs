@@ -1,0 +1,58 @@
+//! Path normalisation helpers used by the VFS.
+
+/// Splits a path into normalised components, resolving `.` and `..`
+/// (without escaping the root) and ignoring duplicate slashes.
+///
+/// # Example
+///
+/// ```
+/// use cubicle_vfs::path::components;
+///
+/// assert_eq!(components("/a//b/./c/../d"), vec!["a", "b", "d"]);
+/// assert_eq!(components("/"), Vec::<String>::new());
+/// assert_eq!(components("../x"), vec!["x"]);
+/// ```
+pub fn components(path: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            other => out.push(other.to_string()),
+        }
+    }
+    out
+}
+
+/// Splits a path into `(parent_components, file_name)`.
+///
+/// Returns `None` for the root path.
+pub fn split_parent(path: &str) -> Option<(Vec<String>, String)> {
+    let mut comps = components(path);
+    let name = comps.pop()?;
+    Some((comps, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(components("a/b/c"), vec!["a", "b", "c"]);
+        assert_eq!(components("/a/b/c/"), vec!["a", "b", "c"]);
+        assert_eq!(components("a/../b"), vec!["b"]);
+        assert_eq!(components("a/./b"), vec!["a", "b"]);
+        assert_eq!(components(""), Vec::<String>::new());
+        assert_eq!(components("/.."), Vec::<String>::new());
+    }
+
+    #[test]
+    fn parent_split() {
+        assert_eq!(split_parent("/a/b"), Some((vec!["a".to_string()], "b".to_string())));
+        assert_eq!(split_parent("/top"), Some((vec![], "top".to_string())));
+        assert_eq!(split_parent("/"), None);
+    }
+}

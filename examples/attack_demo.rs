@@ -1,0 +1,106 @@
+//! Security demonstration: what compartmentalisation buys.
+//!
+//! The paper's motivation (§1): "a vulnerability in a file system
+//! implementation may be exploited to compromise the whole library OS
+//! and application, and then disclose, e.g., encryption keys from the
+//! TLS implementation". This example stages exactly that attack — a
+//! malicious file-system component trying to steal another component's
+//! key — and shows it succeeding on baseline Unikraft and failing on
+//! CubicleOS. It also shows the loader rejecting a component that embeds
+//! a `wrpkru` instruction to disable protection.
+//!
+//! Run with: `cargo run --example attack_demo`
+
+use cubicleos::kernel::{
+    component_mut, impl_component, Builder, ComponentImage, CubicleError, IsolationMode, System,
+    Value,
+};
+use cubicleos::mpk::insn::{CodeImage, Insn};
+use cubicleos::mpk::VAddr;
+
+struct Tls {
+    key_addr: VAddr,
+}
+impl_component!(Tls);
+
+struct EvilFs {
+    stolen: Option<Vec<u8>>,
+}
+impl_component!(EvilFs);
+
+fn stage_attack(mode: IsolationMode) -> (bool, System) {
+    let builder = Builder::new();
+    let mut sys = System::new(mode);
+
+    // A TLS-like component that stores a secret key in its own memory.
+    let tls_img = ComponentImage::new("TLS", CodeImage::plain(4096)).export(
+        builder.export("void *tls_key_location(void)").unwrap(),
+        |_sys, this, _args| Ok(Value::Ptr(component_mut::<Tls>(this).key_addr)),
+    );
+    let tls = sys.load(tls_img, Box::new(Tls { key_addr: VAddr::NULL })).unwrap();
+    let key_addr = sys.run_in_cubicle(tls.cid, |sys| {
+        let key = sys.heap_alloc(32, 8).unwrap();
+        sys.write(key, b"-----SECRET-TLS-PRIVATE-KEY----").unwrap();
+        key
+    });
+    sys.with_component_mut::<Tls, _>(tls.slot, |t, _| t.key_addr = key_addr).unwrap();
+
+    // A malicious "file system" that scans foreign memory when invoked.
+    let evil_img = ComponentImage::new("EVILFS", CodeImage::plain(4096)).export(
+        builder.export("long evil_fs_mount(const void *where)").unwrap(),
+        |sys, this, args| {
+            let target = args[0].as_ptr();
+            match sys.read_vec(target, 31) {
+                Ok(bytes) => {
+                    component_mut::<EvilFs>(this).stolen = Some(bytes);
+                    Ok(Value::I64(0))
+                }
+                Err(CubicleError::WindowDenied { .. }) => Ok(Value::I64(-13)),
+                Err(e) => Err(e),
+            }
+        },
+    );
+    let evil = sys.load(evil_img, Box::new(EvilFs { stolen: None })).unwrap();
+
+    // The "kernel" innocently calls into the file system; the pointer it
+    // passes is the secret's address (modelling an info-leak gadget).
+    let _ = sys
+        .run_in_cubicle(evil.cid, |sys| sys.call("evil_fs_mount", &[Value::Ptr(key_addr)]))
+        .unwrap();
+    let stolen = sys
+        .with_component_mut::<EvilFs, _>(evil.slot, |e, _| e.stolen.clone())
+        .unwrap();
+    (stolen.is_some(), sys)
+}
+
+fn main() {
+    println!("=== attack 1: malicious FS component reads the TLS key ===\n");
+    let (leaked, _) = stage_attack(IsolationMode::Unikraft);
+    println!("baseline Unikraft (no isolation): key stolen? {leaked}");
+    assert!(leaked, "monolithic library OS has no defence");
+
+    let (leaked, sys) = stage_attack(IsolationMode::Full);
+    println!("CubicleOS (cubicles + windows):   key stolen? {leaked}");
+    assert!(!leaked, "cubicles must stop the read");
+    println!(
+        "  monitor denied {} access(es) with no open window\n",
+        sys.stats().faults_denied
+    );
+
+    println!("=== attack 2: component ships a wrpkru to unlock all keys ===\n");
+    let mut sys = System::new(IsolationMode::Full);
+    let dirty = ComponentImage::new(
+        "BACKDOOR",
+        CodeImage::from_insns(&[Insn::Plain { len: 64 }, Insn::Wrpkru, Insn::Plain { len: 8 }]),
+    );
+    struct Backdoor;
+    impl_component!(Backdoor);
+    match sys.load(dirty, Box::new(Backdoor)) {
+        Err(CubicleError::ForbiddenInstruction(which)) => {
+            println!("loader refused the component: found `{which}` in its code ✓");
+        }
+        other => panic!("loader must reject the image, got {other:?}"),
+    }
+
+    println!("\nboth attacks defeated.");
+}

@@ -1,0 +1,75 @@
+//! MPK tag virtualisation (paper §8): running more compartments than the
+//! 16 hardware keys.
+//!
+//! Without virtualisation the 16th isolated component fails to load
+//! (MPK has 15 usable keys beside the monitor's). With
+//! `enable_key_virtualisation`, cubicles share a pool of physical keys:
+//! entering a parked cubicle binds it, evicting the least-recently-used
+//! binding, whose pages are lazily faulted back in by trap-and-map.
+//!
+//! Run with: `cargo run --example many_cubicles`
+
+use cubicleos::kernel::{
+    impl_component, ComponentImage, CubicleError, IsolationMode, System,
+};
+use cubicleos::mpk::insn::CodeImage;
+
+struct Worker;
+impl_component!(Worker);
+
+fn main() {
+    // ---- hardware limit without virtualisation -------------------------
+    let mut plain = System::new(IsolationMode::Full);
+    for i in 0..15 {
+        plain
+            .load(ComponentImage::new(format!("W{i}"), CodeImage::plain(256)), Box::new(Worker))
+            .unwrap();
+    }
+    match plain.load(ComponentImage::new("W15", CodeImage::plain(256)), Box::new(Worker)) {
+        Err(CubicleError::OutOfKeys) => {
+            println!("without virtualisation: 15 isolated cubicles, the 16th fails (OutOfKeys) ✓")
+        }
+        other => panic!("expected OutOfKeys, got {other:?}"),
+    }
+
+    // ---- 40 compartments with the virtualisation layer ----------------
+    let mut sys = System::new(IsolationMode::Full);
+    sys.enable_key_virtualisation();
+    let workers: Vec<_> = (0..40)
+        .map(|i| {
+            sys.load(ComponentImage::new(format!("W{i}"), CodeImage::plain(256)), Box::new(Worker))
+                .unwrap()
+                .cid
+        })
+        .collect();
+    println!("with virtualisation: loaded {} isolated cubicles", workers.len());
+
+    // every worker owns private state and cycles through the key pool
+    let mut secrets = Vec::new();
+    for (i, &cid) in workers.iter().enumerate() {
+        let addr = sys.run_in_cubicle(cid, |sys| {
+            let p = sys.heap_alloc(64, 8).unwrap();
+            sys.write(p, format!("secret of worker {i}").as_bytes()).unwrap();
+            p
+        });
+        secrets.push(addr);
+    }
+    // second pass: everyone still reads their own data (rebinding) and
+    // no one can read a neighbour's
+    let mut denied = 0;
+    for (i, &cid) in workers.iter().enumerate() {
+        let own = sys.run_in_cubicle(cid, |sys| sys.read_vec(secrets[i], 8).unwrap());
+        assert_eq!(&own, b"secret o");
+        let neighbour = secrets[(i + 1) % secrets.len()];
+        if sys.run_in_cubicle(cid, |sys| sys.read_vec(neighbour, 8)).is_err() {
+            denied += 1;
+        }
+    }
+    println!("all 40 workers read their own state after key churn ✓");
+    println!("{denied}/40 cross-worker snoops denied ✓");
+    println!(
+        "key-binding evictions performed: {} (each retagged the evicted key's pages)",
+        sys.key_evictions()
+    );
+    println!("machine retags (pkey_mprotect calls): {}", sys.machine_stats().retags);
+}

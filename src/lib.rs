@@ -1,0 +1,37 @@
+//! # CubicleOS-rs
+//!
+//! A Rust reproduction of *"CubicleOS: A Library OS with Software
+//! Componentisation for Practical Isolation"* (ASPLOS 2021): a library
+//! OS whose third-party components are mutually isolated by **cubicles**
+//! (spatial isolation via per-component MPK keys), **windows**
+//! (user-managed ACLs for zero-copy temporal sharing) and
+//! **cross-cubicle calls** (CFI-enforcing trampolines), with a lazy
+//! **trap-and-map** monitor that retags pages instead of copying data.
+//!
+//! The crates re-exported here:
+//!
+//! * [`mpk`] — the simulated Intel MPK machine (pages, keys, PKRU,
+//!   faults, cycle accounting);
+//! * [`kernel`] — the CubicleOS kernel: loader, builder, monitor,
+//!   trampolines, the Table 1 window API;
+//! * [`ukbase`] — Unikraft base components (`ALLOC`, `TIME`, `PLAT`,
+//!   shared `LIBC`);
+//! * [`vfs`] / [`ramfs`] — the file system stack;
+//! * [`net`] — `NETDEV` + `LWIP` (TCP stack);
+//! * [`httpd`] — the NGINX-like web server (paper §6.3);
+//! * [`sqldb`] — the SQLite-like engine + speedtest1 workload (§6.4);
+//! * [`ipc`] — message-passing baselines (Genode / seL4 / Fiasco.OC /
+//!   NOVA cost models, §6.5).
+//!
+//! Start with `examples/quickstart.rs`, then `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use cubicle_core as kernel;
+pub use cubicle_httpd as httpd;
+pub use cubicle_ipc as ipc;
+pub use cubicle_mpk as mpk;
+pub use cubicle_net as net;
+pub use cubicle_ramfs as ramfs;
+pub use cubicle_sqldb as sqldb;
+pub use cubicle_ukbase as ukbase;
+pub use cubicle_vfs as vfs;

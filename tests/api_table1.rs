@@ -1,0 +1,128 @@
+//! Table 1 parity: the CubicleOS-specific API surface, exercised call by
+//! call with the semantics the paper specifies.
+
+use cubicleos::kernel::{
+    impl_component, ComponentImage, CubicleError, IsolationMode, System,
+};
+use cubicleos::mpk::insn::CodeImage;
+
+struct Dummy;
+impl_component!(Dummy);
+
+fn sys_with_two() -> (System, cubicleos::kernel::CubicleId, cubicleos::kernel::CubicleId) {
+    let mut sys = System::new(IsolationMode::Full);
+    let a = sys.load(ComponentImage::new("A", CodeImage::plain(64)), Box::new(Dummy)).unwrap();
+    let b = sys.load(ComponentImage::new("B", CodeImage::plain(64)), Box::new(Dummy)).unwrap();
+    (sys, a.cid, b.cid)
+}
+
+#[test]
+fn cubicle_window_init_returns_fresh_ids() {
+    let (mut sys, a, _) = sys_with_two();
+    sys.run_in_cubicle(a, |sys| {
+        let w1 = sys.window_init();
+        let w2 = sys.window_init();
+        assert_ne!(w1, w2);
+    });
+}
+
+#[test]
+fn cubicle_window_add_associates_a_range() {
+    // "Associate memory range (ptr, ptr+size) to window wid"
+    let (mut sys, a, b) = sys_with_two();
+    sys.run_in_cubicle(a, |sys| {
+        let p = sys.heap_alloc(128, 8).unwrap();
+        let w = sys.window_init();
+        sys.window_add(w, p, 128).unwrap();
+        sys.window_open(w, b).unwrap();
+    });
+}
+
+#[test]
+fn cubicle_window_remove_removes_a_previously_associated_range() {
+    let (mut sys, a, _) = sys_with_two();
+    sys.run_in_cubicle(a, |sys| {
+        let p = sys.heap_alloc(128, 8).unwrap();
+        let w = sys.window_init();
+        sys.window_add(w, p, 128).unwrap();
+        sys.window_remove(w, p).unwrap();
+        // removing twice is an error: the range is gone
+        assert!(matches!(
+            sys.window_remove(w, p),
+            Err(CubicleError::InvalidArgument(_))
+        ));
+    });
+}
+
+#[test]
+fn cubicle_window_open_allows_and_close_disallows() {
+    let (mut sys, a, b) = sys_with_two();
+    let p = sys.run_in_cubicle(a, |sys| {
+        let p = sys.heap_alloc(64, 8).unwrap();
+        let w = sys.window_init();
+        sys.window_add(w, p, 64).unwrap();
+        sys.window_open(w, b).unwrap();
+        p
+    });
+    assert!(sys.run_in_cubicle(b, |sys| sys.read_vec(p, 8)).is_ok());
+}
+
+#[test]
+fn cubicle_window_close_all_disallows_every_peer() {
+    let (mut sys, a, b) = sys_with_two();
+    let c = sys
+        .load(ComponentImage::new("C", CodeImage::plain(64)), Box::new(Dummy))
+        .unwrap()
+        .cid;
+    let p = sys.run_in_cubicle(a, |sys| {
+        let p = sys.heap_alloc(64, 8).unwrap();
+        let w = sys.window_init();
+        sys.window_add(w, p, 64).unwrap();
+        sys.window_open(w, b).unwrap();
+        sys.window_open(w, c).unwrap();
+        sys.window_close_all(w).unwrap();
+        p
+    });
+    // no one has touched the page since, so neither peer may enter
+    assert!(sys.run_in_cubicle(b, |sys| sys.read_vec(p, 8)).is_err());
+    assert!(sys.run_in_cubicle(c, |sys| sys.read_vec(p, 8)).is_err());
+}
+
+#[test]
+fn cubicle_window_destroy_removes_the_window() {
+    let (mut sys, a, b) = sys_with_two();
+    sys.run_in_cubicle(a, |sys| {
+        let w = sys.window_init();
+        sys.window_destroy(w).unwrap();
+        // any further use of the id fails
+        assert!(matches!(sys.window_open(w, b), Err(CubicleError::NoSuchWindow(_))));
+        assert!(matches!(sys.window_destroy(w), Err(CubicleError::NoSuchWindow(_))));
+    });
+}
+
+#[test]
+fn windows_are_assigned_to_the_calling_cubicle() {
+    // "Note that windows are assigned to the calling cubicle, and can
+    // only be managed by it."
+    let (mut sys, a, b) = sys_with_two();
+    let w = sys.run_in_cubicle(a, |sys| sys.window_init());
+    let err = sys.run_in_cubicle(b, |sys| sys.window_close_all(w));
+    assert!(matches!(err, Err(CubicleError::NoSuchWindow(_))));
+}
+
+#[test]
+fn window_contents_are_shared_not_copied() {
+    // zero-copy: the grantee observes in-place updates by the owner
+    let (mut sys, a, b) = sys_with_two();
+    let p = sys.run_in_cubicle(a, |sys| {
+        let p = sys.heap_alloc(64, 8).unwrap();
+        sys.write(p, b"v1").unwrap();
+        let w = sys.window_init();
+        sys.window_add(w, p, 64).unwrap();
+        sys.window_open(w, b).unwrap();
+        p
+    });
+    assert_eq!(sys.run_in_cubicle(b, |sys| sys.read_vec(p, 2).unwrap()), b"v1");
+    sys.run_in_cubicle(a, |sys| sys.write(p, b"v2").unwrap());
+    assert_eq!(sys.run_in_cubicle(b, |sys| sys.read_vec(p, 2).unwrap()), b"v2");
+}
