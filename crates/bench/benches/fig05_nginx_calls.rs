@@ -4,21 +4,22 @@
 use cubicle_bench::report::banner;
 use cubicle_core::IsolationMode;
 use cubicle_httpd::boot_web;
+use cubicle_mpk::rng::Rng64;
 use cubicle_net::WireModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     banner(
         "Figure 5: NGINX with cubicles (call counts during measurement)",
         "Sartakov et al., ASPLOS'21, Fig. 5",
     );
-    let requests: usize =
-        std::env::var("CUBICLE_REQUESTS").ok().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let requests: usize = std::env::var("CUBICLE_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
 
     let mut dep = boot_web(IsolationMode::Full).unwrap();
     // random static files, as in the paper's siege setup
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng64::new(7);
     let sizes = [1 << 10, 8 << 10, 64 << 10, 256 << 10];
     for (i, &size) in sizes.iter().enumerate() {
         let content: Vec<u8> = (0..size).map(|j| ((i + j) % 251) as u8).collect();
@@ -27,8 +28,10 @@ fn main() {
     dep.sys.mark_boot_complete(); // Fig. 5 counts measurement time only
     eprintln!("issuing {requests} requests…");
     for _ in 0..requests {
-        let which = rng.gen_range(0..sizes.len());
-        let (_lat, resp) = dep.fetch(&format!("/file{which}.bin"), WireModel::default()).unwrap();
+        let which = rng.range_usize(0, sizes.len());
+        let (_lat, resp) = dep
+            .fetch(&format!("/file{which}.bin"), WireModel::default())
+            .unwrap();
         assert_eq!(resp.status, 200);
     }
 

@@ -5,9 +5,7 @@
 //! Scale with `CUBICLE_SCALE` (default 100 = the paper's `--stat 100`).
 
 use cubicle_bench::report::{banner, bar, factor};
-use cubicle_bench::scenario::{
-    build_sqlite, Partitioning, UNIKRAFT_BOUNDARY_TAX,
-};
+use cubicle_bench::scenario::{build_sqlite, Partitioning, UNIKRAFT_BOUNDARY_TAX};
 use cubicle_core::IsolationMode;
 use cubicle_sqldb::speedtest::{query_group, QueryGroup, SpeedtestConfig, TestResult};
 use cubicle_ukbase::time::cycles_to_ms;
@@ -20,13 +18,21 @@ fn run(mode: IsolationMode, cfg: &SpeedtestConfig) -> Vec<TestResult> {
         _ => Partitioning::Split,
     };
     let mut dep = build_sqlite(mode, partitioning, UNIKRAFT_BOUNDARY_TAX).unwrap();
-    let mut db = dep.open_db(cubicle_sqldb::pager::DEFAULT_CACHE_PAGES).unwrap();
+    let mut db = dep
+        .open_db(cubicle_sqldb::pager::DEFAULT_CACHE_PAGES)
+        .unwrap();
     dep.run_speedtest(&mut db, cfg).unwrap()
 }
 
 fn main() {
-    let scale: u32 = std::env::var("CUBICLE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(100);
-    let cfg = SpeedtestConfig { scale, ..Default::default() };
+    let scale: u32 = std::env::var("CUBICLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let cfg = SpeedtestConfig {
+        scale,
+        ..Default::default()
+    };
     banner(
         "Figure 6: query execution times for SQLite under CubicleOS",
         "Sartakov et al., ASPLOS'21, Fig. 6 + §6.4 (speedtest1, local execution)",
@@ -42,23 +48,26 @@ fn main() {
     let results: Vec<Vec<TestResult>> = modes.iter().map(|&m| run(m, &cfg)).collect();
 
     println!(
-        "{:>5} {:>5} | {:>12} {:>12} {:>12} {:>12} | {:>8}  {}",
-        "query", "group", "Unikraft", "w/o MPK", "w/o ACLs", "CubicleOS", "slowdown", "(ms, simulated)"
+        "{:>5} {:>5} | {:>12} {:>12} {:>12} {:>12} | {:>8}  (ms, simulated)",
+        "query", "group", "Unikraft", "w/o MPK", "w/o ACLs", "CubicleOS", "slowdown"
     );
     println!("{}", "-".repeat(104));
-    let max_ms = results[3].iter().map(|r| cycles_to_ms(r.cycles)).fold(0.0, f64::max);
-    for i in 0..results[0].len() {
-        let id = results[0][i].id;
+    let max_ms = results[3]
+        .iter()
+        .map(|r| cycles_to_ms(r.cycles))
+        .fold(0.0, f64::max);
+    for (i, base) in results[0].iter().enumerate() {
+        let id = base.id;
         let group = match query_group(id) {
             QueryGroup::A => "A",
             QueryGroup::B => "B",
         };
-        let slow = results[3][i].cycles as f64 / results[0][i].cycles as f64;
+        let slow = results[3][i].cycles as f64 / base.cycles as f64;
         println!(
             "{:>5} {:>5} | {:>9.3} ms {:>9.3} ms {:>9.3} ms {:>9.3} ms | {:>8} {}",
             id,
             group,
-            cycles_to_ms(results[0][i].cycles),
+            cycles_to_ms(base.cycles),
             cycles_to_ms(results[1][i].cycles),
             cycles_to_ms(results[2][i].cycles),
             cycles_to_ms(results[3][i].cycles),
@@ -69,11 +78,14 @@ fn main() {
 
     // §6.4 analysis: group means and mechanism deltas
     println!("\n--- §6.4 analysis (per-group geometric-mean slowdowns) ---");
-    for (gname, g) in [("A (cache-friendly)", QueryGroup::A), ("B (OS-heavy)", QueryGroup::B)] {
+    for (gname, g) in [
+        ("A (cache-friendly)", QueryGroup::A),
+        ("B (OS-heavy)", QueryGroup::B),
+    ] {
         let mut deltas = [0.0f64; 4]; // ln-sums per mode vs baseline
         let mut n = 0u32;
-        for i in 0..results[0].len() {
-            if query_group(results[0][i].id) != g {
+        for (i, base) in results[0].iter().enumerate() {
+            if query_group(base.id) != g {
                 continue;
             }
             n += 1;
@@ -91,9 +103,7 @@ fn main() {
             factor(win),
         );
     }
-    println!(
-        "\npaper: group A ≈ 1.8x total (trampolines +2%, MPK +50%, windows +20%);"
-    );
+    println!("\npaper: group A ≈ 1.8x total (trampolines +2%, MPK +50%, windows +20%);");
     println!("       group B ≈ 8x total (trampolines +17%, MPK 4x, windows 1.2x)");
     println!(
         "note: the first delta here also contains the 7-way partitioning cost\n\

@@ -33,7 +33,9 @@ fn series(mode: IsolationMode) -> Vec<u64> {
     }
     let mut out = Vec::new();
     for (name, size) in SIZES {
-        let (latency, resp) = dep.fetch(&format!("/{name}.bin"), WireModel::default()).unwrap();
+        let (latency, resp) = dep
+            .fetch(&format!("/{name}.bin"), WireModel::default())
+            .unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body.len(), size);
         out.push(latency);

@@ -21,15 +21,24 @@ fn main() {
         "Figure 8: SQLite with cubicles (call counts include boot time)",
         "Sartakov et al., ASPLOS'21, Fig. 8",
     );
-    let scale: u32 =
-        std::env::var("CUBICLE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(20);
-    let cfg = SpeedtestConfig { scale, ..Default::default() };
+    let scale: u32 = std::env::var("CUBICLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let cfg = SpeedtestConfig {
+        scale,
+        ..Default::default()
+    };
     eprintln!("running speedtest1 at scale {scale}…");
 
     let mut sys = System::new(IsolationMode::Full);
     let base = boot_base(&mut sys).unwrap();
-    let vfs_loaded = sys.load(cubicle_vfs::image(), Box::new(Vfs::default())).unwrap();
-    let ramfs_loaded = sys.load(cubicle_ramfs::image(), Box::new(Ramfs::default())).unwrap();
+    let vfs_loaded = sys
+        .load(cubicle_vfs::image(), Box::new(Vfs::default()))
+        .unwrap();
+    let ramfs_loaded = sys
+        .load(cubicle_ramfs::image(), Box::new(Ramfs::default()))
+        .unwrap();
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
     mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
@@ -67,7 +76,10 @@ fn main() {
     }
     println!("\ntotal cross-cubicle calls: {}", stats.cross_calls);
     println!("trap-and-map faults resolved: {}", stats.faults_resolved);
-    println!("faults denied (isolation violations): {}", stats.faults_denied);
+    println!(
+        "faults denied (isolation violations): {}",
+        stats.faults_denied
+    );
     println!(
         "\npaper's shape, reproduced: the hot path is SQLITE→VFSCORE→RAMFS with\n\
          VFSCORE→RAMFS the hotter edge; RAMFS→ALLOC carries only coarse pool\n\

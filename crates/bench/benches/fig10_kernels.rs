@@ -7,15 +7,19 @@
 //! Scale with `CUBICLE_SCALE` (default 100).
 
 use cubicle_bench::report::{banner, bar, factor};
-use cubicle_bench::scenario::{
-    speedtest_total_cycles, Partitioning, UNIKRAFT_BOUNDARY_TAX,
-};
+use cubicle_bench::scenario::{speedtest_total_cycles, Partitioning, UNIKRAFT_BOUNDARY_TAX};
 use cubicle_core::IsolationMode;
 use cubicle_sqldb::speedtest::SpeedtestConfig;
 
 fn main() {
-    let scale: u32 = std::env::var("CUBICLE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(100);
-    let cfg = SpeedtestConfig { scale, ..Default::default() };
+    let scale: u32 = std::env::var("CUBICLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let cfg = SpeedtestConfig {
+        scale,
+        ..Default::default()
+    };
     banner(
         "Figure 10: CubicleOS overhead compared to different kernels",
         "Sartakov et al., ASPLOS'21, Fig. 9 + Fig. 10 (speedtest1)",
@@ -35,22 +39,40 @@ fn main() {
         Partitioning::Merged,
         UNIKRAFT_BOUNDARY_TAX,
     );
-    let cub3 =
-        total("CubicleOS-3", IsolationMode::Full, Partitioning::Merged, UNIKRAFT_BOUNDARY_TAX);
-    let cub4 =
-        total("CubicleOS-4", IsolationMode::Full, Partitioning::Split, UNIKRAFT_BOUNDARY_TAX);
+    let cub3 = total(
+        "CubicleOS-3",
+        IsolationMode::Full,
+        Partitioning::Merged,
+        UNIKRAFT_BOUNDARY_TAX,
+    );
+    let cub4 = total(
+        "CubicleOS-4",
+        IsolationMode::Full,
+        Partitioning::Split,
+        UNIKRAFT_BOUNDARY_TAX,
+    );
 
     let mut k3 = Vec::new();
     let mut k4 = Vec::new();
     for k in cubicle_ipc::KERNELS {
-        k3.push(total(&format!("{}-3", k.kernel), cubicle_ipc::mode_for(k), Partitioning::Merged, 0));
-        k4.push(total(&format!("{}-4", k.kernel), cubicle_ipc::mode_for(k), Partitioning::Split, 0));
+        k3.push(total(
+            &format!("{}-3", k.kernel),
+            cubicle_ipc::mode_for(k),
+            Partitioning::Merged,
+            0,
+        ));
+        k4.push(total(
+            &format!("{}-4", k.kernel),
+            cubicle_ipc::mode_for(k),
+            Partitioning::Split,
+            0,
+        ));
     }
     let genode3 = k3[3]; // Genode/Linux
     let genode4 = k4[3];
 
     println!("\n--- Figure 10a: slowdown compared to Linux ---");
-    println!("{:>14} {:>9}  {:>9}  {}", "system", "measured", "paper", "");
+    println!("{:>14} {:>9}  {:>9}  ", "system", "measured", "paper");
     let rows_a = [
         ("Linux", linux, 1.0),
         ("Unikraft", unikraft, 2.8),

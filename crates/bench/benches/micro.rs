@@ -1,113 +1,152 @@
-//! Criterion micro-benchmarks of the isolation primitives (host
-//! wall-clock of the simulator — useful to keep the simulator itself
-//! fast; the *simulated* cycle costs are fixed by the cost model).
+//! Micro-benchmarks of the isolation primitives (host wall-clock of the
+//! simulator — useful to keep the simulator itself fast; the *simulated*
+//! cycle costs are fixed by the cost model).
+//!
+//! Self-timed with a small median-of-samples harness so the suite runs
+//! with no external dependencies (the build must work fully offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use cubicle_core::{impl_component, Builder, ComponentImage, CubicleId, IsolationMode, System, Value};
+use cubicle_core::{
+    impl_component, Builder, ComponentImage, CubicleId, IsolationMode, System, Value,
+};
 use cubicle_mpk::insn::CodeImage;
 use std::hint::black_box;
+use std::time::Instant;
 
 struct Dummy;
 impl_component!(Dummy);
+
+/// Runs `f` in batches until ~50 ms of samples exist and reports the
+/// median ns/iter (trimmed of warm-up effects).
+fn bench_function(name: &str, mut f: impl FnMut()) {
+    // warm-up
+    for _ in 0..16 {
+        f();
+    }
+    let mut samples = Vec::new();
+    let deadline = Instant::now() + std::time::Duration::from_millis(50);
+    while Instant::now() < deadline {
+        const BATCH: u32 = 64;
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            f();
+        }
+        samples.push(t0.elapsed().as_nanos() as u64 / u64::from(BATCH));
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<44} {median:>10} ns/iter   ({} samples)",
+        samples.len()
+    );
+}
 
 fn setup(mode: IsolationMode) -> (System, CubicleId, CubicleId) {
     let builder = Builder::new();
     let mut sys = System::new(mode);
     let a = sys
-        .load(ComponentImage::new("A", CodeImage::plain(4096)).heap_pages(32), Box::new(Dummy))
+        .load(
+            ComponentImage::new("A", CodeImage::plain(4096)).heap_pages(32),
+            Box::new(Dummy),
+        )
         .unwrap();
     let b = sys
         .load(
-            ComponentImage::new("B", CodeImage::plain(4096)).heap_pages(32).export(
-                builder.export("long b_read(const void *buf, size_t n)").unwrap(),
-                |sys, _this, args| {
-                    let (addr, len) = args[0].as_buf();
-                    let v = sys.read_vec(addr, len)?;
-                    Ok(Value::I64(i64::from(v[0])))
-                },
-            ),
+            ComponentImage::new("B", CodeImage::plain(4096))
+                .heap_pages(32)
+                .export(
+                    builder
+                        .export("long b_read(const void *buf, size_t n)")
+                        .unwrap(),
+                    |sys, _this, args| {
+                        let (addr, len) = args[0].as_buf();
+                        let v = sys.read_vec(addr, len)?;
+                        Ok(Value::I64(i64::from(v[0])))
+                    },
+                ),
             Box::new(Dummy),
         )
         .unwrap();
     (sys, a.cid, b.cid)
 }
 
-fn bench_cross_call(c: &mut Criterion) {
+fn bench_cross_call() {
     let (mut sys, a, b) = setup(IsolationMode::Full);
     let entry = sys.entry("b_read").unwrap();
-    c.bench_function("cross_cubicle_call_with_window_fault", |bench| {
-        bench.iter(|| {
-            sys.run_in_cubicle(a, |sys| {
-                let buf = sys.heap_alloc(4096, 4096).unwrap();
-                sys.write(buf, &[1]).unwrap();
-                let wid = sys.window_init();
-                sys.window_add(wid, buf, 4096).unwrap();
-                sys.window_open(wid, b).unwrap();
-                let r = sys.cross_call(entry, &[Value::buf_in(buf, 64)]).unwrap();
-                sys.window_destroy(wid).unwrap();
-                sys.heap_free(buf).unwrap();
-                black_box(r)
-            })
-        })
+    bench_function("cross_cubicle_call_with_window_fault", || {
+        sys.run_in_cubicle(a, |sys| {
+            let buf = sys.heap_alloc(4096, 4096).unwrap();
+            sys.write(buf, &[1]).unwrap();
+            let wid = sys.window_init();
+            sys.window_add(wid, buf, 4096).unwrap();
+            sys.window_open(wid, b).unwrap();
+            let r = sys.cross_call(entry, &[Value::buf_in(buf, 64)]).unwrap();
+            sys.window_destroy(wid).unwrap();
+            sys.heap_free(buf).unwrap();
+            black_box(r);
+        });
     });
 }
 
-fn bench_window_ops(c: &mut Criterion) {
+fn bench_window_ops() {
     let (mut sys, a, b) = setup(IsolationMode::Full);
-    c.bench_function("window_init_add_open_close_destroy", |bench| {
-        bench.iter(|| {
-            sys.run_in_cubicle(a, |sys| {
-                let buf = sys.heap_alloc(4096, 4096).unwrap();
-                let wid = sys.window_init();
-                sys.window_add(wid, buf, 4096).unwrap();
-                sys.window_open(wid, b).unwrap();
-                sys.window_close(wid, b).unwrap();
-                sys.window_destroy(wid).unwrap();
-                sys.heap_free(buf).unwrap();
-            })
-        })
+    bench_function("window_init_add_open_close_destroy", || {
+        sys.run_in_cubicle(a, |sys| {
+            let buf = sys.heap_alloc(4096, 4096).unwrap();
+            let wid = sys.window_init();
+            sys.window_add(wid, buf, 4096).unwrap();
+            sys.window_open(wid, b).unwrap();
+            sys.window_close(wid, b).unwrap();
+            sys.window_destroy(wid).unwrap();
+            sys.heap_free(buf).unwrap();
+        });
     });
 }
 
-fn bench_memory_access(c: &mut Criterion) {
+fn bench_memory_access() {
     let (mut sys, a, _b) = setup(IsolationMode::Full);
     let buf = sys.run_in_cubicle(a, |sys| sys.heap_alloc(4096, 4096).unwrap());
     let mut scratch = vec![0u8; 4096];
-    c.bench_function("checked_4k_read", |bench| {
-        bench.iter(|| {
-            sys.run_in_cubicle(a, |sys| sys.read(buf, black_box(&mut scratch)).unwrap())
-        })
+    bench_function("checked_4k_read", || {
+        sys.run_in_cubicle(a, |sys| sys.read(buf, black_box(&mut scratch)).unwrap());
     });
 }
 
-fn bench_speedtest_statement(c: &mut Criterion) {
+fn bench_speedtest_statement() {
     use cubicle_sqldb::storage::HostEnv;
     use cubicle_sqldb::Database;
     let mut sys = System::new(IsolationMode::Unikraft);
     let mut db = Database::open(&mut sys, Box::new(HostEnv::new()), "/bench.db").unwrap();
-    db.execute(&mut sys, "CREATE TABLE t(id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    db.execute(
+        &mut sys,
+        "CREATE TABLE t(id INTEGER PRIMARY KEY, v INTEGER)",
+    )
+    .unwrap();
     db.execute(&mut sys, "BEGIN").unwrap();
     for i in 0..1000 {
-        db.execute(&mut sys, &format!("INSERT INTO t VALUES ({i}, {})", i * 7 % 100)).unwrap();
+        db.execute(
+            &mut sys,
+            &format!("INSERT INTO t VALUES ({i}, {})", i * 7 % 100),
+        )
+        .unwrap();
     }
     db.execute(&mut sys, "COMMIT").unwrap();
-    c.bench_function("sql_point_query", |bench| {
-        bench.iter(|| {
-            black_box(db.query(&mut sys, "SELECT v FROM t WHERE id = 500").unwrap());
-        })
+    bench_function("sql_point_query", || {
+        black_box(
+            db.query(&mut sys, "SELECT v FROM t WHERE id = 500")
+                .unwrap(),
+        );
     });
-    c.bench_function("sql_aggregate_scan", |bench| {
-        bench.iter(|| {
-            black_box(db.query(&mut sys, "SELECT count(*), sum(v) FROM t").unwrap());
-        })
+    bench_function("sql_aggregate_scan", || {
+        black_box(
+            db.query(&mut sys, "SELECT count(*), sum(v) FROM t")
+                .unwrap(),
+        );
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cross_call,
-    bench_window_ops,
-    bench_memory_access,
-    bench_speedtest_statement
-);
-criterion_main!(benches);
+fn main() {
+    bench_cross_call();
+    bench_window_ops();
+    bench_memory_access();
+    bench_speedtest_statement();
+}

@@ -11,7 +11,9 @@ use std::path::Path;
 /// Counts non-blank, non-comment source lines, stopping at the unit-test
 /// module (the original C components have their tests out of tree).
 fn sloc_file(path: &Path) -> usize {
-    let Ok(text) = fs::read_to_string(path) else { return 0 };
+    let Ok(text) = fs::read_to_string(path) else {
+        return 0;
+    };
     let mut n = 0;
     for line in text.lines() {
         let t = line.trim();
@@ -46,7 +48,11 @@ fn main() {
         "Table 2: sizes of CubicleOS components",
         "Sartakov et al., ASPLOS'21, Table 2",
     );
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
     let crates = root.join("crates");
 
     let rows: [(&str, &str, Vec<std::path::PathBuf>, &str); 6] = [
@@ -96,14 +102,20 @@ fn main() {
     ];
 
     println!(
-        "\n{:<28} {:>18} {:>12}   {}",
-        "component", "paper (SLOC)", "this repo", "notes"
+        "\n{:<28} {:>18} {:>12}   notes",
+        "component", "paper (SLOC)", "this repo"
     );
     println!("{}", "-".repeat(96));
     for (name, paper, paths, note) in rows {
         let sloc: usize = paths
             .iter()
-            .map(|p| if p.is_dir() { sloc_dir(p) } else { sloc_file(p) })
+            .map(|p| {
+                if p.is_dir() {
+                    sloc_dir(p)
+                } else {
+                    sloc_file(p)
+                }
+            })
             .sum();
         println!("{name:<28} {paper:>18} {sloc:>12}   {note}");
     }

@@ -1,16 +1,20 @@
 //! Calibration probe: prints the raw numbers behind the Figure 10
 //! ratios so the cost constants can be fixed once, globally.
 
-use cubicle_bench::scenario::{
-    speedtest_total_cycles, Partitioning, UNIKRAFT_BOUNDARY_TAX,
-};
+use cubicle_bench::scenario::{speedtest_total_cycles, Partitioning, UNIKRAFT_BOUNDARY_TAX};
 use cubicle_core::IsolationMode;
 use cubicle_sqldb::speedtest::SpeedtestConfig;
 use std::time::Instant;
 
 fn main() {
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
-    let cfg = SpeedtestConfig { scale, ..Default::default() };
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let cfg = SpeedtestConfig {
+        scale,
+        ..Default::default()
+    };
     println!("scale = {scale} ({} rows)", cfg.rows());
 
     let run = |label: &str, mode: IsolationMode, p: Partitioning, tax: u64| -> u64 {
@@ -24,7 +28,12 @@ fn main() {
         cycles
     };
 
-    let linux = run("Linux (native)", IsolationMode::Unikraft, Partitioning::Merged, 0);
+    let linux = run(
+        "Linux (native)",
+        IsolationMode::Unikraft,
+        Partitioning::Merged,
+        0,
+    );
     let unikraft = run(
         "Unikraft",
         IsolationMode::Unikraft,
@@ -69,9 +78,23 @@ fn main() {
     println!();
     println!("--- Fig 10b (4-comp vs 3-comp; paper: 7.5 / 4.5 / 4.7 / ~20 / 1.4) ---");
     for k in cubicle_ipc::KERNELS {
-        let m3 = run(&format!("{}-3", k.kernel), cubicle_ipc::mode_for(k), Partitioning::Merged, 0);
-        let m4 = run(&format!("{}-4", k.kernel), cubicle_ipc::mode_for(k), Partitioning::Split, 0);
+        let m3 = run(
+            &format!("{}-3", k.kernel),
+            cubicle_ipc::mode_for(k),
+            Partitioning::Merged,
+            0,
+        );
+        let m4 = run(
+            &format!("{}-4", k.kernel),
+            cubicle_ipc::mode_for(k),
+            Partitioning::Split,
+            0,
+        );
         println!("{:<14} {:.2}x", k.kernel, m4 as f64 / m3 as f64);
     }
-    println!("{:<14} {:.2}x  (CubicleOS)", "CubicleOS", cub4 as f64 / cub3 as f64);
+    println!(
+        "{:<14} {:.2}x  (CubicleOS)",
+        "CubicleOS",
+        cub4 as f64 / cub3 as f64
+    );
 }

@@ -4,8 +4,14 @@ use cubicle_core::IsolationMode;
 use cubicle_sqldb::speedtest::SpeedtestConfig;
 
 fn main() {
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
-    let cfg = SpeedtestConfig { scale, ..Default::default() };
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let cfg = SpeedtestConfig {
+        scale,
+        ..Default::default()
+    };
     for (label, mode, p) in [
         ("Linux-3", IsolationMode::Unikraft, Partitioning::Merged),
         ("Linux-4", IsolationMode::Unikraft, Partitioning::Split),
@@ -18,9 +24,14 @@ fn main() {
         let (_, stats) = dep.sys.since_boot();
         let app_core = stats.edge(dep.app, dep.core_cid);
         let core_ramfs = stats.edge(dep.core_cid, dep.ramfs_cid);
-        println!("{label}: cycles={cycles} cross_calls={} app->core={} core->ramfs={} ipc_bytes={}",
-            stats.cross_calls, app_core, core_ramfs, stats.ipc_bytes);
+        println!(
+            "{label}: cycles={cycles} cross_calls={} app->core={} core->ramfs={} ipc_bytes={}",
+            stats.cross_calls, app_core, core_ramfs, stats.ipc_bytes
+        );
         let ps = db.pager_stats();
-        println!("   pager: hits={} misses={} evictions={} syncs={} commits={}", ps.hits, ps.misses, ps.evictions, ps.syncs, ps.commits);
+        println!(
+            "   pager: hits={} misses={} evictions={} syncs={} commits={}",
+            ps.hits, ps.misses, ps.evictions, ps.syncs, ps.commits
+        );
     }
 }

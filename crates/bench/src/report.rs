@@ -1,6 +1,11 @@
-//! Text reporting helpers shared by the figure harnesses.
+//! Text reporting helpers shared by the figure harnesses, plus the
+//! observability dump: any traced run can drop its Chrome trace JSON,
+//! Prometheus snapshot and fault audit log next to the figure output.
 
+use cubicle_core::System;
 use cubicle_ukbase::time::cycles_to_ms;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// Prints a figure/table banner.
 pub fn banner(title: &str, paper_ref: &str) {
@@ -13,7 +18,11 @@ pub fn banner(title: &str, paper_ref: &str) {
 
 /// A simple ASCII bar scaled to `max`.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    let n = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    let n = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
     "#".repeat(n.min(width))
 }
 
@@ -25,6 +34,72 @@ pub fn ms(cycles: u64) -> String {
 /// Formats a slowdown factor.
 pub fn factor(value: f64) -> String {
     format!("{value:.2}x")
+}
+
+/// Renders the per-edge and per-entry latency histograms as a
+/// human-readable table (empty string when tracing is disabled).
+pub fn metrics_summary(sys: &System) -> String {
+    let Some(metrics) = sys.metrics() else {
+        return String::new();
+    };
+    let mut out = String::new();
+    out.push_str(
+        "edge                           calls        p50        p95        p99        max\n",
+    );
+    for (&(from, to), h) in metrics.edges() {
+        let edge = format!("{} -> {}", sys.cubicle_name(from), sys.cubicle_name(to));
+        out.push_str(&format!(
+            "{edge:<28} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            h.count(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max(),
+        ));
+    }
+    out.push_str(
+        "entry                          calls        p50        p95        p99        max\n",
+    );
+    for (&entry, h) in metrics.entries() {
+        let name = sys.entry_name(entry).unwrap_or("?").to_string();
+        out.push_str(&format!(
+            "{name:<28} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            h.count(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max(),
+        ));
+    }
+    out
+}
+
+/// Writes the three observability artifacts for a traced run into `dir`:
+/// `<stem>.trace.json` (Chrome `trace_event` format, loadable in
+/// Perfetto / `chrome://tracing`), `<stem>.prom` (Prometheus text
+/// exposition) and `<stem>.audit.txt` (the trap-and-map audit log).
+/// Returns the paths written.
+///
+/// # Errors
+///
+/// I/O errors creating `dir` or writing the files.
+pub fn dump_observability(
+    sys: &mut System,
+    dir: &Path,
+    stem: &str,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let dump = |suffix: &str, body: String| -> std::io::Result<PathBuf> {
+        let path = dir.join(format!("{stem}{suffix}"));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(body.as_bytes())?;
+        Ok(path)
+    };
+    written.push(dump(".trace.json", sys.export_chrome_trace())?);
+    written.push(dump(".prom", sys.export_prometheus())?);
+    written.push(dump(".audit.txt", sys.export_fault_audit())?);
+    Ok(written)
 }
 
 #[cfg(test)]

@@ -1,8 +1,6 @@
 //! Deployment builders for the SQLite experiments (Figures 6, 8, 9, 10).
 
-use cubicle_core::{
-    impl_component, ComponentImage, CubicleId, IsolationMode, Result, System,
-};
+use cubicle_core::{impl_component, ComponentImage, CubicleId, IsolationMode, Result, System};
 use cubicle_mpk::insn::CodeImage;
 use cubicle_ramfs::Ramfs;
 use cubicle_sqldb::speedtest::{run_speedtest, SpeedtestConfig, TestResult};
@@ -84,14 +82,23 @@ pub fn build_sqlite(
         sys.load(cubicle_vfs::image(), Box::new(Vfs::default()))?
     };
     let core_cid = vfs_loaded.cid;
-    let alloc_loaded =
-        sys.load_into(cubicle_ukbase::alloc::image(), Box::new(Alloc::default()), core_cid)?;
-    sys.load_into(cubicle_ukbase::plat::image(), Box::new(Plat::default()), core_cid)?;
+    let alloc_loaded = sys.load_into(
+        cubicle_ukbase::alloc::image(),
+        Box::new(Alloc::default()),
+        core_cid,
+    )?;
+    sys.load_into(
+        cubicle_ukbase::plat::image(),
+        Box::new(Plat::default()),
+        core_cid,
+    )?;
     // TIMER: its own component in both configurations.
     sys.load(cubicle_ukbase::time::image(), Box::new(Time::default()))?;
     // LIBC: shared cubicle.
     sys.load(
-        ComponentImage::new("LIBC", CodeImage::plain(48 * 1024)).shared().heap_pages(8),
+        ComponentImage::new("LIBC", CodeImage::plain(48 * 1024))
+            .shared()
+            .heap_pages(8),
         Box::new(Libc),
     )?;
 
@@ -127,8 +134,13 @@ impl SqliteDeployment {
         let (app, vfs, ramfs) = (self.app, self.vfs, self.ramfs_cid);
         self.sys.run_in_cubicle(app, move |sys| {
             let port = VfsPort::new(sys, vfs, &[ramfs])?;
-            Database::open_with_cache(sys, Box::new(CubicleEnv::new(port)), "/speedtest.db", cache_pages)
-                .map_err(|e| cubicle_core::CubicleError::Component(e.to_string()))
+            Database::open_with_cache(
+                sys,
+                Box::new(CubicleEnv::new(port)),
+                "/speedtest.db",
+                cache_pages,
+            )
+            .map_err(|e| cubicle_core::CubicleError::Component(e.to_string()))
         })
     }
 
@@ -197,7 +209,10 @@ mod tests {
     fn splitting_ramfs_costs_little_on_cubicleos() {
         // Figure 10b's headline: the extra compartment costs ~1.4× on
         // CubicleOS. At tiny scale we just require a modest factor.
-        let cfg = SpeedtestConfig { scale: 2, ..Default::default() };
+        let cfg = SpeedtestConfig {
+            scale: 2,
+            ..Default::default()
+        };
         let (merged, _) = speedtest_total_cycles(
             IsolationMode::Full,
             Partitioning::Merged,
@@ -221,23 +236,36 @@ mod tests {
     fn splitting_ramfs_is_expensive_on_microkernels() {
         // A tiny page cache forces the OS-call density that drives
         // Figure 10's ratios without needing the full scale-100 run.
-        let cfg = SpeedtestConfig { scale: 4, ..Default::default() };
-        let mut run = |mode: IsolationMode, p: Partitioning, tax: u64| -> u64 {
+        let cfg = SpeedtestConfig {
+            scale: 4,
+            ..Default::default()
+        };
+        let run = |mode: IsolationMode, p: Partitioning, tax: u64| -> u64 {
             let mut dep = build_sqlite(mode, p, tax).unwrap();
             let mut db = dep.open_db(16).unwrap(); // 64 KiB cache
             let results = dep.run_speedtest(&mut db, &cfg).unwrap();
             results.iter().map(|r| r.cycles).sum()
         };
         let sel4 = cubicle_ipc::mode_for(cubicle_ipc::SEL4);
-        let ipc_ratio = run(sel4, Partitioning::Split, 0) as f64
-            / run(sel4, Partitioning::Merged, 0) as f64;
-        let cub_ratio = run(IsolationMode::Full, Partitioning::Split, UNIKRAFT_BOUNDARY_TAX)
-            as f64
-            / run(IsolationMode::Full, Partitioning::Merged, UNIKRAFT_BOUNDARY_TAX) as f64;
+        let ipc_ratio =
+            run(sel4, Partitioning::Split, 0) as f64 / run(sel4, Partitioning::Merged, 0) as f64;
+        let cub_ratio = run(
+            IsolationMode::Full,
+            Partitioning::Split,
+            UNIKRAFT_BOUNDARY_TAX,
+        ) as f64
+            / run(
+                IsolationMode::Full,
+                Partitioning::Merged,
+                UNIKRAFT_BOUNDARY_TAX,
+            ) as f64;
         assert!(
             ipc_ratio > 1.5 && ipc_ratio > 1.4 * cub_ratio,
             "message-passing split ({ipc_ratio:.2}x) must dwarf CubicleOS ({cub_ratio:.2}x)"
         );
-        assert!(cub_ratio < 2.0, "CubicleOS split stays cheap ({cub_ratio:.2}x)");
+        assert!(
+            cub_ratio < 2.0,
+            "CubicleOS split stays cheap ({cub_ratio:.2}x)"
+        );
     }
 }

@@ -107,13 +107,17 @@ impl Builder {
     /// The deployment-wide trusted builder (fixed secret: the builder and
     /// the loader are both part of the TCB and share it).
     pub fn new() -> Builder {
-        Builder { secret: 0xC0B1_C1E0_5B1D_4EE7 }
+        Builder {
+            secret: 0xC0B1_C1E0_5B1D_4EE7,
+        }
     }
 
     /// A builder with a *different* secret — models an untrusted party
     /// attempting to forge trampolines; its signatures will not verify.
     pub fn untrusted() -> Builder {
-        Builder { secret: 0xBAD5_EED5_BAD5_EED5 }
+        Builder {
+            secret: 0xBAD5_EED5_BAD5_EED5,
+        }
     }
 
     /// Parses a C-style function declaration into an [`ExportDecl`].
@@ -145,7 +149,10 @@ impl Builder {
         } else {
             params.split(',').count()
         };
-        Ok(ExportDecl { name: name.to_string(), arity })
+        Ok(ExportDecl {
+            name: name.to_string(),
+            arity,
+        })
     }
 
     /// Generates and signs the trampoline descriptor for `decl`.
@@ -191,7 +198,9 @@ mod tests {
 
     #[test]
     fn parse_simple() {
-        let d = b().parse_export("int open(const char *path, int flags)").unwrap();
+        let d = b()
+            .parse_export("int open(const char *path, int flags)")
+            .unwrap();
         assert_eq!(d.name, "open");
         assert_eq!(d.arity, 2);
     }
@@ -216,15 +225,26 @@ mod tests {
             .unwrap();
         assert_eq!(d.arity, 7);
         assert_eq!(d.stack_arg_bytes(), 8);
-        let d6 = b().parse_export("int f(int a, int b, int c, int d, int e, int f)").unwrap();
+        let d6 = b()
+            .parse_export("int f(int a, int b, int c, int d, int e, int f)")
+            .unwrap();
         assert_eq!(d6.stack_arg_bytes(), 0);
     }
 
     #[test]
     fn parse_rejects_garbage() {
-        assert_eq!(b().parse_export("not a function"), Err(ParseExportError::MissingParamList));
-        assert_eq!(b().parse_export(")("), Err(ParseExportError::MissingParamList));
-        assert_eq!(b().parse_export("(int x)"), Err(ParseExportError::MissingName));
+        assert_eq!(
+            b().parse_export("not a function"),
+            Err(ParseExportError::MissingParamList)
+        );
+        assert_eq!(
+            b().parse_export(")("),
+            Err(ParseExportError::MissingParamList)
+        );
+        assert_eq!(
+            b().parse_export("(int x)"),
+            Err(ParseExportError::MissingName)
+        );
     }
 
     #[test]
@@ -252,7 +272,10 @@ mod tests {
 
     #[test]
     fn display_shows_arity() {
-        let d = ExportDecl { name: "f".into(), arity: 2 };
+        let d = ExportDecl {
+            name: "f".into(),
+            arity: 2,
+        };
         assert_eq!(d.to_string(), "f/2");
     }
 }

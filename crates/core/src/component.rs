@@ -158,7 +158,10 @@ mod tests {
         assert_eq!(img.data_pages, 2);
         assert!(!img.shared);
         let img = img.heap_pages(32).stack_pages(8).data_pages(1).shared();
-        assert_eq!((img.heap_pages, img.stack_pages, img.data_pages), (32, 8, 1));
+        assert_eq!(
+            (img.heap_pages, img.stack_pages, img.data_pages),
+            (32, 8, 1)
+        );
         assert!(img.shared);
     }
 }

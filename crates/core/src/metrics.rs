@@ -1,0 +1,291 @@
+//! Log2-bucketed cycle histograms for cross-cubicle call latencies.
+//!
+//! Recorded at cross-call exit, per `caller → callee` edge and per entry
+//! point, so a run can report tail latencies (p50/p95/p99/max) for every
+//! boundary in the component graph — the per-edge view behind the
+//! paper's Figure 6 cost decomposition.
+//!
+//! Buckets are powers of two: a sample `v` lands in the bucket of its
+//! bit length, i.e. bucket `i` holds samples in `[2^(i-1), 2^i)` (bucket
+//! 0 holds exactly 0). Quantiles are therefore approximate, reported as
+//! the upper bound of the bucket the quantile falls in — factor-of-two
+//! resolution, which is plenty for cycle costs spanning six orders of
+//! magnitude.
+
+use crate::ids::{CubicleId, EntryId};
+use std::collections::HashMap;
+
+/// Number of buckets: bit lengths 0..=64.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of cycle counts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CycleHisto {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for CycleHisto {
+    fn default() -> CycleHisto {
+        CycleHisto {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Index of the bucket `v` lands in: its bit length.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl CycleHisto {
+    /// Adds one sample.
+    pub fn record(&mut self, cycles: u64) {
+        self.buckets[bucket_of(cycles)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(cycles);
+        self.max = self.max.max(cycles);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of
+    /// the first bucket whose cumulative count reaches `q * count`.
+    /// Returns 0 for an empty histogram. The exact `max` is returned for
+    /// the final occupied bucket, so `quantile(1.0) == max`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        let last_occupied = (0..NUM_BUCKETS)
+            .rev()
+            .find(|&i| self.buckets[i] > 0)
+            .unwrap_or(0);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                // cap the top bucket's upper bound at the observed max
+                return if i == last_occupied {
+                    self.max
+                } else {
+                    bucket_upper(i)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (approximate, see [`CycleHisto::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (approximate).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (approximate).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The raw bucket counts (index = bit length of the sample).
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Iterates `(inclusive_upper_bound, count)` over occupied buckets.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper(i), n))
+    }
+}
+
+/// Cross-call latency histograms, keyed per edge and per entry point.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Metrics {
+    edges: HashMap<(CubicleId, CubicleId), CycleHisto>,
+    entries: HashMap<EntryId, CycleHisto>,
+}
+
+impl Metrics {
+    /// Records one completed cross-call.
+    pub fn record_call(
+        &mut self,
+        caller: CubicleId,
+        callee: CubicleId,
+        entry: EntryId,
+        cycles: u64,
+    ) {
+        self.edges
+            .entry((caller, callee))
+            .or_default()
+            .record(cycles);
+        self.entries.entry(entry).or_default().record(cycles);
+    }
+
+    /// Histogram for a `caller → callee` edge, if any call was recorded.
+    pub fn edge(&self, caller: CubicleId, callee: CubicleId) -> Option<&CycleHisto> {
+        self.edges.get(&(caller, callee))
+    }
+
+    /// Histogram for an entry point, if any call was recorded.
+    pub fn entry(&self, entry: EntryId) -> Option<&CycleHisto> {
+        self.entries.get(&entry)
+    }
+
+    /// Iterates all edges, sorted for deterministic output.
+    pub fn edges(&self) -> Vec<(&(CubicleId, CubicleId), &CycleHisto)> {
+        let mut v: Vec<_> = self.edges.iter().collect();
+        v.sort_by_key(|(k, _)| **k);
+        v
+    }
+
+    /// Iterates all entry points, sorted for deterministic output.
+    pub fn entries(&self) -> Vec<(&EntryId, &CycleHisto)> {
+        let mut v: Vec<_> = self.entries.iter().collect();
+        v.sort_by_key(|(k, _)| **k);
+        v
+    }
+
+    /// Total recorded calls, across all edges.
+    pub fn total_calls(&self) -> u64 {
+        self.edges.values().map(CycleHisto::count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds() {
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn count_sum_max_track_samples() {
+        let mut h = CycleHisto::default();
+        for v in [10, 20, 3000, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 3030);
+        assert_eq!(h.max(), 3000);
+        assert_eq!(h.mean(), 757);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = CycleHisto::default();
+        // 90 fast samples (~100 cycles), 10 slow (~100k cycles)
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let p50 = h.p50();
+        assert!((64..=127).contains(&p50), "p50 = {p50}");
+        assert_eq!(
+            h.p95(),
+            100_000,
+            "tail quantile reports the max of its bucket"
+        );
+        assert_eq!(h.p99(), 100_000);
+        assert_eq!(h.quantile(1.0), 100_000);
+        assert!(h.quantile(0.0) > 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = CycleHisto::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.occupied_buckets().count(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_equal_the_sample() {
+        let mut h = CycleHisto::default();
+        h.record(777);
+        assert_eq!(h.p50(), 777);
+        assert_eq!(h.p99(), 777);
+        assert_eq!(h.max(), 777);
+    }
+
+    #[test]
+    fn metrics_key_by_edge_and_entry() {
+        let mut m = Metrics::default();
+        m.record_call(CubicleId(1), CubicleId(2), EntryId(0), 500);
+        m.record_call(CubicleId(1), CubicleId(2), EntryId(0), 700);
+        m.record_call(CubicleId(1), CubicleId(3), EntryId(1), 50);
+        assert_eq!(m.edge(CubicleId(1), CubicleId(2)).unwrap().count(), 2);
+        assert_eq!(m.edge(CubicleId(1), CubicleId(3)).unwrap().count(), 1);
+        assert!(m.edge(CubicleId(2), CubicleId(1)).is_none());
+        assert_eq!(m.entry(EntryId(0)).unwrap().count(), 2);
+        assert_eq!(m.entry(EntryId(1)).unwrap().sum(), 50);
+        assert_eq!(m.total_calls(), 3);
+        assert_eq!(m.edges().len(), 2);
+        assert_eq!(m.entries().len(), 2);
+    }
+}

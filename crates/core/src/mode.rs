@@ -60,7 +60,10 @@ impl IsolationMode {
 
     /// Does this mode run cross-cubicle call trampolines?
     pub const fn trampolines_active(self) -> bool {
-        matches!(self, IsolationMode::NoMpk | IsolationMode::NoAcl | IsolationMode::Full)
+        matches!(
+            self,
+            IsolationMode::NoMpk | IsolationMode::NoAcl | IsolationMode::Full
+        )
     }
 
     /// Does this mode consult (and charge for) window ACLs?
@@ -98,7 +101,12 @@ mod tests {
 
     #[test]
     fn ipc_mode_has_no_mpk() {
-        let ipc = IsolationMode::Ipc(IpcCostModel { kernel: "seL4", fixed: 1, per_byte: 1, packet_bytes: 0 });
+        let ipc = IsolationMode::Ipc(IpcCostModel {
+            kernel: "seL4",
+            fixed: 1,
+            per_byte: 1,
+            packet_bytes: 0,
+        });
         assert!(!ipc.mpk_active());
         assert!(!ipc.acls_active());
         assert_eq!(ipc.label(), "seL4");

@@ -48,7 +48,11 @@ impl SysStats {
 
     /// Total calls *into* `callee` from anyone.
     pub fn calls_into(&self, callee: CubicleId) -> u64 {
-        self.call_edges.iter().filter(|((_, to), _)| *to == callee).map(|(_, n)| n).sum()
+        self.call_edges
+            .iter()
+            .filter(|((_, to), _)| *to == callee)
+            .map(|(_, n)| n)
+            .sum()
     }
 
     /// Difference `self - earlier`, for windowed measurements (e.g.,
@@ -59,7 +63,10 @@ impl SysStats {
     /// Panics if `earlier` has counters larger than `self` (it must be a
     /// snapshot taken before).
     pub fn since(&self, earlier: &SysStats) -> SysStats {
-        assert!(earlier.cross_calls <= self.cross_calls, "snapshot is not earlier");
+        assert!(
+            earlier.cross_calls <= self.cross_calls,
+            "snapshot is not earlier"
+        );
         let mut edges = HashMap::new();
         for (&edge, &n) in &self.call_edges {
             let base = earlier.call_edges.get(&edge).copied().unwrap_or(0);
@@ -92,6 +99,11 @@ impl fmt::Display for SysStats {
             self.faults_denied,
             self.acl_probes,
             self.window_ops
+        )?;
+        writeln!(
+            f,
+            "stack-bytes-copied: {}  ipc: {} msgs / {} bytes",
+            self.stack_bytes_copied, self.ipc_msgs, self.ipc_bytes
         )?;
         let mut edges: Vec<_> = self.call_edges.iter().collect();
         edges.sort();
@@ -146,7 +158,12 @@ mod tests {
     fn display_lists_edges() {
         let mut s = SysStats::default();
         s.record_edge(CubicleId(1), CubicleId(2));
+        s.stack_bytes_copied = 96;
+        s.ipc_msgs = 4;
+        s.ipc_bytes = 512;
         let out = s.to_string();
         assert!(out.contains("cubicle#1 -> cubicle#2: 1"));
+        assert!(out.contains("stack-bytes-copied: 96"));
+        assert!(out.contains("ipc: 4 msgs / 512 bytes"));
     }
 }

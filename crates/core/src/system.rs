@@ -20,14 +20,16 @@ use crate::component::{Component, ComponentImage, EntryFn};
 use crate::cubicle::{Cubicle, RegionType};
 use crate::error::{CubicleError, Result};
 use crate::ids::{CubicleId, EntryId, WindowId};
+use crate::metrics::Metrics;
 use crate::mode::IsolationMode;
 use crate::stats::SysStats;
+use crate::trace::{FaultAudit, FaultDecision, TraceBuffer, TraceEvent, WindowOpKind};
 use crate::value::Value;
 use cubicle_mpk::{
-    pages_covering, AccessKind, CostModel, Fault, FaultKind, Machine, MachineStats, PageFlags,
-    PageNum, Pkru, ProtKey, VAddr, NUM_KEYS, PAGE_SIZE,
+    pages_covering, AccessKind, CostModel, Fault, FaultKind, Machine, MachineEvent, MachineStats,
+    PageFlags, PageNum, Pkru, ProtKey, VAddr, NUM_KEYS, PAGE_SIZE,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// The reserved "parked" protection key used by tag virtualisation: it
 /// is never granted in any PKRU set, so pages of unbound cubicles are
@@ -117,6 +119,18 @@ pub struct System {
     boot: Option<Snapshot>,
     boundary_tax: u64,
     key_virt: Option<KeyVirt>,
+    tracer: Option<Tracer>,
+}
+
+/// Observability state, present only while tracing is enabled
+/// ([`System::enable_tracing`]). Strictly an observer: recording never
+/// charges simulated cycles.
+struct Tracer {
+    buf: TraceBuffer,
+    metrics: Metrics,
+    audit: VecDeque<FaultAudit>,
+    audit_capacity: usize,
+    audit_dropped: u64,
 }
 
 /// MPK tag virtualisation state (paper §8: "if more tags were required,
@@ -179,6 +193,103 @@ impl System {
             boot: None,
             boundary_tax: 0,
             key_virt: None,
+            tracer: None,
+        }
+    }
+
+    // =====================================================================
+    // Observability (trace buffer, latency metrics, fault audit)
+    // =====================================================================
+
+    /// Enables event tracing with a ring buffer of `capacity` records
+    /// (oldest overwritten when full). Also enables machine-level event
+    /// recording so retags and PKRU writes appear in the trace.
+    ///
+    /// Tracing is an observer: it never charges simulated cycles, so
+    /// cycle counts are bit-identical with tracing on or off. Re-enabling
+    /// resets any previous trace.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.machine.set_event_recording(Some(capacity));
+        self.tracer = Some(Tracer {
+            buf: TraceBuffer::new(capacity),
+            metrics: Metrics::default(),
+            audit: VecDeque::new(),
+            audit_capacity: capacity,
+            audit_dropped: 0,
+        });
+    }
+
+    /// Disables tracing and discards the recorded state.
+    pub fn disable_tracing(&mut self) {
+        self.machine.set_event_recording(None);
+        self.tracer = None;
+    }
+
+    /// Is tracing currently enabled?
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The event trace, when tracing is enabled. Pending machine events
+    /// are pumped in first so the view is complete.
+    pub fn trace(&mut self) -> Option<&TraceBuffer> {
+        self.pump_machine_events();
+        self.tracer.as_ref().map(|t| &t.buf)
+    }
+
+    /// Cross-call latency histograms, when tracing is enabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.tracer.as_ref().map(|t| &t.metrics)
+    }
+
+    /// The trap-and-map audit log (bounded like the trace buffer),
+    /// oldest first. Empty when tracing is disabled.
+    pub fn fault_audit(&self) -> impl Iterator<Item = &FaultAudit> {
+        self.tracer.iter().flat_map(|t| t.audit.iter())
+    }
+
+    /// Moves machine-level events (retags, PKRU writes) that accumulated
+    /// since the last pump into the trace buffer. Called automatically
+    /// before every kernel-level event is appended, keeping the combined
+    /// stream ordered by cycle stamp.
+    fn pump_machine_events(&mut self) {
+        let Some(tracer) = &mut self.tracer else {
+            return;
+        };
+        for ev in self.machine.drain_events() {
+            match ev {
+                MachineEvent::Retag { at, addr, from, to } => {
+                    tracer.buf.push(at, TraceEvent::Retag { addr, from, to });
+                }
+                MachineEvent::WrPkru { at, pkru } => {
+                    tracer.buf.push(at, TraceEvent::WrPkru { pkru });
+                }
+            }
+        }
+    }
+
+    /// Appends a kernel-level event stamped with the current cycle count
+    /// (no-op when tracing is disabled).
+    fn trace_push(&mut self, event: TraceEvent) {
+        if self.tracer.is_none() {
+            return;
+        }
+        self.pump_machine_events();
+        let at = self.machine.now();
+        if let Some(tracer) = &mut self.tracer {
+            tracer.buf.push(at, event);
+        }
+    }
+
+    /// Appends a fault-audit record (no-op when tracing is disabled).
+    fn audit_push(&mut self, audit: FaultAudit) {
+        if let Some(tracer) = &mut self.tracer {
+            if tracer.audit.len() >= tracer.audit_capacity {
+                tracer.audit.pop_front();
+                tracer.audit_dropped += 1;
+            }
+            tracer.audit.push_back(audit);
         }
     }
 
@@ -310,7 +421,9 @@ impl System {
 
     /// The cubicle currently executing (the monitor during boot).
     pub fn current_cubicle(&self) -> CubicleId {
-        self.call_stack.last().map_or(CubicleId::MONITOR, |f| f.cubicle)
+        self.call_stack
+            .last()
+            .map_or(CubicleId::MONITOR, |f| f.cubicle)
     }
 
     /// The cubicle that called the currently executing one (useful for
@@ -349,7 +462,11 @@ impl System {
 
     /// Takes a measurement snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot { cycles: self.machine.now(), stats: self.stats.clone(), machine: self.machine.stats() }
+        Snapshot {
+            cycles: self.machine.now(),
+            stats: self.stats.clone(),
+            machine: self.machine.stats(),
+        }
     }
 
     /// Marks the end of boot; [`System::since_boot`] reports counters
@@ -362,7 +479,10 @@ impl System {
     /// (or since creation if boot was never marked).
     pub fn since_boot(&self) -> (u64, SysStats) {
         match &self.boot {
-            Some(snap) => (self.machine.now() - snap.cycles, self.stats.since(&snap.stats)),
+            Some(snap) => (
+                self.machine.now() - snap.cycles,
+                self.stats.since(&snap.stats),
+            ),
             None => (self.machine.now(), self.stats.clone()),
         }
     }
@@ -458,7 +578,9 @@ impl System {
         // Rule: trampolines must come from the trusted builder.
         for (signed, _) in &image.exports {
             if !self.verifier.verify(signed) {
-                return Err(CubicleError::UntrustedTrampoline { entry: signed.decl.name.clone() });
+                return Err(CubicleError::UntrustedTrampoline {
+                    entry: signed.decl.name.clone(),
+                });
             }
         }
         for (signed, _) in &image.exports {
@@ -488,18 +610,34 @@ impl System {
 
         // Global data, heap and stack.
         if image.data_pages > 0 {
-            self.map_fresh(image.data_pages, key, PageFlags::rw(), cid, RegionType::GlobalData);
+            self.map_fresh(
+                image.data_pages,
+                key,
+                PageFlags::rw(),
+                cid,
+                RegionType::GlobalData,
+            );
         }
         if image.heap_pages > 0 {
-            let heap_base =
-                self.map_fresh(image.heap_pages, key, PageFlags::rw(), cid, RegionType::Heap);
+            let heap_base = self.map_fresh(
+                image.heap_pages,
+                key,
+                PageFlags::rw(),
+                cid,
+                RegionType::Heap,
+            );
             self.cubicles[cid.index()]
                 .heap
                 .add_region(heap_base, image.heap_pages * PAGE_SIZE);
         }
         if image.stack_pages > 0 {
-            let stack_base =
-                self.map_fresh(image.stack_pages, key, PageFlags::rw(), cid, RegionType::Stack);
+            let stack_base = self.map_fresh(
+                image.stack_pages,
+                key,
+                PageFlags::rw(),
+                cid,
+                RegionType::Stack,
+            );
             let c = &mut self.cubicles[cid.index()];
             c.stack_base = stack_base;
             c.stack_len = image.stack_pages * PAGE_SIZE;
@@ -540,7 +678,8 @@ impl System {
         for i in 0..pages {
             let addr = base + i * PAGE_SIZE;
             self.machine.map_page(addr, key, flags);
-            self.page_meta.insert(addr.page(), PageMeta { owner, region });
+            self.page_meta
+                .insert(addr.page(), PageMeta { owner, region });
         }
         base
     }
@@ -557,7 +696,10 @@ impl System {
     /// the control-flow-integrity guarantee: there is no way to transfer
     /// control across cubicles except through registered trampolines.
     pub fn entry(&self, name: &str) -> Result<EntryId> {
-        self.entry_names.get(name).copied().ok_or_else(|| CubicleError::NoSuchEntry(name.into()))
+        self.entry_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| CubicleError::NoSuchEntry(name.into()))
     }
 
     /// Runs `f` against the state of the component in `slot`, downcast to
@@ -573,10 +715,7 @@ impl System {
         f: impl FnOnce(&mut T, &mut System) -> R,
     ) -> Option<R> {
         let mut comp = self.components.get_mut(slot)?.take()?;
-        let out = match comp.as_any_mut().downcast_mut::<T>() {
-            Some(t) => Some(f(t, self)),
-            None => None,
-        };
+        let out = comp.as_any_mut().downcast_mut::<T>().map(|t| f(t, self));
         self.components[slot] = Some(comp);
         out
     }
@@ -609,6 +748,45 @@ impl System {
         let caller = self.current_cubicle();
         self.stats.record_edge(caller, callee);
 
+        // Trace enter/exit around the whole dispatch so every recorded
+        // Enter has a matching Exit — on error paths too — and the
+        // histogram sample count always equals `SysStats::cross_calls`.
+        let t0 = if self.tracer.is_some() {
+            let t0 = self.machine.now();
+            self.trace_push(TraceEvent::CrossCallEnter {
+                caller,
+                callee,
+                entry,
+            });
+            Some(t0)
+        } else {
+            None
+        };
+        let result = self.cross_call_inner(func, caller, callee, slot, stack_bytes, args);
+        if let Some(t0) = t0 {
+            let cycles = self.machine.now() - t0;
+            self.trace_push(TraceEvent::CrossCallExit {
+                caller,
+                callee,
+                entry,
+                cycles,
+            });
+            if let Some(tracer) = &mut self.tracer {
+                tracer.metrics.record_call(caller, callee, entry, cycles);
+            }
+        }
+        result
+    }
+
+    fn cross_call_inner(
+        &mut self,
+        func: EntryFn,
+        caller: CubicleId,
+        callee: CubicleId,
+        slot: usize,
+        stack_bytes: usize,
+        args: &[Value],
+    ) -> Result<Value> {
         let cost = *self.machine.cost_model();
         if caller == callee {
             // Components merged into one cubicle (Fig. 9a) call each
@@ -629,8 +807,7 @@ impl System {
                 self.machine.charge(cost.call);
             }
             IsolationMode::Ipc(m) => {
-                let bytes: usize =
-                    args.iter().map(|v| v.bytes_in() + v.bytes_out()).sum();
+                let bytes: usize = args.iter().map(|v| v.bytes_in() + v.bytes_out()).sum();
                 self.machine.charge(m.fixed + m.per_byte * bytes as u64);
                 self.stats.ipc_msgs += 2; // request + reply
                 self.stats.ipc_bytes += bytes as u64;
@@ -642,6 +819,13 @@ impl System {
                     // between the per-cubicle stacks (read + write).
                     self.machine.charge(2 * cost.mem_access(stack_bytes));
                     self.stats.stack_bytes_copied += stack_bytes as u64;
+                    if self.tracer.is_some() {
+                        self.trace_push(TraceEvent::StackCopy {
+                            caller,
+                            callee,
+                            bytes: stack_bytes,
+                        });
+                    }
                 }
                 if self.mode.mpk_active() {
                     self.ensure_bound(callee);
@@ -690,11 +874,7 @@ impl System {
     /// cubicle were executing. Used by test harnesses and by drivers that
     /// model the application's own code; ordinary inter-component control
     /// transfers must use [`System::cross_call`].
-    pub fn run_in_cubicle<T>(
-        &mut self,
-        cid: CubicleId,
-        f: impl FnOnce(&mut System) -> T,
-    ) -> T {
+    pub fn run_in_cubicle<T>(&mut self, cid: CubicleId, f: impl FnOnce(&mut System) -> T) -> T {
         if self.mode.mpk_active() {
             self.ensure_bound(cid);
         }
@@ -757,6 +937,7 @@ impl System {
         if meta.owner == accessor {
             self.retag(fault.addr, accessor_key)?;
             self.stats.faults_resolved += 1;
+            self.trace_fault(&fault, meta.owner, accessor, FaultDecision::OwnerReclaim);
             return Ok(());
         }
 
@@ -764,6 +945,7 @@ impl System {
         if !self.mode.acls_active() {
             self.retag(fault.addr, accessor_key)?;
             self.stats.faults_resolved += 1;
+            self.trace_fault(&fault, meta.owner, accessor, FaultDecision::AclsDisabled);
             return Ok(());
         }
 
@@ -771,30 +953,75 @@ impl System {
         // ❹ O(1) bitmask check per covering descriptor.
         let owner_idx = meta.owner.index();
         let mut probes = 0u64;
-        let mut allowed = false;
+        let mut decided_by = None;
         for w in &self.cubicles[owner_idx].windows {
             let check = w.check(fault.addr, accessor);
             probes += check.probes;
             if check.covers && check.allowed {
-                allowed = true;
+                decided_by = Some(w.id());
                 break;
             }
         }
         self.stats.acl_probes += probes;
         self.machine.charge(cost.acl_probe * probes);
-        if allowed {
+        if let Some(wid) = decided_by {
             // ❺ assign the accessor's MPK tag to the page (zero-copy)
             self.retag(fault.addr, accessor_key)?;
             self.stats.faults_resolved += 1;
+            self.trace_fault(&fault, meta.owner, accessor, FaultDecision::Window(wid));
             Ok(())
         } else {
             self.stats.faults_denied += 1;
-            Err(CubicleError::WindowDenied { accessor, owner: meta.owner, addr: fault.addr })
+            self.trace_fault(&fault, meta.owner, accessor, FaultDecision::Denied);
+            Err(CubicleError::WindowDenied {
+                accessor,
+                owner: meta.owner,
+                addr: fault.addr,
+            })
         }
     }
 
+    /// Records the outcome of a trap-and-map resolution in the trace and
+    /// the fault audit log (no-op when tracing is disabled).
+    fn trace_fault(
+        &mut self,
+        fault: &Fault,
+        owner: CubicleId,
+        accessor: CubicleId,
+        decision: FaultDecision,
+    ) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let event = match decision {
+            FaultDecision::Denied => TraceEvent::FaultDenied {
+                addr: fault.addr,
+                owner,
+                accessor,
+                kind: fault.access,
+            },
+            _ => TraceEvent::FaultResolved {
+                addr: fault.addr,
+                owner,
+                accessor,
+                kind: fault.access,
+            },
+        };
+        self.trace_push(event);
+        self.audit_push(FaultAudit {
+            at: self.machine.now(),
+            addr: fault.addr,
+            owner,
+            accessor,
+            access: fault.access,
+            decision,
+        });
+    }
+
     fn retag(&mut self, addr: VAddr, key: ProtKey) -> Result<()> {
-        self.machine.set_page_key(addr, key).map_err(CubicleError::MachineFault)
+        self.machine
+            .set_page_key(addr, key)
+            .map_err(CubicleError::MachineFault)
     }
 
     // =====================================================================
@@ -951,17 +1178,34 @@ impl System {
     /// As [`System::heap_alloc`].
     pub fn heap_alloc_for(&mut self, cid: CubicleId, size: usize, align: usize) -> Result<VAddr> {
         if let Some(addr) = self.cubicles[cid.index()].heap.alloc(size, align) {
+            if self.tracer.is_some() {
+                self.trace_push(TraceEvent::HeapAlloc {
+                    cubicle: cid,
+                    addr,
+                    bytes: size,
+                });
+            }
             return Ok(addr);
         }
         // Grow: grant enough pages for the request (plus slack).
         let pages = size.div_ceil(PAGE_SIZE).max(16);
         let key = self.cubicles[cid.index()].key;
         let base = self.map_fresh(pages, key, PageFlags::rw(), cid, RegionType::Heap);
-        self.cubicles[cid.index()].heap.add_region(base, pages * PAGE_SIZE);
         self.cubicles[cid.index()]
             .heap
+            .add_region(base, pages * PAGE_SIZE);
+        let addr = self.cubicles[cid.index()]
+            .heap
             .alloc(size, align)
-            .ok_or(CubicleError::OutOfMemory(cid))
+            .ok_or(CubicleError::OutOfMemory(cid))?;
+        if self.tracer.is_some() {
+            self.trace_push(TraceEvent::HeapAlloc {
+                cubicle: cid,
+                addr,
+                bytes: size,
+            });
+        }
+        Ok(addr)
     }
 
     /// Frees a heap allocation of the current cubicle.
@@ -976,7 +1220,11 @@ impl System {
             .heap
             .free(addr)
             .map(|_| ())
-            .map_err(|_| CubicleError::InvalidArgument("heap_free: not a live allocation"))
+            .map_err(|_| CubicleError::InvalidArgument("heap_free: not a live allocation"))?;
+        if self.tracer.is_some() {
+            self.trace_push(TraceEvent::HeapFree { cubicle: cid, addr });
+        }
+        Ok(())
     }
 
     /// Allocates `len` bytes on the current cubicle's stack (16-byte
@@ -1038,7 +1286,9 @@ impl System {
             if self.mode.mpk_active() {
                 self.machine.set_page_key(page.base(), key).expect("mapped");
             } else {
-                self.machine.set_page_key_at_load(page.base(), key).expect("mapped");
+                self.machine
+                    .set_page_key_at_load(page.base(), key)
+                    .expect("mapped");
             }
         }
         Ok(())
@@ -1058,12 +1308,22 @@ impl System {
         }
     }
 
+    /// Records a completed window operation in the trace (no-op when
+    /// tracing is disabled).
+    fn trace_window_op(&mut self, op: WindowOpKind, wid: WindowId, peer: Option<CubicleId>) {
+        if self.tracer.is_some() {
+            self.trace_push(TraceEvent::WindowOp { op, wid, peer });
+        }
+    }
+
     /// `cubicle_window_init`: creates an empty window owned by the
     /// current cubicle.
     pub fn window_init(&mut self) -> WindowId {
         self.charge_window_op();
         let cid = self.current_cubicle();
-        self.cubicles[cid.index()].window_init()
+        let wid = self.cubicles[cid.index()].window_init();
+        self.trace_window_op(WindowOpKind::Init, wid, None);
+        wid
     }
 
     /// `cubicle_window_add`: associates `[ptr, ptr+len)` with window
@@ -1086,6 +1346,7 @@ impl System {
             .window_mut(wid)
             .ok_or(CubicleError::NoSuchWindow(wid))?
             .add_range(ptr, len);
+        self.trace_window_op(WindowOpKind::Add, wid, None);
         Ok(())
     }
 
@@ -1103,9 +1364,12 @@ impl System {
             .window_mut(wid)
             .ok_or(CubicleError::NoSuchWindow(wid))?;
         if w.remove_range(ptr) {
+            self.trace_window_op(WindowOpKind::Remove, wid, None);
             Ok(())
         } else {
-            Err(CubicleError::InvalidArgument("window_remove: no range at ptr"))
+            Err(CubicleError::InvalidArgument(
+                "window_remove: no range at ptr",
+            ))
         }
     }
 
@@ -1121,6 +1385,7 @@ impl System {
             .window_mut(wid)
             .ok_or(CubicleError::NoSuchWindow(wid))?
             .open_for(peer);
+        self.trace_window_op(WindowOpKind::Open, wid, Some(peer));
         Ok(())
     }
 
@@ -1140,6 +1405,7 @@ impl System {
             .window_mut(wid)
             .ok_or(CubicleError::NoSuchWindow(wid))?
             .close_for(peer);
+        self.trace_window_op(WindowOpKind::Close, wid, Some(peer));
         Ok(())
     }
 
@@ -1155,6 +1421,7 @@ impl System {
             .window_mut(wid)
             .ok_or(CubicleError::NoSuchWindow(wid))?
             .close_all();
+        self.trace_window_op(WindowOpKind::CloseAll, wid, None);
         Ok(())
     }
 
@@ -1167,6 +1434,7 @@ impl System {
         self.charge_window_op();
         let cid = self.current_cubicle();
         if self.cubicles[cid.index()].window_destroy(wid) {
+            self.trace_window_op(WindowOpKind::Destroy, wid, None);
             Ok(())
         } else {
             Err(CubicleError::NoSuchWindow(wid))
@@ -1181,6 +1449,401 @@ impl System {
     /// The fault the access would raise, if any (window resolution not
     /// attempted).
     pub fn probe_access(&self, addr: VAddr, len: usize, kind: AccessKind) -> Result<()> {
-        self.machine.check_access(addr, len, kind).map_err(CubicleError::MachineFault)
+        self.machine
+            .check_access(addr, len, kind)
+            .map_err(CubicleError::MachineFault)
     }
+
+    // =====================================================================
+    // Trace exporters
+    // =====================================================================
+
+    /// Exports the trace as Chrome `trace_event` JSON (loadable in
+    /// Perfetto / `chrome://tracing`). Cross-calls become B/E duration
+    /// events on the *callee's* per-cubicle "thread"; every other event
+    /// is an instant event on the cubicle it concerns. Timestamps are
+    /// simulated cycles, reported in the format's microsecond field.
+    ///
+    /// Returns `"{}"`-style empty JSON when tracing is disabled.
+    pub fn export_chrome_trace(&mut self) -> String {
+        self.pump_machine_events();
+        let Some(tracer) = &self.tracer else {
+            return "{\"traceEvents\":[]}".to_string();
+        };
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut push = |line: String, out: &mut String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&line);
+        };
+        push(
+            "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"cubicleos\"}}"
+                .to_string(),
+            &mut out,
+        );
+        for c in &self.cubicles {
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    c.id.index(),
+                    json_escape(&c.name),
+                ),
+                &mut out,
+            );
+        }
+        for r in tracer.buf.records() {
+            let line = match r.event {
+                TraceEvent::CrossCallEnter {
+                    caller,
+                    callee,
+                    entry,
+                } => {
+                    let name = self
+                        .entries
+                        .get(entry.index())
+                        .map_or_else(|| entry.to_string(), |d| d.name.clone());
+                    format!(
+                        "{{\"ph\":\"B\",\"name\":\"{}\",\"cat\":\"cross_call\",\"pid\":0,\
+                         \"tid\":{},\"ts\":{},\"args\":{{\"caller\":\"{}\",\"seq\":{}}}}}",
+                        json_escape(&name),
+                        callee.index(),
+                        r.at,
+                        json_escape(&self.cubicles[caller.index()].name),
+                        r.seq,
+                    )
+                }
+                TraceEvent::CrossCallExit { callee, .. } => format!(
+                    "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{}}}",
+                    callee.index(),
+                    r.at,
+                ),
+                TraceEvent::FaultResolved {
+                    addr,
+                    owner,
+                    accessor,
+                    kind,
+                } => instant(
+                    r,
+                    "fault_resolved",
+                    "fault",
+                    accessor.index(),
+                    &format!(
+                        "\"addr\":\"{addr}\",\"owner\":\"{}\",\"access\":\"{}\"",
+                        json_escape(&self.cubicles[owner.index()].name),
+                        kind,
+                    ),
+                ),
+                TraceEvent::FaultDenied {
+                    addr,
+                    owner,
+                    accessor,
+                    kind,
+                } => instant(
+                    r,
+                    "fault_denied",
+                    "fault",
+                    accessor.index(),
+                    &format!(
+                        "\"addr\":\"{addr}\",\"owner\":\"{}\",\"access\":\"{}\"",
+                        json_escape(&self.cubicles[owner.index()].name),
+                        kind,
+                    ),
+                ),
+                TraceEvent::Retag { addr, from, to } => instant(
+                    r,
+                    "retag",
+                    "mpk",
+                    self.page_meta
+                        .get(&addr.page())
+                        .map_or(0, |m| m.owner.index()),
+                    &format!("\"addr\":\"{addr}\",\"from\":\"{from}\",\"to\":\"{to}\""),
+                ),
+                TraceEvent::WrPkru { pkru } => instant(
+                    r,
+                    "wrpkru",
+                    "mpk",
+                    0,
+                    &format!("\"pkru\":\"{:#010x}\"", pkru.raw()),
+                ),
+                TraceEvent::WindowOp { op, wid, peer } => instant(
+                    r,
+                    &format!("window_{}", op.as_str()),
+                    "window",
+                    0,
+                    &match peer {
+                        Some(p) => format!(
+                            "\"wid\":{},\"peer\":\"{}\"",
+                            wid.0,
+                            json_escape(&self.cubicles[p.index()].name)
+                        ),
+                        None => format!("\"wid\":{}", wid.0),
+                    },
+                ),
+                TraceEvent::HeapAlloc {
+                    cubicle,
+                    addr,
+                    bytes,
+                } => instant(
+                    r,
+                    "heap_alloc",
+                    "mem",
+                    cubicle.index(),
+                    &format!("\"addr\":\"{addr}\",\"bytes\":{bytes}"),
+                ),
+                TraceEvent::HeapFree { cubicle, addr } => instant(
+                    r,
+                    "heap_free",
+                    "mem",
+                    cubicle.index(),
+                    &format!("\"addr\":\"{addr}\""),
+                ),
+                TraceEvent::StackCopy {
+                    caller,
+                    callee,
+                    bytes,
+                } => instant(
+                    r,
+                    "stack_copy",
+                    "mem",
+                    callee.index(),
+                    &format!(
+                        "\"caller\":\"{}\",\"bytes\":{bytes}",
+                        json_escape(&self.cubicles[caller.index()].name)
+                    ),
+                ),
+            };
+            push(line, &mut out);
+        }
+        out.push_str("\n]}");
+        out
+    }
+
+    /// Exports all counters and histograms in the Prometheus text
+    /// exposition format. Works with tracing disabled too (counters
+    /// only; histograms need the tracer).
+    pub fn export_prometheus(&mut self) -> String {
+        self.pump_machine_events();
+        let mut out = String::new();
+        let counter = |name: &str, help: &str, v: u64, out: &mut String| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        let s = &self.stats;
+        counter(
+            "cubicle_cross_calls_total",
+            "Cross-cubicle calls dispatched.",
+            s.cross_calls,
+            &mut out,
+        );
+        counter(
+            "cubicle_faults_resolved_total",
+            "Trap-and-map faults resolved.",
+            s.faults_resolved,
+            &mut out,
+        );
+        counter(
+            "cubicle_faults_denied_total",
+            "Trap-and-map faults denied.",
+            s.faults_denied,
+            &mut out,
+        );
+        counter(
+            "cubicle_acl_probes_total",
+            "Window descriptors probed.",
+            s.acl_probes,
+            &mut out,
+        );
+        counter(
+            "cubicle_window_ops_total",
+            "Window API operations.",
+            s.window_ops,
+            &mut out,
+        );
+        counter(
+            "cubicle_stack_bytes_copied_total",
+            "Stack argument bytes copied by trampolines.",
+            s.stack_bytes_copied,
+            &mut out,
+        );
+        counter(
+            "cubicle_ipc_msgs_total",
+            "IPC baseline messages.",
+            s.ipc_msgs,
+            &mut out,
+        );
+        counter(
+            "cubicle_ipc_bytes_total",
+            "IPC baseline payload bytes.",
+            s.ipc_bytes,
+            &mut out,
+        );
+        let m = self.machine.stats();
+        counter(
+            "cubicle_wrpkru_total",
+            "PKRU register writes.",
+            m.wrpkru,
+            &mut out,
+        );
+        counter(
+            "cubicle_retags_total",
+            "Page key re-assignments (pkey_mprotect).",
+            m.retags,
+            &mut out,
+        );
+        counter(
+            "cubicle_machine_faults_total",
+            "Protection faults raised.",
+            m.faults,
+            &mut out,
+        );
+        counter("cubicle_mem_reads_total", "Data loads.", m.reads, &mut out);
+        counter(
+            "cubicle_mem_writes_total",
+            "Data stores.",
+            m.writes,
+            &mut out,
+        );
+        counter(
+            "cubicle_cycles_total",
+            "Simulated cycle counter.",
+            self.machine.now(),
+            &mut out,
+        );
+
+        // Per-edge call counters (available without tracing).
+        out.push_str(
+            "# HELP cubicle_call_edge_total Cross-calls per caller/callee edge.\n\
+             # TYPE cubicle_call_edge_total counter\n",
+        );
+        let mut edges: Vec<_> = self.stats.call_edges.iter().collect();
+        edges.sort();
+        for (&(from, to), &n) in edges {
+            out.push_str(&format!(
+                "cubicle_call_edge_total{{caller=\"{}\",callee=\"{}\"}} {}\n",
+                prom_escape(&self.cubicles[from.index()].name),
+                prom_escape(&self.cubicles[to.index()].name),
+                n,
+            ));
+        }
+
+        let Some(tracer) = &self.tracer else {
+            return out;
+        };
+        counter(
+            "cubicle_trace_events_dropped_total",
+            "Trace records overwritten (ring full).",
+            tracer.buf.dropped(),
+            &mut out,
+        );
+        counter(
+            "cubicle_trace_events_recorded_total",
+            "Trace records ever pushed.",
+            tracer.buf.total_recorded(),
+            &mut out,
+        );
+
+        // Per-edge latency histograms.
+        out.push_str(
+            "# HELP cubicle_cross_call_cycles Cross-call latency in simulated cycles.\n\
+             # TYPE cubicle_cross_call_cycles histogram\n",
+        );
+        for (&(from, to), h) in tracer.metrics.edges() {
+            let labels = format!(
+                "caller=\"{}\",callee=\"{}\"",
+                prom_escape(&self.cubicles[from.index()].name),
+                prom_escape(&self.cubicles[to.index()].name),
+            );
+            prom_histogram("cubicle_cross_call_cycles", &labels, h, &mut out);
+        }
+        out.push_str(
+            "# HELP cubicle_entry_cycles Per-entry-point call latency in simulated cycles.\n\
+             # TYPE cubicle_entry_cycles histogram\n",
+        );
+        for (&entry, h) in tracer.metrics.entries() {
+            let name = self
+                .entries
+                .get(entry.index())
+                .map_or_else(|| entry.to_string(), |d| d.name.clone());
+            let labels = format!("entry=\"{}\"", prom_escape(&name));
+            prom_histogram("cubicle_entry_cycles", &labels, h, &mut out);
+        }
+        out
+    }
+
+    /// Renders the trap-and-map audit log as human-readable text: one
+    /// line per fault, saying who touched whose page and which window
+    /// descriptor (or rule) decided. Empty when tracing is disabled.
+    pub fn export_fault_audit(&self) -> String {
+        let mut out = String::new();
+        for a in self.fault_audit() {
+            let accessor = &self.cubicles[a.accessor.index()].name;
+            let owner = &self.cubicles[a.owner.index()].name;
+            let access = a.access;
+            let verdict = match a.decision {
+                FaultDecision::OwnerReclaim => "RESOLVED (owner reclaim)".to_string(),
+                FaultDecision::AclsDisabled => "RESOLVED (ACLs disabled)".to_string(),
+                FaultDecision::Window(wid) => format!("RESOLVED (via {wid})"),
+                FaultDecision::Denied => "DENIED (no open window)".to_string(),
+            };
+            out.push_str(&format!(
+                "[cycle {:>12}] {accessor} {access} {} owned by {owner}: {verdict}\n",
+                a.at, a.addr,
+            ));
+        }
+        out
+    }
+}
+
+/// Formats one instant event ("ph":"i") for the Chrome trace.
+fn instant(r: &crate::trace::TraceRecord, name: &str, cat: &str, tid: usize, args: &str) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"name\":\"{name}\",\"cat\":\"{cat}\",\"pid\":0,\"tid\":{tid},\
+         \"ts\":{},\"s\":\"t\",\"args\":{{{args}}}}}",
+        r.at,
+    )
+}
+
+/// Appends one histogram series in Prometheus text exposition format.
+fn prom_histogram(name: &str, labels: &str, h: &crate::metrics::CycleHisto, out: &mut String) {
+    let mut cum = 0u64;
+    for (le, n) in h.occupied_buckets() {
+        cum += n;
+        out.push_str(&format!("{name}_bucket{{{labels},le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels},le=\"+Inf\"}} {}\n",
+        h.count()
+    ));
+    out.push_str(&format!("{name}_sum{{{labels}}} {}\n", h.sum()));
+    out.push_str(&format!("{name}_count{{{labels}}} {}\n", h.count()));
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus label-value escaping (backslash, quote, newline).
+fn prom_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }

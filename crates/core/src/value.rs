@@ -50,12 +50,20 @@ pub enum Value {
 impl Value {
     /// Convenience constructor for an input buffer.
     pub fn buf_in(addr: VAddr, len: usize) -> Value {
-        Value::Buf { addr, len, dir: BufDir::In }
+        Value::Buf {
+            addr,
+            len,
+            dir: BufDir::In,
+        }
     }
 
     /// Convenience constructor for an output buffer.
     pub fn buf_out(addr: VAddr, len: usize) -> Value {
-        Value::Buf { addr, len, dir: BufDir::Out }
+        Value::Buf {
+            addr,
+            len,
+            dir: BufDir::Out,
+        }
     }
 
     /// Extracts an `i64`, panicking with a descriptive message otherwise.
@@ -114,7 +122,11 @@ impl Value {
     /// Bytes that an IPC transport must copy caller→callee for this value.
     pub fn bytes_in(&self) -> usize {
         match self {
-            Value::Buf { len, dir: BufDir::In | BufDir::InOut, .. } => *len,
+            Value::Buf {
+                len,
+                dir: BufDir::In | BufDir::InOut,
+                ..
+            } => *len,
             _ => 0,
         }
     }
@@ -122,7 +134,11 @@ impl Value {
     /// Bytes that an IPC transport must copy callee→caller for this value.
     pub fn bytes_out(&self) -> usize {
         match self {
-            Value::Buf { len, dir: BufDir::Out | BufDir::InOut, .. } => *len,
+            Value::Buf {
+                len,
+                dir: BufDir::Out | BufDir::InOut,
+                ..
+            } => *len,
             _ => 0,
         }
     }
@@ -173,7 +189,10 @@ mod tests {
         assert_eq!(Value::I64(-5).as_i64(), -5);
         assert_eq!(Value::U64(7).as_u64(), 7);
         assert_eq!(Value::Ptr(VAddr::new(0x10)).as_ptr(), VAddr::new(0x10));
-        assert_eq!(Value::buf_in(VAddr::new(0x20), 4).as_buf(), (VAddr::new(0x20), 4));
+        assert_eq!(
+            Value::buf_in(VAddr::new(0x20), 4).as_buf(),
+            (VAddr::new(0x20), 4)
+        );
     }
 
     #[test]
@@ -189,7 +208,11 @@ mod tests {
         assert_eq!(Value::buf_in(a, 100).bytes_out(), 0);
         assert_eq!(Value::buf_out(a, 100).bytes_in(), 0);
         assert_eq!(Value::buf_out(a, 100).bytes_out(), 100);
-        let io = Value::Buf { addr: a, len: 8, dir: BufDir::InOut };
+        let io = Value::Buf {
+            addr: a,
+            len: 8,
+            dir: BufDir::InOut,
+        };
         assert_eq!(io.bytes_in(), 8);
         assert_eq!(io.bytes_out(), 8);
         assert_eq!(Value::I64(3).bytes_in() + Value::I64(3).bytes_out(), 0);

@@ -39,7 +39,11 @@ pub struct Window {
 impl Window {
     /// Creates an empty, closed window.
     pub fn new(id: WindowId) -> Window {
-        Window { id, ranges: Vec::new(), mask: 0 }
+        Window {
+            id,
+            ranges: Vec::new(),
+            mask: 0,
+        }
     }
 
     /// This window's identifier.
@@ -100,10 +104,18 @@ impl Window {
         for range in &self.ranges {
             probes += 1;
             if range.contains(addr) {
-                return WindowCheck { covers: true, allowed: self.is_open_for(accessor), probes };
+                return WindowCheck {
+                    covers: true,
+                    allowed: self.is_open_for(accessor),
+                    probes,
+                };
             }
         }
-        WindowCheck { covers: false, allowed: false, probes }
+        WindowCheck {
+            covers: false,
+            allowed: false,
+            probes,
+        }
     }
 }
 
@@ -136,7 +148,10 @@ mod tests {
 
     #[test]
     fn range_containment() {
-        let r = WindowRange { start: VAddr::new(0x1000), len: 0x100 };
+        let r = WindowRange {
+            start: VAddr::new(0x1000),
+            len: 0x100,
+        };
         assert!(r.contains(VAddr::new(0x1000)));
         assert!(r.contains(VAddr::new(0x10ff)));
         assert!(!r.contains(VAddr::new(0x1100)));

@@ -1,8 +1,8 @@
 //! Kernel-level integration tests: isolation, trap-and-map, windows, CFI.
 
 use cubicle_core::{
-    component_mut, impl_component, Builder, ComponentImage, CubicleError, CubicleId,
-    IsolationMode, System, Value,
+    component_mut, impl_component, Builder, ComponentImage, CubicleError, CubicleId, IsolationMode,
+    System, Value,
 };
 use cubicle_mpk::insn::{CodeImage, Insn};
 use cubicle_mpk::CostModel;
@@ -16,7 +16,11 @@ struct Counter {
 impl_component!(Counter);
 
 fn load_plain(sys: &mut System, name: &str) -> cubicle_core::LoadedComponent {
-    sys.load(ComponentImage::new(name, CodeImage::plain(256)), Box::new(Dummy)).unwrap()
+    sys.load(
+        ComponentImage::new(name, CodeImage::plain(256)),
+        Box::new(Dummy),
+    )
+    .unwrap()
 }
 
 // ---------------------------------------------------------------------------
@@ -37,7 +41,9 @@ fn cross_cubicle_access_without_window_is_denied() {
 
     let denial = sys.run_in_cubicle(b.cid, |sys| sys.read_vec(secret, 8));
     match denial {
-        Err(CubicleError::WindowDenied { accessor, owner, .. }) => {
+        Err(CubicleError::WindowDenied {
+            accessor, owner, ..
+        }) => {
             assert_eq!(accessor, b.cid);
             assert_eq!(owner, a.cid);
         }
@@ -121,7 +127,9 @@ fn window_acl_is_per_cubicle() {
         buf
     });
 
-    assert!(sys.run_in_cubicle(b.cid, |sys| sys.read_vec(buf, 8)).is_ok());
+    assert!(sys
+        .run_in_cubicle(b.cid, |sys| sys.read_vec(buf, 8))
+        .is_ok());
     let denied = sys.run_in_cubicle(c.cid, |sys| sys.read_vec(buf, 8));
     assert!(matches!(denied, Err(CubicleError::WindowDenied { .. })));
 }
@@ -150,7 +158,9 @@ fn closed_window_is_lazy_causal_consistency() {
     sys.run_in_cubicle(a_cid, |sys| sys.window_close(wid, b_cid).unwrap());
     // …but the tag still belongs to B: access is still possible (causal
     // tag consistency, paper §5.6).
-    assert!(sys.run_in_cubicle(b_cid, |sys| sys.read_vec(buf, 4)).is_ok());
+    assert!(sys
+        .run_in_cubicle(b_cid, |sys| sys.read_vec(buf, 4))
+        .is_ok());
     // Once the owner touches the page it is retagged back…
     sys.run_in_cubicle(a_cid, |sys| sys.read_vec(buf, 4).unwrap());
     // …and B is locked out again.
@@ -244,7 +254,12 @@ fn counter_image(name: &str, entry: &str) -> ComponentImage {
 fn cross_call_dispatches_and_counts_edges() {
     let mut sys = System::new(IsolationMode::Full);
     let a = load_plain(&mut sys, "A");
-    let b = sys.load(counter_image("B", "b_touch"), Box::new(Counter { calls: 0 })).unwrap();
+    let b = sys
+        .load(
+            counter_image("B", "b_touch"),
+            Box::new(Counter { calls: 0 }),
+        )
+        .unwrap();
 
     sys.run_in_cubicle(a.cid, |sys| {
         for _ in 0..5 {
@@ -291,7 +306,7 @@ fn callee_runs_with_its_own_privileges() {
         |sys, _this, args| {
             let target = args[0].as_ptr();
             match sys.read_vec(target, 8) {
-                Ok(_) => Ok(Value::I64(1)),  // leaked!
+                Ok(_) => Ok(Value::I64(1)), // leaked!
                 Err(CubicleError::WindowDenied { .. }) => Ok(Value::I64(0)),
                 Err(e) => Err(e),
             }
@@ -305,23 +320,40 @@ fn callee_runs_with_its_own_privileges() {
         let secret = sys.heap_alloc(32, 8).unwrap();
         sys.write(secret, b"private!").unwrap();
         // No window opened: the callee must be denied.
-        sys.call("spy_read", &[Value::Ptr(secret)]).unwrap().as_i64()
+        sys.call("spy_read", &[Value::Ptr(secret)])
+            .unwrap()
+            .as_i64()
     });
-    assert_eq!(leaked, 0, "callee must not read caller memory without a window");
+    assert_eq!(
+        leaked, 0,
+        "callee must not read caller memory without a window"
+    );
 }
 
 #[test]
 fn mpk_modes_switch_pkru_on_calls() {
     let mut sys = System::new(IsolationMode::Full);
     load_plain(&mut sys, "A");
-    sys.load(counter_image("B", "b_touch"), Box::new(Counter { calls: 0 })).unwrap();
+    sys.load(
+        counter_image("B", "b_touch"),
+        Box::new(Counter { calls: 0 }),
+    )
+    .unwrap();
     let w0 = sys.machine_stats().wrpkru;
     sys.call("b_touch", &[]).unwrap();
-    assert_eq!(sys.machine_stats().wrpkru - w0, 4, "2 wrpkru per transition, call + return");
+    assert_eq!(
+        sys.machine_stats().wrpkru - w0,
+        4,
+        "2 wrpkru per transition, call + return"
+    );
 
     let mut sys = System::new(IsolationMode::NoMpk);
     load_plain(&mut sys, "A");
-    sys.load(counter_image("B", "b_touch"), Box::new(Counter { calls: 0 })).unwrap();
+    sys.load(
+        counter_image("B", "b_touch"),
+        Box::new(Counter { calls: 0 }),
+    )
+    .unwrap();
     let w0 = sys.machine_stats().wrpkru;
     sys.call("b_touch", &[]).unwrap();
     assert_eq!(sys.machine_stats().wrpkru, w0, "NoMpk never writes PKRU");
@@ -334,7 +366,9 @@ fn ablation_mode_costs_are_ordered() {
     fn run(mode: IsolationMode) -> u64 {
         let builder = Builder::new();
         let reader = ComponentImage::new("B", CodeImage::plain(128)).export(
-            builder.export("long b_read(const void *buf, size_t n)").unwrap(),
+            builder
+                .export("long b_read(const void *buf, size_t n)")
+                .unwrap(),
             |sys, _this, args| {
                 let (addr, len) = args[0].as_buf();
                 let v = sys.read_vec(addr, len)?;
@@ -400,7 +434,9 @@ fn loader_rejects_hidden_unaligned_sequence() {
     let mut sys = System::new(IsolationMode::Full);
     let img = ComponentImage::new(
         "SNEAKY",
-        CodeImage::from_insns(&[Insn::ImmCarrier { imm: [0x0F, 0x01, 0xEF, 0x90] }]),
+        CodeImage::from_insns(&[Insn::ImmCarrier {
+            imm: [0x0F, 0x01, 0xEF, 0x90],
+        }]),
     );
     assert!(matches!(
         sys.load(img, Box::new(Dummy)),
@@ -423,7 +459,8 @@ fn loader_rejects_forged_trampolines() {
 #[test]
 fn loader_rejects_duplicate_symbols() {
     let mut sys = System::new(IsolationMode::Full);
-    sys.load(counter_image("B1", "touch"), Box::new(Counter { calls: 0 })).unwrap();
+    sys.load(counter_image("B1", "touch"), Box::new(Counter { calls: 0 }))
+        .unwrap();
     let err = sys.load(counter_image("B2", "touch"), Box::new(Counter { calls: 0 }));
     assert!(matches!(err, Err(CubicleError::DuplicateSymbol(_))));
 }
@@ -445,7 +482,10 @@ fn code_pages_are_execute_only() {
     }
     let code_addr = code_addr.expect("component has code pages");
     let err = sys.run_in_cubicle(a.cid, |sys| sys.read_vec(code_addr, 4));
-    assert!(err.is_err(), "code pages must not be readable (execute-only)");
+    assert!(
+        err.is_err(),
+        "code pages must not be readable (execute-only)"
+    );
 }
 
 #[test]
@@ -454,7 +494,10 @@ fn out_of_keys_after_15_isolated_cubicles() {
     for i in 0..15 {
         load_plain(&mut sys, &format!("C{i}"));
     }
-    let err = sys.load(ComponentImage::new("C15", CodeImage::plain(64)), Box::new(Dummy));
+    let err = sys.load(
+        ComponentImage::new("C15", CodeImage::plain(64)),
+        Box::new(Dummy),
+    );
     assert!(matches!(err, Err(CubicleError::OutOfKeys)));
 }
 
@@ -465,7 +508,11 @@ fn load_into_shares_protection_domain() {
     let mut sys = System::new(IsolationMode::Full);
     let a = load_plain(&mut sys, "CORE");
     let merged = sys
-        .load_into(ComponentImage::new("RAMFS", CodeImage::plain(64)), Box::new(Dummy), a.cid)
+        .load_into(
+            ComponentImage::new("RAMFS", CodeImage::plain(64)),
+            Box::new(Dummy),
+            a.cid,
+        )
         .unwrap();
     assert_eq!(merged.cid, a.cid);
     let p = sys.run_in_cubicle(a.cid, |sys| {
@@ -485,9 +532,12 @@ fn load_into_shares_protection_domain() {
 #[test]
 fn shared_cubicle_data_is_accessible_to_all() {
     let mut sys = System::new(IsolationMode::Full);
-    let libc =
-        sys.load(ComponentImage::new("LIBC", CodeImage::plain(64)).shared(), Box::new(Dummy))
-            .unwrap();
+    let libc = sys
+        .load(
+            ComponentImage::new("LIBC", CodeImage::plain(64)).shared(),
+            Box::new(Dummy),
+        )
+        .unwrap();
     let a = load_plain(&mut sys, "A");
     let shared_buf = sys.run_in_cubicle(libc.cid, |sys| {
         let p = sys.heap_alloc(32, 8).unwrap();
@@ -526,7 +576,10 @@ fn stack_alloc_balances() {
 fn stack_overflow_detected() {
     let mut sys = System::new(IsolationMode::Full);
     let a = sys
-        .load(ComponentImage::new("A", CodeImage::plain(64)).stack_pages(1), Box::new(Dummy))
+        .load(
+            ComponentImage::new("A", CodeImage::plain(64)).stack_pages(1),
+            Box::new(Dummy),
+        )
         .unwrap();
     let err = sys.run_in_cubicle(a.cid, |sys| sys.stack_alloc(8192));
     assert!(matches!(err, Err(CubicleError::OutOfMemory(_))));
@@ -555,7 +608,10 @@ fn grant_pages_transfers_ownership() {
 fn heap_grows_on_demand() {
     let mut sys = System::new(IsolationMode::Full);
     let a = sys
-        .load(ComponentImage::new("A", CodeImage::plain(64)).heap_pages(1), Box::new(Dummy))
+        .load(
+            ComponentImage::new("A", CodeImage::plain(64)).heap_pages(1),
+            Box::new(Dummy),
+        )
         .unwrap();
     sys.run_in_cubicle(a.cid, |sys| {
         let big = sys.heap_alloc(1 << 20, 8).unwrap(); // 1 MiB ≫ 1 page
@@ -600,7 +656,11 @@ fn copy_moves_bytes_across_pages() {
 fn since_boot_windows_counters() {
     let mut sys = System::new(IsolationMode::Full);
     let a = load_plain(&mut sys, "A");
-    sys.load(counter_image("B", "b_touch"), Box::new(Counter { calls: 0 })).unwrap();
+    sys.load(
+        counter_image("B", "b_touch"),
+        Box::new(Counter { calls: 0 }),
+    )
+    .unwrap();
     sys.run_in_cubicle(a.cid, |sys| sys.call("b_touch", &[]).unwrap());
     sys.mark_boot_complete();
     sys.run_in_cubicle(a.cid, |sys| {

@@ -2,8 +2,7 @@
 //! the 16 hardware keys, with lazy rebinding through trap-and-map.
 
 use cubicle_core::{
-    impl_component, Builder, ComponentImage, CubicleError, CubicleId, IsolationMode, System,
-    Value,
+    impl_component, Builder, ComponentImage, CubicleError, CubicleId, IsolationMode, System, Value,
 };
 use cubicle_mpk::insn::CodeImage;
 
@@ -13,9 +12,12 @@ impl_component!(Dummy);
 fn load_n(sys: &mut System, n: usize) -> Vec<CubicleId> {
     (0..n)
         .map(|i| {
-            sys.load(ComponentImage::new(format!("C{i}"), CodeImage::plain(256)), Box::new(Dummy))
-                .unwrap()
-                .cid
+            sys.load(
+                ComponentImage::new(format!("C{i}"), CodeImage::plain(256)),
+                Box::new(Dummy),
+            )
+            .unwrap()
+            .cid
         })
         .collect()
 }
@@ -24,7 +26,10 @@ fn load_n(sys: &mut System, n: usize) -> Vec<CubicleId> {
 fn without_virtualisation_16th_cubicle_fails() {
     let mut sys = System::new(IsolationMode::Full);
     load_n(&mut sys, 15);
-    let err = sys.load(ComponentImage::new("X", CodeImage::plain(64)), Box::new(Dummy));
+    let err = sys.load(
+        ComponentImage::new("X", CodeImage::plain(64)),
+        Box::new(Dummy),
+    );
     assert!(matches!(err, Err(CubicleError::OutOfKeys)));
 }
 
@@ -41,7 +46,10 @@ fn with_virtualisation_32_cubicles_load_and_run() {
             assert_eq!(sys.read_vec(p, 4).unwrap(), b"mine");
         });
     }
-    assert!(sys.key_evictions() > 0, "more cubicles than keys forces evictions");
+    assert!(
+        sys.key_evictions() > 0,
+        "more cubicles than keys forces evictions"
+    );
 }
 
 #[test]
@@ -65,7 +73,10 @@ fn isolation_holds_across_rebinding() {
     // …no one could ever read the secret…
     for &cid in &cids[1..] {
         let denied = sys.run_in_cubicle(cid, |sys| sys.read_vec(secret, 6));
-        assert!(denied.is_err(), "{cid} read another cubicle's page after rebinding");
+        assert!(
+            denied.is_err(),
+            "{cid} read another cubicle's page after rebinding"
+        );
     }
     // …and the owner still can, even after its key was recycled.
     let back = sys.run_in_cubicle(cids[0], |sys| sys.read_vec(secret, 6).unwrap());
@@ -81,7 +92,9 @@ fn windows_still_work_under_virtualisation() {
     let reader = sys
         .load(
             ComponentImage::new("READER", CodeImage::plain(256)).export(
-                builder.export("long reader_sum(const void *buf, size_t n)").unwrap(),
+                builder
+                    .export("long reader_sum(const void *buf, size_t n)")
+                    .unwrap(),
                 |sys, _this, args| {
                     let (addr, len) = args[0].as_buf();
                     let v = sys.read_vec(addr, len)?;
@@ -100,7 +113,9 @@ fn windows_still_work_under_virtualisation() {
         let wid = sys.window_init();
         sys.window_add(wid, buf, 4096).unwrap();
         sys.window_open(wid, reader_cid).unwrap();
-        sys.call("reader_sum", &[Value::buf_in(buf, 4)]).unwrap().as_i64()
+        sys.call("reader_sum", &[Value::buf_in(buf, 4)])
+            .unwrap()
+            .as_i64()
     });
     assert_eq!(sum, 10);
 }
@@ -110,7 +125,10 @@ fn shared_cubicles_stay_pinned() {
     let mut sys = System::new(IsolationMode::Full);
     sys.enable_key_virtualisation();
     let libc = sys
-        .load(ComponentImage::new("LIBC", CodeImage::plain(64)).shared(), Box::new(Dummy))
+        .load(
+            ComponentImage::new("LIBC", CodeImage::plain(64)).shared(),
+            Box::new(Dummy),
+        )
         .unwrap();
     let shared_buf = sys.run_in_cubicle(libc.cid, |sys| {
         let p = sys.heap_alloc(32, 8).unwrap();

@@ -1,55 +1,63 @@
-//! Property-based tests of the isolation invariants (proptest).
+//! Randomized tests of the isolation invariants.
 //!
 //! The central safety property of CubicleOS: **no sequence of window
 //! operations ever lets a cubicle read memory whose owner has not
 //! currently opened a covering window for it** — and conversely, an
 //! open window always admits the grantee.
+//!
+//! Formerly proptest-based; rewritten over the in-tree deterministic
+//! [`Rng64`] so the suite builds fully offline.
 
 use cubicle_core::{
     impl_component, ComponentImage, CubicleError, CubicleId, IsolationMode, System, WindowId,
 };
 use cubicle_mpk::insn::CodeImage;
-use cubicle_mpk::VAddr;
+use cubicle_mpk::rng::Rng64;
 use cubicle_mpk::CostModel;
-use proptest::prelude::*;
+use cubicle_mpk::VAddr;
 
 struct Dummy;
 impl_component!(Dummy);
 
 #[derive(Clone, Copy, Debug)]
 enum WinOp {
-    Open(u8),     // open for peer i
-    Close(u8),    // close for peer i
+    Open(usize),  // open for peer i
+    Close(usize), // close for peer i
     CloseAll,
-    OwnerTouch,   // owner reclaims the page
-    PeerRead(u8), // peer i attempts a read
+    OwnerTouch,      // owner reclaims the page
+    PeerRead(usize), // peer i attempts a read
 }
 
-fn arb_op() -> impl Strategy<Value = WinOp> {
-    prop_oneof![
-        (0u8..3).prop_map(WinOp::Open),
-        (0u8..3).prop_map(WinOp::Close),
-        Just(WinOp::CloseAll),
-        Just(WinOp::OwnerTouch),
-        (0u8..3).prop_map(WinOp::PeerRead),
-    ]
+fn rand_op(rng: &mut Rng64) -> WinOp {
+    match rng.range_usize(0, 5) {
+        0 => WinOp::Open(rng.range_usize(0, 3)),
+        1 => WinOp::Close(rng.range_usize(0, 3)),
+        2 => WinOp::CloseAll,
+        3 => WinOp::OwnerTouch,
+        _ => WinOp::PeerRead(rng.range_usize(0, 3)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn window_acl_algebra_never_leaks(ops in proptest::collection::vec(arb_op(), 1..60)) {
+#[test]
+fn window_acl_algebra_never_leaks() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xAC1_0000 + case);
         let mut sys = System::with_cost_model(IsolationMode::Full, CostModel::free());
         let owner = sys
-            .load(ComponentImage::new("OWNER", CodeImage::plain(64)), Box::new(Dummy))
+            .load(
+                ComponentImage::new("OWNER", CodeImage::plain(64)),
+                Box::new(Dummy),
+            )
             .unwrap()
             .cid;
         let peers: Vec<CubicleId> = (0..3)
             .map(|i| {
-                sys.load(ComponentImage::new(format!("P{i}"), CodeImage::plain(64)), Box::new(Dummy))
-                    .unwrap()
-                    .cid
+                sys.load(
+                    ComponentImage::new(format!("P{i}"), CodeImage::plain(64)),
+                    Box::new(Dummy),
+                )
+                .unwrap()
+                .cid
             })
             .collect();
         let (buf, wid): (VAddr, WindowId) = sys.run_in_cubicle(owner, |sys| {
@@ -65,15 +73,13 @@ proptest! {
         let mut open = [false; 3];
         let mut holder: Option<usize> = None; // None = owner holds it
 
-        for op in ops {
-            match op {
+        for _ in 0..rng.range_usize(1, 60) {
+            match rand_op(&mut rng) {
                 WinOp::Open(i) => {
-                    let i = i as usize;
                     sys.run_in_cubicle(owner, |sys| sys.window_open(wid, peers[i]).unwrap());
                     open[i] = true;
                 }
                 WinOp::Close(i) => {
-                    let i = i as usize;
                     sys.run_in_cubicle(owner, |sys| sys.window_close(wid, peers[i]).unwrap());
                     open[i] = false;
                 }
@@ -86,7 +92,6 @@ proptest! {
                     holder = None;
                 }
                 WinOp::PeerRead(i) => {
-                    let i = i as usize;
                     let res = sys.run_in_cubicle(peers[i], |sys| sys.read_vec(buf, 4));
                     // expected: allowed iff the window is open for the
                     // peer, or the peer already holds the page tag
@@ -94,41 +99,46 @@ proptest! {
                     let expect_ok = open[i] || holder == Some(i);
                     match res {
                         Ok(_) => {
-                            prop_assert!(
+                            assert!(
                                 expect_ok,
-                                "peer {i} read owner memory while closed (holder {holder:?})"
+                                "case {case}: peer {i} read owner memory while closed \
+                                 (holder {holder:?})"
                             );
                             holder = Some(i);
                         }
                         Err(CubicleError::WindowDenied { .. }) => {
-                            prop_assert!(
+                            assert!(
                                 !expect_ok,
-                                "peer {i} denied although window open (holder {holder:?})"
+                                "case {case}: peer {i} denied although window open \
+                                 (holder {holder:?})"
                             );
                         }
-                        Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                        Err(e) => panic!("case {case}: unexpected error: {e}"),
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn suballocator_never_hands_out_overlaps(
-        ops in proptest::collection::vec((any::<bool>(), 1usize..400), 1..80)
-    ) {
-        use cubicle_core::SubAllocator;
+#[test]
+fn suballocator_never_hands_out_overlaps() {
+    use cubicle_core::SubAllocator;
+    for case in 0..80u64 {
+        let mut rng = Rng64::new(0x5BA1_0000 + case);
         let mut heap = SubAllocator::new();
         heap.add_region(VAddr::new(0x10000), 16 * 4096);
         let mut live: Vec<(u64, usize)> = Vec::new();
-        for (is_alloc, size) in ops {
+        for _ in 0..rng.range_usize(1, 80) {
+            let is_alloc = rng.flip();
+            let size = rng.range_usize(1, 400);
             if is_alloc || live.is_empty() {
                 if let Some(a) = heap.alloc(size, 8) {
                     let start = a.raw();
                     for &(s, l) in &live {
-                        prop_assert!(
+                        assert!(
                             start + size as u64 <= s || s + l as u64 <= start,
-                            "overlap: [{start:#x}+{size}] vs [{s:#x}+{l}]"
+                            "case {case}: overlap [{start:#x}+{size}] vs [{s:#x}+{l}]"
                         );
                     }
                     live.push((start, size));
@@ -140,6 +150,6 @@ proptest! {
         }
         // everything still accounted for
         let total: usize = live.iter().map(|&(_, l)| l).sum();
-        prop_assert_eq!(heap.in_use(), total);
+        assert_eq!(heap.in_use(), total, "case {case}");
     }
 }

@@ -1,0 +1,598 @@
+//! End-to-end tests of the observability layer: trace buffer contents,
+//! exporter output, metric/counter agreement and the zero-cost-when-
+//! disabled guarantee.
+
+use cubicle_core::{
+    impl_component, Builder, ComponentImage, CubicleError, CubicleId, FaultDecision, IsolationMode,
+    System, TraceEvent, Value,
+};
+use cubicle_mpk::insn::CodeImage;
+
+struct Dummy;
+impl_component!(Dummy);
+
+/// Builds the canonical two-component deployment: `A` calls `b_read` in
+/// `B`, passing a windowed buffer that `B` reads via trap-and-map.
+fn setup(mode: IsolationMode) -> (System, CubicleId, CubicleId) {
+    let builder = Builder::new();
+    let mut sys = System::new(mode);
+    let a = sys
+        .load(
+            ComponentImage::new("A", CodeImage::plain(4096)).heap_pages(32),
+            Box::new(Dummy),
+        )
+        .unwrap();
+    let b = sys
+        .load(
+            ComponentImage::new("B", CodeImage::plain(4096))
+                .heap_pages(32)
+                .export(
+                    builder
+                        .export("long b_read(const void *buf, size_t n)")
+                        .unwrap(),
+                    |sys, _this, args| {
+                        let (addr, len) = args[0].as_buf();
+                        let v = sys.read_vec(addr, len)?;
+                        Ok(Value::I64(i64::from(v[0])))
+                    },
+                ),
+            Box::new(Dummy),
+        )
+        .unwrap();
+    (sys, a.cid, b.cid)
+}
+
+/// Runs `calls` windowed cross-calls from `a` into `b`.
+fn run_scenario(sys: &mut System, a: CubicleId, b: CubicleId, calls: usize) {
+    let entry = sys.entry("b_read").unwrap();
+    sys.run_in_cubicle(a, |sys| {
+        let buf = sys.heap_alloc(4096, 4096).unwrap();
+        sys.write(buf, &[7]).unwrap();
+        let wid = sys.window_init();
+        sys.window_add(wid, buf, 4096).unwrap();
+        sys.window_open(wid, b).unwrap();
+        for _ in 0..calls {
+            let r = sys.cross_call(entry, &[Value::buf_in(buf, 64)]).unwrap();
+            assert_eq!(r.as_i64(), 7);
+        }
+        sys.window_destroy(wid).unwrap();
+        sys.heap_free(buf).unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON parser, enough to validate exporter output.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(input: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            s: input.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.s.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.s
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.s[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && matches!(
+                self.s[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.pos).copied().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.s.get(self.pos).copied().ok_or("bad escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' | b'f' => out.push(' '),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("short \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // copy the raw (possibly multi-byte) character
+                    let rest =
+                        std::str::from_utf8(&self.s[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got `{}`", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut kv = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(kv));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            kv.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(kv));
+                }
+                other => return Err(format!("expected , or }} got `{}`", other as char)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The tests
+// ---------------------------------------------------------------------
+
+#[test]
+fn tracing_is_cycle_exact_zero_cost() {
+    let (mut plain, a1, b1) = setup(IsolationMode::Full);
+    let (mut traced, a2, b2) = setup(IsolationMode::Full);
+    traced.enable_tracing(4096);
+    run_scenario(&mut plain, a1, b1, 25);
+    run_scenario(&mut traced, a2, b2, 25);
+    assert_eq!(
+        plain.now(),
+        traced.now(),
+        "tracing must not change simulated cycle accounting"
+    );
+    assert_eq!(plain.stats(), traced.stats());
+    assert_eq!(plain.machine_stats().retags, traced.machine_stats().retags);
+    assert_eq!(plain.machine_stats().wrpkru, traced.machine_stats().wrpkru);
+}
+
+#[test]
+fn every_enter_has_a_matching_exit() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(1 << 16);
+    run_scenario(&mut sys, a, b, 40);
+    let trace = sys.trace().unwrap();
+    let mut open: Vec<(CubicleId, CubicleId)> = Vec::new();
+    let mut enters = 0u64;
+    let mut exits = 0u64;
+    for r in trace.records() {
+        match r.event {
+            TraceEvent::CrossCallEnter { caller, callee, .. } => {
+                enters += 1;
+                open.push((caller, callee));
+            }
+            TraceEvent::CrossCallExit { caller, callee, .. } => {
+                exits += 1;
+                let top = open.pop().expect("exit without matching enter");
+                assert_eq!(top, (caller, callee), "exits must nest");
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "every enter must have an exit");
+    assert_eq!(enters, 40);
+    assert_eq!(exits, 40);
+    assert_eq!(trace.dropped(), 0);
+}
+
+#[test]
+fn timestamps_are_monotonic() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(1 << 16);
+    run_scenario(&mut sys, a, b, 10);
+    let trace = sys.trace().unwrap();
+    let mut last = 0u64;
+    for r in trace.records() {
+        assert!(
+            r.at >= last,
+            "timestamps must not go backwards (seq {})",
+            r.seq
+        );
+        last = r.at;
+    }
+    assert!(!trace.is_empty());
+}
+
+#[test]
+fn histogram_counts_equal_cross_calls() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(64); // deliberately tiny: metrics must not depend on ring retention
+    run_scenario(&mut sys, a, b, 123);
+    let cross_calls = sys.stats().cross_calls;
+    let metrics = sys.metrics().unwrap();
+    assert_eq!(metrics.total_calls(), cross_calls);
+    let edge = metrics.edge(a, b).unwrap();
+    assert_eq!(edge.count(), sys.stats().edge(a, b));
+    assert_eq!(edge.buckets().iter().sum::<u64>(), edge.count());
+    assert!(edge.p50() > 0);
+    assert!(edge.p50() <= edge.p95());
+    assert!(edge.p95() <= edge.p99());
+    assert!(edge.p99() <= edge.max());
+    let entry = sys.entry("b_read").unwrap();
+    assert_eq!(metrics.entry(entry).unwrap().count(), cross_calls);
+}
+
+#[test]
+fn denied_access_is_audited_exactly_once() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(4096);
+    // `A` allocates a buffer but never opens a window: `B`'s read under
+    // the cross-call must be denied.
+    let entry = sys.entry("b_read").unwrap();
+    let err = sys.run_in_cubicle(a, |sys| {
+        let buf = sys.heap_alloc(4096, 4096).unwrap();
+        sys.write(buf, &[1]).unwrap();
+        sys.cross_call(entry, &[Value::buf_in(buf, 64)])
+            .unwrap_err()
+    });
+    assert!(matches!(err, CubicleError::WindowDenied { .. }));
+    assert_eq!(sys.stats().faults_denied, 1);
+
+    let denied: Vec<_> = sys
+        .fault_audit()
+        .filter(|rec| rec.decision == FaultDecision::Denied)
+        .collect();
+    assert_eq!(denied.len(), 1, "exactly one denied audit record");
+    assert_eq!(denied[0].accessor, b);
+    assert_eq!(denied[0].owner, a);
+    let audit_text = sys.export_fault_audit();
+    assert!(audit_text.contains("DENIED"), "audit text: {audit_text}");
+    assert!(
+        audit_text.contains("owned by A"),
+        "audit text: {audit_text}"
+    );
+
+    let denied_events = sys
+        .trace()
+        .unwrap()
+        .records()
+        .filter(|r| matches!(r.event, TraceEvent::FaultDenied { .. }))
+        .count();
+    assert_eq!(denied_events, 1);
+}
+
+#[test]
+fn resolved_faults_name_the_deciding_window() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(4096);
+    run_scenario(&mut sys, a, b, 1);
+    assert!(sys.stats().faults_resolved > 0);
+    assert!(
+        sys.fault_audit()
+            .any(|rec| matches!(rec.decision, FaultDecision::Window(_)) && rec.accessor == b),
+        "a window-authorised resolution must appear in the audit log"
+    );
+    let audit_text = sys.export_fault_audit();
+    assert!(
+        audit_text.contains("via window#"),
+        "audit text: {audit_text}"
+    );
+}
+
+#[test]
+fn chrome_trace_exports_valid_json_with_balanced_spans() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(1 << 16);
+    run_scenario(&mut sys, a, b, 15);
+    let json = sys.export_chrome_trace();
+    let doc = Parser::parse(&json).expect("exporter must emit valid JSON");
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("missing traceEvents array: {other:?}"),
+    };
+    let mut begins = 0;
+    let mut ends = 0;
+    let mut names = Vec::new();
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .expect("every event has ph");
+        match ph {
+            "B" => {
+                begins += 1;
+                names.push(ev.get("name").and_then(Json::as_str).unwrap().to_string());
+                assert!(ev.get("ts").and_then(Json::as_num).is_some());
+            }
+            "E" => ends += 1,
+            "M" | "i" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(begins, 15);
+    assert_eq!(ends, 15);
+    assert!(names.iter().all(|n| n == "b_read"));
+    // per-cubicle thread metadata present
+    let thread_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+        })
+        .collect();
+    assert!(thread_names.contains(&"A"));
+    assert!(thread_names.contains(&"B"));
+    assert!(thread_names.contains(&"MONITOR"));
+}
+
+#[test]
+fn chrome_trace_includes_instant_events() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(1 << 16);
+    run_scenario(&mut sys, a, b, 3);
+    let json = sys.export_chrome_trace();
+    let doc = Parser::parse(&json).unwrap();
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!()
+    };
+    let instants: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in [
+        "window_init",
+        "window_open",
+        "window_destroy",
+        "heap_alloc",
+        "heap_free",
+        "retag",
+        "wrpkru",
+        "fault_resolved",
+    ] {
+        assert!(
+            instants.contains(&expected),
+            "missing instant event {expected}"
+        );
+    }
+}
+
+#[test]
+fn prometheus_counts_match_sysstats() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(1 << 16);
+    run_scenario(&mut sys, a, b, 17);
+    let text = sys.export_prometheus();
+    let stats = sys.stats().clone();
+
+    let metric = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+    };
+    assert_eq!(metric("cubicle_cross_calls_total "), stats.cross_calls);
+    assert_eq!(
+        metric("cubicle_faults_resolved_total "),
+        stats.faults_resolved
+    );
+    assert_eq!(metric("cubicle_faults_denied_total "), stats.faults_denied);
+    assert_eq!(metric("cubicle_window_ops_total "), stats.window_ops);
+    assert_eq!(metric("cubicle_retags_total "), sys.machine_stats().retags);
+    assert_eq!(metric("cubicle_wrpkru_total "), sys.machine_stats().wrpkru);
+    assert_eq!(metric("cubicle_cycles_total "), sys.now());
+
+    // per-edge counter and histogram agree with the kernel counters
+    let edge_line = format!(
+        "cubicle_call_edge_total{{caller=\"A\",callee=\"B\"}} {}",
+        stats.edge(a, b)
+    );
+    assert!(
+        text.contains(&edge_line),
+        "missing `{edge_line}` in:\n{text}"
+    );
+    let histo_count = format!(
+        "cubicle_cross_call_cycles_count{{caller=\"A\",callee=\"B\"}} {}",
+        stats.edge(a, b)
+    );
+    assert!(
+        text.contains(&histo_count),
+        "missing `{histo_count}` in:\n{text}"
+    );
+    let inf_line = format!(
+        "cubicle_cross_call_cycles_bucket{{caller=\"A\",callee=\"B\",le=\"+Inf\"}} {}",
+        stats.edge(a, b)
+    );
+    assert!(text.contains(&inf_line), "missing `{inf_line}` in:\n{text}");
+    assert!(text.contains("cubicle_entry_cycles_count{entry=\"b_read\"}"));
+}
+
+#[test]
+fn trace_ring_overwrites_but_keeps_counting() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(8);
+    run_scenario(&mut sys, a, b, 50);
+    let cross_calls = sys.stats().cross_calls;
+    let trace = sys.trace().unwrap();
+    assert_eq!(trace.len(), 8);
+    assert!(trace.dropped() > 0);
+    assert_eq!(trace.total_recorded(), trace.dropped() + 8);
+    // metrics see every call even though the ring forgot most events
+    assert_eq!(sys.metrics().unwrap().total_calls(), cross_calls);
+}
+
+#[test]
+fn disabled_tracing_reports_nothing() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    run_scenario(&mut sys, a, b, 5);
+    assert!(!sys.tracing_enabled());
+    assert!(sys.trace().is_none());
+    assert!(sys.metrics().is_none());
+    assert_eq!(sys.fault_audit().count(), 0);
+    assert_eq!(sys.export_chrome_trace(), "{\"traceEvents\":[]}");
+    assert_eq!(sys.export_fault_audit(), "");
+    // counters still work without the tracer
+    let text = sys.export_prometheus();
+    assert!(text.contains("cubicle_cross_calls_total 5"));
+    assert!(!text.contains("cubicle_cross_call_cycles_bucket"));
+}
+
+#[test]
+fn ipc_and_unikraft_modes_trace_too() {
+    for mode in [
+        IsolationMode::Unikraft,
+        IsolationMode::NoMpk,
+        IsolationMode::NoAcl,
+    ] {
+        let (mut sys, a, b) = setup(mode);
+        sys.enable_tracing(4096);
+        run_scenario(&mut sys, a, b, 4);
+        assert_eq!(
+            sys.metrics().unwrap().total_calls(),
+            sys.stats().cross_calls,
+            "{mode:?}"
+        );
+        let json = sys.export_chrome_trace();
+        Parser::parse(&json).unwrap_or_else(|e| panic!("{mode:?}: invalid JSON: {e}"));
+    }
+}

@@ -147,7 +147,9 @@ impl WebDeployment {
             }
         }
         if !client.fin_seen() {
-            return Err(CubicleError::Component(format!("fetch of {path} never finished")));
+            return Err(CubicleError::Component(format!(
+                "fetch of {path} never finished"
+            )));
         }
         let latency = self.sys.now() - t0;
         let response = HttpResponse::parse(&client.received)
@@ -171,7 +173,10 @@ impl HttpResponse {
         let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
         let head = std::str::from_utf8(&raw[..header_end]).ok()?;
         let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
-        Some(HttpResponse { status, body: raw[header_end..].to_vec() })
+        Some(HttpResponse {
+            status,
+            body: raw[header_end..].to_vec(),
+        })
     }
 }
 

@@ -148,7 +148,9 @@ fn e_poll(sys: &mut System, this: &mut dyn Component, _args: &[Value]) -> Result
         if conn < 0 {
             break;
         }
-        component_mut::<Httpd>(this).conns.insert(conn, ConnState::ReadingRequest(Vec::new()));
+        component_mut::<Httpd>(this)
+            .conns
+            .insert(conn, ConnState::ReadingRequest(Vec::new()));
         progressed += 1;
     }
 
@@ -267,7 +269,13 @@ fn open_response(
             "HTTP/1.0 404 Not Found\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
-        ConnState::Sending { file_fd: -1, offset: 0, remaining: 0, head: head.into_bytes(), head_sent: 0 }
+        ConnState::Sending {
+            file_fd: -1,
+            offset: 0,
+            remaining: 0,
+            head: head.into_bytes(),
+            head_sent: 0,
+        }
     });
     component_mut::<Httpd>(this).conns.insert(fd, state);
     Ok(1)
@@ -288,8 +296,13 @@ fn pump_response(
     loop {
         let (head_chunk, file_fd, offset, remaining) = {
             let st = component_mut::<Httpd>(this);
-            let Some(ConnState::Sending { file_fd, offset, remaining, head, head_sent }) =
-                st.conns.get_mut(&fd)
+            let Some(ConnState::Sending {
+                file_fd,
+                offset,
+                remaining,
+                head,
+                head_sent,
+            }) = st.conns.get_mut(&fd)
             else {
                 return Ok(progressed);
             };
@@ -349,7 +362,10 @@ fn pump_response(
             pushed += sent as usize;
         }
         let st = component_mut::<Httpd>(this);
-        if let Some(ConnState::Sending { offset, remaining, .. }) = st.conns.get_mut(&fd) {
+        if let Some(ConnState::Sending {
+            offset, remaining, ..
+        }) = st.conns.get_mut(&fd)
+        {
             *offset += pushed as u64;
             *remaining -= pushed as u64;
         }
@@ -384,7 +400,11 @@ pub struct HttpdProxy {
 impl HttpdProxy {
     /// Resolves the proxy from the loaded component.
     pub fn resolve(loaded: &LoadedComponent) -> HttpdProxy {
-        HttpdProxy { cid: loaded.cid, init: loaded.entry("nginx_init"), poll: loaded.entry("nginx_poll") }
+        HttpdProxy {
+            cid: loaded.cid,
+            init: loaded.entry("nginx_init"),
+            poll: loaded.entry("nginx_poll"),
+        }
     }
 
     /// The `NGINX` cubicle's ID.
@@ -398,7 +418,9 @@ impl HttpdProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn init(&self, sys: &mut System, port: u16) -> Result<i64> {
-        Ok(sys.cross_call(self.init, &[Value::I64(i64::from(port))])?.as_i64())
+        Ok(sys
+            .cross_call(self.init, &[Value::I64(i64::from(port))])?
+            .as_i64())
     }
 
     /// `nginx_poll()` — one event-loop iteration.

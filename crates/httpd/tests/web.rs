@@ -5,7 +5,11 @@ use cubicle_httpd::{boot_web, WebDeployment};
 use cubicle_net::WireModel;
 
 fn fast_wire() -> WireModel {
-    WireModel { hop_cycles: 2_000, per_byte_cycles: 1, request_overhead_cycles: 0 }
+    WireModel {
+        hop_cycles: 2_000,
+        per_byte_cycles: 1,
+        request_overhead_cycles: 0,
+    }
 }
 
 fn served(dep: &mut WebDeployment) -> u64 {
@@ -47,7 +51,8 @@ fn missing_file_is_404() {
 fn sequential_requests_reuse_the_stack() {
     let mut dep = boot_web(IsolationMode::Full).unwrap();
     for i in 0..5 {
-        dep.put_file(&format!("/f{i}.txt"), format!("content {i}").as_bytes()).unwrap();
+        dep.put_file(&format!("/f{i}.txt"), format!("content {i}").as_bytes())
+            .unwrap();
     }
     for i in 0..5 {
         let (_lat, resp) = dep.fetch(&format!("/f{i}.txt"), fast_wire()).unwrap();
@@ -55,7 +60,11 @@ fn sequential_requests_reuse_the_stack() {
         assert_eq!(resp.body, format!("content {i}").as_bytes());
     }
     assert_eq!(served(&mut dep), 5);
-    assert_eq!(dep.sys.stats().faults_denied, 0, "no isolation violations while serving");
+    assert_eq!(
+        dep.sys.stats().faults_denied,
+        0,
+        "no isolation violations while serving"
+    );
 }
 
 #[test]

@@ -29,21 +29,39 @@ use cubicle_core::{IpcCostModel, IsolationMode};
 /// Genode on **seL4**: fast kernel IPC, but strict capability transfer
 /// rules make the Genode layer do extra work per crossing; bulk data
 /// moves through packet-stream dataspaces.
-pub const SEL4: IpcCostModel = IpcCostModel { kernel: "SeL4", fixed: 33_000, per_byte: 6, packet_bytes: 4096 };
+pub const SEL4: IpcCostModel = IpcCostModel {
+    kernel: "SeL4",
+    fixed: 33_000,
+    per_byte: 6,
+    packet_bytes: 4096,
+};
 
 /// Genode on **Fiasco.OC**: L4-family IPC with a mature Genode backend.
-pub const FIASCO_OC: IpcCostModel =
-    IpcCostModel { kernel: "Fiasco.OC", fixed: 14_700, per_byte: 4, packet_bytes: 4096 };
+pub const FIASCO_OC: IpcCostModel = IpcCostModel {
+    kernel: "Fiasco.OC",
+    fixed: 14_700,
+    per_byte: 4,
+    packet_bytes: 4096,
+};
 
 /// Genode on **NOVA**: microhypervisor IPC, close to Fiasco.OC in
 /// Genode's published numbers.
-pub const NOVA: IpcCostModel = IpcCostModel { kernel: "NOVA", fixed: 16_500, per_byte: 4, packet_bytes: 4096 };
+pub const NOVA: IpcCostModel = IpcCostModel {
+    kernel: "NOVA",
+    fixed: 16_500,
+    per_byte: 4,
+    packet_bytes: 4096,
+};
 
 /// Genode on **Linux**: crossings are SysV-IPC + socket round trips
 /// between full processes — by far the most expensive transport (the
 /// paper's Genode-4 is 29× slower than native Linux).
-pub const GENODE_LINUX: IpcCostModel =
-    IpcCostModel { kernel: "Genode/Linux", fixed: 168_000, per_byte: 20, packet_bytes: 4096 };
+pub const GENODE_LINUX: IpcCostModel = IpcCostModel {
+    kernel: "Genode/Linux",
+    fixed: 168_000,
+    per_byte: 20,
+    packet_bytes: 4096,
+};
 
 /// All four kernels of Figure 10b, in the paper's presentation order.
 pub const KERNELS: [IpcCostModel; 4] = [SEL4, FIASCO_OC, NOVA, GENODE_LINUX];
@@ -63,16 +81,21 @@ pub fn crossing_cost(kernel: &IpcCostModel, payload: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cubicle_core::{
-        component_mut, impl_component, Builder, ComponentImage, System, Value,
-    };
+    use cubicle_core::{component_mut, impl_component, Builder, ComponentImage, System, Value};
     use cubicle_mpk::insn::CodeImage;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberate cost-model sanity checks
     fn kernel_ordering_follows_the_literature() {
-        assert!(FIASCO_OC.fixed < SEL4.fixed, "Genode's seL4 backend is slower than Fiasco's");
+        assert!(
+            FIASCO_OC.fixed < SEL4.fixed,
+            "Genode's seL4 backend is slower than Fiasco's"
+        );
         assert!(NOVA.fixed < SEL4.fixed);
-        assert!(SEL4.fixed < GENODE_LINUX.fixed, "process-based transport is the slowest");
+        assert!(
+            SEL4.fixed < GENODE_LINUX.fixed,
+            "process-based transport is the slowest"
+        );
     }
 
     struct Sink {
@@ -83,7 +106,8 @@ mod tests {
     fn sink_image() -> ComponentImage {
         let b = Builder::new();
         ComponentImage::new("SINK", CodeImage::plain(128)).export(
-            b.export("long sink_write(const void *buf, size_t n)").unwrap(),
+            b.export("long sink_write(const void *buf, size_t n)")
+                .unwrap(),
             |_sys, this, args| {
                 let (_, len) = args[0].as_buf();
                 component_mut::<Sink>(this).bytes_seen += len as u64;
@@ -98,14 +122,19 @@ mod tests {
     #[test]
     fn ipc_mode_charges_fixed_plus_per_byte() {
         let mut sys = System::new(mode_for(SEL4));
-        sys.load(sink_image(), Box::new(Sink { bytes_seen: 0 })).unwrap();
+        sys.load(sink_image(), Box::new(Sink { bytes_seen: 0 }))
+            .unwrap();
         let app = sys
-            .load(ComponentImage::new("APP", CodeImage::plain(64)), Box::new(App))
+            .load(
+                ComponentImage::new("APP", CodeImage::plain(64)),
+                Box::new(App),
+            )
             .unwrap();
         sys.run_in_cubicle(app.cid, |sys| {
             let buf = sys.heap_alloc(10_000, 8).unwrap();
             let t0 = sys.now();
-            sys.call("sink_write", &[Value::buf_in(buf, 10_000)]).unwrap();
+            sys.call("sink_write", &[Value::buf_in(buf, 10_000)])
+                .unwrap();
             let dt = sys.now() - t0;
             // fixed + per_byte·n, within slack for the callee's own work
             let expected = crossing_cost(&SEL4, 10_000);
@@ -119,9 +148,13 @@ mod tests {
     #[test]
     fn ipc_mode_never_faults() {
         let mut sys = System::new(mode_for(FIASCO_OC));
-        sys.load(sink_image(), Box::new(Sink { bytes_seen: 0 })).unwrap();
+        sys.load(sink_image(), Box::new(Sink { bytes_seen: 0 }))
+            .unwrap();
         let app = sys
-            .load(ComponentImage::new("APP", CodeImage::plain(64)), Box::new(App))
+            .load(
+                ComponentImage::new("APP", CodeImage::plain(64)),
+                Box::new(App),
+            )
             .unwrap();
         sys.run_in_cubicle(app.cid, |sys| {
             let buf = sys.heap_alloc(4096, 8).unwrap();
@@ -134,16 +167,19 @@ mod tests {
     #[test]
     fn scalar_only_calls_cost_just_the_round_trip() {
         let b = Builder::new();
-        let img = ComponentImage::new("NOP", CodeImage::plain(64)).export(
-            b.export("void nop(void)").unwrap(),
-            |_sys, _this, _args| Ok(Value::Unit),
-        );
+        let img = ComponentImage::new("NOP", CodeImage::plain(64))
+            .export(b.export("void nop(void)").unwrap(), |_sys, _this, _args| {
+                Ok(Value::Unit)
+            });
         struct Nop;
         impl_component!(Nop);
         let mut sys = System::new(mode_for(NOVA));
         sys.load(img, Box::new(Nop)).unwrap();
         let app = sys
-            .load(ComponentImage::new("APP", CodeImage::plain(64)), Box::new(App))
+            .load(
+                ComponentImage::new("APP", CodeImage::plain(64)),
+                Box::new(App),
+            )
             .unwrap();
         sys.run_in_cubicle(app.cid, |sys| {
             let t0 = sys.now();
@@ -158,9 +194,13 @@ mod tests {
         // IPC mode — the basis of the 3- vs 4-component comparison.
         let mut sys = System::new(mode_for(SEL4));
         let core = sys
-            .load(ComponentImage::new("CORE", CodeImage::plain(64)), Box::new(App))
+            .load(
+                ComponentImage::new("CORE", CodeImage::plain(64)),
+                Box::new(App),
+            )
             .unwrap();
-        sys.load_into(sink_image(), Box::new(Sink { bytes_seen: 0 }), core.cid).unwrap();
+        sys.load_into(sink_image(), Box::new(Sink { bytes_seen: 0 }), core.cid)
+            .unwrap();
         sys.run_in_cubicle(core.cid, |sys| {
             let buf = sys.heap_alloc(8192, 8).unwrap();
             let t0 = sys.now();

@@ -101,7 +101,10 @@ mod tests {
         let c = CostModel::paper();
         assert_eq!(c.wrpkru, 20);
         assert_eq!(c.pkey_mprotect, 1_100);
-        assert!(c.trap > c.pkey_mprotect, "a trap includes a kernel round trip");
+        assert!(
+            c.trap > c.pkey_mprotect,
+            "a trap includes a kernel round trip"
+        );
     }
 
     #[test]

@@ -59,10 +59,18 @@ impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             FaultKind::NotPresent => {
-                write!(f, "page fault: {} of unmapped address {}", self.access, self.addr)
+                write!(
+                    f,
+                    "page fault: {} of unmapped address {}",
+                    self.access, self.addr
+                )
             }
             FaultKind::Permission => {
-                write!(f, "permission fault: {} of {} denied by page flags", self.access, self.addr)
+                write!(
+                    f,
+                    "permission fault: {} of {} denied by page flags",
+                    self.access, self.addr
+                )
             }
             FaultKind::ProtectionKey(key) => write!(
                 f,

@@ -51,7 +51,7 @@ impl Insn {
 
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
-            Insn::Plain { len } => out.extend(std::iter::repeat(0x90).take(*len as usize)),
+            Insn::Plain { len } => out.extend(std::iter::repeat_n(0x90, *len as usize)),
             Insn::Wrpkru => out.extend_from_slice(&WRPKRU_BYTES),
             Insn::Syscall => out.extend_from_slice(&SYSCALL_BYTES),
             Insn::ImmCarrier { imm } => {
@@ -112,7 +112,9 @@ impl CodeImage {
     /// components that are trusted to have been compiled from honest
     /// source but still go through the scan.
     pub fn plain(len: usize) -> CodeImage {
-        CodeImage { bytes: vec![0x90; len] }
+        CodeImage {
+            bytes: vec![0x90; len],
+        }
     }
 
     /// Builds an image from raw bytes (e.g., from a test vector).
@@ -180,7 +182,9 @@ mod tests {
         // byte sequences regardless of instruction boundaries.
         let img = CodeImage::from_insns(&[
             Insn::Plain { len: 3 },
-            Insn::ImmCarrier { imm: [0x0F, 0x01, 0xEF, 0x00] },
+            Insn::ImmCarrier {
+                imm: [0x0F, 0x01, 0xEF, 0x00],
+            },
         ]);
         assert_eq!(img.scan_forbidden(), Some(ForbiddenInsn::Wrpkru));
     }

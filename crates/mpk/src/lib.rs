@@ -54,10 +54,11 @@ mod page;
 mod pkru;
 
 pub mod insn;
+pub mod rng;
 
 pub use addr::{pages_covering, PageNum, VAddr, PAGE_SIZE};
 pub use cost::CostModel;
 pub use fault::{AccessKind, Fault, FaultKind};
-pub use machine::{Machine, MachineStats};
+pub use machine::{Machine, MachineEvent, MachineStats};
 pub use page::{PageEntry, PageFlags};
 pub use pkru::{KeyRights, Pkru, ProtKey, NUM_KEYS};

@@ -5,7 +5,32 @@ use crate::cost::CostModel;
 use crate::fault::{AccessKind, Fault, FaultKind};
 use crate::page::{PageEntry, PageFlags};
 use crate::pkru::{Pkru, ProtKey};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// A machine-level event, recorded (when enabled) with the cycle count at
+/// which it happened. Drained by observability layers above the machine
+/// ([`Machine::drain_events`]); the machine itself never interprets them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachineEvent {
+    /// A page changed protection key (`pkey_mprotect`).
+    Retag {
+        /// Cycle count when the retag completed.
+        at: u64,
+        /// Base address of the retagged page.
+        addr: VAddr,
+        /// Key before the retag.
+        from: ProtKey,
+        /// Key after the retag.
+        to: ProtKey,
+    },
+    /// The PKRU register was written (`wrpkru`).
+    WrPkru {
+        /// Cycle count when the write completed.
+        at: u64,
+        /// The value written.
+        pkru: Pkru,
+    },
+}
 
 /// Event counters maintained by the machine.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -48,6 +73,16 @@ pub struct Machine {
     /// read and write access is disabled \[for a key\], execution is too".
     /// Enabled by default, as CubicleOS assumes it for CFI.
     exec_obeys_pkru: bool,
+    /// Bounded event ring, `None` when recording is off (the default).
+    /// Recording never charges simulated cycles.
+    events: Option<EventRing>,
+}
+
+#[derive(Debug)]
+struct EventRing {
+    buf: VecDeque<MachineEvent>,
+    capacity: usize,
+    dropped: u64,
 }
 
 impl Machine {
@@ -66,6 +101,44 @@ impl Machine {
             cost,
             stats: MachineStats::default(),
             exec_obeys_pkru: true,
+            events: None,
+        }
+    }
+
+    /// Enables (`Some(capacity)`) or disables (`None`) the machine event
+    /// ring. When the ring is full the oldest event is overwritten and
+    /// [`Machine::events_dropped`] grows. Recording is free of simulated
+    /// cycles either way.
+    pub fn set_event_recording(&mut self, capacity: Option<usize>) {
+        self.events = capacity.map(|capacity| EventRing {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        });
+    }
+
+    /// Removes and returns all recorded events, oldest first. Empty when
+    /// recording is off.
+    pub fn drain_events(&mut self) -> Vec<MachineEvent> {
+        match &mut self.events {
+            Some(ring) => ring.buf.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events overwritten because the ring was full (since recording was
+    /// last enabled).
+    pub fn events_dropped(&self) -> u64 {
+        self.events.as_ref().map_or(0, |r| r.dropped)
+    }
+
+    fn record_event(&mut self, event: MachineEvent) {
+        if let Some(ring) = &mut self.events {
+            if ring.buf.len() >= ring.capacity {
+                ring.buf.pop_front();
+                ring.dropped += 1;
+            }
+            ring.buf.push_back(event);
         }
     }
 
@@ -116,7 +189,8 @@ impl Machine {
         let page = addr.page();
         let prev = self.page_table.insert(page, PageEntry::new(key, flags));
         assert!(prev.is_none(), "page {page:?} double-mapped");
-        self.frames.insert(page, vec![0u8; PAGE_SIZE].into_boxed_slice());
+        self.frames
+            .insert(page, vec![0u8; PAGE_SIZE].into_boxed_slice());
     }
 
     /// Unmaps the page containing `addr`, discarding its contents.
@@ -136,8 +210,12 @@ impl Machine {
     /// All pages currently tagged with `key` (used by tag-virtualisation
     /// layers that must park an evicted key's pages).
     pub fn pages_with_key(&self, key: ProtKey) -> Vec<PageNum> {
-        let mut pages: Vec<PageNum> =
-            self.page_table.iter().filter(|(_, e)| e.key == key).map(|(&p, _)| p).collect();
+        let mut pages: Vec<PageNum> = self
+            .page_table
+            .iter()
+            .filter(|(_, e)| e.key == key)
+            .map(|(&p, _)| p)
+            .collect();
         pages.sort_unstable();
         pages
     }
@@ -154,9 +232,18 @@ impl Machine {
         let page = addr.page();
         match self.page_table.get_mut(&page) {
             Some(entry) => {
+                let from = entry.key;
                 entry.key = key;
                 self.cycles += self.cost.pkey_mprotect;
                 self.stats.retags += 1;
+                if self.events.is_some() {
+                    self.record_event(MachineEvent::Retag {
+                        at: self.cycles,
+                        addr: page.base(),
+                        from,
+                        to: key,
+                    });
+                }
                 Ok(())
             }
             None => Err(Fault {
@@ -218,6 +305,12 @@ impl Machine {
         self.pkru = pkru;
         self.cycles += self.cost.wrpkru;
         self.stats.wrpkru += 1;
+        if self.events.is_some() {
+            self.record_event(MachineEvent::WrPkru {
+                at: self.cycles,
+                pkru,
+            });
+        }
     }
 
     /// Writes the PKRU register without charging cycles (boot-time setup).
@@ -570,5 +663,62 @@ mod tests {
         let mut m = Machine::with_cost_model(CostModel::free());
         m.charge(123);
         assert_eq!(m.now(), 123);
+    }
+
+    #[test]
+    fn event_ring_records_retags_and_wrpkru() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_event_recording(Some(16));
+        m.set_pkru(Pkru::allow_all());
+        m.set_page_key(a, ProtKey::new(5).unwrap()).unwrap();
+        let events = m.drain_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], MachineEvent::WrPkru { .. }));
+        match events[1] {
+            MachineEvent::Retag { addr, from, to, at } => {
+                assert_eq!(addr, a);
+                assert_eq!(from, ProtKey::new(1).unwrap());
+                assert_eq!(to, ProtKey::new(5).unwrap());
+                assert_eq!(at, m.now());
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(m.drain_events().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn event_ring_overwrites_oldest_when_full() {
+        let mut m = Machine::new();
+        m.set_event_recording(Some(3));
+        for _ in 0..5 {
+            m.set_pkru(Pkru::allow_all());
+        }
+        assert_eq!(m.events_dropped(), 2);
+        assert_eq!(m.drain_events().len(), 3);
+    }
+
+    #[test]
+    fn event_recording_is_cycle_free() {
+        let mut untraced = Machine::new();
+        let mut traced = Machine::new();
+        traced.set_event_recording(Some(64));
+        for m in [&mut untraced, &mut traced] {
+            let a = rw_page(m, 0x1000, 1);
+            m.set_pkru(Pkru::allow_all());
+            m.write(a, b"data").unwrap();
+            m.set_page_key(a, ProtKey::new(2).unwrap()).unwrap();
+        }
+        assert_eq!(untraced.now(), traced.now());
+    }
+
+    #[test]
+    fn recording_off_records_nothing() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.set_page_key(a, ProtKey::new(2).unwrap()).unwrap();
+        assert!(m.drain_events().is_empty());
+        assert_eq!(m.events_dropped(), 0);
     }
 }

@@ -17,23 +17,39 @@ pub struct PageFlags {
 impl PageFlags {
     /// Read-only data page.
     pub const fn r() -> PageFlags {
-        PageFlags { read: true, write: false, execute: false }
+        PageFlags {
+            read: true,
+            write: false,
+            execute: false,
+        }
     }
 
     /// Read-write data page.
     pub const fn rw() -> PageFlags {
-        PageFlags { read: true, write: true, execute: false }
+        PageFlags {
+            read: true,
+            write: true,
+            execute: false,
+        }
     }
 
     /// Execute-only code page (CubicleOS maps component code X-only).
     pub const fn x() -> PageFlags {
-        PageFlags { read: false, write: false, execute: true }
+        PageFlags {
+            read: false,
+            write: false,
+            execute: true,
+        }
     }
 
     /// Read + execute page (not used by the CubicleOS loader, provided for
     /// completeness of the machine model).
     pub const fn rx() -> PageFlags {
-        PageFlags { read: true, write: false, execute: true }
+        PageFlags {
+            read: true,
+            write: false,
+            execute: true,
+        }
     }
 
     /// Returns `true` if reads are permitted.

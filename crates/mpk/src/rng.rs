@@ -1,0 +1,166 @@
+//! Deterministic pseudo-random numbers for workloads and tests.
+//!
+//! The whole reproduction must run offline and bit-reproducibly, so the
+//! workload generators (speedtest1 strings, siege request mixes) and the
+//! randomized test suites use this tiny in-tree SplitMix64 generator
+//! instead of an external crate. SplitMix64 (Steele, Lea, Flood;
+//! "Fast splittable pseudorandom number generators", OOPSLA'14) passes
+//! BigCrush at 64-bit state — far more than statistical quality than a
+//! deterministic benchmark needs.
+
+/// A SplitMix64 pseudo-random generator. Copy-cheap, seedable, and
+/// deterministic across platforms and runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub const fn new(seed: u64) -> Rng64 {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly distributed value in `[lo, hi)` (Lemire reduction —
+    /// no modulo bias worth speaking of at these ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        lo + ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// [`Rng64::range_u64`] for `usize` bounds.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniformly distributed value in `[lo, hi)` for signed bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = lo.abs_diff(hi);
+        let off = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        lo.wrapping_add(off as i64)
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// A vector of `len` random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.fill_bytes(&mut v);
+        v
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.range_usize(0, i + 1));
+        }
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng64::new(7);
+        for _ in 0..10_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let s = rng.range_i64(-5, 5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = Rng64::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.range_usize(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..8 hit: {seen:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn fill_bytes_handles_odd_lengths() {
+        let mut rng = Rng64::new(11);
+        for len in [0, 1, 7, 8, 9, 31] {
+            assert_eq!(rng.bytes(len).len(), len);
+        }
+    }
+}

@@ -1,44 +1,49 @@
-//! Property tests of the machine model: the PKRU check is exactly the
+//! Randomized tests of the machine model: the PKRU check is exactly the
 //! MPK specification, and memory behaves like memory.
+//!
+//! Formerly proptest-based; rewritten over the in-tree deterministic
+//! [`Rng64`] so the suite builds fully offline. Every case is seeded, so
+//! a failure message's case number reproduces the exact inputs.
 
-use cubicle_mpk::{
-    pages_covering, KeyRights, Machine, PageFlags, Pkru, ProtKey, VAddr, PAGE_SIZE,
-};
-use proptest::prelude::*;
+use cubicle_mpk::rng::Rng64;
+use cubicle_mpk::{pages_covering, KeyRights, Machine, PageFlags, Pkru, ProtKey, VAddr, PAGE_SIZE};
 use std::collections::HashMap;
 
-fn arb_rights() -> impl Strategy<Value = KeyRights> {
-    prop_oneof![Just(KeyRights::None), Just(KeyRights::ReadOnly), Just(KeyRights::ReadWrite)]
+fn rand_rights(rng: &mut Rng64) -> KeyRights {
+    *rng.pick(&[KeyRights::None, KeyRights::ReadOnly, KeyRights::ReadWrite])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn pkru_bits_are_independent(assignments in proptest::collection::vec((0u8..16, arb_rights()), 0..40)) {
+#[test]
+fn pkru_bits_are_independent() {
+    for case in 0..128u64 {
+        let mut rng = Rng64::new(0x9B1D_0000 + case);
         let mut model: HashMap<u8, KeyRights> = HashMap::new();
         let mut pkru = Pkru::deny_all();
-        for (key, rights) in assignments {
+        for _ in 0..rng.range_usize(0, 40) {
+            let key = rng.range_u64(0, 16) as u8;
+            let rights = rand_rights(&mut rng);
             pkru = pkru.with(ProtKey::new(key).unwrap(), rights);
             model.insert(key, rights);
         }
         for k in 0..16u8 {
             let expect = model.get(&k).copied().unwrap_or(KeyRights::None);
-            prop_assert_eq!(pkru.rights(ProtKey::new(k).unwrap()), expect);
+            assert_eq!(
+                pkru.rights(ProtKey::new(k).unwrap()),
+                expect,
+                "case {case}, key {k}"
+            );
         }
     }
+}
 
-    #[test]
-    fn access_allowed_iff_flags_and_key_allow(
-        key in 0u8..16,
-        allowed in arb_rights(),
-        write in any::<bool>(),
-        readable in any::<bool>(),
-        writable in any::<bool>(),
-    ) {
-        let mut m = Machine::new();
-        let addr = VAddr::new(0x4000);
-        let flags = match (readable, writable) {
+#[test]
+fn access_allowed_iff_flags_and_key_allow() {
+    for case in 0..128u64 {
+        let mut rng = Rng64::new(0xACCE_0000 + case);
+        let key = rng.range_u64(0, 16) as u8;
+        let allowed = rand_rights(&mut rng);
+        let write = rng.flip();
+        let flags = match (rng.flip(), rng.flip()) {
             (true, true) => PageFlags::rw(),
             (true, false) => PageFlags::r(),
             // the machine model has no write-only pages: fall back to rw
@@ -47,6 +52,9 @@ proptest! {
         };
         let readable = flags.can_read();
         let writable = flags.can_write();
+
+        let mut m = Machine::new();
+        let addr = VAddr::new(0x4000);
         let k = ProtKey::new(key).unwrap();
         m.map_page(addr, k, flags);
         m.set_pkru(Pkru::deny_all().with(k, allowed));
@@ -60,58 +68,76 @@ proptest! {
         } else {
             readable && allowed.can_read()
         };
-        prop_assert_eq!(ok, expect, "write={} flags={:?} rights={:?}", write, flags, allowed);
+        assert_eq!(
+            ok, expect,
+            "case {case}: write={write} flags={flags:?} rights={allowed:?}"
+        );
     }
+}
 
-    #[test]
-    fn memory_behaves_like_memory(
-        writes in proptest::collection::vec((0usize..3 * PAGE_SIZE - 64, proptest::collection::vec(any::<u8>(), 1..64)), 1..30)
-    ) {
+#[test]
+fn memory_behaves_like_memory() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(0x3E30_0000 + case);
         let mut m = Machine::new();
         let base = VAddr::new(0x10000);
         for i in 0..3 {
-            m.map_page(base + i * PAGE_SIZE, ProtKey::new(1).unwrap(), PageFlags::rw());
+            m.map_page(
+                base + i * PAGE_SIZE,
+                ProtKey::new(1).unwrap(),
+                PageFlags::rw(),
+            );
         }
         m.set_pkru(Pkru::allow_all());
         let mut model = vec![0u8; 3 * PAGE_SIZE];
-        for (off, data) in writes {
+        for _ in 0..rng.range_usize(1, 30) {
+            let off = rng.range_usize(0, 3 * PAGE_SIZE - 64);
+            let len = rng.range_usize(1, 64);
+            let data = rng.bytes(len);
             m.write(base + off, &data).unwrap();
             model[off..off + data.len()].copy_from_slice(&data);
         }
         let mut got = vec![0u8; 3 * PAGE_SIZE];
         m.read(base, &mut got).unwrap();
-        prop_assert_eq!(got, model);
+        assert_eq!(got, model, "case {case}");
     }
+}
 
-    #[test]
-    fn retagging_never_corrupts_data(
-        tags in proptest::collection::vec(0u8..16, 1..20)
-    ) {
+#[test]
+fn retagging_never_corrupts_data() {
+    for case in 0..32u64 {
+        let mut rng = Rng64::new(0x4E7A_0000 + case);
         let mut m = Machine::new();
         let addr = VAddr::new(0x8000);
         m.map_page(addr, ProtKey::new(0).unwrap(), PageFlags::rw());
         m.set_pkru(Pkru::allow_all());
         let payload: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 241) as u8).collect();
         m.write(addr, &payload).unwrap();
-        for t in tags {
+        for _ in 0..rng.range_usize(1, 20) {
+            let t = rng.range_u64(0, 16) as u8;
             m.set_page_key(addr, ProtKey::new(t).unwrap()).unwrap();
         }
         let mut back = vec![0u8; PAGE_SIZE];
         m.read(addr, &mut back).unwrap();
-        prop_assert_eq!(back, payload);
+        assert_eq!(back, payload, "case {case}");
     }
+}
 
-    #[test]
-    fn pages_covering_is_exact(start in 0u64..1_000_000, len in 0usize..20_000) {
+#[test]
+fn pages_covering_is_exact() {
+    let mut rng = Rng64::new(0xC07E_0001);
+    for case in 0..2_000 {
+        let start = rng.range_u64(0, 1_000_000);
+        let len = rng.range_usize(0, 20_000);
         let pages: Vec<_> = pages_covering(VAddr::new(start), len).collect();
         if len == 0 {
-            prop_assert!(pages.is_empty());
+            assert!(pages.is_empty(), "case {case}");
         } else {
             let first = start / PAGE_SIZE as u64;
             let last = (start + len as u64 - 1) / PAGE_SIZE as u64;
-            prop_assert_eq!(pages.len() as u64, last - first + 1);
-            prop_assert_eq!(pages.first().unwrap().0, first);
-            prop_assert_eq!(pages.last().unwrap().0, last);
+            assert_eq!(pages.len() as u64, last - first + 1, "case {case}");
+            assert_eq!(pages.first().unwrap().0, first, "case {case}");
+            assert_eq!(pages.last().unwrap().0, last, "case {case}");
         }
     }
 }

@@ -30,7 +30,11 @@ impl Default for WireModel {
     /// calibrated to the paper's Figure 7 floor and slope on the 2.2 GHz
     /// testbed (see EXPERIMENTS.md).
     fn default() -> Self {
-        WireModel { hop_cycles: 220_000, per_byte_cycles: 8, request_overhead_cycles: 11_000_000 }
+        WireModel {
+            hop_cycles: 220_000,
+            per_byte_cycles: 8,
+            request_overhead_cycles: 11_000_000,
+        }
     }
 }
 
@@ -134,7 +138,9 @@ impl SimClient {
         }
         let mut foreign: Vec<Vec<u8>> = Vec::new();
         for bytes in frames {
-            let Some(seg) = Segment::decode(&bytes) else { continue };
+            let Some(seg) = Segment::decode(&bytes) else {
+                continue;
+            };
             if seg.dport != self.port {
                 // traffic for another endpoint: leave it on the wire
                 foreign.push(bytes);

@@ -52,7 +52,14 @@ pub fn boot_net(sys: &mut System) -> Result<NetStack> {
         .expect("lwip slot holds Lwip");
     let r = lwip.init(sys)?;
     if r != 0 {
-        return Err(cubicle_core::CubicleError::Component(format!("lwip_init failed: {r}")));
+        return Err(cubicle_core::CubicleError::Component(format!(
+            "lwip_init failed: {r}"
+        )));
     }
-    Ok(NetStack { lwip, netdev, netdev_slot: dev_loaded.slot, lwip_slot: lwip_loaded.slot })
+    Ok(NetStack {
+        lwip,
+        netdev,
+        netdev_slot: dev_loaded.slot,
+        lwip_slot: lwip_loaded.slot,
+    })
 }

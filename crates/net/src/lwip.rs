@@ -9,13 +9,13 @@
 
 use crate::frame::{flags, Segment, MSS};
 use crate::netdev::{NetdevProxy, MAX_FRAME};
-use cubicle_ukbase::AllocProxy;
 use cubicle_core::{
     component_mut, impl_component, Builder, Component, ComponentImage, CubicleId, EntryId, Errno,
     LoadedComponent, Result, System, Value,
 };
 use cubicle_mpk::insn::CodeImage;
 use cubicle_mpk::VAddr;
+use cubicle_ukbase::AllocProxy;
 use std::collections::VecDeque;
 
 /// Send-buffer capacity per connection (LWIP's `TCP_SND_BUF`).
@@ -106,7 +106,10 @@ impl Lwip {
     }
 
     fn conn_mut(&mut self, fd: i64) -> Option<&mut Tcb> {
-        match usize::try_from(fd).ok().and_then(|i| self.sockets.get_mut(i)?.as_mut()) {
+        match usize::try_from(fd)
+            .ok()
+            .and_then(|i| self.sockets.get_mut(i)?.as_mut())
+        {
             Some(Socket::Conn(tcb)) => Some(tcb),
             _ => None,
         }
@@ -143,11 +146,22 @@ pub fn image() -> ComponentImage {
         .heap_pages(32)
         .export(b.export("long lwip_init(void)").unwrap(), e_init)
         .export(b.export("long lwip_socket(void)").unwrap(), e_socket)
-        .export(b.export("long lwip_bind(long fd, long port)").unwrap(), e_bind)
+        .export(
+            b.export("long lwip_bind(long fd, long port)").unwrap(),
+            e_bind,
+        )
         .export(b.export("long lwip_listen(long fd)").unwrap(), e_listen)
         .export(b.export("long lwip_accept(long fd)").unwrap(), e_accept)
-        .export(b.export("long lwip_recv(long fd, void *buf, size_t n)").unwrap(), e_recv)
-        .export(b.export("long lwip_send(long fd, const void *buf, size_t n)").unwrap(), e_send)
+        .export(
+            b.export("long lwip_recv(long fd, void *buf, size_t n)")
+                .unwrap(),
+            e_recv,
+        )
+        .export(
+            b.export("long lwip_send(long fd, const void *buf, size_t n)")
+                .unwrap(),
+            e_send,
+        )
         .export(b.export("long lwip_close(long fd)").unwrap(), e_close)
         .export(b.export("long lwip_poll(void)").unwrap(), e_poll)
 }
@@ -174,7 +188,10 @@ fn e_socket(sys: &mut System, this: &mut dyn Component, _args: &[Value]) -> Resu
     sys.charge(80);
     let st = component_mut::<Lwip>(this);
     // a socket starts life as an unbound listener shell
-    let fd = st.alloc_fd(Socket::Listener { port: 0, backlog: VecDeque::new() });
+    let fd = st.alloc_fd(Socket::Listener {
+        port: 0,
+        backlog: VecDeque::new(),
+    });
     Ok(Value::I64(fd))
 }
 
@@ -189,7 +206,10 @@ fn e_bind(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<
     if st.find_listener(port).is_some() && port != 0 {
         return Ok(Value::I64(Errno::Eaddrinuse.neg()));
     }
-    match usize::try_from(fd).ok().and_then(|i| st.sockets.get_mut(i)?.as_mut()) {
+    match usize::try_from(fd)
+        .ok()
+        .and_then(|i| st.sockets.get_mut(i)?.as_mut())
+    {
         Some(Socket::Listener { port: p, .. }) => {
             *p = port;
             Ok(Value::I64(0))
@@ -202,7 +222,10 @@ fn e_listen(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resul
     sys.charge(80);
     let fd = args[0].as_i64();
     let st = component_mut::<Lwip>(this);
-    match usize::try_from(fd).ok().and_then(|i| st.sockets.get(i)?.as_ref()) {
+    match usize::try_from(fd)
+        .ok()
+        .and_then(|i| st.sockets.get(i)?.as_ref())
+    {
         Some(Socket::Listener { .. }) => Ok(Value::I64(0)),
         _ => Ok(Value::I64(Errno::Ebadf.neg())),
     }
@@ -212,7 +235,10 @@ fn e_accept(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resul
     sys.charge(120);
     let fd = args[0].as_i64();
     let st = component_mut::<Lwip>(this);
-    match usize::try_from(fd).ok().and_then(|i| st.sockets.get_mut(i)?.as_mut()) {
+    match usize::try_from(fd)
+        .ok()
+        .and_then(|i| st.sockets.get_mut(i)?.as_mut())
+    {
         Some(Socket::Listener { backlog, .. }) => match backlog.pop_front() {
             Some(conn_idx) => Ok(Value::I64(conn_idx as i64)),
             None => Ok(Value::I64(Errno::Ewouldblock.neg())),
@@ -293,7 +319,10 @@ fn e_close(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result
     sys.charge(120);
     let fd = args[0].as_i64();
     let st = component_mut::<Lwip>(this);
-    match usize::try_from(fd).ok().and_then(|i| st.sockets.get_mut(i)?.as_mut()) {
+    match usize::try_from(fd)
+        .ok()
+        .and_then(|i| st.sockets.get_mut(i)?.as_mut())
+    {
         Some(Socket::Conn(tcb)) => {
             tcb.fin_pending = true;
             Ok(Value::I64(0))
@@ -350,8 +379,8 @@ fn send_segment(
     seg: &Segment,
 ) -> Result<()> {
     sys.charge(500); // per-segment stack processing
-    // pbuf pool management: with ALLOC wired, TX buffers are drawn from
-    // the system-wide allocator and recycled periodically.
+                     // pbuf pool management: with ALLOC wired, TX buffers are drawn from
+                     // the system-wide allocator and recycled periodically.
     let buf = {
         let st = component_mut::<Lwip>(this);
         st.segments_since_refill += 1;
@@ -438,7 +467,9 @@ fn handle_segment(
     let mut established_now = false;
     {
         let st = component_mut::<Lwip>(this);
-        let Some(Socket::Conn(tcb)) = st.sockets[idx].as_mut() else { unreachable!() };
+        let Some(Socket::Conn(tcb)) = st.sockets[idx].as_mut() else {
+            unreachable!()
+        };
         if seg.has(flags::ACK) {
             // advance the unacked horizon
             let acked = seg.ack.wrapping_sub(tcb.snd_una);
@@ -471,7 +502,9 @@ fn handle_segment(
         // queue the connection on its listener's backlog
         let st = component_mut::<Lwip>(this);
         let (port, idx_copy) = {
-            let Some(Socket::Conn(tcb)) = st.sockets[idx].as_ref() else { unreachable!() };
+            let Some(Socket::Conn(tcb)) = st.sockets[idx].as_ref() else {
+                unreachable!()
+            };
             (tcb.local_port, idx)
         };
         if let Some(l) = st.find_listener(port) {
@@ -483,7 +516,9 @@ fn handle_segment(
     if ack_needed {
         let reply = {
             let st = component_mut::<Lwip>(this);
-            let Some(Socket::Conn(tcb)) = st.sockets[idx].as_ref() else { unreachable!() };
+            let Some(Socket::Conn(tcb)) = st.sockets[idx].as_ref() else {
+                unreachable!()
+            };
             Segment {
                 sport: tcb.local_port,
                 dport: tcb.remote_port,
@@ -514,7 +549,9 @@ fn flush_tx(
         loop {
             let out = {
                 let st = component_mut::<Lwip>(this);
-                let Some(Socket::Conn(tcb)) = st.sockets[idx].as_mut() else { break };
+                let Some(Socket::Conn(tcb)) = st.sockets[idx].as_mut() else {
+                    break;
+                };
                 if tcb.state != TcpState::Established && tcb.state != TcpState::CloseWait {
                     break;
                 }
@@ -628,7 +665,9 @@ impl LwipProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn bind(&self, sys: &mut System, fd: i64, port: u16) -> Result<i64> {
-        Ok(sys.cross_call(self.bind, &[Value::I64(fd), Value::I64(i64::from(port))])?.as_i64())
+        Ok(sys
+            .cross_call(self.bind, &[Value::I64(fd), Value::I64(i64::from(port))])?
+            .as_i64())
     }
 
     /// Starts listening.
@@ -655,7 +694,9 @@ impl LwipProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn recv(&self, sys: &mut System, fd: i64, buf: VAddr, n: usize) -> Result<i64> {
-        Ok(sys.cross_call(self.recv, &[Value::I64(fd), Value::buf_out(buf, n)])?.as_i64())
+        Ok(sys
+            .cross_call(self.recv, &[Value::I64(fd), Value::buf_out(buf, n)])?
+            .as_i64())
     }
 
     /// Sends from caller memory (the caller must window `buf`). Returns
@@ -665,7 +706,9 @@ impl LwipProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn send(&self, sys: &mut System, fd: i64, buf: VAddr, n: usize) -> Result<i64> {
-        Ok(sys.cross_call(self.send, &[Value::I64(fd), Value::buf_in(buf, n)])?.as_i64())
+        Ok(sys
+            .cross_call(self.send, &[Value::I64(fd), Value::buf_in(buf, n)])?
+            .as_i64())
     }
 
     /// Closes a socket (FIN after the send queue drains).

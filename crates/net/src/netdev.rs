@@ -57,8 +57,15 @@ pub fn image() -> ComponentImage {
     let b = Builder::new();
     ComponentImage::new("NETDEV", CodeImage::plain(10 * 1024))
         .heap_pages(4)
-        .export(b.export("long netdev_tx(const void *frame, size_t len)").unwrap(), e_tx)
-        .export(b.export("long netdev_rx(void *buf, size_t cap)").unwrap(), e_rx)
+        .export(
+            b.export("long netdev_tx(const void *frame, size_t len)")
+                .unwrap(),
+            e_tx,
+        )
+        .export(
+            b.export("long netdev_rx(void *buf, size_t cap)").unwrap(),
+            e_rx,
+        )
 }
 
 fn e_tx(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
@@ -128,7 +135,11 @@ pub struct NetdevProxy {
 impl NetdevProxy {
     /// Resolves the proxy from the loaded component.
     pub fn resolve(loaded: &LoadedComponent) -> NetdevProxy {
-        NetdevProxy { cid: loaded.cid, tx: loaded.entry("netdev_tx"), rx: loaded.entry("netdev_rx") }
+        NetdevProxy {
+            cid: loaded.cid,
+            tx: loaded.entry("netdev_tx"),
+            rx: loaded.entry("netdev_rx"),
+        }
     }
 
     /// The `NETDEV` cubicle's ID.
@@ -142,7 +153,9 @@ impl NetdevProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn tx(&self, sys: &mut System, frame: VAddr, len: usize) -> Result<i64> {
-        Ok(sys.cross_call(self.tx, &[Value::buf_in(frame, len)])?.as_i64())
+        Ok(sys
+            .cross_call(self.tx, &[Value::buf_in(frame, len)])?
+            .as_i64())
     }
 
     /// Receives a frame into caller memory; returns bytes, or
@@ -152,7 +165,9 @@ impl NetdevProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn rx(&self, sys: &mut System, buf: VAddr, cap: usize) -> Result<i64> {
-        Ok(sys.cross_call(self.rx, &[Value::buf_out(buf, cap)])?.as_i64())
+        Ok(sys
+            .cross_call(self.rx, &[Value::buf_out(buf, cap)])?
+            .as_i64())
     }
 }
 
@@ -168,7 +183,10 @@ mod tests {
         let mut sys = System::new(IsolationMode::Full);
         let dev = sys.load(image(), Box::new(Netdev::default())).unwrap();
         let app = sys
-            .load(ComponentImage::new("APP", CodeImage::plain(64)).heap_pages(8), Box::new(App))
+            .load(
+                ComponentImage::new("APP", CodeImage::plain(64)).heap_pages(8),
+                Box::new(App),
+            )
             .unwrap();
         (sys, NetdevProxy::resolve(&dev), dev.slot, app.cid)
     }

@@ -1,43 +1,59 @@
-//! Property tests: TCP byte-stream integrity under arbitrary write
+//! Randomized tests: TCP byte-stream integrity under arbitrary write
 //! chunking and flow control.
+//!
+//! Formerly proptest-based; rewritten over the in-tree deterministic
+//! [`Rng64`] so the suite builds fully offline.
 
 use cubicle_core::{impl_component, ComponentImage, IsolationMode, System};
 use cubicle_mpk::insn::CodeImage;
+use cubicle_mpk::rng::Rng64;
 use cubicle_net::{boot_net, frame::Segment, SimClient, WireModel};
-use proptest::prelude::*;
 
 struct App;
 impl_component!(App);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn segment_encoding_round_trips(
-        sport in any::<u16>(),
-        dport in any::<u16>(),
-        seq in any::<u32>(),
-        ack in any::<u32>(),
-        flags in 0u8..16,
-        wnd in any::<u16>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..cubicle_net::MSS),
-    ) {
-        let s = Segment { sport, dport, seq, ack, flags, wnd, payload };
-        prop_assert_eq!(Segment::decode(&s.encode()), Some(s));
+#[test]
+fn segment_encoding_round_trips() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(0x5E6_0000 + case);
+        let s = Segment {
+            sport: rng.next_u32() as u16,
+            dport: rng.next_u32() as u16,
+            seq: rng.next_u32(),
+            ack: rng.next_u32(),
+            flags: rng.range_u64(0, 16) as u8,
+            wnd: rng.next_u32() as u16,
+            payload: {
+                let len = rng.range_usize(0, cubicle_net::MSS);
+                rng.bytes(len)
+            },
+        };
+        assert_eq!(Segment::decode(&s.encode()), Some(s), "case {case}");
     }
+}
 
-    #[test]
-    fn byte_stream_survives_arbitrary_chunking(
-        chunks in proptest::collection::vec(1usize..5_000, 1..8),
-        window in prop_oneof![Just(u16::MAX), (1_460u16..20_000)],
-    ) {
+#[test]
+fn byte_stream_survives_arbitrary_chunking() {
+    for case in 0..24u64 {
+        let mut rng = Rng64::new(0x7C9_0000 + case);
+        let chunks: Vec<usize> = (0..rng.range_usize(1, 8))
+            .map(|_| rng.range_usize(1, 5_000))
+            .collect();
+        let window = if rng.flip() {
+            u16::MAX
+        } else {
+            rng.range_u64(1_460, 20_000) as u16
+        };
         let total: usize = chunks.iter().sum();
         let payload: Vec<u8> = (0..total).map(|i| (i % 249) as u8).collect();
 
         let mut sys = System::new(IsolationMode::Full);
         let stack = boot_net(&mut sys).unwrap();
         let app = sys
-            .load(ComponentImage::new("APP", CodeImage::plain(1024)).heap_pages(64), Box::new(App))
+            .load(
+                ComponentImage::new("APP", CodeImage::plain(1024)).heap_pages(64),
+                Box::new(App),
+            )
             .unwrap();
 
         // listen + handshake
@@ -51,7 +67,11 @@ proptest! {
             stack.netdev_slot,
             50_000,
             80,
-            WireModel { hop_cycles: 10, per_byte_cycles: 0, request_overhead_cycles: 0 },
+            WireModel {
+                hop_cycles: 10,
+                per_byte_cycles: 0,
+                request_overhead_cycles: 0,
+            },
         );
         cl.set_window(window);
         cl.pump(&mut sys);
@@ -61,7 +81,7 @@ proptest! {
             stack.lwip.poll(sys).unwrap();
             stack.lwip.accept(sys, listener).unwrap()
         });
-        prop_assert!(conn >= 0);
+        assert!(conn >= 0, "case {case}");
 
         // server writes the payload in the given chunk pattern, retrying
         // under backpressure; the client acks whenever pumped
@@ -88,7 +108,10 @@ proptest! {
             }
             cl.pump(&mut sys);
             guard += 1;
-            prop_assert!(guard < 10_000, "transfer stalled at {sent}/{total}");
+            assert!(
+                guard < 10_000,
+                "case {case}: transfer stalled at {sent}/{total}"
+            );
         }
         // drain the tail
         for _ in 0..200 {
@@ -98,7 +121,7 @@ proptest! {
             sys.run_in_cubicle(app.cid, |sys| stack.lwip.poll(sys).unwrap());
             cl.pump(&mut sys);
         }
-        prop_assert_eq!(cl.received.len(), total);
-        prop_assert_eq!(&cl.received, &payload);
+        assert_eq!(cl.received.len(), total, "case {case}");
+        assert_eq!(cl.received, payload, "case {case}");
     }
 }

@@ -25,7 +25,11 @@ fn boot(mode: IsolationMode) -> Net {
         )
         .unwrap();
     sys.mark_boot_complete();
-    Net { sys, stack, app: app.cid }
+    Net {
+        sys,
+        stack,
+        app: app.cid,
+    }
 }
 
 /// App-side I/O buffer with a persistent window open for LWIP.
@@ -42,7 +46,11 @@ fn client(net: &Net, port: u16) -> SimClient {
         net.stack.netdev_slot,
         49_152,
         port,
-        WireModel { hop_cycles: 1_000, per_byte_cycles: 1, request_overhead_cycles: 0 },
+        WireModel {
+            hop_cycles: 1_000,
+            per_byte_cycles: 1,
+            request_overhead_cycles: 0,
+        },
     )
 }
 
@@ -80,7 +88,8 @@ fn establish(net: &mut Net, port: u16) -> (SimClient, i64) {
     });
     let mut cl = client(net, port);
     cl.pump(&mut net.sys);
-    net.sys.run_in_cubicle(app, |sys| stack.lwip.poll(sys).unwrap());
+    net.sys
+        .run_in_cubicle(app, |sys| stack.lwip.poll(sys).unwrap());
     cl.pump(&mut net.sys);
     let conn = net.sys.run_in_cubicle(app, |sys| {
         stack.lwip.poll(sys).unwrap();
@@ -132,7 +141,8 @@ fn response_streams_back_with_segmentation() {
         if cl.received.len() >= total {
             break;
         }
-        net.sys.run_in_cubicle(app, |sys| stack.lwip.poll(sys).unwrap());
+        net.sys
+            .run_in_cubicle(app, |sys| stack.lwip.poll(sys).unwrap());
     }
     assert_eq!(cl.received, payload);
     // segmentation really happened
@@ -140,7 +150,10 @@ fn response_streams_back_with_segmentation() {
         .sys
         .with_component_mut::<Lwip, _>(net.stack.lwip_slot, |l, _| l.segments_tx)
         .unwrap();
-    assert!(tx as usize >= total / MSS, "at least ⌈10KiB/MSS⌉ data segments");
+    assert!(
+        tx as usize >= total / MSS,
+        "at least ⌈10KiB/MSS⌉ data segments"
+    );
 }
 
 #[test]
@@ -156,7 +169,10 @@ fn send_buffer_is_bounded_at_64k() {
         // the stack accepts at most SND_BUF bytes, then EWOULDBLOCK
         let mut accepted = 0usize;
         loop {
-            let n = stack.lwip.send(sys, conn, buf, SND_BUF + 4096 - accepted).unwrap();
+            let n = stack
+                .lwip
+                .send(sys, conn, buf, SND_BUF + 4096 - accepted)
+                .unwrap();
             if n < 0 {
                 assert_eq!(n, cubicle_core::Errno::Ewouldblock.neg());
                 break;
@@ -214,7 +230,10 @@ fn figure5_edges_exist() {
         sys.write(buf, &payload).unwrap();
         let mut off = 0;
         while off < payload.len() {
-            let n = stack.lwip.send(sys, conn, buf + off, payload.len() - off).unwrap();
+            let n = stack
+                .lwip
+                .send(sys, conn, buf + off, payload.len() - off)
+                .unwrap();
             if n <= 0 {
                 break;
             }
@@ -227,7 +246,8 @@ fn figure5_edges_exist() {
         if cl.received.len() >= payload.len() {
             break;
         }
-        net.sys.run_in_cubicle(app, |sys| stack.lwip.poll(sys).unwrap());
+        net.sys
+            .run_in_cubicle(app, |sys| stack.lwip.poll(sys).unwrap());
     }
     assert_eq!(cl.received.len(), payload.len());
     let sys = &net.sys;
@@ -236,7 +256,11 @@ fn figure5_edges_exist() {
     let netdev = sys.find_cubicle("NETDEV").unwrap();
     // Figure 5 shape: APP→LWIP and LWIP→NETDEV are the hot edges; the
     // app never touches the device directly.
-    assert!(stats.edge(net.app, lwip) > 5, "got {}", stats.edge(net.app, lwip));
+    assert!(
+        stats.edge(net.app, lwip) > 5,
+        "got {}",
+        stats.edge(net.app, lwip)
+    );
     assert!(stats.edge(lwip, netdev) > 30, "one device call per segment");
     assert_eq!(stats.edge(net.app, netdev), 0);
     assert!(
@@ -326,7 +350,8 @@ fn syn_to_closed_port_is_dropped() {
     // no listener anywhere
     let mut cl = client(&net, 4444);
     cl.pump(&mut net.sys); // SYN out
-    net.sys.run_in_cubicle(app, |sys| stack.lwip.poll(sys).unwrap());
+    net.sys
+        .run_in_cubicle(app, |sys| stack.lwip.poll(sys).unwrap());
     cl.pump(&mut net.sys);
     assert!(!cl.is_established(), "no listener, no handshake");
 }
@@ -347,14 +372,19 @@ fn interleaved_connections_keep_streams_apart() {
             net.stack.netdev_slot,
             port,
             80,
-            WireModel { hop_cycles: 100, per_byte_cycles: 0, request_overhead_cycles: 0 },
+            WireModel {
+                hop_cycles: 100,
+                per_byte_cycles: 0,
+                request_overhead_cycles: 0,
+            },
         )
     };
     let mut c1 = mk(50_001);
     let mut c2 = mk(50_002);
     c1.pump(&mut net.sys);
     c2.pump(&mut net.sys);
-    net.sys.run_in_cubicle(app, |sys| stack.lwip.poll(sys).unwrap());
+    net.sys
+        .run_in_cubicle(app, |sys| stack.lwip.poll(sys).unwrap());
     c1.pump(&mut net.sys);
     c2.pump(&mut net.sys);
     let (conn1, conn2) = net.sys.run_in_cubicle(app, |sys| {

@@ -36,7 +36,9 @@ pub struct Ramfs {
 impl Default for Ramfs {
     fn default() -> Self {
         Ramfs {
-            inodes: vec![Some(Inode::Dir { entries: Vec::new() })], // root = ino 0
+            inodes: vec![Some(Inode::Dir {
+                entries: Vec::new(),
+            })], // root = ino 0
             pool: Vec::new(),
             alloc: None,
             pages_used: 0,
@@ -57,12 +59,10 @@ impl Ramfs {
         let mut ino = 0usize;
         for comp in components(path) {
             match self.inodes.get(ino).and_then(Option::as_ref) {
-                Some(Inode::Dir { entries }) => {
-                    match entries.iter().find(|(n, _)| *n == comp) {
-                        Some((_, child)) => ino = *child,
-                        None => return Err(Errno::Enoent.neg()),
-                    }
-                }
+                Some(Inode::Dir { entries }) => match entries.iter().find(|(n, _)| *n == comp) {
+                    Some((_, child)) => ino = *child,
+                    None => return Err(Errno::Enoent.neg()),
+                },
                 Some(Inode::File { .. }) => return Err(Errno::Enotdir.neg()),
                 None => return Err(Errno::Enoent.neg()),
             }
@@ -71,7 +71,10 @@ impl Ramfs {
     }
 
     fn file_mut(&mut self, ino: i64) -> std::result::Result<(&mut u64, &mut Vec<VAddr>), i64> {
-        match usize::try_from(ino).ok().and_then(|i| self.inodes.get_mut(i)?.as_mut()) {
+        match usize::try_from(ino)
+            .ok()
+            .and_then(|i| self.inodes.get_mut(i)?.as_mut())
+        {
             Some(Inode::File { size, extents }) => Ok((size, extents)),
             Some(Inode::Dir { .. }) => Err(Errno::Eisdir.neg()),
             None => Err(Errno::Enoent.neg()),
@@ -108,14 +111,24 @@ pub fn image() -> ComponentImage {
     let b = Builder::new();
     ComponentImage::new("RAMFS", CodeImage::plain(12 * 1024))
         .heap_pages(8)
-        .export(b.export("long ramfs_lookup(const char *path, size_t len)").unwrap(), e_lookup)
         .export(
-            b.export("long ramfs_create(const char *path, size_t len, int is_dir)").unwrap(),
+            b.export("long ramfs_lookup(const char *path, size_t len)")
+                .unwrap(),
+            e_lookup,
+        )
+        .export(
+            b.export("long ramfs_create(const char *path, size_t len, int is_dir)")
+                .unwrap(),
             e_create,
         )
-        .export(b.export("long ramfs_remove(const char *path, size_t len)").unwrap(), e_remove)
         .export(
-            b.export("long ramfs_read(long ino, void *buf, size_t n, uint64_t off)").unwrap(),
+            b.export("long ramfs_remove(const char *path, size_t len)")
+                .unwrap(),
+            e_remove,
+        )
+        .export(
+            b.export("long ramfs_read(long ino, void *buf, size_t n, uint64_t off)")
+                .unwrap(),
             e_read,
         )
         .export(
@@ -123,11 +136,16 @@ pub fn image() -> ComponentImage {
                 .unwrap(),
             e_write,
         )
-        .export(b.export("long ramfs_truncate(long ino, uint64_t len)").unwrap(), e_truncate)
+        .export(
+            b.export("long ramfs_truncate(long ino, uint64_t len)")
+                .unwrap(),
+            e_truncate,
+        )
         .export(b.export("long ramfs_size(long ino)").unwrap(), e_size)
         .export(b.export("long ramfs_sync(long ino)").unwrap(), e_sync)
         .export(
-            b.export("long ramfs_readdir(long ino, void *buf, size_t n, long index)").unwrap(),
+            b.export("long ramfs_readdir(long ino, void *buf, size_t n, long index)")
+                .unwrap(),
             e_readdir,
         )
         .export(b.export("long ramfs_is_dir(long ino)").unwrap(), e_is_dir)
@@ -216,9 +234,14 @@ fn e_create(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resul
     }
     let ino = fs.inodes.len();
     fs.inodes.push(Some(if is_dir {
-        Inode::Dir { entries: Vec::new() }
+        Inode::Dir {
+            entries: Vec::new(),
+        }
     } else {
-        Inode::File { size: 0, extents: Vec::new() }
+        Inode::File {
+            size: 0,
+            extents: Vec::new(),
+        }
     }));
     match fs.inodes[parent].as_mut() {
         Some(Inode::Dir { entries }) => entries.push((name, ino)),
@@ -310,7 +333,7 @@ fn e_write(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result
     let (buf, n) = args[1].as_buf();
     let off = args[2].as_u64();
     // Grow extents to cover [off, off+n).
-    let needed_pages = ((off as usize + n).div_ceil(PAGE_SIZE)).max(0);
+    let needed_pages = (off as usize + n).div_ceil(PAGE_SIZE);
     {
         let fs = component_mut::<Ramfs>(this);
         if let Err(e) = fs.file_mut(ino) {
@@ -400,7 +423,6 @@ fn e_truncate(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Res
     Ok(Value::I64(0))
 }
 
-
 fn e_size(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
     sys.charge(RAMFS_OP_COST / 2);
     let ino = args[0].as_i64();
@@ -424,14 +446,16 @@ fn e_readdir(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resu
     let (buf, n) = args[1].as_buf();
     let index = args[2].as_i64();
     let fs = component_mut::<Ramfs>(this);
-    let name = match usize::try_from(ino).ok().and_then(|i| fs.inodes.get(i)?.as_ref()) {
-        Some(Inode::Dir { entries }) => match usize::try_from(index)
-            .ok()
-            .and_then(|i| entries.get(i))
-        {
-            Some((name, _)) => name.clone(),
-            None => return Ok(Value::I64(Errno::Enoent.neg())),
-        },
+    let name = match usize::try_from(ino)
+        .ok()
+        .and_then(|i| fs.inodes.get(i)?.as_ref())
+    {
+        Some(Inode::Dir { entries }) => {
+            match usize::try_from(index).ok().and_then(|i| entries.get(i)) {
+                Some((name, _)) => name.clone(),
+                None => return Ok(Value::I64(Errno::Enoent.neg())),
+            }
+        }
         Some(Inode::File { .. }) => return Ok(Value::I64(Errno::Enotdir.neg())),
         None => return Ok(Value::I64(Errno::Enoent.neg())),
     };
@@ -439,9 +463,7 @@ fn e_readdir(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resu
     let len = out.len().min(n);
     match sys.write(buf, &out[..len]) {
         Ok(()) => Ok(Value::I64(len as i64)),
-        Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
-            Ok(Value::I64(Errno::Eacces.neg()))
-        }
+        Err(cubicle_core::CubicleError::WindowDenied { .. }) => Ok(Value::I64(Errno::Eacces.neg())),
         Err(e) => Err(e),
     }
 }
@@ -450,7 +472,10 @@ fn e_is_dir(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resul
     sys.charge(RAMFS_OP_COST / 2);
     let ino = args[0].as_i64();
     let fs = component_mut::<Ramfs>(this);
-    match usize::try_from(ino).ok().and_then(|i| fs.inodes.get(i)?.as_ref()) {
+    match usize::try_from(ino)
+        .ok()
+        .and_then(|i| fs.inodes.get(i)?.as_ref())
+    {
         Some(Inode::Dir { .. }) => Ok(Value::I64(1)),
         Some(Inode::File { .. }) => Ok(Value::I64(0)),
         None => Ok(Value::I64(Errno::Enoent.neg())),

@@ -23,13 +23,20 @@ struct Stack {
 fn boot(mode: IsolationMode) -> Stack {
     let mut sys = System::new(mode);
     let base = boot_base(&mut sys).unwrap();
-    let vfs_loaded = sys.load(cubicle_vfs::image(), Box::new(Vfs::default())).unwrap();
-    let ramfs_loaded = sys.load(cubicle_ramfs::image(), Box::new(Ramfs::default())).unwrap();
+    let vfs_loaded = sys
+        .load(cubicle_vfs::image(), Box::new(Vfs::default()))
+        .unwrap();
+    let ramfs_loaded = sys
+        .load(cubicle_ramfs::image(), Box::new(Ramfs::default()))
+        .unwrap();
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
     mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
     let app = sys
-        .load(ComponentImage::new("APP", CodeImage::plain(4096)).heap_pages(64), Box::new(App))
+        .load(
+            ComponentImage::new("APP", CodeImage::plain(4096)).heap_pages(64),
+            Box::new(App),
+        )
         .unwrap();
     sys.mark_boot_complete();
     Stack {
@@ -53,7 +60,9 @@ fn with_port<T>(stack: &mut Stack, f: impl FnOnce(&mut System, &VfsPort) -> T) -
 fn create_write_read_round_trip() {
     let mut stack = boot(IsolationMode::Full);
     with_port(&mut stack, |sys, port| {
-        let fd = port.open(sys, "/hello.txt", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let fd = port
+            .open(sys, "/hello.txt", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         assert!(fd >= 0, "open failed: {fd}");
         assert_eq!(port.write_all(sys, fd, b"hello cubicles").unwrap(), 14);
         port.lseek(sys, fd, 0, whence::SEEK_SET).unwrap();
@@ -72,8 +81,11 @@ fn round_trip_in_every_isolation_mode() {
     ] {
         let mut stack = boot(mode);
         let out = with_port(&mut stack, |sys, port| {
-            let fd = port.open(sys, "/f", flags::O_CREAT | flags::O_RDWR).unwrap();
-            port.write_all(sys, fd, b"mode-independent semantics").unwrap();
+            let fd = port
+                .open(sys, "/f", flags::O_CREAT | flags::O_RDWR)
+                .unwrap();
+            port.write_all(sys, fd, b"mode-independent semantics")
+                .unwrap();
             port.pread_vec(sys, port, fd)
         });
         assert_eq!(out, b"mode-independent semantics", "{mode:?}");
@@ -98,7 +110,9 @@ impl PreadVec for VfsPort {
 fn large_file_spans_many_extents() {
     let mut stack = boot(IsolationMode::Full);
     with_port(&mut stack, |sys, port| {
-        let fd = port.open(sys, "/big.bin", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let fd = port
+            .open(sys, "/big.bin", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         let pattern: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
         // write in uneven chunks to exercise extent arithmetic
         let mut off = 0usize;
@@ -135,7 +149,8 @@ fn directories_and_listing() {
     with_port(&mut stack, |sys, port| {
         assert_eq!(port.mkdir(sys, "/www").unwrap(), 1); // inode number
         for name in ["a.html", "b.html", "c.html"] {
-            let fd = port.open(sys, &format!("/www/{name}"), flags::O_CREAT | flags::O_RDWR)
+            let fd = port
+                .open(sys, &format!("/www/{name}"), flags::O_CREAT | flags::O_RDWR)
                 .unwrap();
             port.write_all(sys, fd, name.as_bytes()).unwrap();
             port.close(sys, fd).unwrap();
@@ -163,7 +178,9 @@ fn unlink_frees_and_refuses_nonempty_dirs() {
     let mut stack = boot(IsolationMode::Full);
     with_port(&mut stack, |sys, port| {
         port.mkdir(sys, "/d").unwrap();
-        let fd = port.open(sys, "/d/file", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let fd = port
+            .open(sys, "/d/file", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         port.write_all(sys, fd, b"x").unwrap();
         port.close(sys, fd).unwrap();
 
@@ -178,7 +195,9 @@ fn unlink_frees_and_refuses_nonempty_dirs() {
 fn truncate_shrinks_and_grows_zeroed() {
     let mut stack = boot(IsolationMode::Full);
     with_port(&mut stack, |sys, port| {
-        let fd = port.open(sys, "/t", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let fd = port
+            .open(sys, "/t", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         port.write_all(sys, fd, &[0xFFu8; 5000]).unwrap();
         port.ftruncate(sys, fd, 100).unwrap();
         assert_eq!(port.fstat(sys, fd).unwrap().unwrap().size, 100);
@@ -187,12 +206,17 @@ fn truncate_shrinks_and_grows_zeroed() {
         // zeroes recycled pages)
         let buf = sys.heap_alloc(9000, 8).unwrap();
         let n = port
-            .with_buffer_window(sys, buf, 9000, |sys| port.proxy().pread(sys, fd, buf, 9000, 0))
+            .with_buffer_window(sys, buf, 9000, |sys| {
+                port.proxy().pread(sys, fd, buf, 9000, 0)
+            })
             .unwrap();
         assert_eq!(n, 9000);
         let data = sys.read_vec(buf, 9000).unwrap();
         assert!(data[..100].iter().all(|&b| b == 0xFF));
-        assert!(data[4096..].iter().all(|&b| b == 0), "grown region must be zeroed");
+        assert!(
+            data[4096..].iter().all(|&b| b == 0),
+            "grown region must be zeroed"
+        );
     });
 }
 
@@ -201,7 +225,11 @@ fn append_mode_appends() {
     let mut stack = boot(IsolationMode::Full);
     with_port(&mut stack, |sys, port| {
         let fd = port
-            .open(sys, "/log", flags::O_CREAT | flags::O_WRONLY | flags::O_APPEND)
+            .open(
+                sys,
+                "/log",
+                flags::O_CREAT | flags::O_WRONLY | flags::O_APPEND,
+            )
             .unwrap();
         port.write_all(sys, fd, b"one.").unwrap();
         port.write_all(sys, fd, b"two.").unwrap();
@@ -235,14 +263,21 @@ fn open_errors() {
 fn data_path_faults_only_under_mpk() {
     let mut full = boot(IsolationMode::Full);
     with_port(&mut full, |sys, port| {
-        let fd = port.open(sys, "/x", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let fd = port
+            .open(sys, "/x", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         port.write_all(sys, fd, &[7u8; 4096]).unwrap();
     });
-    assert!(full.sys.stats().faults_resolved > 0, "Full mode resolves window faults");
+    assert!(
+        full.sys.stats().faults_resolved > 0,
+        "Full mode resolves window faults"
+    );
 
     let mut base = boot(IsolationMode::NoMpk);
     with_port(&mut base, |sys, port| {
-        let fd = port.open(sys, "/x", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let fd = port
+            .open(sys, "/x", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         port.write_all(sys, fd, &[7u8; 4096]).unwrap();
     });
     assert_eq!(base.sys.machine_stats().faults, 0, "NoMpk never faults");
@@ -252,7 +287,9 @@ fn data_path_faults_only_under_mpk() {
 fn figure8_style_call_edges_exist() {
     let mut stack = boot(IsolationMode::Full);
     with_port(&mut stack, |sys, port| {
-        let fd = port.open(sys, "/wl", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let fd = port
+            .open(sys, "/wl", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         for i in 0..50u64 {
             let data = i.to_le_bytes();
             port.write_all(sys, fd, &data).unwrap();
@@ -267,8 +304,14 @@ fn figure8_style_call_edges_exist() {
     let alloc = sys.find_cubicle("ALLOC").unwrap();
     let (_, stats) = sys.since_boot();
     assert!(stats.edge(app, vfs) > 50, "APP → VFSCORE is the hot edge");
-    assert!(stats.edge(vfs, ramfs) > 50, "VFSCORE → RAMFS is the hot edge");
-    assert!(stats.edge(ramfs, alloc) >= 1, "RAMFS → ALLOC coarse allocations");
+    assert!(
+        stats.edge(vfs, ramfs) > 50,
+        "VFSCORE → RAMFS is the hot edge"
+    );
+    assert!(
+        stats.edge(ramfs, alloc) >= 1,
+        "RAMFS → ALLOC coarse allocations"
+    );
     assert!(
         stats.edge(ramfs, alloc) < stats.edge(vfs, ramfs) / 10,
         "ALLOC edge is sparse (Fig. 8)"
@@ -283,7 +326,9 @@ fn isolation_holds_across_the_stack() {
     let mut stack = boot(IsolationMode::Full);
     let ramfs_cid = stack.sys.find_cubicle("RAMFS").unwrap();
     with_port(&mut stack, |sys, port| {
-        let fd = port.open(sys, "/sec", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let fd = port
+            .open(sys, "/sec", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         port.write_all(sys, fd, b"in ramfs now").unwrap();
         port.close(sys, fd).unwrap();
     });

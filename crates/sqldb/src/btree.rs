@@ -29,15 +29,24 @@ struct LeafCell {
 
 #[derive(Clone, Debug)]
 enum Node {
-    Leaf { next: u32, cells: Vec<LeafCell> },
-    Interior { keys: Vec<Vec<u8>>, children: Vec<u32> },
+    Leaf {
+        next: u32,
+        cells: Vec<LeafCell>,
+    },
+    Interior {
+        keys: Vec<Vec<u8>>,
+        children: Vec<u32>,
+    },
 }
 
 impl Node {
     fn serialized_size(&self) -> usize {
         match self {
             Node::Leaf { cells, .. } => {
-                7 + cells.iter().map(|c| 8 + c.key.len() + c.local.len()).sum::<usize>()
+                7 + cells
+                    .iter()
+                    .map(|c| 8 + c.key.len() + c.local.len())
+                    .sum::<usize>()
             }
             Node::Interior { keys, children } => {
                 3 + children.len() * 4 + keys.iter().map(|k| 2 + k.len()).sum::<usize>()
@@ -55,8 +64,7 @@ impl Node {
                 let mut pos = 7;
                 for c in cells {
                     out[pos..pos + 2].copy_from_slice(&(c.key.len() as u16).to_le_bytes());
-                    out[pos + 2..pos + 4]
-                        .copy_from_slice(&(c.local.len() as u16).to_le_bytes());
+                    out[pos + 2..pos + 4].copy_from_slice(&(c.local.len() as u16).to_le_bytes());
                     out[pos + 4..pos + 8].copy_from_slice(&c.overflow.to_le_bytes());
                     pos += 8;
                     out[pos..pos + c.key.len()].copy_from_slice(&c.key);
@@ -96,8 +104,7 @@ impl Node {
                     let klen =
                         u16::from_le_bytes(data[pos..pos + 2].try_into().expect("2")) as usize;
                     let vlen =
-                        u16::from_le_bytes(data[pos + 2..pos + 4].try_into().expect("2"))
-                            as usize;
+                        u16::from_le_bytes(data[pos + 2..pos + 4].try_into().expect("2")) as usize;
                     let overflow =
                         u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4"));
                     pos += 8;
@@ -111,7 +118,11 @@ impl Node {
                         .ok_or_else(|| SqlError::Corrupt("leaf cell value".into()))?
                         .to_vec();
                     pos += vlen;
-                    cells.push(LeafCell { key, local, overflow });
+                    cells.push(LeafCell {
+                        key,
+                        local,
+                        overflow,
+                    });
                 }
                 Ok(Node::Leaf { next, cells })
             }
@@ -141,7 +152,9 @@ impl Node {
                 }
                 Ok(Node::Interior { keys, children })
             }
-            other => Err(SqlError::Corrupt(format!("unknown btree node kind {other}"))),
+            other => Err(SqlError::Corrupt(format!(
+                "unknown btree node kind {other}"
+            ))),
         }
     }
 }
@@ -162,7 +175,15 @@ fn write_node(sys: &mut System, pager: &mut Pager, pno: u32, node: &Node) -> Res
 /// Pager errors (must run inside a transaction).
 pub fn create(sys: &mut System, pager: &mut Pager) -> Result<u32> {
     let root = pager.allocate_page(sys)?;
-    write_node(sys, pager, root, &Node::Leaf { next: 0, cells: Vec::new() })?;
+    write_node(
+        sys,
+        pager,
+        root,
+        &Node::Leaf {
+            next: 0,
+            cells: Vec::new(),
+        },
+    )?;
     Ok(root)
 }
 
@@ -215,13 +236,24 @@ fn free_overflow(sys: &mut System, pager: &mut Pager, mut pno: u32) -> Result<()
 
 fn make_cell(sys: &mut System, pager: &mut Pager, key: &[u8], value: &[u8]) -> Result<LeafCell> {
     if key.len() > MAX_KEY {
-        return Err(SqlError::Misuse(format!("key too large ({} bytes)", key.len())));
+        return Err(SqlError::Misuse(format!(
+            "key too large ({} bytes)",
+            key.len()
+        )));
     }
     if value.len() > MAX_LOCAL {
         let overflow = write_overflow(sys, pager, value)?;
-        Ok(LeafCell { key: key.to_vec(), local: Vec::new(), overflow })
+        Ok(LeafCell {
+            key: key.to_vec(),
+            local: Vec::new(),
+            overflow,
+        })
     } else {
-        Ok(LeafCell { key: key.to_vec(), local: value.to_vec(), overflow: 0 })
+        Ok(LeafCell {
+            key: key.to_vec(),
+            local: value.to_vec(),
+            overflow: 0,
+        })
     }
 }
 
@@ -257,7 +289,10 @@ pub fn insert(
                 sys,
                 pager,
                 new_root,
-                &Node::Interior { keys: vec![sep], children: vec![root, right] },
+                &Node::Interior {
+                    keys: vec![sep],
+                    children: vec![root, right],
+                },
             )?;
             Ok(new_root)
         }
@@ -291,16 +326,37 @@ fn insert_rec(
                 return Ok(None);
             }
             // split
-            let Node::Leaf { next, mut cells } = node else { unreachable!() };
+            let Node::Leaf { next, mut cells } = node else {
+                unreachable!()
+            };
             let mid = cells.len() / 2;
             let right_cells = cells.split_off(mid);
             let sep = right_cells[0].key.clone();
             let right_pno = pager.allocate_page(sys)?;
-            write_node(sys, pager, right_pno, &Node::Leaf { next, cells: right_cells })?;
-            write_node(sys, pager, pno, &Node::Leaf { next: right_pno, cells })?;
+            write_node(
+                sys,
+                pager,
+                right_pno,
+                &Node::Leaf {
+                    next,
+                    cells: right_cells,
+                },
+            )?;
+            write_node(
+                sys,
+                pager,
+                pno,
+                &Node::Leaf {
+                    next: right_pno,
+                    cells,
+                },
+            )?;
             Ok(Some((sep, right_pno)))
         }
-        Node::Interior { mut keys, mut children } => {
+        Node::Interior {
+            mut keys,
+            mut children,
+        } => {
             let idx = keys.partition_point(|k| k.as_slice() <= key);
             let child = children[idx];
             let Some((sep, right)) = insert_rec(sys, pager, child, key, value)? else {
@@ -313,7 +369,13 @@ fn insert_rec(
                 write_node(sys, pager, pno, &node)?;
                 return Ok(None);
             }
-            let Node::Interior { mut keys, mut children } = node else { unreachable!() };
+            let Node::Interior {
+                mut keys,
+                mut children,
+            } = node
+            else {
+                unreachable!()
+            };
             let mid = keys.len() / 2;
             let promote = keys[mid].clone();
             let right_keys = keys.split_off(mid + 1);
@@ -324,7 +386,10 @@ fn insert_rec(
                 sys,
                 pager,
                 right_pno,
-                &Node::Interior { keys: right_keys, children: right_children },
+                &Node::Interior {
+                    keys: right_keys,
+                    children: right_children,
+                },
             )?;
             write_node(sys, pager, pno, &Node::Interior { keys, children })?;
             Ok(Some((promote, right_pno)))
@@ -337,12 +402,7 @@ fn insert_rec(
 /// # Errors
 ///
 /// Pager errors or corruption.
-pub fn get(
-    sys: &mut System,
-    pager: &mut Pager,
-    root: u32,
-    key: &[u8],
-) -> Result<Option<Vec<u8>>> {
+pub fn get(sys: &mut System, pager: &mut Pager, root: u32, key: &[u8]) -> Result<Option<Vec<u8>>> {
     let mut pno = root;
     loop {
         match read_node(sys, pager, pno)? {
@@ -503,7 +563,11 @@ impl Cursor {
     /// # Errors
     ///
     /// Pager errors or corruption.
-    pub fn next(&mut self, sys: &mut System, pager: &mut Pager) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+    pub fn next(
+        &mut self,
+        sys: &mut System,
+        pager: &mut Pager,
+    ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         loop {
             if self.cached_leaf != self.leaf {
                 let Node::Leaf { next, cells } = read_node(sys, pager, self.leaf)? else {
@@ -557,7 +621,9 @@ pub fn validate(sys: &mut System, pager: &mut Pager, root: u32) -> Result<u64> {
                     if lo.is_some_and(|l| c.key.as_slice() < l)
                         || hi.is_some_and(|h| c.key.as_slice() >= h)
                     {
-                        return Err(SqlError::Corrupt("leaf key outside separator bounds".into()));
+                        return Err(SqlError::Corrupt(
+                            "leaf key outside separator bounds".into(),
+                        ));
                     }
                 }
                 Ok(cells.len() as u64)
@@ -573,8 +639,16 @@ pub fn validate(sys: &mut System, pager: &mut Pager, root: u32) -> Result<u64> {
                 }
                 let mut count = 0;
                 for (i, &child) in children.iter().enumerate() {
-                    let clo = if i == 0 { lo } else { Some(keys[i - 1].as_slice()) };
-                    let chi = if i == keys.len() { hi } else { Some(keys[i].as_slice()) };
+                    let clo = if i == 0 {
+                        lo
+                    } else {
+                        Some(keys[i - 1].as_slice())
+                    };
+                    let chi = if i == keys.len() {
+                        hi
+                    } else {
+                        Some(keys[i].as_slice())
+                    };
                     count += walk(sys, pager, child, clo, chi)?;
                 }
                 Ok(count)
@@ -607,8 +681,14 @@ mod tests {
         let (mut sys, mut pager) = setup();
         let mut root = create(&mut sys, &mut pager).unwrap();
         for i in 0..100u64 {
-            root = insert(&mut sys, &mut pager, root, &k(i), format!("v{i}").as_bytes())
-                .unwrap();
+            root = insert(
+                &mut sys,
+                &mut pager,
+                root,
+                &k(i),
+                format!("v{i}").as_bytes(),
+            )
+            .unwrap();
         }
         for i in 0..100u64 {
             let v = get(&mut sys, &mut pager, root, &k(i)).unwrap().unwrap();
@@ -638,7 +718,10 @@ mod tests {
         let mut root = create(&mut sys, &mut pager).unwrap();
         root = insert(&mut sys, &mut pager, root, b"key", b"old").unwrap();
         root = insert(&mut sys, &mut pager, root, b"key", b"new").unwrap();
-        assert_eq!(get(&mut sys, &mut pager, root, b"key").unwrap().unwrap(), b"new");
+        assert_eq!(
+            get(&mut sys, &mut pager, root, b"key").unwrap().unwrap(),
+            b"new"
+        );
         assert_eq!(validate(&mut sys, &mut pager, root).unwrap(), 1);
     }
 
@@ -652,7 +735,10 @@ mod tests {
         for i in (0..500u64).step_by(2) {
             assert!(delete(&mut sys, &mut pager, root, &k(i)).unwrap());
         }
-        assert!(!delete(&mut sys, &mut pager, root, &k(0)).unwrap(), "already gone");
+        assert!(
+            !delete(&mut sys, &mut pager, root, &k(0)).unwrap(),
+            "already gone"
+        );
         assert_eq!(validate(&mut sys, &mut pager, root).unwrap(), 250);
         for i in 0..500u64 {
             let present = get(&mut sys, &mut pager, root, &k(i)).unwrap().is_some();
@@ -697,15 +783,27 @@ mod tests {
         let big: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
         root = insert(&mut sys, &mut pager, root, b"big", &big).unwrap();
         root = insert(&mut sys, &mut pager, root, b"small", b"s").unwrap();
-        assert_eq!(get(&mut sys, &mut pager, root, b"big").unwrap().unwrap(), big);
-        assert_eq!(get(&mut sys, &mut pager, root, b"small").unwrap().unwrap(), b"s");
+        assert_eq!(
+            get(&mut sys, &mut pager, root, b"big").unwrap().unwrap(),
+            big
+        );
+        assert_eq!(
+            get(&mut sys, &mut pager, root, b"small").unwrap().unwrap(),
+            b"s"
+        );
         // replacing the big value frees its chain (pages get reused)
         let before = pager.page_count();
         root = insert(&mut sys, &mut pager, root, b"big", b"now small").unwrap();
         let big2: Vec<u8> = vec![7; 20_000];
         root = insert(&mut sys, &mut pager, root, b"big2", &big2).unwrap();
-        assert!(pager.page_count() <= before + 1, "freed overflow pages are reused");
-        assert_eq!(get(&mut sys, &mut pager, root, b"big2").unwrap().unwrap(), big2);
+        assert!(
+            pager.page_count() <= before + 1,
+            "freed overflow pages are reused"
+        );
+        assert_eq!(
+            get(&mut sys, &mut pager, root, b"big2").unwrap().unwrap(),
+            big2
+        );
     }
 
     #[test]
@@ -732,7 +830,10 @@ mod tests {
         for i in 0..2_000u64 {
             root2 = insert(&mut sys, &mut pager, root2, &k(i), &[9u8; 100]).unwrap();
         }
-        assert!(pager.page_count() <= peak + 2, "second tree reuses freed pages");
+        assert!(
+            pager.page_count() <= peak + 2,
+            "second tree reuses freed pages"
+        );
     }
 
     #[test]
@@ -741,8 +842,7 @@ mod tests {
         let env = HostEnv::new();
         let root;
         {
-            let mut pager =
-                Pager::open(&mut sys, Box::new(env.clone()), "/p.db", 64).unwrap();
+            let mut pager = Pager::open(&mut sys, Box::new(env.clone()), "/p.db", 64).unwrap();
             pager.begin(&mut sys).unwrap();
             let mut r = create(&mut sys, &mut pager).unwrap();
             for i in 0..300u64 {

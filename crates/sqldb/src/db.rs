@@ -109,8 +109,12 @@ impl Database {
         cache_pages: usize,
     ) -> Result<Database> {
         let pager = Pager::open(sys, env, path, cache_pages)?;
-        let mut db =
-            Database { pager, tables: HashMap::new(), indexes: HashMap::new(), explicit_txn: false };
+        let mut db = Database {
+            pager,
+            tables: HashMap::new(),
+            indexes: HashMap::new(),
+            explicit_txn: false,
+        };
         db.load_schema(sys)?;
         Ok(db)
     }
@@ -167,7 +171,9 @@ impl Database {
             }
             Stmt::Rollback => {
                 if !self.explicit_txn {
-                    return Err(SqlError::Transaction("ROLLBACK outside a transaction".into()));
+                    return Err(SqlError::Transaction(
+                        "ROLLBACK outside a transaction".into(),
+                    ));
                 }
                 self.explicit_txn = false;
                 self.pager.rollback(sys)?;
@@ -198,28 +204,34 @@ impl Database {
 
     fn execute_write(&mut self, sys: &mut System, stmt: Stmt) -> Result<QueryResult> {
         match stmt {
-            Stmt::CreateTable { name, columns, if_not_exists } => {
-                self.create_table(sys, &name, &columns, if_not_exists)
-            }
-            Stmt::CreateIndex { name, table, columns, unique, if_not_exists } => {
-                self.create_index(sys, &name, &table, &columns, unique, if_not_exists)
-            }
+            Stmt::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => self.create_table(sys, &name, &columns, if_not_exists),
+            Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+                if_not_exists,
+            } => self.create_index(sys, &name, &table, &columns, unique, if_not_exists),
             Stmt::DropTable { name, if_exists } => self.drop_table(sys, &name, if_exists),
             Stmt::DropIndex { name, if_exists } => self.drop_index(sys, &name, if_exists),
-            Stmt::Insert { table, columns, rows } => {
-                self.insert_rows(sys, &table, columns.as_deref(), &rows)
-            }
-            Stmt::Update { table, sets, where_ } => {
-                exec::run_update(self, sys, &table, &sets, where_.as_ref())
-            }
-            Stmt::Delete { table, where_ } => {
-                exec::run_delete(self, sys, &table, where_.as_ref())
-            }
+            Stmt::Insert {
+                table,
+                columns,
+                rows,
+            } => self.insert_rows(sys, &table, columns.as_deref(), &rows),
+            Stmt::Update {
+                table,
+                sets,
+                where_,
+            } => exec::run_update(self, sys, &table, &sets, where_.as_ref()),
+            Stmt::Delete { table, where_ } => exec::run_delete(self, sys, &table, where_.as_ref()),
             Stmt::Pragma(name) => self.pragma(sys, &name),
             Stmt::AlterRename { table, to } => self.alter_rename(sys, &table, &to),
-            Stmt::AlterAddColumn { table, column } => {
-                self.alter_add_column(sys, &table, &column)
-            }
+            Stmt::AlterAddColumn { table, column } => self.alter_add_column(sys, &table, &column),
             Stmt::Select(_) | Stmt::Begin | Stmt::Commit | Stmt::Rollback => {
                 unreachable!("handled by execute_stmt")
             }
@@ -270,7 +282,13 @@ impl Database {
         )
     }
 
-    fn catalog_put(&mut self, sys: &mut System, kind: &str, name: &str, rec: &[SqlValue]) -> Result<()> {
+    fn catalog_put(
+        &mut self,
+        sys: &mut System,
+        kind: &str,
+        name: &str,
+        rec: &[SqlValue],
+    ) -> Result<()> {
         let mut root = self.pager.schema_root();
         if root == 0 {
             root = btree::create(sys, &mut self.pager)?;
@@ -292,12 +310,23 @@ impl Database {
     }
 
     pub(crate) fn table(&self, name: &str) -> Result<&TableInfo> {
-        self.tables.get(&norm(name)).ok_or_else(|| SqlError::NoSuchTable(name.into()))
+        self.tables
+            .get(&norm(name))
+            .ok_or_else(|| SqlError::NoSuchTable(name.into()))
     }
 
     pub(crate) fn indexes_of(&self, table: &str) -> Vec<IndexInfo> {
         let t = norm(table);
-        self.indexes.values().filter(|i| norm(&i.table) == t).cloned().collect()
+        let mut v: Vec<IndexInfo> = self
+            .indexes
+            .values()
+            .filter(|i| norm(&i.table) == t)
+            .cloned()
+            .collect();
+        // HashMap iteration order is seeded per process; sort so plan
+        // selection (and thus the simulated cycle count) is reproducible
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
     }
 
     // ------------------------------------------------------------------
@@ -338,17 +367,29 @@ impl Database {
             });
         }
         let root = btree::create(sys, &mut self.pager)?;
-        let info = TableInfo { name: name.into(), root, columns: cols, rowid_alias, next_rowid: Some(1) };
+        let info = TableInfo {
+            name: name.into(),
+            root,
+            columns: cols,
+            rowid_alias,
+            next_rowid: Some(1),
+        };
         self.catalog_put(sys, "table", name, &encode_table_meta(&info))?;
         self.tables.insert(norm(name), info);
         // UNIQUE columns and non-integer PRIMARY KEYs get automatic
         // unique indexes.
         for (i, c) in columns.iter().enumerate() {
-            let needs_index =
-                c.unique || (c.primary_key && rowid_alias != Some(i));
+            let needs_index = c.unique || (c.primary_key && rowid_alias != Some(i));
             if needs_index {
                 let idx_name = format!("autoindex_{}_{}", norm(name), i + 1);
-                self.create_index(sys, &idx_name, name, &[c.name.clone()], true, false)?;
+                self.create_index(
+                    sys,
+                    &idx_name,
+                    name,
+                    std::slice::from_ref(&c.name),
+                    true,
+                    false,
+                )?;
             }
         }
         Ok(QueryResult::default())
@@ -386,8 +427,7 @@ impl Database {
         while let Some((key, value)) = cur.next(sys, &mut self.pager)? {
             let rowid = crate::record::decode_rowid(&key)?;
             let row = pad_row(&tinfo, decode_record(&value)?);
-            let vals: Vec<SqlValue> =
-                col_indices.iter().map(|&i| row[i].clone()).collect();
+            let vals: Vec<SqlValue> = col_indices.iter().map(|&i| row[i].clone()).collect();
             entries.push((vals, rowid));
         }
         for (vals, rowid) in entries {
@@ -418,7 +458,11 @@ impl Database {
         };
         btree::free_tree(sys, &mut self.pager, info.root)?;
         self.catalog_delete(sys, "table", name)?;
-        let idxs: Vec<String> = self.indexes_of(name).iter().map(|i| i.name.clone()).collect();
+        let idxs: Vec<String> = self
+            .indexes_of(name)
+            .iter()
+            .map(|i| i.name.clone())
+            .collect();
         for idx in idxs {
             self.drop_index(sys, &idx, true)?;
         }
@@ -484,7 +528,10 @@ impl Database {
             self.insert_row(sys, table, row)?;
             affected += 1;
         }
-        Ok(QueryResult { rows_affected: affected, ..Default::default() })
+        Ok(QueryResult {
+            rows_affected: affected,
+            ..Default::default()
+        })
     }
 
     /// Inserts one materialised row (used by INSERT and UPDATE).
@@ -526,18 +573,15 @@ impl Database {
         // UNIQUE index checks, then index insertion
         let indexes = self.indexes_of(table);
         for idx in &indexes {
-            let vals: Vec<SqlValue> =
-                idx.col_indices.iter().map(|&i| row[i].clone()).collect();
+            let vals: Vec<SqlValue> = idx.col_indices.iter().map(|&i| row[i].clone()).collect();
             if idx.unique {
                 self.check_unique(sys, idx.root, &vals, table, &idx.name)?;
             }
         }
-        let new_root =
-            btree::insert(sys, &mut self.pager, tinfo.root, &key, &encode_record(&row))?;
+        let new_root = btree::insert(sys, &mut self.pager, tinfo.root, &key, &encode_record(&row))?;
         self.update_table_root(sys, &tname, new_root)?;
         for idx in &indexes {
-            let vals: Vec<SqlValue> =
-                idx.col_indices.iter().map(|&i| row[i].clone()).collect();
+            let vals: Vec<SqlValue> = idx.col_indices.iter().map(|&i| row[i].clone()).collect();
             let ikey = encode_index_key(&vals, Some(rowid));
             let iroot = self.indexes[&norm(&idx.name)].root;
             let new_iroot = btree::insert(sys, &mut self.pager, iroot, &ikey, &[])?;
@@ -563,8 +607,7 @@ impl Database {
         let row = pad_row(&tinfo, decode_record(&value)?);
         btree::delete(sys, &mut self.pager, tinfo.root, &key)?;
         for idx in self.indexes_of(table) {
-            let vals: Vec<SqlValue> =
-                idx.col_indices.iter().map(|&i| row[i].clone()).collect();
+            let vals: Vec<SqlValue> = idx.col_indices.iter().map(|&i| row[i].clone()).collect();
             let ikey = encode_index_key(&vals, Some(rowid));
             btree::delete(sys, &mut self.pager, idx.root, &ikey)?;
         }
@@ -622,7 +665,12 @@ impl Database {
         }
         let mut info2 = info;
         info2.root = new_root;
-        self.catalog_put(sys, "table", &info2.name.clone(), &encode_table_meta(&info2))?;
+        self.catalog_put(
+            sys,
+            "table",
+            &info2.name.clone(),
+            &encode_table_meta(&info2),
+        )?;
         self.tables.insert(tname.to_string(), info2);
         Ok(())
     }
@@ -635,7 +683,12 @@ impl Database {
         }
         let mut info2 = info;
         info2.root = new_root;
-        self.catalog_put(sys, "index", &info2.name.clone(), &encode_index_meta_rec(&info2))?;
+        self.catalog_put(
+            sys,
+            "index",
+            &info2.name.clone(),
+            &encode_index_meta_rec(&info2),
+        )?;
         self.indexes.insert(key, info2);
         Ok(())
     }
@@ -666,7 +719,12 @@ impl Database {
             let key = norm(&idx_name);
             if let Some(mut idx) = self.indexes.remove(&key) {
                 idx.table = to.to_string();
-                self.catalog_put(sys, "index", &idx.name.clone(), &encode_index_meta_rec(&idx))?;
+                self.catalog_put(
+                    sys,
+                    "index",
+                    &idx.name.clone(),
+                    &encode_index_meta_rec(&idx),
+                )?;
                 self.indexes.insert(key, idx);
             }
         }
@@ -682,7 +740,11 @@ impl Database {
         let Some(info) = self.tables.get(&norm(table)) else {
             return Err(SqlError::NoSuchTable(table.into()));
         };
-        if info.columns.iter().any(|c| c.name.eq_ignore_ascii_case(&column.name)) {
+        if info
+            .columns
+            .iter()
+            .any(|c| c.name.eq_ignore_ascii_case(&column.name))
+        {
             return Err(SqlError::AlreadyExists(format!("{table}.{}", column.name)));
         }
         if column.primary_key {
@@ -723,7 +785,10 @@ impl Database {
         match name {
             "integrity_check" => {
                 let mut problems = Vec::new();
-                let tables: Vec<TableInfo> = self.tables.values().cloned().collect();
+                let mut tables: Vec<TableInfo> = self.tables.values().cloned().collect();
+                // hash order varies per process; walk tables in name order
+                // so the page-cache access pattern is reproducible
+                tables.sort_by(|a, b| a.name.cmp(&b.name));
                 for t in &tables {
                     let nrows = match btree::validate(sys, &mut self.pager, t.root) {
                         Ok(n) => n,
@@ -746,9 +811,16 @@ impl Database {
                 let rows = if problems.is_empty() {
                     vec![vec![SqlValue::Text("ok".into())]]
                 } else {
-                    problems.into_iter().map(|p| vec![SqlValue::Text(p)]).collect()
+                    problems
+                        .into_iter()
+                        .map(|p| vec![SqlValue::Text(p)])
+                        .collect()
                 };
-                Ok(QueryResult { columns: vec!["integrity_check".into()], rows, rows_affected: 0 })
+                Ok(QueryResult {
+                    columns: vec!["integrity_check".into()],
+                    rows,
+                    rows_affected: 0,
+                })
             }
             _ => Ok(QueryResult::default()), // unknown pragmas are no-ops
         }
@@ -767,9 +839,8 @@ fn encode_table_meta(t: &TableInfo) -> Vec<SqlValue> {
         SqlValue::Integer(t.columns.len() as i64),
     ];
     for c in &t.columns {
-        let flags = i64::from(c.not_null)
-            | (i64::from(c.primary_key) << 1)
-            | (i64::from(c.unique) << 2);
+        let flags =
+            i64::from(c.not_null) | (i64::from(c.primary_key) << 1) | (i64::from(c.unique) << 2);
         rec.push(SqlValue::Text(c.name.clone()));
         rec.push(SqlValue::Text(c.decl_type.clone()));
         rec.push(SqlValue::Integer(flags));
@@ -821,7 +892,13 @@ fn decode_table_meta(rec: &[SqlValue]) -> Result<TableInfo> {
             default,
         });
     }
-    Ok(TableInfo { name, root, columns, rowid_alias, next_rowid: None })
+    Ok(TableInfo {
+        name,
+        root,
+        columns,
+        rowid_alias,
+        next_rowid: None,
+    })
 }
 
 fn encode_index_meta_rec(i: &IndexInfo) -> Vec<SqlValue> {

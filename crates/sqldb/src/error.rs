@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(SqlError::NoSuchTable("t1".into()).to_string().contains("t1"));
+        assert!(SqlError::NoSuchTable("t1".into())
+            .to_string()
+            .contains("t1"));
         assert!(SqlError::Io(-5).to_string().contains("-5"));
     }
 

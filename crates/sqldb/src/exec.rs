@@ -44,17 +44,20 @@ impl Env {
             }
             if name.eq_ignore_ascii_case("rowid")
                 && !b.columns.iter().any(|c| c.eq_ignore_ascii_case("rowid"))
+                && (table.is_some() || self.bindings.len() == 1)
             {
-                if table.is_some() || self.bindings.len() == 1 {
-                    return Ok(SqlValue::Integer(b.rowid));
-                }
+                return Ok(SqlValue::Integer(b.rowid));
             }
             if let Some(i) = b.columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
                 if found.is_some() {
                     return Err(SqlError::Misuse(format!("ambiguous column `{name}`")));
                 }
                 found = Some(b.row[i].clone());
-            } else if b.rowid_name.as_deref().is_some_and(|r| r.eq_ignore_ascii_case(name)) {
+            } else if b
+                .rowid_name
+                .as_deref()
+                .is_some_and(|r| r.eq_ignore_ascii_case(name))
+            {
                 found = Some(SqlValue::Integer(b.rowid));
             }
         }
@@ -98,7 +101,11 @@ fn eval(sys: &mut System, expr: &Expr, env: &Env, aggs: Option<AggResolver>) -> 
             let v = eval(sys, expr, env, aggs)?;
             Ok(SqlValue::Integer(i64::from(v.is_null() != *negated)))
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(sys, expr, env, aggs)?;
             let p = eval(sys, pattern, env, aggs)?;
             match (v, p) {
@@ -109,7 +116,12 @@ fn eval(sys: &mut System, expr: &Expr, env: &Env, aggs: Option<AggResolver>) -> 
                 }
             }
         }
-        Expr::Between { expr, lo, hi, negated } => {
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
             let v = eval(sys, expr, env, aggs)?;
             let lo = eval(sys, lo, env, aggs)?;
             let hi = eval(sys, hi, env, aggs)?;
@@ -120,7 +132,11 @@ fn eval(sys: &mut System, expr: &Expr, env: &Env, aggs: Option<AggResolver>) -> 
                 && v.total_cmp(&hi) != std::cmp::Ordering::Greater;
             Ok(SqlValue::Integer(i64::from(inside != *negated)))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(sys, expr, env, aggs)?;
             if v.is_null() {
                 return Ok(SqlValue::Null);
@@ -197,9 +213,7 @@ fn eval_binary(
         return Ok(SqlValue::Null);
     }
     use std::cmp::Ordering;
-    let cmp = |ord: &[Ordering]| {
-        SqlValue::Integer(i64::from(ord.contains(&lv.total_cmp(&rv))))
-    };
+    let cmp = |ord: &[Ordering]| SqlValue::Integer(i64::from(ord.contains(&lv.total_cmp(&rv))));
     Ok(match op {
         BinOp::Eq => cmp(&[Ordering::Equal]),
         BinOp::Ne => cmp(&[Ordering::Less, Ordering::Greater]),
@@ -208,9 +222,7 @@ fn eval_binary(
         BinOp::Gt => cmp(&[Ordering::Greater]),
         BinOp::Ge => cmp(&[Ordering::Greater, Ordering::Equal]),
         BinOp::Concat => SqlValue::Text(format!("{}{}", text_of(&lv), text_of(&rv))),
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-            arith(op, &lv, &rv)?
-        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, &lv, &rv)?,
         BinOp::And | BinOp::Or => unreachable!("handled above"),
     })
 }
@@ -284,15 +296,9 @@ pub(crate) fn like_match(pattern: &str, text: &str) -> bool {
     fn rec(p: &[u8], t: &[u8]) -> bool {
         match p.first() {
             None => t.is_empty(),
-            Some(b'%') => {
-                (0..=t.len()).any(|k| rec(&p[1..], &t[k..]))
-            }
+            Some(b'%') => (0..=t.len()).any(|k| rec(&p[1..], &t[k..])),
             Some(b'_') => !t.is_empty() && rec(&p[1..], &t[1..]),
-            Some(&c) => {
-                !t.is_empty()
-                    && t[0].eq_ignore_ascii_case(&c)
-                    && rec(&p[1..], &t[1..])
-            }
+            Some(&c) => !t.is_empty() && t[0].eq_ignore_ascii_case(&c) && rec(&p[1..], &t[1..]),
         }
     }
     rec(pattern.as_bytes(), text.as_bytes())
@@ -303,7 +309,8 @@ fn scalar_fn(name: &str, vals: &[SqlValue], star: bool) -> Result<SqlValue> {
         return Err(SqlError::Misuse(format!("{name}(*) is not a scalar call")));
     }
     let arg = |i: usize| -> Result<&SqlValue> {
-        vals.get(i).ok_or_else(|| SqlError::Misuse(format!("{name}: missing argument {i}")))
+        vals.get(i)
+            .ok_or_else(|| SqlError::Misuse(format!("{name}: missing argument {i}")))
     };
     match name {
         "length" => Ok(match arg(0)? {
@@ -354,10 +361,18 @@ fn scalar_fn(name: &str, vals: &[SqlValue], star: bool) -> Result<SqlValue> {
             };
             Ok(SqlValue::Text(chars.iter().skip(from).take(len).collect()))
         }
-        "coalesce" => Ok(vals.iter().find(|v| !v.is_null()).cloned().unwrap_or(SqlValue::Null)),
+        "coalesce" => Ok(vals
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(SqlValue::Null)),
         "ifnull" => {
             let a = arg(0)?;
-            Ok(if a.is_null() { arg(1)?.clone() } else { a.clone() })
+            Ok(if a.is_null() {
+                arg(1)?.clone()
+            } else {
+                a.clone()
+            })
         }
         "nullif" => {
             let (a, b) = (arg(0)?, arg(1)?);
@@ -423,9 +438,19 @@ pub(crate) fn eval_const(_db: &Database, sys: &mut System, expr: &Expr) -> Resul
 enum Access {
     FullScan,
     RowidEq(Expr),
-    RowidRange { lo: Option<Expr>, hi: Option<Expr> },
-    IndexEq { index: IndexInfo, eq: Vec<Expr> },
-    IndexRange { index: IndexInfo, lo: Option<Expr>, hi: Option<Expr> },
+    RowidRange {
+        lo: Option<Expr>,
+        hi: Option<Expr>,
+    },
+    IndexEq {
+        index: IndexInfo,
+        eq: Vec<Expr>,
+    },
+    IndexRange {
+        index: IndexInfo,
+        lo: Option<Expr>,
+        hi: Option<Expr>,
+    },
 }
 
 fn split_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
@@ -482,9 +507,15 @@ fn bound_by(expr: &Expr, bound: &[&TableMeta]) -> bool {
     column_refs(expr, &mut refs);
     refs.iter().all(|(tbl, name)| {
         bound.iter().any(|m| {
-            let alias_ok = tbl.as_deref().is_none_or(|t| m.alias.eq_ignore_ascii_case(t));
+            let alias_ok = tbl
+                .as_deref()
+                .is_none_or(|t| m.alias.eq_ignore_ascii_case(t));
             alias_ok
-                && (m.info.columns.iter().any(|c| c.name.eq_ignore_ascii_case(name))
+                && (m
+                    .info
+                    .columns
+                    .iter()
+                    .any(|c| c.name.eq_ignore_ascii_case(name))
                     || name.eq_ignore_ascii_case("rowid"))
         })
     })
@@ -495,7 +526,9 @@ fn is_col_of(expr: &Expr, meta: &TableMeta, col: &str) -> bool {
     match expr {
         Expr::Column { table, name } => {
             name.eq_ignore_ascii_case(col)
-                && table.as_deref().is_none_or(|t| meta.alias.eq_ignore_ascii_case(t))
+                && table
+                    .as_deref()
+                    .is_none_or(|t| meta.alias.eq_ignore_ascii_case(t))
         }
         _ => false,
     }
@@ -503,7 +536,9 @@ fn is_col_of(expr: &Expr, meta: &TableMeta, col: &str) -> bool {
 
 fn is_rowid_col(expr: &Expr, meta: &TableMeta) -> bool {
     if let Expr::Column { table, name } = expr {
-        let alias_ok = table.as_deref().is_none_or(|t| meta.alias.eq_ignore_ascii_case(t));
+        let alias_ok = table
+            .as_deref()
+            .is_none_or(|t| meta.alias.eq_ignore_ascii_case(t));
         if !alias_ok {
             return false;
         }
@@ -579,17 +614,23 @@ fn choose_access(
                     }
                 }
             }
-            Expr::Between { expr, lo, hi, negated: false } => {
-                if is_rowid_col(expr, meta) && bound_by(lo, outer) && bound_by(hi, outer) {
-                    rowid_lo = Some((**lo).clone());
-                    rowid_hi = Some((**hi).clone());
-                }
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated: false,
+            } if is_rowid_col(expr, meta) && bound_by(lo, outer) && bound_by(hi, outer) => {
+                rowid_lo = Some((**lo).clone());
+                rowid_hi = Some((**hi).clone());
             }
             _ => {}
         }
     }
     if rowid_lo.is_some() || rowid_hi.is_some() {
-        return Access::RowidRange { lo: rowid_lo, hi: rowid_hi };
+        return Access::RowidRange {
+            lo: rowid_lo,
+            hi: rowid_hi,
+        };
     }
     for idx in indexes {
         let first_col = &meta.info.columns[idx.col_indices[0]].name;
@@ -609,20 +650,27 @@ fn choose_access(
                         }
                     }
                 }
-                Expr::Between { expr, lo: l, hi: h, negated: false } => {
-                    if is_col_of(expr, meta, first_col)
-                        && bound_by(l, outer)
-                        && bound_by(h, outer)
-                    {
-                        lo = Some((**l).clone());
-                        hi = Some((**h).clone());
-                    }
+                Expr::Between {
+                    expr,
+                    lo: l,
+                    hi: h,
+                    negated: false,
+                } if is_col_of(expr, meta, first_col)
+                    && bound_by(l, outer)
+                    && bound_by(h, outer) =>
+                {
+                    lo = Some((**l).clone());
+                    hi = Some((**h).clone());
                 }
                 _ => {}
             }
         }
         if lo.is_some() || hi.is_some() {
-            return Access::IndexRange { index: idx.clone(), lo, hi };
+            return Access::IndexRange {
+                index: idx.clone(),
+                lo,
+                hi,
+            };
         }
     }
     Access::FullScan
@@ -661,7 +709,10 @@ fn produce_rows(
             let mut cur = btree::Cursor::seek(sys, &mut db.pager, info.root, None)?;
             while let Some((key, value)) = cur.next(sys, &mut db.pager)? {
                 sys.charge(ROW_DECODE_COST);
-                out.push((decode_rowid(&key)?, crate::db::pad_row(&info, decode_record(&value)?)));
+                out.push((
+                    decode_rowid(&key)?,
+                    crate::db::pad_row(&info, decode_record(&value)?),
+                ));
             }
         }
         Access::RowidEq(e) => {
@@ -703,8 +754,7 @@ fn produce_rows(
                 vals.push(eval(sys, e, env, None)?);
             }
             let prefix = encode_index_key(&vals, None);
-            let mut cur =
-                btree::Cursor::seek(sys, &mut db.pager, index.root, Some(&prefix))?;
+            let mut cur = btree::Cursor::seek(sys, &mut db.pager, index.root, Some(&prefix))?;
             let mut rowids = Vec::new();
             while let Some((key, _)) = cur.next(sys, &mut db.pager)? {
                 if !key.starts_with(&prefix) {
@@ -735,11 +785,13 @@ fn produce_rows(
                 }
                 None => None,
             };
-            let mut cur =
-                btree::Cursor::seek(sys, &mut db.pager, index.root, lo_key.as_deref())?;
+            let mut cur = btree::Cursor::seek(sys, &mut db.pager, index.root, lo_key.as_deref())?;
             let mut rowids = Vec::new();
             while let Some((key, _)) = cur.next(sys, &mut db.pager)? {
-                if hi_stop.as_ref().is_some_and(|h| key.as_slice() >= h.as_slice()) {
+                if hi_stop
+                    .as_ref()
+                    .is_some_and(|h| key.as_slice() >= h.as_slice())
+                {
                     break;
                 }
                 rowids.push(crate::record::index_key_rowid(&key)?);
@@ -758,7 +810,10 @@ fn binding_for(meta: &TableMeta, rowid: i64, row: Vec<SqlValue>) -> Binding {
     Binding {
         alias: meta.alias.clone(),
         columns: meta.info.columns.iter().map(|c| c.name.clone()).collect(),
-        rowid_name: meta.info.rowid_alias.map(|i| meta.info.columns[i].name.clone()),
+        rowid_name: meta
+            .info
+            .rowid_alias
+            .map(|i| meta.info.columns[i].name.clone()),
         row,
         rowid,
     }
@@ -771,19 +826,30 @@ fn binding_for(meta: &TableMeta, rowid: i64, row: Vec<SqlValue>) -> Binding {
 #[derive(Clone, Debug)]
 enum AggState {
     Count(u64),
-    Sum { total: f64, ints: i64, all_int: bool, seen: bool },
+    Sum {
+        total: f64,
+        ints: i64,
+        all_int: bool,
+        seen: bool,
+    },
     Min(Option<SqlValue>),
     Max(Option<SqlValue>),
-    Avg { total: f64, n: u64 },
+    Avg {
+        total: f64,
+        n: u64,
+    },
 }
 
 impl AggState {
     fn new(name: &str) -> AggState {
         match name {
             "count" => AggState::Count(0),
-            "sum" | "total" => {
-                AggState::Sum { total: 0.0, ints: 0, all_int: true, seen: false }
-            }
+            "sum" | "total" => AggState::Sum {
+                total: 0.0,
+                ints: 0,
+                all_int: true,
+                seen: false,
+            },
             "min" => AggState::Min(None),
             "max" => AggState::Max(None),
             "avg" => AggState::Avg { total: 0.0, n: 0 },
@@ -798,7 +864,12 @@ impl AggState {
                     *n += 1;
                 }
             }
-            AggState::Sum { total, ints, all_int, seen } => {
+            AggState::Sum {
+                total,
+                ints,
+                all_int,
+                seen,
+            } => {
                 if let Some(v) = v {
                     match v {
                         SqlValue::Integer(i) => {
@@ -823,9 +894,9 @@ impl AggState {
             AggState::Min(best) => {
                 if let Some(v) = v {
                     if !v.is_null()
-                        && best.as_ref().is_none_or(|b| {
-                            v.total_cmp(b) == std::cmp::Ordering::Less
-                        })
+                        && best
+                            .as_ref()
+                            .is_none_or(|b| v.total_cmp(b) == std::cmp::Ordering::Less)
                     {
                         *best = Some(v.clone());
                     }
@@ -834,9 +905,9 @@ impl AggState {
             AggState::Max(best) => {
                 if let Some(v) = v {
                     if !v.is_null()
-                        && best.as_ref().is_none_or(|b| {
-                            v.total_cmp(b) == std::cmp::Ordering::Greater
-                        })
+                        && best
+                            .as_ref()
+                            .is_none_or(|b| v.total_cmp(b) == std::cmp::Ordering::Greater)
                     {
                         *best = Some(v.clone());
                     }
@@ -856,7 +927,12 @@ impl AggState {
     fn finish(&self, name: &str) -> SqlValue {
         match self {
             AggState::Count(n) => SqlValue::Integer(*n as i64),
-            AggState::Sum { total, ints, all_int, seen } => {
+            AggState::Sum {
+                total,
+                ints,
+                all_int,
+                seen,
+            } => {
                 if !seen {
                     if name == "total" {
                         SqlValue::Real(0.0)
@@ -985,7 +1061,10 @@ pub(crate) fn run_select(
             let mut refs = Vec::new();
             column_refs(e, &mut refs);
             for (tbl, name) in refs {
-                let probe = Expr::Column { table: tbl.clone(), name: name.clone() };
+                let probe = Expr::Column {
+                    table: tbl.clone(),
+                    name: name.clone(),
+                };
                 if !bound_by(&probe, &all) {
                     return Err(SqlError::NoSuchColumn(match tbl {
                         Some(t) => format!("{t}.{name}"),
@@ -1013,7 +1092,9 @@ pub(crate) fn run_select(
     }
     let aggregate_mode = !agg_exprs.is_empty() || !sel.group_by.is_empty();
     if sel.having.is_some() && !aggregate_mode {
-        return Err(SqlError::Misuse("HAVING requires GROUP BY or aggregates".into()));
+        return Err(SqlError::Misuse(
+            "HAVING requires GROUP BY or aggregates".into(),
+        ));
     }
 
     // Row collection via recursive nested-loop join with index probes.
@@ -1031,8 +1112,7 @@ pub(crate) fn run_select(
         }
         metas.len()
     };
-    let conjunct_depths: Vec<usize> =
-        conjuncts.iter().map(|c| depth_of(c, &metas)).collect();
+    let conjunct_depths: Vec<usize> = conjuncts.iter().map(|c| depth_of(c, &metas)).collect();
 
     struct Walk<'a> {
         metas: &'a [TableMeta],
@@ -1081,7 +1161,11 @@ pub(crate) fn run_select(
         Ok(())
     }
 
-    let walk = Walk { metas: &metas, conjuncts: &conjuncts, conjunct_depths: &conjunct_depths };
+    let walk = Walk {
+        metas: &metas,
+        conjuncts: &conjuncts,
+        conjunct_depths: &conjunct_depths,
+    };
     let mut env = Env::default();
 
     if aggregate_mode {
@@ -1097,13 +1181,17 @@ pub(crate) fn run_select(
                 let states = agg_list
                     .iter()
                     .map(|e| {
-                        let Expr::FnCall { name, .. } = e else { unreachable!() };
+                        let Expr::FnCall { name, .. } = e else {
+                            unreachable!()
+                        };
                         AggState::new(name)
                     })
                     .collect();
                 // snapshot a representative row environment for
                 // non-aggregate expressions
-                let snapshot = Env { bindings: env.bindings.clone() };
+                let snapshot = Env {
+                    bindings: env.bindings.clone(),
+                };
                 groups.insert(key.clone(), (states, snapshot));
                 group_order.push(key.clone());
             }
@@ -1111,7 +1199,9 @@ pub(crate) fn run_select(
             // compute args first (immutable borrow of groups ends)
             let mut feeds: Vec<Option<SqlValue>> = Vec::with_capacity(agg_list.len());
             for e in &agg_list {
-                let Expr::FnCall { args, star, .. } = e else { unreachable!() };
+                let Expr::FnCall { args, star, .. } = e else {
+                    unreachable!()
+                };
                 if *star {
                     feeds.push(None);
                 } else {
@@ -1129,7 +1219,9 @@ pub(crate) fn run_select(
             let states: Vec<AggState> = agg_exprs
                 .iter()
                 .map(|e| {
-                    let Expr::FnCall { name, .. } = e else { unreachable!() };
+                    let Expr::FnCall { name, .. } = e else {
+                        unreachable!()
+                    };
                     AggState::new(name)
                 })
                 .collect();
@@ -1143,12 +1235,17 @@ pub(crate) fn run_select(
                 .iter()
                 .zip(states)
                 .map(|(e, s)| {
-                    let Expr::FnCall { name, .. } = e else { unreachable!() };
+                    let Expr::FnCall { name, .. } = e else {
+                        unreachable!()
+                    };
                     (e.clone(), s.finish(name))
                 })
                 .collect();
             let resolver = |e: &Expr| -> Option<SqlValue> {
-                resolved.iter().find(|(k, _)| k == e).map(|(_, v)| v.clone())
+                resolved
+                    .iter()
+                    .find(|(k, _)| k == e)
+                    .map(|(_, v)| v.clone())
             };
             if let Some(h) = &sel.having {
                 if eval(sys, h, snapshot, Some(&resolver))?.truthy() != Some(true) {
@@ -1195,11 +1292,13 @@ pub(crate) fn run_select(
             std::cmp::Ordering::Equal
         });
     }
-    let mut rows: Vec<Vec<SqlValue>> =
-        rows_out.into_iter().map(|mut r| {
+    let mut rows: Vec<Vec<SqlValue>> = rows_out
+        .into_iter()
+        .map(|mut r| {
             r.truncate(n_items);
             r
-        }).collect();
+        })
+        .collect();
 
     if sel.distinct {
         let mut seen = std::collections::HashSet::new();
@@ -1212,7 +1311,11 @@ pub(crate) fn run_select(
     if let Some(limit) = sel.limit {
         rows.truncate(limit as usize);
     }
-    Ok(QueryResult { columns, rows, rows_affected: 0 })
+    Ok(QueryResult {
+        columns,
+        rows,
+        rows_affected: 0,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1226,7 +1329,10 @@ fn matching_rows(
     where_: Option<&Expr>,
 ) -> Result<Vec<(i64, Vec<SqlValue>)>> {
     let info = db.table(table)?.clone();
-    let meta = TableMeta { alias: info.name.clone(), info };
+    let meta = TableMeta {
+        alias: info.name.clone(),
+        info,
+    };
     let mut conjuncts = Vec::new();
     if let Some(w) = where_ {
         split_conjuncts(w, &mut conjuncts);
@@ -1269,7 +1375,10 @@ pub(crate) fn run_update(
         })
         .collect::<Result<_>>()?;
     let victims = matching_rows(db, sys, table, where_)?;
-    let meta = TableMeta { alias: info.name.clone(), info: info.clone() };
+    let meta = TableMeta {
+        alias: info.name.clone(),
+        info: info.clone(),
+    };
     let mut affected = 0u64;
     for (rowid, row) in victims {
         let mut env = Env::default();
@@ -1297,7 +1406,10 @@ pub(crate) fn run_update(
         }
         affected += 1;
     }
-    Ok(QueryResult { rows_affected: affected, ..Default::default() })
+    Ok(QueryResult {
+        rows_affected: affected,
+        ..Default::default()
+    })
 }
 
 /// Executes DELETE.
@@ -1314,5 +1426,8 @@ pub(crate) fn run_delete(
             affected += 1;
         }
     }
-    Ok(QueryResult { rows_affected: affected, ..Default::default() })
+    Ok(QueryResult {
+        rows_affected: affected,
+        ..Default::default()
+    })
 }

@@ -208,7 +208,8 @@ impl Pager {
         dirty.sort_unstable();
         for pno in dirty {
             let entry = self.cache.get_mut(&pno).expect("listed above");
-            self.file.pwrite(sys, u64::from(pno) * DB_PAGE as u64, &entry.data)?;
+            self.file
+                .pwrite(sys, u64::from(pno) * DB_PAGE as u64, &entry.data)?;
             entry.dirty = false;
         }
         self.file.sync(sys)?;
@@ -277,7 +278,8 @@ impl Pager {
         }
         self.stats.misses += 1;
         let mut data = vec![0u8; DB_PAGE];
-        self.file.pread(sys, u64::from(pno) * DB_PAGE as u64, &mut data)?;
+        self.file
+            .pread(sys, u64::from(pno) * DB_PAGE as u64, &mut data)?;
         self.insert_cache(sys, pno, data.clone(), false)?;
         Ok(data)
     }
@@ -319,7 +321,8 @@ impl Pager {
         if let Some(e) = self.cache.get(&pno) {
             orig.copy_from_slice(&e.data);
         } else {
-            self.file.pread(sys, u64::from(pno) * DB_PAGE as u64, &mut orig)?;
+            self.file
+                .pread(sys, u64::from(pno) * DB_PAGE as u64, &mut orig)?;
         }
         let journal = self.journal.as_mut().expect("caller checked");
         let mut rec = Vec::with_capacity(4 + DB_PAGE);
@@ -331,7 +334,13 @@ impl Pager {
         Ok(())
     }
 
-    fn insert_cache(&mut self, sys: &mut System, pno: u32, data: Vec<u8>, dirty: bool) -> Result<()> {
+    fn insert_cache(
+        &mut self,
+        sys: &mut System,
+        pno: u32,
+        data: Vec<u8>,
+        dirty: bool,
+    ) -> Result<()> {
         while self.cache.len() >= self.cache_cap {
             // Evict the least recently used page.
             let victim = self
@@ -343,10 +352,18 @@ impl Pager {
             let entry = self.cache.remove(&victim).expect("present");
             if entry.dirty {
                 self.stats.evictions += 1;
-                self.file.pwrite(sys, u64::from(victim) * DB_PAGE as u64, &entry.data)?;
+                self.file
+                    .pwrite(sys, u64::from(victim) * DB_PAGE as u64, &entry.data)?;
             }
         }
-        self.cache.insert(pno, CacheEntry { data, dirty, tick: self.tick });
+        self.cache.insert(
+            pno,
+            CacheEntry {
+                data,
+                dirty,
+                tick: self.tick,
+            },
+        );
         Ok(())
     }
 
@@ -362,7 +379,9 @@ impl Pager {
     /// [`SqlError::Transaction`] outside a transaction; I/O errors.
     pub fn allocate_page(&mut self, sys: &mut System) -> Result<u32> {
         if self.journal.is_none() {
-            return Err(SqlError::Transaction("allocation outside a transaction".into()));
+            return Err(SqlError::Transaction(
+                "allocation outside a transaction".into(),
+            ));
         }
         let pno = if self.freelist_head != 0 {
             let pno = self.freelist_head;
@@ -486,7 +505,10 @@ mod tests {
         let mut p = open(&mut sys, &env);
         let err = p.write_page(&mut sys, 1, &vec![0u8; DB_PAGE]);
         assert!(matches!(err, Err(SqlError::Transaction(_))));
-        assert!(matches!(p.allocate_page(&mut sys), Err(SqlError::Transaction(_))));
+        assert!(matches!(
+            p.allocate_page(&mut sys),
+            Err(SqlError::Transaction(_))
+        ));
         assert!(matches!(p.commit(&mut sys), Err(SqlError::Transaction(_))));
     }
 
@@ -533,7 +555,11 @@ mod tests {
             // simulate a crash: drop the pager without commit/rollback
         }
         let mut p = open(&mut sys, &env);
-        assert_eq!(p.read_page(&mut sys, 1).unwrap()[0], 1, "recovered to committed state");
+        assert_eq!(
+            p.read_page(&mut sys, 1).unwrap()[0],
+            1,
+            "recovered to committed state"
+        );
     }
 
     #[test]
@@ -543,8 +569,9 @@ mod tests {
         // Tiny cache to force dirty evictions inside the transaction.
         let mut p = Pager::open(&mut sys, Box::new(env.clone()), "/t.db", 8).unwrap();
         p.begin(&mut sys).unwrap();
-        let pages: Vec<u32> =
-            (0..32).map(|_| p.allocate_page(&mut sys).unwrap()).collect();
+        let pages: Vec<u32> = (0..32)
+            .map(|_| p.allocate_page(&mut sys).unwrap())
+            .collect();
         for (i, &pno) in pages.iter().enumerate() {
             let mut data = vec![0u8; DB_PAGE];
             data[0] = i as u8;
@@ -586,7 +613,11 @@ mod tests {
         p.free_page(&mut sys, a).unwrap();
         let b = p.allocate_page(&mut sys).unwrap();
         assert_eq!(b, a);
-        assert_eq!(p.read_page(&mut sys, b).unwrap()[100], 0, "recycled page zeroed");
+        assert_eq!(
+            p.read_page(&mut sys, b).unwrap()[100],
+            0,
+            "recycled page zeroed"
+        );
         p.commit(&mut sys).unwrap();
     }
 

@@ -40,9 +40,9 @@ pub fn parse_one(sql: &str) -> Result<Stmt> {
 
 /// Keywords that may never appear as a bare column reference.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "order", "limit", "offset", "insert", "update",
-    "delete", "create", "drop", "table", "index", "values", "set", "into", "and", "or",
-    "join", "inner", "on", "by", "begin", "commit", "rollback", "pragma", "having", "alter",
+    "select", "from", "where", "group", "order", "limit", "offset", "insert", "update", "delete",
+    "create", "drop", "table", "index", "values", "set", "into", "and", "or", "join", "inner",
+    "on", "by", "begin", "commit", "rollback", "pragma", "having", "alter",
 ];
 
 struct Parser {
@@ -84,7 +84,8 @@ impl Parser {
         } else {
             Err(SqlError::Parse(format!(
                 "expected `{kw}`, found `{}`",
-                self.peek().map_or("end of input".to_string(), |t| t.to_string())
+                self.peek()
+                    .map_or("end of input".to_string(), |t| t.to_string())
             )))
         }
     }
@@ -104,7 +105,8 @@ impl Parser {
         } else {
             Err(SqlError::Parse(format!(
                 "expected `{p}`, found `{}`",
-                self.peek().map_or("end of input".to_string(), |t| t.to_string())
+                self.peek()
+                    .map_or("end of input".to_string(), |t| t.to_string())
             )))
         }
     }
@@ -112,7 +114,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) | Token::QuotedIdent(s) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, found `{other}`"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found `{other}`"
+            ))),
         }
     }
 
@@ -174,7 +178,11 @@ impl Parser {
                 }
             }
             self.expect_punct(")")?;
-            Ok(Stmt::CreateTable { name, columns, if_not_exists })
+            Ok(Stmt::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            })
         } else if self.eat_kw("index") {
             let if_not_exists = self.if_not_exists()?;
             let name = self.ident()?;
@@ -189,9 +197,17 @@ impl Parser {
                 }
             }
             self.expect_punct(")")?;
-            Ok(Stmt::CreateIndex { name, table, columns, unique, if_not_exists })
+            Ok(Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+                if_not_exists,
+            })
         } else {
-            Err(SqlError::Parse("expected TABLE or INDEX after CREATE".into()))
+            Err(SqlError::Parse(
+                "expected TABLE or INDEX after CREATE".into(),
+            ))
         }
     }
 
@@ -265,7 +281,9 @@ impl Parser {
             Token::Str(s) if !neg => Ok(SqlValue::Text(s)),
             Token::Blob(b) if !neg => Ok(SqlValue::Blob(b)),
             Token::Ident(s) if !neg && s.eq_ignore_ascii_case("null") => Ok(SqlValue::Null),
-            other => Err(SqlError::Parse(format!("expected literal, found `{other}`"))),
+            other => Err(SqlError::Parse(format!(
+                "expected literal, found `{other}`"
+            ))),
         }
     }
 
@@ -283,7 +301,9 @@ impl Parser {
             let column = self.column_def()?;
             return Ok(Stmt::AlterAddColumn { table, column });
         }
-        Err(SqlError::Parse("expected RENAME TO or ADD COLUMN after ALTER TABLE".into()))
+        Err(SqlError::Parse(
+            "expected RENAME TO or ADD COLUMN after ALTER TABLE".into(),
+        ))
     }
 
     fn drop(&mut self) -> Result<Stmt> {
@@ -343,12 +363,19 @@ impl Parser {
                 break;
             }
         }
-        Ok(Stmt::Insert { table, columns, rows })
+        Ok(Stmt::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStmt> {
         self.expect_kw("select")?;
-        let mut stmt = SelectStmt { distinct: self.eat_kw("distinct"), ..Default::default() };
+        let mut stmt = SelectStmt {
+            distinct: self.eat_kw("distinct"),
+            ..Default::default()
+        };
         self.eat_kw("all");
         loop {
             if self.eat_punct("*") {
@@ -362,7 +389,14 @@ impl Parser {
                     let u = s.to_ascii_uppercase();
                     if matches!(
                         u.as_str(),
-                        "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "OFFSET" | "UNION"
+                        "FROM"
+                            | "WHERE"
+                            | "GROUP"
+                            | "HAVING"
+                            | "ORDER"
+                            | "LIMIT"
+                            | "OFFSET"
+                            | "UNION"
                     ) {
                         None
                     } else {
@@ -391,9 +425,7 @@ impl Parser {
                     if self.eat_kw("on") {
                         let cond = self.expr()?;
                         stmt.where_ = Some(match stmt.where_.take() {
-                            Some(w) => {
-                                Expr::Binary(BinOp::And, Box::new(w), Box::new(cond))
-                            }
+                            Some(w) => Expr::Binary(BinOp::And, Box::new(w), Box::new(cond)),
                             None => cond,
                         });
                     }
@@ -497,15 +529,27 @@ impl Parser {
                 break;
             }
         }
-        let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Stmt::Update { table, sets, where_ })
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update {
+            table,
+            sets,
+            where_,
+        })
     }
 
     fn delete(&mut self) -> Result<Stmt> {
         self.expect_kw("delete")?;
         self.expect_kw("from")?;
         let table = self.ident()?;
-        let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Stmt::Delete { table, where_ })
     }
 
@@ -549,12 +593,19 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
         }
         let negated = self.eat_kw("not");
         if self.eat_kw("like") {
             let pattern = self.add_expr()?;
-            return Ok(Expr::Like { expr: Box::new(lhs), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if self.eat_kw("between") {
             let lo = self.add_expr()?;
@@ -577,7 +628,11 @@ impl Parser {
                 }
             }
             self.expect_punct(")")?;
-            return Ok(Expr::InList { expr: Box::new(lhs), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
         }
         if negated {
             return Err(SqlError::Parse("expected LIKE/BETWEEN/IN after NOT".into()));
@@ -667,9 +722,9 @@ impl Parser {
             Token::Ident(name) if name.eq_ignore_ascii_case("null") => {
                 Ok(Expr::Lit(SqlValue::Null))
             }
-            Token::Ident(name) if RESERVED.iter().any(|k| name.eq_ignore_ascii_case(k)) => {
-                Err(SqlError::Parse(format!("unexpected keyword `{name}` in expression")))
-            }
+            Token::Ident(name) if RESERVED.iter().any(|k| name.eq_ignore_ascii_case(k)) => Err(
+                SqlError::Parse(format!("unexpected keyword `{name}` in expression")),
+            ),
             Token::Ident(name) | Token::QuotedIdent(name) => {
                 if self.eat_punct("(") {
                     // function call
@@ -687,10 +742,17 @@ impl Parser {
                         }
                         self.expect_punct(")")?;
                     }
-                    Ok(Expr::FnCall { name: name.to_ascii_lowercase(), args, star })
+                    Ok(Expr::FnCall {
+                        name: name.to_ascii_lowercase(),
+                        args,
+                        star,
+                    })
                 } else if self.eat_punct(".") {
                     let col = self.ident()?;
-                    Ok(Expr::Column { table: Some(name), name: col })
+                    Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    })
                 } else {
                     Ok(Expr::Column { table: None, name })
                 }
@@ -710,7 +772,12 @@ mod tests {
             "CREATE TABLE t1(a INTEGER PRIMARY KEY, b TEXT NOT NULL, c DOUBLE DEFAULT 1.5)",
         )
         .unwrap();
-        let Stmt::CreateTable { name, columns, if_not_exists } = s else {
+        let Stmt::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        } = s
+        else {
             panic!("wrong stmt")
         };
         assert_eq!(name, "t1");
@@ -724,13 +791,26 @@ mod tests {
     #[test]
     fn create_table_if_not_exists() {
         let s = parse_one("CREATE TABLE IF NOT EXISTS t(x INT)").unwrap();
-        assert!(matches!(s, Stmt::CreateTable { if_not_exists: true, .. }));
+        assert!(matches!(
+            s,
+            Stmt::CreateTable {
+                if_not_exists: true,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn create_index() {
         let s = parse_one("CREATE UNIQUE INDEX i1 ON t1(b, c)").unwrap();
-        let Stmt::CreateIndex { name, table, columns, unique, .. } = s else {
+        let Stmt::CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+            ..
+        } = s
+        else {
             panic!("wrong stmt")
         };
         assert_eq!((name.as_str(), table.as_str(), unique), ("i1", "t1", true));
@@ -740,9 +820,19 @@ mod tests {
     #[test]
     fn insert_multi_row() {
         let s = parse_one("INSERT INTO t(a,b) VALUES (1,'x'), (2,'y')").unwrap();
-        let Stmt::Insert { table, columns, rows } = s else { panic!("wrong stmt") };
+        let Stmt::Insert {
+            table,
+            columns,
+            rows,
+        } = s
+        else {
+            panic!("wrong stmt")
+        };
         assert_eq!(table, "t");
-        assert_eq!(columns.as_deref(), Some(&["a".to_string(), "b".to_string()][..]));
+        assert_eq!(
+            columns.as_deref(),
+            Some(&["a".to_string(), "b".to_string()][..])
+        );
         assert_eq!(rows.len(), 2);
     }
 
@@ -753,7 +843,9 @@ mod tests {
              GROUP BY a ORDER BY n DESC, a LIMIT 5 OFFSET 2",
         )
         .unwrap();
-        let Stmt::Select(sel) = s else { panic!("wrong stmt") };
+        let Stmt::Select(sel) = s else {
+            panic!("wrong stmt")
+        };
         assert_eq!(sel.items.len(), 2);
         assert!(sel.where_.is_some());
         assert_eq!(sel.group_by.len(), 1);
@@ -766,7 +858,9 @@ mod tests {
     #[test]
     fn select_join_on_folds_into_where() {
         let s = parse_one("SELECT * FROM a JOIN b ON a.id = b.id WHERE a.x > 0").unwrap();
-        let Stmt::Select(sel) = s else { panic!("wrong stmt") };
+        let Stmt::Select(sel) = s else {
+            panic!("wrong stmt")
+        };
         assert_eq!(sel.from.len(), 2);
         // where = (a.id = b.id) AND (a.x > 0)
         assert!(matches!(sel.where_, Some(Expr::Binary(BinOp::And, _, _))));
@@ -775,7 +869,9 @@ mod tests {
     #[test]
     fn select_comma_join_with_aliases() {
         let s = parse_one("SELECT t1.a FROM t1, t2 AS x WHERE t1.a = x.b").unwrap();
-        let Stmt::Select(sel) = s else { panic!("wrong stmt") };
+        let Stmt::Select(sel) = s else {
+            panic!("wrong stmt")
+        };
         assert_eq!(sel.from[1].alias.as_deref(), Some("x"));
     }
 
@@ -783,8 +879,12 @@ mod tests {
     fn precedence() {
         // a + b * c < 10 AND NOT d  parses as  ((a + (b*c)) < 10) AND (NOT d)
         let s = parse_one("SELECT 1 WHERE a + b * c < 10 AND NOT d").unwrap();
-        let Stmt::Select(sel) = s else { panic!("wrong stmt") };
-        let Some(Expr::Binary(BinOp::And, lhs, rhs)) = sel.where_ else { panic!("AND on top") };
+        let Stmt::Select(sel) = s else {
+            panic!("wrong stmt")
+        };
+        let Some(Expr::Binary(BinOp::And, lhs, rhs)) = sel.where_ else {
+            panic!("AND on top")
+        };
         assert!(matches!(*lhs, Expr::Binary(BinOp::Lt, _, _)));
         assert!(matches!(*rhs, Expr::Unary(UnOp::Not, _)));
     }
@@ -809,11 +909,19 @@ mod tests {
     #[test]
     fn update_delete() {
         let s = parse_one("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
-        let Stmt::Update { sets, where_, .. } = s else { panic!("wrong stmt") };
+        let Stmt::Update { sets, where_, .. } = s else {
+            panic!("wrong stmt")
+        };
         assert_eq!(sets.len(), 2);
         assert!(where_.is_some());
         let s = parse_one("DELETE FROM t WHERE a < 0").unwrap();
-        assert!(matches!(s, Stmt::Delete { where_: Some(_), .. }));
+        assert!(matches!(
+            s,
+            Stmt::Delete {
+                where_: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -822,7 +930,10 @@ mod tests {
         assert_eq!(parse_one("BEGIN TRANSACTION").unwrap(), Stmt::Begin);
         assert_eq!(parse_one("COMMIT").unwrap(), Stmt::Commit);
         assert_eq!(parse_one("ROLLBACK").unwrap(), Stmt::Rollback);
-        assert_eq!(parse_one("PRAGMA integrity_check").unwrap(), Stmt::Pragma("integrity_check".into()));
+        assert_eq!(
+            parse_one("PRAGMA integrity_check").unwrap(),
+            Stmt::Pragma("integrity_check".into())
+        );
     }
 
     #[test]
@@ -837,14 +948,22 @@ mod tests {
         assert!(parse_one("SELECT FROM").is_err());
         assert!(parse_one("INSERT INTO t VALUES").is_err());
         assert!(parse_one("CREATE TABLE t(").is_err());
-        assert!(parse_one("SELECT 1; SELECT 2").is_err(), "parse_one rejects two stmts");
+        assert!(
+            parse_one("SELECT 1; SELECT 2").is_err(),
+            "parse_one rejects two stmts"
+        );
     }
 
     #[test]
     fn negative_literals() {
         let s = parse_one("INSERT INTO t VALUES (-5, -2.5)").unwrap();
-        let Stmt::Insert { rows, .. } = s else { panic!() };
-        assert_eq!(rows[0][0], Expr::Unary(UnOp::Neg, Box::new(Expr::Lit(SqlValue::Integer(5)))));
+        let Stmt::Insert { rows, .. } = s else {
+            panic!()
+        };
+        assert_eq!(
+            rows[0][0],
+            Expr::Unary(UnOp::Neg, Box::new(Expr::Lit(SqlValue::Integer(5))))
+        );
     }
 
     #[test]
@@ -852,7 +971,11 @@ mod tests {
         let s = parse_one("SELECT count(*), max(a), length(b || 'x') FROM t").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
         assert_eq!(sel.items.len(), 3);
-        let SelectItem::Expr { expr: Expr::FnCall { name, star, .. }, .. } = &sel.items[0] else {
+        let SelectItem::Expr {
+            expr: Expr::FnCall { name, star, .. },
+            ..
+        } = &sel.items[0]
+        else {
             panic!()
         };
         assert_eq!(name, "count");

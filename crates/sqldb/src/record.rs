@@ -29,7 +29,9 @@ fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v = 0u64;
     let mut shift = 0;
     loop {
-        let b = *buf.get(*pos).ok_or_else(|| SqlError::Corrupt("truncated varint".into()))?;
+        let b = *buf
+            .get(*pos)
+            .ok_or_else(|| SqlError::Corrupt("truncated varint".into()))?;
         *pos += 1;
         v |= u64::from(b & 0x7F) << shift;
         if b & 0x80 == 0 {
@@ -85,7 +87,9 @@ pub fn decode_record(buf: &[u8]) -> Result<Vec<SqlValue>> {
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let tag = *buf.get(pos).ok_or_else(|| SqlError::Corrupt("truncated record".into()))?;
+        let tag = *buf
+            .get(pos)
+            .ok_or_else(|| SqlError::Corrupt("truncated record".into()))?;
         pos += 1;
         let v = match tag {
             TAG_NULL => SqlValue::Null,

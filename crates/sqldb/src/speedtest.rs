@@ -22,13 +22,12 @@ use crate::db::Database;
 use crate::error::Result;
 use crate::value::SqlValue;
 use cubicle_core::System;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cubicle_mpk::rng::Rng64;
 
 /// The 31 query identifiers on the x-axis of Figure 6.
 pub const QUERY_IDS: [u32; 31] = [
-    100, 110, 120, 130, 140, 142, 145, 150, 160, 161, 170, 180, 190, 210, 230, 240, 250, 260,
-    270, 280, 290, 300, 310, 320, 400, 410, 500, 510, 520, 980, 990,
+    100, 110, 120, 130, 140, 142, 145, 150, 160, 161, 170, 180, 190, 210, 230, 240, 250, 260, 270,
+    280, 290, 300, 310, 320, 400, 410, 500, 510, 520, 980, 990,
 ];
 
 /// The paper's overhead grouping.
@@ -62,7 +61,10 @@ pub struct SpeedtestConfig {
 
 impl Default for SpeedtestConfig {
     fn default() -> Self {
-        SpeedtestConfig { scale: 100, seed: 0xC0B1C1E5 }
+        SpeedtestConfig {
+            scale: 100,
+            seed: 0xC0B1C1E5,
+        }
     }
 }
 
@@ -84,13 +86,16 @@ pub struct TestResult {
     pub rows: u64,
 }
 
-fn word(rng: &mut StdRng) -> String {
-    const SYL: [&str; 12] =
-        ["lor", "em", "ip", "sum", "do", "lor", "sit", "am", "et", "con", "sec", "te"];
-    let n = rng.gen_range(6..14);
+fn word(rng: &mut Rng64) -> String {
+    const SYL: [&str; 12] = [
+        "lor", "em", "ip", "sum", "do", "lor", "sit", "am", "et", "con", "sec", "te",
+    ];
+    let n = rng.range_usize(6, 14);
     let mut s = String::new();
     for _ in 0..n {
-        s.push_str(SYL[rng.gen_range(0..SYL.len())]);
+        // the deref picks `T = &str`; without it inference lands on unsized `str`
+        #[allow(clippy::explicit_auto_deref)]
+        s.push_str(*rng.pick(&SYL));
     }
     s
 }
@@ -107,11 +112,15 @@ pub fn run_speedtest(
     cfg: &SpeedtestConfig,
 ) -> Result<Vec<TestResult>> {
     let mut results = Vec::with_capacity(QUERY_IDS.len());
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng64::new(cfg.seed);
     for &id in &QUERY_IDS {
         let t0 = sys.now();
         let rows = run_test(sys, db, id, cfg, &mut rng)?;
-        results.push(TestResult { id, cycles: sys.now() - t0, rows });
+        results.push(TestResult {
+            id,
+            cycles: sys.now() - t0,
+            rows,
+        });
     }
     Ok(results)
 }
@@ -129,7 +138,7 @@ fn run_test(
     db: &mut Database,
     id: u32,
     cfg: &SpeedtestConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) -> Result<u64> {
     let n = cfg.rows();
     match id {
@@ -142,7 +151,10 @@ fn run_test(
                 let c = word(rng);
                 db.execute(
                     sys,
-                    &format!("INSERT INTO t1 VALUES ({}, {i}, '{c} {c} {c} {c}')", rng.gen_range(0..n)),
+                    &format!(
+                        "INSERT INTO t1 VALUES ({}, {i}, '{c} {c} {c} {c}')",
+                        rng.range_u64(0, n)
+                    ),
                 )?;
             }
             db.execute(sys, "COMMIT")?;
@@ -160,17 +172,21 @@ fn run_test(
         }
         120 => {
             // n unordered INSERTs (random primary keys), wide rows
-            db.execute(sys, "CREATE TABLE t3(id INTEGER PRIMARY KEY, a INTEGER, c TEXT)")?;
+            db.execute(
+                sys,
+                "CREATE TABLE t3(id INTEGER PRIMARY KEY, a INTEGER, c TEXT)",
+            )?;
             db.execute(sys, "BEGIN")?;
             let mut ids: Vec<u64> = (0..n).collect();
-            for i in (1..ids.len()).rev() {
-                ids.swap(i, rng.gen_range(0..=i));
-            }
+            rng.shuffle(&mut ids);
             for (i, id) in ids.iter().enumerate() {
                 let c = word(rng);
                 db.execute(
                     sys,
-                    &format!("INSERT INTO t3 VALUES ({id}, {}, '{c} {c} {c}')", i as u64 % n),
+                    &format!(
+                        "INSERT INTO t3 VALUES ({id}, {}, '{c} {c} {c}')",
+                        i as u64 % n
+                    ),
                 )?;
             }
             db.execute(sys, "COMMIT")?;
@@ -194,10 +210,7 @@ fn run_test(
         140 => {
             let mut total = 0;
             for k in 0..10u64 {
-                let rows = db.query(
-                    sys,
-                    &format!("SELECT count(*) FROM t2 WHERE v % 10 = {k}"),
-                )?;
+                let rows = db.query(sys, &format!("SELECT count(*) FROM t2 WHERE v % 10 = {k}"))?;
                 total += count_of(&rows);
             }
             Ok(total)
@@ -219,9 +232,9 @@ fn run_test(
         145 => {
             let mut total = 0;
             for _ in 0..10 {
-                let a = rng.gen_range(0..n);
-                let b = rng.gen_range(0..n);
-                let c = rng.gen_range(0..n);
+                let a = rng.range_u64(0, n);
+                let b = rng.range_u64(0, n);
+                let c = rng.range_u64(0, n);
                 let rows = db.query(
                     sys,
                     &format!("SELECT count(*) FROM t2 WHERE id IN ({a}, {b}, {c})"),
@@ -267,8 +280,7 @@ fn run_test(
         170 => {
             let mut total = 0;
             for _ in 0..(n / 400).max(4) {
-                let rows =
-                    db.query(sys, "SELECT count(*) FROM t1 WHERE c LIKE '%lorem%'")?;
+                let rows = db.query(sys, "SELECT count(*) FROM t1 WHERE c LIKE '%lorem%'")?;
                 total += count_of(&rows);
             }
             Ok(total)
@@ -298,7 +310,10 @@ fn run_test(
         210 => {
             for k in 0..(u64::from(cfg.scale) / 10).max(3) {
                 db.execute(sys, &format!("CREATE TABLE alter_{k}(x INTEGER, y TEXT)"))?;
-                db.execute(sys, &format!("INSERT INTO alter_{k} VALUES (1, 'migration')"))?;
+                db.execute(
+                    sys,
+                    &format!("INSERT INTO alter_{k} VALUES (1, 'migration')"),
+                )?;
                 db.execute(
                     sys,
                     &format!("ALTER TABLE alter_{k} ADD COLUMN z INTEGER DEFAULT 0"),
@@ -333,7 +348,10 @@ fn run_test(
                 let lo = (k * 37) % n;
                 let r = db.execute(
                     sys,
-                    &format!("UPDATE t1 SET b = b + 1 WHERE rowid BETWEEN {lo} AND {}", lo + 10),
+                    &format!(
+                        "UPDATE t1 SET b = b + 1 WHERE rowid BETWEEN {lo} AND {}",
+                        lo + 10
+                    ),
                 )?;
                 total += r.rows_affected;
             }
@@ -383,7 +401,10 @@ fn run_test(
                 let c = word(rng);
                 db.execute(
                     sys,
-                    &format!("INSERT INTO t1 VALUES ({}, {i}, '{c}')", rng.gen_range(0..n)),
+                    &format!(
+                        "INSERT INTO t1 VALUES ({}, {i}, '{c}')",
+                        rng.range_u64(0, n)
+                    ),
                 )?;
                 total += 1;
             }
@@ -429,9 +450,8 @@ fn run_test(
         500 => {
             let mut total = 0;
             for _ in 0..100 {
-                let id = rng.gen_range(0..n);
-                let rows =
-                    db.query(sys, &format!("SELECT v FROM t2 WHERE id = {id}"))?;
+                let id = rng.range_u64(0, n);
+                let rows = db.query(sys, &format!("SELECT v FROM t2 WHERE id = {id}"))?;
                 total += rows.len() as u64;
             }
             Ok(total)
@@ -439,11 +459,8 @@ fn run_test(
         510 => {
             let mut total = 0;
             for _ in 0..100 {
-                let a = rng.gen_range(0..n);
-                let rows = db.query(
-                    sys,
-                    &format!("SELECT id, c FROM t3 WHERE a = {a}"),
-                )?;
+                let a = rng.range_u64(0, n);
+                let rows = db.query(sys, &format!("SELECT id, c FROM t3 WHERE a = {a}"))?;
                 total += rows.len() as u64;
             }
             Ok(total)
@@ -451,9 +468,8 @@ fn run_test(
         520 => {
             let mut total = 0;
             for _ in 0..100 {
-                let k = rng.gen_range(0..n);
-                let rows =
-                    db.query(sys, &format!("SELECT count(*) FROM t4 WHERE k = {k}"))?;
+                let k = rng.range_u64(0, n);
+                let rows = db.query(sys, &format!("SELECT count(*) FROM t4 WHERE k = {k}"))?;
                 total += count_of(&rows);
             }
             Ok(total)
@@ -470,7 +486,9 @@ fn run_test(
             db.execute(sys, "COMMIT")?;
             Ok(0)
         }
-        other => Err(crate::error::SqlError::Misuse(format!("unknown speedtest id {other}"))),
+        other => Err(crate::error::SqlError::Misuse(format!(
+            "unknown speedtest id {other}"
+        ))),
     }
 }
 
@@ -482,10 +500,17 @@ mod tests {
 
     #[test]
     fn grouping_matches_the_paper() {
-        let a: Vec<u32> = QUERY_IDS.iter().copied().filter(|&q| query_group(q) == QueryGroup::A).collect();
+        let a: Vec<u32> = QUERY_IDS
+            .iter()
+            .copied()
+            .filter(|&q| query_group(q) == QueryGroup::A)
+            .collect();
         assert_eq!(
             a,
-            vec![100, 110, 120, 140, 142, 145, 150, 160, 161, 180, 190, 230, 250, 300, 320, 400, 500, 520, 990]
+            vec![
+                100, 110, 120, 140, 142, 145, 150, 160, 161, 180, 190, 230, 250, 300, 320, 400,
+                500, 520, 990
+            ]
         );
         // "almost two thirds of queries" are in the low-overhead group
         assert!(a.len() * 3 >= QUERY_IDS.len() * 3 / 2);
@@ -494,9 +519,11 @@ mod tests {
     #[test]
     fn full_run_at_tiny_scale() {
         let mut sys = System::new(IsolationMode::Unikraft);
-        let mut db =
-            Database::open(&mut sys, Box::new(HostEnv::new()), "/speed.db").unwrap();
-        let cfg = SpeedtestConfig { scale: 2, ..Default::default() };
+        let mut db = Database::open(&mut sys, Box::new(HostEnv::new()), "/speed.db").unwrap();
+        let cfg = SpeedtestConfig {
+            scale: 2,
+            ..Default::default()
+        };
         let results = run_speedtest(&mut sys, &mut db, &cfg).unwrap();
         assert_eq!(results.len(), QUERY_IDS.len());
         for r in &results {
@@ -514,9 +541,11 @@ mod tests {
     fn deterministic_across_runs() {
         let run = || {
             let mut sys = System::new(IsolationMode::Unikraft);
-            let mut db =
-                Database::open(&mut sys, Box::new(HostEnv::new()), "/speed.db").unwrap();
-            let cfg = SpeedtestConfig { scale: 2, ..Default::default() };
+            let mut db = Database::open(&mut sys, Box::new(HostEnv::new()), "/speed.db").unwrap();
+            let cfg = SpeedtestConfig {
+                scale: 2,
+                ..Default::default()
+            };
             run_speedtest(&mut sys, &mut db, &cfg)
                 .unwrap()
                 .iter()

@@ -94,10 +94,12 @@ pub trait StorageEnv {
 // Host-backed environment (unit tests)
 // ---------------------------------------------------------------------------
 
+type SharedBytes = Rc<RefCell<Vec<u8>>>;
+
 /// In-process storage environment for engine-only tests.
 #[derive(Clone, Debug, Default)]
 pub struct HostEnv {
-    files: Rc<RefCell<HashMap<String, Rc<RefCell<Vec<u8>>>>>>,
+    files: Rc<RefCell<HashMap<String, SharedBytes>>>,
 }
 
 impl HostEnv {
@@ -108,7 +110,7 @@ impl HostEnv {
 }
 
 struct HostFile {
-    data: Rc<RefCell<Vec<u8>>>,
+    data: SharedBytes,
 }
 
 impl StorageFile for HostFile {
@@ -203,8 +205,9 @@ impl StorageFile for CubicleFile {
         let mut done = 0;
         while done < buf.len() {
             let chunk = (buf.len() - done).min(STAGING);
-            let n =
-                self.port.pread(sys, self.fd, self.staging, chunk, off + done as u64)?;
+            let n = self
+                .port
+                .pread(sys, self.fd, self.staging, chunk, off + done as u64)?;
             if n < 0 {
                 return io_err(n);
             }
@@ -226,8 +229,9 @@ impl StorageFile for CubicleFile {
         while done < data.len() {
             let chunk = (data.len() - done).min(STAGING);
             sys.write(self.staging, &data[done..done + chunk])?;
-            let n =
-                self.port.pwrite(sys, self.fd, self.staging, chunk, off + done as u64)?;
+            let n = self
+                .port
+                .pwrite(sys, self.fd, self.staging, chunk, off + done as u64)?;
             if n < 0 {
                 return io_err(n);
             }
@@ -279,7 +283,11 @@ impl StorageEnv for CubicleEnv {
             return io_err(fd);
         }
         let staging = sys.heap_alloc(STAGING, 4096)?;
-        Ok(Box::new(CubicleFile { port: self.port.clone(), fd, staging }))
+        Ok(Box::new(CubicleFile {
+            port: self.port.clone(),
+            fd,
+            staging,
+        }))
     }
 
     fn unlink(&mut self, sys: &mut System, path: &str) -> Result<()> {

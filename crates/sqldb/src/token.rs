@@ -126,18 +126,19 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 let text = &sql[start..i];
                 if is_real {
                     out.push(Token::Real(
-                        text.parse().map_err(|_| SqlError::Parse(format!("bad number {text}")))?,
+                        text.parse()
+                            .map_err(|_| SqlError::Parse(format!("bad number {text}")))?,
                     ));
                 } else {
                     out.push(Token::Integer(
-                        text.parse().map_err(|_| SqlError::Parse(format!("bad number {text}")))?,
+                        text.parse()
+                            .map_err(|_| SqlError::Parse(format!("bad number {text}")))?,
                     ));
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$')
                 {
                     i += 1;
                 }
@@ -244,14 +245,20 @@ mod tests {
 
     #[test]
     fn blob_literals() {
-        assert_eq!(tokenize("x'AB01'").unwrap(), vec![Token::Blob(vec![0xAB, 0x01])]);
+        assert_eq!(
+            tokenize("x'AB01'").unwrap(),
+            vec![Token::Blob(vec![0xAB, 0x01])]
+        );
         assert!(tokenize("x'ABC'").is_err());
     }
 
     #[test]
     fn comments_skipped() {
         let t = tokenize("SELECT 1 -- trailing\n, 2 /* inline */ , 3").unwrap();
-        let nums: Vec<_> = t.iter().filter(|t| matches!(t, Token::Integer(_))).collect();
+        let nums: Vec<_> = t
+            .iter()
+            .filter(|t| matches!(t, Token::Integer(_)))
+            .collect();
         assert_eq!(nums.len(), 3);
     }
 

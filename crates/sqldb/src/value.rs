@@ -201,21 +201,39 @@ mod tests {
             SqlValue::Blob(vec![0]),
         ];
         for w in vals.windows(2) {
-            assert_ne!(w[0].total_cmp(&w[1]), Ordering::Greater, "{:?} ≤ {:?}", w[0], w[1]);
+            assert_ne!(
+                w[0].total_cmp(&w[1]),
+                Ordering::Greater,
+                "{:?} ≤ {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 
     #[test]
     fn numeric_cross_type_compare() {
-        assert_eq!(SqlValue::Integer(2).total_cmp(&SqlValue::Real(2.0)), Ordering::Equal);
-        assert_eq!(SqlValue::Real(1.5).total_cmp(&SqlValue::Integer(2)), Ordering::Less);
+        assert_eq!(
+            SqlValue::Integer(2).total_cmp(&SqlValue::Real(2.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            SqlValue::Real(1.5).total_cmp(&SqlValue::Integer(2)),
+            Ordering::Less
+        );
     }
 
     #[test]
     fn null_propagates_in_eq() {
         assert_eq!(SqlValue::Null.sql_eq(&SqlValue::Integer(1)), SqlValue::Null);
-        assert_eq!(SqlValue::Integer(1).sql_eq(&SqlValue::Integer(1)), SqlValue::Integer(1));
-        assert_eq!(SqlValue::Integer(1).sql_eq(&SqlValue::Integer(2)), SqlValue::Integer(0));
+        assert_eq!(
+            SqlValue::Integer(1).sql_eq(&SqlValue::Integer(1)),
+            SqlValue::Integer(1)
+        );
+        assert_eq!(
+            SqlValue::Integer(1).sql_eq(&SqlValue::Integer(2)),
+            SqlValue::Integer(0)
+        );
     }
 
     #[test]
@@ -239,11 +257,26 @@ mod tests {
 
     #[test]
     fn affinity_coercion() {
-        assert_eq!(Affinity::Integer.apply(SqlValue::Text(" 42 ".into())), SqlValue::Integer(42));
-        assert_eq!(Affinity::Integer.apply(SqlValue::Real(3.0)), SqlValue::Integer(3));
-        assert_eq!(Affinity::Integer.apply(SqlValue::Real(3.5)), SqlValue::Real(3.5));
-        assert_eq!(Affinity::Real.apply(SqlValue::Integer(2)), SqlValue::Real(2.0));
-        assert_eq!(Affinity::Text.apply(SqlValue::Integer(2)), SqlValue::Text("2".into()));
+        assert_eq!(
+            Affinity::Integer.apply(SqlValue::Text(" 42 ".into())),
+            SqlValue::Integer(42)
+        );
+        assert_eq!(
+            Affinity::Integer.apply(SqlValue::Real(3.0)),
+            SqlValue::Integer(3)
+        );
+        assert_eq!(
+            Affinity::Integer.apply(SqlValue::Real(3.5)),
+            SqlValue::Real(3.5)
+        );
+        assert_eq!(
+            Affinity::Real.apply(SqlValue::Integer(2)),
+            SqlValue::Real(2.0)
+        );
+        assert_eq!(
+            Affinity::Text.apply(SqlValue::Integer(2)),
+            SqlValue::Text("2".into())
+        );
         assert_eq!(
             Affinity::Integer.apply(SqlValue::Text("abc".into())),
             SqlValue::Text("abc".into())

@@ -22,8 +22,12 @@ struct Stack {
 fn boot() -> Stack {
     let mut sys = System::new(IsolationMode::Full);
     let base = boot_base(&mut sys).unwrap();
-    let vfs_loaded = sys.load(cubicle_vfs::image(), Box::new(Vfs::default())).unwrap();
-    let ramfs_loaded = sys.load(cubicle_ramfs::image(), Box::new(Ramfs::default())).unwrap();
+    let vfs_loaded = sys
+        .load(cubicle_vfs::image(), Box::new(Vfs::default()))
+        .unwrap();
+    let ramfs_loaded = sys
+        .load(cubicle_ramfs::image(), Box::new(Ramfs::default()))
+        .unwrap();
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
     mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
@@ -33,15 +37,19 @@ fn boot() -> Stack {
             Box::new(App),
         )
         .unwrap();
-    Stack { sys, app: app.cid, vfs: VfsProxy::resolve(&vfs_loaded), ramfs: ramfs_loaded.cid }
+    Stack {
+        sys,
+        app: app.cid,
+        vfs: VfsProxy::resolve(&vfs_loaded),
+        ramfs: ramfs_loaded.cid,
+    }
 }
 
 fn open_db(stack: &mut Stack, cache: usize) -> Database {
     let (app, vfs, ramfs) = (stack.app, stack.vfs, stack.ramfs);
     stack.sys.run_in_cubicle(app, move |sys| {
         let port = VfsPort::new(sys, vfs, &[ramfs]).unwrap();
-        Database::open_with_cache(sys, Box::new(CubicleEnv::new(port)), "/crash.db", cache)
-            .unwrap()
+        Database::open_with_cache(sys, Box::new(CubicleEnv::new(port)), "/crash.db", cache).unwrap()
     })
 }
 
@@ -51,15 +59,19 @@ fn crash_mid_transaction_recovers_to_committed_state() {
     let mut db = open_db(&mut stack, 64);
     let app = stack.app;
     stack.sys.run_in_cubicle(app, |sys| {
-        db.execute(sys, "CREATE TABLE t(id INTEGER PRIMARY KEY, v TEXT)").unwrap();
-        db.execute(sys, "INSERT INTO t VALUES (1, 'committed')").unwrap();
+        db.execute(sys, "CREATE TABLE t(id INTEGER PRIMARY KEY, v TEXT)")
+            .unwrap();
+        db.execute(sys, "INSERT INTO t VALUES (1, 'committed')")
+            .unwrap();
         // open a transaction, mutate heavily, then "crash" by dropping
         // the connection without COMMIT/ROLLBACK
         db.execute(sys, "BEGIN").unwrap();
         for i in 2..200 {
-            db.execute(sys, &format!("INSERT INTO t VALUES ({i}, 'doomed')")).unwrap();
+            db.execute(sys, &format!("INSERT INTO t VALUES ({i}, 'doomed')"))
+                .unwrap();
         }
-        db.execute(sys, "UPDATE t SET v = 'mangled' WHERE id = 1").unwrap();
+        db.execute(sys, "UPDATE t SET v = 'mangled' WHERE id = 1")
+            .unwrap();
     });
     drop(db); // crash: journal file is left behind in RAMFS
 
@@ -67,11 +79,18 @@ fn crash_mid_transaction_recovers_to_committed_state() {
     let mut db2 = open_db(&mut stack, 64);
     stack.sys.run_in_cubicle(app, |sys| {
         let rows = db2.query(sys, "SELECT id, v FROM t").unwrap();
-        assert_eq!(rows, vec![vec![SqlValue::Integer(1), SqlValue::Text("committed".into())]]);
+        assert_eq!(
+            rows,
+            vec![vec![
+                SqlValue::Integer(1),
+                SqlValue::Text("committed".into())
+            ]]
+        );
         let check = db2.query(sys, "PRAGMA integrity_check").unwrap();
         assert_eq!(check[0][0], SqlValue::Text("ok".into()));
         // and the database is fully usable afterwards
-        db2.execute(sys, "INSERT INTO t VALUES (2, 'after recovery')").unwrap();
+        db2.execute(sys, "INSERT INTO t VALUES (2, 'after recovery')")
+            .unwrap();
         let n = db2.query(sys, "SELECT count(*) FROM t").unwrap();
         assert_eq!(n[0][0], SqlValue::Integer(2));
     });
@@ -86,20 +105,30 @@ fn crash_with_tiny_cache_and_dirty_evictions_recovers() {
     let mut db = open_db(&mut stack, 8);
     let app = stack.app;
     stack.sys.run_in_cubicle(app, |sys| {
-        db.execute(sys, "CREATE TABLE t(id INTEGER PRIMARY KEY, blob TEXT)").unwrap();
+        db.execute(sys, "CREATE TABLE t(id INTEGER PRIMARY KEY, blob TEXT)")
+            .unwrap();
         db.execute(sys, "BEGIN").unwrap();
         for i in 0..50 {
-            db.execute(sys, &format!("INSERT INTO t VALUES ({i}, '{}')", "x".repeat(400)))
-                .unwrap();
+            db.execute(
+                sys,
+                &format!("INSERT INTO t VALUES ({i}, '{}')", "x".repeat(400)),
+            )
+            .unwrap();
         }
         db.execute(sys, "COMMIT").unwrap();
         db.execute(sys, "BEGIN").unwrap();
         for i in 0..50 {
-            db.execute(sys, &format!("UPDATE t SET blob = 'overwritten' WHERE id = {i}"))
-                .unwrap();
+            db.execute(
+                sys,
+                &format!("UPDATE t SET blob = 'overwritten' WHERE id = {i}"),
+            )
+            .unwrap();
         }
         let evictions = db.pager_stats().evictions;
-        assert!(evictions > 0, "the test must actually evict dirty pages mid-txn");
+        assert!(
+            evictions > 0,
+            "the test must actually evict dirty pages mid-txn"
+        );
     });
     drop(db); // crash
 
@@ -108,7 +137,11 @@ fn crash_with_tiny_cache_and_dirty_evictions_recovers() {
         let rows = db2
             .query(sys, "SELECT count(*) FROM t WHERE blob = 'overwritten'")
             .unwrap();
-        assert_eq!(rows[0][0], SqlValue::Integer(0), "doomed updates rolled back");
+        assert_eq!(
+            rows[0][0],
+            SqlValue::Integer(0),
+            "doomed updates rolled back"
+        );
         let rows = db2.query(sys, "SELECT count(*) FROM t").unwrap();
         assert_eq!(rows[0][0], SqlValue::Integer(50), "committed rows survive");
         let check = db2.query(sys, "PRAGMA integrity_check").unwrap();
@@ -123,8 +156,10 @@ fn repeated_crashes_are_idempotent() {
     for round in 0..3 {
         let mut db = open_db(&mut stack, 32);
         stack.sys.run_in_cubicle(app, |sys| {
-            db.execute(sys, "CREATE TABLE IF NOT EXISTS t(v INTEGER)").unwrap();
-            db.execute(sys, &format!("INSERT INTO t VALUES ({round})")).unwrap();
+            db.execute(sys, "CREATE TABLE IF NOT EXISTS t(v INTEGER)")
+                .unwrap();
+            db.execute(sys, &format!("INSERT INTO t VALUES ({round})"))
+                .unwrap();
             db.execute(sys, "BEGIN").unwrap();
             db.execute(sys, "INSERT INTO t VALUES (999)").unwrap();
             // crash inside the txn every round
@@ -135,6 +170,10 @@ fn repeated_crashes_are_idempotent() {
     stack.sys.run_in_cubicle(app, |sys| {
         let rows = db.query(sys, "SELECT v FROM t ORDER BY v").unwrap();
         let vals: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
-        assert_eq!(vals, vec![0, 1, 2], "exactly the autocommitted rows survive");
+        assert_eq!(
+            vals,
+            vec![0, 1, 2],
+            "exactly the autocommitted rows survive"
+        );
     });
 }

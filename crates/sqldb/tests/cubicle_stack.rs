@@ -23,8 +23,12 @@ struct Deployment {
 fn boot(mode: IsolationMode) -> Deployment {
     let mut sys = System::new(mode);
     let base = boot_base(&mut sys).unwrap();
-    let vfs_loaded = sys.load(cubicle_vfs::image(), Box::new(Vfs::default())).unwrap();
-    let ramfs_loaded = sys.load(cubicle_ramfs::image(), Box::new(Ramfs::default())).unwrap();
+    let vfs_loaded = sys
+        .load(cubicle_vfs::image(), Box::new(Vfs::default()))
+        .unwrap();
+    let ramfs_loaded = sys
+        .load(cubicle_ramfs::image(), Box::new(Ramfs::default()))
+        .unwrap();
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
     mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
@@ -51,7 +55,11 @@ fn open_db(dep: &mut Deployment) -> Database {
     })
 }
 
-fn in_app<T>(dep: &mut Deployment, db: &mut Database, f: impl FnOnce(&mut System, &mut Database) -> T) -> T {
+fn in_app<T>(
+    dep: &mut Deployment,
+    db: &mut Database,
+    f: impl FnOnce(&mut System, &mut Database) -> T,
+) -> T {
     let app = dep.app;
     dep.sys.run_in_cubicle(app, |sys| f(sys, db))
 }
@@ -61,13 +69,18 @@ fn sql_over_the_cubicle_stack() {
     let mut dep = boot(IsolationMode::Full);
     let mut db = open_db(&mut dep);
     in_app(&mut dep, &mut db, |sys, db| {
-        db.execute(sys, "CREATE TABLE kv(k TEXT UNIQUE, v INTEGER)").unwrap();
-        db.execute(sys, "INSERT INTO kv VALUES ('alpha', 1), ('beta', 2)").unwrap();
+        db.execute(sys, "CREATE TABLE kv(k TEXT UNIQUE, v INTEGER)")
+            .unwrap();
+        db.execute(sys, "INSERT INTO kv VALUES ('alpha', 1), ('beta', 2)")
+            .unwrap();
         let rows = db.query(sys, "SELECT v FROM kv WHERE k = 'beta'").unwrap();
         assert_eq!(rows, vec![vec![SqlValue::Integer(2)]]);
     });
     // the data went through real windows: faults were resolved
-    assert!(dep.sys.stats().faults_resolved > 0, "trap-and-map must have run");
+    assert!(
+        dep.sys.stats().faults_resolved > 0,
+        "trap-and-map must have run"
+    );
     assert_eq!(dep.sys.stats().faults_denied, 0, "no isolation violations");
 }
 
@@ -76,11 +89,15 @@ fn figure8_cubicle_graph_edges() {
     let mut dep = boot(IsolationMode::Full);
     let mut db = open_db(&mut dep);
     in_app(&mut dep, &mut db, |sys, db| {
-        db.execute(sys, "CREATE TABLE t(id INTEGER PRIMARY KEY, s TEXT)").unwrap();
+        db.execute(sys, "CREATE TABLE t(id INTEGER PRIMARY KEY, s TEXT)")
+            .unwrap();
         db.execute(sys, "BEGIN").unwrap();
         for i in 0..200 {
-            db.execute(sys, &format!("INSERT INTO t VALUES ({i}, 'row number {i}')"))
-                .unwrap();
+            db.execute(
+                sys,
+                &format!("INSERT INTO t VALUES ({i}, 'row number {i}')"),
+            )
+            .unwrap();
         }
         db.execute(sys, "COMMIT").unwrap();
         let rows = db.query(sys, "SELECT count(*) FROM t").unwrap();
@@ -93,8 +110,16 @@ fn figure8_cubicle_graph_edges() {
     let alloc = sys.find_cubicle("ALLOC").unwrap();
     // Figure 8 shape: hot SQLITE→VFSCORE and VFSCORE→RAMFS edges, sparse
     // RAMFS→ALLOC, and no direct SQLITE→RAMFS edge.
-    assert!(stats.edge(dep.app, vfs) > 20, "hot edge, got {}", stats.edge(dep.app, vfs));
-    assert!(stats.edge(vfs, ramfs) > 20, "hot edge, got {}", stats.edge(vfs, ramfs));
+    assert!(
+        stats.edge(dep.app, vfs) > 20,
+        "hot edge, got {}",
+        stats.edge(dep.app, vfs)
+    );
+    assert!(
+        stats.edge(vfs, ramfs) > 20,
+        "hot edge, got {}",
+        stats.edge(vfs, ramfs)
+    );
     assert!(stats.edge(ramfs, alloc) >= 1);
     assert_eq!(stats.edge(dep.app, ramfs), 0);
     assert!(stats.edge(ramfs, alloc) * 10 < stats.edge(vfs, ramfs));
@@ -106,7 +131,8 @@ fn persistence_via_ramfs_across_reopen() {
     let mut db = open_db(&mut dep);
     in_app(&mut dep, &mut db, |sys, db| {
         db.execute(sys, "CREATE TABLE t(v TEXT)").unwrap();
-        db.execute(sys, "INSERT INTO t VALUES ('persisted')").unwrap();
+        db.execute(sys, "INSERT INTO t VALUES ('persisted')")
+            .unwrap();
     });
     drop(db);
     // reopen a fresh connection over the same RAMFS
@@ -152,13 +178,15 @@ fn same_results_in_all_isolation_modes() {
         let mut dep = boot(mode);
         let mut db = open_db(&mut dep);
         let rows = in_app(&mut dep, &mut db, |sys, db| {
-            db.execute(sys, "CREATE TABLE t(a INTEGER, b TEXT)").unwrap();
+            db.execute(sys, "CREATE TABLE t(a INTEGER, b TEXT)")
+                .unwrap();
             db.execute(sys, "CREATE INDEX ia ON t(a)").unwrap();
             for i in 0..50 {
                 db.execute(sys, &format!("INSERT INTO t VALUES ({}, 'x{i}')", i % 7))
                     .unwrap();
             }
-            db.query(sys, "SELECT a, count(*) FROM t GROUP BY a ORDER BY a").unwrap()
+            db.query(sys, "SELECT a, count(*) FROM t GROUP BY a ORDER BY a")
+                .unwrap()
         });
         match &reference {
             None => reference = Some(rows),
@@ -178,7 +206,8 @@ fn isolation_costs_are_ordered_for_sql_work() {
             let t0 = sys.now();
             db.execute(sys, "CREATE TABLE t(v INTEGER)").unwrap();
             for i in 0..50 {
-                db.execute(sys, &format!("INSERT INTO t VALUES ({i})")).unwrap();
+                db.execute(sys, &format!("INSERT INTO t VALUES ({i})"))
+                    .unwrap();
             }
             db.query(sys, "SELECT sum(v) FROM t").unwrap();
             sys.now() - t0

@@ -1,11 +1,14 @@
-//! Property tests at the SQL level: the engine must agree with a naive
+//! Randomized tests at the SQL level: the engine must agree with a naive
 //! in-memory model, and indexed and unindexed plans must agree with
 //! each other.
+//!
+//! Formerly proptest-based; rewritten over the in-tree deterministic
+//! [`Rng64`] so the suite builds fully offline.
 
 use cubicle_core::{IsolationMode, System};
+use cubicle_mpk::rng::Rng64;
 use cubicle_sqldb::storage::HostEnv;
 use cubicle_sqldb::{Database, SqlValue};
-use proptest::prelude::*;
 
 fn setup() -> (System, Database) {
     let mut sys = System::new(IsolationMode::Unikraft);
@@ -13,25 +16,31 @@ fn setup() -> (System, Database) {
     (sys, db)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn indexed_and_unindexed_plans_agree() {
+    for case in 0..12u64 {
+        let mut rng = Rng64::new(0x1DE_0000 + case);
+        let rows: Vec<(i64, i64)> = (0..rng.range_usize(1, 120))
+            .map(|_| (rng.range_i64(0, 50), rng.range_i64(0, 1000)))
+            .collect();
+        let probe = rng.range_i64(0, 50);
+        let lo = rng.range_i64(0, 25);
+        let span = rng.range_i64(0, 30);
 
-    #[test]
-    fn indexed_and_unindexed_plans_agree(
-        rows in proptest::collection::vec((0i64..50, 0i64..1000), 1..120),
-        probe in 0i64..50,
-        lo in 0i64..25,
-        span in 0i64..30,
-    ) {
         let (mut sys, mut db) = setup();
         // two identical tables, one indexed
-        db.execute(&mut sys, "CREATE TABLE plain(a INTEGER, b INTEGER)").unwrap();
-        db.execute(&mut sys, "CREATE TABLE fast(a INTEGER, b INTEGER)").unwrap();
-        db.execute(&mut sys, "CREATE INDEX ifast ON fast(a)").unwrap();
+        db.execute(&mut sys, "CREATE TABLE plain(a INTEGER, b INTEGER)")
+            .unwrap();
+        db.execute(&mut sys, "CREATE TABLE fast(a INTEGER, b INTEGER)")
+            .unwrap();
+        db.execute(&mut sys, "CREATE INDEX ifast ON fast(a)")
+            .unwrap();
         db.execute(&mut sys, "BEGIN").unwrap();
         for &(a, b) in &rows {
-            db.execute(&mut sys, &format!("INSERT INTO plain VALUES ({a}, {b})")).unwrap();
-            db.execute(&mut sys, &format!("INSERT INTO fast VALUES ({a}, {b})")).unwrap();
+            db.execute(&mut sys, &format!("INSERT INTO plain VALUES ({a}, {b})"))
+                .unwrap();
+            db.execute(&mut sys, &format!("INSERT INTO fast VALUES ({a}, {b})"))
+                .unwrap();
         }
         db.execute(&mut sys, "COMMIT").unwrap();
 
@@ -42,29 +51,45 @@ proptest! {
             format!("a < {probe} AND b % 2 = 0"),
         ] {
             let p = db
-                .query(&mut sys, &format!("SELECT a, b FROM plain WHERE {cond} ORDER BY a, b"))
+                .query(
+                    &mut sys,
+                    &format!("SELECT a, b FROM plain WHERE {cond} ORDER BY a, b"),
+                )
                 .unwrap();
             let f = db
-                .query(&mut sys, &format!("SELECT a, b FROM fast WHERE {cond} ORDER BY a, b"))
+                .query(
+                    &mut sys,
+                    &format!("SELECT a, b FROM fast WHERE {cond} ORDER BY a, b"),
+                )
                 .unwrap();
-            prop_assert_eq!(&p, &f, "condition `{}`", cond);
+            assert_eq!(p, f, "case {case}, condition `{cond}`");
         }
     }
+}
 
-    #[test]
-    fn aggregates_agree_with_model(
-        rows in proptest::collection::vec((0i64..8, -500i64..500), 0..80),
-    ) {
+#[test]
+fn aggregates_agree_with_model() {
+    for case in 0..12u64 {
+        let mut rng = Rng64::new(0xA66_0000 + case);
+        let rows: Vec<(i64, i64)> = (0..rng.range_usize(0, 80))
+            .map(|_| (rng.range_i64(0, 8), rng.range_i64(-500, 500)))
+            .collect();
+
         let (mut sys, mut db) = setup();
-        db.execute(&mut sys, "CREATE TABLE t(g INTEGER, v INTEGER)").unwrap();
+        db.execute(&mut sys, "CREATE TABLE t(g INTEGER, v INTEGER)")
+            .unwrap();
         db.execute(&mut sys, "BEGIN").unwrap();
         for &(g, v) in &rows {
-            db.execute(&mut sys, &format!("INSERT INTO t VALUES ({g}, {v})")).unwrap();
+            db.execute(&mut sys, &format!("INSERT INTO t VALUES ({g}, {v})"))
+                .unwrap();
         }
         db.execute(&mut sys, "COMMIT").unwrap();
 
         let got = db
-            .query(&mut sys, "SELECT g, count(*), sum(v), min(v), max(v) FROM t GROUP BY g ORDER BY g")
+            .query(
+                &mut sys,
+                "SELECT g, count(*), sum(v), min(v), max(v) FROM t GROUP BY g ORDER BY g",
+            )
             .unwrap();
 
         use std::collections::BTreeMap;
@@ -72,33 +97,58 @@ proptest! {
         for &(g, v) in &rows {
             model.entry(g).or_default().push(v);
         }
-        prop_assert_eq!(got.len(), model.len());
+        assert_eq!(got.len(), model.len(), "case {case}");
         for (row, (g, vs)) in got.iter().zip(model.iter()) {
-            prop_assert_eq!(&row[0], &SqlValue::Integer(*g));
-            prop_assert_eq!(&row[1], &SqlValue::Integer(vs.len() as i64));
-            prop_assert_eq!(&row[2], &SqlValue::Integer(vs.iter().sum::<i64>()));
-            prop_assert_eq!(&row[3], &SqlValue::Integer(*vs.iter().min().unwrap()));
-            prop_assert_eq!(&row[4], &SqlValue::Integer(*vs.iter().max().unwrap()));
+            assert_eq!(row[0], SqlValue::Integer(*g), "case {case}");
+            assert_eq!(row[1], SqlValue::Integer(vs.len() as i64), "case {case}");
+            assert_eq!(
+                row[2],
+                SqlValue::Integer(vs.iter().sum::<i64>()),
+                "case {case}"
+            );
+            assert_eq!(
+                row[3],
+                SqlValue::Integer(*vs.iter().min().unwrap()),
+                "case {case}"
+            );
+            assert_eq!(
+                row[4],
+                SqlValue::Integer(*vs.iter().max().unwrap()),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn update_delete_agree_with_model(
-        rows in proptest::collection::vec(-100i64..100, 1..60),
-        threshold in -50i64..50,
-        delta in -10i64..10,
-    ) {
+#[test]
+fn update_delete_agree_with_model() {
+    for case in 0..12u64 {
+        let mut rng = Rng64::new(0x0BD_0000 + case);
+        let rows: Vec<i64> = (0..rng.range_usize(1, 60))
+            .map(|_| rng.range_i64(-100, 100))
+            .collect();
+        let threshold = rng.range_i64(-50, 50);
+        let delta = rng.range_i64(-10, 10);
+
         let (mut sys, mut db) = setup();
         db.execute(&mut sys, "CREATE TABLE t(v INTEGER)").unwrap();
         db.execute(&mut sys, "BEGIN").unwrap();
         for &v in &rows {
-            db.execute(&mut sys, &format!("INSERT INTO t VALUES ({v})")).unwrap();
+            db.execute(&mut sys, &format!("INSERT INTO t VALUES ({v})"))
+                .unwrap();
         }
         db.execute(&mut sys, "COMMIT").unwrap();
 
-        db.execute(&mut sys, &format!("UPDATE t SET v = v + {delta} WHERE v < {threshold}"))
-            .unwrap();
-        db.execute(&mut sys, &format!("DELETE FROM t WHERE v > {}", threshold + 20)).unwrap();
+        db.execute(
+            &mut sys,
+            &format!("UPDATE t SET v = v + {delta} WHERE v < {threshold}"),
+        )
+        .unwrap();
+        db.execute(
+            &mut sys,
+            &format!("DELETE FROM t WHERE v > {}", threshold + 20),
+        )
+        .unwrap();
 
         let mut model: Vec<i64> = rows
             .iter()
@@ -113,19 +163,41 @@ proptest! {
             .iter()
             .map(|r| r[0].as_i64().unwrap())
             .collect();
-        prop_assert_eq!(got, model);
+        assert_eq!(got, model, "case {case}");
 
         let check = db.query(&mut sys, "PRAGMA integrity_check").unwrap();
-        prop_assert_eq!(&check[0][0], &SqlValue::Text("ok".into()));
+        assert_eq!(check[0][0], SqlValue::Text("ok".into()), "case {case}");
     }
+}
 
-    #[test]
-    fn tokenizer_never_panics(input in "\\PC{0,200}") {
+#[test]
+fn tokenizer_never_panics() {
+    // printable-unicode-ish soup, heavy on SQL metacharacters
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', '9', ' ', '\t', '\n', '\'', '"', '(', ')', ',', ';', '*', '=', '<', '>',
+        '.', '+', '-', '%', '_', '|', '&', '/', '\\', '`', '[', ']', '{', '}', '!', '?', '#', '@',
+        '~', '^', 'é', 'λ', '中', '🦀', '\u{0}', '\u{7f}',
+    ];
+    let mut rng = Rng64::new(0x70C3);
+    for _ in 0..500 {
+        let input: String = (0..rng.range_usize(0, 200))
+            .map(|_| *rng.pick(ALPHABET))
+            .collect();
         let _ = cubicle_sqldb::token::tokenize(&input);
     }
+}
 
-    #[test]
-    fn parser_never_panics(input in "[a-zA-Z0-9 ,()'*=<>.;+-]{0,120}") {
+#[test]
+fn parser_never_panics() {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'S', 'T', '0', '7', ' ', ',', '(', ')', '\'', '*', '=', '<', '>', '.', ';', '+',
+        '-',
+    ];
+    let mut rng = Rng64::new(0xBA25E);
+    for _ in 0..500 {
+        let input: String = (0..rng.range_usize(0, 120))
+            .map(|_| *rng.pick(ALPHABET))
+            .collect();
         let _ = cubicle_sqldb::parser::parse_all(&input);
     }
 }

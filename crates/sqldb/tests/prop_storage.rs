@@ -1,76 +1,97 @@
-//! Property-based tests of the storage layers (proptest).
+//! Randomized tests of the storage layers.
+//!
+//! Formerly proptest-based; rewritten over the in-tree deterministic
+//! [`Rng64`] so the suite builds fully offline.
 
 use cubicle_core::{IsolationMode, System};
+use cubicle_mpk::rng::Rng64;
 use cubicle_sqldb::btree;
 use cubicle_sqldb::pager::{Pager, DB_PAGE};
 use cubicle_sqldb::record::{decode_record, encode_index_key, encode_record};
 use cubicle_sqldb::storage::HostEnv;
 use cubicle_sqldb::SqlValue;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn sys() -> System {
     System::new(IsolationMode::Unikraft)
 }
 
-fn arb_value() -> impl Strategy<Value = SqlValue> {
-    prop_oneof![
-        Just(SqlValue::Null),
-        any::<i64>().prop_map(SqlValue::Integer),
+const TEXT_CHARS: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'M', 'Z', '0', '5', '9', ' ', '_', '%', '-',
+];
+
+fn rand_value(rng: &mut Rng64) -> SqlValue {
+    match rng.range_usize(0, 5) {
+        0 => SqlValue::Null,
+        1 => SqlValue::Integer(rng.next_u64() as i64),
         // avoid NaN: total_cmp treats NaN arbitrarily
-        (-1e15f64..1e15f64).prop_map(SqlValue::Real),
-        "[a-zA-Z0-9 _%\\-]{0,40}".prop_map(SqlValue::Text),
-        proptest::collection::vec(any::<u8>(), 0..48).prop_map(SqlValue::Blob),
-    ]
+        2 => SqlValue::Real(rng.range_i64(-1_000_000_000, 1_000_000_000) as f64 / 7.0),
+        3 => {
+            let len = rng.range_usize(0, 40);
+            SqlValue::Text((0..len).map(|_| *rng.pick(TEXT_CHARS)).collect())
+        }
+        _ => {
+            let len = rng.range_usize(0, 48);
+            SqlValue::Blob(rng.bytes(len))
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn record_encoding_round_trips(values in proptest::collection::vec(arb_value(), 0..12)) {
+#[test]
+fn record_encoding_round_trips() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(0x4EC0_0000 + case);
+        let values: Vec<SqlValue> = (0..rng.range_usize(0, 12))
+            .map(|_| rand_value(&mut rng))
+            .collect();
         let enc = encode_record(&values);
         let dec = decode_record(&enc).unwrap();
-        prop_assert_eq!(values, dec);
+        assert_eq!(values, dec, "case {case}");
     }
+}
 
-    #[test]
-    fn index_key_order_matches_value_order(a in arb_value(), b in arb_value()) {
+#[test]
+fn index_key_order_matches_value_order() {
+    let mut rng = Rng64::new(0x1DE2_0001);
+    for case in 0..256 {
+        let a = rand_value(&mut rng);
+        let b = rand_value(&mut rng);
         let ka = encode_index_key(std::slice::from_ref(&a), None);
         let kb = encode_index_key(std::slice::from_ref(&b), None);
         let vo = a.total_cmp(&b);
         if vo != std::cmp::Ordering::Equal {
-            prop_assert_eq!(ka.cmp(&kb), vo, "{:?} vs {:?}", a, b);
+            assert_eq!(ka.cmp(&kb), vo, "case {case}: {a:?} vs {b:?}");
         }
     }
+}
 
-    #[test]
-    fn btree_agrees_with_model(
-        ops in proptest::collection::vec(
-            (0u8..3, 0u64..200, proptest::collection::vec(any::<u8>(), 0..64)),
-            1..120,
-        )
-    ) {
+#[test]
+fn btree_agrees_with_model() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(0xB7EE_0000 + case);
         let mut s = sys();
         let env = HostEnv::new();
         let mut pager = Pager::open(&mut s, Box::new(env), "/prop.db", 32).unwrap();
         pager.begin(&mut s).unwrap();
         let mut root = btree::create(&mut s, &mut pager).unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-        for (op, key_num, val) in ops {
-            let key = key_num.to_be_bytes().to_vec();
+        for _ in 0..rng.range_usize(1, 120) {
+            let op = rng.range_u64(0, 3) as u8;
+            let key = rng.range_u64(0, 200).to_be_bytes().to_vec();
             match op {
                 0 => {
+                    let len = rng.range_usize(0, 64);
+                    let val = rng.bytes(len);
                     root = btree::insert(&mut s, &mut pager, root, &key, &val).unwrap();
                     model.insert(key, val);
                 }
                 1 => {
                     let removed = btree::delete(&mut s, &mut pager, root, &key).unwrap();
-                    prop_assert_eq!(removed, model.remove(&key).is_some());
+                    assert_eq!(removed, model.remove(&key).is_some(), "case {case}");
                 }
                 _ => {
                     let got = btree::get(&mut s, &mut pager, root, &key).unwrap();
-                    prop_assert_eq!(got.as_ref(), model.get(&key));
+                    assert_eq!(got.as_ref(), model.get(&key), "case {case}");
                 }
             }
         }
@@ -80,17 +101,26 @@ proptest! {
         while let Some((k, v)) = cur.next(&mut s, &mut pager).unwrap() {
             scanned.push((k, v));
         }
-        let expect: Vec<(Vec<u8>, Vec<u8>)> =
-            model.into_iter().collect();
-        prop_assert_eq!(scanned, expect);
-        prop_assert!(btree::validate(&mut s, &mut pager, root).is_ok());
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = model.into_iter().collect();
+        assert_eq!(scanned, expect, "case {case}");
+        assert!(
+            btree::validate(&mut s, &mut pager, root).is_ok(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn pager_transactions_are_atomic(
-        committed in proptest::collection::vec((1u32..20, any::<u8>()), 1..12),
-        aborted in proptest::collection::vec((1u32..20, any::<u8>()), 1..12),
-    ) {
+#[test]
+fn pager_transactions_are_atomic() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(0x7A6E_0000 + case);
+        let committed: Vec<(u32, u8)> = (0..rng.range_usize(1, 12))
+            .map(|_| (rng.range_u64(1, 20) as u32, rng.next_u32() as u8))
+            .collect();
+        let aborted: Vec<(u32, u8)> = (0..rng.range_usize(1, 12))
+            .map(|_| (rng.range_u64(1, 20) as u32, rng.next_u32() as u8))
+            .collect();
+
         let mut s = sys();
         let env = HostEnv::new();
         let mut pager = Pager::open(&mut s, Box::new(env.clone()), "/txn.db", 8).unwrap();
@@ -121,14 +151,14 @@ proptest! {
         // every page shows exactly the committed state
         for (&pno, &byte) in &expect {
             let got = pager.read_page(&mut s, pno).unwrap();
-            prop_assert_eq!(got[0], byte, "page {}", pno);
+            assert_eq!(got[0], byte, "case {case}, page {pno}");
         }
         // and the same holds after a clean reopen
         drop(pager);
         let mut pager = Pager::open(&mut s, Box::new(env), "/txn.db", 8).unwrap();
         for (&pno, &byte) in &expect {
             let got = pager.read_page(&mut s, pno).unwrap();
-            prop_assert_eq!(got[0], byte, "page {} after reopen", pno);
+            assert_eq!(got[0], byte, "case {case}, page {pno} after reopen");
         }
     }
 }

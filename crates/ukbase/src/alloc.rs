@@ -34,8 +34,14 @@ pub fn image() -> ComponentImage {
     let b = Builder::new();
     ComponentImage::new("ALLOC", CodeImage::plain(CODE_SIZE))
         .heap_pages(4)
-        .export(b.export("void *uk_palloc(size_t pages)").unwrap(), entry_palloc)
-        .export(b.export("void uk_pfree(void *addr, size_t pages)").unwrap(), entry_pfree)
+        .export(
+            b.export("void *uk_palloc(size_t pages)").unwrap(),
+            entry_palloc,
+        )
+        .export(
+            b.export("void uk_pfree(void *addr, size_t pages)").unwrap(),
+            entry_pfree,
+        )
 }
 
 fn entry_palloc(
@@ -154,7 +160,10 @@ mod tests {
         let alloc = sys.load(image(), Box::new(Alloc::default())).unwrap();
         let proxy = AllocProxy::resolve(&alloc);
         let app = sys
-            .load(ComponentImage::new("APP", CodeImage::plain(64)), Box::new(Dummy))
+            .load(
+                ComponentImage::new("APP", CodeImage::plain(64)),
+                Box::new(Dummy),
+            )
             .unwrap();
         (sys, proxy, app.cid)
     }
@@ -201,7 +210,10 @@ mod tests {
     fn pfree_of_unowned_pages_rejected() {
         let (mut sys, proxy, app) = setup();
         let other = sys
-            .load(ComponentImage::new("OTHER", CodeImage::plain(64)), Box::new(Dummy))
+            .load(
+                ComponentImage::new("OTHER", CodeImage::plain(64)),
+                Box::new(Dummy),
+            )
             .unwrap();
         let theirs = sys.run_in_cubicle(other.cid, |sys| proxy.palloc(sys, 1).unwrap());
         let err = sys.run_in_cubicle(app, |sys| proxy.pfree(sys, theirs, 1));

@@ -40,7 +40,9 @@ pub fn boot_base(sys: &mut System) -> Result<BaseSystem> {
     let time = sys.load(time::image(), Box::new(Time::default()))?;
     let plat = sys.load(plat::image(), Box::new(Plat::default()))?;
     let libc = sys.load(
-        ComponentImage::new("LIBC", CodeImage::plain(48 * 1024)).shared().heap_pages(8),
+        ComponentImage::new("LIBC", CodeImage::plain(48 * 1024))
+            .shared()
+            .heap_pages(8),
         Box::new(Libc),
     )?;
     Ok(BaseSystem {

@@ -89,8 +89,18 @@ mod tests {
 
     fn two_cubicles() -> (System, cubicle_core::CubicleId, cubicle_core::CubicleId) {
         let mut sys = System::new(IsolationMode::Full);
-        let a = sys.load(ComponentImage::new("A", CodeImage::plain(64)), Box::new(Dummy)).unwrap();
-        let b = sys.load(ComponentImage::new("B", CodeImage::plain(64)), Box::new(Dummy)).unwrap();
+        let a = sys
+            .load(
+                ComponentImage::new("A", CodeImage::plain(64)),
+                Box::new(Dummy),
+            )
+            .unwrap();
+        let b = sys
+            .load(
+                ComponentImage::new("B", CodeImage::plain(64)),
+                Box::new(Dummy),
+            )
+            .unwrap();
         (sys, a.cid, b.cid)
     }
 

@@ -28,7 +28,11 @@ pub fn image() -> ComponentImage {
     let b = Builder::new();
     ComponentImage::new("PLAT", CodeImage::plain(8 * 1024))
         .heap_pages(4)
-        .export(b.export("long uk_console_out(const char *buf, size_t n)").unwrap(), entry_out)
+        .export(
+            b.export("long uk_console_out(const char *buf, size_t n)")
+                .unwrap(),
+            entry_out,
+        )
         .export(b.export("void uk_plat_halt(void)").unwrap(), entry_halt)
 }
 
@@ -47,7 +51,9 @@ fn entry_out(
         Err(e) => return Err(e),
     };
     sys.charge(200); // host write syscall amortisation
-    cubicle_core::component_mut::<Plat>(this).console.extend_from_slice(&bytes);
+    cubicle_core::component_mut::<Plat>(this)
+        .console
+        .extend_from_slice(&bytes);
     Ok(Value::I64(len as i64))
 }
 
@@ -90,7 +96,9 @@ impl PlatProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn console_out(&self, sys: &mut System, buf: VAddr, len: usize) -> Result<i64> {
-        Ok(sys.cross_call(self.out, &[Value::buf_in(buf, len)])?.as_i64())
+        Ok(sys
+            .cross_call(self.out, &[Value::buf_in(buf, len)])?
+            .as_i64())
     }
 
     /// Requests a platform halt.
@@ -117,7 +125,10 @@ mod tests {
         let plat = sys.load(image(), Box::new(Plat::default())).unwrap();
         let proxy = PlatProxy::resolve(&plat);
         let app = sys
-            .load(ComponentImage::new("APP", CodeImage::plain(64)), Box::new(Dummy))
+            .load(
+                ComponentImage::new("APP", CodeImage::plain(64)),
+                Box::new(Dummy),
+            )
             .unwrap();
         (sys, proxy, plat.slot, app.cid)
     }
@@ -169,7 +180,9 @@ mod tests {
     fn halt_sets_flag() {
         let (mut sys, proxy, slot, app) = setup();
         sys.run_in_cubicle(app, |sys| proxy.halt(sys).unwrap());
-        let halted = sys.with_component_mut::<Plat, _>(slot, |p, _| p.halted).unwrap();
+        let halted = sys
+            .with_component_mut::<Plat, _>(slot, |p, _| p.halted)
+            .unwrap();
         assert!(halted);
     }
 }

@@ -39,7 +39,10 @@ pub fn image() -> ComponentImage {
     let b = Builder::new();
     ComponentImage::new("TIME", CodeImage::plain(2 * 1024))
         .heap_pages(1)
-        .export(b.export("uint64_t uk_time_now_ns(void)").unwrap(), entry_now)
+        .export(
+            b.export("uint64_t uk_time_now_ns(void)").unwrap(),
+            entry_now,
+        )
 }
 
 fn entry_now(
@@ -62,7 +65,10 @@ pub struct TimeProxy {
 impl TimeProxy {
     /// Resolves the proxy from the loaded component.
     pub fn resolve(loaded: &LoadedComponent) -> TimeProxy {
-        TimeProxy { cid: loaded.cid, now: loaded.entry("uk_time_now_ns") }
+        TimeProxy {
+            cid: loaded.cid,
+            now: loaded.entry("uk_time_now_ns"),
+        }
     }
 
     /// The `TIME` cubicle's ID.
@@ -101,7 +107,10 @@ mod tests {
         let time = sys.load(image(), Box::new(Time::default())).unwrap();
         let proxy = TimeProxy::resolve(&time);
         let app = sys
-            .load(ComponentImage::new("APP", CodeImage::plain(64)), Box::new(Dummy))
+            .load(
+                ComponentImage::new("APP", CodeImage::plain(64)),
+                Box::new(Dummy),
+            )
             .unwrap();
         let (t1, t2) = sys.run_in_cubicle(app.cid, |sys| {
             let t1 = proxy.now_ns(sys).unwrap();

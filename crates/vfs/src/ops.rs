@@ -101,9 +101,18 @@ mod tests {
     #[test]
     fn stat_wire_round_trip() {
         for stat in [
-            FileStat { size: 0, is_dir: false },
-            FileStat { size: 12345, is_dir: false },
-            FileStat { size: u64::MAX, is_dir: true },
+            FileStat {
+                size: 0,
+                is_dir: false,
+            },
+            FileStat {
+                size: 12345,
+                is_dir: false,
+            },
+            FileStat {
+                size: u64::MAX,
+                is_dir: true,
+            },
         ] {
             assert_eq!(FileStat::decode(&stat.encode()), stat);
         }

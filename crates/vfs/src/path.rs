@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn parent_split() {
-        assert_eq!(split_parent("/a/b"), Some((vec!["a".to_string()], "b".to_string())));
+        assert_eq!(
+            split_parent("/a/b"),
+            Some((vec!["a".to_string()], "b".to_string()))
+        );
         assert_eq!(split_parent("/top"), Some((vec![], "top".to_string())));
         assert_eq!(split_parent("/"), None);
     }

@@ -49,7 +49,12 @@ impl VfsPort {
         for &cid in &grantees {
             sys.window_open(wid, cid)?;
         }
-        Ok(VfsPort { proxy, grantees, path_buf, path_cap })
+        Ok(VfsPort {
+            proxy,
+            grantees,
+            path_buf,
+            path_cap,
+        })
     }
 
     /// The underlying typed proxy.
@@ -63,7 +68,10 @@ impl VfsPort {
     }
 
     fn put_path(&self, sys: &mut System, path: &str) -> Result<usize> {
-        assert!(path.len() <= self.path_cap, "path longer than the path page");
+        assert!(
+            path.len() <= self.path_cap,
+            "path longer than the path page"
+        );
         sys.write(self.path_buf, path.as_bytes())?;
         Ok(path.len())
     }
@@ -143,14 +151,7 @@ impl VfsPort {
     /// # Errors
     ///
     /// Kernel errors from the cross-cubicle call.
-    pub fn pwrite(
-        &self,
-        sys: &mut System,
-        fd: i64,
-        buf: VAddr,
-        n: usize,
-        off: u64,
-    ) -> Result<i64> {
+    pub fn pwrite(&self, sys: &mut System, fd: i64, buf: VAddr, n: usize, off: u64) -> Result<i64> {
         self.with_buffer_window(sys, buf, n, |sys| self.proxy.pwrite(sys, fd, buf, n, off))
     }
 
@@ -198,11 +199,7 @@ impl VfsPort {
     /// # Errors
     ///
     /// Kernel errors from the cross-cubicle call.
-    pub fn stat(
-        &self,
-        sys: &mut System,
-        path: &str,
-    ) -> Result<std::result::Result<FileStat, i64>> {
+    pub fn stat(&self, sys: &mut System, path: &str) -> Result<std::result::Result<FileStat, i64>> {
         let len = self.put_path(sys, path)?;
         let out = sys.heap_alloc(FileStat::WIRE_SIZE, 8)?;
         let r = self.with_buffer_window(sys, out, FileStat::WIRE_SIZE, |sys| {
@@ -223,11 +220,7 @@ impl VfsPort {
     /// # Errors
     ///
     /// Kernel errors from the cross-cubicle call.
-    pub fn fstat(
-        &self,
-        sys: &mut System,
-        fd: i64,
-    ) -> Result<std::result::Result<FileStat, i64>> {
+    pub fn fstat(&self, sys: &mut System, fd: i64) -> Result<std::result::Result<FileStat, i64>> {
         let out = sys.heap_alloc(FileStat::WIRE_SIZE, 8)?;
         let r = self.with_buffer_window(sys, out, FileStat::WIRE_SIZE, |sys| {
             self.proxy.fstat(sys, fd, out)
@@ -299,7 +292,11 @@ impl VfsPort {
     pub fn read_vec(&self, sys: &mut System, fd: i64, n: usize) -> Result<Vec<u8>> {
         let buf = sys.heap_alloc(n.max(1), 8)?;
         let r = self.read(sys, fd, buf, n)?;
-        let out = if r > 0 { sys.read_vec(buf, r as usize)? } else { Vec::new() };
+        let out = if r > 0 {
+            sys.read_vec(buf, r as usize)?
+        } else {
+            Vec::new()
+        };
         sys.heap_free(buf)?;
         Ok(out)
     }

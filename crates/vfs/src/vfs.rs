@@ -47,10 +47,11 @@ impl Vfs {
         }
         self.mounts.push(Mount { prefix, ops });
         // longest prefix first
-        self.mounts.sort_by(|a, b| b.prefix.len().cmp(&a.prefix.len()));
+        self.mounts
+            .sort_by_key(|m| std::cmp::Reverse(m.prefix.len()));
     }
 
-    fn resolve<'p>(&self, path: &'p str) -> Option<(usize, usize)> {
+    fn resolve(&self, path: &str) -> Option<(usize, usize)> {
         // returns (mount index, byte offset of the relative path)
         for (i, m) in self.mounts.iter().enumerate() {
             let bare = &m.prefix[..m.prefix.len() - 1]; // without trailing '/'
@@ -90,30 +91,65 @@ pub fn image() -> ComponentImage {
     let b = Builder::new();
     ComponentImage::new("VFSCORE", CodeImage::plain(24 * 1024))
         .heap_pages(8)
-        .export(b.export("long vfs_open(const char *path, size_t len, int flags)").unwrap(), e_open)
-        .export(b.export("long vfs_close(int fd)").unwrap(), e_close)
-        .export(b.export("long vfs_read(int fd, void *buf, size_t n)").unwrap(), e_read)
-        .export(b.export("long vfs_write(int fd, const void *buf, size_t n)").unwrap(), e_write)
         .export(
-            b.export("long vfs_pread(int fd, void *buf, size_t n, uint64_t off)").unwrap(),
+            b.export("long vfs_open(const char *path, size_t len, int flags)")
+                .unwrap(),
+            e_open,
+        )
+        .export(b.export("long vfs_close(int fd)").unwrap(), e_close)
+        .export(
+            b.export("long vfs_read(int fd, void *buf, size_t n)")
+                .unwrap(),
+            e_read,
+        )
+        .export(
+            b.export("long vfs_write(int fd, const void *buf, size_t n)")
+                .unwrap(),
+            e_write,
+        )
+        .export(
+            b.export("long vfs_pread(int fd, void *buf, size_t n, uint64_t off)")
+                .unwrap(),
             e_pread,
         )
         .export(
-            b.export("long vfs_pwrite(int fd, const void *buf, size_t n, uint64_t off)").unwrap(),
+            b.export("long vfs_pwrite(int fd, const void *buf, size_t n, uint64_t off)")
+                .unwrap(),
             e_pwrite,
         )
-        .export(b.export("long vfs_lseek(int fd, long off, int whence)").unwrap(), e_lseek)
-        .export(b.export("long vfs_fsync(int fd)").unwrap(), e_fsync)
-        .export(b.export("long vfs_unlink(const char *path, size_t len)").unwrap(), e_unlink)
-        .export(b.export("long vfs_mkdir(const char *path, size_t len)").unwrap(), e_mkdir)
         .export(
-            b.export("long vfs_stat(const char *path, size_t len, void *statbuf)").unwrap(),
+            b.export("long vfs_lseek(int fd, long off, int whence)")
+                .unwrap(),
+            e_lseek,
+        )
+        .export(b.export("long vfs_fsync(int fd)").unwrap(), e_fsync)
+        .export(
+            b.export("long vfs_unlink(const char *path, size_t len)")
+                .unwrap(),
+            e_unlink,
+        )
+        .export(
+            b.export("long vfs_mkdir(const char *path, size_t len)")
+                .unwrap(),
+            e_mkdir,
+        )
+        .export(
+            b.export("long vfs_stat(const char *path, size_t len, void *statbuf)")
+                .unwrap(),
             e_stat,
         )
-        .export(b.export("long vfs_fstat(int fd, void *statbuf)").unwrap(), e_fstat)
-        .export(b.export("long vfs_ftruncate(int fd, uint64_t len)").unwrap(), e_ftruncate)
         .export(
-            b.export("long vfs_readdir(int fd, void *buf, size_t n, long index)").unwrap(),
+            b.export("long vfs_fstat(int fd, void *statbuf)").unwrap(),
+            e_fstat,
+        )
+        .export(
+            b.export("long vfs_ftruncate(int fd, uint64_t len)")
+                .unwrap(),
+            e_ftruncate,
+        )
+        .export(
+            b.export("long vfs_readdir(int fd, void *buf, size_t n, long index)")
+                .unwrap(),
             e_readdir,
         )
 }
@@ -163,13 +199,20 @@ fn e_open(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<
         return Ok(Value::I64(ino));
     }
     if open_flags & flags::O_TRUNC != 0 {
-        let r = sys.cross_call(ops.truncate, &[Value::I64(ino), Value::U64(0)])?.as_i64();
+        let r = sys
+            .cross_call(ops.truncate, &[Value::I64(ino), Value::U64(0)])?
+            .as_i64();
         if r < 0 {
             return Ok(Value::I64(r));
         }
     }
     let vfs = component_mut::<Vfs>(this);
-    match vfs.install_fd(OpenFile { mount, ino, offset: 0, flags: open_flags }) {
+    match vfs.install_fd(OpenFile {
+        mount,
+        ino,
+        offset: 0,
+        flags: open_flags,
+    }) {
         Some(fd) => Ok(Value::I64(fd)),
         None => Ok(Value::I64(Errno::Emfile.neg())),
     }
@@ -233,7 +276,10 @@ fn rw_common(
             Value::buf_out(buf + done, chunk)
         };
         let r = sys
-            .cross_call(entry, &[Value::I64(file.ino), bufval, Value::U64(off + done as u64)])?
+            .cross_call(
+                entry,
+                &[Value::I64(file.ino), bufval, Value::U64(off + done as u64)],
+            )?
             .as_i64();
         if r < 0 {
             if total == 0 {
@@ -312,7 +358,7 @@ fn e_fsync(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result
         return Ok(Value::I64(Errno::Ebadf.neg()));
     };
     let ops = vfs.mounts[file.mount].ops;
-    Ok(sys.cross_call(ops.sync, &[Value::I64(file.ino)])?)
+    sys.cross_call(ops.sync, &[Value::I64(file.ino)])
 }
 
 fn path_op(
@@ -363,7 +409,10 @@ fn stat_of(sys: &mut System, ops: &FsOps, ino: i64) -> Result<std::result::Resul
         }
         s as u64
     };
-    Ok(Ok(FileStat { size, is_dir: is_dir == 1 }))
+    Ok(Ok(FileStat {
+        size,
+        is_dir: is_dir == 1,
+    }))
 }
 
 fn write_stat(sys: &mut System, out: VAddr, stat: FileStat) -> Result<i64> {
@@ -437,7 +486,11 @@ fn e_readdir(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resu
     let ops = vfs.mounts[file.mount].ops;
     sys.cross_call(
         ops.readdir,
-        &[Value::I64(file.ino), Value::buf_out(buf, len), Value::I64(index)],
+        &[
+            Value::I64(file.ino),
+            Value::buf_out(buf, len),
+            Value::I64(index),
+        ],
     )
 }
 
@@ -505,7 +558,13 @@ impl VfsProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn open(&self, sys: &mut System, path: VAddr, len: usize, oflags: i64) -> Result<i64> {
-        proxy_call!(self, sys, open, Value::buf_in(path, len), Value::I64(oflags))
+        proxy_call!(
+            self,
+            sys,
+            open,
+            Value::buf_in(path, len),
+            Value::I64(oflags)
+        )
     }
 
     /// `close(fd)`.
@@ -541,7 +600,14 @@ impl VfsProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn pread(&self, sys: &mut System, fd: i64, buf: VAddr, n: usize, off: u64) -> Result<i64> {
-        proxy_call!(self, sys, pread, Value::I64(fd), Value::buf_out(buf, n), Value::U64(off))
+        proxy_call!(
+            self,
+            sys,
+            pread,
+            Value::I64(fd),
+            Value::buf_out(buf, n),
+            Value::U64(off)
+        )
     }
 
     /// `pwrite(fd, buf, n, off)`.
@@ -550,7 +616,14 @@ impl VfsProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn pwrite(&self, sys: &mut System, fd: i64, buf: VAddr, n: usize, off: u64) -> Result<i64> {
-        proxy_call!(self, sys, pwrite, Value::I64(fd), Value::buf_in(buf, n), Value::U64(off))
+        proxy_call!(
+            self,
+            sys,
+            pwrite,
+            Value::I64(fd),
+            Value::buf_in(buf, n),
+            Value::U64(off)
+        )
     }
 
     /// `lseek(fd, off, whence)` → new offset or `-errno`.
@@ -559,7 +632,14 @@ impl VfsProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn lseek(&self, sys: &mut System, fd: i64, off: i64, wh: i64) -> Result<i64> {
-        proxy_call!(self, sys, lseek, Value::I64(fd), Value::I64(off), Value::I64(wh))
+        proxy_call!(
+            self,
+            sys,
+            lseek,
+            Value::I64(fd),
+            Value::I64(off),
+            Value::I64(wh)
+        )
     }
 
     /// `fsync(fd)`.
@@ -610,7 +690,13 @@ impl VfsProxy {
     ///
     /// Kernel errors from the cross-cubicle call.
     pub fn fstat(&self, sys: &mut System, fd: i64, out: VAddr) -> Result<i64> {
-        proxy_call!(self, sys, fstat, Value::I64(fd), Value::buf_out(out, FileStat::WIRE_SIZE))
+        proxy_call!(
+            self,
+            sys,
+            fstat,
+            Value::I64(fd),
+            Value::buf_out(out, FileStat::WIRE_SIZE)
+        )
     }
 
     /// `ftruncate(fd, len)`.
@@ -636,6 +722,13 @@ impl VfsProxy {
         n: usize,
         index: i64,
     ) -> Result<i64> {
-        proxy_call!(self, sys, readdir, Value::I64(fd), Value::buf_out(buf, n), Value::I64(index))
+        proxy_call!(
+            self,
+            sys,
+            readdir,
+            Value::I64(fd),
+            Value::buf_out(buf, n),
+            Value::I64(index)
+        )
     }
 }

@@ -17,16 +17,23 @@ struct Stack {
 
 fn boot_two_mounts() -> Stack {
     let mut sys = System::new(IsolationMode::Full);
-    let vfs_loaded = sys.load(cubicle_vfs::image(), Box::new(Vfs::default())).unwrap();
+    let vfs_loaded = sys
+        .load(cubicle_vfs::image(), Box::new(Vfs::default()))
+        .unwrap();
     // two independent RAMFS instances mounted at "/" and "/data"
-    let root_fs = sys.load(cubicle_ramfs::image(), Box::new(Ramfs::default())).unwrap();
+    let root_fs = sys
+        .load(cubicle_ramfs::image(), Box::new(Ramfs::default()))
+        .unwrap();
     mount_at(&mut sys, vfs_loaded.slot, &root_fs, "/");
     // mounting the SAME backend again at /data exercises the
     // longest-prefix-match logic without needing a second symbol set
     mount_at(&mut sys, vfs_loaded.slot, &root_fs, "/data");
     let backend_cid = root_fs.cid;
     let app = sys
-        .load(ComponentImage::new("APP", CodeImage::plain(1024)).heap_pages(32), Box::new(App))
+        .load(
+            ComponentImage::new("APP", CodeImage::plain(1024)).heap_pages(32),
+            Box::new(App),
+        )
         .unwrap();
     Stack {
         sys,
@@ -50,13 +57,18 @@ fn longest_prefix_mount_wins() {
     with_port(&mut stack, |sys, port| {
         // "/data/x" resolves through the /data mount: the relative path
         // handed to the backend is "x", so it lands at the backend root.
-        let fd = port.open(sys, "/data/x", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let fd = port
+            .open(sys, "/data/x", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         assert!(fd >= 0);
         port.write_all(sys, fd, b"via /data").unwrap();
         port.close(sys, fd).unwrap();
         // the same backend is mounted at "/", so "/x" shows the file too
         let fd2 = port.open(sys, "/x", flags::O_RDONLY).unwrap();
-        assert!(fd2 >= 0, "longest-prefix routing must strip the mount prefix");
+        assert!(
+            fd2 >= 0,
+            "longest-prefix routing must strip the mount prefix"
+        );
         assert_eq!(port.read_vec(sys, fd2, 16).unwrap(), b"via /data");
     });
 }
@@ -65,7 +77,8 @@ fn longest_prefix_mount_wins() {
 fn fd_table_exhaustion_yields_emfile() {
     let mut stack = boot_two_mounts();
     with_port(&mut stack, |sys, port| {
-        port.open(sys, "/seed", flags::O_CREAT | flags::O_RDWR).unwrap();
+        port.open(sys, "/seed", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         let mut fds = Vec::new();
         loop {
             let fd = port.open(sys, "/seed", flags::O_RDONLY).unwrap();
@@ -86,7 +99,9 @@ fn fd_table_exhaustion_yields_emfile() {
 fn fds_are_reused_after_close() {
     let mut stack = boot_two_mounts();
     with_port(&mut stack, |sys, port| {
-        let a = port.open(sys, "/f", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let a = port
+            .open(sys, "/f", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         port.close(sys, a).unwrap();
         let b = port.open(sys, "/f", flags::O_RDWR).unwrap();
         assert_eq!(a, b, "lowest free descriptor is reused");
@@ -97,12 +112,18 @@ fn fds_are_reused_after_close() {
 fn independent_offsets_per_fd() {
     let mut stack = boot_two_mounts();
     with_port(&mut stack, |sys, port| {
-        let w = port.open(sys, "/off", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let w = port
+            .open(sys, "/off", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         port.write_all(sys, w, b"0123456789").unwrap();
         let r1 = port.open(sys, "/off", flags::O_RDONLY).unwrap();
         let r2 = port.open(sys, "/off", flags::O_RDONLY).unwrap();
         assert_eq!(port.read_vec(sys, r1, 4).unwrap(), b"0123");
-        assert_eq!(port.read_vec(sys, r2, 2).unwrap(), b"01", "r2 has its own offset");
+        assert_eq!(
+            port.read_vec(sys, r2, 2).unwrap(),
+            b"01",
+            "r2 has its own offset"
+        );
         assert_eq!(port.read_vec(sys, r1, 2).unwrap(), b"45");
     });
 }
@@ -111,7 +132,9 @@ fn independent_offsets_per_fd() {
 fn lseek_whence_semantics() {
     let mut stack = boot_two_mounts();
     with_port(&mut stack, |sys, port| {
-        let fd = port.open(sys, "/s", flags::O_CREAT | flags::O_RDWR).unwrap();
+        let fd = port
+            .open(sys, "/s", flags::O_CREAT | flags::O_RDWR)
+            .unwrap();
         port.write_all(sys, fd, b"abcdefgh").unwrap();
         assert_eq!(port.lseek(sys, fd, 2, whence::SEEK_SET).unwrap(), 2);
         assert_eq!(port.read_vec(sys, fd, 1).unwrap(), b"c");
@@ -119,7 +142,10 @@ fn lseek_whence_semantics() {
         assert_eq!(port.read_vec(sys, fd, 1).unwrap(), b"f");
         assert_eq!(port.lseek(sys, fd, -1, whence::SEEK_END).unwrap(), 7);
         assert_eq!(port.read_vec(sys, fd, 1).unwrap(), b"h");
-        assert_eq!(port.lseek(sys, fd, -100, whence::SEEK_SET).unwrap(), Errno::Einval.neg());
+        assert_eq!(
+            port.lseek(sys, fd, -100, whence::SEEK_SET).unwrap(),
+            Errno::Einval.neg()
+        );
         assert_eq!(port.lseek(sys, fd, 0, 99).unwrap(), Errno::Einval.neg());
     });
 }
@@ -128,9 +154,14 @@ fn lseek_whence_semantics() {
 fn unknown_mount_is_enoent() {
     // a VFS with no mounts rejects everything
     let mut sys = System::new(IsolationMode::Full);
-    let vfs_loaded = sys.load(cubicle_vfs::image(), Box::new(Vfs::default())).unwrap();
+    let vfs_loaded = sys
+        .load(cubicle_vfs::image(), Box::new(Vfs::default()))
+        .unwrap();
     let app = sys
-        .load(ComponentImage::new("APP", CodeImage::plain(64)).heap_pages(8), Box::new(App))
+        .load(
+            ComponentImage::new("APP", CodeImage::plain(64)).heap_pages(8),
+            Box::new(App),
+        )
         .unwrap();
     let vfs = VfsProxy::resolve(&vfs_loaded);
     let r = sys.run_in_cubicle(app.cid, |sys| {

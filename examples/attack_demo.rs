@@ -37,17 +37,27 @@ fn stage_attack(mode: IsolationMode) -> (bool, System) {
         builder.export("void *tls_key_location(void)").unwrap(),
         |_sys, this, _args| Ok(Value::Ptr(component_mut::<Tls>(this).key_addr)),
     );
-    let tls = sys.load(tls_img, Box::new(Tls { key_addr: VAddr::NULL })).unwrap();
+    let tls = sys
+        .load(
+            tls_img,
+            Box::new(Tls {
+                key_addr: VAddr::NULL,
+            }),
+        )
+        .unwrap();
     let key_addr = sys.run_in_cubicle(tls.cid, |sys| {
         let key = sys.heap_alloc(32, 8).unwrap();
         sys.write(key, b"-----SECRET-TLS-PRIVATE-KEY----").unwrap();
         key
     });
-    sys.with_component_mut::<Tls, _>(tls.slot, |t, _| t.key_addr = key_addr).unwrap();
+    sys.with_component_mut::<Tls, _>(tls.slot, |t, _| t.key_addr = key_addr)
+        .unwrap();
 
     // A malicious "file system" that scans foreign memory when invoked.
     let evil_img = ComponentImage::new("EVILFS", CodeImage::plain(4096)).export(
-        builder.export("long evil_fs_mount(const void *where)").unwrap(),
+        builder
+            .export("long evil_fs_mount(const void *where)")
+            .unwrap(),
         |sys, this, args| {
             let target = args[0].as_ptr();
             match sys.read_vec(target, 31) {
@@ -60,12 +70,16 @@ fn stage_attack(mode: IsolationMode) -> (bool, System) {
             }
         },
     );
-    let evil = sys.load(evil_img, Box::new(EvilFs { stolen: None })).unwrap();
+    let evil = sys
+        .load(evil_img, Box::new(EvilFs { stolen: None }))
+        .unwrap();
 
     // The "kernel" innocently calls into the file system; the pointer it
     // passes is the secret's address (modelling an info-leak gadget).
     let _ = sys
-        .run_in_cubicle(evil.cid, |sys| sys.call("evil_fs_mount", &[Value::Ptr(key_addr)]))
+        .run_in_cubicle(evil.cid, |sys| {
+            sys.call("evil_fs_mount", &[Value::Ptr(key_addr)])
+        })
         .unwrap();
     let stolen = sys
         .with_component_mut::<EvilFs, _>(evil.slot, |e, _| e.stolen.clone())
@@ -91,7 +105,11 @@ fn main() {
     let mut sys = System::new(IsolationMode::Full);
     let dirty = ComponentImage::new(
         "BACKDOOR",
-        CodeImage::from_insns(&[Insn::Plain { len: 64 }, Insn::Wrpkru, Insn::Plain { len: 8 }]),
+        CodeImage::from_insns(&[
+            Insn::Plain { len: 64 },
+            Insn::Wrpkru,
+            Insn::Plain { len: 8 },
+        ]),
     );
     struct Backdoor;
     impl_component!(Backdoor);

@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --example many_cubicles`
 
-use cubicleos::kernel::{
-    impl_component, ComponentImage, CubicleError, IsolationMode, System,
-};
+use cubicleos::kernel::{impl_component, ComponentImage, CubicleError, IsolationMode, System};
 use cubicleos::mpk::insn::CodeImage;
 
 struct Worker;
@@ -22,10 +20,16 @@ fn main() {
     let mut plain = System::new(IsolationMode::Full);
     for i in 0..15 {
         plain
-            .load(ComponentImage::new(format!("W{i}"), CodeImage::plain(256)), Box::new(Worker))
+            .load(
+                ComponentImage::new(format!("W{i}"), CodeImage::plain(256)),
+                Box::new(Worker),
+            )
             .unwrap();
     }
-    match plain.load(ComponentImage::new("W15", CodeImage::plain(256)), Box::new(Worker)) {
+    match plain.load(
+        ComponentImage::new("W15", CodeImage::plain(256)),
+        Box::new(Worker),
+    ) {
         Err(CubicleError::OutOfKeys) => {
             println!("without virtualisation: 15 isolated cubicles, the 16th fails (OutOfKeys) ✓")
         }
@@ -37,19 +41,26 @@ fn main() {
     sys.enable_key_virtualisation();
     let workers: Vec<_> = (0..40)
         .map(|i| {
-            sys.load(ComponentImage::new(format!("W{i}"), CodeImage::plain(256)), Box::new(Worker))
-                .unwrap()
-                .cid
+            sys.load(
+                ComponentImage::new(format!("W{i}"), CodeImage::plain(256)),
+                Box::new(Worker),
+            )
+            .unwrap()
+            .cid
         })
         .collect();
-    println!("with virtualisation: loaded {} isolated cubicles", workers.len());
+    println!(
+        "with virtualisation: loaded {} isolated cubicles",
+        workers.len()
+    );
 
     // every worker owns private state and cycles through the key pool
     let mut secrets = Vec::new();
     for (i, &cid) in workers.iter().enumerate() {
         let addr = sys.run_in_cubicle(cid, |sys| {
             let p = sys.heap_alloc(64, 8).unwrap();
-            sys.write(p, format!("secret of worker {i}").as_bytes()).unwrap();
+            sys.write(p, format!("secret of worker {i}").as_bytes())
+                .unwrap();
             p
         });
         secrets.push(addr);
@@ -61,7 +72,10 @@ fn main() {
         let own = sys.run_in_cubicle(cid, |sys| sys.read_vec(secrets[i], 8).unwrap());
         assert_eq!(&own, b"secret o");
         let neighbour = secrets[(i + 1) % secrets.len()];
-        if sys.run_in_cubicle(cid, |sys| sys.read_vec(neighbour, 8)).is_err() {
+        if sys
+            .run_in_cubicle(cid, |sys| sys.read_vec(neighbour, 8))
+            .is_err()
+        {
             denied += 1;
         }
     }
@@ -71,5 +85,8 @@ fn main() {
         "key-binding evictions performed: {} (each retagged the evicted key's pages)",
         sys.key_evictions()
     );
-    println!("machine retags (pkey_mprotect calls): {}", sys.machine_stats().retags);
+    println!(
+        "machine retags (pkey_mprotect calls): {}",
+        sys.machine_stats().retags
+    );
 }

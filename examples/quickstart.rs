@@ -38,8 +38,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         Box::new(Ramfs),
     )?;
-    let app = sys.load(ComponentImage::new("APP", CodeImage::plain(4096)), Box::new(App))?;
-    println!("loaded {} and {}", sys.cubicle_name(ramfs.cid), sys.cubicle_name(app.cid));
+    let app = sys.load(
+        ComponentImage::new("APP", CodeImage::plain(4096)),
+        Box::new(App),
+    )?;
+    println!(
+        "loaded {} and {}",
+        sys.cubicle_name(ramfs.cid),
+        sys.cubicle_name(app.cid)
+    );
 
     let ramfs_cid = ramfs.cid;
     sys.run_in_cubicle(app.cid, |sys| -> Result<(), CubicleError> {
@@ -66,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = sys.stats();
     println!();
     println!("trap-and-map activity:");
-    println!("  faults resolved (page retagged): {}", stats.faults_resolved);
+    println!(
+        "  faults resolved (page retagged): {}",
+        stats.faults_resolved
+    );
     println!("  faults denied   (no window):     {}", stats.faults_denied);
     println!("  window operations:               {}", stats.window_ops);
     println!("  cross-cubicle calls:             {}", stats.cross_calls);

@@ -23,7 +23,8 @@ fn run_mode(mode: IsolationMode) -> Result<u64, Box<dyn std::error::Error>> {
     let base = boot_base(&mut sys)?;
     let vfs = sys.load(cubicleos::vfs::image(), Box::new(Vfs::default()))?;
     let ramfs = sys.load(cubicleos::ramfs::image(), Box::new(Ramfs::default()))?;
-    sys.with_component_mut::<Ramfs, _>(ramfs.slot, |fs, _| fs.set_alloc(base.alloc)).unwrap();
+    sys.with_component_mut::<Ramfs, _>(ramfs.slot, |fs, _| fs.set_alloc(base.alloc))
+        .unwrap();
     mount_at(&mut sys, vfs.slot, &ramfs, "/");
     let app = sys.load(
         ComponentImage::new("SQLITE", CodeImage::plain(64 * 1024)).heap_pages(128),
@@ -33,32 +34,45 @@ fn run_mode(mode: IsolationMode) -> Result<u64, Box<dyn std::error::Error>> {
 
     let vfs_proxy = VfsProxy::resolve(&vfs);
     let ramfs_cid = ramfs.cid;
-    let cycles = sys.run_in_cubicle(app.cid, move |sys| -> Result<u64, Box<dyn std::error::Error>> {
-        let port = VfsPort::new(sys, vfs_proxy, &[ramfs_cid])?;
-        let mut db = Database::open(sys, Box::new(CubicleEnv::new(port)), "/demo.db")?;
-        let t0 = sys.now();
-        db.execute(sys, "CREATE TABLE orders(id INTEGER PRIMARY KEY, customer TEXT, total REAL)")?;
-        db.execute(sys, "CREATE INDEX ic ON orders(customer)")?;
-        db.execute(sys, "BEGIN")?;
-        for i in 0..500 {
+    let cycles = sys.run_in_cubicle(
+        app.cid,
+        move |sys| -> Result<u64, Box<dyn std::error::Error>> {
+            let port = VfsPort::new(sys, vfs_proxy, &[ramfs_cid])?;
+            let mut db = Database::open(sys, Box::new(CubicleEnv::new(port)), "/demo.db")?;
+            let t0 = sys.now();
             db.execute(
                 sys,
-                &format!("INSERT INTO orders VALUES ({i}, 'cust{}', {}.5)", i % 20, i % 97),
+                "CREATE TABLE orders(id INTEGER PRIMARY KEY, customer TEXT, total REAL)",
             )?;
-        }
-        db.execute(sys, "COMMIT")?;
-        let top = db.query(
-            sys,
-            "SELECT customer, count(*), sum(total) FROM orders \
+            db.execute(sys, "CREATE INDEX ic ON orders(customer)")?;
+            db.execute(sys, "BEGIN")?;
+            for i in 0..500 {
+                db.execute(
+                    sys,
+                    &format!(
+                        "INSERT INTO orders VALUES ({i}, 'cust{}', {}.5)",
+                        i % 20,
+                        i % 97
+                    ),
+                )?;
+            }
+            db.execute(sys, "COMMIT")?;
+            let top = db.query(
+                sys,
+                "SELECT customer, count(*), sum(total) FROM orders \
              GROUP BY customer ORDER BY sum(total) DESC LIMIT 3",
-        )?;
-        assert_eq!(top.len(), 3);
-        db.execute(sys, "UPDATE orders SET total = total * 1.1 WHERE customer = 'cust7'")?;
-        db.execute(sys, "DELETE FROM orders WHERE id % 50 = 0")?;
-        let check = db.query(sys, "PRAGMA integrity_check")?;
-        assert_eq!(format!("{}", check[0][0]), "ok");
-        Ok(sys.now() - t0)
-    })?;
+            )?;
+            assert_eq!(top.len(), 3);
+            db.execute(
+                sys,
+                "UPDATE orders SET total = total * 1.1 WHERE customer = 'cust7'",
+            )?;
+            db.execute(sys, "DELETE FROM orders WHERE id % 50 = 0")?;
+            let check = db.query(sys, "PRAGMA integrity_check")?;
+            assert_eq!(format!("{}", check[0][0]), "ok");
+            Ok(sys.now() - t0)
+        },
+    )?;
 
     let (_, stats) = sys.since_boot();
     let vfs_cid = sys.find_cubicle("VFSCORE").unwrap();
@@ -75,9 +89,17 @@ fn run_mode(mode: IsolationMode) -> Result<u64, Box<dyn std::error::Error>> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("SQLite on the Figure 8 component graph, per isolation mode:\n");
     let base = run_mode(IsolationMode::Unikraft)?;
-    for mode in [IsolationMode::NoMpk, IsolationMode::NoAcl, IsolationMode::Full] {
+    for mode in [
+        IsolationMode::NoMpk,
+        IsolationMode::NoAcl,
+        IsolationMode::Full,
+    ] {
         let c = run_mode(mode)?;
-        println!("{:<22}   → {:.2}x the Unikraft baseline", "", c as f64 / base as f64);
+        println!(
+            "{:<22}   → {:.2}x the Unikraft baseline",
+            "",
+            c as f64 / base as f64
+        );
     }
     Ok(())
 }

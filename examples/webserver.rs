@@ -13,7 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut dep = boot_web(IsolationMode::Full)?;
 
     // populate a docroot
-    for (name, size) in [("small.html", 1usize << 10), ("medium.bin", 64 << 10), ("large.bin", 1 << 20)] {
+    for (name, size) in [
+        ("small.html", 1usize << 10),
+        ("medium.bin", 64 << 10),
+        ("large.bin", 1 << 20),
+    ] {
         let content: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         dep.put_file(&format!("/{name}"), &content)?;
         println!("  put /{name} ({size} bytes)");

@@ -1,18 +1,30 @@
 //! Table 1 parity: the CubicleOS-specific API surface, exercised call by
 //! call with the semantics the paper specifies.
 
-use cubicleos::kernel::{
-    impl_component, ComponentImage, CubicleError, IsolationMode, System,
-};
+use cubicleos::kernel::{impl_component, ComponentImage, CubicleError, IsolationMode, System};
 use cubicleos::mpk::insn::CodeImage;
 
 struct Dummy;
 impl_component!(Dummy);
 
-fn sys_with_two() -> (System, cubicleos::kernel::CubicleId, cubicleos::kernel::CubicleId) {
+fn sys_with_two() -> (
+    System,
+    cubicleos::kernel::CubicleId,
+    cubicleos::kernel::CubicleId,
+) {
     let mut sys = System::new(IsolationMode::Full);
-    let a = sys.load(ComponentImage::new("A", CodeImage::plain(64)), Box::new(Dummy)).unwrap();
-    let b = sys.load(ComponentImage::new("B", CodeImage::plain(64)), Box::new(Dummy)).unwrap();
+    let a = sys
+        .load(
+            ComponentImage::new("A", CodeImage::plain(64)),
+            Box::new(Dummy),
+        )
+        .unwrap();
+    let b = sys
+        .load(
+            ComponentImage::new("B", CodeImage::plain(64)),
+            Box::new(Dummy),
+        )
+        .unwrap();
     (sys, a.cid, b.cid)
 }
 
@@ -71,7 +83,10 @@ fn cubicle_window_open_allows_and_close_disallows() {
 fn cubicle_window_close_all_disallows_every_peer() {
     let (mut sys, a, b) = sys_with_two();
     let c = sys
-        .load(ComponentImage::new("C", CodeImage::plain(64)), Box::new(Dummy))
+        .load(
+            ComponentImage::new("C", CodeImage::plain(64)),
+            Box::new(Dummy),
+        )
         .unwrap()
         .cid;
     let p = sys.run_in_cubicle(a, |sys| {
@@ -95,8 +110,14 @@ fn cubicle_window_destroy_removes_the_window() {
         let w = sys.window_init();
         sys.window_destroy(w).unwrap();
         // any further use of the id fails
-        assert!(matches!(sys.window_open(w, b), Err(CubicleError::NoSuchWindow(_))));
-        assert!(matches!(sys.window_destroy(w), Err(CubicleError::NoSuchWindow(_))));
+        assert!(matches!(
+            sys.window_open(w, b),
+            Err(CubicleError::NoSuchWindow(_))
+        ));
+        assert!(matches!(
+            sys.window_destroy(w),
+            Err(CubicleError::NoSuchWindow(_))
+        ));
     });
 }
 
@@ -122,7 +143,13 @@ fn window_contents_are_shared_not_copied() {
         sys.window_open(w, b).unwrap();
         p
     });
-    assert_eq!(sys.run_in_cubicle(b, |sys| sys.read_vec(p, 2).unwrap()), b"v1");
+    assert_eq!(
+        sys.run_in_cubicle(b, |sys| sys.read_vec(p, 2).unwrap()),
+        b"v1"
+    );
     sys.run_in_cubicle(a, |sys| sys.write(p, b"v2").unwrap());
-    assert_eq!(sys.run_in_cubicle(b, |sys| sys.read_vec(p, 2).unwrap()), b"v2");
+    assert_eq!(
+        sys.run_in_cubicle(b, |sys| sys.read_vec(p, 2).unwrap()),
+        b"v2"
+    );
 }

@@ -21,8 +21,12 @@ fn database_and_webserver_share_one_cubicle_system() {
 
     // --- substrate: base + fs + net ------------------------------------
     let base = boot_base(&mut sys).unwrap();
-    let vfs_loaded = sys.load(cubicleos::vfs::image(), Box::new(Vfs::default())).unwrap();
-    let ramfs_loaded = sys.load(cubicleos::ramfs::image(), Box::new(Ramfs::default())).unwrap();
+    let vfs_loaded = sys
+        .load(cubicleos::vfs::image(), Box::new(Vfs::default()))
+        .unwrap();
+    let ramfs_loaded = sys
+        .load(cubicleos::ramfs::image(), Box::new(Ramfs::default()))
+        .unwrap();
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
     mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
@@ -39,15 +43,20 @@ fn database_and_webserver_share_one_cubicle_system() {
         .unwrap();
     let report: String = sys.run_in_cubicle(sqlite.cid, |sys| {
         let port = VfsPort::new(sys, vfs, &[ramfs_cid]).unwrap();
-        let mut db = Database::open(sys, Box::new(CubicleEnv::new(port.clone())), "/app.db").unwrap();
-        db.execute(sys, "CREATE TABLE hits(page TEXT, n INTEGER)").unwrap();
+        let mut db =
+            Database::open(sys, Box::new(CubicleEnv::new(port.clone())), "/app.db").unwrap();
+        db.execute(sys, "CREATE TABLE hits(page TEXT, n INTEGER)")
+            .unwrap();
         db.execute(
             sys,
             "INSERT INTO hits VALUES ('/index', 41), ('/about', 7), ('/index', 1)",
         )
         .unwrap();
         let rows = db
-            .query(sys, "SELECT page, sum(n) FROM hits GROUP BY page ORDER BY sum(n) DESC")
+            .query(
+                sys,
+                "SELECT page, sum(n) FROM hits GROUP BY page ORDER BY sum(n) DESC",
+            )
             .unwrap();
         let mut report = String::from("page,hits\n");
         for r in rows {
@@ -55,7 +64,11 @@ fn database_and_webserver_share_one_cubicle_system() {
         }
         // publish the report as a static file for the web server
         let fd = port
-            .open(sys, "/report.csv", cubicleos::vfs::flags::O_CREAT | cubicleos::vfs::flags::O_RDWR)
+            .open(
+                sys,
+                "/report.csv",
+                cubicleos::vfs::flags::O_CREAT | cubicleos::vfs::flags::O_RDWR,
+            )
             .unwrap();
         port.write_all(sys, fd, report.as_bytes()).unwrap();
         port.close(sys, fd).unwrap();
@@ -64,7 +77,9 @@ fn database_and_webserver_share_one_cubicle_system() {
     assert_eq!(report, "page,hits\n/index,42\n/about,7\n");
 
     // --- application 2: the web server ---------------------------------
-    let nginx = sys.load(cubicleos::httpd::image(), Box::new(Httpd::default())).unwrap();
+    let nginx = sys
+        .load(cubicleos::httpd::image(), Box::new(Httpd::default()))
+        .unwrap();
     sys.with_component_mut::<Httpd, _>(nginx.slot, |h, _| {
         h.set_wiring(net.lwip, vfs, &[ramfs_cid]);
     })
@@ -77,7 +92,11 @@ fn database_and_webserver_share_one_cubicle_system() {
         net.netdev_slot,
         40_001,
         80,
-        WireModel { hop_cycles: 1_000, per_byte_cycles: 1, request_overhead_cycles: 0 },
+        WireModel {
+            hop_cycles: 1_000,
+            per_byte_cycles: 1,
+            request_overhead_cycles: 0,
+        },
     );
     client.send(b"GET /report.csv HTTP/1.0\r\n\r\n");
     for _ in 0..200 {
@@ -94,7 +113,10 @@ fn database_and_webserver_share_one_cubicle_system() {
 
     // --- the isolation story held throughout ---------------------------
     assert_eq!(sys.stats().faults_denied, 0, "no isolation violations");
-    assert!(sys.stats().faults_resolved > 0, "windows actually exercised");
+    assert!(
+        sys.stats().faults_resolved > 0,
+        "windows actually exercised"
+    );
     assert!(sys.cubicles().count() >= 11, "full component graph loaded");
     // and the two applications are still isolated from each other:
     let sqlite_heap = sys.run_in_cubicle(sqlite.cid, |sys| sys.heap_alloc(64, 8).unwrap());
