@@ -2,10 +2,12 @@
 //! counts, collected during a siege-like measurement run.
 
 use cubicle_bench::report::banner;
+use cubicle_bench::report::results::BenchResults;
 use cubicle_core::IsolationMode;
 use cubicle_httpd::boot_web;
 use cubicle_mpk::rng::Rng64;
 use cubicle_net::WireModel;
+use std::time::Instant;
 
 fn main() {
     banner(
@@ -27,6 +29,7 @@ fn main() {
     }
     dep.sys.mark_boot_complete(); // Fig. 5 counts measurement time only
     eprintln!("issuing {requests} requests…");
+    let t0 = Instant::now();
     for _ in 0..requests {
         let which = rng.range_usize(0, sizes.len());
         let (_lat, resp) = dep
@@ -34,9 +37,13 @@ fn main() {
             .unwrap();
         assert_eq!(resp.status, 200);
     }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
 
     let sys = &dep.sys;
-    let (_, stats) = sys.since_boot();
+    let (cycles, stats) = sys.since_boot();
+    let mut results = BenchResults::new();
+    results.push("fig05_siege_requests", wall_ns, 1, cycles, None);
+    results.save(&BenchResults::default_path()).unwrap();
     let name = |n: &str| sys.find_cubicle(n).unwrap();
     let edges = [
         ("NGINX", "LWIP"),

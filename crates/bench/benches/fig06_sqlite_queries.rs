@@ -4,6 +4,7 @@
 //!
 //! Scale with `CUBICLE_SCALE` (default 100 = the paper's `--stat 100`).
 
+use cubicle_bench::report::results::BenchResults;
 use cubicle_bench::report::{banner, bar, factor};
 use cubicle_bench::scenario::{build_sqlite, Partitioning, UNIKRAFT_BOUNDARY_TAX};
 use cubicle_core::IsolationMode;
@@ -45,7 +46,13 @@ fn main() {
         IsolationMode::NoAcl,
         IsolationMode::Full,
     ];
+    let t0 = std::time::Instant::now();
     let results: Vec<Vec<TestResult>> = modes.iter().map(|&m| run(m, &cfg)).collect();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let sim_cycles: u64 = results.iter().flatten().map(|r| r.cycles).sum();
+    let mut recorded = BenchResults::new();
+    recorded.push("fig06_speedtest_4modes", wall_ns, 1, sim_cycles, None);
+    recorded.save(&BenchResults::default_path()).unwrap();
 
     println!(
         "{:>5} {:>5} | {:>12} {:>12} {:>12} {:>12} | {:>8}  (ms, simulated)",

@@ -1,6 +1,7 @@
 //! Figure 7: NGINX download latency vs file size — baseline Unikraft
 //! against CubicleOS with 8 partitions, over the simulated wire.
 
+use cubicle_bench::report::results::BenchResults;
 use cubicle_bench::report::{banner, factor};
 use cubicle_core::IsolationMode;
 use cubicle_httpd::boot_web;
@@ -49,9 +50,15 @@ fn main() {
         "Sartakov et al., ASPLOS'21, Fig. 7 + §6.3 (siege-like driver, 8 partitions)",
     );
     eprintln!("running baseline (Unikraft)…");
+    let t0 = std::time::Instant::now();
     let base = series(IsolationMode::Unikraft);
     eprintln!("running CubicleOS…");
     let cubicle = series(IsolationMode::Full);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let sim_cycles = base.iter().chain(&cubicle).sum();
+    let mut recorded = BenchResults::new();
+    recorded.push("fig07_latency_sweep", wall_ns, 1, sim_cycles, None);
+    recorded.save(&BenchResults::default_path()).unwrap();
 
     println!(
         "{:>6} | {:>14} {:>14} | {:>9}",

@@ -4,6 +4,7 @@
 //! PLAT (+ shared LIBC).
 
 use cubicle_bench::report::banner;
+use cubicle_bench::report::results::BenchResults;
 use cubicle_core::{impl_component, ComponentImage, IsolationMode, System};
 use cubicle_mpk::insn::CodeImage;
 use cubicle_ramfs::{mount_at, Ramfs};
@@ -51,6 +52,8 @@ fn main() {
     let vfs_proxy = VfsProxy::resolve(&vfs_loaded);
     let ramfs_cid = ramfs_loaded.cid;
     let time = base.time;
+    let c0 = sys.now();
+    let t0 = std::time::Instant::now();
     sys.run_in_cubicle(app.cid, move |sys| {
         let port = VfsPort::new(sys, vfs_proxy, &[ramfs_cid]).unwrap();
         let mut db = Database::open(sys, Box::new(CubicleEnv::new(port)), "/speedtest.db").unwrap();
@@ -59,6 +62,15 @@ fn main() {
         run_speedtest(sys, &mut db, &cfg).unwrap();
         time.now_ns(sys).unwrap();
     });
+    let mut recorded = BenchResults::new();
+    recorded.push(
+        "fig08_speedtest_split",
+        t0.elapsed().as_nanos() as u64,
+        1,
+        sys.now() - c0,
+        None,
+    );
+    recorded.save(&BenchResults::default_path()).unwrap();
 
     let stats = sys.stats(); // includes boot, per the figure's caption
     let name = |n: &str| sys.find_cubicle(n).unwrap();

@@ -6,6 +6,7 @@
 //!
 //! Scale with `CUBICLE_SCALE` (default 100).
 
+use cubicle_bench::report::results::BenchResults;
 use cubicle_bench::report::{banner, bar, factor};
 use cubicle_bench::scenario::{speedtest_total_cycles, Partitioning, UNIKRAFT_BOUNDARY_TAX};
 use cubicle_core::IsolationMode;
@@ -32,6 +33,7 @@ fn main() {
         cycles
     };
 
+    let t0 = std::time::Instant::now();
     let linux = total("Linux", IsolationMode::Unikraft, Partitioning::Merged, 0);
     let unikraft = total(
         "Unikraft",
@@ -70,6 +72,18 @@ fn main() {
     }
     let genode3 = k3[3]; // Genode/Linux
     let genode4 = k4[3];
+
+    let sim_cycles =
+        linux + unikraft + cub3 + cub4 + k3.iter().sum::<u64>() + k4.iter().sum::<u64>();
+    let mut recorded = BenchResults::new();
+    recorded.push(
+        "fig10_kernel_matrix",
+        t0.elapsed().as_nanos() as u64,
+        1,
+        sim_cycles,
+        None,
+    );
+    recorded.save(&BenchResults::default_path()).unwrap();
 
     println!("\n--- Figure 10a: slowdown compared to Linux ---");
     println!("{:>14} {:>9}  {:>9}  ", "system", "measured", "paper");

@@ -2,42 +2,89 @@
 //! simulator — useful to keep the simulator itself fast; the *simulated*
 //! cycle costs are fixed by the cost model).
 //!
-//! Self-timed with a small median-of-samples harness so the suite runs
+//! Self-timed with a small min-of-samples harness so the suite runs
 //! with no external dependencies (the build must work fully offline).
+//! The *minimum* over batched samples is reported: under a noisy shared
+//! host it is the only stable estimator of the code's intrinsic speed
+//! (every source of interference only ever adds time).
+//! Besides the console table, results land in `BENCH_results.json`
+//! (see `cubicle_bench::report::results`) together with the wall-clock
+//! numbers recorded at the seed commit, so the speedup trajectory of the
+//! simulator hot path is tracked across PRs.
 
+use cubicle_bench::report::results::BenchResults;
 use cubicle_core::{
     impl_component, Builder, ComponentImage, CubicleId, IsolationMode, System, Value,
 };
+use cubicle_httpd::boot_web;
 use cubicle_mpk::insn::CodeImage;
+use cubicle_mpk::rng::Rng64;
+use cubicle_mpk::PAGE_SIZE;
+use cubicle_net::WireModel;
 use std::hint::black_box;
 use std::time::Instant;
 
 struct Dummy;
 impl_component!(Dummy);
 
-/// Runs `f` in batches until ~50 ms of samples exist and reports the
-/// median ns/iter (trimmed of warm-up effects).
-fn bench_function(name: &str, mut f: impl FnMut()) {
-    // warm-up
-    for _ in 0..16 {
+/// Wall-clock ns/iter recorded at the seed commit (`e242bd9`, before the
+/// simulator hot-path overhaul: HashMap page table, two-pass check+copy,
+/// no TLB) on the reference dev container. Entries keep these forever so
+/// `BENCH_results.json` shows before/after numbers side by side.
+const SEED_WALL_NS: &[(&str, u64)] = &[
+    ("cross_cubicle_call_with_window_fault", 310),
+    ("window_init_add_open_close_destroy", 77),
+    ("checked_4k_read", 67),
+    ("bulk_256k_write", 7_970),
+    ("bulk_256k_read", 7_915),
+    ("bulk_256k_read_vec", 13_332),
+    ("scattered_64b_reads_x256", 8_978),
+    ("fig7_http_fetch_1m", 2_505_821),
+    ("sql_point_query", 8_242),
+    ("sql_aggregate_scan", 381_130),
+];
+
+fn seed_ns(name: &str) -> Option<u64> {
+    SEED_WALL_NS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, ns)| ns)
+}
+
+/// Runs `f` in batches until the sampling budget is exhausted and
+/// returns the minimum ns/iter plus the sample count. The batch size
+/// adapts so slow benches still collect several samples.
+fn measure(mut f: impl FnMut()) -> (u64, u64) {
+    // warm-up, also yields a batch-size estimate
+    let t0 = Instant::now();
+    for _ in 0..4 {
         f();
     }
-    let mut samples = Vec::new();
-    let deadline = Instant::now() + std::time::Duration::from_millis(50);
-    while Instant::now() < deadline {
-        const BATCH: u32 = 64;
+    let est_ns = (t0.elapsed().as_nanos() as u64 / 4).max(1);
+    let batch = (2_000_000 / est_ns).clamp(1, 256) as u32;
+    let mut best = u64::MAX;
+    let mut samples = 0u64;
+    let deadline = Instant::now() + std::time::Duration::from_millis(60);
+    loop {
         let t0 = Instant::now();
-        for _ in 0..BATCH {
+        for _ in 0..batch {
             f();
         }
-        samples.push(t0.elapsed().as_nanos() as u64 / u64::from(BATCH));
+        best = best.min(t0.elapsed().as_nanos() as u64 / u64::from(batch));
+        samples += 1;
+        if Instant::now() >= deadline && samples >= 5 {
+            break;
+        }
     }
-    samples.sort_unstable();
-    let median = samples[samples.len() / 2];
-    println!(
-        "{name:<44} {median:>10} ns/iter   ({} samples)",
-        samples.len()
-    );
+    (best, samples)
+}
+
+/// Measures `f`, prints a row, and records it (with the simulated cycles
+/// of one iteration, taken from `sim_cycles`) in the result set.
+fn bench_function(results: &mut BenchResults, name: &str, sim_cycles: u64, f: impl FnMut()) {
+    let (best, samples) = measure(f);
+    println!("{name:<44} {best:>10} ns/iter   ({samples} samples)");
+    results.push(name, best, samples, sim_cycles, seed_ns(name));
 }
 
 fn setup(mode: IsolationMode) -> (System, CubicleId, CubicleId) {
@@ -69,10 +116,10 @@ fn setup(mode: IsolationMode) -> (System, CubicleId, CubicleId) {
     (sys, a.cid, b.cid)
 }
 
-fn bench_cross_call() {
+fn bench_cross_call(results: &mut BenchResults) {
     let (mut sys, a, b) = setup(IsolationMode::Full);
     let entry = sys.entry("b_read").unwrap();
-    bench_function("cross_cubicle_call_with_window_fault", || {
+    let iter = |sys: &mut System| {
         sys.run_in_cubicle(a, |sys| {
             let buf = sys.heap_alloc(4096, 4096).unwrap();
             sys.write(buf, &[1]).unwrap();
@@ -84,12 +131,21 @@ fn bench_cross_call() {
             sys.heap_free(buf).unwrap();
             black_box(r);
         });
-    });
+    };
+    let c0 = sys.now();
+    iter(&mut sys);
+    let cycles = sys.now() - c0;
+    bench_function(
+        results,
+        "cross_cubicle_call_with_window_fault",
+        cycles,
+        || iter(&mut sys),
+    );
 }
 
-fn bench_window_ops() {
+fn bench_window_ops(results: &mut BenchResults) {
     let (mut sys, a, b) = setup(IsolationMode::Full);
-    bench_function("window_init_add_open_close_destroy", || {
+    let iter = |sys: &mut System| {
         sys.run_in_cubicle(a, |sys| {
             let buf = sys.heap_alloc(4096, 4096).unwrap();
             let wid = sys.window_init();
@@ -99,19 +155,115 @@ fn bench_window_ops() {
             sys.window_destroy(wid).unwrap();
             sys.heap_free(buf).unwrap();
         });
-    });
+    };
+    let c0 = sys.now();
+    iter(&mut sys);
+    let cycles = sys.now() - c0;
+    bench_function(
+        results,
+        "window_init_add_open_close_destroy",
+        cycles,
+        || iter(&mut sys),
+    );
 }
 
-fn bench_memory_access() {
+fn bench_memory_access(results: &mut BenchResults) {
     let (mut sys, a, _b) = setup(IsolationMode::Full);
     let buf = sys.run_in_cubicle(a, |sys| sys.heap_alloc(4096, 4096).unwrap());
     let mut scratch = vec![0u8; 4096];
-    bench_function("checked_4k_read", || {
+    let c0 = sys.now();
+    sys.run_in_cubicle(a, |sys| sys.read(buf, &mut scratch).unwrap());
+    let cycles = sys.now() - c0;
+    bench_function(results, "checked_4k_read", cycles, || {
         sys.run_in_cubicle(a, |sys| sys.read(buf, black_box(&mut scratch)).unwrap());
     });
 }
 
-fn bench_speedtest_statement() {
+/// Bulk multi-page reads and writes: the page-table walk + copy path with
+/// no faults — the purest measure of the simulated memory system's host
+/// overhead per page.
+fn bench_bulk(results: &mut BenchResults) {
+    const LEN: usize = 64 * PAGE_SIZE; // 256 KiB = 64 pages
+    let (mut sys, a, _b) = setup(IsolationMode::Full);
+    let buf = sys.run_in_cubicle(a, |sys| sys.heap_alloc(LEN, 4096).unwrap());
+    let mut host = vec![0xa5u8; LEN];
+
+    let c0 = sys.now();
+    sys.run_in_cubicle(a, |sys| sys.write(buf, &host).unwrap());
+    let cycles = sys.now() - c0;
+    bench_function(results, "bulk_256k_write", cycles, || {
+        sys.run_in_cubicle(a, |sys| sys.write(buf, black_box(&host)).unwrap());
+    });
+
+    let c0 = sys.now();
+    sys.run_in_cubicle(a, |sys| sys.read(buf, &mut host).unwrap());
+    let cycles = sys.now() - c0;
+    bench_function(results, "bulk_256k_read", cycles, || {
+        sys.run_in_cubicle(a, |sys| sys.read(buf, black_box(&mut host)).unwrap());
+    });
+
+    let iter = |sys: &mut System| {
+        let v = sys.run_in_cubicle(a, |sys| sys.read_vec(buf, LEN).unwrap());
+        black_box(v);
+    };
+    let c0 = sys.now();
+    iter(&mut sys);
+    let cycles = sys.now() - c0;
+    bench_function(results, "bulk_256k_read_vec", cycles, || iter(&mut sys));
+}
+
+/// Scattered small checked reads over a 128-page working set: unlike the
+/// bulk benches (which sit at the host's memory-bandwidth floor), this is
+/// *translation*-bound — per-access page lookup and permission checks
+/// dominate, which is exactly what the flat page table + software TLB
+/// accelerate over the seed's per-page HashMap probes.
+fn bench_scattered(results: &mut BenchResults) {
+    const PAGES: usize = 128;
+    const READS: usize = 256;
+    let (mut sys, a, _b) = setup(IsolationMode::Full);
+    let region = sys.run_in_cubicle(a, |sys| sys.heap_alloc(PAGES * PAGE_SIZE, 4096).unwrap());
+    let mut rng = Rng64::new(0x5CA7_7E4D);
+    let offs: Vec<usize> = (0..READS)
+        .map(|_| rng.range_usize(0, PAGES * PAGE_SIZE - 64))
+        .collect();
+    let mut buf = [0u8; 64];
+    let c0 = sys.now();
+    sys.run_in_cubicle(a, |sys| {
+        for &o in &offs {
+            sys.read(region + o, &mut buf).unwrap();
+        }
+    });
+    let cycles = sys.now() - c0;
+    bench_function(results, "scattered_64b_reads_x256", cycles, || {
+        sys.run_in_cubicle(a, |sys| {
+            for &o in &offs {
+                sys.read(region + o, black_box(&mut buf)).unwrap();
+            }
+        });
+    });
+}
+
+/// The Figure 7 large-file path: a full HTTP fetch of a 1 MiB file
+/// through the 8-component CubicleOS web stack (VFS reads, LWIP segment
+/// copies, window faults — the memory-heaviest end-to-end scenario).
+fn bench_fig7_large_file(results: &mut BenchResults) {
+    const LEN: usize = 1 << 20;
+    let mut dep = boot_web(IsolationMode::Full).unwrap();
+    let content: Vec<u8> = (0..LEN).map(|i| (i % 251) as u8).collect();
+    dep.put_file("/large.bin", &content).unwrap();
+    let iter = |dep: &mut cubicle_httpd::WebDeployment| {
+        let (latency, resp) = dep.fetch("/large.bin", WireModel::default()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body.len(), LEN);
+        black_box(latency);
+    };
+    let c0 = dep.sys.now();
+    iter(&mut dep);
+    let cycles = dep.sys.now() - c0;
+    bench_function(results, "fig7_http_fetch_1m", cycles, || iter(&mut dep));
+}
+
+fn bench_speedtest_statement(results: &mut BenchResults) {
     use cubicle_sqldb::storage::HostEnv;
     use cubicle_sqldb::Database;
     let mut sys = System::new(IsolationMode::Unikraft);
@@ -130,13 +282,27 @@ fn bench_speedtest_statement() {
         .unwrap();
     }
     db.execute(&mut sys, "COMMIT").unwrap();
-    bench_function("sql_point_query", || {
+
+    let c0 = sys.now();
+    black_box(
+        db.query(&mut sys, "SELECT v FROM t WHERE id = 500")
+            .unwrap(),
+    );
+    let cycles = sys.now() - c0;
+    bench_function(results, "sql_point_query", cycles, || {
         black_box(
             db.query(&mut sys, "SELECT v FROM t WHERE id = 500")
                 .unwrap(),
         );
     });
-    bench_function("sql_aggregate_scan", || {
+
+    let c0 = sys.now();
+    black_box(
+        db.query(&mut sys, "SELECT count(*), sum(v) FROM t")
+            .unwrap(),
+    );
+    let cycles = sys.now() - c0;
+    bench_function(results, "sql_aggregate_scan", cycles, || {
         black_box(
             db.query(&mut sys, "SELECT count(*), sum(v) FROM t")
                 .unwrap(),
@@ -145,8 +311,20 @@ fn bench_speedtest_statement() {
 }
 
 fn main() {
-    bench_cross_call();
-    bench_window_ops();
-    bench_memory_access();
-    bench_speedtest_statement();
+    let mut results = BenchResults::new();
+    bench_cross_call(&mut results);
+    bench_window_ops(&mut results);
+    bench_memory_access(&mut results);
+    bench_bulk(&mut results);
+    bench_scattered(&mut results);
+    bench_fig7_large_file(&mut results);
+    bench_speedtest_statement(&mut results);
+    let path = BenchResults::default_path();
+    results.save(&path).unwrap();
+    println!("\nresults written to {}", path.display());
+    for e in results.entries() {
+        if let Some(f) = e.speedup_vs_seed() {
+            println!("  {:<44} {f:>6.2}x vs seed", e.name);
+        }
+    }
 }

@@ -7,6 +7,8 @@ use cubicle_ukbase::time::cycles_to_ms;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+pub mod results;
+
 /// Prints a figure/table banner.
 pub fn banner(title: &str, paper_ref: &str) {
     println!();

@@ -120,6 +120,11 @@ pub struct System {
     boundary_tax: u64,
     key_virt: Option<KeyVirt>,
     tracer: Option<Tracer>,
+    /// Recycled read buffers for [`System::with_read`]: value marshalling
+    /// and component handlers borrow one instead of allocating a fresh
+    /// `Vec` per cross-cubicle argument. Host-side only — never affects
+    /// simulated cycles.
+    scratch_pool: Vec<Vec<u8>>,
 }
 
 /// Observability state, present only while tracing is enabled
@@ -194,6 +199,7 @@ impl System {
             boundary_tax: 0,
             key_virt: None,
             tracer: None,
+            scratch_pool: Vec::new(),
         }
     }
 
@@ -417,6 +423,17 @@ impl System {
     /// Machine counters.
     pub fn machine_stats(&self) -> MachineStats {
         self.machine.stats()
+    }
+
+    /// Enables or disables the simulator's software TLB (host-side
+    /// acceleration only — simulated behaviour is identical either way).
+    pub fn set_tlb_enabled(&mut self, enabled: bool) {
+        self.machine.set_tlb_enabled(enabled);
+    }
+
+    /// Whether the simulator's software TLB is enabled.
+    pub fn tlb_enabled(&self) -> bool {
+        self.machine.tlb_enabled()
     }
 
     /// The cubicle currently executing (the monitor during boot).
@@ -1064,13 +1081,70 @@ impl System {
 
     /// Reads `len` bytes into a fresh vector.
     ///
+    /// The vector is filled straight from the simulated frames into
+    /// uninitialised capacity (via the machine's append path), skipping
+    /// the zero-fill a `vec![0; len]` + `read` sequence would pay. The
+    /// charged cycles are identical to [`System::read`].
+    ///
     /// # Errors
     ///
     /// As [`System::read`].
     pub fn read_vec(&mut self, addr: VAddr, len: usize) -> Result<Vec<u8>> {
-        let mut buf = vec![0u8; len];
-        self.read(addr, &mut buf)?;
+        let mut buf = Vec::with_capacity(len);
+        self.read_append(addr, len, &mut buf)?;
         Ok(buf)
+    }
+
+    /// Reads `len` bytes at `addr` into `out`, replacing its contents but
+    /// keeping its allocation — the zero-allocation sibling of
+    /// [`System::read_vec`] for callers that hold a reusable buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::read`]. On error `out` is left empty.
+    pub fn read_into(&mut self, addr: VAddr, len: usize, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
+        self.read_append(addr, len, out)
+    }
+
+    /// Reads `len` bytes at `addr` and hands them to `f` in a buffer
+    /// recycled across calls, so per-argument marshalling in cross-call
+    /// handlers allocates nothing in steady state. The closure may use
+    /// the `System` freely (including nested `with_read` calls — each
+    /// nesting level gets its own pooled buffer).
+    ///
+    /// # Errors
+    ///
+    /// As [`System::read`]; `f` is not called when the read faults.
+    pub fn with_read<R>(
+        &mut self,
+        addr: VAddr,
+        len: usize,
+        f: impl FnOnce(&mut System, &[u8]) -> Result<R>,
+    ) -> Result<R> {
+        let mut buf = self.scratch_pool.pop().unwrap_or_default();
+        buf.clear();
+        let out = match self.read_append(addr, len, &mut buf) {
+            Ok(()) => f(self, &buf),
+            Err(e) => Err(e),
+        };
+        if self.scratch_pool.len() < 4 {
+            self.scratch_pool.push(buf);
+        }
+        out
+    }
+
+    /// Trap-and-map retry loop shared by the appending read paths.
+    fn read_append(&mut self, addr: VAddr, len: usize, out: &mut Vec<u8>) -> Result<()> {
+        let budget = len / PAGE_SIZE + 3;
+        for _ in 0..budget {
+            // A faulted append leaves `out` untouched, so retrying is safe.
+            match self.machine.read_append(addr, len, out) {
+                Ok(()) => return Ok(()),
+                Err(fault) => self.resolve_fault(fault)?,
+            }
+        }
+        unreachable!("trap-and-map retags a page per retry; budget suffices")
     }
 
     /// Reads a little-endian `u64`.
@@ -1079,9 +1153,13 @@ impl System {
     ///
     /// As [`System::read`].
     pub fn read_u64(&mut self, addr: VAddr) -> Result<u64> {
-        let mut b = [0u8; 8];
-        self.read(addr, &mut b)?;
-        Ok(u64::from_le_bytes(b))
+        for _ in 0..3 {
+            match self.machine.read_u64(addr) {
+                Ok(v) => return Ok(v),
+                Err(fault) => self.resolve_fault(fault)?,
+            }
+        }
+        unreachable!("trap-and-map retags a page per retry; budget suffices")
     }
 
     /// Writes a little-endian `u64`.
@@ -1090,7 +1168,13 @@ impl System {
     ///
     /// As [`System::write`].
     pub fn write_u64(&mut self, addr: VAddr, v: u64) -> Result<()> {
-        self.write(addr, &v.to_le_bytes())
+        for _ in 0..3 {
+            match self.machine.write_u64(addr, v) {
+                Ok(()) => return Ok(()),
+                Err(fault) => self.resolve_fault(fault)?,
+            }
+        }
+        unreachable!("trap-and-map retags a page per retry; budget suffices")
     }
 
     /// Reads a little-endian `u32`.
@@ -1099,9 +1183,13 @@ impl System {
     ///
     /// As [`System::read`].
     pub fn read_u32(&mut self, addr: VAddr) -> Result<u32> {
-        let mut b = [0u8; 4];
-        self.read(addr, &mut b)?;
-        Ok(u32::from_le_bytes(b))
+        for _ in 0..3 {
+            match self.machine.read_u32(addr) {
+                Ok(v) => return Ok(v),
+                Err(fault) => self.resolve_fault(fault)?,
+            }
+        }
+        unreachable!("trap-and-map retags a page per retry; budget suffices")
     }
 
     /// Writes a little-endian `u32`.
@@ -1110,7 +1198,13 @@ impl System {
     ///
     /// As [`System::write`].
     pub fn write_u32(&mut self, addr: VAddr, v: u32) -> Result<()> {
-        self.write(addr, &v.to_le_bytes())
+        for _ in 0..3 {
+            match self.machine.write_u32(addr, v) {
+                Ok(()) => return Ok(()),
+                Err(fault) => self.resolve_fault(fault)?,
+            }
+        }
+        unreachable!("trap-and-map retags a page per retry; budget suffices")
     }
 
     /// Copies `len` bytes from `src` to `dst` (both in simulated memory),
@@ -1707,6 +1801,18 @@ impl System {
             "cubicle_mem_writes_total",
             "Data stores.",
             m.writes,
+            &mut out,
+        );
+        counter(
+            "cubicle_sim_tlb_hits_total",
+            "Simulator software-TLB hits (host-side; no cycle effect).",
+            m.tlb_hits,
+            &mut out,
+        );
+        counter(
+            "cubicle_sim_tlb_misses_total",
+            "Simulator software-TLB misses, i.e. full page-table walks.",
+            m.tlb_misses,
             &mut out,
         );
         counter(

@@ -1,11 +1,41 @@
 //! The simulated machine: paged memory, PKRU, faults, cycle counter.
+//!
+//! # Host performance vs simulated cost
+//!
+//! The machine separates two notions of "fast" that must never mix:
+//!
+//! * **Simulated cost** — the cycles charged per operation, fixed by the
+//!   [`CostModel`]. These numbers produce the paper's figures.
+//! * **Host cost** — the wall-clock time the simulator itself spends.
+//!
+//! The memory system is organised for host speed without perturbing the
+//! simulated side by a single cycle, counter or fault:
+//!
+//! * a **flat, region-based page table** ([`PageTable`]): pages live in
+//!   512-page chunks found by binary search; each chunk backs its pages
+//!   with one contiguous 2 MiB frame slab, so a translation is an index
+//!   computation instead of a hash-map probe, and a copy spanning many
+//!   pages of one chunk collapses into a single `memcpy`;
+//! * a **software TLB**: a small direct-mapped cache of recent
+//!   (page → chunk/slot, key, flags) translations. Access rights are
+//!   evaluated against the *live* PKRU at hit time (two bit tests), so
+//!   `wrpkru` — which CubicleOS executes four times per cross-call —
+//!   needs no invalidation at all; the TLB is invalidated per page on
+//!   retag/flag changes and wholesale when chunk indices shift.
+//!   Hit/miss counts are exposed through [`MachineStats`] as *host*
+//!   observability; they never influence charged cycles;
+//! * **fused check+copy**: an access that fits one page translates,
+//!   checks and copies in a single pass. Multi-page accesses pre-scan
+//!   all covered pages first (into a reusable scratch vector) so the
+//!   all-or-nothing fault atomicity of the original two-pass design is
+//!   preserved exactly, then copy chunk-contiguous runs at once.
 
 use crate::addr::{pages_covering, PageNum, VAddr, PAGE_SIZE};
 use crate::cost::CostModel;
 use crate::fault::{AccessKind, Fault, FaultKind};
 use crate::page::{PageEntry, PageFlags};
 use crate::pkru::{Pkru, ProtKey};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A machine-level event, recorded (when enabled) with the cycle count at
 /// which it happened. Drained by observability layers above the machine
@@ -33,6 +63,13 @@ pub enum MachineEvent {
 }
 
 /// Event counters maintained by the machine.
+///
+/// The first seven counters describe the *simulated* machine and are part
+/// of the golden regression surface. The TLB counters describe the
+/// *simulator* (host-side translation caching) — they are deterministic
+/// for a deterministic workload but intentionally excluded from golden
+/// snapshots, since toggling [`Machine::set_tlb_enabled`] changes them
+/// without changing any simulated behaviour.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct MachineStats {
     /// Data loads performed.
@@ -49,6 +86,169 @@ pub struct MachineStats {
     pub retags: u64,
     /// Protection faults raised (all kinds).
     pub faults: u64,
+    /// Software-TLB hits (host-side; no simulated-cycle effect).
+    pub tlb_hits: u64,
+    /// Software-TLB misses, i.e. full page-table walks (host-side).
+    pub tlb_misses: u64,
+}
+
+/// Pages per chunk of the flat page table (power of two). 512 pages cover
+/// a 2 MiB span — large enough that a whole component region usually sits
+/// in one or two chunks, small enough that sparse mappings stay cheap.
+const CHUNK_PAGES: u64 = 512;
+
+/// Bytes of backing store per chunk.
+const CHUNK_BYTES: usize = CHUNK_PAGES as usize * PAGE_SIZE;
+
+/// Entries in the direct-mapped software TLB (power of two). 256 entries
+/// index by the low page-number bits, so any run of up to 256 consecutive
+/// pages (1 MiB) is conflict-free.
+const TLB_ENTRIES: usize = 256;
+
+/// Upper bound on parked chunk slabs kept for reuse; beyond this they are
+/// simply dropped.
+const SPARE_SLABS: usize = 8;
+
+/// A 512-page span of the address space. `base` is the first page number
+/// (a multiple of [`CHUNK_PAGES`]); `entries[i]` describes page
+/// `base + i`, whose frame is `frames[i * PAGE_SIZE ..][.. PAGE_SIZE]`.
+#[derive(Debug)]
+struct Chunk {
+    base: u64,
+    /// Number of `Some` entries; lets full-table scans skip nothing and
+    /// drives chunk recycling when the last page unmaps.
+    mapped: usize,
+    entries: Vec<Option<PageEntry>>,
+    /// One contiguous slab backing all 512 frames. Regions are zeroed on
+    /// `map_page`, so recycled slabs never leak stale bytes.
+    frames: Box<[u8]>,
+}
+
+/// A parked chunk's allocations (entry vector + frame slab), kept for
+/// reuse once its last page unmaps.
+type SpareSlab = (Vec<Option<PageEntry>>, Box<[u8]>);
+
+/// The flat page table: chunks sorted by base page number.
+///
+/// A chunk whose last page unmaps is removed and its slab parked on a
+/// small free list for the next insertion — the kernel above allocates
+/// page numbers monotonically, so without recycling the table would grow
+/// with the *lifetime* address space instead of the *live* one. Removal
+/// (like insertion) shifts chunk indices, which the machine answers with
+/// a TLB flush.
+#[derive(Debug, Default)]
+struct PageTable {
+    chunks: Vec<Chunk>,
+    /// Drained chunk slabs (entries all `None`), reused to avoid fresh
+    /// 2 MiB allocations on every chunk creation.
+    spare: Vec<SpareSlab>,
+}
+
+impl PageTable {
+    /// Locates a mapped page as `(chunk index, slot index)`.
+    #[inline]
+    fn locate(&self, page: PageNum) -> Option<(usize, usize)> {
+        let base = page.0 & !(CHUNK_PAGES - 1);
+        let ci = self.chunks.binary_search_by_key(&base, |c| c.base).ok()?;
+        let si = (page.0 & (CHUNK_PAGES - 1)) as usize;
+        self.chunks[ci].entries[si].map(|_| (ci, si))
+    }
+
+    #[inline]
+    fn entry(&self, page: PageNum) -> Option<PageEntry> {
+        let (ci, si) = self.locate(page)?;
+        self.chunks[ci].entries[si]
+    }
+
+    fn entry_mut(&mut self, page: PageNum) -> Option<&mut PageEntry> {
+        let (ci, si) = self.locate(page)?;
+        self.chunks[ci].entries[si].as_mut()
+    }
+
+    /// Inserts an entry for `page`, creating its chunk if needed and
+    /// zeroing the page's frame region. Returns `false` if the page was
+    /// already mapped (the old entry is replaced).
+    fn insert(&mut self, page: PageNum, entry: PageEntry) -> bool {
+        let base = page.0 & !(CHUNK_PAGES - 1);
+        let ci = match self.chunks.binary_search_by_key(&base, |c| c.base) {
+            Ok(i) => i,
+            Err(i) => {
+                let (entries, frames) = self.spare.pop().unwrap_or_else(|| {
+                    (
+                        vec![None; CHUNK_PAGES as usize],
+                        vec![0u8; CHUNK_BYTES].into_boxed_slice(),
+                    )
+                });
+                self.chunks.insert(
+                    i,
+                    Chunk {
+                        base,
+                        mapped: 0,
+                        entries,
+                        frames,
+                    },
+                );
+                i
+            }
+        };
+        let si = (page.0 & (CHUNK_PAGES - 1)) as usize;
+        let chunk = &mut self.chunks[ci];
+        let fresh = chunk.entries[si].is_none();
+        if fresh {
+            chunk.mapped += 1;
+        }
+        chunk.entries[si] = Some(entry);
+        chunk.frames[si * PAGE_SIZE..(si + 1) * PAGE_SIZE].fill(0);
+        fresh
+    }
+
+    /// Clears the entry for `page`; a drained chunk is removed and its
+    /// slab parked for reuse. Returns `(page was mapped, chunk indices
+    /// shifted)` — the latter tells the caller to flush its TLB.
+    fn remove(&mut self, page: PageNum) -> (bool, bool) {
+        match self.locate(page) {
+            Some((ci, si)) => {
+                self.chunks[ci].entries[si] = None;
+                self.chunks[ci].mapped -= 1;
+                if self.chunks[ci].mapped == 0 {
+                    let chunk = self.chunks.remove(ci);
+                    if self.spare.len() < SPARE_SLABS {
+                        self.spare.push((chunk.entries, chunk.frames));
+                    }
+                    (true, true)
+                } else {
+                    (true, false)
+                }
+            }
+            None => (false, false),
+        }
+    }
+}
+
+/// One direct-mapped TLB entry: a page's table location plus its key and
+/// permission flags. Rights are *not* resolved here — they are evaluated
+/// against the live PKRU on every hit, so PKRU writes need no
+/// invalidation. Valid iff `gen` equals the machine's current TLB
+/// generation (0 never matches, as the generation starts at 1).
+#[derive(Clone, Copy, Debug)]
+struct TlbEntry {
+    page: u64,
+    gen: u64,
+    chunk: u32,
+    slot: u32,
+    key: ProtKey,
+    flags: PageFlags,
+}
+
+impl TlbEntry {
+    const INVALID: TlbEntry = TlbEntry {
+        page: 0,
+        gen: 0,
+        chunk: 0,
+        slot: 0,
+        key: ProtKey::MONITOR,
+        flags: PageFlags::r(),
+    };
 }
 
 /// The simulated MPK machine.
@@ -61,10 +261,9 @@ pub struct MachineStats {
 /// It has no notion of cubicles or windows — that policy lives in
 /// `cubicle-core`, which reacts to faults by consulting its window ACLs and
 /// retagging pages ([`Machine::set_page_key`]).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Machine {
-    page_table: HashMap<PageNum, PageEntry>,
-    frames: HashMap<PageNum, Box<[u8]>>,
+    table: PageTable,
     pkru: Pkru,
     cycles: u64,
     cost: CostModel,
@@ -76,6 +275,20 @@ pub struct Machine {
     /// Bounded event ring, `None` when recording is off (the default).
     /// Recording never charges simulated cycles.
     events: Option<EventRing>,
+    /// Direct-mapped software TLB (host-side acceleration only).
+    tlb: Box<[TlbEntry]>,
+    /// Current TLB generation; bumping it invalidates every entry at once.
+    tlb_gen: u64,
+    tlb_enabled: bool,
+    /// Reusable per-page location buffer for multi-page pre-scans, so bulk
+    /// accesses allocate nothing in steady state.
+    scan_scratch: Vec<(u32, u32)>,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
 }
 
 #[derive(Debug)]
@@ -94,14 +307,17 @@ impl Machine {
     /// Creates a machine with a custom cost model.
     pub fn with_cost_model(cost: CostModel) -> Machine {
         Machine {
-            page_table: HashMap::new(),
-            frames: HashMap::new(),
+            table: PageTable::default(),
             pkru: Pkru::deny_all(),
             cycles: 0,
             cost,
             stats: MachineStats::default(),
             exec_obeys_pkru: true,
             events: None,
+            tlb: vec![TlbEntry::INVALID; TLB_ENTRIES].into_boxed_slice(),
+            tlb_gen: 1,
+            tlb_enabled: true,
+            scan_scratch: Vec::new(),
         }
     }
 
@@ -149,8 +365,25 @@ impl Machine {
 
     /// Enables or disables the paper's MPK hardware modification that makes
     /// execution rights follow the PKRU access-disable bit (§5.5).
+    /// (No TLB impact: exec rights are evaluated live on every hit.)
     pub fn set_exec_obeys_pkru(&mut self, enabled: bool) {
         self.exec_obeys_pkru = enabled;
+    }
+
+    /// Enables or disables the simulator's software TLB.
+    ///
+    /// This is a *host-side* knob: simulated behaviour — charged cycles,
+    /// counters, faults — is identical either way (a property test holds
+    /// the two modes against each other). Disabling it only slows the
+    /// simulator down; with the TLB off, neither TLB counter moves.
+    pub fn set_tlb_enabled(&mut self, enabled: bool) {
+        self.tlb_enabled = enabled;
+        self.tlb_flush();
+    }
+
+    /// Returns whether the software TLB is enabled.
+    pub fn tlb_enabled(&self) -> bool {
+        self.tlb_enabled
     }
 
     // ---------------------------------------------------------------------
@@ -174,6 +407,139 @@ impl Machine {
     }
 
     // ---------------------------------------------------------------------
+    // Translation (host fast path)
+    // ---------------------------------------------------------------------
+
+    /// Invalidates every TLB entry.
+    #[inline]
+    fn tlb_flush(&mut self) {
+        self.tlb_gen += 1;
+    }
+
+    /// Invalidates the TLB entry for one page, if cached.
+    #[inline]
+    fn tlb_evict(&mut self, page: PageNum) {
+        let e = &mut self.tlb[(page.0 as usize) & (TLB_ENTRIES - 1)];
+        if e.page == page.0 {
+            e.gen = 0;
+        }
+    }
+
+    /// Translates `page` for `access`, returning its table location.
+    ///
+    /// This is the host fast path behind every checked access: a TLB hit
+    /// grants in a few loads plus a PKRU bit test; a miss takes the full
+    /// walk ([`Self::walk`]) which performs exactly the checks
+    /// [`Machine::check_access`] would, producing byte-identical faults.
+    /// `fault_addr` is the address any fault is reported at (the
+    /// reference walk's `page.base().max(addr)`).
+    #[inline]
+    fn translate(
+        &mut self,
+        page: PageNum,
+        access: AccessKind,
+        fault_addr: VAddr,
+    ) -> Result<(usize, usize), Fault> {
+        if self.tlb_enabled {
+            let e = self.tlb[(page.0 as usize) & (TLB_ENTRIES - 1)];
+            if e.gen == self.tlb_gen && e.page == page.0 {
+                // Rights are evaluated against the *current* PKRU, so a
+                // stale-rights hazard cannot exist by construction.
+                let rights = self.pkru.rights(e.key);
+                let granted = match access {
+                    AccessKind::Read => e.flags.can_read() && rights.can_read(),
+                    AccessKind::Write => e.flags.can_write() && rights.can_write(),
+                    AccessKind::Execute => {
+                        e.flags.can_execute() && (!self.exec_obeys_pkru || rights.can_read())
+                    }
+                };
+                if granted {
+                    self.stats.tlb_hits += 1;
+                    return Ok((e.chunk as usize, e.slot as usize));
+                }
+                // Cached but denied: fall through to the walk so the
+                // fault carries the precise kind (Permission vs key).
+            }
+            self.stats.tlb_misses += 1;
+        }
+        self.walk(page, access, fault_addr)
+    }
+
+    /// Full page-table walk with permission checks; fills the TLB on a
+    /// grant. The check order (present, then flags, then PKRU) and the
+    /// fault contents mirror [`Machine::check_access`] exactly.
+    fn walk(
+        &mut self,
+        page: PageNum,
+        access: AccessKind,
+        fault_addr: VAddr,
+    ) -> Result<(usize, usize), Fault> {
+        let Some((ci, si)) = self.table.locate(page) else {
+            return Err(Fault {
+                addr: fault_addr,
+                access,
+                kind: FaultKind::NotPresent,
+            });
+        };
+        let entry = self.table.chunks[ci].entries[si].expect("located slot is mapped");
+        let flags_ok = match access {
+            AccessKind::Read => entry.flags.can_read(),
+            AccessKind::Write => entry.flags.can_write(),
+            AccessKind::Execute => entry.flags.can_execute(),
+        };
+        if !flags_ok {
+            return Err(Fault {
+                addr: fault_addr,
+                access,
+                kind: FaultKind::Permission,
+            });
+        }
+        let rights = self.pkru.rights(entry.key);
+        let key_ok = match access {
+            AccessKind::Read => rights.can_read(),
+            AccessKind::Write => rights.can_write(),
+            // The paper's proposed hardware change: AD=1 also disables
+            // execution. Without the change, MPK never blocks fetches.
+            AccessKind::Execute => !self.exec_obeys_pkru || rights.can_read(),
+        };
+        if !key_ok {
+            return Err(Fault {
+                addr: fault_addr,
+                access,
+                kind: FaultKind::ProtectionKey(entry.key),
+            });
+        }
+        if self.tlb_enabled {
+            self.tlb[(page.0 as usize) & (TLB_ENTRIES - 1)] = TlbEntry {
+                page: page.0,
+                gen: self.tlb_gen,
+                chunk: ci as u32,
+                slot: si as u32,
+                key: entry.key,
+                flags: entry.flags,
+            };
+        }
+        Ok((ci, si))
+    }
+
+    /// Pre-scans every page covered by `[addr, addr + len)` for `access`,
+    /// collecting table locations into `locs`. Nothing is copied, so a
+    /// fault part-way leaves memory untouched (all-or-nothing atomicity).
+    fn prescan(
+        &mut self,
+        addr: VAddr,
+        len: usize,
+        access: AccessKind,
+        locs: &mut Vec<(u32, u32)>,
+    ) -> Result<(), Fault> {
+        for page in pages_covering(addr, len) {
+            let (ci, si) = self.translate(page, access, page.base().max(addr))?;
+            locs.push((ci as u32, si as u32));
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------------
     // Page table management
     // ---------------------------------------------------------------------
 
@@ -187,10 +553,11 @@ impl Machine {
     /// bug, not a recoverable condition.
     pub fn map_page(&mut self, addr: VAddr, key: ProtKey, flags: PageFlags) {
         let page = addr.page();
-        let prev = self.page_table.insert(page, PageEntry::new(key, flags));
-        assert!(prev.is_none(), "page {page:?} double-mapped");
-        self.frames
-            .insert(page, vec![0u8; PAGE_SIZE].into_boxed_slice());
+        let fresh = self.table.insert(page, PageEntry::new(key, flags));
+        assert!(fresh, "page {page:?} double-mapped");
+        // Inserting may have created a chunk and shifted the indices
+        // cached in TLB entries; mapping is rare, so flush wholesale.
+        self.tlb_flush();
     }
 
     /// Unmaps the page containing `addr`, discarding its contents.
@@ -198,25 +565,31 @@ impl Machine {
     /// Returns `true` if a page was actually unmapped.
     pub fn unmap_page(&mut self, addr: VAddr) -> bool {
         let page = addr.page();
-        self.frames.remove(&page);
-        self.page_table.remove(&page).is_some()
+        self.tlb_evict(page);
+        let (unmapped, indices_shifted) = self.table.remove(page);
+        if indices_shifted {
+            self.tlb_flush();
+        }
+        unmapped
     }
 
     /// Returns the page-table entry for the page containing `addr`.
     pub fn page_entry(&self, addr: VAddr) -> Option<PageEntry> {
-        self.page_table.get(&addr.page()).copied()
+        self.table.entry(addr.page())
     }
 
     /// All pages currently tagged with `key` (used by tag-virtualisation
-    /// layers that must park an evicted key's pages).
+    /// layers that must park an evicted key's pages). Ascending order —
+    /// chunks are sorted by base and slots are scanned in index order.
     pub fn pages_with_key(&self, key: ProtKey) -> Vec<PageNum> {
-        let mut pages: Vec<PageNum> = self
-            .page_table
-            .iter()
-            .filter(|(_, e)| e.key == key)
-            .map(|(&p, _)| p)
-            .collect();
-        pages.sort_unstable();
+        let mut pages = Vec::new();
+        for chunk in &self.table.chunks {
+            for (si, entry) in chunk.entries.iter().enumerate() {
+                if entry.is_some_and(|e| e.key == key) {
+                    pages.push(PageNum(chunk.base + si as u64));
+                }
+            }
+        }
         pages
     }
 
@@ -230,10 +603,11 @@ impl Machine {
     /// not mapped.
     pub fn set_page_key(&mut self, addr: VAddr, key: ProtKey) -> Result<(), Fault> {
         let page = addr.page();
-        match self.page_table.get_mut(&page) {
+        match self.table.entry_mut(page) {
             Some(entry) => {
                 let from = entry.key;
                 entry.key = key;
+                self.tlb_evict(page);
                 self.cycles += self.cost.pkey_mprotect;
                 self.stats.retags += 1;
                 if self.events.is_some() {
@@ -258,9 +632,10 @@ impl Machine {
     /// deployment time, which the paper's measurements exclude.
     pub fn set_page_key_at_load(&mut self, addr: VAddr, key: ProtKey) -> Result<(), Fault> {
         let page = addr.page();
-        match self.page_table.get_mut(&page) {
+        match self.table.entry_mut(page) {
             Some(entry) => {
                 entry.key = key;
+                self.tlb_evict(page);
                 Ok(())
             }
             None => Err(Fault {
@@ -278,9 +653,10 @@ impl Machine {
     /// Returns a [`Fault`] if the page is not mapped.
     pub fn set_page_flags(&mut self, addr: VAddr, flags: PageFlags) -> Result<(), Fault> {
         let page = addr.page();
-        match self.page_table.get_mut(&page) {
+        match self.table.entry_mut(page) {
             Some(entry) => {
                 entry.flags = flags;
+                self.tlb_evict(page);
                 Ok(())
             }
             None => Err(Fault {
@@ -301,6 +677,9 @@ impl Machine {
     }
 
     /// Writes the PKRU register (`wrpkru`), charging ~20 cycles.
+    ///
+    /// No TLB traffic: cached translations carry the page *key*, and
+    /// rights are re-derived from the live PKRU on every hit.
     pub fn set_pkru(&mut self, pkru: Pkru) {
         self.pkru = pkru;
         self.cycles += self.cost.wrpkru;
@@ -325,16 +704,25 @@ impl Machine {
     /// Checks whether an access of `len` bytes at `addr` would be allowed
     /// under the current PKRU, without performing it or charging cycles.
     ///
+    /// This is the reference walk: side-effect free (`&self`, no TLB, no
+    /// counters), used by diagnostic probes. The hot paths go through the
+    /// TLB but must agree with it bit for bit.
+    ///
     /// # Errors
     ///
     /// Returns the first [`Fault`] the access would raise.
     pub fn check_access(&self, addr: VAddr, len: usize, access: AccessKind) -> Result<(), Fault> {
         for page in pages_covering(addr, len) {
-            let entry = self.page_table.get(&page).ok_or(Fault {
-                addr: page.base().max(addr),
-                access,
-                kind: FaultKind::NotPresent,
-            })?;
+            let entry = match self.table.entry(page) {
+                Some(entry) => entry,
+                None => {
+                    return Err(Fault {
+                        addr: page.base().max(addr),
+                        access,
+                        kind: FaultKind::NotPresent,
+                    })
+                }
+            };
             let flags_ok = match access {
                 AccessKind::Read => entry.flags.can_read(),
                 AccessKind::Write => entry.flags.can_write(),
@@ -376,24 +764,62 @@ impl Machine {
     /// Returns a [`Fault`] and counts it in [`MachineStats::faults`] when
     /// any covered page refuses the access.
     pub fn read(&mut self, addr: VAddr, buf: &mut [u8]) -> Result<(), Fault> {
-        if let Err(fault) = self.check_access(addr, buf.len(), AccessKind::Read) {
+        let len = buf.len();
+        let off = addr.page_offset();
+        if len > 0 && len <= PAGE_SIZE - off {
+            // Single page: translate, check, charge and copy in one pass.
+            let (ci, si) = match self.translate(addr.page(), AccessKind::Read, addr) {
+                Ok(loc) => loc,
+                Err(fault) => {
+                    self.stats.faults += 1;
+                    return Err(fault);
+                }
+            };
+            self.cycles += self.cost.mem_access(len);
+            self.stats.reads += 1;
+            self.stats.bytes_read += len as u64;
+            let base = si * PAGE_SIZE + off;
+            buf.copy_from_slice(&self.table.chunks[ci].frames[base..base + len]);
+            return Ok(());
+        }
+        self.read_slow(addr, buf)
+    }
+
+    /// Multi-page (or empty) read: pre-scan for atomicity, then copy
+    /// chunk-contiguous runs of pages with single `memcpy`s.
+    fn read_slow(&mut self, addr: VAddr, buf: &mut [u8]) -> Result<(), Fault> {
+        let len = buf.len();
+        let mut locs = std::mem::take(&mut self.scan_scratch);
+        locs.clear();
+        let scan = self.prescan(addr, len, AccessKind::Read, &mut locs);
+        if let Err(fault) = scan {
+            self.scan_scratch = locs;
             self.stats.faults += 1;
             return Err(fault);
         }
-        self.cycles += self.cost.mem_access(buf.len());
+        self.cycles += self.cost.mem_access(len);
         self.stats.reads += 1;
-        self.stats.bytes_read += buf.len() as u64;
+        self.stats.bytes_read += len as u64;
         let mut done = 0;
-        let mut cur = addr;
-        while done < buf.len() {
-            let page = cur.page();
-            let off = cur.page_offset();
-            let chunk = (PAGE_SIZE - off).min(buf.len() - done);
-            let frame = self.frames.get(&page).expect("mapped page has a frame");
-            buf[done..done + chunk].copy_from_slice(&frame[off..off + chunk]);
-            done += chunk;
-            cur = page.next().base();
+        let mut i = 0;
+        while done < len {
+            let off = (addr + done).page_offset();
+            let (ci, si) = locs[i];
+            let mut run = 1;
+            while i + run < locs.len()
+                && locs[i + run].0 == ci
+                && locs[i + run].1 == si + run as u32
+            {
+                run += 1;
+            }
+            let bytes = (run * PAGE_SIZE - off).min(len - done);
+            let base = si as usize * PAGE_SIZE + off;
+            buf[done..done + bytes]
+                .copy_from_slice(&self.table.chunks[ci as usize].frames[base..base + bytes]);
+            done += bytes;
+            i += run;
         }
+        self.scan_scratch = locs;
         Ok(())
     }
 
@@ -403,28 +829,127 @@ impl Machine {
     ///
     /// Returns a [`Fault`] when any covered page refuses the access.
     pub fn write(&mut self, addr: VAddr, data: &[u8]) -> Result<(), Fault> {
-        if let Err(fault) = self.check_access(addr, data.len(), AccessKind::Write) {
+        let len = data.len();
+        let off = addr.page_offset();
+        if len > 0 && len <= PAGE_SIZE - off {
+            let (ci, si) = match self.translate(addr.page(), AccessKind::Write, addr) {
+                Ok(loc) => loc,
+                Err(fault) => {
+                    self.stats.faults += 1;
+                    return Err(fault);
+                }
+            };
+            self.cycles += self.cost.mem_access(len);
+            self.stats.writes += 1;
+            self.stats.bytes_written += len as u64;
+            let base = si * PAGE_SIZE + off;
+            self.table.chunks[ci].frames[base..base + len].copy_from_slice(data);
+            return Ok(());
+        }
+        self.write_slow(addr, data)
+    }
+
+    /// Multi-page (or empty) write; see [`Machine::read_slow`].
+    fn write_slow(&mut self, addr: VAddr, data: &[u8]) -> Result<(), Fault> {
+        let len = data.len();
+        let mut locs = std::mem::take(&mut self.scan_scratch);
+        locs.clear();
+        let scan = self.prescan(addr, len, AccessKind::Write, &mut locs);
+        if let Err(fault) = scan {
+            self.scan_scratch = locs;
             self.stats.faults += 1;
             return Err(fault);
         }
-        self.cycles += self.cost.mem_access(data.len());
+        self.cycles += self.cost.mem_access(len);
         self.stats.writes += 1;
-        self.stats.bytes_written += data.len() as u64;
+        self.stats.bytes_written += len as u64;
         let mut done = 0;
-        let mut cur = addr;
-        while done < data.len() {
-            let page = cur.page();
-            let off = cur.page_offset();
-            let chunk = (PAGE_SIZE - off).min(data.len() - done);
-            let frame = self.frames.get_mut(&page).expect("mapped page has a frame");
-            frame[off..off + chunk].copy_from_slice(&data[done..done + chunk]);
-            done += chunk;
-            cur = page.next().base();
+        let mut i = 0;
+        while done < len {
+            let off = (addr + done).page_offset();
+            let (ci, si) = locs[i];
+            let mut run = 1;
+            while i + run < locs.len()
+                && locs[i + run].0 == ci
+                && locs[i + run].1 == si + run as u32
+            {
+                run += 1;
+            }
+            let bytes = (run * PAGE_SIZE - off).min(len - done);
+            let base = si as usize * PAGE_SIZE + off;
+            self.table.chunks[ci as usize].frames[base..base + bytes]
+                .copy_from_slice(&data[done..done + bytes]);
+            done += bytes;
+            i += run;
         }
+        self.scan_scratch = locs;
         Ok(())
     }
 
-    /// Reads a little-endian `u64` at `addr`.
+    /// Reads `len` bytes starting at `addr`, appending them to `out`.
+    ///
+    /// Charge- and fault-identical to a [`Machine::read`] of `len` bytes,
+    /// but writes straight from the frames into the vector's spare
+    /// capacity — the zero-initialisation pass a `vec![0; len]` +
+    /// `read` sequence would pay is skipped entirely. On a fault, `out`
+    /// is left exactly as passed in.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::read`].
+    pub fn read_append(&mut self, addr: VAddr, len: usize, out: &mut Vec<u8>) -> Result<(), Fault> {
+        let off = addr.page_offset();
+        if len > 0 && len <= PAGE_SIZE - off {
+            let (ci, si) = match self.translate(addr.page(), AccessKind::Read, addr) {
+                Ok(loc) => loc,
+                Err(fault) => {
+                    self.stats.faults += 1;
+                    return Err(fault);
+                }
+            };
+            self.cycles += self.cost.mem_access(len);
+            self.stats.reads += 1;
+            self.stats.bytes_read += len as u64;
+            let base = si * PAGE_SIZE + off;
+            out.extend_from_slice(&self.table.chunks[ci].frames[base..base + len]);
+            return Ok(());
+        }
+        let mut locs = std::mem::take(&mut self.scan_scratch);
+        locs.clear();
+        let scan = self.prescan(addr, len, AccessKind::Read, &mut locs);
+        if let Err(fault) = scan {
+            self.scan_scratch = locs;
+            self.stats.faults += 1;
+            return Err(fault);
+        }
+        self.cycles += self.cost.mem_access(len);
+        self.stats.reads += 1;
+        self.stats.bytes_read += len as u64;
+        out.reserve(len);
+        let mut done = 0;
+        let mut i = 0;
+        while done < len {
+            let off = (addr + done).page_offset();
+            let (ci, si) = locs[i];
+            let mut run = 1;
+            while i + run < locs.len()
+                && locs[i + run].0 == ci
+                && locs[i + run].1 == si + run as u32
+            {
+                run += 1;
+            }
+            let bytes = (run * PAGE_SIZE - off).min(len - done);
+            let base = si as usize * PAGE_SIZE + off;
+            out.extend_from_slice(&self.table.chunks[ci as usize].frames[base..base + bytes]);
+            done += bytes;
+            i += run;
+        }
+        self.scan_scratch = locs;
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at `addr`. Unaligned and page-straddling
+    /// addresses are fine; the cost is that of an 8-byte read either way.
     ///
     /// # Errors
     ///
@@ -444,6 +969,26 @@ impl Machine {
         self.write(addr, &value.to_le_bytes())
     }
 
+    /// Reads a little-endian `u32` at `addr` (cost of a 4-byte read).
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults from [`Machine::read`].
+    pub fn read_u32(&mut self, addr: VAddr) -> Result<u32, Fault> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults from [`Machine::write`].
+    pub fn write_u32(&mut self, addr: VAddr, value: u32) -> Result<(), Fault> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
     /// Checks an instruction fetch at `addr` (one simulated instruction).
     ///
     /// # Errors
@@ -452,8 +997,8 @@ impl Machine {
     /// with the paper's hardware modification — its key is
     /// access-disabled in the current PKRU.
     pub fn fetch_check(&mut self, addr: VAddr) -> Result<(), Fault> {
-        match self.check_access(addr, 1, AccessKind::Execute) {
-            Ok(()) => Ok(()),
+        match self.translate(addr.page(), AccessKind::Execute, addr) {
+            Ok(_) => Ok(()),
             Err(fault) => {
                 self.stats.faults += 1;
                 Err(fault)
@@ -492,6 +1037,21 @@ mod tests {
         let data: Vec<u8> = (0..=255).collect();
         m.write(a + (PAGE_SIZE - 100), &data).unwrap();
         let mut buf = vec![0u8; 256];
+        m.read(a + (PAGE_SIZE - 100), &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn cross_chunk_access() {
+        // Pages 511 and 512 sit in different 512-page chunks: the copy
+        // must stitch two runs together.
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 511 * PAGE_SIZE as u64, 1);
+        rw_page(&mut m, 512 * PAGE_SIZE as u64, 1);
+        m.set_pkru(Pkru::allow_all());
+        let data: Vec<u8> = (0..200).collect();
+        m.write(a + (PAGE_SIZE - 100), &data).unwrap();
+        let mut buf = vec![0u8; 200];
         m.read(a + (PAGE_SIZE - 100), &mut buf).unwrap();
         assert_eq!(buf, data);
     }
@@ -602,6 +1162,82 @@ mod tests {
     }
 
     #[test]
+    fn u64_round_trip_straddling_page_boundary() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        rw_page(&mut m, 0x2000, 1);
+        m.set_pkru(Pkru::allow_all());
+        // 3 bytes on the first page, 5 on the second.
+        let addr = a + (PAGE_SIZE - 3);
+        m.write_u64(addr, 0x0123_4567_89ab_cdef).unwrap();
+        assert_eq!(m.read_u64(addr).unwrap(), 0x0123_4567_89ab_cdef);
+        // The straddling access is still one 8-byte access, cost-wise.
+        let t0 = m.now();
+        m.read_u64(addr).unwrap();
+        assert_eq!(m.now() - t0, CostModel::paper().mem_access(8));
+    }
+
+    #[test]
+    fn u32_round_trip_straddling_page_boundary() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        rw_page(&mut m, 0x2000, 1);
+        m.set_pkru(Pkru::allow_all());
+        let addr = a + (PAGE_SIZE - 1);
+        m.write_u32(addr, 0xdead_beef).unwrap();
+        assert_eq!(m.read_u32(addr).unwrap(), 0xdead_beef);
+        let t0 = m.now();
+        m.read_u32(addr).unwrap();
+        assert_eq!(m.now() - t0, CostModel::paper().mem_access(4));
+    }
+
+    #[test]
+    fn straddling_u64_is_atomic_when_second_page_faults() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        // next page unmapped
+        m.set_pkru(Pkru::allow_all());
+        let addr = a + (PAGE_SIZE - 4);
+        let err = m.write_u64(addr, u64::MAX).unwrap_err();
+        assert_eq!(err.kind, FaultKind::NotPresent);
+        assert_eq!(err.addr, VAddr::new(0x2000), "fault at the failing page");
+        let mut probe = [0u8; 4];
+        m.read(addr, &mut probe).unwrap();
+        assert_eq!(probe, [0; 4], "no partial store on the first page");
+    }
+
+    #[test]
+    fn read_append_matches_read() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        rw_page(&mut m, 0x2000, 1);
+        m.set_pkru(Pkru::allow_all());
+        let data: Vec<u8> = (0u8..=255).cycle().take(PAGE_SIZE + 77).collect();
+        m.write(a + 9, &data).unwrap();
+        let cycles0 = m.now();
+        let stats0 = m.stats();
+        let mut via_read = vec![0u8; data.len()];
+        m.read(a + 9, &mut via_read).unwrap();
+        let read_cost = m.now() - cycles0;
+        let mut via_append = vec![0xEE]; // pre-existing contents survive
+        m.read_append(a + 9, data.len(), &mut via_append).unwrap();
+        assert_eq!(&via_append[1..], &via_read[..]);
+        assert_eq!(via_append[0], 0xEE);
+        assert_eq!(m.now() - cycles0 - read_cost, read_cost, "same charge");
+        assert_eq!(m.stats().reads, stats0.reads + 2);
+    }
+
+    #[test]
+    fn read_append_leaves_out_untouched_on_fault() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        let mut out = vec![1, 2, 3];
+        assert!(m.read_append(a, 2 * PAGE_SIZE, &mut out).is_err());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
     fn exec_only_page_is_unreadable() {
         let mut m = Machine::new();
         let a = VAddr::new(0x1000);
@@ -621,7 +1257,8 @@ mod tests {
         // With the paper's hardware change (default): fetch faults.
         let err = m.fetch_check(a).unwrap_err();
         assert_eq!(err.kind, FaultKind::ProtectionKey(k));
-        // Vanilla MPK: fetch is not subject to keys.
+        // Vanilla MPK: fetch is not subject to keys. The switch takes
+        // effect immediately even though the page was just cached.
         m.set_exec_obeys_pkru(false);
         assert!(m.fetch_check(a).is_ok());
     }
@@ -637,11 +1274,44 @@ mod tests {
     }
 
     #[test]
+    fn remap_after_unmap_yields_a_zeroed_frame() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.write(a, b"dirty").unwrap();
+        assert!(m.unmap_page(a));
+        m.map_page(a, ProtKey::new(1).unwrap(), PageFlags::rw());
+        let mut buf = [0xffu8; 5];
+        m.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [0; 5]);
+    }
+
+    #[test]
     #[should_panic(expected = "double-mapped")]
     fn double_map_panics() {
         let mut m = Machine::new();
         rw_page(&mut m, 0x1000, 1);
         rw_page(&mut m, 0x1000, 2);
+    }
+
+    #[test]
+    fn sparse_mappings_far_apart() {
+        let mut m = Machine::new();
+        let lo = rw_page(&mut m, 0x1000, 1);
+        let hi = rw_page(&mut m, 1 << 40, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.write(lo, b"lo").unwrap();
+        m.write(hi, b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        m.read(lo, &mut buf).unwrap();
+        assert_eq!(&buf, b"lo");
+        m.read(hi, &mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        assert_eq!(
+            m.pages_with_key(ProtKey::new(1).unwrap()),
+            vec![VAddr::new(0x1000).page(), VAddr::new(1 << 40).page()],
+            "ascending across chunks"
+        );
     }
 
     #[test]
@@ -663,6 +1333,109 @@ mod tests {
         let mut m = Machine::with_cost_model(CostModel::free());
         m.charge(123);
         assert_eq!(m.now(), 123);
+    }
+
+    // -- software TLB (host-side) -----------------------------------------
+
+    #[test]
+    fn tlb_hits_after_first_access() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        let mut buf = [0u8; 1];
+        m.read(a, &mut buf).unwrap(); // cold: walk
+        let s0 = m.stats();
+        assert_eq!((s0.tlb_hits, s0.tlb_misses), (0, 1));
+        m.read(a, &mut buf).unwrap(); // warm: hit
+        m.write(a, b"x").unwrap(); // same entry serves all access kinds
+        let s1 = m.stats();
+        assert_eq!((s1.tlb_hits, s1.tlb_misses), (2, 1));
+    }
+
+    #[test]
+    fn wrpkru_needs_no_tlb_invalidation() {
+        let mut m = Machine::new();
+        let k = ProtKey::new(1).unwrap();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        let mut buf = [0u8; 1];
+        m.read(a, &mut buf).unwrap(); // fills the TLB
+                                      // Revoking the key is visible instantly: rights are evaluated
+                                      // against the live PKRU on every hit, never cached.
+        m.set_pkru(Pkru::deny_all());
+        let err = m.read(a, &mut buf).unwrap_err();
+        assert_eq!(err.kind, FaultKind::ProtectionKey(k));
+        // And granting again serves from the still-valid entry.
+        m.set_pkru(Pkru::allow_all());
+        let hits0 = m.stats().tlb_hits;
+        m.read(a, &mut buf).unwrap();
+        assert_eq!(m.stats().tlb_hits, hits0 + 1);
+    }
+
+    #[test]
+    fn tlb_invalidated_by_retag() {
+        let mut m = Machine::new();
+        let k1 = ProtKey::new(1).unwrap();
+        let k2 = ProtKey::new(2).unwrap();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::deny_all().allowing(k1));
+        let mut buf = [0u8; 1];
+        m.read(a, &mut buf).unwrap();
+        m.set_page_key(a, k2).unwrap();
+        let err = m.read(a, &mut buf).unwrap_err();
+        assert_eq!(err.kind, FaultKind::ProtectionKey(k2));
+    }
+
+    #[test]
+    fn tlb_invalidated_by_flag_change_and_unmap() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.write(a, b"x").unwrap();
+        m.set_page_flags(a, PageFlags::r()).unwrap();
+        assert_eq!(m.write(a, b"x").unwrap_err().kind, FaultKind::Permission);
+        assert!(m.read(a, &mut [0u8; 1]).is_ok());
+        m.unmap_page(a);
+        assert_eq!(
+            m.read(a, &mut [0u8; 1]).unwrap_err().kind,
+            FaultKind::NotPresent
+        );
+    }
+
+    #[test]
+    fn tlb_disabled_same_outcomes_no_counters() {
+        let mut m = Machine::new();
+        m.set_tlb_enabled(false);
+        assert!(!m.tlb_enabled());
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.write(a, b"data").unwrap();
+        let mut buf = [0u8; 4];
+        m.read(a, &mut buf).unwrap();
+        assert_eq!(&buf, b"data");
+        let s = m.stats();
+        assert_eq!((s.tlb_hits, s.tlb_misses), (0, 0));
+    }
+
+    #[test]
+    fn tlb_is_simulated_cycle_neutral() {
+        // Same workload with and without the TLB: identical cycles and
+        // simulated counters (the property test in tests/ goes further).
+        let run = |tlb: bool| {
+            let mut m = Machine::new();
+            m.set_tlb_enabled(tlb);
+            let a = rw_page(&mut m, 0x1000, 1);
+            rw_page(&mut m, 0x2000, 1);
+            m.set_pkru(Pkru::allow_all());
+            let data = vec![7u8; PAGE_SIZE + 64];
+            m.write(a, &data).unwrap();
+            let mut buf = vec![0u8; PAGE_SIZE + 64];
+            m.read(a, &mut buf).unwrap();
+            m.set_page_key(a, ProtKey::new(3).unwrap()).unwrap();
+            let _ = m.read(a, &mut buf);
+            (m.now(), m.stats().faults, m.stats().bytes_read)
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

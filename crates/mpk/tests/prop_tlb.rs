@@ -1,0 +1,180 @@
+//! Property test: the software TLB is invisible to the simulated machine.
+//!
+//! Two machines run the same seeded sequence of page-table mutations,
+//! PKRU writes and memory accesses — one with the TLB enabled, one with
+//! it disabled (every access takes the full page-table walk). After
+//! every single operation the outcomes must agree exactly: success or
+//! the same fault at the same address, identical cycle counters,
+//! identical simulated event counts. This is the simulator's analogue of
+//! "TLB coherence": any missing invalidation (retag, flag change, unmap,
+//! chunk-index shift) shows up here as a divergence, with the case seed
+//! reproducing the exact op sequence.
+
+use cubicle_mpk::rng::Rng64;
+use cubicle_mpk::{Machine, PageFlags, Pkru, ProtKey, VAddr, PAGE_SIZE};
+
+/// Candidate pages: a dense low run, a run straddling the simulator's
+/// 512-page chunk boundary, and a far-away region (distinct chunk whose
+/// creation/removal shifts chunk indices under the TLB).
+const PAGES: [u64; 12] = [
+    1,
+    2,
+    3,
+    4,
+    510,
+    511,
+    512,
+    513,
+    514,
+    1 << 20,
+    (1 << 20) + 1,
+    (1 << 20) + 2,
+];
+
+fn rand_flags(rng: &mut Rng64) -> PageFlags {
+    *rng.pick(&[
+        PageFlags::rw(),
+        PageFlags::r(),
+        PageFlags::rx(),
+        PageFlags::x(),
+    ])
+}
+
+fn rand_pkru(rng: &mut Rng64) -> Pkru {
+    let mut pkru = Pkru::deny_all();
+    for k in 0..16u8 {
+        let key = ProtKey::new(k).unwrap();
+        match rng.range_u64(0, 3) {
+            0 => {}
+            1 => pkru = pkru.allowing_read(key),
+            _ => pkru = pkru.allowing(key),
+        }
+    }
+    pkru
+}
+
+/// Drives one op on a machine, returning a canonical rendering of the
+/// outcome (so faults compare by address, access kind and fault kind).
+fn step(m: &mut Machine, op: &Op) -> String {
+    match op {
+        Op::Map(addr, key, flags) => {
+            if m.page_entry(*addr).is_none() {
+                m.map_page(*addr, *key, *flags);
+                "mapped".into()
+            } else {
+                "already".into()
+            }
+        }
+        Op::Unmap(addr) => format!("{:?}", m.unmap_page(*addr)),
+        Op::Retag(addr, key) => format!("{:?}", m.set_page_key(*addr, *key)),
+        Op::Reflag(addr, flags) => format!("{:?}", m.set_page_flags(*addr, *flags)),
+        Op::WrPkru(pkru) => {
+            m.set_pkru(*pkru);
+            "pkru".into()
+        }
+        Op::ExecObeys(on) => {
+            m.set_exec_obeys_pkru(*on);
+            "exec".into()
+        }
+        Op::Read(addr, len) => {
+            let mut buf = vec![0u8; *len];
+            match m.read(*addr, &mut buf) {
+                Ok(()) => format!("read {buf:?}"),
+                Err(f) => format!("fault {:?} {:?} {:?}", f.addr, f.access, f.kind),
+            }
+        }
+        Op::Write(addr, data) => match m.write(*addr, data) {
+            Ok(()) => "wrote".into(),
+            Err(f) => format!("fault {:?} {:?} {:?}", f.addr, f.access, f.kind),
+        },
+        Op::ReadAppend(addr, len) => {
+            let mut out = vec![0xCC];
+            match m.read_append(*addr, *len, &mut out) {
+                Ok(()) => format!("append {out:?}"),
+                Err(f) => format!("fault {:?} {:?} {:?}", f.addr, f.access, f.kind),
+            }
+        }
+        Op::Fetch(addr) => match m.fetch_check(*addr) {
+            Ok(()) => "fetch".into(),
+            Err(f) => format!("fault {:?} {:?} {:?}", f.addr, f.access, f.kind),
+        },
+    }
+}
+
+enum Op {
+    Map(VAddr, ProtKey, PageFlags),
+    Unmap(VAddr),
+    Retag(VAddr, ProtKey),
+    Reflag(VAddr, PageFlags),
+    WrPkru(Pkru),
+    ExecObeys(bool),
+    Read(VAddr, usize),
+    Write(VAddr, Vec<u8>),
+    ReadAppend(VAddr, usize),
+    Fetch(VAddr),
+}
+
+fn rand_op(rng: &mut Rng64) -> Op {
+    let page = *rng.pick(&PAGES);
+    let base = VAddr::new(page * PAGE_SIZE as u64);
+    // accesses start anywhere in the page and may straddle into the next
+    let addr = base + rng.range_usize(0, PAGE_SIZE);
+    let len = rng.range_usize(0, 2 * PAGE_SIZE);
+    match rng.range_u64(0, 100) {
+        0..=9 => Op::Map(
+            base,
+            ProtKey::new(rng.range_u64(0, 16) as u8).unwrap(),
+            rand_flags(rng),
+        ),
+        10..=14 => Op::Unmap(base),
+        15..=24 => Op::Retag(base, ProtKey::new(rng.range_u64(0, 16) as u8).unwrap()),
+        25..=29 => Op::Reflag(base, rand_flags(rng)),
+        30..=44 => Op::WrPkru(rand_pkru(rng)),
+        45..=46 => Op::ExecObeys(rng.flip()),
+        47..=66 => Op::Read(addr, len),
+        67..=86 => Op::Write(addr, rng.bytes(len)),
+        87..=94 => Op::ReadAppend(addr, len),
+        _ => Op::Fetch(addr),
+    }
+}
+
+#[test]
+fn tlb_on_and_off_agree_on_every_outcome() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0x71B0_0000 + case);
+        let mut with_tlb = Machine::new();
+        let mut without = Machine::new();
+        without.set_tlb_enabled(false);
+        assert!(with_tlb.tlb_enabled() && !without.tlb_enabled());
+        for i in 0..300 {
+            let op = rand_op(&mut rng);
+            let a = step(&mut with_tlb, &op);
+            let b = step(&mut without, &op);
+            assert_eq!(a, b, "case {case}, op {i}: outcomes diverged");
+            assert_eq!(
+                with_tlb.now(),
+                without.now(),
+                "case {case}, op {i}: charged cycles diverged"
+            );
+        }
+        // Simulated counters must match field by field; the TLB counters
+        // are host-side and differ by construction.
+        let (sa, sb) = (with_tlb.stats(), without.stats());
+        assert_eq!(
+            (sa.reads, sa.writes, sa.bytes_read, sa.bytes_written),
+            (sb.reads, sb.writes, sb.bytes_read, sb.bytes_written),
+            "case {case}: access counters diverged"
+        );
+        assert_eq!(
+            (sa.wrpkru, sa.retags, sa.faults),
+            (sb.wrpkru, sb.retags, sb.faults),
+            "case {case}: event counters diverged"
+        );
+        assert!(sa.tlb_hits > 0, "case {case}: workload never hit the TLB");
+        assert_eq!(
+            (sb.tlb_hits, sb.tlb_misses),
+            (0, 0),
+            "case {case}: disabled TLB must not count"
+        );
+    }
+}

@@ -301,18 +301,19 @@ fn e_send(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<
         return Ok(Value::I64(Errno::Ewouldblock.neg()));
     }
     let take = n.min(space);
-    // read the application's bytes (windowed)
-    let bytes = match sys.read_vec(buf, take) {
-        Ok(b) => b,
-        Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
-            return Ok(Value::I64(Errno::Eacces.neg()))
-        }
-        Err(e) => return Err(e),
-    };
-    let st = component_mut::<Lwip>(this);
-    let tcb = st.conn_mut(fd).expect("checked above");
-    tcb.send_queue.extend(bytes);
-    Ok(Value::I64(take as i64))
+    // read the application's bytes (windowed) straight into the send
+    // queue via a pooled scratch buffer — no allocation per segment
+    let queued = sys.with_read(buf, take, |_sys, bytes| {
+        let st = component_mut::<Lwip>(this);
+        let tcb = st.conn_mut(fd).expect("checked above");
+        tcb.send_queue.extend(bytes.iter().copied());
+        Ok(())
+    });
+    match queued {
+        Ok(()) => Ok(Value::I64(take as i64)),
+        Err(cubicle_core::CubicleError::WindowDenied { .. }) => Ok(Value::I64(Errno::Eacces.neg())),
+        Err(e) => Err(e),
+    }
 }
 
 fn e_close(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
@@ -357,8 +358,10 @@ fn e_poll(sys: &mut System, this: &mut dyn Component, _args: &[Value]) -> Result
             return Ok(Value::I64(n));
         }
         sys.charge(600); // per-segment stack processing
-        let bytes = sys.read_vec(frame_buf, n as usize)?;
-        let Some(seg) = Segment::decode(&bytes) else {
+        let decoded = sys.with_read(frame_buf, n as usize, |_sys, bytes| {
+            Ok(Segment::decode(bytes))
+        })?;
+        let Some(seg) = decoded else {
             continue; // malformed frame dropped
         };
         events += 1;

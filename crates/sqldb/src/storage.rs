@@ -214,8 +214,7 @@ impl StorageFile for CubicleFile {
             if n == 0 {
                 break;
             }
-            let bytes = sys.read_vec(self.staging, n as usize)?;
-            buf[done..done + n as usize].copy_from_slice(&bytes);
+            sys.read(self.staging, &mut buf[done..done + n as usize])?;
             done += n as usize;
             if (n as usize) < chunk {
                 break;

@@ -46,14 +46,17 @@ pub fn memset(sys: &mut System, dst: VAddr, byte: u8, n: usize) -> Result<()> {
 /// As [`memcpy`].
 pub fn memcmp(sys: &mut System, a: VAddr, b: VAddr, n: usize) -> Result<i32> {
     sys.charge(MEMCPY_LOOP_OVERHEAD * (n as u64 / 64 + 1));
-    let va = sys.read_vec(a, n)?;
-    let vb = sys.read_vec(b, n)?;
-    for i in 0..n {
-        if va[i] != vb[i] {
-            return Ok(if va[i] < vb[i] { -1 } else { 1 });
-        }
-    }
-    Ok(0)
+    // Nested pooled reads: each nesting level borrows its own buffer.
+    sys.with_read(a, n, |sys, va| {
+        sys.with_read(b, n, |_sys, vb| {
+            for i in 0..n {
+                if va[i] != vb[i] {
+                    return Ok(if va[i] < vb[i] { -1 } else { 1 });
+                }
+            }
+            Ok(0)
+        })
+    })
 }
 
 /// `strlen(s)` — length of a NUL-terminated string, bounded by `max`.

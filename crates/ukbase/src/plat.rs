@@ -43,18 +43,20 @@ fn entry_out(
 ) -> Result<Value> {
     let (addr, len) = args[0].as_buf();
     // PLAT reads the caller's buffer — subject to the caller's windows.
-    let bytes = match sys.read_vec(addr, len) {
-        Ok(b) => b,
+    let appended = sys.with_read(addr, len, |sys, bytes| {
+        sys.charge(200); // host write syscall amortisation
+        cubicle_core::component_mut::<Plat>(this)
+            .console
+            .extend_from_slice(bytes);
+        Ok(())
+    });
+    match appended {
+        Ok(()) => Ok(Value::I64(len as i64)),
         Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
-            return Ok(Value::I64(cubicle_core::Errno::Eacces.neg()))
+            Ok(Value::I64(cubicle_core::Errno::Eacces.neg()))
         }
-        Err(e) => return Err(e),
-    };
-    sys.charge(200); // host write syscall amortisation
-    cubicle_core::component_mut::<Plat>(this)
-        .console
-        .extend_from_slice(&bytes);
-    Ok(Value::I64(len as i64))
+        Err(e) => Err(e),
+    }
 }
 
 fn entry_halt(
