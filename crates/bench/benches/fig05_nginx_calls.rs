@@ -1,8 +1,8 @@
 //! Figure 5: the NGINX component graph with per-edge cross-cubicle call
 //! counts, collected during a siege-like measurement run.
 
-use cubicle_bench::report::banner;
 use cubicle_bench::report::results::BenchResults;
+use cubicle_bench::report::{audit_gate, banner};
 use cubicle_core::IsolationMode;
 use cubicle_httpd::boot_web;
 use cubicle_mpk::rng::Rng64;
@@ -71,4 +71,6 @@ fn main() {
         stats.edge(name("NGINX"), name("NETDEV")),
         stats.edge(name("NGINX"), name("RAMFS")),
     );
+    println!();
+    audit_gate(sys, "fig05 NGINX siege");
 }

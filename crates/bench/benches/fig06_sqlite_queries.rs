@@ -5,7 +5,7 @@
 //! Scale with `CUBICLE_SCALE` (default 100 = the paper's `--stat 100`).
 
 use cubicle_bench::report::results::BenchResults;
-use cubicle_bench::report::{banner, bar, factor};
+use cubicle_bench::report::{audit_gate, banner, bar, factor};
 use cubicle_bench::scenario::{build_sqlite, Partitioning, UNIKRAFT_BOUNDARY_TAX};
 use cubicle_core::IsolationMode;
 use cubicle_sqldb::speedtest::{query_group, QueryGroup, SpeedtestConfig, TestResult};
@@ -22,7 +22,9 @@ fn run(mode: IsolationMode, cfg: &SpeedtestConfig) -> Vec<TestResult> {
     let mut db = dep
         .open_db(cubicle_sqldb::pager::DEFAULT_CACHE_PAGES)
         .unwrap();
-    dep.run_speedtest(&mut db, cfg).unwrap()
+    let results = dep.run_speedtest(&mut db, cfg).unwrap();
+    audit_gate(&dep.sys, &format!("fig06 {mode:?}"));
+    results
 }
 
 fn main() {

@@ -2,7 +2,7 @@
 //! against CubicleOS with 8 partitions, over the simulated wire.
 
 use cubicle_bench::report::results::BenchResults;
-use cubicle_bench::report::{banner, factor};
+use cubicle_bench::report::{audit_gate, banner, factor};
 use cubicle_core::IsolationMode;
 use cubicle_httpd::boot_web;
 use cubicle_net::WireModel;
@@ -41,6 +41,7 @@ fn series(mode: IsolationMode) -> Vec<u64> {
         assert_eq!(resp.body.len(), size);
         out.push(latency);
     }
+    audit_gate(&dep.sys, &format!("fig07 {mode:?}"));
     out
 }
 

@@ -3,8 +3,8 @@
 //! 7-isolated-cubicle deployment: SQLITE, VFSCORE, RAMFS, ALLOC, TIME,
 //! PLAT (+ shared LIBC).
 
-use cubicle_bench::report::banner;
 use cubicle_bench::report::results::BenchResults;
+use cubicle_bench::report::{audit_gate, banner};
 use cubicle_core::{impl_component, ComponentImage, IsolationMode, System};
 use cubicle_mpk::insn::CodeImage;
 use cubicle_ramfs::{mount_at, Ramfs};
@@ -99,4 +99,6 @@ fn main() {
          edge exists (measured: {}). Absolute counts differ with workload scale.",
         stats.edge(name("SQLITE"), name("RAMFS"))
     );
+    println!();
+    audit_gate(&sys, "fig08 SQLite split");
 }

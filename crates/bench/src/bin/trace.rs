@@ -11,7 +11,7 @@
 //! counters disagree with the kernel's own statistics, so CI can use it
 //! as a smoke test.
 
-use cubicle_bench::report::{dump_observability, metrics_summary};
+use cubicle_bench::report::{audit_gate, dump_observability, metrics_summary};
 use cubicle_bench::scenario::{build_sqlite, Partitioning, UNIKRAFT_BOUNDARY_TAX};
 use cubicle_core::IsolationMode;
 use cubicle_sqldb::speedtest::SpeedtestConfig;
@@ -59,6 +59,7 @@ fn main() {
         traced_calls, cross_calls,
         "histogram counts must equal SysStats::cross_calls"
     );
+    audit_gate(&dep.sys, "trace SQLite split");
 
     let stem = format!("sqlite_split_scale{scale}");
     let paths = match dump_observability(&mut dep.sys, &out_dir, &stem) {

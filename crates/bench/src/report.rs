@@ -38,6 +38,24 @@ pub fn factor(value: f64) -> String {
     format!("{value:.2}x")
 }
 
+/// Scenario-end gate: runs the kernel invariant auditor
+/// ([`System::audit`]) and panics with the findings if the run left the
+/// kernel in an inconsistent state. Prints the one-line summary so every
+/// figure's output shows the check actually happened.
+///
+/// # Panics
+///
+/// When any isolation invariant (W^X, tag consistency, window ranges,
+/// stack guards, key uniqueness) is violated.
+pub fn audit_gate(sys: &System, label: &str) {
+    let report = sys.audit();
+    report.assert_clean(label);
+    println!(
+        "kernel audit ({label}): clean — {} pages, {} windows, {} cubicles",
+        report.pages_checked, report.windows_checked, report.cubicles_checked
+    );
+}
+
 /// Renders the per-edge and per-entry latency histograms as a
 /// human-readable table (empty string when tracing is disabled).
 pub fn metrics_summary(sys: &System) -> String {

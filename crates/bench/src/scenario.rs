@@ -176,6 +176,11 @@ pub fn speedtest_total_cycles(
     let mut dep = build_sqlite(mode, partitioning, boundary_tax)?;
     let mut db = dep.open_db(cubicle_sqldb::pager::DEFAULT_CACHE_PAGES)?;
     let results = dep.run_speedtest(&mut db, cfg)?;
+    let kernel = match mode {
+        IsolationMode::Ipc(k) => k.kernel.to_string(),
+        m => format!("{m:?}"),
+    };
+    crate::report::audit_gate(&dep.sys, &format!("speedtest {kernel} {partitioning:?}"));
     let total = results.iter().map(|r| r.cycles).sum();
     Ok((total, results))
 }

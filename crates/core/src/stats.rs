@@ -32,6 +32,11 @@ pub struct SysStats {
     pub ipc_msgs: u64,
     /// Payload bytes marshalled by the IPC baseline transport.
     pub ipc_bytes: u64,
+    /// Component images the loader refused (forbidden instructions).
+    pub loads_rejected: u64,
+    /// Total forbidden `wrpkru`/`syscall` occurrences found by the
+    /// loader's exhaustive audit scan of rejected images.
+    pub forbidden_insns: u64,
 }
 
 impl SysStats {
@@ -85,6 +90,8 @@ impl SysStats {
             stack_bytes_copied: self.stack_bytes_copied - earlier.stack_bytes_copied,
             ipc_msgs: self.ipc_msgs - earlier.ipc_msgs,
             ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
+            loads_rejected: self.loads_rejected - earlier.loads_rejected,
+            forbidden_insns: self.forbidden_insns - earlier.forbidden_insns,
         }
     }
 }
@@ -105,6 +112,13 @@ impl fmt::Display for SysStats {
             "stack-bytes-copied: {}  ipc: {} msgs / {} bytes",
             self.stack_bytes_copied, self.ipc_msgs, self.ipc_bytes
         )?;
+        if self.loads_rejected > 0 {
+            writeln!(
+                f,
+                "loads-rejected: {} ({} forbidden occurrences)",
+                self.loads_rejected, self.forbidden_insns
+            )?;
+        }
         let mut edges: Vec<_> = self.call_edges.iter().collect();
         edges.sort();
         for ((from, to), n) in edges {
@@ -165,5 +179,11 @@ mod tests {
         assert!(out.contains("cubicle#1 -> cubicle#2: 1"));
         assert!(out.contains("stack-bytes-copied: 96"));
         assert!(out.contains("ipc: 4 msgs / 512 bytes"));
+        assert!(!out.contains("loads-rejected"), "quiet when nothing failed");
+        s.loads_rejected = 1;
+        s.forbidden_insns = 3;
+        assert!(s
+            .to_string()
+            .contains("loads-rejected: 1 (3 forbidden occurrences)"));
     }
 }

@@ -39,15 +39,30 @@ pub const PARKED_KEY: ProtKey = match ProtKey::new(15) {
     None => unreachable!(),
 };
 
+/// Maximum rejection records kept by the loader audit log (a kernel must
+/// not grow unbounded state when fed a stream of hostile images).
+const LOADER_AUDIT_CAP: usize = 64;
+
 /// Per-page metadata kept by the monitor (paper §5.3: "CubicleOS keeps a
 /// page metadata map that identifies the window descriptor array
 /// corresponding to that page, together with its owner and type").
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PageMeta {
-    /// The owning cubicle (fixed at allocation time).
+    /// The owning cubicle (fixed at allocation time, changed only by an
+    /// explicit ownership grant).
     pub owner: CubicleId,
     /// What the page holds.
     pub region: RegionType,
+    /// The cubicle whose MPK key the page is expected to carry right now:
+    /// the owner, or the peer trap-and-map last retagged it to (causal
+    /// tag consistency, §5.6). The invariant auditor cross-checks the
+    /// machine's page table against this bookkeeping.
+    pub holder: CubicleId,
+    /// The window descriptor that justified handing the tag to a
+    /// non-owner holder (`None` while the owner holds its own page).
+    /// Survives a lazy `window_close`, recording why the stale tag is
+    /// legitimate.
+    pub via: Option<WindowId>,
 }
 
 /// Handle returned by the loader.
@@ -103,14 +118,14 @@ pub struct Snapshot {
 
 /// The CubicleOS kernel. See the module documentation.
 pub struct System {
-    machine: Machine,
-    mode: IsolationMode,
-    cubicles: Vec<Cubicle>,
+    pub(crate) machine: Machine,
+    pub(crate) mode: IsolationMode,
+    pub(crate) cubicles: Vec<Cubicle>,
     components: Vec<Option<Box<dyn Component>>>,
     component_names: Vec<String>,
     entries: Vec<EntryDesc>,
     entry_names: HashMap<String, EntryId>,
-    page_meta: HashMap<PageNum, PageMeta>,
+    pub(crate) page_meta: HashMap<PageNum, PageMeta>,
     call_stack: Vec<Frame>,
     next_page: u64,
     next_key: u8,
@@ -118,8 +133,12 @@ pub struct System {
     verifier: Builder,
     boot: Option<Snapshot>,
     boundary_tax: u64,
-    key_virt: Option<KeyVirt>,
+    pub(crate) key_virt: Option<KeyVirt>,
     tracer: Option<Tracer>,
+    /// Human-readable records of images the loader refused, one line per
+    /// rejection (bounded; kept outside the tracer so rejections are
+    /// never silently lost when tracing is off).
+    loader_audit: Vec<String>,
     /// Recycled read buffers for [`System::with_read`]: value marshalling
     /// and component handlers borrow one instead of allocating a fresh
     /// `Vec` per cross-cubicle argument. Host-side only — never affects
@@ -148,7 +167,7 @@ struct Tracer {
 /// physical key owner — each retag at full `pkey_mprotect` cost, which is
 /// what makes virtualisation expensive and the paper's "one key per
 /// compartment" frugality valuable.
-struct KeyVirt {
+pub(crate) struct KeyVirt {
     /// physical key (1..=15) → bound cubicle, with an LRU tick.
     bindings: Vec<(ProtKey, Option<(CubicleId, u64)>)>,
     tick: u64,
@@ -199,6 +218,7 @@ impl System {
             boundary_tax: 0,
             key_virt: None,
             tracer: None,
+            loader_audit: Vec::new(),
             scratch_pool: Vec::new(),
         }
     }
@@ -404,6 +424,24 @@ impl System {
         &self.machine
     }
 
+    /// Mutable machine access for *seeded-corruption tests* of
+    /// [`System::audit`]: tests reach around the kernel's bookkeeping to
+    /// break an invariant, then assert the auditor reports it. Never a
+    /// legitimate kernel path — `cubicle-verify` bans the name in
+    /// component sources just like the privileged `Machine` API itself.
+    #[doc(hidden)]
+    pub fn corrupt_machine_for_test(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Overrides a cubicle's key assignment for *seeded-corruption
+    /// tests* of [`System::audit`] (see
+    /// [`System::corrupt_machine_for_test`]).
+    #[doc(hidden)]
+    pub fn corrupt_cubicle_key_for_test(&mut self, cid: CubicleId, key: ProtKey) {
+        self.cubicles[cid.index()].key = key;
+    }
+
     /// Simulated cycle counter.
     pub fn now(&self) -> u64 {
         self.machine.now()
@@ -587,8 +625,21 @@ impl System {
         cid: CubicleId,
     ) -> Result<LoadedComponent> {
         // Rule: refuse code containing instructions that would undermine
-        // the isolation mechanisms.
+        // the isolation mechanisms. The early-exit scan decides the
+        // verdict; the exhaustive scan feeds the audit log so operators
+        // see *every* occurrence, not just the first.
         if let Some(bad) = image.code.scan_forbidden() {
+            let hits = image.code.scan_all();
+            self.stats.loads_rejected += 1;
+            self.stats.forbidden_insns += hits.len() as u64;
+            if self.loader_audit.len() < LOADER_AUDIT_CAP {
+                let (off, first) = hits.first().copied().expect("fast path found one");
+                self.loader_audit.push(format!(
+                    "loader: image `{}` rejected: {} forbidden occurrence(s), first `{first}` at +{off:#x}",
+                    image.name,
+                    hits.len(),
+                ));
+            }
             // roll back an empty cubicle created by `load`
             return Err(CubicleError::ForbiddenInstruction(bad));
         }
@@ -695,8 +746,15 @@ impl System {
         for i in 0..pages {
             let addr = base + i * PAGE_SIZE;
             self.machine.map_page(addr, key, flags);
-            self.page_meta
-                .insert(addr.page(), PageMeta { owner, region });
+            self.page_meta.insert(
+                addr.page(),
+                PageMeta {
+                    owner,
+                    region,
+                    holder: owner,
+                    via: None,
+                },
+            );
         }
         base
     }
@@ -953,6 +1011,7 @@ impl System {
         // (lazily retagged back — causal tag consistency, §5.6).
         if meta.owner == accessor {
             self.retag(fault.addr, accessor_key)?;
+            self.record_holder(fault.addr, accessor, None);
             self.stats.faults_resolved += 1;
             self.trace_fault(&fault, meta.owner, accessor, FaultDecision::OwnerReclaim);
             return Ok(());
@@ -961,6 +1020,7 @@ impl System {
         // Ablation mode "w/o ACLs": windows are open for any access.
         if !self.mode.acls_active() {
             self.retag(fault.addr, accessor_key)?;
+            self.record_holder(fault.addr, accessor, None);
             self.stats.faults_resolved += 1;
             self.trace_fault(&fault, meta.owner, accessor, FaultDecision::AclsDisabled);
             return Ok(());
@@ -984,6 +1044,7 @@ impl System {
         if let Some(wid) = decided_by {
             // ❺ assign the accessor's MPK tag to the page (zero-copy)
             self.retag(fault.addr, accessor_key)?;
+            self.record_holder(fault.addr, accessor, Some(wid));
             self.stats.faults_resolved += 1;
             self.trace_fault(&fault, meta.owner, accessor, FaultDecision::Window(wid));
             Ok(())
@@ -1039,6 +1100,17 @@ impl System {
         self.machine
             .set_page_key(addr, key)
             .map_err(CubicleError::MachineFault)
+    }
+
+    /// Updates the causal-tag bookkeeping after a successful retag: the
+    /// page's key is now expected to be `holder`'s, justified by `via`
+    /// when the holder is not the owner. [`System::audit`] cross-checks
+    /// the machine's page table against this record.
+    fn record_holder(&mut self, addr: VAddr, holder: CubicleId, via: Option<WindowId>) {
+        if let Some(m) = self.page_meta.get_mut(&addr.page()) {
+            m.holder = holder;
+            m.via = via;
+        }
     }
 
     // =====================================================================
@@ -1376,7 +1448,10 @@ impl System {
         }
         let key = self.cubicles[to.index()].key;
         for page in pages_covering(addr, len) {
-            self.page_meta.get_mut(&page).expect("checked above").owner = to;
+            let m = self.page_meta.get_mut(&page).expect("checked above");
+            m.owner = to;
+            m.holder = to;
+            m.via = None;
             if self.mode.mpk_active() {
                 self.machine.set_page_key(page.base(), key).expect("mapped");
             } else {
@@ -1882,11 +1957,25 @@ impl System {
         out
     }
 
-    /// Renders the trap-and-map audit log as human-readable text: one
-    /// line per fault, saying who touched whose page and which window
-    /// descriptor (or rule) decided. Empty when tracing is disabled.
+    /// Rejection records from the loader: one line per refused image,
+    /// with the total occurrence count and first offset from the
+    /// exhaustive [`cubicle_mpk::insn::CodeImage::scan_all`] scan.
+    /// Recorded even when tracing is off (capped at 64 entries).
+    pub fn loader_audit(&self) -> &[String] {
+        &self.loader_audit
+    }
+
+    /// Renders the loader + trap-and-map audit logs as human-readable
+    /// text: one line per refused image, then one line per fault, saying
+    /// who touched whose page and which window descriptor (or rule)
+    /// decided. Fault lines are present only while tracing is enabled;
+    /// loader rejections are always kept.
     pub fn export_fault_audit(&self) -> String {
         let mut out = String::new();
+        for line in &self.loader_audit {
+            out.push_str(line);
+            out.push('\n');
+        }
         for a in self.fault_audit() {
             let accessor = &self.cubicles[a.accessor.index()].name;
             let owner = &self.cubicles[a.owner.index()].name;

@@ -73,7 +73,7 @@ fn window_acl_algebra_never_leaks() {
         let mut open = [false; 3];
         let mut holder: Option<usize> = None; // None = owner holds it
 
-        for _ in 0..rng.range_usize(1, 60) {
+        for step in 0..rng.range_usize(1, 60) {
             match rand_op(&mut rng) {
                 WinOp::Open(i) => {
                     sys.run_in_cubicle(owner, |sys| sys.window_open(wid, peers[i]).unwrap());
@@ -117,6 +117,10 @@ fn window_acl_algebra_never_leaks() {
                     }
                 }
             }
+            // global invariants must hold after *every* step, whatever
+            // the interleaving of opens, closes, reclaims and reads
+            sys.audit()
+                .assert_clean(&format!("case {case}, step {step}"));
         }
     }
 }

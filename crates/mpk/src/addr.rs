@@ -139,6 +139,12 @@ impl From<u64> for VAddr {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct PageNum(pub u64);
 
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}@{}", self.0, self.base())
+    }
+}
+
 impl PageNum {
     /// Returns the base address of this page.
     pub const fn base(self) -> VAddr {
@@ -242,5 +248,6 @@ mod tests {
     fn display_and_debug() {
         assert_eq!(format!("{}", VAddr::new(0x1000)), "0x1000");
         assert_eq!(format!("{:?}", VAddr::new(0x1000)), "VAddr(0x1000)");
+        assert_eq!(format!("{}", PageNum(3)), "p3@0x3000");
     }
 }

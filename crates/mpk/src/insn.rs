@@ -141,6 +141,10 @@ impl CodeImage {
     /// "the loader scans code pages for binary sequences containing
     /// system call or wrpkru instructions ... and refuses to load code if
     /// any such sequence is found").
+    ///
+    /// This is the loader's fast path: it stops at the *first* hit, since
+    /// one forbidden sequence is enough to refuse the image. Use
+    /// [`CodeImage::scan_all`] for the exhaustive audit-log variant.
     pub fn scan_forbidden(&self) -> Option<ForbiddenInsn> {
         let b = &self.bytes;
         for i in 0..b.len() {
@@ -152,6 +156,25 @@ impl CodeImage {
             }
         }
         None
+    }
+
+    /// Exhaustive scan: every forbidden occurrence with its byte offset,
+    /// in ascending offset order. Overlapping occurrences are all
+    /// reported (a jump into the middle of one sequence can decode as
+    /// another), which is what an audit log wants even though the loader
+    /// itself only needs the early-exit [`CodeImage::scan_forbidden`].
+    pub fn scan_all(&self) -> Vec<(usize, ForbiddenInsn)> {
+        let b = &self.bytes;
+        let mut hits = Vec::new();
+        for i in 0..b.len() {
+            if b[i..].starts_with(&WRPKRU_BYTES) {
+                hits.push((i, ForbiddenInsn::Wrpkru));
+            }
+            if b[i..].starts_with(&SYSCALL_BYTES) {
+                hits.push((i, ForbiddenInsn::Syscall));
+            }
+        }
+        hits
     }
 }
 
@@ -222,5 +245,38 @@ mod tests {
     fn display_names() {
         assert_eq!(ForbiddenInsn::Wrpkru.to_string(), "wrpkru");
         assert_eq!(ForbiddenInsn::Syscall.to_string(), "syscall");
+    }
+
+    #[test]
+    fn scan_all_reports_every_occurrence_with_offsets() {
+        let img = CodeImage::from_insns(&[
+            Insn::Plain { len: 4 },
+            Insn::Wrpkru, // offset 4
+            Insn::Plain { len: 2 },
+            Insn::Syscall, // offset 9
+            Insn::ImmCarrier {
+                imm: [0x0F, 0x01, 0xEF, 0x00], // carrier at 11, imm at 12
+            },
+        ]);
+        assert_eq!(
+            img.scan_all(),
+            vec![
+                (4, ForbiddenInsn::Wrpkru),
+                (9, ForbiddenInsn::Syscall),
+                (12, ForbiddenInsn::Wrpkru),
+            ]
+        );
+        // the early-exit path agrees on the first hit
+        assert_eq!(img.scan_forbidden(), Some(ForbiddenInsn::Wrpkru));
+    }
+
+    #[test]
+    fn scan_all_reports_overlapping_decodings() {
+        // 0F 0F 05: a syscall hides one byte into the stream.
+        let img = CodeImage::from_bytes(vec![0x0F, 0x0F, 0x05]);
+        assert_eq!(img.scan_all(), vec![(1, ForbiddenInsn::Syscall)]);
+        // clean image: empty report, same verdict as the fast path
+        assert!(CodeImage::plain(64).scan_all().is_empty());
+        assert!(CodeImage::plain(64).scan_forbidden().is_none());
     }
 }

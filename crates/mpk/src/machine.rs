@@ -593,6 +593,22 @@ impl Machine {
         pages
     }
 
+    /// Every mapped page with its page-table entry, in ascending page
+    /// order. State exposure for verification layers (the kernel
+    /// invariant auditor walks this to check W^X and tag consistency);
+    /// host-side only, charges no simulated cycles.
+    pub fn mapped_pages(&self) -> Vec<(PageNum, PageEntry)> {
+        let mut pages = Vec::new();
+        for chunk in &self.table.chunks {
+            for (si, entry) in chunk.entries.iter().enumerate() {
+                if let Some(e) = entry {
+                    pages.push((PageNum(chunk.base + si as u64), *e));
+                }
+            }
+        }
+        pages
+    }
+
     /// Re-assigns the protection key of a mapped page, charging the
     /// `pkey_mprotect` cost. This is the retag operation at the heart of
     /// trap-and-map: the frame contents are untouched (zero-copy).
@@ -1493,5 +1509,25 @@ mod tests {
         m.set_page_key(a, ProtKey::new(2).unwrap()).unwrap();
         assert!(m.drain_events().is_empty());
         assert_eq!(m.events_dropped(), 0);
+    }
+
+    #[test]
+    fn mapped_pages_walks_everything_in_order() {
+        let mut m = Machine::new();
+        assert!(m.mapped_pages().is_empty());
+        // two chunks apart, mapped out of order
+        let hi = VAddr::new(600 * PAGE_SIZE as u64);
+        let lo = VAddr::new(3 * PAGE_SIZE as u64);
+        m.map_page(hi, ProtKey::new(2).unwrap(), PageFlags::x());
+        m.map_page(lo, ProtKey::new(1).unwrap(), PageFlags::rw());
+        let pages = m.mapped_pages();
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[0].0, lo.page());
+        assert_eq!(pages[0].1.key, ProtKey::new(1).unwrap());
+        assert!(pages[0].1.flags.can_write());
+        assert_eq!(pages[1].0, hi.page());
+        assert!(pages[1].1.flags.can_execute());
+        m.unmap_page(lo);
+        assert_eq!(m.mapped_pages().len(), 1);
     }
 }

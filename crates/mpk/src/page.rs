@@ -52,6 +52,18 @@ impl PageFlags {
         }
     }
 
+    /// Writable **and** executable page. The CubicleOS loader never
+    /// produces this — it violates W^X — but the machine model must be
+    /// able to represent it so that verification layers (the kernel
+    /// invariant auditor) can be tested against seeded corruption.
+    pub const fn rwx() -> PageFlags {
+        PageFlags {
+            read: true,
+            write: true,
+            execute: true,
+        }
+    }
+
     /// Returns `true` if reads are permitted.
     pub const fn can_read(self) -> bool {
         self.read
@@ -124,6 +136,10 @@ mod tests {
 
         assert!(PageFlags::rx().can_read());
         assert!(PageFlags::rx().can_execute());
+
+        assert!(PageFlags::rwx().can_read());
+        assert!(PageFlags::rwx().can_write());
+        assert!(PageFlags::rwx().can_execute());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::frame::{flags, Segment, MSS};
 use crate::netdev::{NetdevProxy, MAX_FRAME};
 use cubicle_core::{
     component_mut, impl_component, Builder, Component, ComponentImage, CubicleId, EntryId, Errno,
-    LoadedComponent, Result, System, Value,
+    LoadedComponent, Result, System, Value, WindowId,
 };
 use cubicle_mpk::insn::CodeImage;
 use cubicle_mpk::VAddr;
@@ -82,6 +82,10 @@ pub struct Lwip {
     frame_buf: VAddr,
     /// Current TX pbuf page (rotated through `ALLOC` refills).
     tx_buf: VAddr,
+    /// Window publishing `tx_buf` to `NETDEV`; destroyed on each refill
+    /// before the page goes back to `ALLOC` (a live window descriptor
+    /// must never cover memory its cubicle no longer owns).
+    tx_wid: Option<WindowId>,
     segments_since_refill: u64,
     /// Segments processed (statistics).
     pub segments_rx: u64,
@@ -390,16 +394,23 @@ fn send_segment(
         let needs_refill = st.alloc.is_some()
             && (st.tx_buf.is_null() || st.segments_since_refill >= PBUF_REFILL_SEGMENTS);
         if needs_refill {
-            let (alloc, old) = (st.alloc.expect("checked"), st.tx_buf);
+            let (alloc, old, old_wid) = (st.alloc.expect("checked"), st.tx_buf, st.tx_wid);
             let page = alloc.palloc(sys, 1)?;
             let wid = sys.window_init();
             sys.window_add(wid, page, 4096)?;
             sys.window_open(wid, dev.cid())?;
             if !old.is_null() {
+                // retire the old pbuf's window *before* the page goes
+                // back to ALLOC: its descriptor must not keep covering
+                // memory this cubicle no longer owns
+                if let Some(w) = old_wid {
+                    sys.window_destroy(w)?;
+                }
                 alloc.pfree(sys, old, 1)?;
             }
             let st = component_mut::<Lwip>(this);
             st.tx_buf = page;
+            st.tx_wid = Some(wid);
             st.segments_since_refill = 0;
             page
         } else if st.tx_buf.is_null() {

@@ -1,0 +1,334 @@
+//! A minimal, dependency-free Rust lexer for the isolation lint.
+//!
+//! The lint only needs identifiers and a little punctuation, but it must
+//! *never* fire on banned names inside comments, string literals, raw
+//! strings, byte strings or char literals — so the lexer understands all
+//! of those, including nested block comments, `r#".."#` hash fences and
+//! the lifetime-vs-char-literal ambiguity (`'static` vs `'s'`). It is
+//! deliberately lossy everywhere else: numbers and most punctuation are
+//! reduced to [`Tok::Other`].
+
+/// One token, stripped of everything the lint does not need.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// The `::` path separator.
+    PathSep,
+    /// `{`
+    OpenBrace,
+    /// `}`
+    CloseBrace,
+    /// `,`
+    Comma,
+    /// Any other punctuation (single character).
+    Other(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into the token stream the lint rules run over.
+pub fn lex(src: &str) -> Vec<Spanned> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1;
+    let mut i = 0;
+
+    // Advances past `b[i]`, keeping the line count right.
+    macro_rules! bump {
+        () => {{
+            if b[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+
+        // ── whitespace ───────────────────────────────────────────────
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // ── comments ─────────────────────────────────────────────────
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            i += 2;
+            let mut depth = 1;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+
+        // ── string-ish literals ──────────────────────────────────────
+        // Raw (byte) strings: r"..", r#".."#, br".., br#".."# — no
+        // escapes; closed by a quote followed by the same number of
+        // hashes as the opener.
+        let raw_prefix = if c == 'r' && !at_ident_boundary(&b, i) {
+            Some(1)
+        } else if c == 'b' && i + 1 < b.len() && b[i + 1] == 'r' && !at_ident_boundary(&b, i) {
+            Some(2)
+        } else {
+            None
+        };
+        if let Some(skip) = raw_prefix {
+            let mut j = i + skip;
+            let mut hashes = 0;
+            while j < b.len() && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == '"' {
+                // definitely a raw string: scan to the closing fence
+                i = j + 1;
+                'raw: while i < b.len() {
+                    if b[i] == '"' {
+                        let mut k = i + 1;
+                        let mut seen = 0;
+                        while k < b.len() && b[k] == '#' && seen < hashes {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    bump!();
+                }
+                continue;
+            }
+            // not a raw string (e.g. the identifier `result`): fall
+            // through to identifier lexing below
+        }
+        // Byte strings b".." share escape handling with plain strings.
+        if c == '"' || (c == 'b' && i + 1 < b.len() && b[i + 1] == '"' && !at_ident_boundary(&b, i))
+        {
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < b.len() {
+                if b[i] == '\\' {
+                    i = (i + 2).min(b.len());
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                bump!();
+            }
+            continue;
+        }
+        // Char literals vs lifetimes. b'x' first, then plain '.
+        if c == 'b' && i + 1 < b.len() && b[i + 1] == '\'' && !at_ident_boundary(&b, i) {
+            i += 1; // fall into the quote handling below as a char literal
+        }
+        if b[i] == '\'' {
+            let next = b.get(i + 1).copied();
+            match next {
+                // lifetime or char-of-letter: scan the ident run and see
+                // whether a closing quote follows immediately
+                Some(n) if is_ident_start(n) => {
+                    let mut j = i + 2;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    if j == i + 2 && b.get(j).copied() == Some('\'') {
+                        i = j + 1; // 'x' — char literal
+                    } else {
+                        i = j; // 'static — lifetime, ident consumed too
+                    }
+                }
+                // escaped char literal: '\n', '\'', '\u{..}'
+                Some('\\') => {
+                    i += 2; // quote + backslash
+                    while i < b.len() && b[i] != '\'' {
+                        bump!();
+                    }
+                    i += 1; // closing quote
+                }
+                // punctuation char literal: ' ', '(', …
+                Some(_) => {
+                    i += 2;
+                    if i < b.len() && b[i] == '\'' {
+                        i += 1;
+                    }
+                }
+                None => i += 1,
+            }
+            continue;
+        }
+
+        // ── numbers (consumed so suffixes never look like idents) ────
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            continue;
+        }
+
+        // ── identifiers / keywords ───────────────────────────────────
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            toks.push(Spanned {
+                tok: Tok::Ident(b[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+
+        // ── punctuation ──────────────────────────────────────────────
+        let tok = if c == ':' && i + 1 < b.len() && b[i + 1] == ':' {
+            i += 2;
+            Tok::PathSep
+        } else {
+            i += 1;
+            match c {
+                '{' => Tok::OpenBrace,
+                '}' => Tok::CloseBrace,
+                ',' => Tok::Comma,
+                other => Tok::Other(other),
+            }
+        };
+        toks.push(Spanned { tok, line });
+    }
+    toks
+}
+
+/// `true` when `b[i]` continues an identifier started earlier (so an `r`
+/// or `b` here cannot open a raw/byte literal — e.g. the `r` in `for`).
+fn at_ident_boundary(b: &[char], i: usize) -> bool {
+    i > 0 && is_ident_continue(b[i - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(name) => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_path_sep() {
+        let toks = lex("use std::fs;");
+        assert_eq!(toks[0].tok, Tok::Ident("use".into()));
+        assert_eq!(toks[1].tok, Tok::Ident("std".into()));
+        assert_eq!(toks[2].tok, Tok::PathSep);
+        assert_eq!(toks[3].tok, Tok::Ident("fs".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(idents("// unsafe transmute\nok"), vec!["ok"]);
+        assert_eq!(
+            idents("/* unsafe /* nested Machine */ more */ok"),
+            vec!["ok"]
+        );
+    }
+
+    #[test]
+    fn strings_are_skipped() {
+        assert_eq!(idents(r#"let x = "unsafe Machine";"#), vec!["let", "x"]);
+        assert_eq!(idents(r#"let x = "esc \" unsafe";"#), vec!["let", "x"]);
+        assert_eq!(idents("let x = b\"transmute\";"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_are_skipped() {
+        assert_eq!(idents(r##"let x = r"Machine";"##), vec!["let", "x"]);
+        assert_eq!(
+            idents(r###"let x = r#"set_pkru "quoted" inside"#;"###),
+            vec!["let", "x"]
+        );
+        assert_eq!(idents(r###"let x = br#"std::fs"#;"###), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn r_identifiers_still_lex() {
+        // `r` and `b` as ordinary identifier starts must not be eaten
+        assert_eq!(
+            idents("let result = builder;"),
+            vec!["let", "result", "builder"]
+        );
+        assert_eq!(idents("for r in rs {}"), vec!["for", "r", "in", "rs"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(idents("let c = 'M';"), vec!["let", "c"]);
+        assert_eq!(idents(r"let c = '\n';"), vec!["let", "c"]);
+        assert_eq!(idents("let c = b'x';"), vec!["let", "c"]);
+        // 'static is a lifetime: neither a stray `static` ident nor an
+        // unterminated literal
+        assert_eq!(
+            idents("fn f(x: &'static str) {}"),
+            vec!["fn", "f", "x", "str"]
+        );
+        assert_eq!(idents("fn g<'a>(x: &'a u8) {}"), vec!["fn", "g", "x", "u8"]);
+    }
+
+    #[test]
+    fn numbers_do_not_leak_suffix_idents() {
+        assert_eq!(idents("let x = 0u64 + 0x0F;"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn braces_and_commas() {
+        let toks = lex("std::{fs, io}");
+        assert!(toks.iter().any(|t| t.tok == Tok::OpenBrace));
+        assert!(toks.iter().any(|t| t.tok == Tok::Comma));
+        assert!(toks.iter().any(|t| t.tok == Tok::CloseBrace));
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: ambient-authority violations — a component reaching around
+// the simulated kernel to the host OS. Never compiled; fed to the lint
+// as text.
+
+use std::net::TcpStream;
+use std::{io::Read, fs, thread};
+
+pub fn exfiltrate(path: &str) {
+    let data = fs::read(path).unwrap();
+    let mut conn = TcpStream::connect("127.0.0.1:9").unwrap();
+    std::process::exit(data.len() as i32);
+}

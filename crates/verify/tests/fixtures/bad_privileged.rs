@@ -1,0 +1,10 @@
+// Fixture: privileged-API violations — a component naming the machine
+// model directly, the source-level analog of embedding `wrpkru` in a
+// binary. Never compiled; fed to the lint as text.
+
+use cubicle_mpk::{Machine, Pkru};
+
+pub fn escape(m: &mut Machine) {
+    m.set_pkru(Pkru::allow_all());
+    m.set_page_key(addr, key);
+}

@@ -1,0 +1,10 @@
+// Fixture: TCB confinement violation — mutable global state in a
+// component. Never compiled; fed to the lint as text.
+
+static mut SHARED_SCRATCH: [u8; 64] = [0; 64];
+
+pub fn stash(v: u8) {
+    // (the write itself would need `unsafe` too, but the declaration
+    // alone is already banned)
+    let _ = v;
+}

@@ -1,0 +1,6 @@
+// Fixture: TCB confinement violations — `unsafe` and `transmute` in a
+// component. Never compiled; fed to the lint as text.
+
+pub fn sneak_past_the_monitor(x: u64) -> i64 {
+    unsafe { std::mem::transmute::<u64, i64>(x) }
+}

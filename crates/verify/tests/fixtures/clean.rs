@@ -1,0 +1,23 @@
+// Fixture: a well-behaved component that *mentions* every banned name in
+// positions the lexer must ignore — comments, strings, raw strings, char
+// literals — plus constructs that look like violations to a naive
+// scanner (`&'static str`, identifiers starting with `r`). The lint must
+// report zero findings.
+
+// unsafe transmute static mut std::fs std::net Machine set_pkru wrpkru
+
+/* block comment: std::process::exit, /* nested: Pkru, map_page */ retag */
+
+pub const DOC: &'static str = "calling unsafe std::fs::read or Machine here is fine";
+pub const RAW: &str = r#"set_page_key "quoted" transmute std::thread PARKED_KEY"#;
+pub const BYTES: &[u8] = b"static mut std::net";
+
+pub fn respectable(reader: &str) -> usize {
+    let marker = 'M'; // not the Machine ident
+    let newline = '\n';
+    let result = reader.len() + (marker as usize) + (newline as usize);
+    for r in 0..result {
+        let _ = r;
+    }
+    std::collections::HashMap::<u32, u32>::new().len() + result
+}

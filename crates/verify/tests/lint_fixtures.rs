@@ -1,0 +1,105 @@
+//! Negative-case tests: every fixture under `tests/fixtures/` must make
+//! the expected rule(s) fire, and the deliberately tricky clean fixture
+//! must not.
+
+use cubicle_verify::lint::lint_source;
+use cubicle_verify::{deps, Rule};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name);
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    (path, text)
+}
+
+fn rules_in(name: &str) -> Vec<Rule> {
+    let (path, text) = fixture(name);
+    lint_source(&path, &text)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn unsafe_fixture_fires_tcb_confinement() {
+    let rules = rules_in("bad_unsafe.rs");
+    assert_eq!(rules, vec![Rule::TcbConfinement, Rule::TcbConfinement]);
+}
+
+#[test]
+fn static_mut_fixture_fires_tcb_confinement() {
+    assert_eq!(rules_in("bad_static_mut.rs"), vec![Rule::TcbConfinement]);
+}
+
+#[test]
+fn ambient_fixture_fires_for_every_escape_route() {
+    let (path, text) = fixture("bad_ambient.rs");
+    let findings = lint_source(&path, &text);
+    assert_eq!(findings.len(), 4, "net, fs, thread, process: {findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::AmbientAuthority));
+    let all = findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    for escape in ["std::net", "std::fs", "std::thread", "std::process"] {
+        assert!(all.contains(escape), "missing {escape} in: {all}");
+    }
+    // `io::Read` inside the use-group must NOT be flagged
+    assert!(!all.contains("std::io"));
+}
+
+#[test]
+fn privileged_fixture_fires_per_mention() {
+    let (path, text) = fixture("bad_privileged.rs");
+    let findings = lint_source(&path, &text);
+    assert_eq!(findings.len(), 6, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::PrivilegedApi));
+    assert!(findings.iter().any(|f| f.message.contains("`Machine`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`set_page_key`")));
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let (path, text) = fixture("clean.rs");
+    let findings = lint_source(&path, &text);
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
+fn findings_carry_real_line_numbers() {
+    let (path, text) = fixture("bad_static_mut.rs");
+    let findings = lint_source(&path, &text);
+    let wanted = text
+        .lines()
+        .position(|l| l.starts_with("static mut"))
+        .expect("fixture declares one")
+        + 1;
+    assert_eq!(findings[0].line, wanted);
+}
+
+#[test]
+fn dep_fixture_fires_for_lateral_and_external_edges() {
+    let (path, text) = {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests")
+            .join("fixtures")
+            .join("bad_deps.toml");
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        (path, text)
+    };
+    let findings = deps::check_manifest(&path, &text);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::DependencyGraph));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("may not depend on `cubicle-net`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("may not depend on `serde`")));
+}

@@ -1,0 +1,22 @@
+//! Self-test: the live workspace must lint clean. This is the same check
+//! the gating CI job runs via `cargo run -p cubicle-verify`, kept as a
+//! test so `cargo test` alone also catches a freshly-introduced
+//! violation.
+
+#[test]
+fn live_workspace_lints_clean() {
+    let root = cubicle_verify::workspace_root();
+    let report = cubicle_verify::run_all(&root).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "the live workspace violates the isolation lint:\n{report}"
+    );
+    // sanity: the scan actually covered the tree (7 component crates,
+    // each with at least lib.rs; 10 allow-listed crate manifests)
+    assert!(
+        report.files_scanned >= 7,
+        "only {} files",
+        report.files_scanned
+    );
+    assert_eq!(report.crates_checked, 10);
+}
