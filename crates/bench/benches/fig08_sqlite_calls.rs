@@ -42,14 +42,14 @@ fn main() {
         .unwrap();
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
-    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
+    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/").unwrap();
     let app = sys
         .load(
             ComponentImage::new("SQLITE", CodeImage::plain(128 * 1024)).heap_pages(256),
             Box::new(SqliteApp),
         )
         .unwrap();
-    let vfs_proxy = VfsProxy::resolve(&vfs_loaded);
+    let vfs_proxy = VfsProxy::resolve(&vfs_loaded).unwrap();
     let ramfs_cid = ramfs_loaded.cid;
     let time = base.time;
     let c0 = sys.now();

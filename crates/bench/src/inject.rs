@@ -1,0 +1,304 @@
+//! Deterministic fault injection for the containment campaign.
+//!
+//! A seeded [`Rng64`] drives a storm of faults — wild reads and writes,
+//! premature window closes, out-of-window pointer passing, images
+//! carrying forbidden instructions, heap exhaustion mid-call — against a
+//! three-cubicle micro deployment, and checks after every injection that
+//! the blast radius stayed inside the offender: the expected cubicle
+//! (and only it) is quarantined, `System::audit()` is clean, and the
+//! surviving cubicles still complete cross-calls. Every quarantined
+//! offender is then microrebooted and the checks repeat.
+//!
+//! The same seed must reproduce the same storm bit-for-bit: the report
+//! carries an FNV digest over the kernel trace so `faultstorm` can
+//! assert replay determinism.
+
+use cubicle_core::{
+    impl_component, Builder, ComponentImage, CubicleError, CubicleId, IsolationMode, System, Value,
+};
+use cubicle_mpk::insn::{CodeImage, Insn};
+use cubicle_mpk::rng::Rng64;
+use cubicle_mpk::VAddr;
+
+/// An address far above anything the monitor maps in these runs.
+const WILD: VAddr = VAddr::new(0x0FFF_0000);
+
+/// Cubicles in the micro deployment.
+const POP: usize = 3;
+const NAMES: [&str; POP] = ["APP", "SVC", "STORE"];
+
+/// One injected fault shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The target reads unmapped memory in its own frame.
+    WildRead,
+    /// The target writes unmapped memory in its own frame.
+    WildWrite,
+    /// The caller opens a window, closes it, then cross-calls an entry
+    /// that dereferences the no-longer-shared buffer.
+    PrematureClose,
+    /// The caller passes a pointer to its memory without ever opening a
+    /// window for it.
+    BadPointer,
+    /// A component image carrying a `wrpkru` reaches the loader.
+    ForbiddenImage,
+    /// A callee exhausts its heap quota mid-call.
+    HeapExhaust,
+}
+
+impl FaultKind {
+    /// All kinds, in storm-mix order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::WildRead,
+        FaultKind::WildWrite,
+        FaultKind::PrematureClose,
+        FaultKind::BadPointer,
+        FaultKind::ForbiddenImage,
+        FaultKind::HeapExhaust,
+    ];
+}
+
+struct Node;
+impl_component!(Node);
+
+/// Builds the image for micro-deployment cubicle `i`: a ping entry for
+/// liveness probes plus entries the injector drives into each fault.
+fn node_image(i: usize) -> ComponentImage {
+    let b = Builder::new();
+    ComponentImage::new(NAMES[i], CodeImage::plain(256))
+        .export(
+            b.export(&format!("long ping{i}(void)")).unwrap(),
+            |_sys, _this, _| Ok(Value::I64(1)),
+        )
+        .export(
+            b.export(&format!("long deref{i}(const void *p)")).unwrap(),
+            |sys, _this, args| {
+                sys.read_vec(args[0].as_ptr(), 8)?;
+                Ok(Value::I64(0))
+            },
+        )
+        .export(
+            b.export(&format!("long hog{i}(uint64_t bytes)")).unwrap(),
+            |sys, _this, args| {
+                sys.heap_alloc(args[0].as_u64() as usize, 8)?;
+                Ok(Value::I64(0))
+            },
+        )
+}
+
+/// Outcome of one campaign run.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Seed the storm was drawn from.
+    pub seed: u64,
+    /// Faults injected.
+    pub injected: u64,
+    /// Faults whose blast radius stayed inside the offender.
+    pub contained: u64,
+    /// Faults that escaped (any failed check). Must be zero.
+    pub uncontained: u64,
+    /// Quarantines performed by the kernel during the storm.
+    pub quarantines: u64,
+    /// Microreboots performed to bring offenders back.
+    pub restarts: u64,
+    /// FNV-1a digest over the kernel trace (replay-determinism witness).
+    pub digest: u64,
+    /// Human-readable notes for every escaped fault.
+    pub escapes: Vec<String>,
+}
+
+/// FNV-1a over a byte slice.
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs one seeded storm of `injections` faults and reports containment.
+///
+/// # Panics
+///
+/// Panics when the micro deployment itself fails to boot — that is a
+/// harness bug, not a containment escape.
+pub fn run_campaign(seed: u64, injections: usize) -> CampaignReport {
+    let mut rng = Rng64::new(seed);
+    let mut sys = System::new(IsolationMode::Full);
+    sys.set_fault_containment(true);
+    sys.enable_tracing(1 << 16);
+
+    let mut ids: Vec<CubicleId> = Vec::new();
+    for i in 0..POP {
+        ids.push(sys.load(node_image(i), Box::new(Node)).unwrap().cid);
+    }
+
+    let mut report = CampaignReport {
+        seed,
+        ..CampaignReport::default()
+    };
+
+    for step in 0..injections {
+        let kind = FaultKind::ALL[rng.range_usize(0, FaultKind::ALL.len())];
+        let t = rng.range_usize(0, POP);
+        let c = (t + 1 + rng.range_usize(0, POP - 1)) % POP; // c != t
+        report.injected += 1;
+
+        // Fire the fault. `offender` is who the kernel must quarantine;
+        // `None` means the fault is contained without a quarantine
+        // (resource exhaustion, loader rejection).
+        let (offender, fired_ok) = match kind {
+            FaultKind::WildRead => {
+                let r = sys.run_in_cubicle(ids[t], |sys| sys.read_vec(WILD, 8));
+                (Some(t), r.is_err())
+            }
+            FaultKind::WildWrite => {
+                let r = sys.run_in_cubicle(ids[t], |sys| sys.write(WILD, b"stray"));
+                (Some(t), r.is_err())
+            }
+            FaultKind::PrematureClose => {
+                let peer = ids[c];
+                let r = sys.run_in_cubicle(ids[t], |sys| {
+                    let buf = sys.heap_alloc(64, 8)?;
+                    let wid = sys.window_init();
+                    sys.window_add(wid, buf, 64)?;
+                    sys.window_open(wid, peer)?;
+                    sys.window_close(wid, peer)?; // revoked before use
+                    sys.call(&format!("deref{c}"), &[Value::Ptr(buf)])
+                });
+                (Some(t), r.is_err())
+            }
+            FaultKind::BadPointer => {
+                let r = sys.run_in_cubicle(ids[t], |sys| {
+                    let buf = sys.heap_alloc(64, 8)?;
+                    sys.call(&format!("deref{c}"), &[Value::Ptr(buf)])
+                });
+                (Some(t), r.is_err())
+            }
+            FaultKind::ForbiddenImage => {
+                let bad = CodeImage::from_insns(&[
+                    Insn::Plain { len: 32 },
+                    Insn::Wrpkru,
+                    Insn::Plain { len: 8 },
+                ]);
+                let r = sys.load(ComponentImage::new("EVIL", bad), Box::new(Node));
+                (
+                    None,
+                    matches!(r, Err(CubicleError::ForbiddenInstruction(_))),
+                )
+            }
+            FaultKind::HeapExhaust => {
+                sys.set_heap_limit(ids[c], Some(8)).unwrap();
+                let r = sys.run_in_cubicle(ids[t], |sys| {
+                    sys.call(&format!("hog{c}"), &[Value::U64(64 * 1024 * 1024)])
+                });
+                sys.set_heap_limit(ids[c], None).unwrap();
+                // Contained as -ENOMEM at the healthy caller; no
+                // quarantine — exhaustion is not an isolation breach.
+                (None, matches!(r.map(|v| v.as_i64()), Ok(-12)))
+            }
+        };
+
+        // Verify the blast radius.
+        let escape = |why: String, report: &mut CampaignReport| {
+            report.uncontained += 1;
+            report
+                .escapes
+                .push(format!("seed {seed:#x} step {step} {kind:?}: {why}"));
+        };
+        let mut ok = true;
+        if !fired_ok {
+            escape("fault did not fire as expected".into(), &mut report);
+            ok = false;
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let expect = offender == Some(i);
+            if sys.cubicle(*id).is_quarantined() != expect {
+                escape(
+                    format!("{} quarantined={}, expected {expect}", NAMES[i], !expect),
+                    &mut report,
+                );
+                ok = false;
+            }
+        }
+        let audit = sys.audit();
+        if !audit.is_clean() {
+            escape(format!("audit dirty after fault: {audit}"), &mut report);
+            ok = false;
+        }
+        // Survivors keep serving.
+        let healthy: Vec<usize> = (0..POP)
+            .filter(|&i| !sys.cubicle(ids[i]).is_quarantined())
+            .collect();
+        if healthy.len() >= 2 {
+            let (a, b) = (healthy[0], healthy[healthy.len() - 1]);
+            let r = sys.run_in_cubicle(ids[a], |sys| sys.call(&format!("ping{b}"), &[]));
+            if r.map(|v| v.as_i64()) != Ok(1) {
+                escape("healthy pair stopped serving".into(), &mut report);
+                ok = false;
+            }
+        }
+
+        // Bring the offender back and re-verify.
+        if let Some(i) = offender {
+            if sys.cubicle(ids[i]).is_quarantined() {
+                sys.restart(ids[i]).unwrap();
+                let audit = sys.audit();
+                if !audit.is_clean() {
+                    escape(format!("audit dirty after restart: {audit}"), &mut report);
+                    ok = false;
+                }
+                let r = sys
+                    .run_in_cubicle(ids[(i + 1) % POP], |sys| sys.call(&format!("ping{i}"), &[]));
+                if r.map(|v| v.as_i64()) != Ok(1) {
+                    escape("offender not serving after microreboot".into(), &mut report);
+                    ok = false;
+                }
+            }
+        }
+        if ok {
+            report.contained += 1;
+        }
+    }
+
+    let stats = sys.stats();
+    report.quarantines = stats.quarantines;
+    report.restarts = stats.restarts;
+
+    // Digest the whole trace: same seed ⇒ same storm ⇒ same digest.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    if let Some(trace) = sys.trace() {
+        for rec in trace.records() {
+            h = fnv1a(h, format!("{rec:?}").as_bytes());
+        }
+    }
+    h = fnv1a(h, sys.export_fault_audit().as_bytes());
+    report.digest = h;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_contains_everything_and_replays_identically() {
+        let a = run_campaign(0x5EED, 24);
+        assert_eq!(a.uncontained, 0, "escapes: {:?}", a.escapes);
+        assert_eq!(a.injected, 24);
+        let b = run_campaign(0x5EED, 24);
+        assert_eq!(a.digest, b.digest, "same seed must replay bit-identically");
+        let c = run_campaign(0x5EED + 1, 24);
+        assert_ne!(a.digest, c.digest, "different seed must differ");
+    }
+
+    #[test]
+    fn every_fault_kind_is_reachable() {
+        // 48 draws over 6 kinds: overwhelmingly likely to hit them all;
+        // the seed is fixed, so this is deterministic in practice.
+        let r = run_campaign(0xF00D, 48);
+        assert_eq!(r.uncontained, 0, "escapes: {:?}", r.escapes);
+        assert!(r.quarantines > 0 && r.restarts > 0);
+    }
+}

@@ -7,5 +7,6 @@
 //! stack in the paper's 3- and 4-component partitionings (Figure 9) under
 //! any isolation mode or IPC kernel model.
 
+pub mod inject;
 pub mod report;
 pub mod scenario;

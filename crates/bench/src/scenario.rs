@@ -109,16 +109,16 @@ pub fn build_sqlite(
         }
         Partitioning::Split => sys.load(cubicle_ramfs::image(), Box::new(Ramfs::default()))?,
     };
-    let alloc_proxy = AllocProxy::resolve(&alloc_loaded);
+    let alloc_proxy = AllocProxy::resolve(&alloc_loaded)?;
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(alloc_proxy))
         .expect("ramfs slot");
-    cubicle_ramfs::mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
+    cubicle_ramfs::mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/")?;
 
     sys.mark_boot_complete();
     Ok(SqliteDeployment {
         sys,
         app: app.cid,
-        vfs: VfsProxy::resolve(&vfs_loaded),
+        vfs: VfsProxy::resolve(&vfs_loaded)?,
         ramfs_cid: ramfs_loaded.cid,
         core_cid,
     })

@@ -25,7 +25,11 @@
 //!   cubicle stack are still unmapped, and the stack has not overflowed
 //!   its region;
 //! * **key uniqueness** — no two cubicles hold the same MPK key (parked
-//!   cubicles excepted under tag virtualisation).
+//!   cubicles excepted under tag virtualisation; quarantined cubicles
+//!   excepted always, their key is the parked sentinel);
+//! * **quarantine** — a quarantined cubicle is fully torn down: it owns
+//!   and holds no pages, publishes no windows, carries the parked key
+//!   and has no stack.
 
 use crate::cubicle::RegionType;
 use crate::system::{System, PARKED_KEY};
@@ -47,6 +51,9 @@ pub enum InvariantClass {
     StackGuard,
     /// Two cubicles hold the same MPK key.
     KeyUniqueness,
+    /// A quarantined cubicle still owns resources (pages, windows, a
+    /// stack or a live key) that [`System::quarantine`] must reclaim.
+    Quarantine,
 }
 
 impl fmt::Display for InvariantClass {
@@ -57,6 +64,7 @@ impl fmt::Display for InvariantClass {
             InvariantClass::WindowRange => "window-range",
             InvariantClass::StackGuard => "stack-guard",
             InvariantClass::KeyUniqueness => "key-uniqueness",
+            InvariantClass::Quarantine => "quarantine",
         })
     }
 }
@@ -277,17 +285,63 @@ impl System {
         }
 
         // ── pass 4: key uniqueness ───────────────────────────────────
+        // Quarantined cubicles carry the parked sentinel until restart,
+        // so two of them sharing it is expected, not a duplicate.
         for (i, a) in self.cubicles.iter().enumerate() {
-            if parked_ok && a.key == PARKED_KEY {
+            if (parked_ok && a.key == PARKED_KEY) || a.is_quarantined() {
                 continue;
             }
             for b in self.cubicles.iter().skip(i + 1) {
-                if b.key == a.key {
+                if b.key == a.key && !b.is_quarantined() {
                     findings.push(AuditFinding {
                         class: InvariantClass::KeyUniqueness,
                         detail: format!("{} and {} both hold {}", a.name, b.name, a.key),
                     });
                 }
+            }
+        }
+
+        // ── pass 5: quarantine teardown ──────────────────────────────
+        for c in self.cubicles.iter().filter(|c| c.is_quarantined()) {
+            let owned = self.page_meta.values().filter(|m| m.owner == c.id).count();
+            if owned > 0 {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Quarantine,
+                    detail: format!("quarantined {} still owns {owned} page(s)", c.name),
+                });
+            }
+            let held = self
+                .page_meta
+                .values()
+                .filter(|m| m.holder == c.id && m.owner != c.id)
+                .count();
+            if held > 0 {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Quarantine,
+                    detail: format!("quarantined {} still holds {held} foreign page(s)", c.name),
+                });
+            }
+            if !c.windows.is_empty() {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Quarantine,
+                    detail: format!(
+                        "quarantined {} still publishes {} window(s)",
+                        c.name,
+                        c.windows.len()
+                    ),
+                });
+            }
+            if c.key != PARKED_KEY {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Quarantine,
+                    detail: format!("quarantined {} still carries live {}", c.name, c.key),
+                });
+            }
+            if c.stack_len != 0 {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Quarantine,
+                    detail: format!("quarantined {} still has a mapped stack", c.name),
+                });
             }
         }
 
@@ -321,6 +375,7 @@ mod tests {
         assert_eq!(InvariantClass::WindowRange.to_string(), "window-range");
         assert_eq!(InvariantClass::StackGuard.to_string(), "stack-guard");
         assert_eq!(InvariantClass::KeyUniqueness.to_string(), "key-uniqueness");
+        assert_eq!(InvariantClass::Quarantine.to_string(), "quarantine");
     }
 
     #[test]

@@ -21,6 +21,14 @@ use std::any::Any;
 pub trait Component: Any {
     /// Upcast for entry-point downcasting.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Called by the monitor after a microreboot
+    /// ([`crate::System::restart`]) has re-mapped the cubicle's segments:
+    /// the component must drop host-side state referring to its old
+    /// (reclaimed) simulated memory — caches, connection tables, pointers
+    /// into the old heap. Wiring that survives a reboot (proxies to other
+    /// cubicles, whose entry IDs stay stable) may be kept.
+    fn on_restart(&mut self) {}
 }
 
 /// Downcasts a component reference inside an entry point.
@@ -37,12 +45,25 @@ pub fn component_mut<T: Component>(c: &mut dyn Component) -> &mut T {
 }
 
 /// Implements [`Component`] for a concrete state type.
+///
+/// The `restart = method` form wires an inherent method as the
+/// [`Component::on_restart`] microreboot hook.
 #[macro_export]
 macro_rules! impl_component {
     ($ty:ty) => {
         impl $crate::Component for $ty {
             fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
                 self
+            }
+        }
+    };
+    ($ty:ty, restart = $method:ident) => {
+        impl $crate::Component for $ty {
+            fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+                self
+            }
+            fn on_restart(&mut self) {
+                self.$method();
             }
         }
     };

@@ -20,6 +20,20 @@ pub enum RegionType {
     Heap,
 }
 
+/// Lifecycle state of a cubicle, maintained by the monitor's fault
+/// containment machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CubicleState {
+    /// Serving: cross-calls in and out are dispatched normally.
+    #[default]
+    Active,
+    /// The monitor contained a fault to this cubicle: its windows were
+    /// destroyed, its pages reclaimed and its key parked. Cross-calls
+    /// into it are rejected with [`crate::CubicleError::Quarantined`]
+    /// until [`crate::System::restart`] reboots it.
+    Quarantined,
+}
+
 /// Kernel-side record of one cubicle.
 #[derive(Debug)]
 pub struct Cubicle {
@@ -43,6 +57,18 @@ pub struct Cubicle {
     /// Window descriptors owned by this cubicle.
     pub windows: Vec<Window>,
     next_window: u32,
+    /// Lifecycle state (quarantined after a contained fault).
+    pub state: CubicleState,
+    /// Incremented on every microreboot; 0 for the original incarnation.
+    pub generation: u32,
+    /// Why the cubicle was quarantined (`None` while active).
+    pub quarantine_reason: Option<String>,
+    /// Fault-injection knob: cap on total heap pages the monitor will
+    /// grant (`None` = unlimited). Growth beyond the cap fails with
+    /// `OutOfMemory`, modelling heap exhaustion mid-call.
+    pub heap_limit_pages: Option<usize>,
+    /// Heap pages granted so far (reset on quarantine).
+    pub heap_pages_granted: usize,
 }
 
 impl Cubicle {
@@ -59,7 +85,17 @@ impl Cubicle {
             stack_used: 0,
             windows: Vec::new(),
             next_window: 1, // window 0 is the implicit self-window
+            state: CubicleState::Active,
+            generation: 0,
+            quarantine_reason: None,
+            heap_limit_pages: None,
+            heap_pages_granted: 0,
         }
+    }
+
+    /// Is this cubicle currently quarantined?
+    pub fn is_quarantined(&self) -> bool {
+        self.state == CubicleState::Quarantined
     }
 
     /// Creates a new empty window and returns its ID.

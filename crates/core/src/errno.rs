@@ -24,6 +24,9 @@ pub enum Errno {
     Enomem = 12,
     /// Permission denied.
     Eacces = 13,
+    /// Bad address. The monitor's unwind path returns this to the nearest
+    /// healthy caller when a fault was contained to a quarantined cubicle.
+    Efault = 14,
     /// File exists.
     Eexist = 17,
     /// Not a directory.
@@ -73,6 +76,7 @@ impl Errno {
             11 => Errno::Ewouldblock,
             12 => Errno::Enomem,
             13 => Errno::Eacces,
+            14 => Errno::Efault,
             17 => Errno::Eexist,
             20 => Errno::Enotdir,
             21 => Errno::Eisdir,
@@ -99,6 +103,7 @@ impl fmt::Display for Errno {
             Errno::Ebadf => "EBADF",
             Errno::Enomem => "ENOMEM",
             Errno::Eacces => "EACCES",
+            Errno::Efault => "EFAULT",
             Errno::Eexist => "EEXIST",
             Errno::Enotdir => "ENOTDIR",
             Errno::Eisdir => "EISDIR",
@@ -132,6 +137,7 @@ mod tests {
             Errno::Ebadf,
             Errno::Enomem,
             Errno::Eacces,
+            Errno::Efault,
             Errno::Eexist,
             Errno::Enotdir,
             Errno::Eisdir,

@@ -55,6 +55,16 @@ pub enum CubicleError {
     TooManyCubicles,
     /// The cubicle's address-space budget is exhausted.
     OutOfMemory(CubicleId),
+    /// The referenced cubicle has been quarantined by the monitor after a
+    /// contained fault: its resources were reclaimed and cross-cubicle
+    /// calls into it are rejected until [`crate::System::restart`].
+    Quarantined {
+        /// The quarantined cubicle.
+        cubicle: CubicleId,
+    },
+    /// An ID that names no cubicle in this kernel reached a public
+    /// interface.
+    NoSuchCubicle(CubicleId),
     /// An invalid argument reached a kernel interface.
     InvalidArgument(&'static str),
     /// An application-level failure propagated through a cross-cubicle
@@ -92,8 +102,28 @@ impl fmt::Display for CubicleError {
             CubicleError::OutOfKeys => write!(f, "all 16 MPK protection keys are in use"),
             CubicleError::TooManyCubicles => write!(f, "more than 64 cubicles requested"),
             CubicleError::OutOfMemory(cid) => write!(f, "{cid} is out of memory"),
+            CubicleError::Quarantined { cubicle } => {
+                write!(f, "{cubicle} is quarantined after a contained fault")
+            }
+            CubicleError::NoSuchCubicle(cid) => write!(f, "no such cubicle: {cid}"),
             CubicleError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
             CubicleError::Component(msg) => write!(f, "component error: {msg}"),
+        }
+    }
+}
+
+impl CubicleError {
+    /// The POSIX errno the monitor's unwind path converts this error to
+    /// at the first cross-call boundary into a healthy cubicle, or `None`
+    /// when the error is not a containable fault (caller bugs like
+    /// [`CubicleError::ReentrantCall`] propagate unchanged).
+    pub fn contained_errno(&self) -> Option<crate::errno::Errno> {
+        match self {
+            CubicleError::WindowDenied { .. }
+            | CubicleError::MachineFault(_)
+            | CubicleError::Quarantined { .. } => Some(crate::errno::Errno::Efault),
+            CubicleError::OutOfMemory(_) => Some(crate::errno::Errno::Enomem),
+            _ => None,
         }
     }
 }

@@ -37,6 +37,16 @@ pub struct SysStats {
     /// Total forbidden `wrpkru`/`syscall` occurrences found by the
     /// loader's exhaustive audit scan of rejected images.
     pub forbidden_insns: u64,
+    /// Cubicles quarantined by the fault containment machinery.
+    pub quarantines: u64,
+    /// Microreboots performed (`System::restart`).
+    pub restarts: u64,
+    /// Cross-call frames forcibly unwound while propagating a contained
+    /// fault toward a healthy caller.
+    pub unwound_frames: u64,
+    /// Containable faults converted to an errno at a cross-call boundary
+    /// (one per contained incident reaching a healthy caller).
+    pub contained_faults: u64,
 }
 
 impl SysStats {
@@ -92,6 +102,10 @@ impl SysStats {
             ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
             loads_rejected: self.loads_rejected - earlier.loads_rejected,
             forbidden_insns: self.forbidden_insns - earlier.forbidden_insns,
+            quarantines: self.quarantines - earlier.quarantines,
+            restarts: self.restarts - earlier.restarts,
+            unwound_frames: self.unwound_frames - earlier.unwound_frames,
+            contained_faults: self.contained_faults - earlier.contained_faults,
         }
     }
 }
@@ -117,6 +131,15 @@ impl fmt::Display for SysStats {
                 f,
                 "loads-rejected: {} ({} forbidden occurrences)",
                 self.loads_rejected, self.forbidden_insns
+            )?;
+        }
+        // Quiet when containment never fired, so snapshots of healthy
+        // runs (e.g. the golden Fig. 6 surface) are unchanged.
+        if self.quarantines + self.restarts + self.unwound_frames + self.contained_faults > 0 {
+            writeln!(
+                f,
+                "quarantines: {}  restarts: {}  unwound-frames: {}  contained-faults: {}",
+                self.quarantines, self.restarts, self.unwound_frames, self.contained_faults
             )?;
         }
         let mut edges: Vec<_> = self.call_edges.iter().collect();

@@ -79,15 +79,16 @@ pub struct LoadedComponent {
 impl LoadedComponent {
     /// Looks up an entry by name.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the symbol was not exported — resolving a missing
-    /// symbol is a deployment error, caught at boot.
-    pub fn entry(&self, name: &str) -> EntryId {
-        *self
-            .entries
+    /// [`CubicleError::NoSuchEntry`] when the symbol was not exported —
+    /// a deployment error surfaced at boot, typed so a bad caller never
+    /// aborts the monitor.
+    pub fn entry(&self, name: &str) -> Result<EntryId> {
+        self.entries
             .get(name)
-            .unwrap_or_else(|| panic!("symbol `{name}` not exported by component"))
+            .copied()
+            .ok_or_else(|| CubicleError::NoSuchEntry(name.into()))
     }
 }
 
@@ -104,6 +105,22 @@ struct EntryDesc {
 struct Frame {
     cubicle: CubicleId,
 }
+
+/// Everything the loader needs to replay one [`System::install`] during a
+/// microreboot: the (already verified) image segments, per registry slot.
+/// Entry registrations are *not* replayed — entry IDs and trampolines
+/// survive a reboot, so peers' proxies stay valid.
+struct ReloadInfo {
+    cid: CubicleId,
+    code: cubicle_mpk::insn::CodeImage,
+    data_pages: usize,
+    heap_pages: usize,
+    stack_pages: usize,
+}
+
+/// Maximum lines kept in the containment log (same rationale as
+/// [`LOADER_AUDIT_CAP`]).
+const CONTAINMENT_LOG_CAP: usize = 64;
 
 /// Snapshot of clock + counters, used to window measurements.
 #[derive(Clone, Debug)]
@@ -144,6 +161,25 @@ pub struct System {
     /// `Vec` per cross-cubicle argument. Host-side only — never affects
     /// simulated cycles.
     scratch_pool: Vec<Vec<u8>>,
+    /// Fault containment policy ([`System::set_fault_containment`]):
+    /// when on, a denied access quarantines the offending cubicle and
+    /// the cross-call chain unwinds to the nearest healthy caller as an
+    /// errno. Off (the default) preserves detect-and-propagate
+    /// semantics: errors travel raw to the top of the call chain.
+    fault_containment: bool,
+    /// Physical MPK keys released by quarantined cubicles, reused by
+    /// subsequent loads/restarts (non-virtualised mode only).
+    free_keys: Vec<ProtKey>,
+    /// Tombstones for pages reclaimed from quarantined cubicles: a later
+    /// touch through a dangling reference yields a typed `Quarantined`
+    /// error instead of a wild machine fault. Sound because the monitor
+    /// never reuses virtual addresses (`next_page` only grows).
+    reclaimed: HashMap<PageNum, CubicleId>,
+    /// Per-slot reload images for microreboot (parallel to `components`).
+    reloads: Vec<ReloadInfo>,
+    /// Human-readable quarantine/unwind/restart records (bounded, kept
+    /// outside the tracer like `loader_audit`).
+    containment_log: Vec<String>,
 }
 
 /// Observability state, present only while tracing is enabled
@@ -220,6 +256,11 @@ impl System {
             tracer: None,
             loader_audit: Vec::new(),
             scratch_pool: Vec::new(),
+            fault_containment: false,
+            free_keys: Vec::new(),
+            reclaimed: HashMap::new(),
+            reloads: Vec::new(),
+            containment_log: Vec::new(),
         }
     }
 
@@ -290,6 +331,9 @@ impl System {
                 }
                 MachineEvent::WrPkru { at, pkru } => {
                     tracer.buf.push(at, TraceEvent::WrPkru { pkru });
+                }
+                MachineEvent::Unmap { at, addr, key } => {
+                    tracer.buf.push(at, TraceEvent::PageReclaim { addr, key });
                 }
             }
         }
@@ -442,6 +486,14 @@ impl System {
         self.cubicles[cid.index()].key = key;
     }
 
+    /// Marks a cubicle quarantined *without* running the teardown, for
+    /// *seeded-corruption tests* of the [`System::audit`] quarantine pass
+    /// (see [`System::corrupt_machine_for_test`]).
+    #[doc(hidden)]
+    pub fn corrupt_quarantine_for_test(&mut self, cid: CubicleId) {
+        self.cubicles[cid.index()].state = crate::cubicle::CubicleState::Quarantined;
+    }
+
     /// Simulated cycle counter.
     pub fn now(&self) -> u64 {
         self.machine.now()
@@ -498,6 +550,15 @@ impl System {
     /// Panics for an ID never returned by this kernel.
     pub fn cubicle_name(&self, cid: CubicleId) -> &str {
         &self.cubicles[cid.index()].name
+    }
+
+    /// The record of a cubicle (state, generation, key, regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an ID never returned by this kernel.
+    pub fn cubicle(&self, cid: CubicleId) -> &Cubicle {
+        &self.cubicles[cid.index()]
     }
 
     /// Finds a cubicle by name.
@@ -571,12 +632,16 @@ impl System {
         let cid = CubicleId(self.cubicles.len() as u16);
         let key = match &mut self.key_virt {
             None => {
-                if self.next_key as usize >= NUM_KEYS {
+                // Keys parked by quarantined cubicles are recycled first.
+                if let Some(key) = self.free_keys.pop() {
+                    key
+                } else if self.next_key as usize >= NUM_KEYS {
                     return Err(CubicleError::OutOfKeys);
+                } else {
+                    let key = ProtKey::new(self.next_key).expect("bounded above");
+                    self.next_key += 1;
+                    key
                 }
-                let key = ProtKey::new(self.next_key).expect("bounded above");
-                self.next_key += 1;
-                key
             }
             Some(kv) => {
                 // virtualised: hand out pool keys while they last; shared
@@ -657,63 +722,19 @@ impl System {
             }
         }
 
-        let key = self.cubicles[cid.index()].key;
+        let reload = ReloadInfo {
+            cid,
+            code: image.code.clone(),
+            data_pages: image.data_pages,
+            heap_pages: image.heap_pages,
+            stack_pages: image.stack_pages,
+        };
+        self.map_component_segments(&reload);
 
-        // Map code pages: write the image through a temporary RW mapping,
-        // then flip to execute-only (W^X).
-        let code_pages = image.code.len().div_ceil(PAGE_SIZE).max(1);
-        let code_base = self.map_fresh(code_pages, key, PageFlags::rw(), cid, RegionType::Code);
-        let mut off = 0;
-        for chunk in image.code.bytes().chunks(PAGE_SIZE) {
-            self.machine
-                .write(code_base + off, chunk)
-                .expect("loader writes its own fresh mapping");
-            off += chunk.len();
-        }
-        for page in 0..code_pages {
-            self.machine
-                .set_page_flags(code_base + page * PAGE_SIZE, PageFlags::x())
-                .expect("just mapped");
-        }
-
-        // Global data, heap and stack.
-        if image.data_pages > 0 {
-            self.map_fresh(
-                image.data_pages,
-                key,
-                PageFlags::rw(),
-                cid,
-                RegionType::GlobalData,
-            );
-        }
-        if image.heap_pages > 0 {
-            let heap_base = self.map_fresh(
-                image.heap_pages,
-                key,
-                PageFlags::rw(),
-                cid,
-                RegionType::Heap,
-            );
-            self.cubicles[cid.index()]
-                .heap
-                .add_region(heap_base, image.heap_pages * PAGE_SIZE);
-        }
-        if image.stack_pages > 0 {
-            let stack_base = self.map_fresh(
-                image.stack_pages,
-                key,
-                PageFlags::rw(),
-                cid,
-                RegionType::Stack,
-            );
-            let c = &mut self.cubicles[cid.index()];
-            c.stack_base = stack_base;
-            c.stack_len = image.stack_pages * PAGE_SIZE;
-        }
-
-        // Register the component and its trampolines.
+        // Register the component, its reload image and its trampolines.
         let slot = self.components.len();
         self.components.push(Some(state));
+        self.reloads.push(reload);
         self.component_names.push(image.name.clone());
         let mut entries = HashMap::new();
         for (signed, func) in image.exports {
@@ -731,6 +752,62 @@ impl System {
         Ok(LoadedComponent { cid, slot, entries })
     }
 
+    /// Maps one component's code/data/heap/stack segments into its
+    /// cubicle. Shared by [`System::install`] and the microreboot path
+    /// ([`System::restart`]), which replays the same layout into fresh
+    /// pages.
+    fn map_component_segments(&mut self, info: &ReloadInfo) {
+        let cid = info.cid;
+        let key = self.cubicles[cid.index()].key;
+
+        // Map code pages: write the image through a temporary RW mapping,
+        // then flip to execute-only (W^X).
+        let code_pages = info.code.len().div_ceil(PAGE_SIZE).max(1);
+        let code_base = self.map_fresh(code_pages, key, PageFlags::rw(), cid, RegionType::Code);
+        let mut off = 0;
+        for chunk in info.code.bytes().chunks(PAGE_SIZE) {
+            self.machine
+                .write(code_base + off, chunk)
+                .expect("loader writes its own fresh mapping");
+            off += chunk.len();
+        }
+        for page in 0..code_pages {
+            self.machine
+                .set_page_flags(code_base + page * PAGE_SIZE, PageFlags::x())
+                .expect("just mapped");
+        }
+
+        // Global data, heap and stack.
+        if info.data_pages > 0 {
+            self.map_fresh(
+                info.data_pages,
+                key,
+                PageFlags::rw(),
+                cid,
+                RegionType::GlobalData,
+            );
+        }
+        if info.heap_pages > 0 {
+            let heap_base =
+                self.map_fresh(info.heap_pages, key, PageFlags::rw(), cid, RegionType::Heap);
+            self.cubicles[cid.index()]
+                .heap
+                .add_region(heap_base, info.heap_pages * PAGE_SIZE);
+        }
+        if info.stack_pages > 0 {
+            let stack_base = self.map_fresh(
+                info.stack_pages,
+                key,
+                PageFlags::rw(),
+                cid,
+                RegionType::Stack,
+            );
+            let c = &mut self.cubicles[cid.index()];
+            c.stack_base = stack_base;
+            c.stack_len = info.stack_pages * PAGE_SIZE;
+        }
+    }
+
     fn map_fresh(
         &mut self,
         pages: usize,
@@ -743,6 +820,9 @@ impl System {
         // +1: keep an unmapped guard page between regions so overruns
         // fault instead of silently touching a neighbour.
         self.next_page += pages as u64 + 1;
+        if region == RegionType::Heap {
+            self.cubicles[owner.index()].heap_pages_granted += pages;
+        }
         for i in 0..pages {
             let addr = base + i * PAGE_SIZE;
             self.machine.map_page(addr, key, flags);
@@ -811,8 +891,13 @@ impl System {
     /// # Errors
     ///
     /// [`CubicleError::NoSuchEntry`] for an unregistered entry,
-    /// [`CubicleError::ReentrantCall`] for nested A→B→A calls, plus
-    /// anything the callee itself returns.
+    /// [`CubicleError::ReentrantCall`] for nested A→B→A calls,
+    /// [`CubicleError::Quarantined`] when the callee (or the caller
+    /// itself) has been quarantined, plus anything the callee itself
+    /// returns. With fault containment enabled
+    /// ([`System::set_fault_containment`]), containable callee faults do
+    /// *not* surface as `Err`: the monitor unwinds them and the call
+    /// returns `Ok(Value::I64(-errno))` at the first healthy boundary.
     pub fn cross_call(&mut self, entry: EntryId, args: &[Value]) -> Result<Value> {
         let desc = self
             .entries
@@ -821,6 +906,14 @@ impl System {
         let (func, callee, slot, stack_bytes) =
             (desc.func, desc.cubicle, desc.slot, desc.stack_arg_bytes);
         let caller = self.current_cubicle();
+        // The trampoline refuses to transfer control into (or out of) a
+        // quarantined cubicle — before the edge is even recorded.
+        if self.cubicles[callee.index()].is_quarantined() {
+            return Err(CubicleError::Quarantined { cubicle: callee });
+        }
+        if caller != callee && self.cubicles[caller.index()].is_quarantined() {
+            return Err(CubicleError::Quarantined { cubicle: caller });
+        }
         self.stats.record_edge(caller, callee);
 
         // Trace enter/exit around the whole dispatch so every recorded
@@ -850,7 +943,67 @@ impl System {
                 tracer.metrics.record_call(caller, callee, entry, cycles);
             }
         }
-        result
+        if self.fault_containment {
+            self.contain_at_boundary(caller, callee, result)
+        } else {
+            result
+        }
+    }
+
+    /// The unwind step of fault containment, applied at every cross-call
+    /// boundary on the way out: a containable error keeps propagating as
+    /// `Err` through frames of quarantined cubicles, and converts to a
+    /// well-defined `Ok(Value::I64(-errno))` at the first boundary into a
+    /// healthy caller. A successful return *from* a cubicle that was
+    /// quarantined mid-call is overridden the same way — a faulting
+    /// component's swallowed errors are not trusted.
+    fn contain_at_boundary(
+        &mut self,
+        caller: CubicleId,
+        callee: CubicleId,
+        result: Result<Value>,
+    ) -> Result<Value> {
+        if caller == callee {
+            // Merged components call each other directly (no trampoline):
+            // there is no monitor boundary to convert at.
+            return result;
+        }
+        let callee_quarantined = self.cubicles[callee.index()].is_quarantined();
+        let (err, errno) = match &result {
+            Err(e) => match e.contained_errno() {
+                Some(errno) => (e.clone(), errno),
+                None => return result, // caller bug; propagate unchanged
+            },
+            Ok(_) if callee_quarantined => (
+                CubicleError::Quarantined { cubicle: callee },
+                crate::errno::Errno::Efault,
+            ),
+            Ok(_) => return result,
+        };
+        self.stats.unwound_frames += 1;
+        if caller != CubicleId::MONITOR && self.cubicles[caller.index()].is_quarantined() {
+            // Still inside the offender's call chain: keep unwinding.
+            return Err(err);
+        }
+        self.stats.contained_faults += 1;
+        let neg = errno.neg();
+        self.containment_push(format!(
+            "containment: unwound `{err}` to {} as {errno}",
+            self.cubicles[caller.index()].name
+        ));
+        self.trace_push(TraceEvent::FaultContained {
+            callee,
+            caller,
+            errno: neg,
+        });
+        Ok(Value::I64(neg))
+    }
+
+    /// Appends a line to the bounded containment log.
+    fn containment_push(&mut self, line: String) {
+        if self.containment_log.len() < CONTAINMENT_LOG_CAP {
+            self.containment_log.push(line);
+        }
     }
 
     fn cross_call_inner(
@@ -990,10 +1143,10 @@ impl System {
     fn resolve_fault(&mut self, fault: Fault) -> Result<()> {
         // Only protection-key faults are subject to window authorisation.
         let FaultKind::ProtectionKey(_) = fault.kind else {
-            return Err(CubicleError::MachineFault(fault));
+            return Err(self.deny_raw_fault(fault));
         };
         if !self.mode.mpk_active() {
-            return Err(CubicleError::MachineFault(fault));
+            return Err(self.deny_raw_fault(fault));
         }
         let cost = *self.machine.cost_model();
         // ❶ the fault is captured by the monitor
@@ -1002,9 +1155,14 @@ impl System {
         self.machine.charge(cost.page_meta_lookup);
         let meta = match self.page_meta.get(&fault.addr.page()) {
             Some(m) => *m,
-            None => return Err(CubicleError::MachineFault(fault)),
+            None => return Err(self.deny_raw_fault(fault)),
         };
         let accessor = self.current_cubicle();
+        if self.cubicles[accessor.index()].is_quarantined() {
+            // Residual execution of a quarantined cubicle gets no new
+            // grants — not even through still-open peer windows.
+            return Err(CubicleError::Quarantined { cubicle: accessor });
+        }
         let accessor_key = self.cubicles[accessor.index()].key;
 
         // Implicit window 0: the owner always reclaims its own pages
@@ -1051,12 +1209,60 @@ impl System {
         } else {
             self.stats.faults_denied += 1;
             self.trace_fault(&fault, meta.owner, accessor, FaultDecision::Denied);
+            if self.fault_containment {
+                // Fault attribution: if the page's owner sits in a caller
+                // frame below the accessor, the owner passed a pointer it
+                // never opened a window for (confused deputy) — blame the
+                // owner. Otherwise the accessor touched memory it was
+                // never handed — blame the accessor.
+                let frames = self.call_stack.len().saturating_sub(1);
+                let offender = if self.call_stack[..frames]
+                    .iter()
+                    .any(|f| f.cubicle == meta.owner)
+                {
+                    meta.owner
+                } else {
+                    accessor
+                };
+                self.quarantine_for(
+                    offender,
+                    format!(
+                        "denied {} at {} (owner {}, accessor {})",
+                        fault.access,
+                        fault.addr,
+                        self.cubicles[meta.owner.index()].name,
+                        self.cubicles[accessor.index()].name,
+                    ),
+                );
+            }
             Err(CubicleError::WindowDenied {
                 accessor,
                 owner: meta.owner,
                 addr: fault.addr,
             })
         }
+    }
+
+    /// Handles a fault that window authorisation cannot resolve: an
+    /// unmapped or page-permission violation. A touch on a tombstoned
+    /// (reclaimed) page of a quarantined cubicle becomes a typed
+    /// [`CubicleError::Quarantined`] without implicating the toucher;
+    /// any other raw fault is a wild access — under fault containment
+    /// the accessor is quarantined as the offender.
+    fn deny_raw_fault(&mut self, fault: Fault) -> CubicleError {
+        if let Some(&dead) = self.reclaimed.get(&fault.addr.page()) {
+            return CubicleError::Quarantined { cubicle: dead };
+        }
+        if self.fault_containment {
+            let accessor = self.current_cubicle();
+            if accessor != CubicleId::MONITOR && !self.cubicles[accessor.index()].is_quarantined() {
+                self.quarantine_for(
+                    accessor,
+                    format!("wild {} at unmapped {}", fault.access, fault.addr),
+                );
+            }
+        }
+        CubicleError::MachineFault(fault)
     }
 
     /// Records the outcome of a trap-and-map resolution in the trace and
@@ -1111,6 +1317,290 @@ impl System {
             m.holder = holder;
             m.via = via;
         }
+    }
+
+    // =====================================================================
+    // Fault containment: quarantine, unwind, microreboot
+    // =====================================================================
+
+    /// Enables or disables the fault containment policy. Off (the
+    /// default), a denied access propagates as a raw `Err` to the top of
+    /// the call chain — detection without containment. On, the monitor
+    /// quarantines the offending cubicle, unwinds the in-flight
+    /// cross-call chain to the nearest healthy caller as an errno, and
+    /// rejects further calls into the offender until
+    /// [`System::restart`].
+    pub fn set_fault_containment(&mut self, enabled: bool) {
+        self.fault_containment = enabled;
+    }
+
+    /// Is the fault containment policy enabled?
+    pub fn fault_containment(&self) -> bool {
+        self.fault_containment
+    }
+
+    /// The bounded containment log: one line per quarantine, unwind
+    /// conversion and microreboot (kept even with tracing off, capped at
+    /// 64 entries like the loader audit).
+    pub fn containment_log(&self) -> &[String] {
+        &self.containment_log
+    }
+
+    /// Caps the total heap pages the monitor will grant `cid` (`None`
+    /// lifts the cap). A fault-injection knob: growth past the cap makes
+    /// `heap_alloc` fail with [`CubicleError::OutOfMemory`] mid-call,
+    /// which the containment machinery must unwind cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchCubicle`].
+    pub fn set_heap_limit(&mut self, cid: CubicleId, pages: Option<usize>) -> Result<()> {
+        let c = self
+            .cubicles
+            .get_mut(cid.index())
+            .ok_or(CubicleError::NoSuchCubicle(cid))?;
+        c.heap_limit_pages = pages;
+        Ok(())
+    }
+
+    /// Infallible internal quarantine used on fault paths: no-op for the
+    /// monitor, unknown IDs and already-quarantined cubicles.
+    fn quarantine_for(&mut self, cid: CubicleId, reason: String) {
+        if cid == CubicleId::MONITOR
+            || cid.index() >= self.cubicles.len()
+            || self.cubicles[cid.index()].is_quarantined()
+        {
+            return;
+        }
+        self.quarantine_inner(cid, reason);
+    }
+
+    /// Quarantines `cid`: destroys its windows, reclaims its pages
+    /// (tombstoned so dangling references yield typed errors), retags
+    /// pages it held of other owners back to them, parks its MPK key
+    /// into the reuse pool and rejects future cross-calls with
+    /// [`CubicleError::Quarantined`]. [`System::audit`] is clean
+    /// immediately afterwards. Reversed by [`System::restart`].
+    ///
+    /// Works regardless of the containment *policy* (the policy only
+    /// controls whether the monitor invokes this automatically on denied
+    /// faults).
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchCubicle`] for an unknown ID,
+    /// [`CubicleError::InvalidArgument`] for the monitor itself or an
+    /// already-quarantined cubicle.
+    pub fn quarantine(&mut self, cid: CubicleId, reason: &str) -> Result<()> {
+        if cid == CubicleId::MONITOR {
+            return Err(CubicleError::InvalidArgument(
+                "quarantine: the monitor cannot be quarantined",
+            ));
+        }
+        if cid.index() >= self.cubicles.len() {
+            return Err(CubicleError::NoSuchCubicle(cid));
+        }
+        if self.cubicles[cid.index()].is_quarantined() {
+            return Err(CubicleError::InvalidArgument(
+                "quarantine: cubicle is already quarantined",
+            ));
+        }
+        self.quarantine_inner(cid, reason.to_string());
+        Ok(())
+    }
+
+    fn quarantine_inner(&mut self, cid: CubicleId, reason: String) {
+        use crate::cubicle::CubicleState;
+        self.stats.quarantines += 1;
+        self.trace_push(TraceEvent::Quarantine { cubicle: cid });
+
+        // ❶ Destroy the offender's window descriptors: nothing of its
+        // (soon reclaimed) memory stays published.
+        let windows = std::mem::take(&mut self.cubicles[cid.index()].windows);
+
+        // ❷ Pages the offender *held* of other owners (faulted in via
+        // trap-and-map) are retagged back to their owners — causal tag
+        // consistency must not dangle on a parked key.
+        let mut held: Vec<PageNum> = self
+            .page_meta
+            .iter()
+            .filter(|(_, m)| m.holder == cid && m.owner != cid)
+            .map(|(&p, _)| p)
+            .collect();
+        // Address order: teardown must replay identically run-to-run.
+        held.sort_unstable();
+        for page in held {
+            let owner = self.page_meta[&page].owner;
+            let owner_key = self.cubicles[owner.index()].key;
+            if self.mode.mpk_active() {
+                self.machine
+                    .set_page_key(page.base(), owner_key)
+                    .expect("held page is mapped");
+            } else {
+                self.machine
+                    .set_page_key_at_load(page.base(), owner_key)
+                    .expect("held page is mapped");
+            }
+            self.record_holder(page.base(), owner, None);
+        }
+
+        // ❸ Reclaim every page the offender owns (tombstoned: a later
+        // touch through a dangling reference yields a typed error).
+        let mut owned: Vec<PageNum> = self
+            .page_meta
+            .iter()
+            .filter(|(_, m)| m.owner == cid)
+            .map(|(&p, _)| p)
+            .collect();
+        owned.sort_unstable();
+        let pages_reclaimed = owned.len();
+        for page in owned {
+            // The machine emits `MachineEvent::Unmap`, which the event
+            // pump turns into `TraceEvent::PageReclaim`.
+            self.machine
+                .reclaim_page(page.base())
+                .expect("owned page is mapped");
+            self.page_meta.remove(&page);
+            self.reclaimed.insert(page, cid);
+        }
+
+        // ❹ Park the MPK key. Without virtualisation the physical key
+        // returns to the reuse pool; with it, the binding is released.
+        let key = self.cubicles[cid.index()].key;
+        if let Some(kv) = &mut self.key_virt {
+            if let Some(slot) = kv
+                .bindings
+                .iter_mut()
+                .find(|(_, b)| b.is_some_and(|(c, _)| c == cid))
+            {
+                slot.1 = None;
+            }
+        } else if key != PARKED_KEY {
+            self.free_keys.push(key);
+        }
+
+        // ❺ Reset the kernel-side record: empty heap, no stack, parked
+        // key, quarantined state.
+        let c = &mut self.cubicles[cid.index()];
+        c.key = PARKED_KEY;
+        c.heap = crate::heap::SubAllocator::new();
+        c.stack_base = VAddr::NULL;
+        c.stack_len = 0;
+        c.stack_used = 0;
+        c.heap_pages_granted = 0;
+        c.state = CubicleState::Quarantined;
+        c.quarantine_reason = Some(reason.clone());
+        let name = c.name.clone();
+        self.containment_push(format!(
+            "containment: quarantined {name} ({cid}): {reason} \
+             [{pages_reclaimed} page(s) reclaimed, {} window(s) destroyed]",
+            windows.len(),
+        ));
+    }
+
+    /// Microreboots a quarantined cubicle: re-runs the trusted loader's
+    /// install path for every component slot in the cubicle (fresh code,
+    /// data, heap and stack pages under a fresh key — forbidden-
+    /// instruction scan included), invokes each component's
+    /// [`Component::on_restart`] hook so host-side state referring to the
+    /// reclaimed memory is dropped, and marks the cubicle active with a
+    /// bumped generation. Entry IDs and trampolines are stable across
+    /// the reboot, so peers' cached proxies stay valid.
+    ///
+    /// # Errors
+    ///
+    /// [`CubicleError::NoSuchCubicle`] for an unknown ID,
+    /// [`CubicleError::InvalidArgument`] when the cubicle is not
+    /// quarantined or still has in-flight frames on the call stack,
+    /// [`CubicleError::OutOfKeys`] when no key is available.
+    pub fn restart(&mut self, cid: CubicleId) -> Result<()> {
+        use crate::cubicle::CubicleState;
+        if cid.index() >= self.cubicles.len() {
+            return Err(CubicleError::NoSuchCubicle(cid));
+        }
+        if !self.cubicles[cid.index()].is_quarantined() {
+            return Err(CubicleError::InvalidArgument(
+                "restart: cubicle is not quarantined",
+            ));
+        }
+        if self.call_stack.iter().any(|f| f.cubicle == cid) {
+            return Err(CubicleError::InvalidArgument(
+                "restart: cubicle has in-flight frames",
+            ));
+        }
+        let slots: Vec<usize> = self
+            .reloads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.cid == cid)
+            .map(|(i, _)| i)
+            .collect();
+        if slots.iter().any(|&s| self.components[s].is_none()) {
+            return Err(CubicleError::InvalidArgument(
+                "restart: a component of the cubicle is still executing",
+            ));
+        }
+
+        // Fresh key, drawn exactly like the loader draws one.
+        let shared = self.cubicles[cid.index()].shared;
+        let key = match &mut self.key_virt {
+            None => match self.free_keys.pop() {
+                Some(key) => key,
+                None if (self.next_key as usize) < NUM_KEYS => {
+                    let key = ProtKey::new(self.next_key).expect("bounded above");
+                    self.next_key += 1;
+                    key
+                }
+                None => return Err(CubicleError::OutOfKeys),
+            },
+            Some(kv) => match kv.bindings.iter_mut().find(|(_, b)| b.is_none()) {
+                Some(slot) => {
+                    let tick = if shared { u64::MAX } else { 0 };
+                    slot.1 = Some((cid, tick));
+                    slot.0
+                }
+                None if shared => return Err(CubicleError::OutOfKeys),
+                None => PARKED_KEY,
+            },
+        };
+        self.cubicles[cid.index()].key = key;
+
+        // Replay the trusted builder's install path per slot, in slot
+        // order (defence in depth: the image is re-scanned even though it
+        // was verified at original load time).
+        for &slot in &slots {
+            let info = &self.reloads[slot];
+            if let Some(bad) = info.code.scan_forbidden() {
+                return Err(CubicleError::ForbiddenInstruction(bad));
+            }
+            let info = ReloadInfo {
+                cid: info.cid,
+                code: info.code.clone(),
+                data_pages: info.data_pages,
+                heap_pages: info.heap_pages,
+                stack_pages: info.stack_pages,
+            };
+            self.map_component_segments(&info);
+            let mut comp = self.components[slot].take().expect("checked above");
+            comp.on_restart();
+            self.components[slot] = Some(comp);
+        }
+
+        let c = &mut self.cubicles[cid.index()];
+        c.state = CubicleState::Active;
+        c.quarantine_reason = None;
+        c.generation += 1;
+        let generation = c.generation;
+        let name = c.name.clone();
+        self.stats.restarts += 1;
+        self.trace_push(TraceEvent::Restart {
+            cubicle: cid,
+            generation,
+        });
+        self.containment_push(format!(
+            "containment: restarted {name} ({cid}), generation {generation}"
+        ));
+        Ok(())
     }
 
     // =====================================================================
@@ -1341,8 +1831,16 @@ impl System {
     ///
     /// # Errors
     ///
-    /// As [`System::heap_alloc`].
+    /// As [`System::heap_alloc`], plus [`CubicleError::NoSuchCubicle`]
+    /// and [`CubicleError::Quarantined`] — the monitor grants no memory
+    /// to a quarantined cubicle.
     pub fn heap_alloc_for(&mut self, cid: CubicleId, size: usize, align: usize) -> Result<VAddr> {
+        if cid.index() >= self.cubicles.len() {
+            return Err(CubicleError::NoSuchCubicle(cid));
+        }
+        if self.cubicles[cid.index()].is_quarantined() {
+            return Err(CubicleError::Quarantined { cubicle: cid });
+        }
         if let Some(addr) = self.cubicles[cid.index()].heap.alloc(size, align) {
             if self.tracer.is_some() {
                 self.trace_push(TraceEvent::HeapAlloc {
@@ -1353,8 +1851,14 @@ impl System {
             }
             return Ok(addr);
         }
-        // Grow: grant enough pages for the request (plus slack).
+        // Grow: grant enough pages for the request (plus slack), unless
+        // the cubicle's heap cap (a fault-injection knob) says no.
         let pages = size.div_ceil(PAGE_SIZE).max(16);
+        if let Some(limit) = self.cubicles[cid.index()].heap_limit_pages {
+            if self.cubicles[cid.index()].heap_pages_granted + pages > limit {
+                return Err(CubicleError::OutOfMemory(cid));
+            }
+        }
         let key = self.cubicles[cid.index()].key;
         let base = self.map_fresh(pages, key, PageFlags::rw(), cid, RegionType::Heap);
         self.cubicles[cid.index()]
@@ -1437,9 +1941,16 @@ impl System {
     /// # Errors
     ///
     /// [`CubicleError::NotOwner`] when a covered page is not owned by the
-    /// current cubicle.
+    /// current cubicle, [`CubicleError::NoSuchCubicle`] /
+    /// [`CubicleError::Quarantined`] for a dead grantee.
     pub fn grant_pages_to(&mut self, addr: VAddr, len: usize, to: CubicleId) -> Result<()> {
         let cid = self.current_cubicle();
+        if to.index() >= self.cubicles.len() {
+            return Err(CubicleError::NoSuchCubicle(to));
+        }
+        if self.cubicles[to.index()].is_quarantined() {
+            return Err(CubicleError::Quarantined { cubicle: to });
+        }
         for page in pages_covering(addr, len) {
             match self.page_meta.get(&page) {
                 Some(m) if m.owner == cid => {}
@@ -1785,6 +2296,45 @@ impl System {
                         json_escape(&self.cubicles[caller.index()].name)
                     ),
                 ),
+                // Quarantine opens a span on the cubicle's track; the
+                // matching Restart closes it, so the quarantined period
+                // shows as one solid block in Perfetto.
+                TraceEvent::Quarantine { cubicle } => format!(
+                    "{{\"ph\":\"B\",\"name\":\"quarantined\",\"cat\":\"containment\",\
+                     \"pid\":0,\"tid\":{},\"ts\":{}}}",
+                    cubicle.index(),
+                    r.at,
+                ),
+                TraceEvent::Restart {
+                    cubicle,
+                    generation,
+                } => format!(
+                    "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{},\
+                     \"args\":{{\"generation\":{generation}}}}}",
+                    cubicle.index(),
+                    r.at,
+                ),
+                TraceEvent::FaultContained {
+                    callee,
+                    caller,
+                    errno,
+                } => instant(
+                    r,
+                    "fault_contained",
+                    "containment",
+                    caller.index(),
+                    &format!(
+                        "\"callee\":\"{}\",\"errno\":{errno}",
+                        json_escape(&self.cubicles[callee.index()].name)
+                    ),
+                ),
+                TraceEvent::PageReclaim { addr, key } => instant(
+                    r,
+                    "page_reclaim",
+                    "containment",
+                    0,
+                    &format!("\"addr\":\"{addr}\",\"key\":\"{key}\""),
+                ),
             };
             push(line, &mut out);
         }
@@ -1852,6 +2402,30 @@ impl System {
             s.ipc_bytes,
             &mut out,
         );
+        counter(
+            "cubicle_quarantines_total",
+            "Cubicles quarantined after a contained fault.",
+            s.quarantines,
+            &mut out,
+        );
+        counter(
+            "cubicle_restarts_total",
+            "Microreboots of quarantined cubicles.",
+            s.restarts,
+            &mut out,
+        );
+        counter(
+            "cubicle_unwound_frames_total",
+            "Cross-call frames unwound while containing a fault.",
+            s.unwound_frames,
+            &mut out,
+        );
+        counter(
+            "cubicle_contained_faults_total",
+            "Faults converted to an errno at a healthy caller.",
+            s.contained_faults,
+            &mut out,
+        );
         let m = self.machine.stats();
         counter(
             "cubicle_wrpkru_total",
@@ -1888,6 +2462,12 @@ impl System {
             "cubicle_sim_tlb_misses_total",
             "Simulator software-TLB misses, i.e. full page-table walks.",
             m.tlb_misses,
+            &mut out,
+        );
+        counter(
+            "cubicle_page_reclaims_total",
+            "Pages reclaimed (unmapped) by the quarantine path.",
+            m.unmaps,
             &mut out,
         );
         counter(
@@ -1973,6 +2553,10 @@ impl System {
     pub fn export_fault_audit(&self) -> String {
         let mut out = String::new();
         for line in &self.loader_audit {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for line in &self.containment_log {
             out.push_str(line);
             out.push('\n');
         }

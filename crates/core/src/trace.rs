@@ -184,6 +184,38 @@ pub enum TraceEvent {
         /// Bytes copied.
         bytes: usize,
     },
+    /// The monitor quarantined a cubicle after a contained fault. Opens
+    /// a quarantine span on the cubicle's trace track; the matching
+    /// [`TraceEvent::Restart`] closes it.
+    Quarantine {
+        /// The quarantined cubicle.
+        cubicle: CubicleId,
+    },
+    /// The monitor microrebooted a quarantined cubicle
+    /// (`System::restart`), closing its quarantine span.
+    Restart {
+        /// The rebooted cubicle.
+        cubicle: CubicleId,
+        /// Its new incarnation number (1 for the first reboot).
+        generation: u32,
+    },
+    /// The unwind path converted a containable fault into an errno at
+    /// the cross-call boundary into a healthy caller.
+    FaultContained {
+        /// The callee whose call chain was unwound.
+        callee: CubicleId,
+        /// The healthy caller that received the errno.
+        caller: CubicleId,
+        /// The negative errno handed to the caller.
+        errno: i64,
+    },
+    /// A page was reclaimed (unmapped) by the quarantine path.
+    PageReclaim {
+        /// Base address of the reclaimed page.
+        addr: VAddr,
+        /// The key the page carried when reclaimed.
+        key: ProtKey,
+    },
 }
 
 /// A recorded event: sequence number + cycle stamp + payload.

@@ -43,12 +43,12 @@ pub fn boot_web(mode: IsolationMode) -> Result<WebDeployment> {
     let ramfs_loaded = sys.load(cubicle_ramfs::image(), Box::new(Ramfs::default()))?;
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .expect("ramfs slot");
-    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
+    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/")?;
     let net = boot_net(&mut sys)?;
-    let vfs = VfsProxy::resolve(&vfs_loaded);
+    let vfs = VfsProxy::resolve(&vfs_loaded)?;
 
     let nginx_loaded = sys.load(nginx_image(), Box::new(Httpd::default()))?;
-    let httpd = HttpdProxy::resolve(&nginx_loaded);
+    let httpd = HttpdProxy::resolve(&nginx_loaded)?;
     let ramfs_cid = ramfs_loaded.cid;
     sys.with_component_mut::<Httpd, _>(nginx_loaded.slot, |h, _| {
         h.set_wiring(net.lwip, vfs, &[ramfs_cid]);

@@ -53,9 +53,22 @@ pub struct Httpd {
     pub not_found: u64,
 }
 
-impl_component!(Httpd);
+impl_component!(Httpd, restart = reboot_reset);
 
 impl Httpd {
+    /// Microreboot hook: connections, the listener socket and the I/O
+    /// buffers referenced reclaimed memory. Wiring proxies and the
+    /// backend list survive; `nginx_init` must run again to listen.
+    fn reboot_reset(&mut self) {
+        let (lwip, vfs, time, plat) = (self.lwip, self.vfs, self.time, self.plat);
+        let fs_backends = std::mem::take(&mut self.fs_backends);
+        *self = Httpd::default();
+        self.lwip = lwip;
+        self.vfs = vfs;
+        self.time = time;
+        self.plat = plat;
+        self.fs_backends = fs_backends;
+    }
     /// Boot-time wiring of the OS-service proxies.
     pub fn set_wiring(&mut self, lwip: LwipProxy, vfs: VfsProxy, fs_backends: &[CubicleId]) {
         self.lwip = Some(lwip);
@@ -399,12 +412,17 @@ pub struct HttpdProxy {
 
 impl HttpdProxy {
     /// Resolves the proxy from the loaded component.
-    pub fn resolve(loaded: &LoadedComponent) -> HttpdProxy {
-        HttpdProxy {
+    ///
+    /// # Errors
+    ///
+    /// [`cubicle_core::CubicleError::NoSuchEntry`] when the image does
+    /// not export the expected symbols.
+    pub fn resolve(loaded: &LoadedComponent) -> Result<HttpdProxy> {
+        Ok(HttpdProxy {
             cid: loaded.cid,
-            init: loaded.entry("nginx_init"),
-            poll: loaded.entry("nginx_poll"),
-        }
+            init: loaded.entry("nginx_init")?,
+            poll: loaded.entry("nginx_poll")?,
+        })
     }
 
     /// The `NGINX` cubicle's ID.

@@ -60,6 +60,16 @@ pub enum MachineEvent {
         /// The value written.
         pkru: Pkru,
     },
+    /// A page was reclaimed (unmapped) via [`Machine::reclaim_page`] —
+    /// the quarantine path tearing down a cubicle's address space.
+    Unmap {
+        /// Cycle count when the unmap completed.
+        at: u64,
+        /// Base address of the reclaimed page.
+        addr: VAddr,
+        /// The key the page carried when reclaimed.
+        key: ProtKey,
+    },
 }
 
 /// Event counters maintained by the machine.
@@ -84,6 +94,10 @@ pub struct MachineStats {
     pub wrpkru: u64,
     /// Page key re-assignments (`pkey_mprotect`).
     pub retags: u64,
+    /// Pages reclaimed through the charged [`Machine::reclaim_page`]
+    /// primitive (quarantine teardown; loader-side `unmap_page` is free
+    /// and uncounted).
+    pub unmaps: u64,
     /// Protection faults raised (all kinds).
     pub faults: u64,
     /// Software-TLB hits (host-side; no simulated-cycle effect).
@@ -571,6 +585,44 @@ impl Machine {
             self.tlb_flush();
         }
         unmapped
+    }
+
+    /// Reclaims (unmaps) a mapped page at full `pkey_mprotect` cost,
+    /// counting it in [`MachineStats::unmaps`] and recording a
+    /// [`MachineEvent::Unmap`]. The monitor's quarantine path uses this
+    /// to tear down a faulting cubicle's address space; unlike the free
+    /// loader-side [`Machine::unmap_page`], reclamation is part of the
+    /// simulated machine's observable behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] with [`FaultKind::NotPresent`] if the page is
+    /// not mapped.
+    pub fn reclaim_page(&mut self, addr: VAddr) -> Result<ProtKey, Fault> {
+        let page = addr.page();
+        let Some(entry) = self.table.entry(page) else {
+            return Err(Fault {
+                addr,
+                access: AccessKind::Write,
+                kind: FaultKind::NotPresent,
+            });
+        };
+        let key = entry.key;
+        self.tlb_evict(page);
+        let (_, indices_shifted) = self.table.remove(page);
+        if indices_shifted {
+            self.tlb_flush();
+        }
+        self.cycles += self.cost.pkey_mprotect;
+        self.stats.unmaps += 1;
+        if self.events.is_some() {
+            self.record_event(MachineEvent::Unmap {
+                at: self.cycles,
+                addr: page.base(),
+                key,
+            });
+        }
+        Ok(key)
     }
 
     /// Returns the page-table entry for the page containing `addr`.

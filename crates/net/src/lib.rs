@@ -45,9 +45,9 @@ pub struct NetStack {
 /// Loader or initialisation errors.
 pub fn boot_net(sys: &mut System) -> Result<NetStack> {
     let dev_loaded = sys.load(netdev_image(), Box::new(Netdev::default()))?;
-    let netdev = NetdevProxy::resolve(&dev_loaded);
+    let netdev = NetdevProxy::resolve(&dev_loaded)?;
     let lwip_loaded = sys.load(lwip_image(), Box::new(Lwip::default()))?;
-    let lwip = LwipProxy::resolve(&lwip_loaded);
+    let lwip = LwipProxy::resolve(&lwip_loaded)?;
     sys.with_component_mut::<Lwip, _>(lwip_loaded.slot, |l, _| l.set_netdev(netdev))
         .expect("lwip slot holds Lwip");
     let r = lwip.init(sys)?;

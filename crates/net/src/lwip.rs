@@ -93,9 +93,18 @@ pub struct Lwip {
     pub segments_tx: u64,
 }
 
-impl_component!(Lwip);
+impl_component!(Lwip, restart = reboot_reset);
 
 impl Lwip {
+    /// Microreboot hook: sockets, the frame staging page and the TX pbuf
+    /// page all lived in the reclaimed cubicle memory. Wiring proxies
+    /// survive; `lwip_init` must run again before the stack is used.
+    fn reboot_reset(&mut self) {
+        let (netdev, alloc) = (self.netdev, self.alloc);
+        *self = Lwip::default();
+        self.netdev = netdev;
+        self.alloc = alloc;
+    }
     /// Boot-time wiring of the device driver proxy.
     pub fn set_netdev(&mut self, dev: NetdevProxy) {
         self.netdev = Some(dev);
@@ -634,19 +643,24 @@ pub struct LwipProxy {
 
 impl LwipProxy {
     /// Resolves the proxy from the loaded component.
-    pub fn resolve(loaded: &LoadedComponent) -> LwipProxy {
-        LwipProxy {
+    ///
+    /// # Errors
+    ///
+    /// [`cubicle_core::CubicleError::NoSuchEntry`] when the image does
+    /// not export the expected symbols.
+    pub fn resolve(loaded: &LoadedComponent) -> Result<LwipProxy> {
+        Ok(LwipProxy {
             cid: loaded.cid,
-            init: loaded.entry("lwip_init"),
-            socket: loaded.entry("lwip_socket"),
-            bind: loaded.entry("lwip_bind"),
-            listen: loaded.entry("lwip_listen"),
-            accept: loaded.entry("lwip_accept"),
-            recv: loaded.entry("lwip_recv"),
-            send: loaded.entry("lwip_send"),
-            close: loaded.entry("lwip_close"),
-            poll: loaded.entry("lwip_poll"),
-        }
+            init: loaded.entry("lwip_init")?,
+            socket: loaded.entry("lwip_socket")?,
+            bind: loaded.entry("lwip_bind")?,
+            listen: loaded.entry("lwip_listen")?,
+            accept: loaded.entry("lwip_accept")?,
+            recv: loaded.entry("lwip_recv")?,
+            send: loaded.entry("lwip_send")?,
+            close: loaded.entry("lwip_close")?,
+            poll: loaded.entry("lwip_poll")?,
+        })
     }
 
     /// The `LWIP` cubicle's ID.

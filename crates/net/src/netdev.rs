@@ -36,7 +36,19 @@ pub struct Netdev {
     pub rx_frames: u64,
 }
 
-impl_component!(Netdev);
+impl_component!(Netdev, restart = reboot_reset);
+
+impl Netdev {
+    /// Microreboot hook: ring slot pages were reclaimed with the
+    /// cubicle; frames in flight on either host-side queue are lost,
+    /// like a NIC reset dropping its FIFOs.
+    fn reboot_reset(&mut self) {
+        self.slots.clear();
+        self.next_slot = 0;
+        self.tx_wire.clear();
+        self.rx_wire.clear();
+    }
+}
 
 impl Netdev {
     fn slot(&mut self, sys: &mut System) -> Result<VAddr> {
@@ -134,12 +146,17 @@ pub struct NetdevProxy {
 
 impl NetdevProxy {
     /// Resolves the proxy from the loaded component.
-    pub fn resolve(loaded: &LoadedComponent) -> NetdevProxy {
-        NetdevProxy {
+    ///
+    /// # Errors
+    ///
+    /// [`cubicle_core::CubicleError::NoSuchEntry`] when the image does
+    /// not export the expected symbols.
+    pub fn resolve(loaded: &LoadedComponent) -> Result<NetdevProxy> {
+        Ok(NetdevProxy {
             cid: loaded.cid,
-            tx: loaded.entry("netdev_tx"),
-            rx: loaded.entry("netdev_rx"),
-        }
+            tx: loaded.entry("netdev_tx")?,
+            rx: loaded.entry("netdev_rx")?,
+        })
     }
 
     /// The `NETDEV` cubicle's ID.
@@ -188,7 +205,8 @@ mod tests {
                 Box::new(App),
             )
             .unwrap();
-        (sys, NetdevProxy::resolve(&dev), dev.slot, app.cid)
+        let proxy = NetdevProxy::resolve(&dev).unwrap();
+        (sys, proxy, dev.slot, app.cid)
     }
 
     #[test]

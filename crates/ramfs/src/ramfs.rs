@@ -46,9 +46,18 @@ impl Default for Ramfs {
     }
 }
 
-impl_component!(Ramfs);
+impl_component!(Ramfs, restart = reboot_reset);
 
 impl Ramfs {
+    /// Microreboot hook: the quarantine path reclaimed every extent page
+    /// and the cubicle heap, so inode contents, the extent pool and the
+    /// usage counter are all dead — back to an empty root directory. The
+    /// `ALLOC` proxy survives (entry IDs are stable across reboots).
+    fn reboot_reset(&mut self) {
+        let alloc = self.alloc;
+        *self = Ramfs::default();
+        self.alloc = alloc;
+    }
     /// Wires the coarse allocator; without it the backend grows extents
     /// from its own cubicle heap (standalone tests).
     pub fn set_alloc(&mut self, alloc: AllocProxy) {
@@ -152,28 +161,44 @@ pub fn image() -> ComponentImage {
 }
 
 /// Fills `VFSCORE`'s callback table with this backend's entries.
-pub fn fs_ops(loaded: &LoadedComponent) -> FsOps {
-    FsOps {
+///
+/// # Errors
+///
+/// [`cubicle_core::CubicleError::NoSuchEntry`] when the image does not
+/// export the expected symbols.
+pub fn fs_ops(loaded: &LoadedComponent) -> Result<FsOps> {
+    Ok(FsOps {
         cid: loaded.cid,
-        lookup: loaded.entry("ramfs_lookup"),
-        create: loaded.entry("ramfs_create"),
-        remove: loaded.entry("ramfs_remove"),
-        read: loaded.entry("ramfs_read"),
-        write: loaded.entry("ramfs_write"),
-        truncate: loaded.entry("ramfs_truncate"),
-        size: loaded.entry("ramfs_size"),
-        sync: loaded.entry("ramfs_sync"),
-        readdir: loaded.entry("ramfs_readdir"),
-        is_dir: loaded.entry("ramfs_is_dir"),
-    }
+        lookup: loaded.entry("ramfs_lookup")?,
+        create: loaded.entry("ramfs_create")?,
+        remove: loaded.entry("ramfs_remove")?,
+        read: loaded.entry("ramfs_read")?,
+        write: loaded.entry("ramfs_write")?,
+        truncate: loaded.entry("ramfs_truncate")?,
+        size: loaded.entry("ramfs_size")?,
+        sync: loaded.entry("ramfs_sync")?,
+        readdir: loaded.entry("ramfs_readdir")?,
+        is_dir: loaded.entry("ramfs_is_dir")?,
+    })
 }
 
 /// Boot-time wiring: mounts this backend into a loaded `VFSCORE` at
 /// `prefix` (Unikraft fills callback tables at initialisation time).
-pub fn mount_at(sys: &mut System, vfs_slot: usize, ramfs: &LoadedComponent, prefix: &str) {
-    let ops = fs_ops(ramfs);
+///
+/// # Errors
+///
+/// [`cubicle_core::CubicleError::NoSuchEntry`] when the backend image
+/// does not export the full callback table.
+pub fn mount_at(
+    sys: &mut System,
+    vfs_slot: usize,
+    ramfs: &LoadedComponent,
+    prefix: &str,
+) -> Result<()> {
+    let ops = fs_ops(ramfs)?;
     sys.with_component_mut::<Vfs, _>(vfs_slot, |vfs, _| vfs.mount(prefix, ops))
         .expect("vfs slot holds the Vfs component");
+    Ok(())
 }
 
 fn read_rel_path(sys: &mut System, args: &[Value]) -> Result<std::result::Result<String, i64>> {

@@ -31,7 +31,7 @@ fn boot(mode: IsolationMode) -> Stack {
         .unwrap();
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
-    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
+    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/").unwrap();
     let app = sys
         .load(
             ComponentImage::new("APP", CodeImage::plain(4096)).heap_pages(64),
@@ -42,7 +42,7 @@ fn boot(mode: IsolationMode) -> Stack {
     Stack {
         sys,
         app: app.cid,
-        vfs: VfsProxy::resolve(&vfs_loaded),
+        vfs: VfsProxy::resolve(&vfs_loaded).unwrap(),
         backends: vec![ramfs_loaded.cid],
         base,
     }

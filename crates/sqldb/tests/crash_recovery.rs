@@ -30,7 +30,7 @@ fn boot() -> Stack {
         .unwrap();
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
-    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
+    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/").unwrap();
     let app = sys
         .load(
             ComponentImage::new("SQLITE", CodeImage::plain(4096)).heap_pages(128),
@@ -40,7 +40,7 @@ fn boot() -> Stack {
     Stack {
         sys,
         app: app.cid,
-        vfs: VfsProxy::resolve(&vfs_loaded),
+        vfs: VfsProxy::resolve(&vfs_loaded).unwrap(),
         ramfs: ramfs_loaded.cid,
     }
 }

@@ -31,7 +31,7 @@ fn boot(mode: IsolationMode) -> Deployment {
         .unwrap();
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
-    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
+    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/").unwrap();
     let app = sys
         .load(
             ComponentImage::new("SQLITE", CodeImage::plain(64 * 1024)).heap_pages(256),
@@ -42,7 +42,7 @@ fn boot(mode: IsolationMode) -> Deployment {
     Deployment {
         sys,
         app: app.cid,
-        vfs: VfsProxy::resolve(&vfs_loaded),
+        vfs: VfsProxy::resolve(&vfs_loaded).unwrap(),
         ramfs_cid: ramfs_loaded.cid,
     }
 }

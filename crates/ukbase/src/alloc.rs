@@ -23,7 +23,15 @@ pub struct Alloc {
     pub pages_granted: u64,
 }
 
-impl_component!(Alloc);
+impl_component!(Alloc, restart = reboot_reset);
+
+impl Alloc {
+    /// Microreboot hook: recorded free runs pointed into pages that were
+    /// reclaimed with the cubicle, so the free list starts empty.
+    fn reboot_reset(&mut self) {
+        self.free_runs.clear();
+    }
+}
 
 /// Synthetic code size of the component (bytes) — mirrors a small
 /// allocator's text segment.
@@ -100,12 +108,17 @@ pub struct AllocProxy {
 
 impl AllocProxy {
     /// Resolves the proxy from the loaded component.
-    pub fn resolve(loaded: &LoadedComponent) -> AllocProxy {
-        AllocProxy {
+    ///
+    /// # Errors
+    ///
+    /// [`cubicle_core::CubicleError::NoSuchEntry`] when the image does
+    /// not export the expected symbols.
+    pub fn resolve(loaded: &LoadedComponent) -> Result<AllocProxy> {
+        Ok(AllocProxy {
             cid: loaded.cid,
-            palloc: loaded.entry("uk_palloc"),
-            pfree: loaded.entry("uk_pfree"),
-        }
+            palloc: loaded.entry("uk_palloc")?,
+            pfree: loaded.entry("uk_pfree")?,
+        })
     }
 
     /// The `ALLOC` cubicle's ID.
@@ -158,7 +171,7 @@ mod tests {
     fn setup() -> (System, AllocProxy, CubicleId) {
         let mut sys = System::new(IsolationMode::Full);
         let alloc = sys.load(image(), Box::new(Alloc::default())).unwrap();
-        let proxy = AllocProxy::resolve(&alloc);
+        let proxy = AllocProxy::resolve(&alloc).unwrap();
         let app = sys
             .load(
                 ComponentImage::new("APP", CodeImage::plain(64)),

@@ -46,9 +46,9 @@ pub fn boot_base(sys: &mut System) -> Result<BaseSystem> {
         Box::new(Libc),
     )?;
     Ok(BaseSystem {
-        alloc: AllocProxy::resolve(&alloc),
-        time: TimeProxy::resolve(&time),
-        plat: PlatProxy::resolve(&plat),
+        alloc: AllocProxy::resolve(&alloc)?,
+        time: TimeProxy::resolve(&time)?,
+        plat: PlatProxy::resolve(&plat)?,
         plat_slot: plat.slot,
         libc_cid: libc.cid,
     })

@@ -78,12 +78,17 @@ pub struct PlatProxy {
 
 impl PlatProxy {
     /// Resolves the proxy from the loaded component.
-    pub fn resolve(loaded: &LoadedComponent) -> PlatProxy {
-        PlatProxy {
+    ///
+    /// # Errors
+    ///
+    /// [`cubicle_core::CubicleError::NoSuchEntry`] when the image does
+    /// not export the expected symbols.
+    pub fn resolve(loaded: &LoadedComponent) -> Result<PlatProxy> {
+        Ok(PlatProxy {
             cid: loaded.cid,
-            out: loaded.entry("uk_console_out"),
-            halt: loaded.entry("uk_plat_halt"),
-        }
+            out: loaded.entry("uk_console_out")?,
+            halt: loaded.entry("uk_plat_halt")?,
+        })
     }
 
     /// The `PLAT` cubicle's ID.
@@ -125,7 +130,7 @@ mod tests {
     fn setup() -> (System, PlatProxy, usize, CubicleId) {
         let mut sys = System::new(IsolationMode::Full);
         let plat = sys.load(image(), Box::new(Plat::default())).unwrap();
-        let proxy = PlatProxy::resolve(&plat);
+        let proxy = PlatProxy::resolve(&plat).unwrap();
         let app = sys
             .load(
                 ComponentImage::new("APP", CodeImage::plain(64)),

@@ -64,11 +64,16 @@ pub struct TimeProxy {
 
 impl TimeProxy {
     /// Resolves the proxy from the loaded component.
-    pub fn resolve(loaded: &LoadedComponent) -> TimeProxy {
-        TimeProxy {
+    ///
+    /// # Errors
+    ///
+    /// [`cubicle_core::CubicleError::NoSuchEntry`] when the image does
+    /// not export the expected symbol.
+    pub fn resolve(loaded: &LoadedComponent) -> Result<TimeProxy> {
+        Ok(TimeProxy {
             cid: loaded.cid,
-            now: loaded.entry("uk_time_now_ns"),
-        }
+            now: loaded.entry("uk_time_now_ns")?,
+        })
     }
 
     /// The `TIME` cubicle's ID.
@@ -105,7 +110,7 @@ mod tests {
     fn clock_is_monotonic_across_calls() {
         let mut sys = System::new(IsolationMode::Full);
         let time = sys.load(image(), Box::new(Time::default())).unwrap();
-        let proxy = TimeProxy::resolve(&time);
+        let proxy = TimeProxy::resolve(&time).unwrap();
         let app = sys
             .load(
                 ComponentImage::new("APP", CodeImage::plain(64)),

@@ -34,9 +34,15 @@ pub struct Vfs {
     pub opens: u64,
 }
 
-impl_component!(Vfs);
+impl_component!(Vfs, restart = reboot_reset);
 
 impl Vfs {
+    /// Microreboot hook: open file descriptors referenced state in the
+    /// reclaimed heap, so they are all closed. The mount table survives —
+    /// it holds backend entry IDs, which are stable across reboots.
+    fn reboot_reset(&mut self) {
+        self.fds.clear();
+    }
     /// Registers a backend at `prefix` (longest-prefix match at lookup;
     /// `"/"` is the usual root mount). Called at boot by trusted wiring,
     /// mirroring Unikraft's init-time callback-table fill-in.
@@ -527,24 +533,29 @@ macro_rules! proxy_call {
 
 impl VfsProxy {
     /// Resolves the proxy from the loaded component.
-    pub fn resolve(loaded: &LoadedComponent) -> VfsProxy {
-        VfsProxy {
+    ///
+    /// # Errors
+    ///
+    /// [`cubicle_core::CubicleError::NoSuchEntry`] when the image does
+    /// not export the expected symbols.
+    pub fn resolve(loaded: &LoadedComponent) -> Result<VfsProxy> {
+        Ok(VfsProxy {
             cid: loaded.cid,
-            open: loaded.entry("vfs_open"),
-            close: loaded.entry("vfs_close"),
-            read: loaded.entry("vfs_read"),
-            write: loaded.entry("vfs_write"),
-            pread: loaded.entry("vfs_pread"),
-            pwrite: loaded.entry("vfs_pwrite"),
-            lseek: loaded.entry("vfs_lseek"),
-            fsync: loaded.entry("vfs_fsync"),
-            unlink: loaded.entry("vfs_unlink"),
-            mkdir: loaded.entry("vfs_mkdir"),
-            stat: loaded.entry("vfs_stat"),
-            fstat: loaded.entry("vfs_fstat"),
-            ftruncate: loaded.entry("vfs_ftruncate"),
-            readdir: loaded.entry("vfs_readdir"),
-        }
+            open: loaded.entry("vfs_open")?,
+            close: loaded.entry("vfs_close")?,
+            read: loaded.entry("vfs_read")?,
+            write: loaded.entry("vfs_write")?,
+            pread: loaded.entry("vfs_pread")?,
+            pwrite: loaded.entry("vfs_pwrite")?,
+            lseek: loaded.entry("vfs_lseek")?,
+            fsync: loaded.entry("vfs_fsync")?,
+            unlink: loaded.entry("vfs_unlink")?,
+            mkdir: loaded.entry("vfs_mkdir")?,
+            stat: loaded.entry("vfs_stat")?,
+            fstat: loaded.entry("vfs_fstat")?,
+            ftruncate: loaded.entry("vfs_ftruncate")?,
+            readdir: loaded.entry("vfs_readdir")?,
+        })
     }
 
     /// The `VFSCORE` cubicle's ID.

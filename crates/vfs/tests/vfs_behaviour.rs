@@ -24,10 +24,10 @@ fn boot_two_mounts() -> Stack {
     let root_fs = sys
         .load(cubicle_ramfs::image(), Box::new(Ramfs::default()))
         .unwrap();
-    mount_at(&mut sys, vfs_loaded.slot, &root_fs, "/");
+    mount_at(&mut sys, vfs_loaded.slot, &root_fs, "/").unwrap();
     // mounting the SAME backend again at /data exercises the
     // longest-prefix-match logic without needing a second symbol set
-    mount_at(&mut sys, vfs_loaded.slot, &root_fs, "/data");
+    mount_at(&mut sys, vfs_loaded.slot, &root_fs, "/data").unwrap();
     let backend_cid = root_fs.cid;
     let app = sys
         .load(
@@ -38,7 +38,7 @@ fn boot_two_mounts() -> Stack {
     Stack {
         sys,
         app: app.cid,
-        vfs: VfsProxy::resolve(&vfs_loaded),
+        vfs: VfsProxy::resolve(&vfs_loaded).unwrap(),
         backends: vec![backend_cid],
     }
 }
@@ -163,7 +163,7 @@ fn unknown_mount_is_enoent() {
             Box::new(App),
         )
         .unwrap();
-    let vfs = VfsProxy::resolve(&vfs_loaded);
+    let vfs = VfsProxy::resolve(&vfs_loaded).unwrap();
     let r = sys.run_in_cubicle(app.cid, |sys| {
         let port = VfsPort::new(sys, vfs, &[]).unwrap();
         port.open(sys, "/anything", flags::O_CREAT).unwrap()

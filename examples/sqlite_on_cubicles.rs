@@ -25,14 +25,14 @@ fn run_mode(mode: IsolationMode) -> Result<u64, Box<dyn std::error::Error>> {
     let ramfs = sys.load(cubicleos::ramfs::image(), Box::new(Ramfs::default()))?;
     sys.with_component_mut::<Ramfs, _>(ramfs.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
-    mount_at(&mut sys, vfs.slot, &ramfs, "/");
+    mount_at(&mut sys, vfs.slot, &ramfs, "/")?;
     let app = sys.load(
         ComponentImage::new("SQLITE", CodeImage::plain(64 * 1024)).heap_pages(128),
         Box::new(SqliteApp),
     )?;
     sys.mark_boot_complete();
 
-    let vfs_proxy = VfsProxy::resolve(&vfs);
+    let vfs_proxy = VfsProxy::resolve(&vfs)?;
     let ramfs_cid = ramfs.cid;
     let cycles = sys.run_in_cubicle(
         app.cid,

@@ -29,9 +29,9 @@ fn database_and_webserver_share_one_cubicle_system() {
         .unwrap();
     sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
         .unwrap();
-    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/");
+    mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/").unwrap();
     let net = boot_net(&mut sys).unwrap();
-    let vfs = VfsProxy::resolve(&vfs_loaded);
+    let vfs = VfsProxy::resolve(&vfs_loaded).unwrap();
     let ramfs_cid = ramfs_loaded.cid;
 
     // --- application 1: the SQL engine ---------------------------------
@@ -84,7 +84,7 @@ fn database_and_webserver_share_one_cubicle_system() {
         h.set_wiring(net.lwip, vfs, &[ramfs_cid]);
     })
     .unwrap();
-    let httpd = HttpdProxy::resolve(&nginx);
+    let httpd = HttpdProxy::resolve(&nginx).unwrap();
     assert_eq!(httpd.init(&mut sys, 80).unwrap(), 0);
 
     // --- the outside world fetches the SQL-generated report ------------
