@@ -2,7 +2,9 @@
 //! counts, collected during a siege-like measurement run.
 
 use cubicle_bench::report::results::BenchResults;
-use cubicle_bench::report::{audit_gate, banner};
+use cubicle_bench::report::{
+    assert_spans_partition, audit_gate, banner, dump_observability, obs_dir,
+};
 use cubicle_core::IsolationMode;
 use cubicle_httpd::boot_web;
 use cubicle_mpk::rng::Rng64;
@@ -20,6 +22,10 @@ fn main() {
         .unwrap_or(50);
 
     let mut dep = boot_web(IsolationMode::Full).unwrap();
+    let obs = obs_dir();
+    if obs.is_some() {
+        dep.sys.enable_tracing(1 << 20);
+    }
     // random static files, as in the paper's siege setup
     let mut rng = Rng64::new(7);
     let sizes = [1 << 10, 8 << 10, 64 << 10, 256 << 10];
@@ -73,4 +79,11 @@ fn main() {
     );
     println!();
     audit_gate(sys, "fig05 NGINX siege");
+
+    if let Some(dir) = obs {
+        assert_spans_partition(&mut dep.sys, "fig05");
+        for p in dump_observability(&mut dep.sys, &dir, "fig05").unwrap() {
+            println!("wrote {}", p.display());
+        }
+    }
 }

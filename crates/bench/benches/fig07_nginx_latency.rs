@@ -2,7 +2,9 @@
 //! against CubicleOS with 8 partitions, over the simulated wire.
 
 use cubicle_bench::report::results::BenchResults;
-use cubicle_bench::report::{audit_gate, banner, factor};
+use cubicle_bench::report::{
+    assert_spans_partition, audit_gate, banner, dump_observability, factor, obs_dir,
+};
 use cubicle_core::IsolationMode;
 use cubicle_httpd::boot_web;
 use cubicle_net::WireModel;
@@ -28,6 +30,16 @@ const SIZES: [(&str, usize); 15] = [
 
 fn series(mode: IsolationMode) -> Vec<u64> {
     let mut dep = boot_web(mode).unwrap();
+    // Profile the CubicleOS run only: the baseline has no cross-calls
+    // worth a flamegraph.
+    let obs = if matches!(mode, IsolationMode::Full) {
+        obs_dir()
+    } else {
+        None
+    };
+    if obs.is_some() {
+        dep.sys.enable_tracing(1 << 20);
+    }
     for (name, size) in SIZES {
         let content: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         dep.put_file(&format!("/{name}.bin"), &content).unwrap();
@@ -42,6 +54,12 @@ fn series(mode: IsolationMode) -> Vec<u64> {
         out.push(latency);
     }
     audit_gate(&dep.sys, &format!("fig07 {mode:?}"));
+    if let Some(dir) = obs {
+        assert_spans_partition(&mut dep.sys, "fig07");
+        for p in dump_observability(&mut dep.sys, &dir, "fig07").unwrap() {
+            println!("wrote {}", p.display());
+        }
+    }
     out
 }
 

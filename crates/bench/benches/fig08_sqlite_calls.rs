@@ -4,7 +4,9 @@
 //! PLAT (+ shared LIBC).
 
 use cubicle_bench::report::results::BenchResults;
-use cubicle_bench::report::{audit_gate, banner};
+use cubicle_bench::report::{
+    assert_spans_partition, audit_gate, banner, dump_observability, obs_dir,
+};
 use cubicle_core::{impl_component, ComponentImage, IsolationMode, System};
 use cubicle_mpk::insn::CodeImage;
 use cubicle_ramfs::{mount_at, Ramfs};
@@ -33,6 +35,11 @@ fn main() {
     eprintln!("running speedtest1 at scale {scale}…");
 
     let mut sys = System::new(IsolationMode::Full);
+    let obs = obs_dir();
+    if obs.is_some() {
+        // Fig. 8 counts include boot, so tracing starts before it too.
+        sys.enable_tracing(1 << 20);
+    }
     let base = boot_base(&mut sys).unwrap();
     let vfs_loaded = sys
         .load(cubicle_vfs::image(), Box::new(Vfs::default()))
@@ -101,4 +108,11 @@ fn main() {
     );
     println!();
     audit_gate(&sys, "fig08 SQLite split");
+
+    if let Some(dir) = obs {
+        assert_spans_partition(&mut sys, "fig08");
+        for p in dump_observability(&mut sys, &dir, "fig08").unwrap() {
+            println!("wrote {}", p.display());
+        }
+    }
 }

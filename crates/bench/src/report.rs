@@ -94,10 +94,12 @@ pub fn metrics_summary(sys: &System) -> String {
     out
 }
 
-/// Writes the three observability artifacts for a traced run into `dir`:
+/// Writes the observability artifacts for a traced run into `dir`:
 /// `<stem>.trace.json` (Chrome `trace_event` format, loadable in
 /// Perfetto / `chrome://tracing`), `<stem>.prom` (Prometheus text
-/// exposition) and `<stem>.audit.txt` (the trap-and-map audit log).
+/// exposition), `<stem>.audit.txt` (the trap-and-map audit log) and —
+/// when the span profiler recorded anything — `<stem>.folded`
+/// (collapsed stacks for `inferno` / `flamegraph.pl`).
 /// Returns the paths written.
 ///
 /// # Errors
@@ -119,7 +121,105 @@ pub fn dump_observability(
     written.push(dump(".trace.json", sys.export_chrome_trace())?);
     written.push(dump(".prom", sys.export_prometheus())?);
     written.push(dump(".audit.txt", sys.export_fault_audit())?);
+    let folded = sys.export_flamegraph();
+    if !folded.is_empty() {
+        written.push(dump(".folded", folded)?);
+    }
     Ok(written)
+}
+
+/// The directory named by `CUBICLE_OBS_DIR`, if set: figure harnesses
+/// use it as an opt-in switch — when present they enable tracing and
+/// drop their observability artifacts (trace, flamegraph, Prometheus,
+/// audit log) there.
+pub fn obs_dir() -> Option<PathBuf> {
+    std::env::var_os("CUBICLE_OBS_DIR").map(PathBuf::from)
+}
+
+/// Asserts the span profiler's core attribution invariant — per-cubicle
+/// exclusive (self) cycles partition the attribution window exactly —
+/// and returns that window. Harnesses call this before dumping so a
+/// mis-attributed profile fails the run instead of producing a
+/// plausible-looking flamegraph.
+///
+/// # Panics
+///
+/// When tracing is disabled or the self-cycle sum disagrees with the
+/// window.
+pub fn assert_spans_partition(sys: &mut System, label: &str) -> u64 {
+    let window = sys
+        .span_attribution_window()
+        .unwrap_or_else(|| panic!("{label}: span check needs tracing enabled"));
+    let self_sum: u64 = sys
+        .span_cubicle_attribution()
+        .iter()
+        .map(|(_, a)| a.self_cycles)
+        .sum();
+    assert_eq!(
+        self_sum, window,
+        "{label}: per-cubicle self cycles must sum to the attribution window"
+    );
+    window
+}
+
+/// Renders the live per-cubicle resource ledger as a `top`-style table,
+/// sorted by exclusive cycles (hottest first). Cycle columns are zero
+/// when tracing is off; the resource columns are always live.
+pub fn top_table(sys: &mut System) -> String {
+    let window = sys.span_attribution_window().unwrap_or(0);
+    let mut rows = sys.ledger();
+    rows.sort_by(|a, b| {
+        b.cycles_self
+            .cmp(&a.cycles_self)
+            .then(a.cubicle.cmp(&b.cubicle))
+    });
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>5} {:>3} {:>5} {:>6} {:>7} {:>7} {:>15} {:>9} {:>11} {:>11} {:>6}\n",
+        "CUBICLE",
+        "STATE",
+        "GEN",
+        "KEY",
+        "PAGES",
+        "FOREIGN",
+        "WIN",
+        "HEAP_USED",
+        "CALLS_IN",
+        "CYC_SELF",
+        "CYC_TOTAL",
+        "%SELF"
+    ));
+    for r in &rows {
+        let state = if r.quarantined() { "QUAR" } else { "run" };
+        let key = if r.key_parked {
+            format!("{}*", r.key)
+        } else {
+            r.key.to_string()
+        };
+        let pct = if window > 0 {
+            format!("{:.1}", 100.0 * r.cycles_self as f64 / window as f64)
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!(
+            "{:<12} {state:>5} {:>3} {key:>5} {:>6} {:>7} {:>7} {:>15} {:>9} {:>11} {:>11} {pct:>6}\n",
+            r.name,
+            r.generation,
+            r.pages_owned,
+            r.pages_held_foreign,
+            format!("{}/{}", r.windows_open, r.windows),
+            format!("{}/{}", r.heap_used, r.heap_capacity),
+            r.calls_in,
+            r.cycles_self,
+            r.cycles_total,
+        ));
+    }
+    if window > 0 {
+        out.push_str(&format!(
+            "attributed window: {window} cycles ('*' marks a parked MPK key)\n"
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

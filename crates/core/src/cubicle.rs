@@ -63,6 +63,10 @@ pub struct Cubicle {
     pub generation: u32,
     /// Why the cubicle was quarantined (`None` while active).
     pub quarantine_reason: Option<String>,
+    /// Set when the cycle watchdog quarantined this cubicle, so callers
+    /// see `ETIMEDOUT` rather than `EFAULT` at the containment boundary.
+    /// Cleared by [`crate::System::restart`].
+    pub timed_out: bool,
     /// Fault-injection knob: cap on total heap pages the monitor will
     /// grant (`None` = unlimited). Growth beyond the cap fails with
     /// `OutOfMemory`, modelling heap exhaustion mid-call.
@@ -88,6 +92,7 @@ impl Cubicle {
             state: CubicleState::Active,
             generation: 0,
             quarantine_reason: None,
+            timed_out: false,
             heap_limit_pages: None,
             heap_pages_granted: 0,
         }

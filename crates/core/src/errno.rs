@@ -49,6 +49,9 @@ pub enum Errno {
     Econnreset = 104,
     /// Not connected.
     Enotconn = 107,
+    /// Connection timed out. The watchdog's unwind path returns this to
+    /// the nearest healthy caller when a callee overran its cycle budget.
+    Etimedout = 110,
     /// Connection refused.
     Econnrefused = 111,
     /// Operation would block.
@@ -88,6 +91,7 @@ impl Errno {
             98 => Errno::Eaddrinuse,
             104 => Errno::Econnreset,
             107 => Errno::Enotconn,
+            110 => Errno::Etimedout,
             111 => Errno::Econnrefused,
             _ => return None,
         })
@@ -115,6 +119,7 @@ impl fmt::Display for Errno {
             Errno::Eaddrinuse => "EADDRINUSE",
             Errno::Econnreset => "ECONNRESET",
             Errno::Enotconn => "ENOTCONN",
+            Errno::Etimedout => "ETIMEDOUT",
             Errno::Econnrefused => "ECONNREFUSED",
             Errno::Ewouldblock => "EWOULDBLOCK",
         };
@@ -149,6 +154,7 @@ mod tests {
             Errno::Eaddrinuse,
             Errno::Econnreset,
             Errno::Enotconn,
+            Errno::Etimedout,
             Errno::Econnrefused,
             Errno::Ewouldblock,
         ] {

@@ -62,6 +62,12 @@ pub enum CubicleError {
         /// The quarantined cubicle.
         cubicle: CubicleId,
     },
+    /// The cycle watchdog quarantined a callee that overran its
+    /// configured cross-call cycle budget ([`crate::System::set_cycle_budget`]).
+    CycleBudgetExceeded {
+        /// The cubicle that was timed out.
+        cubicle: CubicleId,
+    },
     /// An ID that names no cubicle in this kernel reached a public
     /// interface.
     NoSuchCubicle(CubicleId),
@@ -105,6 +111,9 @@ impl fmt::Display for CubicleError {
             CubicleError::Quarantined { cubicle } => {
                 write!(f, "{cubicle} is quarantined after a contained fault")
             }
+            CubicleError::CycleBudgetExceeded { cubicle } => {
+                write!(f, "watchdog timed out {cubicle}: cross-call cycle budget exceeded")
+            }
             CubicleError::NoSuchCubicle(cid) => write!(f, "no such cubicle: {cid}"),
             CubicleError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
             CubicleError::Component(msg) => write!(f, "component error: {msg}"),
@@ -123,6 +132,7 @@ impl CubicleError {
             | CubicleError::MachineFault(_)
             | CubicleError::Quarantined { .. } => Some(crate::errno::Errno::Efault),
             CubicleError::OutOfMemory(_) => Some(crate::errno::Errno::Enomem),
+            CubicleError::CycleBudgetExceeded { .. } => Some(crate::errno::Errno::Etimedout),
             _ => None,
         }
     }

@@ -47,6 +47,9 @@ pub struct SysStats {
     /// Containable faults converted to an errno at a cross-call boundary
     /// (one per contained incident reaching a healthy caller).
     pub contained_faults: u64,
+    /// Callees quarantined by the cycle watchdog for exceeding their
+    /// cross-call cycle budget.
+    pub watchdog_trips: u64,
 }
 
 impl SysStats {
@@ -106,6 +109,7 @@ impl SysStats {
             restarts: self.restarts - earlier.restarts,
             unwound_frames: self.unwound_frames - earlier.unwound_frames,
             contained_faults: self.contained_faults - earlier.contained_faults,
+            watchdog_trips: self.watchdog_trips - earlier.watchdog_trips,
         }
     }
 }
@@ -141,6 +145,9 @@ impl fmt::Display for SysStats {
                 "quarantines: {}  restarts: {}  unwound-frames: {}  contained-faults: {}",
                 self.quarantines, self.restarts, self.unwound_frames, self.contained_faults
             )?;
+        }
+        if self.watchdog_trips > 0 {
+            writeln!(f, "watchdog-trips: {}", self.watchdog_trips)?;
         }
         let mut edges: Vec<_> = self.call_edges.iter().collect();
         edges.sort();

@@ -20,8 +20,10 @@ use crate::component::{Component, ComponentImage, EntryFn};
 use crate::cubicle::{Cubicle, RegionType};
 use crate::error::{CubicleError, Result};
 use crate::ids::{CubicleId, EntryId, WindowId};
+use crate::ledger::LedgerRow;
 use crate::metrics::Metrics;
 use crate::mode::IsolationMode;
+use crate::span::{CycleAttribution, SpanFrame, SpanProfiler, SpanRecord};
 use crate::stats::SysStats;
 use crate::trace::{FaultAudit, FaultDecision, TraceBuffer, TraceEvent, WindowOpKind};
 use crate::value::Value;
@@ -104,6 +106,10 @@ struct EntryDesc {
 #[derive(Clone, Copy, Debug)]
 struct Frame {
     cubicle: CubicleId,
+    /// Cycle stamp by which this frame must have returned, when the
+    /// cross-call watchdog armed a budget for its edge (`None`
+    /// otherwise — merged calls, `run_in_cubicle`, watchdog off).
+    deadline: Option<u64>,
 }
 
 /// Everything the loader needs to replay one [`System::install`] during a
@@ -180,6 +186,12 @@ pub struct System {
     /// Human-readable quarantine/unwind/restart records (bounded, kept
     /// outside the tracer like `loader_audit`).
     containment_log: Vec<String>,
+    /// Default cross-call cycle budget enforced by the watchdog
+    /// ([`System::set_cycle_budget`]); `None` (the default) disarms it.
+    cycle_budget: Option<u64>,
+    /// Per-edge watchdog budget overrides, taking precedence over the
+    /// default budget.
+    edge_budgets: HashMap<(CubicleId, CubicleId), u64>,
 }
 
 /// Observability state, present only while tracing is enabled
@@ -191,6 +203,20 @@ struct Tracer {
     audit: VecDeque<FaultAudit>,
     audit_capacity: usize,
     audit_dropped: u64,
+    /// Causal span profiler, fed every event the buffer receives.
+    spans: SpanProfiler,
+    /// Next span id to hand out (0 is reserved for "no span").
+    next_span: u64,
+}
+
+impl Tracer {
+    /// Appends an event to the ring and feeds it to the span profiler —
+    /// the single door every recorded event passes through, so the span
+    /// tree always agrees with the event stream.
+    fn record(&mut self, at: u64, event: TraceEvent) {
+        self.spans.on_event(at, &event);
+        self.buf.push(at, event);
+    }
 }
 
 /// MPK tag virtualisation state (paper §8: "if more tags were required,
@@ -261,6 +287,8 @@ impl System {
             reclaimed: HashMap::new(),
             reloads: Vec::new(),
             containment_log: Vec::new(),
+            cycle_budget: None,
+            edge_budgets: HashMap::new(),
         }
     }
 
@@ -284,6 +312,8 @@ impl System {
             audit: VecDeque::new(),
             audit_capacity: capacity,
             audit_dropped: 0,
+            spans: SpanProfiler::new(self.machine.now(), capacity),
+            next_span: 1,
         });
     }
 
@@ -316,6 +346,158 @@ impl System {
         self.tracer.iter().flat_map(|t| t.audit.iter())
     }
 
+    /// Fault-audit records evicted because the bounded audit log was
+    /// full (0 when tracing is disabled).
+    pub fn fault_audit_dropped(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, |t| t.audit_dropped)
+    }
+
+    /// The causal span profiler, when tracing is enabled. Pending
+    /// machine events are pumped in first so the span tree is complete.
+    pub fn span_profiler(&mut self) -> Option<&SpanProfiler> {
+        self.pump_machine_events();
+        self.tracer.as_ref().map(|t| &t.spans)
+    }
+
+    /// Completed spans retained by the profiler (oldest first); empty
+    /// when tracing is disabled.
+    pub fn spans(&mut self) -> Vec<SpanRecord> {
+        self.span_profiler()
+            .map(|p| p.spans().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Per-cubicle self/total cycle attribution from the span profiler,
+    /// sorted by cubicle id; empty when tracing is disabled.
+    pub fn span_cubicle_attribution(&mut self) -> Vec<(CubicleId, CycleAttribution)> {
+        self.span_profiler()
+            .map(|p| p.per_cubicle())
+            .unwrap_or_default()
+    }
+
+    /// Per-entry-point self/total cycle attribution, sorted by entry
+    /// id; empty when tracing is disabled.
+    pub fn span_entry_attribution(&mut self) -> Vec<(EntryId, CycleAttribution)> {
+        self.span_profiler()
+            .map(|p| p.per_entry())
+            .unwrap_or_default()
+    }
+
+    /// The profiler's attributed window: cycles between the tracing
+    /// epoch and the last span boundary. The per-cubicle self cycles of
+    /// [`System::span_cubicle_attribution`] sum to exactly this value.
+    /// `None` when tracing is disabled.
+    pub fn span_attribution_window(&mut self) -> Option<u64> {
+        self.span_profiler().map(SpanProfiler::attributed_window)
+    }
+
+    /// Assembles the live per-cubicle resource ledger: one
+    /// [`LedgerRow`] per cubicle, in cubicle-id order. Page counts come
+    /// from the monitor's page metadata (owner vs. current holder),
+    /// call counts from [`SysStats::call_edges`], and cycle attribution
+    /// from the span profiler (zero when tracing is disabled). This is
+    /// the data behind `cubicle-top` and the per-cubicle Prometheus
+    /// series.
+    pub fn ledger(&mut self) -> Vec<LedgerRow> {
+        self.pump_machine_events();
+        let n = self.cubicles.len();
+        let mut owned = vec![0usize; n];
+        let mut foreign = vec![0usize; n];
+        for m in self.page_meta.values() {
+            if m.owner.index() < n {
+                owned[m.owner.index()] += 1;
+            }
+            if m.holder != m.owner && m.holder.index() < n {
+                foreign[m.holder.index()] += 1;
+            }
+        }
+        let mut calls_in = vec![0u64; n];
+        let mut calls_out = vec![0u64; n];
+        for (&(from, to), &count) in &self.stats.call_edges {
+            if from.index() < n {
+                calls_out[from.index()] += count;
+            }
+            if to.index() < n {
+                calls_in[to.index()] += count;
+            }
+        }
+        let key_virt_on = self.key_virt.is_some();
+        let tracer = self.tracer.as_ref();
+        self.cubicles
+            .iter()
+            .map(|c| {
+                let cycles = tracer
+                    .map(|t| t.spans.cubicle_attribution(c.id))
+                    .unwrap_or_default();
+                LedgerRow {
+                    cubicle: c.id,
+                    name: c.name.clone(),
+                    state: c.state,
+                    generation: c.generation,
+                    key: c.key,
+                    key_parked: key_virt_on && c.key == PARKED_KEY,
+                    pages_owned: owned[c.id.index()],
+                    pages_held_foreign: foreign[c.id.index()],
+                    windows: c.windows.len(),
+                    windows_open: c.windows.iter().filter(|w| w.mask() != 0).count(),
+                    heap_used: c.heap.in_use(),
+                    heap_capacity: c.heap.capacity(),
+                    stack_used: c.stack_used,
+                    calls_in: calls_in[c.id.index()],
+                    calls_out: calls_out[c.id.index()],
+                    cycles_self: cycles.self_cycles,
+                    cycles_total: cycles.total_cycles,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the span profiler's folded call paths in collapsed-stack
+    /// format — one `ROOT;CALLEE:entry;... self_cycles` line per unique
+    /// path, directly consumable by `flamegraph.pl` or inferno. Empty
+    /// when tracing is disabled (or no call completed yet).
+    pub fn export_flamegraph(&mut self) -> String {
+        self.pump_machine_events();
+        let Some(tracer) = &self.tracer else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for (path, cycles) in tracer.spans.folded() {
+            let mut first = true;
+            for frame in path {
+                if !first {
+                    out.push(';');
+                }
+                first = false;
+                match *frame {
+                    SpanFrame::Root(cid) => {
+                        out.push_str(self.cubicle_frame_name(cid));
+                    }
+                    SpanFrame::Call(cid, entry) => {
+                        out.push_str(self.cubicle_frame_name(cid));
+                        out.push(':');
+                        match self.entries.get(entry.index()) {
+                            Some(d) => out.push_str(&d.name),
+                            None => out.push_str(&entry.to_string()),
+                        }
+                    }
+                }
+            }
+            out.push(' ');
+            out.push_str(&cycles.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The display name of a cubicle for profile output (falls back to
+    /// the raw id for out-of-range ids, e.g. a not-yet-loaded monitor).
+    fn cubicle_frame_name(&self, cid: CubicleId) -> &str {
+        self.cubicles
+            .get(cid.index())
+            .map_or("MONITOR", |c| c.name.as_str())
+    }
+
     /// Moves machine-level events (retags, PKRU writes) that accumulated
     /// since the last pump into the trace buffer. Called automatically
     /// before every kernel-level event is appended, keeping the combined
@@ -327,13 +509,13 @@ impl System {
         for ev in self.machine.drain_events() {
             match ev {
                 MachineEvent::Retag { at, addr, from, to } => {
-                    tracer.buf.push(at, TraceEvent::Retag { addr, from, to });
+                    tracer.record(at, TraceEvent::Retag { addr, from, to });
                 }
                 MachineEvent::WrPkru { at, pkru } => {
-                    tracer.buf.push(at, TraceEvent::WrPkru { pkru });
+                    tracer.record(at, TraceEvent::WrPkru { pkru });
                 }
                 MachineEvent::Unmap { at, addr, key } => {
-                    tracer.buf.push(at, TraceEvent::PageReclaim { addr, key });
+                    tracer.record(at, TraceEvent::PageReclaim { addr, key });
                 }
             }
         }
@@ -348,7 +530,7 @@ impl System {
         self.pump_machine_events();
         let at = self.machine.now();
         if let Some(tracer) = &mut self.tracer {
-            tracer.buf.push(at, event);
+            tracer.record(at, event);
         }
     }
 
@@ -452,6 +634,116 @@ impl System {
     /// configurations (including CubicleOS) with the calibrated value.
     pub fn set_boundary_tax(&mut self, cycles: u64) {
         self.boundary_tax = cycles;
+    }
+
+    // =====================================================================
+    // Cross-call cycle watchdog
+    // =====================================================================
+
+    /// Arms (or with `None` disarms) the cross-call cycle watchdog: a
+    /// callee whose frame runs past `cycles` simulated cycles is
+    /// quarantined mid-call through the fault-containment machinery and
+    /// the call chain unwinds; with containment enabled
+    /// ([`System::set_fault_containment`]) the nearest healthy caller
+    /// receives `-ETIMEDOUT`.
+    ///
+    /// The watchdog fires from the monitor's own entry points (checked
+    /// memory accesses, allocation, nested cross-calls) — the places a
+    /// spinning component must pass through to observe anything. It
+    /// never charges simulated cycles; disarmed (the default) it costs
+    /// one branch per monitor entry.
+    pub fn set_cycle_budget(&mut self, cycles: Option<u64>) {
+        self.cycle_budget = cycles;
+        if !self.watchdog_armed() {
+            self.machine.set_cycle_alarm(None);
+        }
+    }
+
+    /// Overrides the watchdog budget for one `caller → callee` edge
+    /// (`None` removes the override, falling back to the default
+    /// budget). Takes effect on the next call over the edge.
+    pub fn set_edge_cycle_budget(
+        &mut self,
+        caller: CubicleId,
+        callee: CubicleId,
+        cycles: Option<u64>,
+    ) {
+        match cycles {
+            Some(c) => {
+                self.edge_budgets.insert((caller, callee), c);
+            }
+            None => {
+                self.edge_budgets.remove(&(caller, callee));
+            }
+        }
+        if !self.watchdog_armed() {
+            self.machine.set_cycle_alarm(None);
+        }
+    }
+
+    /// Is any watchdog budget configured?
+    fn watchdog_armed(&self) -> bool {
+        self.cycle_budget.is_some() || !self.edge_budgets.is_empty()
+    }
+
+    /// The budget applying to one edge: the per-edge override, or the
+    /// default.
+    fn budget_for(&self, caller: CubicleId, callee: CubicleId) -> Option<u64> {
+        self.edge_budgets
+            .get(&(caller, callee))
+            .copied()
+            .or(self.cycle_budget)
+    }
+
+    /// Re-arms the machine's cycle alarm to the earliest in-flight
+    /// frame deadline.
+    fn refresh_cycle_alarm(&mut self) {
+        let next = self.call_stack.iter().filter_map(|f| f.deadline).min();
+        self.machine.set_cycle_alarm(next);
+    }
+
+    /// Watchdog poll, called on every monitor entry. The fast path is a
+    /// single branch on the machine's cycle alarm.
+    #[inline]
+    fn watchdog_check(&mut self) -> Result<()> {
+        if !self.machine.cycle_alarm_expired() {
+            return Ok(());
+        }
+        self.watchdog_trip()
+    }
+
+    /// Cold path of [`System::watchdog_check`]: quarantines the cubicle
+    /// of the innermost expired frame and fails the in-flight call.
+    fn watchdog_trip(&mut self) -> Result<()> {
+        let now = self.machine.now();
+        let Some(idx) = self
+            .call_stack
+            .iter()
+            .rposition(|f| f.deadline.is_some_and(|d| d <= now))
+        else {
+            // Stale alarm (the deadline's frame already returned).
+            self.refresh_cycle_alarm();
+            return Ok(());
+        };
+        let cubicle = self.call_stack[idx].cubicle;
+        let budget = self.call_stack[idx]
+            .deadline
+            .map_or(0, |d| now.saturating_sub(d));
+        let overrun = budget;
+        self.call_stack[idx].deadline = None;
+        self.refresh_cycle_alarm();
+        self.stats.watchdog_trips += 1;
+        self.quarantine_for(
+            cubicle,
+            format!(
+                "watchdog: {} exceeded its cross-call cycle budget ({overrun} cycle(s) over)",
+                self.cubicles[cubicle.index()].name
+            ),
+        );
+        if cubicle.index() < self.cubicles.len() {
+            self.cubicles[cubicle.index()].timed_out = true;
+        }
+        Err(CubicleError::CycleBudgetExceeded { cubicle })
     }
 
     // =====================================================================
@@ -899,6 +1191,7 @@ impl System {
     /// *not* surface as `Err`: the monitor unwinds them and the call
     /// returns `Ok(Value::I64(-errno))` at the first healthy boundary.
     pub fn cross_call(&mut self, entry: EntryId, args: &[Value]) -> Result<Value> {
+        self.watchdog_check()?;
         let desc = self
             .entries
             .get(entry.index())
@@ -921,19 +1214,30 @@ impl System {
         // histogram sample count always equals `SysStats::cross_calls`.
         let t0 = if self.tracer.is_some() {
             let t0 = self.machine.now();
+            self.pump_machine_events();
+            let (span, parent) = {
+                let tracer = self.tracer.as_mut().expect("checked above");
+                let span = tracer.next_span;
+                tracer.next_span += 1;
+                (span, tracer.spans.current_span())
+            };
             self.trace_push(TraceEvent::CrossCallEnter {
+                span,
+                parent,
                 caller,
                 callee,
                 entry,
             });
-            Some(t0)
+            Some((t0, span))
         } else {
             None
         };
         let result = self.cross_call_inner(func, caller, callee, slot, stack_bytes, args);
-        if let Some(t0) = t0 {
+        if let Some((t0, span)) = t0 {
             let cycles = self.machine.now() - t0;
+            self.pump_machine_events();
             self.trace_push(TraceEvent::CrossCallExit {
+                span,
                 caller,
                 callee,
                 entry,
@@ -974,10 +1278,16 @@ impl System {
                 Some(errno) => (e.clone(), errno),
                 None => return result, // caller bug; propagate unchanged
             },
-            Ok(_) if callee_quarantined => (
-                CubicleError::Quarantined { cubicle: callee },
-                crate::errno::Errno::Efault,
-            ),
+            Ok(_) if callee_quarantined => {
+                // Watchdog victims report ETIMEDOUT so callers can tell a
+                // runaway callee apart from a memory fault.
+                let errno = if self.cubicles[callee.index()].timed_out {
+                    crate::errno::Errno::Etimedout
+                } else {
+                    crate::errno::Errno::Efault
+                };
+                (CubicleError::Quarantined { cubicle: callee }, errno)
+            }
             Ok(_) => return result,
         };
         self.stats.unwound_frames += 1;
@@ -1023,7 +1333,12 @@ impl System {
             let mut comp = self.components[slot]
                 .take()
                 .ok_or(CubicleError::ReentrantCall(callee))?;
-            self.call_stack.push(Frame { cubicle: callee });
+            // Merged components share one cubicle; the watchdog budget
+            // applies to the cubicle as a whole, not intra-cubicle calls.
+            self.call_stack.push(Frame {
+                cubicle: callee,
+                deadline: None,
+            });
             let result = func(self, comp.as_mut(), args);
             self.call_stack.pop();
             self.components[slot] = Some(comp);
@@ -1069,9 +1384,21 @@ impl System {
         let mut comp = self.components[slot]
             .take()
             .ok_or(CubicleError::ReentrantCall(callee))?;
-        self.call_stack.push(Frame { cubicle: callee });
+        let deadline = self
+            .budget_for(caller, callee)
+            .map(|b| self.machine.now().saturating_add(b));
+        self.call_stack.push(Frame {
+            cubicle: callee,
+            deadline,
+        });
+        if deadline.is_some() {
+            self.refresh_cycle_alarm();
+        }
         let result = func(self, comp.as_mut(), args);
         self.call_stack.pop();
+        if self.watchdog_armed() {
+            self.refresh_cycle_alarm();
+        }
         self.components[slot] = Some(comp);
 
         match self.mode {
@@ -1106,7 +1433,10 @@ impl System {
         if self.mode.mpk_active() {
             self.ensure_bound(cid);
         }
-        self.call_stack.push(Frame { cubicle: cid });
+        self.call_stack.push(Frame {
+            cubicle: cid,
+            deadline: None,
+        });
         if self.mode.mpk_active() {
             let pkru = self.pkru_for(cid);
             self.machine.set_pkru_at_load(pkru);
@@ -1589,6 +1919,7 @@ impl System {
         let c = &mut self.cubicles[cid.index()];
         c.state = CubicleState::Active;
         c.quarantine_reason = None;
+        c.timed_out = false;
         c.generation += 1;
         let generation = c.generation;
         let name = c.name.clone();
@@ -1615,6 +1946,7 @@ impl System {
     /// [`CubicleError::WindowDenied`] when the monitor refuses the access,
     /// [`CubicleError::MachineFault`] for unmapped/invalid memory.
     pub fn read(&mut self, addr: VAddr, buf: &mut [u8]) -> Result<()> {
+        self.watchdog_check()?;
         let budget = buf.len() / PAGE_SIZE + 3;
         for _ in 0..budget {
             match self.machine.read(addr, buf) {
@@ -1631,6 +1963,7 @@ impl System {
     ///
     /// As [`System::read`].
     pub fn write(&mut self, addr: VAddr, data: &[u8]) -> Result<()> {
+        self.watchdog_check()?;
         let budget = data.len() / PAGE_SIZE + 3;
         for _ in 0..budget {
             match self.machine.write(addr, data) {
@@ -1698,6 +2031,7 @@ impl System {
 
     /// Trap-and-map retry loop shared by the appending read paths.
     fn read_append(&mut self, addr: VAddr, len: usize, out: &mut Vec<u8>) -> Result<()> {
+        self.watchdog_check()?;
         let budget = len / PAGE_SIZE + 3;
         for _ in 0..budget {
             // A faulted append leaves `out` untouched, so retrying is safe.
@@ -1715,6 +2049,7 @@ impl System {
     ///
     /// As [`System::read`].
     pub fn read_u64(&mut self, addr: VAddr) -> Result<u64> {
+        self.watchdog_check()?;
         for _ in 0..3 {
             match self.machine.read_u64(addr) {
                 Ok(v) => return Ok(v),
@@ -1730,6 +2065,7 @@ impl System {
     ///
     /// As [`System::write`].
     pub fn write_u64(&mut self, addr: VAddr, v: u64) -> Result<()> {
+        self.watchdog_check()?;
         for _ in 0..3 {
             match self.machine.write_u64(addr, v) {
                 Ok(()) => return Ok(()),
@@ -1745,6 +2081,7 @@ impl System {
     ///
     /// As [`System::read`].
     pub fn read_u32(&mut self, addr: VAddr) -> Result<u32> {
+        self.watchdog_check()?;
         for _ in 0..3 {
             match self.machine.read_u32(addr) {
                 Ok(v) => return Ok(v),
@@ -1760,6 +2097,7 @@ impl System {
     ///
     /// As [`System::write`].
     pub fn write_u32(&mut self, addr: VAddr, v: u32) -> Result<()> {
+        self.watchdog_check()?;
         for _ in 0..3 {
             match self.machine.write_u32(addr, v) {
                 Ok(()) => return Ok(()),
@@ -1835,6 +2173,7 @@ impl System {
     /// and [`CubicleError::Quarantined`] — the monitor grants no memory
     /// to a quarantined cubicle.
     pub fn heap_alloc_for(&mut self, cid: CubicleId, size: usize, align: usize) -> Result<VAddr> {
+        self.watchdog_check()?;
         if cid.index() >= self.cubicles.len() {
             return Err(CubicleError::NoSuchCubicle(cid));
         }
@@ -2179,6 +2518,8 @@ impl System {
         for r in tracer.buf.records() {
             let line = match r.event {
                 TraceEvent::CrossCallEnter {
+                    span,
+                    parent,
                     caller,
                     callee,
                     entry,
@@ -2187,9 +2528,34 @@ impl System {
                         .entries
                         .get(entry.index())
                         .map_or_else(|| entry.to_string(), |d| d.name.clone());
+                    if caller != callee {
+                        // Cross-cubicle control transfer: a flow arrow
+                        // from the caller's track to the callee's track,
+                        // keyed by the span id.
+                        push(
+                            format!(
+                                "{{\"ph\":\"s\",\"id\":{span},\"name\":\"cross_call\",\
+                                 \"cat\":\"flow\",\"pid\":0,\"tid\":{},\"ts\":{}}}",
+                                caller.index(),
+                                r.at,
+                            ),
+                            &mut out,
+                        );
+                        push(
+                            format!(
+                                "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{span},\
+                                 \"name\":\"cross_call\",\"cat\":\"flow\",\"pid\":0,\
+                                 \"tid\":{},\"ts\":{}}}",
+                                callee.index(),
+                                r.at,
+                            ),
+                            &mut out,
+                        );
+                    }
                     format!(
                         "{{\"ph\":\"B\",\"name\":\"{}\",\"cat\":\"cross_call\",\"pid\":0,\
-                         \"tid\":{},\"ts\":{},\"args\":{{\"caller\":\"{}\",\"seq\":{}}}}}",
+                         \"tid\":{},\"ts\":{},\"args\":{{\"caller\":\"{}\",\"seq\":{},\
+                         \"span\":{span},\"parent\":{parent}}}}}",
                         json_escape(&name),
                         callee.index(),
                         r.at,
@@ -2197,8 +2563,9 @@ impl System {
                         r.seq,
                     )
                 }
-                TraceEvent::CrossCallExit { callee, .. } => format!(
-                    "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{}}}",
+                TraceEvent::CrossCallExit { span, callee, .. } => format!(
+                    "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{},\
+                     \"args\":{{\"span\":{span}}}}}",
                     callee.index(),
                     r.at,
                 ),
@@ -2347,11 +2714,26 @@ impl System {
     /// only; histograms need the tracer).
     pub fn export_prometheus(&mut self) -> String {
         self.pump_machine_events();
+        let rows = self.ledger();
         let mut out = String::new();
         let counter = |name: &str, help: &str, v: u64, out: &mut String| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
             ));
+        };
+        let per_cubicle = |name: &str,
+                           help: &str,
+                           kind: &str,
+                           f: &dyn Fn(&LedgerRow) -> u64,
+                           out: &mut String| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            for r in &rows {
+                out.push_str(&format!(
+                    "{name}{{cubicle=\"{}\"}} {}\n",
+                    prom_escape(&r.name),
+                    f(r),
+                ));
+            }
         };
         let s = &self.stats;
         counter(
@@ -2426,6 +2808,12 @@ impl System {
             s.contained_faults,
             &mut out,
         );
+        counter(
+            "cubicle_watchdog_trips_total",
+            "Callees quarantined for exceeding their cycle budget.",
+            s.watchdog_trips,
+            &mut out,
+        );
         let m = self.machine.stats();
         counter(
             "cubicle_wrpkru_total",
@@ -2493,6 +2881,85 @@ impl System {
             ));
         }
 
+        // Per-cubicle resource ledger (available without tracing).
+        per_cubicle(
+            "cubicle_pages_owned",
+            "Pages owned by the cubicle.",
+            "gauge",
+            &|r| r.pages_owned as u64,
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_pages_held_foreign",
+            "Foreign pages currently retagged to the cubicle via trap-and-map.",
+            "gauge",
+            &|r| r.pages_held_foreign as u64,
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_windows_live",
+            "Live window descriptors.",
+            "gauge",
+            &|r| r.windows as u64,
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_windows_open",
+            "Window descriptors open for at least one peer.",
+            "gauge",
+            &|r| r.windows_open as u64,
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_heap_bytes_used",
+            "Live bytes in the cubicle's heap sub-allocator.",
+            "gauge",
+            &|r| r.heap_used as u64,
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_stack_bytes_used",
+            "Bytes of the per-cubicle stack in use.",
+            "gauge",
+            &|r| r.stack_used as u64,
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_key_parked",
+            "1 when key virtualisation has parked the cubicle's key.",
+            "gauge",
+            &|r| u64::from(r.key_parked),
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_quarantined",
+            "1 while the cubicle is quarantined.",
+            "gauge",
+            &|r| u64::from(r.quarantined()),
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_generation",
+            "Microreboot incarnation of the cubicle.",
+            "gauge",
+            &|r| u64::from(r.generation),
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_calls_in_total",
+            "Cross-calls into the cubicle.",
+            "counter",
+            &|r| r.calls_in,
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_calls_out_total",
+            "Cross-calls out of the cubicle.",
+            "counter",
+            &|r| r.calls_out,
+            &mut out,
+        );
+
         let Some(tracer) = &self.tracer else {
             return out;
         };
@@ -2506,6 +2973,34 @@ impl System {
             "cubicle_trace_events_recorded_total",
             "Trace records ever pushed.",
             tracer.buf.total_recorded(),
+            &mut out,
+        );
+        counter(
+            "cubicle_fault_audit_dropped_total",
+            "Fault-audit records evicted (ring full).",
+            tracer.audit_dropped,
+            &mut out,
+        );
+        counter(
+            "cubicle_spans_completed_total",
+            "Cross-call spans closed by the profiler.",
+            tracer.spans.spans_completed(),
+            &mut out,
+        );
+
+        // Per-cubicle causal cycle attribution (span profiler).
+        per_cubicle(
+            "cubicle_cycles_self",
+            "Exclusive cycles the span profiler attributes to the cubicle.",
+            "counter",
+            &|r| r.cycles_self,
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_cycles_inclusive",
+            "Inclusive cycles: self plus everything the cubicle's calls caused.",
+            "counter",
+            &|r| r.cycles_total,
             &mut out,
         );
 
@@ -2575,6 +3070,18 @@ impl System {
                 a.at, a.addr,
             ));
         }
+        // A saturated ring must be visible: otherwise a clean-looking
+        // audit could silently be missing its oldest records.
+        if let Some(tracer) = &self.tracer {
+            if tracer.buf.dropped() > 0 || tracer.audit_dropped > 0 {
+                out.push_str(&format!(
+                    "dropped: {} trace event(s) overwritten, {} fault-audit record(s) \
+                     evicted (ring full)\n",
+                    tracer.buf.dropped(),
+                    tracer.audit_dropped,
+                ));
+            }
+        }
         out
     }
 }
@@ -2589,10 +3096,18 @@ fn instant(r: &crate::trace::TraceRecord, name: &str, cat: &str, tid: usize, arg
 }
 
 /// Appends one histogram series in Prometheus text exposition format.
+///
+/// The internal log2 bins are folded onto a *fixed* cumulative `le`
+/// layout (0, then 2^4-1 … 2^32-1, then `+Inf`): Prometheus'
+/// `histogram_quantile` and scrape-time aggregation require every
+/// series of a family to expose the same bucket boundaries on every
+/// scrape, which the occupied-bins-only export could not guarantee.
 fn prom_histogram(name: &str, labels: &str, h: &crate::metrics::CycleHisto, out: &mut String) {
-    let mut cum = 0u64;
-    for (le, n) in h.occupied_buckets() {
-        cum += n;
+    const LE_BITS: [usize; 9] = [0, 4, 8, 12, 16, 20, 24, 28, 32];
+    let buckets = h.buckets();
+    for &bits in &LE_BITS {
+        let cum: u64 = buckets[..=bits].iter().sum();
+        let le = if bits == 0 { 0 } else { (1u64 << bits) - 1 };
         out.push_str(&format!("{name}_bucket{{{labels},le=\"{le}\"}} {cum}\n"));
     }
     out.push_str(&format!(

@@ -94,8 +94,13 @@ impl FaultAudit {
 /// A kernel event, as recorded in the [`TraceBuffer`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TraceEvent {
-    /// A cross-cubicle call entered its trampoline.
+    /// A cross-cubicle call entered its trampoline, opening a span.
     CrossCallEnter {
+        /// The span this call opens (unique per call, never reused; 0
+        /// is reserved for "no span").
+        span: u64,
+        /// The enclosing span, 0 for a depth-zero call.
+        parent: u64,
         /// The calling cubicle.
         caller: CubicleId,
         /// The cubicle being entered.
@@ -103,8 +108,11 @@ pub enum TraceEvent {
         /// The entry point invoked.
         entry: EntryId,
     },
-    /// A cross-cubicle call returned (on every path, including errors).
+    /// A cross-cubicle call returned (on every path, including errors),
+    /// closing its span.
     CrossCallExit {
+        /// The span being closed (matches the enter's `span`).
+        span: u64,
         /// The calling cubicle.
         caller: CubicleId,
         /// The cubicle that was entered.

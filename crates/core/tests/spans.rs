@@ -1,0 +1,341 @@
+//! Seeded property test for the causal span profiler: drives a random
+//! workload over a four-deep component chain and asserts the span tree
+//! is well-formed — valid parents, child intervals nested inside their
+//! parents, per-span `self + children == total`, per-cubicle self
+//! cycles summing to the attribution window — and that the flamegraph
+//! and Chrome-trace exports parse.
+
+use cubicle_core::{
+    impl_component, Builder, ComponentImage, CubicleId, IsolationMode, SpanRecord, System, Value,
+};
+use cubicle_mpk::insn::CodeImage;
+use cubicle_mpk::rng::Rng64;
+
+#[path = "support/json.rs"]
+mod json;
+use json::{Json, Parser};
+
+struct Node;
+impl_component!(Node);
+
+const SEEDS: u64 = 6;
+const STEPS: usize = 48;
+
+/// Loads the four-component chain `APP → SRV → FS → DISK`. Each layer
+/// does some local heap work and, depending on its argument, calls one
+/// layer further down — giving spans of depth 0 through 2.
+fn setup() -> (System, CubicleId) {
+    let b = Builder::new();
+    let mut sys = System::new(IsolationMode::Full);
+    let app = sys
+        .load(
+            ComponentImage::new("APP", CodeImage::plain(4096)).heap_pages(32),
+            Box::new(Node),
+        )
+        .unwrap();
+    sys.load(
+        ComponentImage::new("SRV", CodeImage::plain(4096))
+            .heap_pages(32)
+            .export(
+                b.export("long srv_work(long n)").unwrap(),
+                |sys, _this, args| {
+                    let n = args[0].as_i64();
+                    let buf = sys.heap_alloc(256, 8)?;
+                    sys.write_u64(buf, n as u64)?;
+                    let below = if n > 0 {
+                        sys.call("fs_work", &[Value::I64(n - 1)])?.as_i64()
+                    } else {
+                        0
+                    };
+                    let own = sys.read_u64(buf)? as i64;
+                    sys.heap_free(buf)?;
+                    Ok(Value::I64(own + below))
+                },
+            ),
+        Box::new(Node),
+    )
+    .unwrap();
+    sys.load(
+        ComponentImage::new("FS", CodeImage::plain(4096))
+            .heap_pages(32)
+            .export(
+                b.export("long fs_work(long n)").unwrap(),
+                |sys, _this, args| {
+                    let n = args[0].as_i64();
+                    let buf = sys.heap_alloc(128, 8)?;
+                    sys.write_u64(buf, 3)?;
+                    let below = if n > 0 {
+                        sys.call("disk_io", &[Value::I64(64)])?.as_i64()
+                    } else {
+                        0
+                    };
+                    let own = sys.read_u64(buf)? as i64;
+                    sys.heap_free(buf)?;
+                    Ok(Value::I64(own + below))
+                },
+            ),
+        Box::new(Node),
+    )
+    .unwrap();
+    sys.load(
+        ComponentImage::new("DISK", CodeImage::plain(4096))
+            .heap_pages(32)
+            .export(
+                b.export("long disk_io(long n)").unwrap(),
+                |sys, _this, args| {
+                    let n = args[0].as_i64().max(1) as usize;
+                    let buf = sys.heap_alloc(n, 8)?;
+                    sys.write(buf, &vec![0xD1; n])?;
+                    let v = sys.read_vec(buf, n)?;
+                    sys.heap_free(buf)?;
+                    Ok(Value::I64(i64::from(v[0])))
+                },
+            ),
+        Box::new(Node),
+    )
+    .unwrap();
+    (sys, app.cid)
+}
+
+/// Drives a seeded random mix of depth-0/1/2 calls from the driver.
+fn storm(sys: &mut System, app: CubicleId, seed: u64) {
+    let mut rng = Rng64::new(seed);
+    for _ in 0..STEPS {
+        let (entry, n) = match rng.range_usize(0, 4) {
+            0 => ("srv_work", rng.range_i64(0, 3)),
+            1 => ("fs_work", rng.range_i64(0, 2)),
+            2 => ("disk_io", rng.range_i64(8, 200)),
+            _ => ("srv_work", 2), // full-depth chain
+        };
+        let r = sys.run_in_cubicle(app, |sys| sys.call(entry, &[Value::I64(n)]));
+        assert!(r.is_ok(), "healthy call {entry}({n}) failed: {r:?}");
+    }
+}
+
+/// Asserts the structural invariants of one completed span forest.
+fn check_tree(spans: &[SpanRecord]) {
+    let mut seen: std::collections::HashMap<u64, &SpanRecord> = std::collections::HashMap::new();
+    // Spans close innermost-first, so a parent appears *after* its
+    // children in completion order; index everything up front.
+    for s in spans {
+        assert!(s.id >= 1, "span ids start at 1");
+        assert!(seen.insert(s.id, s).is_none(), "duplicate span id {}", s.id);
+    }
+    for s in spans {
+        assert!(s.start <= s.end, "span {} runs backwards", s.id);
+        assert_eq!(
+            s.self_cycles + s.child_cycles,
+            s.total_cycles(),
+            "span {}: self + children must equal total",
+            s.id
+        );
+        if s.parent != 0 {
+            let p = seen
+                .get(&s.parent)
+                .unwrap_or_else(|| panic!("span {} has unknown parent {}", s.id, s.parent));
+            assert!(s.parent < s.id, "parent ids precede children");
+            assert!(
+                p.start <= s.start && s.end <= p.end,
+                "child {} [{}, {}] must nest inside parent {} [{}, {}]",
+                s.id,
+                s.start,
+                s.end,
+                p.id,
+                p.start,
+                p.end
+            );
+            assert_eq!(s.depth, p.depth + 1, "child depth is parent depth + 1");
+        } else {
+            assert_eq!(s.depth, 0, "root spans sit at depth 0");
+        }
+    }
+    // A parent's child_cycles is exactly the sum of its direct children.
+    let mut child_sum: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            *child_sum.entry(s.parent).or_insert(0) += s.total_cycles();
+        }
+    }
+    for s in spans {
+        assert_eq!(
+            child_sum.get(&s.id).copied().unwrap_or(0),
+            s.child_cycles,
+            "span {}: recorded child_cycles must equal the sum of its children",
+            s.id
+        );
+    }
+}
+
+#[test]
+fn span_tree_is_well_formed_under_random_workloads() {
+    for seed in 0..SEEDS {
+        let (mut sys, app) = setup();
+        sys.enable_tracing(1 << 16);
+        storm(&mut sys, app, 0x5EED_0000 + seed);
+        let ctx = format!("seed {seed}");
+
+        let profiler = sys.span_profiler().expect("tracing is on");
+        assert_eq!(profiler.spans_dropped(), 0, "{ctx}: ring must not overflow");
+        assert_eq!(profiler.depth(), 0, "{ctx}: no span left open");
+        let spans = sys.spans();
+        assert!(!spans.is_empty(), "{ctx}: workload must produce spans");
+        assert!(
+            spans.iter().any(|s| s.depth == 2),
+            "{ctx}: full-depth chains must produce depth-2 spans"
+        );
+        check_tree(&spans);
+
+        // Per-cubicle exclusive cycles partition the attribution window.
+        let window = sys.span_attribution_window().unwrap();
+        let per_cubicle = sys.span_cubicle_attribution();
+        let self_sum: u64 = per_cubicle.iter().map(|(_, a)| a.self_cycles).sum();
+        assert_eq!(
+            self_sum, window,
+            "{ctx}: per-cubicle self cycles must partition the window"
+        );
+        assert!(
+            per_cubicle.len() >= 4,
+            "{ctx}: all four cubicles accrue cycles"
+        );
+
+        // Entry attribution covers every exported entry the storm hit.
+        let per_entry = sys.span_entry_attribution();
+        assert!(
+            per_entry.len() >= 3,
+            "{ctx}: srv/fs/disk entries all attributed"
+        );
+        for (_, a) in &per_entry {
+            assert!(
+                a.self_cycles <= a.total_cycles,
+                "{ctx}: self never exceeds total"
+            );
+            assert!(a.calls > 0, "{ctx}: attributed entries were called");
+        }
+    }
+}
+
+#[test]
+fn flamegraph_export_parses_and_sums_to_the_window() {
+    let (mut sys, app) = setup();
+    sys.enable_tracing(1 << 16);
+    storm(&mut sys, app, 0xF01D);
+
+    let folded = sys.export_flamegraph();
+    assert!(!folded.is_empty(), "traced run must emit folded stacks");
+    let mut total = 0u64;
+    let mut deepest = 0usize;
+    for line in folded.lines() {
+        let (path, count) = line.rsplit_once(' ').expect("each line is `path count`");
+        let count: u64 = count.parse().expect("count is a decimal cycle total");
+        assert!(count > 0, "zero-cycle paths are omitted");
+        let frames: Vec<&str> = path.split(';').collect();
+        assert!(!frames[0].is_empty(), "path has a root frame");
+        assert!(
+            frames[0] == "APP" || frames[0] == "MONITOR",
+            "stacks are rooted at the driver, got {}",
+            frames[0]
+        );
+        for f in &frames[1..] {
+            let (cubicle, entry) = f.split_once(':').expect("call frames are CUBICLE:entry");
+            assert!(!cubicle.is_empty() && !entry.is_empty());
+        }
+        deepest = deepest.max(frames.len());
+        total += count;
+    }
+    assert_eq!(
+        total,
+        sys.span_attribution_window().unwrap(),
+        "folded counts are exclusive cycles and must sum to the window"
+    );
+    assert!(
+        deepest >= 3,
+        "APP;SRV;FS chains appear in the folded output"
+    );
+}
+
+#[test]
+fn chrome_trace_spans_parse_and_carry_ids() {
+    let (mut sys, app) = setup();
+    sys.enable_tracing(1 << 16);
+    storm(&mut sys, app, 0xC403);
+
+    let txt = sys.export_chrome_trace();
+    let doc = Parser::parse(&txt).expect("chrome trace is valid JSON");
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(v)) => v,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    let mut open: Vec<u64> = Vec::new();
+    let mut max_span = 0u64;
+    for ev in events {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("B") => {
+                let args = ev.get("args").expect("B events carry args");
+                let span = args.get("span").and_then(Json::as_num).expect("span id") as u64;
+                let parent = args
+                    .get("parent")
+                    .and_then(Json::as_num)
+                    .expect("parent id") as u64;
+                assert_eq!(
+                    parent,
+                    open.last().copied().unwrap_or(0),
+                    "parent is enclosing span"
+                );
+                open.push(span);
+                max_span = max_span.max(span);
+            }
+            Some("E") => {
+                let span = ev
+                    .get("args")
+                    .and_then(|a| a.get("span"))
+                    .and_then(Json::as_num)
+                    .expect("E events carry the span id") as u64;
+                assert_eq!(Some(span), open.pop(), "E pairs with the innermost B");
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "B/E events balance");
+    assert!(max_span >= 1, "span ids flow into the chrome trace");
+}
+
+#[test]
+fn ledger_agrees_with_span_attribution() {
+    let (mut sys, app) = setup();
+    sys.enable_tracing(1 << 16);
+    storm(&mut sys, app, 0x1ED6);
+
+    let per_cubicle = sys.span_cubicle_attribution();
+    let window = sys.span_attribution_window().unwrap();
+    let rows = sys.ledger();
+    for name in ["APP", "SRV", "FS", "DISK"] {
+        assert!(
+            rows.iter().any(|r| r.name == name),
+            "ledger has a row for {name}"
+        );
+    }
+    let mut self_sum = 0u64;
+    for row in &rows {
+        let attr = per_cubicle
+            .iter()
+            .find(|(cid, _)| *cid == row.cubicle)
+            .map(|(_, a)| *a)
+            .unwrap_or_default();
+        assert_eq!(
+            row.cycles_self, attr.self_cycles,
+            "{}: ledger mirrors the profiler",
+            row.name
+        );
+        assert_eq!(row.cycles_total, attr.total_cycles, "{}", row.name);
+        if row.name != "MONITOR" {
+            assert!(
+                row.pages_owned > 0,
+                "{}: loaded cubicles own pages",
+                row.name
+            );
+        }
+        assert!(!row.quarantined(), "{}: healthy run", row.name);
+        self_sum += row.cycles_self;
+    }
+    assert_eq!(self_sum, window, "ledger self cycles partition the window");
+}

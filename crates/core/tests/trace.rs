@@ -60,217 +60,9 @@ fn run_scenario(sys: &mut System, a: CubicleId, b: CubicleId, calls: usize) {
     });
 }
 
-// ---------------------------------------------------------------------
-// A minimal JSON parser, enough to validate exporter output.
-// ---------------------------------------------------------------------
-
-#[derive(Debug, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    s: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse(input: &'a str) -> Result<Json, String> {
-        let mut p = Parser {
-            s: input.as_bytes(),
-            pos: 0,
-        };
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.s.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.s
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end".to_string())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected `{}` at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.lit("true", Json::Bool(true)),
-            b'f' => self.lit("false", Json::Bool(false)),
-            b'n' => self.lit("null", Json::Null),
-            _ => self.number(),
-        }
-    }
-
-    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        self.skip_ws();
-        if self.s[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.pos < self.s.len()
-            && matches!(
-                self.s[self.pos],
-                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
-            )
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.s[start..self.pos])
-            .ok()
-            .and_then(|t| t.parse().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.s.get(self.pos).copied().ok_or("unterminated string")? {
-                b'"' => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    self.pos += 1;
-                    let esc = self.s.get(self.pos).copied().ok_or("bad escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' | b'f' => out.push(' '),
-                        b'u' => {
-                            let hex = self
-                                .s
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("short \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape `\\{}`", other as char)),
-                    }
-                }
-                _ => {
-                    // copy the raw (possibly multi-byte) character
-                    let rest =
-                        std::str::from_utf8(&self.s[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected , or ] got `{}`", other as char)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut kv = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Obj(kv));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            kv.push((key, self.value()?));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(kv));
-                }
-                other => return Err(format!("expected , or }} got `{}`", other as char)),
-            }
-        }
-    }
-}
+#[path = "support/json.rs"]
+mod json;
+use json::{Json, Parser};
 
 // ---------------------------------------------------------------------
 // The tests
@@ -429,6 +221,8 @@ fn chrome_trace_exports_valid_json_with_balanced_spans() {
     };
     let mut begins = 0;
     let mut ends = 0;
+    let mut flow_starts = 0;
+    let mut flow_finishes = 0;
     let mut names = Vec::new();
     for ev in events {
         let ph = ev
@@ -440,14 +234,30 @@ fn chrome_trace_exports_valid_json_with_balanced_spans() {
                 begins += 1;
                 names.push(ev.get("name").and_then(Json::as_str).unwrap().to_string());
                 assert!(ev.get("ts").and_then(Json::as_num).is_some());
+                // span ids thread the B/E pairs into the span tree
+                assert!(ev
+                    .get("args")
+                    .and_then(|a| a.get("span"))
+                    .and_then(Json::as_num)
+                    .is_some_and(|s| s >= 1.0));
             }
             "E" => ends += 1,
+            "s" => {
+                flow_starts += 1;
+                assert!(ev.get("id").and_then(Json::as_num).is_some());
+            }
+            "f" => {
+                flow_finishes += 1;
+                assert_eq!(ev.get("bp").and_then(Json::as_str), Some("e"));
+            }
             "M" | "i" => {}
             other => panic!("unexpected phase {other}"),
         }
     }
     assert_eq!(begins, 15);
     assert_eq!(ends, 15);
+    assert_eq!(flow_starts, 15, "one flow arrow per cross-cubicle call");
+    assert_eq!(flow_finishes, 15);
     assert!(names.iter().all(|n| n == "b_read"));
     // per-cubicle thread metadata present
     let thread_names: Vec<&str> = events
@@ -594,5 +404,157 @@ fn ipc_and_unikraft_modes_trace_too() {
         );
         let json = sys.export_chrome_trace();
         Parser::parse(&json).unwrap_or_else(|e| panic!("{mode:?}: invalid JSON: {e}"));
+    }
+}
+
+#[test]
+fn saturated_ring_reports_drops() {
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(4); // tiny ring: most events are overwritten
+    run_scenario(&mut sys, a, b, 30);
+    let text = sys.export_prometheus();
+    let dropped = sys.trace().unwrap().dropped();
+    assert!(dropped > 0, "the tiny ring must have overflowed");
+    let line = format!("cubicle_trace_events_dropped_total {dropped}");
+    assert!(text.contains(&line), "missing `{line}` in:\n{text}");
+    let audit = sys.export_fault_audit();
+    assert!(
+        audit.lines().any(|l| l.starts_with("dropped:")),
+        "fault-audit log must surface the saturated ring:\n{audit}"
+    );
+    assert!(
+        audit.contains(&format!("dropped: {dropped} trace event(s)")),
+        "audit drop line must carry the count:\n{audit}"
+    );
+}
+
+/// Round-trips the Prometheus text output through a scrape-style parser:
+/// every series needs `# HELP`/`# TYPE`, histogram buckets must be
+/// cumulative and end in `+Inf == _count`, and every series of a
+/// histogram family must expose the identical `le` layout (a scrape
+/// requirement the old occupied-bins-only export violated).
+#[test]
+fn prometheus_histograms_round_trip() {
+    use std::collections::{BTreeSet, HashMap};
+
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.enable_tracing(1 << 16);
+    run_scenario(&mut sys, a, b, 23);
+    let text = sys.export_prometheus();
+
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    // histogram family -> (label set minus le) -> [(le, cumulative)]
+    let mut buckets: HashMap<(String, String), Vec<(f64, u64)>> = HashMap::new();
+    let mut counts: HashMap<(String, String), u64> = HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            helps.insert(rest.split_whitespace().next().unwrap().to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap().to_string();
+            let kind = it.next().unwrap().to_string();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown metric type in: {line}"
+            );
+            types.insert(name, kind);
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad series line: {line}"));
+        let value: u64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-integer sample in: {line}"));
+        let (name, labels) = match series.split_once('{') {
+            Some((n, l)) => (n.to_string(), l.trim_end_matches('}').to_string()),
+            None => (series.to_string(), String::new()),
+        };
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| types.get(*f).is_some_and(|t| t == "histogram"))
+            .unwrap_or(&name)
+            .to_string();
+        assert!(
+            types.contains_key(&family),
+            "series `{name}` has no # TYPE line"
+        );
+        assert!(
+            helps.contains(&family),
+            "series `{name}` has no # HELP line"
+        );
+        if types[&family] == "histogram" {
+            let mut le = None;
+            let mut rest: Vec<&str> = Vec::new();
+            for kv in labels.split(',') {
+                match kv.strip_prefix("le=\"") {
+                    Some(v) => le = Some(v.trim_end_matches('"').to_string()),
+                    None => rest.push(kv),
+                }
+            }
+            let key = (family.clone(), rest.join(","));
+            if name.ends_with("_bucket") {
+                let le = le.unwrap_or_else(|| panic!("bucket without le: {line}"));
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap_or_else(|_| panic!("bad le in: {line}"))
+                };
+                buckets.entry(key).or_default().push((le, value));
+            } else if name.ends_with("_count") {
+                counts.insert(key, value);
+            }
+        }
+    }
+
+    assert!(
+        buckets
+            .keys()
+            .any(|(f, _)| f == "cubicle_cross_call_cycles"),
+        "expected at least the per-edge latency histogram"
+    );
+    let mut layouts: HashMap<&str, Vec<u64>> = HashMap::new();
+    for ((family, labels), series) in &buckets {
+        let mut last = 0u64;
+        for &(le, cum) in series {
+            assert!(
+                cum >= last,
+                "{family}{{{labels}}}: buckets must be cumulative (le={le}: {cum} < {last})"
+            );
+            last = cum;
+        }
+        let (last_le, last_cum) = *series.last().unwrap();
+        assert!(
+            last_le.is_infinite(),
+            "{family}{{{labels}}}: final bucket must be +Inf"
+        );
+        assert_eq!(
+            Some(&last_cum),
+            counts.get(&(family.clone(), labels.clone())),
+            "{family}{{{labels}}}: +Inf bucket must equal _count"
+        );
+        // identical finite bucket layout across every series of a family
+        let layout: Vec<u64> = series
+            .iter()
+            .filter(|(le, _)| le.is_finite())
+            .map(|(le, _)| *le as u64)
+            .collect();
+        match layouts.get(family.as_str()) {
+            Some(seen) => assert_eq!(
+                seen, &layout,
+                "{family}: all series must share one bucket layout"
+            ),
+            None => {
+                layouts.insert(family, layout);
+            }
+        }
     }
 }

@@ -297,6 +297,10 @@ pub struct Machine {
     /// Reusable per-page location buffer for multi-page pre-scans, so bulk
     /// accesses allocate nothing in steady state.
     scan_scratch: Vec<(u32, u32)>,
+    /// Cycle alarm: the kernel's watchdog arms this with the earliest
+    /// in-flight call deadline and polls [`Machine::cycle_alarm_expired`]
+    /// on its entry paths. Pure bookkeeping — never charges cycles.
+    alarm: Option<u64>,
 }
 
 impl Default for Machine {
@@ -332,7 +336,26 @@ impl Machine {
             tlb_gen: 1,
             tlb_enabled: true,
             scan_scratch: Vec::new(),
+            alarm: None,
         }
+    }
+
+    /// Arms (or with `None` disarms) the cycle alarm at an absolute
+    /// cycle count. Costs nothing in simulated cycles.
+    pub fn set_cycle_alarm(&mut self, at: Option<u64>) {
+        self.alarm = at;
+    }
+
+    /// The armed cycle alarm, if any.
+    pub fn cycle_alarm(&self) -> Option<u64> {
+        self.alarm
+    }
+
+    /// Has the cycle counter reached the armed alarm? Always `false`
+    /// while disarmed — a single branch on the fast path.
+    #[inline]
+    pub fn cycle_alarm_expired(&self) -> bool {
+        self.alarm.is_some_and(|at| self.cycles >= at)
     }
 
     /// Enables (`Some(capacity)`) or disables (`None`) the machine event
