@@ -243,13 +243,120 @@ fn bench_scattered(results: &mut BenchResults) {
     });
 }
 
+/// 16 invocations of the same entry: sequentially vs under one batched
+/// dispatch (`System::cross_call_batch`). The window stays open across
+/// iterations so the pair isolates the dispatch overhead the batch
+/// amortises — boundary tax, trampoline, PKRU round-trip.
+fn bench_batching(results: &mut BenchResults) {
+    const N: usize = 16;
+    let persistent_buf = |sys: &mut System, a: CubicleId, b: CubicleId| {
+        sys.run_in_cubicle(a, |sys| {
+            let buf = sys.heap_alloc(4096, 4096).unwrap();
+            sys.write(buf, &[1]).unwrap();
+            let wid = sys.window_init();
+            sys.window_add(wid, buf, 4096).unwrap();
+            sys.window_open(wid, b).unwrap();
+            buf
+        })
+    };
+
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    let entry = sys.entry("b_read").unwrap();
+    let buf = persistent_buf(&mut sys, a, b);
+    let iter = |sys: &mut System| {
+        sys.run_in_cubicle(a, |sys| {
+            for _ in 0..N {
+                let r = sys.cross_call(entry, &[Value::buf_in(buf, 64)]).unwrap();
+                black_box(r);
+            }
+        });
+    };
+    iter(&mut sys); // warm: first iteration pays the window fault
+    let c0 = sys.now();
+    iter(&mut sys);
+    let cycles = sys.now() - c0;
+    bench_function(results, "unbatched_call_x16", cycles, || iter(&mut sys));
+
+    let (mut sys, a, b) = setup(IsolationMode::Full);
+    sys.set_cross_call_batching(true);
+    let entry = sys.entry("b_read").unwrap();
+    let buf = persistent_buf(&mut sys, a, b);
+    let iter = |sys: &mut System| {
+        sys.run_in_cubicle(a, |sys| {
+            let elems: Vec<[Value; 1]> = (0..N).map(|_| [Value::buf_in(buf, 64)]).collect();
+            let refs: Vec<&[Value]> = elems.iter().map(|e| e.as_slice()).collect();
+            let rs = sys.cross_call_batch(entry, &refs).unwrap();
+            black_box(rs);
+        });
+    };
+    iter(&mut sys);
+    let c0 = sys.now();
+    iter(&mut sys);
+    let cycles = sys.now() - c0;
+    bench_function(results, "batched_call_x16", cycles, || iter(&mut sys));
+}
+
+/// The trap-and-map ping-pong the grant cache accelerates: the owner
+/// writes its buffer (implicit-window reclaim retags the page), then the
+/// callee reads it through a window (a fresh protection fault every
+/// time). Decoy windows ahead of the authorising one lengthen the linear
+/// ACL search that a cache hit skips.
+fn bench_grant_cache(results: &mut BenchResults) {
+    const DECOYS: usize = 16;
+    for (name, cache_on) in [
+        ("grant_cache_off_pingpong", false),
+        ("grant_cache_on_pingpong", true),
+    ] {
+        let (mut sys, a, b) = setup(IsolationMode::Full);
+        sys.set_grant_cache(cache_on);
+        let entry = sys.entry("b_read").unwrap();
+        let buf = sys.run_in_cubicle(a, |sys| {
+            let decoy = sys.heap_alloc(4096, 4096).unwrap();
+            for _ in 0..DECOYS {
+                let wid = sys.window_init();
+                sys.window_add(wid, decoy, 4096).unwrap();
+                sys.window_open(wid, b).unwrap();
+            }
+            let buf = sys.heap_alloc(4096, 4096).unwrap();
+            let wid = sys.window_init();
+            sys.window_add(wid, buf, 4096).unwrap();
+            sys.window_open(wid, b).unwrap();
+            buf
+        });
+        let iter = |sys: &mut System| {
+            sys.run_in_cubicle(a, |sys| {
+                sys.write(buf, &[7]).unwrap();
+                let r = sys.cross_call(entry, &[Value::buf_in(buf, 64)]).unwrap();
+                black_box(r);
+            });
+        };
+        iter(&mut sys); // warm: populate the cache (miss) before timing
+        let c0 = sys.now();
+        iter(&mut sys);
+        let cycles = sys.now() - c0;
+        bench_function(results, name, cycles, || iter(&mut sys));
+        if cache_on {
+            assert!(
+                sys.stats().grant_cache_hits > 0,
+                "pingpong bench must exercise the grant cache"
+            );
+        }
+    }
+}
+
 /// The Figure 7 large-file path: a full HTTP fetch of a 1 MiB file
 /// through the 8-component CubicleOS web stack (VFS reads, LWIP segment
 /// copies, window faults — the memory-heaviest end-to-end scenario).
+///
+/// Measured twice: the legacy configuration (`_base`, every PR-7 feature
+/// off — the bit-identical golden path) and the tracked entry with
+/// cross-call batching, the window-grant cache, and the sendfile path
+/// enabled, which is how the deployment is meant to run.
 fn bench_fig7_large_file(results: &mut BenchResults) {
     const LEN: usize = 1 << 20;
-    let mut dep = boot_web(IsolationMode::Full).unwrap();
     let content: Vec<u8> = (0..LEN).map(|i| (i % 251) as u8).collect();
+
+    let mut dep = boot_web(IsolationMode::Full).unwrap();
     dep.put_file("/large.bin", &content).unwrap();
     let iter = |dep: &mut cubicle_httpd::WebDeployment| {
         let (latency, resp) = dep.fetch("/large.bin", WireModel::default()).unwrap();
@@ -260,7 +367,28 @@ fn bench_fig7_large_file(results: &mut BenchResults) {
     let c0 = dep.sys.now();
     iter(&mut dep);
     let cycles = dep.sys.now() - c0;
+    bench_function(results, "fig7_http_fetch_1m_base", cycles, || {
+        iter(&mut dep)
+    });
+
+    let mut dep = boot_web(IsolationMode::Full).unwrap();
+    dep.sys.set_cross_call_batching(true);
+    dep.sys.set_grant_cache(true);
+    let slot = dep.httpd_slot;
+    dep.sys
+        .with_component_mut::<cubicle_httpd::Httpd, _>(slot, |h, _| h.set_sendfile(true))
+        .unwrap();
+    dep.put_file("/large.bin", &content).unwrap();
+    let c0 = dep.sys.now();
+    iter(&mut dep);
+    let cycles = dep.sys.now() - c0;
     bench_function(results, "fig7_http_fetch_1m", cycles, || iter(&mut dep));
+    let hits = dep.sys.stats().grant_cache_hits;
+    println!("fig7 grant_cache_hits={hits}");
+    assert!(
+        hits > 0,
+        "the fig-7 feature run must produce grant-cache hits"
+    );
 }
 
 fn bench_speedtest_statement(results: &mut BenchResults) {
@@ -317,6 +445,8 @@ fn main() {
     bench_memory_access(&mut results);
     bench_bulk(&mut results);
     bench_scattered(&mut results);
+    bench_batching(&mut results);
+    bench_grant_cache(&mut results);
     bench_fig7_large_file(&mut results);
     bench_speedtest_statement(&mut results);
     let path = BenchResults::default_path();

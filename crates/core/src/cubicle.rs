@@ -73,6 +73,9 @@ pub struct Cubicle {
     pub heap_limit_pages: Option<usize>,
     /// Heap pages granted so far (reset on quarantine).
     pub heap_pages_granted: usize,
+    /// Simulated cycle at which this cubicle was last quarantined; feeds
+    /// the restart backoff policy ([`crate::System::set_restart_policy`]).
+    pub quarantined_at: u64,
 }
 
 impl Cubicle {
@@ -95,6 +98,7 @@ impl Cubicle {
             timed_out: false,
             heap_limit_pages: None,
             heap_pages_granted: 0,
+            quarantined_at: 0,
         }
     }
 

@@ -68,6 +68,20 @@ pub enum CubicleError {
         /// The cubicle that was timed out.
         cubicle: CubicleId,
     },
+    /// A restart arrived before the crash-looping cubicle's exponential
+    /// backoff delay elapsed ([`crate::System::set_restart_policy`]).
+    RestartBackoff {
+        /// The cubicle still serving its backoff delay.
+        cubicle: CubicleId,
+        /// Earliest simulated cycle at which a restart will be accepted.
+        ready_at: u64,
+    },
+    /// The cubicle exhausted its restart strikes and the monitor's policy
+    /// declared the quarantine permanent: no further restarts accepted.
+    PermanentlyQuarantined {
+        /// The written-off cubicle.
+        cubicle: CubicleId,
+    },
     /// An ID that names no cubicle in this kernel reached a public
     /// interface.
     NoSuchCubicle(CubicleId),
@@ -114,6 +128,14 @@ impl fmt::Display for CubicleError {
             CubicleError::CycleBudgetExceeded { cubicle } => {
                 write!(f, "watchdog timed out {cubicle}: cross-call cycle budget exceeded")
             }
+            CubicleError::RestartBackoff { cubicle, ready_at } => write!(
+                f,
+                "restart of {cubicle} refused: backoff in effect until cycle {ready_at}"
+            ),
+            CubicleError::PermanentlyQuarantined { cubicle } => write!(
+                f,
+                "{cubicle} is permanently quarantined: restart strikes exhausted"
+            ),
             CubicleError::NoSuchCubicle(cid) => write!(f, "no such cubicle: {cid}"),
             CubicleError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
             CubicleError::Component(msg) => write!(f, "component error: {msg}"),

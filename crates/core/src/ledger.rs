@@ -49,6 +49,9 @@ pub struct LedgerRow {
     pub calls_in: u64,
     /// Cross-calls out of this cubicle (it as caller).
     pub calls_out: u64,
+    /// Trap-and-map faults by this cubicle answered from the window-grant
+    /// cache (0 when the cache is disabled).
+    pub grant_hits: u64,
     /// Exclusive cycles the span profiler attributes to the cubicle
     /// (0 when tracing is disabled).
     pub cycles_self: u64,

@@ -50,6 +50,20 @@ pub struct SysStats {
     /// Callees quarantined by the cycle watchdog for exceeding their
     /// cross-call cycle budget.
     pub watchdog_trips: u64,
+    /// Batched cross-call dispatches (one trampoline + PKRU round-trip
+    /// covering a whole batch; see [`crate::System::cross_call_batch`]).
+    pub batch_dispatches: u64,
+    /// Entry invocations carried inside batched dispatches.
+    pub batched_calls: u64,
+    /// Trap-and-map resolutions answered by the window-grant cache
+    /// (O(1) re-check of the remembered descriptor, no linear search).
+    pub grant_cache_hits: u64,
+    /// Trap-and-map resolutions that fell through to the linear window
+    /// search while the grant cache was enabled.
+    pub grant_cache_misses: u64,
+    /// Grant-cache entries dropped by precise invalidation (window
+    /// close/remove/destroy, ownership transfer, quarantine, restart).
+    pub grant_cache_invalidations: u64,
 }
 
 impl SysStats {
@@ -110,6 +124,12 @@ impl SysStats {
             unwound_frames: self.unwound_frames - earlier.unwound_frames,
             contained_faults: self.contained_faults - earlier.contained_faults,
             watchdog_trips: self.watchdog_trips - earlier.watchdog_trips,
+            batch_dispatches: self.batch_dispatches - earlier.batch_dispatches,
+            batched_calls: self.batched_calls - earlier.batched_calls,
+            grant_cache_hits: self.grant_cache_hits - earlier.grant_cache_hits,
+            grant_cache_misses: self.grant_cache_misses - earlier.grant_cache_misses,
+            grant_cache_invalidations: self.grant_cache_invalidations
+                - earlier.grant_cache_invalidations,
         }
     }
 }
@@ -148,6 +168,22 @@ impl fmt::Display for SysStats {
         }
         if self.watchdog_trips > 0 {
             writeln!(f, "watchdog-trips: {}", self.watchdog_trips)?;
+        }
+        // Quiet unless the batching / grant-cache fast paths engaged, so
+        // feature-off snapshots (golden Fig. 6) render identically.
+        if self.batch_dispatches > 0 {
+            writeln!(
+                f,
+                "batch-dispatches: {}  batched-calls: {}",
+                self.batch_dispatches, self.batched_calls
+            )?;
+        }
+        if self.grant_cache_hits + self.grant_cache_misses + self.grant_cache_invalidations > 0 {
+            writeln!(
+                f,
+                "grant-cache: {} hits / {} misses / {} invalidations",
+                self.grant_cache_hits, self.grant_cache_misses, self.grant_cache_invalidations
+            )?;
         }
         let mut edges: Vec<_> = self.call_edges.iter().collect();
         edges.sort();

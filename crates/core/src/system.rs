@@ -192,6 +192,49 @@ pub struct System {
     /// Per-edge watchdog budget overrides, taking precedence over the
     /// default budget.
     edge_budgets: HashMap<(CubicleId, CubicleId), u64>,
+    /// Window-grant authorisation cache ([`System::set_grant_cache`]):
+    /// `None` (the default) preserves the paper's per-fault linear window
+    /// search bit-for-bit.
+    grant_cache: Option<GrantCache>,
+    /// Cross-call batching gate ([`System::set_cross_call_batching`]).
+    /// Components consult [`System::batching_enabled`] to pick between
+    /// the vectored and the legacy per-call paths.
+    batching: bool,
+    /// Restart backoff policy ([`System::set_restart_policy`]); `None`
+    /// (the default) keeps `restart` unconditional.
+    restart_policy: Option<RestartPolicy>,
+}
+
+/// Exponential-backoff policy for [`System::restart`]: a cubicle on its
+/// `g`-th incarnation must wait `base_backoff_cycles << g` simulated
+/// cycles after its quarantine before a restart is accepted, and after
+/// `max_restarts` incarnations the quarantine becomes permanent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Backoff delay for the first restart, in simulated cycles; doubles
+    /// with every incarnation (capped at `<< 31`).
+    pub base_backoff_cycles: u64,
+    /// Restarts allowed before the quarantine becomes permanent.
+    pub max_restarts: u32,
+}
+
+/// One remembered trap-and-map authorisation: the window that granted
+/// `accessor` the faulting page last time. A hit re-checks that single
+/// descriptor in O(1) instead of linearly searching the owner's window
+/// list, so a stale entry can never authorise anything the live window
+/// would not — invalidation is a performance matter, not a safety one.
+#[derive(Clone, Copy, Debug)]
+struct GrantEntry {
+    owner: CubicleId,
+    via: WindowId,
+}
+
+#[derive(Default)]
+struct GrantCache {
+    /// (accessor, faulting page) → the grant that authorised it last.
+    map: HashMap<(CubicleId, PageNum), GrantEntry>,
+    /// Per-accessor hit counts for the resource ledger (host-side).
+    hits_by_accessor: HashMap<CubicleId, u64>,
 }
 
 /// Observability state, present only while tracing is enabled
@@ -289,6 +332,9 @@ impl System {
             containment_log: Vec::new(),
             cycle_budget: None,
             edge_budgets: HashMap::new(),
+            grant_cache: None,
+            batching: false,
+            restart_policy: None,
         }
     }
 
@@ -445,6 +491,11 @@ impl System {
                     stack_used: c.stack_used,
                     calls_in: calls_in[c.id.index()],
                     calls_out: calls_out[c.id.index()],
+                    grant_hits: self
+                        .grant_cache
+                        .as_ref()
+                        .and_then(|g| g.hits_by_accessor.get(&c.id).copied())
+                        .unwrap_or(0),
                     cycles_self: cycles.self_cycles,
                     cycles_total: cycles.total_cycles,
                 }
@@ -1425,6 +1476,247 @@ impl System {
         self.cross_call(entry, args)
     }
 
+    /// Dispatches a *batch* of invocations of `entry` under a single
+    /// trampoline crossing: one boundary tax, one trampoline, one PKRU
+    /// round-trip in and out (one vectored message under the IPC
+    /// baseline), while per-invocation work — the call itself,
+    /// stack-argument copies, everything the callee does — is still
+    /// charged per element. A 1-element batch costs exactly what
+    /// [`System::cross_call`] does.
+    ///
+    /// Fault attribution matches the unbatched path: elements execute in
+    /// order and the first failing element aborts the batch with the
+    /// same quarantine blast radius its unbatched call would have had.
+    /// Without fault containment that element's error is returned
+    /// unchanged; with containment the monitor unwinds it exactly like
+    /// [`System::cross_call`] and the returned vector ends with the
+    /// faulting element's `Value::I64(-errno)`, so callers see a short
+    /// count plus the errno, writev-style.
+    ///
+    /// The batch appears as one edge crossing in [`SysStats`]
+    /// (`cross_calls`, the per-edge histogram, one span when tracing);
+    /// `batch_dispatches` / `batched_calls` count the amortisation.
+    /// Components should take this path only when
+    /// [`System::batching_enabled`] says the deployment opted in — the
+    /// gate is what keeps feature-off runs bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::cross_call`]; an empty batch is a no-op.
+    pub fn cross_call_batch(&mut self, entry: EntryId, batch: &[&[Value]]) -> Result<Vec<Value>> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.watchdog_check()?;
+        let desc = self
+            .entries
+            .get(entry.index())
+            .ok_or_else(|| CubicleError::NoSuchEntry(format!("{entry}")))?;
+        let (func, callee, slot, stack_bytes) =
+            (desc.func, desc.cubicle, desc.slot, desc.stack_arg_bytes);
+        let caller = self.current_cubicle();
+        if self.cubicles[callee.index()].is_quarantined() {
+            return Err(CubicleError::Quarantined { cubicle: callee });
+        }
+        if caller != callee && self.cubicles[caller.index()].is_quarantined() {
+            return Err(CubicleError::Quarantined { cubicle: caller });
+        }
+        // One crossing: the whole batch is one edge sample and one span.
+        self.stats.record_edge(caller, callee);
+        self.stats.batch_dispatches += 1;
+        self.stats.batched_calls += batch.len() as u64;
+
+        let t0 = if self.tracer.is_some() {
+            let t0 = self.machine.now();
+            self.pump_machine_events();
+            let (span, parent) = {
+                let tracer = self.tracer.as_mut().expect("checked above");
+                let span = tracer.next_span;
+                tracer.next_span += 1;
+                (span, tracer.spans.current_span())
+            };
+            self.trace_push(TraceEvent::CrossCallEnter {
+                span,
+                parent,
+                caller,
+                callee,
+                entry,
+            });
+            Some((t0, span))
+        } else {
+            None
+        };
+        let (mut values, status) =
+            self.cross_call_batch_inner(func, caller, callee, slot, stack_bytes, batch);
+        if let Some((t0, span)) = t0 {
+            let cycles = self.machine.now() - t0;
+            self.pump_machine_events();
+            self.trace_push(TraceEvent::CrossCallExit {
+                span,
+                caller,
+                callee,
+                entry,
+                cycles,
+            });
+            if let Some(tracer) = &mut self.tracer {
+                tracer.metrics.record_call(caller, callee, entry, cycles);
+            }
+        }
+        match status {
+            Ok(()) => Ok(values),
+            Err(e) if self.fault_containment => {
+                // Same unwind machinery as the unbatched path; a
+                // contained errno terminates the batch writev-style.
+                match self.contain_at_boundary(caller, callee, Err(e)) {
+                    Ok(v) => {
+                        values.push(v);
+                        Ok(values)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The dispatch half of [`System::cross_call_batch`]: charges the
+    /// crossing once, then runs the elements in order. Returns the
+    /// values accumulated before the terminal status.
+    fn cross_call_batch_inner(
+        &mut self,
+        func: EntryFn,
+        caller: CubicleId,
+        callee: CubicleId,
+        slot: usize,
+        stack_bytes: usize,
+        batch: &[&[Value]],
+    ) -> (Vec<Value>, Result<()>) {
+        let cost = *self.machine.cost_model();
+        let mut values = Vec::with_capacity(batch.len());
+        if caller == callee {
+            // Merged components: plain calls, batching buys nothing.
+            let mut comp = match self.components[slot].take() {
+                Some(c) => c,
+                None => return (values, Err(CubicleError::ReentrantCall(callee))),
+            };
+            self.call_stack.push(Frame {
+                cubicle: callee,
+                deadline: None,
+            });
+            let mut status = Ok(());
+            for args in batch {
+                self.machine.charge(cost.call);
+                match func(self, comp.as_mut(), args) {
+                    Ok(v) => values.push(v),
+                    Err(e) => {
+                        status = Err(e);
+                        break;
+                    }
+                }
+            }
+            self.call_stack.pop();
+            self.components[slot] = Some(comp);
+            return (values, status);
+        }
+        self.machine.charge(self.boundary_tax);
+        match self.mode {
+            IsolationMode::Unikraft => {}
+            IsolationMode::Ipc(m) => {
+                // One vectored message each way carrying every element.
+                let bytes: usize = batch
+                    .iter()
+                    .flat_map(|args| args.iter())
+                    .map(|v| v.bytes_in() + v.bytes_out())
+                    .sum();
+                self.machine.charge(m.fixed + m.per_byte * bytes as u64);
+                self.stats.ipc_msgs += 2;
+                self.stats.ipc_bytes += bytes as u64;
+            }
+            _ => {
+                // The amortisation: trampoline + PKRU round-trip once.
+                self.machine.charge(cost.trampoline);
+                if self.mode.mpk_active() {
+                    self.ensure_bound(callee);
+                    self.machine.set_pkru(Pkru::allow_all());
+                    let pkru = self.pkru_for(callee);
+                    self.machine.set_pkru(pkru);
+                }
+            }
+        }
+
+        let mut comp = match self.components[slot].take() {
+            Some(c) => c,
+            None => return (values, Err(CubicleError::ReentrantCall(callee))),
+        };
+        let deadline = self
+            .budget_for(caller, callee)
+            .map(|b| self.machine.now().saturating_add(b));
+        self.call_stack.push(Frame {
+            cubicle: callee,
+            deadline,
+        });
+        if deadline.is_some() {
+            self.refresh_cycle_alarm();
+        }
+        let mut status = Ok(());
+        for args in batch {
+            // Per-element work is not amortised away.
+            match self.mode {
+                IsolationMode::Ipc(_) => {}
+                IsolationMode::Unikraft => self.machine.charge(cost.call),
+                _ => {
+                    self.machine.charge(cost.call);
+                    if stack_bytes > 0 {
+                        self.machine.charge(2 * cost.mem_access(stack_bytes));
+                        self.stats.stack_bytes_copied += stack_bytes as u64;
+                        if self.tracer.is_some() {
+                            self.trace_push(TraceEvent::StackCopy {
+                                caller,
+                                callee,
+                                bytes: stack_bytes,
+                            });
+                        }
+                    }
+                }
+            }
+            match func(self, comp.as_mut(), args) {
+                Ok(v) => {
+                    if self.cubicles[callee.index()].is_quarantined() {
+                        // Same rule as `contain_at_boundary`: a cubicle
+                        // quarantined mid-call does not get its Ok
+                        // trusted, and later elements could not have
+                        // been dispatched into it anyway.
+                        status = Err(CubicleError::Quarantined { cubicle: callee });
+                        break;
+                    }
+                    values.push(v);
+                }
+                Err(e) => {
+                    status = Err(e);
+                    break;
+                }
+            }
+        }
+        self.call_stack.pop();
+        if self.watchdog_armed() {
+            self.refresh_cycle_alarm();
+        }
+        self.components[slot] = Some(comp);
+
+        match self.mode {
+            IsolationMode::Unikraft | IsolationMode::Ipc(_) => {}
+            _ => {
+                self.machine.charge(cost.trampoline);
+                if self.mode.mpk_active() {
+                    self.machine.set_pkru(Pkru::allow_all());
+                    let pkru = self.pkru_for(self.current_cubicle());
+                    self.machine.set_pkru(pkru);
+                }
+            }
+        }
+        (values, status)
+    }
+
     /// Runs `f` in the execution context of `cid`, as if code inside that
     /// cubicle were executing. Used by test harnesses and by drivers that
     /// model the application's own code; ordinary inter-component control
@@ -1514,6 +1806,60 @@ impl System {
             return Ok(());
         }
 
+        // Window-grant cache: a repeat trap-and-map by the same accessor
+        // over the same page reuses the grant that authorised it last
+        // time, skipping the linear ACL search entirely. Soundness rests
+        // on precise invalidation: every operation that can narrow the
+        // remembered authority (window remove/close/close-all/destroy,
+        // ownership transfer, quarantine, restart) drops the entry.
+        if self.grant_cache.is_some() {
+            let cache_key = (accessor, fault.addr.page());
+            let cached = self
+                .grant_cache
+                .as_ref()
+                .and_then(|c| c.map.get(&cache_key).copied());
+            if let Some(entry) = cached {
+                if entry.owner == meta.owner {
+                    #[cfg(debug_assertions)]
+                    {
+                        // The invalidation rules above are what make the
+                        // skip sound; cross-check them in debug builds.
+                        let live = self.cubicles[meta.owner.index()]
+                            .windows
+                            .iter()
+                            .find(|w| w.id() == entry.via)
+                            .is_some_and(|w| {
+                                let check = w.check(fault.addr, accessor);
+                                check.covers && check.allowed
+                            });
+                        debug_assert!(
+                            live,
+                            "stale grant-cache entry survived invalidation: \
+                             {accessor} over {} via {:?} of {}",
+                            fault.addr, entry.via, meta.owner
+                        );
+                    }
+                    let cache = self.grant_cache.as_mut().unwrap();
+                    *cache.hits_by_accessor.entry(accessor).or_insert(0) += 1;
+                    self.stats.grant_cache_hits += 1;
+                    self.retag(fault.addr, accessor_key)?;
+                    self.record_holder(fault.addr, accessor, Some(entry.via));
+                    self.stats.faults_resolved += 1;
+                    self.trace_fault(
+                        &fault,
+                        meta.owner,
+                        accessor,
+                        FaultDecision::Window(entry.via),
+                    );
+                    return Ok(());
+                }
+                // Remembered owner is obsolete (ownership transferred
+                // under the entry): drop it and take the slow path.
+                self.grant_cache.as_mut().unwrap().map.remove(&cache_key);
+                self.stats.grant_cache_invalidations += 1;
+            }
+        }
+
         // ❸ linear search of the owner's window descriptors,
         // ❹ O(1) bitmask check per covering descriptor.
         let owner_idx = meta.owner.index();
@@ -1534,6 +1880,16 @@ impl System {
             self.retag(fault.addr, accessor_key)?;
             self.record_holder(fault.addr, accessor, Some(wid));
             self.stats.faults_resolved += 1;
+            if let Some(cache) = &mut self.grant_cache {
+                cache.map.insert(
+                    (accessor, fault.addr.page()),
+                    GrantEntry {
+                        owner: meta.owner,
+                        via: wid,
+                    },
+                );
+                self.stats.grant_cache_misses += 1;
+            }
             self.trace_fault(&fault, meta.owner, accessor, FaultDecision::Window(wid));
             Ok(())
         } else {
@@ -1669,6 +2025,98 @@ impl System {
         self.fault_containment
     }
 
+    /// Enables or disables the window-grant cache. Off (the default) the
+    /// monitor resolves every trap-and-map fault with the paper's linear
+    /// window search, bit-for-bit. On, a repeat fault by the same
+    /// accessor over the same page re-checks only the descriptor that
+    /// authorised it last time (one `acl_probe` charge instead of a
+    /// linear search), falling back to the full search when the cached
+    /// grant no longer authorises the access. Disabling drops all cached
+    /// grants.
+    pub fn set_grant_cache(&mut self, enabled: bool) {
+        if enabled {
+            if self.grant_cache.is_none() {
+                self.grant_cache = Some(GrantCache::default());
+            }
+        } else {
+            self.grant_cache = None;
+        }
+    }
+
+    /// Is the window-grant cache enabled?
+    pub fn grant_cache_enabled(&self) -> bool {
+        self.grant_cache.is_some()
+    }
+
+    /// Enables or disables cross-call batching. This is a *gate*, not a
+    /// behaviour switch: components query [`System::batching_enabled`]
+    /// and choose between their vectored ([`System::cross_call_batch`])
+    /// and legacy per-call paths, so with the gate off (the default)
+    /// every simulated cycle is identical to the pre-batching kernel.
+    pub fn set_cross_call_batching(&mut self, enabled: bool) {
+        self.batching = enabled;
+    }
+
+    /// Is cross-call batching enabled?
+    pub fn batching_enabled(&self) -> bool {
+        self.batching
+    }
+
+    /// Installs (or clears) the restart backoff policy. `None` (the
+    /// default) keeps [`System::restart`] unconditional, as before.
+    pub fn set_restart_policy(&mut self, policy: Option<RestartPolicy>) {
+        self.restart_policy = policy;
+    }
+
+    /// The active restart backoff policy, if any.
+    pub fn restart_policy(&self) -> Option<RestartPolicy> {
+        self.restart_policy
+    }
+
+    /// Drops every grant-cache entry whose accessor *or* owner is `cid`
+    /// (quarantine, restart) — the cubicle's windows are gone and its
+    /// held pages were reclaimed, so neither direction can be reused.
+    fn grant_cache_purge_cubicle(&mut self, cid: CubicleId) {
+        if let Some(cache) = &mut self.grant_cache {
+            let before = cache.map.len();
+            cache
+                .map
+                .retain(|(accessor, _), e| *accessor != cid && e.owner != cid);
+            self.stats.grant_cache_invalidations += (before - cache.map.len()) as u64;
+        }
+    }
+
+    /// Drops grant-cache entries authorised via window `wid` of `owner`,
+    /// optionally restricted to one accessor (`peer`). Called by the
+    /// narrowing window operations: remove, close, close-all, destroy.
+    fn grant_cache_invalidate_window(
+        &mut self,
+        owner: CubicleId,
+        wid: WindowId,
+        peer: Option<CubicleId>,
+    ) {
+        if let Some(cache) = &mut self.grant_cache {
+            let before = cache.map.len();
+            cache.map.retain(|(accessor, _), e| {
+                !(e.owner == owner && e.via == wid && peer.is_none_or(|p| p == *accessor))
+            });
+            self.stats.grant_cache_invalidations += (before - cache.map.len()) as u64;
+        }
+    }
+
+    /// Drops grant-cache entries for pages in `[first, last]` (ownership
+    /// transfer via [`System::grant_pages_to`] retags and re-owns them,
+    /// so any remembered grant is obsolete).
+    fn grant_cache_invalidate_pages(&mut self, first: PageNum, last: PageNum) {
+        if let Some(cache) = &mut self.grant_cache {
+            let before = cache.map.len();
+            cache
+                .map
+                .retain(|(_, page), _| page.0 < first.0 || page.0 > last.0);
+            self.stats.grant_cache_invalidations += (before - cache.map.len()) as u64;
+        }
+    }
+
     /// The bounded containment log: one line per quarantine, unwind
     /// conversion and microreboot (kept even with tracing off, capped at
     /// 64 entries like the loader audit).
@@ -1743,6 +2191,10 @@ impl System {
         use crate::cubicle::CubicleState;
         self.stats.quarantines += 1;
         self.trace_push(TraceEvent::Quarantine { cubicle: cid });
+        // Grants into or out of the offender are void: its windows are
+        // destroyed below and its held pages reclaimed.
+        self.grant_cache_purge_cubicle(cid);
+        self.cubicles[cid.index()].quarantined_at = self.machine.now();
 
         // ❶ Destroy the offender's window descriptors: nothing of its
         // (soon reclaimed) memory stays published.
@@ -1858,6 +2310,31 @@ impl System {
                 "restart: cubicle has in-flight frames",
             ));
         }
+        // Backoff policy: a crash-looping cubicle waits exponentially
+        // longer after every incarnation, and is written off for good
+        // once its restart strikes are spent.
+        if let Some(policy) = self.restart_policy {
+            let c = &self.cubicles[cid.index()];
+            if c.generation >= policy.max_restarts {
+                let name = c.name.clone();
+                self.containment_push(format!(
+                    "containment: restart of {name} ({cid}) refused permanently \
+                     after {} strikes",
+                    policy.max_restarts
+                ));
+                return Err(CubicleError::PermanentlyQuarantined { cubicle: cid });
+            }
+            let delay = policy
+                .base_backoff_cycles
+                .saturating_mul(1u64 << c.generation.min(31));
+            let ready_at = c.quarantined_at.saturating_add(delay);
+            if self.machine.now() < ready_at {
+                return Err(CubicleError::RestartBackoff {
+                    cubicle: cid,
+                    ready_at,
+                });
+            }
+        }
         let slots: Vec<usize> = self
             .reloads
             .iter()
@@ -1916,6 +2393,10 @@ impl System {
             self.components[slot] = Some(comp);
         }
 
+        // Belt and braces: quarantine already purged the offender's
+        // grants, and none can have formed since; make sure the fresh
+        // incarnation starts with no remembered authority either way.
+        self.grant_cache_purge_cubicle(cid);
         let c = &mut self.cubicles[cid.index()];
         c.state = CubicleState::Active;
         c.quarantine_reason = None;
@@ -2310,6 +2791,13 @@ impl System {
                     .expect("mapped");
             }
         }
+        // Ownership changed hands: any remembered grant over these pages
+        // (for any accessor) is obsolete.
+        if len > 0 {
+            let first = addr.page();
+            let last = VAddr::new(addr.raw() + (len as u64 - 1)).page();
+            self.grant_cache_invalidate_pages(first, last);
+        }
         Ok(())
     }
 
@@ -2383,6 +2871,10 @@ impl System {
             .window_mut(wid)
             .ok_or(CubicleError::NoSuchWindow(wid))?;
         if w.remove_range(ptr) {
+            // The window narrowed: drop every grant it authorised (pages
+            // outside the removed range will simply re-resolve and
+            // repopulate — correctness over cleverness).
+            self.grant_cache_invalidate_window(cid, wid, None);
             self.trace_window_op(WindowOpKind::Remove, wid, None);
             Ok(())
         } else {
@@ -2424,6 +2916,10 @@ impl System {
             .window_mut(wid)
             .ok_or(CubicleError::NoSuchWindow(wid))?
             .close_for(peer);
+        // Closing is lazy for already-retagged pages, but the *authority*
+        // is gone: the peer's next fault must take the full search and
+        // be denied, not ride a cached grant.
+        self.grant_cache_invalidate_window(cid, wid, Some(peer));
         self.trace_window_op(WindowOpKind::Close, wid, Some(peer));
         Ok(())
     }
@@ -2440,6 +2936,7 @@ impl System {
             .window_mut(wid)
             .ok_or(CubicleError::NoSuchWindow(wid))?
             .close_all();
+        self.grant_cache_invalidate_window(cid, wid, None);
         self.trace_window_op(WindowOpKind::CloseAll, wid, None);
         Ok(())
     }
@@ -2453,6 +2950,7 @@ impl System {
         self.charge_window_op();
         let cid = self.current_cubicle();
         if self.cubicles[cid.index()].window_destroy(wid) {
+            self.grant_cache_invalidate_window(cid, wid, None);
             self.trace_window_op(WindowOpKind::Destroy, wid, None);
             Ok(())
         } else {
@@ -2814,6 +3312,36 @@ impl System {
             s.watchdog_trips,
             &mut out,
         );
+        counter(
+            "cubicle_batch_dispatches_total",
+            "Batched cross-call dispatches (one crossing per batch).",
+            s.batch_dispatches,
+            &mut out,
+        );
+        counter(
+            "cubicle_batched_calls_total",
+            "Entry invocations carried inside batched dispatches.",
+            s.batched_calls,
+            &mut out,
+        );
+        counter(
+            "cubicle_grant_cache_hits_total",
+            "Trap-and-map faults answered by the window-grant cache.",
+            s.grant_cache_hits,
+            &mut out,
+        );
+        counter(
+            "cubicle_grant_cache_misses_total",
+            "Grant-cache misses that took the linear window search.",
+            s.grant_cache_misses,
+            &mut out,
+        );
+        counter(
+            "cubicle_grant_cache_invalidations_total",
+            "Grant-cache entries dropped by precise invalidation.",
+            s.grant_cache_invalidations,
+            &mut out,
+        );
         let m = self.machine.stats();
         counter(
             "cubicle_wrpkru_total",
@@ -2957,6 +3485,13 @@ impl System {
             "Cross-calls out of the cubicle.",
             "counter",
             &|r| r.calls_out,
+            &mut out,
+        );
+        per_cubicle(
+            "cubicle_grant_cache_hits",
+            "Trap-and-map faults by the cubicle answered from the grant cache.",
+            "counter",
+            &|r| r.grant_hits,
             &mut out,
         );
 

@@ -11,8 +11,8 @@ use cubicle_core::{
     LoadedComponent, Result, System, Value,
 };
 use cubicle_mpk::insn::CodeImage;
-use cubicle_mpk::VAddr;
-use cubicle_net::LwipProxy;
+use cubicle_mpk::{VAddr, PAGE_SIZE};
+use cubicle_net::{LwipProxy, SND_BUF};
 use cubicle_ukbase::{PlatProxy, TimeProxy};
 use cubicle_vfs::{flags, FileStat, VfsPort, VfsProxy};
 use std::collections::HashMap;
@@ -30,6 +30,10 @@ enum ConnState {
         /// Header (and error-body) bytes not yet pushed to the socket.
         head: Vec<u8>,
         head_sent: usize,
+        /// Sendfile fast path: the file's extent pages, windowed for
+        /// `LWIP` by the backend, so body bytes go straight from file
+        /// pages into the socket — no `pread` copy through `io_buf`.
+        extents: Option<Vec<VAddr>>,
     },
     Draining, // response fully handed to the stack; close when flushed
 }
@@ -47,6 +51,7 @@ pub struct Httpd {
     conns: HashMap<i64, ConnState>,
     io_buf: VAddr,
     log_buf: VAddr,
+    sendfile: bool,
     /// Requests completed (statistics).
     pub requests_served: u64,
     /// 404s issued (statistics).
@@ -62,12 +67,14 @@ impl Httpd {
     fn reboot_reset(&mut self) {
         let (lwip, vfs, time, plat) = (self.lwip, self.vfs, self.time, self.plat);
         let fs_backends = std::mem::take(&mut self.fs_backends);
+        let sendfile = self.sendfile;
         *self = Httpd::default();
         self.lwip = lwip;
         self.vfs = vfs;
         self.time = time;
         self.plat = plat;
         self.fs_backends = fs_backends;
+        self.sendfile = sendfile;
     }
     /// Boot-time wiring of the OS-service proxies.
     pub fn set_wiring(&mut self, lwip: LwipProxy, vfs: VfsProxy, fs_backends: &[CubicleId]) {
@@ -83,6 +90,14 @@ impl Httpd {
     pub fn set_observability(&mut self, time: TimeProxy, plat: PlatProxy) {
         self.time = Some(time);
         self.plat = Some(plat);
+    }
+
+    /// Enables the zero-copy sendfile response path: the backend windows
+    /// each served file's extent pages to `LWIP` and the body is sent
+    /// straight from those pages, skipping the `pread` copy through the
+    /// server's I/O buffer. Off by default (legacy staged path).
+    pub fn set_sendfile(&mut self, on: bool) {
+        self.sendfile = on;
     }
 }
 
@@ -241,9 +256,13 @@ fn open_response(
 ) -> Result<i64> {
     sys.charge(900); // request parsing + routing (NGINX http module work)
     let path = parse_get_path(request);
-    let port = {
+    let (port, sendfile, lwip) = {
         let st = component_mut::<Httpd>(this);
-        st.port.clone().expect("initialised")
+        (
+            st.port.clone().expect("initialised"),
+            st.sendfile,
+            st.lwip.expect("initialised"),
+        )
     };
     let state = match path {
         Some(path) => {
@@ -257,6 +276,15 @@ fn open_response(
                     if file_fd < 0 {
                         None
                     } else {
+                        // Sendfile fast path: window the file's pages to
+                        // LWIP up front; on any backend refusal (e.g.
+                        // file too large for the extent buffer) fall
+                        // back to the staged pread path.
+                        let extents = if sendfile && stat.size > 0 {
+                            port.sendfile_map(sys, file_fd, lwip.cid())?.ok()
+                        } else {
+                            None
+                        };
                         let head = format!(
                             "HTTP/1.0 200 OK\r\nServer: cubicle-nginx\r\nContent-Length: {}\r\nContent-Type: application/octet-stream\r\n\r\n",
                             stat.size
@@ -267,6 +295,7 @@ fn open_response(
                             remaining: stat.size,
                             head: head.into_bytes(),
                             head_sent: 0,
+                            extents,
                         })
                     }
                 }
@@ -288,6 +317,7 @@ fn open_response(
             remaining: 0,
             head: head.into_bytes(),
             head_sent: 0,
+            extents: None,
         }
     });
     component_mut::<Httpd>(this).conns.insert(fd, state);
@@ -305,9 +335,10 @@ fn pump_response(
         let st = component_mut::<Httpd>(this);
         st.port.clone().expect("initialised")
     };
+    let batching = sys.batching_enabled();
     let mut progressed = 0i64;
     loop {
-        let (head_chunk, file_fd, offset, remaining) = {
+        let (head_chunk, file_fd, offset, remaining, extents) = {
             let st = component_mut::<Httpd>(this);
             let Some(ConnState::Sending {
                 file_fd,
@@ -315,13 +346,58 @@ fn pump_response(
                 remaining,
                 head,
                 head_sent,
+                extents,
             }) = st.conns.get_mut(&fd)
             else {
                 return Ok(progressed);
             };
-            (head[*head_sent..].to_vec(), *file_fd, *offset, *remaining)
+            (
+                head[*head_sent..].to_vec(),
+                *file_fd,
+                *offset,
+                *remaining,
+                extents.clone(),
+            )
         };
         if !head_chunk.is_empty() {
+            if batching && remaining > 0 && file_fd >= 0 && extents.is_none() {
+                // Batched header+body: stage both in the io buffer and
+                // hand them to the socket under one cross-call dispatch.
+                let hn = head_chunk.len().min(IO_BUF / 2);
+                sys.write(io_buf, &head_chunk[..hn])?;
+                let body_buf = io_buf + hn;
+                let body_cap = (IO_BUF - hn).min(remaining as usize);
+                let n = port
+                    .proxy()
+                    .pread(sys, file_fd, body_buf, body_cap, offset)?
+                    .max(0) as usize;
+                let rs = lwip.send_batch(sys, fd, &[(io_buf, hn), (body_buf, n)])?;
+                let h_acc = rs.first().copied().unwrap_or(0).max(0) as usize;
+                // A short header accept exhausts the send space, so the
+                // body element contributed nothing.
+                let b_acc = if h_acc == hn {
+                    rs.get(1).copied().unwrap_or(0).max(0) as usize
+                } else {
+                    0
+                };
+                let st = component_mut::<Httpd>(this);
+                if let Some(ConnState::Sending {
+                    head_sent,
+                    offset,
+                    remaining,
+                    ..
+                }) = st.conns.get_mut(&fd)
+                {
+                    *head_sent += h_acc;
+                    *offset += b_acc as u64;
+                    *remaining -= b_acc as u64;
+                }
+                progressed += 1;
+                if h_acc < hn || b_acc < n {
+                    return Ok(progressed); // flow control: resume next poll
+                }
+                continue;
+            }
             // push header bytes through the io buffer
             let n = head_chunk.len().min(IO_BUF);
             sys.write(io_buf, &head_chunk[..n])?;
@@ -341,6 +417,9 @@ fn pump_response(
         }
         if remaining == 0 {
             // finished: FIN, access log, drain
+            if extents.is_some() {
+                port.sendfile_unmap(sys, file_fd)?;
+            }
             let (time, plat, log_buf, served) = {
                 let st = component_mut::<Httpd>(this);
                 st.conns.insert(fd, ConnState::Draining);
@@ -356,7 +435,59 @@ fn pump_response(
             lwip.close(sys, fd)?;
             return Ok(progressed + 1);
         }
-        // sendfile-style loop: VFS pread into the buffer, socket send out
+        if let Some(ext) = &extents {
+            // Zero-copy body: send straight from the file's own pages.
+            let budget = remaining.min(SND_BUF as u64) as usize;
+            let mut chunks: Vec<(VAddr, usize)> = Vec::new();
+            let (mut pos, mut left) = (offset as usize, budget);
+            while left > 0 {
+                let (pi, po) = (pos / PAGE_SIZE, pos % PAGE_SIZE);
+                let c = (PAGE_SIZE - po).min(left);
+                chunks.push((ext[pi] + po, c));
+                pos += c;
+                left -= c;
+            }
+            let mut pushed = 0usize;
+            if batching {
+                for (r, &(_, c)) in lwip.send_batch(sys, fd, &chunks)?.iter().zip(&chunks) {
+                    if *r <= 0 {
+                        break;
+                    }
+                    pushed += *r as usize;
+                    if (*r as usize) < c {
+                        break;
+                    }
+                }
+            } else {
+                for &(addr, c) in &chunks {
+                    let sent = lwip.send(sys, fd, addr, c)?;
+                    if sent <= 0 {
+                        break;
+                    }
+                    pushed += sent as usize;
+                    if (sent as usize) < c {
+                        break;
+                    }
+                }
+            }
+            let st = component_mut::<Httpd>(this);
+            if let Some(ConnState::Sending {
+                offset, remaining, ..
+            }) = st.conns.get_mut(&fd)
+            {
+                *offset += pushed as u64;
+                *remaining -= pushed as u64;
+            }
+            if pushed == 0 {
+                return Ok(progressed); // send buffer full
+            }
+            progressed += 1;
+            if pushed < budget {
+                return Ok(progressed); // flow control: resume next poll
+            }
+            continue;
+        }
+        // staged loop: VFS pread into the buffer, socket send out
         let chunk = remaining.min(IO_BUF as u64) as usize;
         let n = port.proxy().pread(sys, file_fd, io_buf, chunk, offset)?;
         if n <= 0 {

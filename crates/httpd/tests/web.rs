@@ -128,3 +128,70 @@ fn figure5_component_graph() {
     // LWIP→NETDEV dominates NGINX→LWIP (segmentation fan-out, Fig. 5)
     assert!(stats.edge(lwip, netdev) > stats.edge(nginx, lwip));
 }
+
+// ---------------------------------------------------------------------------
+// PR-7 fast paths: batching, grant cache, sendfile
+// ---------------------------------------------------------------------------
+
+fn boot_fast() -> WebDeployment {
+    let mut dep = boot_web(IsolationMode::Full).unwrap();
+    dep.sys.set_cross_call_batching(true);
+    dep.sys.set_grant_cache(true);
+    dep.sys
+        .with_component_mut::<cubicle_httpd::Httpd, _>(dep.httpd_slot, |h, _| h.set_sendfile(true))
+        .unwrap();
+    dep
+}
+
+#[test]
+fn fast_paths_serve_identical_bytes() {
+    let content: Vec<u8> = (0..200_000u32).map(|i| (i % 241) as u8).collect();
+    let mut base = boot_web(IsolationMode::Full).unwrap();
+    base.put_file("/f.bin", &content).unwrap();
+    let (_l, want) = base.fetch("/f.bin", fast_wire()).unwrap();
+
+    let mut fast = boot_fast();
+    fast.put_file("/f.bin", &content).unwrap();
+    let (_l, got) = fast.fetch("/f.bin", fast_wire()).unwrap();
+    assert_eq!(got.status, want.status);
+    assert_eq!(got.body, want.body, "fast paths must not change the bytes");
+    // The features actually engaged: batched dispatches and grant reuse.
+    let s = fast.sys.stats();
+    assert!(s.batch_dispatches > 0, "TX batching must engage");
+    assert!(s.grant_cache_hits > 0, "the grant cache must engage");
+    fast.sys.audit().assert_clean("fast-path fetch");
+}
+
+#[test]
+fn fast_paths_survive_many_requests_and_small_files() {
+    let mut dep = boot_fast();
+    dep.put_file("/tiny.txt", b"x").unwrap();
+    dep.put_file("/page.html", b"<p>hello</p>").unwrap();
+    for _ in 0..3 {
+        let (_l, r) = dep.fetch("/tiny.txt", fast_wire()).unwrap();
+        assert_eq!((r.status, r.body.as_slice()), (200, b"x".as_slice()));
+        let (_l, r) = dep.fetch("/page.html", fast_wire()).unwrap();
+        assert_eq!(r.body, b"<p>hello</p>");
+        let (_l, r) = dep.fetch("/gone", fast_wire()).unwrap();
+        assert_eq!(r.status, 404);
+    }
+    dep.sys
+        .audit()
+        .assert_clean("after mixed fast-path requests");
+}
+
+#[test]
+fn sendfile_map_is_revoked_when_the_file_changes() {
+    let mut dep = boot_fast();
+    let v1: Vec<u8> = vec![0xAA; 100_000];
+    dep.put_file("/data.bin", &v1).unwrap();
+    let (_l, r) = dep.fetch("/data.bin", fast_wire()).unwrap();
+    assert_eq!(r.body, v1);
+    // Rewrite the file (the extent set changes): stale sendfile windows
+    // are revoked and the next fetch maps the new extents.
+    let v2: Vec<u8> = vec![0x55; 150_000];
+    dep.put_file("/data.bin", &v2).unwrap();
+    let (_l, r) = dep.fetch("/data.bin", fast_wire()).unwrap();
+    assert_eq!(r.body, v2, "fetch after rewrite serves the new bytes");
+    dep.sys.audit().assert_clean("after sendfile revocation");
+}

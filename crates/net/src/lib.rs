@@ -20,7 +20,9 @@ mod netdev;
 
 pub use client::{SimClient, WireModel};
 pub use frame::{Segment, MSS};
-pub use lwip::{image as lwip_image, Lwip, LwipProxy, PBUF_REFILL_SEGMENTS, RCV_WND, SND_BUF};
+pub use lwip::{
+    image as lwip_image, Lwip, LwipProxy, PBUF_REFILL_SEGMENTS, RCV_WND, SND_BUF, TX_BATCH,
+};
 pub use netdev::{image as netdev_image, Netdev, NetdevProxy, MAX_FRAME, RING_SLOTS};
 
 use cubicle_core::{Result, System};

@@ -72,6 +72,11 @@ enum Socket {
 /// paper's Figure 5 edge ratio: LWIP→ALLOC ≈ LWIP→NETDEV / 465).
 pub const PBUF_REFILL_SEGMENTS: u64 = 456;
 
+/// Frames per batched `NETDEV` dispatch (and pages in the TX batch
+/// ring): matches the device's own ring depth, so one batch never laps a
+/// slot it wrote earlier in the same dispatch.
+pub const TX_BATCH: usize = 8;
+
 /// State of the `LWIP` component.
 #[derive(Debug, Default)]
 pub struct Lwip {
@@ -86,6 +91,12 @@ pub struct Lwip {
     /// before the page goes back to `ALLOC` (a live window descriptor
     /// must never cover memory its cubicle no longer owns).
     tx_wid: Option<WindowId>,
+    /// Base of the [`TX_BATCH`]-page staging ring used by batched
+    /// flushes: each batched frame gets its own slot because every write
+    /// precedes the single dispatch.
+    tx_batch_buf: VAddr,
+    /// Long-lived window publishing the batch ring to `NETDEV`.
+    tx_batch_wid: Option<WindowId>,
     segments_since_refill: u64,
     /// Segments processed (statistics).
     pub segments_rx: u64,
@@ -557,18 +568,79 @@ fn handle_segment(
     Ok(())
 }
 
+/// Lazily builds the [`TX_BATCH`]-page staging ring (and its `NETDEV`
+/// window) used by batched flushes.
+fn ensure_batch_ring(
+    sys: &mut System,
+    this: &mut dyn Component,
+    dev: &NetdevProxy,
+) -> Result<VAddr> {
+    let (existing, alloc) = {
+        let st = component_mut::<Lwip>(this);
+        (st.tx_batch_buf, st.alloc)
+    };
+    if !existing.is_null() {
+        return Ok(existing);
+    }
+    let base = match alloc {
+        Some(a) => a.palloc(sys, TX_BATCH)?,
+        None => sys.alloc_pages(TX_BATCH),
+    };
+    let wid = sys.window_init();
+    sys.window_add(wid, base, TX_BATCH * 4096)?;
+    sys.window_open(wid, dev.cid())?;
+    let st = component_mut::<Lwip>(this);
+    st.tx_batch_buf = base;
+    st.tx_batch_wid = Some(wid);
+    Ok(base)
+}
+
+/// Batched counterpart of [`send_segment`]: stages each segment in its
+/// own ring slot, then moves the whole group to `NETDEV` under a single
+/// cross-call dispatch. Per-segment stack-processing cycles are charged
+/// exactly as on the unbatched path — only the crossing overhead is
+/// amortised.
+fn send_segments_batched(
+    sys: &mut System,
+    this: &mut dyn Component,
+    dev: &NetdevProxy,
+    segs: &[Segment],
+) -> Result<()> {
+    let ring = ensure_batch_ring(sys, this, dev)?;
+    for chunk in segs.chunks(TX_BATCH) {
+        let mut frames: Vec<(VAddr, usize)> = Vec::with_capacity(chunk.len());
+        for (i, seg) in chunk.iter().enumerate() {
+            sys.charge(500); // per-segment stack processing
+            let slot = ring + i * 4096;
+            let bytes = seg.encode();
+            sys.write(slot, &bytes)?;
+            frames.push((slot, bytes.len()));
+        }
+        for r in dev.tx_batch(sys, &frames)? {
+            debug_assert!(r >= 0, "device window is open");
+            let _ = r;
+        }
+        let st = component_mut::<Lwip>(this);
+        st.segments_tx += chunk.len() as u64;
+        st.segments_since_refill += chunk.len() as u64;
+    }
+    Ok(())
+}
+
 fn flush_tx(
     sys: &mut System,
     this: &mut dyn Component,
     dev: &NetdevProxy,
     frame_buf: VAddr,
 ) -> Result<i64> {
+    let batching = sys.batching_enabled();
     let mut sent = 0i64;
     let nsockets = {
         let st = component_mut::<Lwip>(this);
         st.sockets.len()
     };
     for idx in 0..nsockets {
+        let mut pending: Vec<Segment> = Vec::new();
         loop {
             let out = {
                 let st = component_mut::<Lwip>(this);
@@ -616,11 +688,20 @@ fn flush_tx(
             };
             match out {
                 Some(seg) => {
-                    send_segment(sys, this, dev, frame_buf, &seg)?;
+                    if batching {
+                        // Defer: the socket's whole burst goes out under
+                        // batched dispatches after the drain loop.
+                        pending.push(seg);
+                    } else {
+                        send_segment(sys, this, dev, frame_buf, &seg)?;
+                    }
                     sent += 1;
                 }
                 None => break,
             }
+        }
+        if !pending.is_empty() {
+            send_segments_batched(sys, this, dev, &pending)?;
         }
     }
     Ok(sent)
@@ -737,6 +818,32 @@ impl LwipProxy {
         Ok(sys
             .cross_call(self.send, &[Value::I64(fd), Value::buf_in(buf, n)])?
             .as_i64())
+    }
+
+    /// Sends several caller buffers to `fd` under one batched
+    /// cross-cubicle dispatch (one trampoline/PKRU round trip for the
+    /// group) — the response header+body fast path. Returns one
+    /// bytes-accepted-or-`-errno` result per buffer.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the batched cross-cubicle call.
+    pub fn send_batch(
+        &self,
+        sys: &mut System,
+        fd: i64,
+        bufs: &[(VAddr, usize)],
+    ) -> Result<Vec<i64>> {
+        let elems: Vec<[Value; 2]> = bufs
+            .iter()
+            .map(|&(addr, len)| [Value::I64(fd), Value::buf_in(addr, len)])
+            .collect();
+        let refs: Vec<&[Value]> = elems.iter().map(|e| e.as_slice()).collect();
+        Ok(sys
+            .cross_call_batch(self.send, &refs)?
+            .iter()
+            .map(|v| v.as_i64())
+            .collect())
     }
 
     /// Closes a socket (FIN after the send queue drains).

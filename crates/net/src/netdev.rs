@@ -175,6 +175,27 @@ impl NetdevProxy {
             .as_i64())
     }
 
+    /// Transmits several frames under one batched cross-cubicle dispatch
+    /// (one trampoline/PKRU round trip for the whole group). Frames must
+    /// live in distinct caller buffers — every write precedes the
+    /// dispatch. Returns one bytes-or-`-errno` result per frame.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the batched cross-cubicle call.
+    pub fn tx_batch(&self, sys: &mut System, frames: &[(VAddr, usize)]) -> Result<Vec<i64>> {
+        let elems: Vec<[Value; 1]> = frames
+            .iter()
+            .map(|&(addr, len)| [Value::buf_in(addr, len)])
+            .collect();
+        let refs: Vec<&[Value]> = elems.iter().map(|e| e.as_slice()).collect();
+        Ok(sys
+            .cross_call_batch(self.tx, &refs)?
+            .iter()
+            .map(|v| v.as_i64())
+            .collect())
+    }
+
     /// Receives a frame into caller memory; returns bytes, or
     /// `-EWOULDBLOCK` when the wire is idle.
     ///

@@ -1,8 +1,10 @@
 //! The `RAMFS` component implementation.
 
+use std::collections::HashMap;
+
 use cubicle_core::{
-    component_mut, impl_component, Builder, Component, ComponentImage, Errno, LoadedComponent,
-    Result, System, Value,
+    component_mut, impl_component, Builder, Component, ComponentImage, CubicleId, Errno,
+    LoadedComponent, Result, System, Value, WindowId,
 };
 use cubicle_mpk::insn::CodeImage;
 use cubicle_mpk::{VAddr, PAGE_SIZE};
@@ -23,6 +25,15 @@ enum Inode {
     File { size: u64, extents: Vec<VAddr> },
 }
 
+/// A live sendfile mapping: one window covering every extent page of an
+/// inode, shared (refcounted) across concurrent mappers.
+#[derive(Debug)]
+struct SendfileMap {
+    wid: WindowId,
+    refs: u64,
+    peers: Vec<CubicleId>,
+}
+
 /// State of the `RAMFS` component.
 #[derive(Debug)]
 pub struct Ramfs {
@@ -31,6 +42,8 @@ pub struct Ramfs {
     alloc: Option<AllocProxy>,
     /// Extent pages currently in use (statistics).
     pub pages_used: u64,
+    /// Live sendfile windows by inode (`map_extents`/`unmap_extents`).
+    sendfile_maps: HashMap<i64, SendfileMap>,
 }
 
 impl Default for Ramfs {
@@ -42,6 +55,7 @@ impl Default for Ramfs {
             pool: Vec::new(),
             alloc: None,
             pages_used: 0,
+            sendfile_maps: HashMap::new(),
         }
     }
 }
@@ -113,6 +127,17 @@ impl Ramfs {
         self.pages_used += 1;
         Ok(page)
     }
+
+    /// Tears down the sendfile window over `ino`, if one exists. Called
+    /// whenever the extent set is about to change (truncate, remove,
+    /// growing write): the mapping's extent list would go stale, so
+    /// authority is revoked rather than left dangling.
+    fn drop_sendfile_map(&mut self, sys: &mut System, ino: i64) -> Result<()> {
+        if let Some(m) = self.sendfile_maps.remove(&ino) {
+            sys.window_destroy(m.wid)?;
+        }
+        Ok(())
+    }
 }
 
 /// Builds the loadable `RAMFS` image.
@@ -158,6 +183,15 @@ pub fn image() -> ComponentImage {
             e_readdir,
         )
         .export(b.export("long ramfs_is_dir(long ino)").unwrap(), e_is_dir)
+        .export(
+            b.export("long ramfs_map_extents(long ino, long peer, void *out, size_t n)")
+                .unwrap(),
+            e_map_extents,
+        )
+        .export(
+            b.export("long ramfs_unmap_extents(long ino)").unwrap(),
+            e_unmap_extents,
+        )
 }
 
 /// Fills `VFSCORE`'s callback table with this backend's entries.
@@ -179,6 +213,8 @@ pub fn fs_ops(loaded: &LoadedComponent) -> Result<FsOps> {
         sync: loaded.entry("ramfs_sync")?,
         readdir: loaded.entry("ramfs_readdir")?,
         is_dir: loaded.entry("ramfs_is_dir")?,
+        map_extents: loaded.entry("ramfs_map_extents")?,
+        unmap_extents: loaded.entry("ramfs_unmap_extents")?,
     })
 }
 
@@ -305,6 +341,7 @@ fn e_remove(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resul
         }
         _ => {}
     }
+    fs.drop_sendfile_map(sys, ino as i64)?;
     if let Some(Inode::File { extents, .. }) = fs.inodes[ino].take() {
         fs.pages_used -= extents.len() as u64;
         fs.pool.extend(extents);
@@ -361,8 +398,14 @@ fn e_write(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result
     let needed_pages = (off as usize + n).div_ceil(PAGE_SIZE);
     {
         let fs = component_mut::<Ramfs>(this);
-        if let Err(e) = fs.file_mut(ino) {
-            return Ok(Value::I64(e));
+        let grows = match fs.file_mut(ino) {
+            Ok((_, extents)) => extents.len() < needed_pages,
+            Err(e) => return Ok(Value::I64(e)),
+        };
+        if grows {
+            // The extent set is about to change under any live sendfile
+            // mapping — revoke it so stale extent lists carry no authority.
+            fs.drop_sendfile_map(sys, ino)?;
         }
         while {
             let fs = component_mut::<Ramfs>(this);
@@ -413,6 +456,7 @@ fn e_truncate(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Res
     let needed_pages = (new_len as usize).div_ceil(PAGE_SIZE);
     {
         let fs = component_mut::<Ramfs>(this);
+        fs.drop_sendfile_map(sys, ino)?;
         let surplus: Vec<VAddr> = match fs.file_mut(ino) {
             Ok((_, extents)) => {
                 // shrink: recycle surplus pages
@@ -491,6 +535,105 @@ fn e_readdir(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resu
         Err(cubicle_core::CubicleError::WindowDenied { .. }) => Ok(Value::I64(Errno::Eacces.neg())),
         Err(e) => Err(e),
     }
+}
+
+/// `map_extents(ino, peer, out, n)`: grants `peer` (and the caller, who
+/// already reaches RAMFS) one refcounted window over every extent page of
+/// `ino` and writes the page addresses (`u64` LE each) into `out`. This is
+/// the zero-copy sendfile primitive: the consumer reads response bytes
+/// straight out of the file's own pages, no intermediate copy.
+fn e_map_extents(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST);
+    let ino = args[0].as_i64();
+    let peer_raw = args[1].as_i64();
+    let (out, n) = args[2].as_buf();
+    let Ok(peer) = u16::try_from(peer_raw) else {
+        return Ok(Value::I64(Errno::Einval.neg()));
+    };
+    let peer = CubicleId(peer);
+    let extents = {
+        let fs = component_mut::<Ramfs>(this);
+        match fs.file_mut(ino) {
+            Ok((_, extents)) => extents.clone(),
+            Err(e) => return Ok(Value::I64(e)),
+        }
+    };
+    if n < extents.len() * 8 {
+        return Ok(Value::I64(Errno::Einval.neg()));
+    }
+    // Publish the extent list first: a denied write leaves no window
+    // behind and no reference to roll back.
+    let mut bytes = Vec::with_capacity(extents.len() * 8);
+    for page in &extents {
+        bytes.extend_from_slice(&page.raw().to_le_bytes());
+    }
+    if !bytes.is_empty() {
+        match sys.write(out, &bytes) {
+            Ok(()) => {}
+            Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
+                return Ok(Value::I64(Errno::Eacces.neg()))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if !extents.is_empty() {
+        let existing = {
+            let fs = component_mut::<Ramfs>(this);
+            fs.sendfile_maps
+                .get(&ino)
+                .map(|m| (m.wid, m.peers.contains(&peer)))
+        };
+        match existing {
+            Some((wid, has_peer)) => {
+                if !has_peer {
+                    sys.window_open(wid, peer)?;
+                }
+                let fs = component_mut::<Ramfs>(this);
+                let m = fs.sendfile_maps.get_mut(&ino).expect("probed above");
+                if !has_peer {
+                    m.peers.push(peer);
+                }
+                m.refs += 1;
+            }
+            None => {
+                let wid = sys.window_init();
+                for page in &extents {
+                    sys.window_add(wid, *page, PAGE_SIZE)?;
+                }
+                sys.window_open(wid, peer)?;
+                let fs = component_mut::<Ramfs>(this);
+                fs.sendfile_maps.insert(
+                    ino,
+                    SendfileMap {
+                        wid,
+                        refs: 1,
+                        peers: vec![peer],
+                    },
+                );
+            }
+        }
+    }
+    Ok(Value::I64(extents.len() as i64))
+}
+
+/// `unmap_extents(ino)`: drops one `map_extents` reference; the window is
+/// destroyed (revoking all peers at once) when the count reaches zero.
+/// Idempotent — unmapping an inode whose window was already revoked by a
+/// truncate/remove/growing-write is a no-op.
+fn e_unmap_extents(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(RAMFS_OP_COST / 2);
+    let ino = args[0].as_i64();
+    let fs = component_mut::<Ramfs>(this);
+    let Some(m) = fs.sendfile_maps.get_mut(&ino) else {
+        return Ok(Value::I64(0));
+    };
+    m.refs -= 1;
+    if m.refs == 0 {
+        let wid = m.wid;
+        fs.sendfile_maps.remove(&ino);
+        sys.window_destroy(wid)?;
+    }
+    Ok(Value::I64(0))
 }
 
 fn e_is_dir(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {

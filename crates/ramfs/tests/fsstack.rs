@@ -86,18 +86,18 @@ fn round_trip_in_every_isolation_mode() {
                 .unwrap();
             port.write_all(sys, fd, b"mode-independent semantics")
                 .unwrap();
-            port.pread_vec(sys, port, fd)
+            port.read_back(sys, port, fd)
         });
         assert_eq!(out, b"mode-independent semantics", "{mode:?}");
     }
 }
 
 // helper extension used by the mode test
-trait PreadVec {
-    fn pread_vec(&self, sys: &mut System, port: &VfsPort, fd: i64) -> Vec<u8>;
+trait ReadBack {
+    fn read_back(&self, sys: &mut System, port: &VfsPort, fd: i64) -> Vec<u8>;
 }
-impl PreadVec for VfsPort {
-    fn pread_vec(&self, sys: &mut System, port: &VfsPort, fd: i64) -> Vec<u8> {
+impl ReadBack for VfsPort {
+    fn read_back(&self, sys: &mut System, port: &VfsPort, fd: i64) -> Vec<u8> {
         let buf = sys.heap_alloc(64, 8).unwrap();
         let n = port
             .with_buffer_window(sys, buf, 64, |sys| port.proxy().pread(sys, fd, buf, 64, 0))

@@ -160,8 +160,8 @@ impl Node {
 }
 
 fn read_node(sys: &mut System, pager: &mut Pager, pno: u32) -> Result<Node> {
-    let data = pager.read_page(sys, pno)?;
-    Node::decode(&data)
+    let data = pager.page_ref(sys, pno)?;
+    Node::decode(data)
 }
 
 fn write_node(sys: &mut System, pager: &mut Pager, pno: u32, node: &Node) -> Result<()> {
@@ -215,7 +215,7 @@ fn write_overflow(sys: &mut System, pager: &mut Pager, data: &[u8]) -> Result<u3
 fn read_overflow(sys: &mut System, pager: &mut Pager, mut pno: u32) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     while pno != 0 {
-        let page = pager.read_page(sys, pno)?;
+        let page = pager.page_ref(sys, pno)?;
         let next = u32::from_le_bytes(page[..4].try_into().expect("4"));
         let len = u16::from_le_bytes(page[4..6].try_into().expect("2")) as usize;
         out.extend_from_slice(&page[8..8 + len]);
@@ -226,8 +226,10 @@ fn read_overflow(sys: &mut System, pager: &mut Pager, mut pno: u32) -> Result<Ve
 
 fn free_overflow(sys: &mut System, pager: &mut Pager, mut pno: u32) -> Result<()> {
     while pno != 0 {
-        let page = pager.read_page(sys, pno)?;
-        let next = u32::from_le_bytes(page[..4].try_into().expect("4"));
+        let next = {
+            let page = pager.page_ref(sys, pno)?;
+            u32::from_le_bytes(page[..4].try_into().expect("4"))
+        };
         pager.free_page(sys, pno)?;
         pno = next;
     }
@@ -578,10 +580,16 @@ impl Cursor {
                 self.cached_leaf = self.leaf;
             }
             if self.idx < self.cells.len() {
-                let cell = self.cells[self.idx].clone();
+                let idx = self.idx;
                 self.idx += 1;
-                let value = cell_value(sys, pager, &cell)?;
-                return Ok(Some((cell.key, value)));
+                let cell = &self.cells[idx];
+                // Inline values skip the extra cell clone on this hot path.
+                if cell.overflow == 0 {
+                    return Ok(Some((cell.key.clone(), cell.local.clone())));
+                }
+                let key = cell.key.clone();
+                let value = read_overflow(sys, pager, cell.overflow)?;
+                return Ok(Some((key, value)));
             }
             if self.next_leaf == 0 {
                 return Ok(None);

@@ -269,19 +269,30 @@ impl Pager {
     ///
     /// I/O errors; reading past the end yields a zeroed page.
     pub fn read_page(&mut self, sys: &mut System, pno: u32) -> Result<Vec<u8>> {
+        Ok(self.page_ref(sys, pno)?.to_vec())
+    }
+
+    /// Reads page `pno` through the cache, returning a borrow of the
+    /// cached copy. The btree layer decodes in place from this borrow,
+    /// so a cache hit costs no page-sized copy.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; reading past the end yields a zeroed page.
+    pub fn page_ref(&mut self, sys: &mut System, pno: u32) -> Result<&[u8]> {
         self.tick += 1;
         let tick = self.tick;
         if let Some(e) = self.cache.get_mut(&pno) {
             e.tick = tick;
             self.stats.hits += 1;
-            return Ok(e.data.clone());
+        } else {
+            self.stats.misses += 1;
+            let mut data = vec![0u8; DB_PAGE];
+            self.file
+                .pread(sys, u64::from(pno) * DB_PAGE as u64, &mut data)?;
+            self.insert_cache(sys, pno, data, false)?;
         }
-        self.stats.misses += 1;
-        let mut data = vec![0u8; DB_PAGE];
-        self.file
-            .pread(sys, u64::from(pno) * DB_PAGE as u64, &mut data)?;
-        self.insert_cache(sys, pno, data.clone(), false)?;
-        Ok(data)
+        Ok(&self.cache.get(&pno).expect("resident after fill").data)
     }
 
     /// Writes page `pno` (journaling its original content first).

@@ -92,6 +92,14 @@ pub struct FsOps {
     pub readdir: EntryId,
     /// `long is_dir(long ino)` → 1 / 0 / `-errno`.
     pub is_dir: EntryId,
+    /// `long map_extents(long ino, long peer, void *out, size_t n)` →
+    /// extent count. Grants `peer` a window over every data page of the
+    /// file and writes the extent addresses (one `u64` per page) into
+    /// `out`; repeat calls share one refcounted window (sendfile path).
+    pub map_extents: EntryId,
+    /// `long unmap_extents(long ino)` → 0. Drops one reference taken by
+    /// `map_extents`; the backend destroys the window at zero.
+    pub unmap_extents: EntryId,
 }
 
 #[cfg(test)]

@@ -14,9 +14,14 @@
 //! traffic for the data path only.
 
 use crate::ops::FileStat;
-use crate::vfs::VfsProxy;
+use crate::vfs::{encode_iov, VfsProxy};
 use cubicle_core::{CubicleId, Result, System, WindowId};
 use cubicle_mpk::VAddr;
+
+/// Bytes of the extent-address buffer [`VfsPort::sendfile_map`] stages:
+/// room for 1024 extents (a 4 MiB file at 4 KiB pages). Larger files get
+/// `-EINVAL` from the backend and the caller falls back to staged reads.
+pub const SENDFILE_EXTENT_BUF: usize = 8192;
 
 /// A ported application's handle to the file system stack.
 #[derive(Clone, Debug)]
@@ -90,8 +95,27 @@ impl VfsPort {
         len: usize,
         f: impl FnOnce(&mut System) -> Result<T>,
     ) -> Result<T> {
+        self.with_windows(sys, &[(buf, len)], f)
+    }
+
+    /// [`VfsPort::with_buffer_window`] over several discontiguous ranges
+    /// under one window descriptor — the shape vectored calls need (the
+    /// iov staging page plus every data segment).
+    ///
+    /// # Errors
+    ///
+    /// Window errors (e.g. a range is not owned by the current cubicle),
+    /// and whatever `f` returns.
+    pub fn with_windows<T>(
+        &self,
+        sys: &mut System,
+        ranges: &[(VAddr, usize)],
+        f: impl FnOnce(&mut System) -> Result<T>,
+    ) -> Result<T> {
         let wid: WindowId = sys.window_init();
-        sys.window_add(wid, buf, len)?;
+        for &(buf, len) in ranges {
+            sys.window_add(wid, buf, len)?;
+        }
         for &cid in &self.grantees {
             sys.window_open(wid, cid)?;
         }
@@ -153,6 +177,104 @@ impl VfsPort {
     /// Kernel errors from the cross-cubicle call.
     pub fn pwrite(&self, sys: &mut System, fd: i64, buf: VAddr, n: usize, off: u64) -> Result<i64> {
         self.with_buffer_window(sys, buf, n, |sys| self.proxy.pwrite(sys, fd, buf, n, off))
+    }
+
+    /// `pread_vec(fd, segments)`: one vectored positioned read over
+    /// caller-owned `(addr, len, file_off)` segments. The iov descriptor
+    /// is staged in a heap page and published together with every data
+    /// segment under one window, so with cross-call batching enabled the
+    /// whole vector costs a single VFS crossing plus one batched backend
+    /// dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn pread_vec(
+        &self,
+        sys: &mut System,
+        fd: i64,
+        segments: &[(VAddr, usize, u64)],
+    ) -> Result<i64> {
+        self.rw_vec(sys, fd, segments, false)
+    }
+
+    /// `pwrite_vec(fd, segments)`: vectored positioned write; see
+    /// [`VfsPort::pread_vec`].
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn pwrite_vec(
+        &self,
+        sys: &mut System,
+        fd: i64,
+        segments: &[(VAddr, usize, u64)],
+    ) -> Result<i64> {
+        self.rw_vec(sys, fd, segments, true)
+    }
+
+    fn rw_vec(
+        &self,
+        sys: &mut System,
+        fd: i64,
+        segments: &[(VAddr, usize, u64)],
+        write: bool,
+    ) -> Result<i64> {
+        let iov = encode_iov(segments);
+        let iov_buf = sys.heap_alloc(iov.len().max(1), 8)?;
+        sys.write(iov_buf, &iov)?;
+        let mut ranges: Vec<(VAddr, usize)> = vec![(iov_buf, iov.len().max(1))];
+        ranges.extend(segments.iter().map(|&(a, l, _)| (a, l)));
+        let r = self.with_windows(sys, &ranges, |sys| {
+            if write {
+                self.proxy.pwrite_vec(sys, fd, iov_buf, iov.len())
+            } else {
+                self.proxy.pread_vec(sys, fd, iov_buf, iov.len())
+            }
+        })?;
+        sys.heap_free(iov_buf)?;
+        Ok(r)
+    }
+
+    /// `sendfile_map(fd, peer)` → the file's extent page addresses, or
+    /// `Err(-errno)`. On success `peer` can read every returned page
+    /// until [`VfsPort::sendfile_unmap`] — the zero-copy response path.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn sendfile_map(
+        &self,
+        sys: &mut System,
+        fd: i64,
+        peer: CubicleId,
+    ) -> Result<std::result::Result<Vec<VAddr>, i64>> {
+        let out = sys.heap_alloc(SENDFILE_EXTENT_BUF, 8)?;
+        let r = self.with_buffer_window(sys, out, SENDFILE_EXTENT_BUF, |sys| {
+            self.proxy
+                .sendfile_map(sys, fd, peer, out, SENDFILE_EXTENT_BUF)
+        })?;
+        let decoded = if r >= 0 {
+            let bytes = sys.read_vec(out, r as usize * 8)?;
+            Ok(bytes
+                .chunks_exact(8)
+                .map(|c| VAddr::new(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+                .collect())
+        } else {
+            Err(r)
+        };
+        sys.heap_free(out)?;
+        Ok(decoded)
+    }
+
+    /// `sendfile_unmap(fd)`: releases one [`VfsPort::sendfile_map`]
+    /// reference.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn sendfile_unmap(&self, sys: &mut System, fd: i64) -> Result<i64> {
+        self.proxy.sendfile_unmap(sys, fd)
     }
 
     /// `lseek(fd, off, whence)`.

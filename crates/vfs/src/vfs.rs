@@ -11,6 +11,27 @@ use cubicle_mpk::VAddr;
 /// Maximum simultaneously open file descriptors.
 pub const MAX_FDS: usize = 256;
 
+/// Wire size of one vectored-I/O segment descriptor: `(addr, len, off)`
+/// little-endian u64 triples, packed.
+pub const IOV_ENTRY_SIZE: usize = 24;
+
+/// Maximum segments per `vfs_pread_vec` / `vfs_pwrite_vec` call
+/// (IOV_MAX-style sanity cap).
+pub const IOV_MAX: usize = 64;
+
+/// Encodes `(addr, len, off)` segments into the wire format the
+/// vectored entry points expect (caller stages this into memory it has
+/// windowed for `VFSCORE`).
+pub fn encode_iov(segments: &[(VAddr, usize, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(segments.len() * IOV_ENTRY_SIZE);
+    for &(addr, len, off) in segments {
+        out.extend_from_slice(&addr.raw().to_le_bytes());
+        out.extend_from_slice(&(len as u64).to_le_bytes());
+        out.extend_from_slice(&off.to_le_bytes());
+    }
+    out
+}
+
 #[derive(Clone, Copy, Debug)]
 struct OpenFile {
     mount: usize,
@@ -124,6 +145,16 @@ pub fn image() -> ComponentImage {
             e_pwrite,
         )
         .export(
+            b.export("long vfs_pread_vec(int fd, const void *iov, size_t len)")
+                .unwrap(),
+            e_pread_vec,
+        )
+        .export(
+            b.export("long vfs_pwrite_vec(int fd, const void *iov, size_t len)")
+                .unwrap(),
+            e_pwrite_vec,
+        )
+        .export(
             b.export("long vfs_lseek(int fd, long off, int whence)")
                 .unwrap(),
             e_lseek,
@@ -157,6 +188,15 @@ pub fn image() -> ComponentImage {
             b.export("long vfs_readdir(int fd, void *buf, size_t n, long index)")
                 .unwrap(),
             e_readdir,
+        )
+        .export(
+            b.export("long vfs_sendfile_map(int fd, long peer, void *out, size_t n)")
+                .unwrap(),
+            e_sendfile_map,
+        )
+        .export(
+            b.export("long vfs_sendfile_unmap(int fd)").unwrap(),
+            e_sendfile_unmap,
         )
 }
 
@@ -264,10 +304,28 @@ fn rw_common(
         file.offset
     };
     let entry = if write { ops.write } else { ops.read };
-    // Message-based baselines (Genode-style file-system sessions) move
-    // bulk data to the backend server through a packet stream: each
-    // packet is its own kernel round trip. CubicleOS/Unikraft pass the
-    // whole buffer in one zero-copy call.
+    let n = backend_rw(sys, entry, file.ino, buf, len, off, write)?;
+    if n > 0 && !positioned {
+        if let Some(f) = component_mut::<Vfs>(this).file_mut(fd) {
+            f.offset = off + n as u64;
+        }
+    }
+    Ok(Value::I64(n))
+}
+
+/// One segment's transfer to/from the backend. Message-based baselines
+/// (Genode-style file-system sessions) move bulk data to the backend
+/// server through a packet stream: each packet is its own kernel round
+/// trip. CubicleOS/Unikraft pass the whole buffer in one zero-copy call.
+fn backend_rw(
+    sys: &mut System,
+    entry: EntryId,
+    ino: i64,
+    buf: VAddr,
+    len: usize,
+    off: u64,
+    write: bool,
+) -> Result<i64> {
     let packet = match sys.mode() {
         cubicle_core::IsolationMode::Ipc(m) if m.packet_bytes > 0 => m.packet_bytes,
         _ => usize::MAX,
@@ -284,12 +342,12 @@ fn rw_common(
         let r = sys
             .cross_call(
                 entry,
-                &[Value::I64(file.ino), bufval, Value::U64(off + done as u64)],
+                &[Value::I64(ino), bufval, Value::U64(off + done as u64)],
             )?
             .as_i64();
         if r < 0 {
             if total == 0 {
-                return Ok(Value::I64(r));
+                return Ok(r);
             }
             break;
         }
@@ -299,13 +357,107 @@ fn rw_common(
             break;
         }
     }
-    let n = total;
-    if n > 0 && !positioned {
-        if let Some(f) = component_mut::<Vfs>(this).file_mut(fd) {
-            f.offset = off + n as u64;
+    Ok(total)
+}
+
+/// `vfs_pread_vec` / `vfs_pwrite_vec` implementation: the iov buffer
+/// carries `len / IOV_ENTRY_SIZE` little-endian `(addr, len, off)` u64
+/// triples describing caller-owned segments. With cross-call batching
+/// enabled the whole vector is dispatched to the backend under a single
+/// trampoline crossing; otherwise each segment takes the legacy
+/// one-call-per-segment path, so results are identical either way.
+/// Returns total bytes transferred (readv/writev short-count semantics:
+/// stop at the first short or failing segment, report the errno only
+/// when nothing was transferred).
+fn rw_vec(
+    sys: &mut System,
+    this: &mut dyn Component,
+    args: &[Value],
+    write: bool,
+) -> Result<Value> {
+    sys.charge(VFS_OP_COST);
+    let fd = args[0].as_i64();
+    let (iov_addr, iov_len) = args[1].as_buf();
+    if iov_len == 0 || iov_len % IOV_ENTRY_SIZE != 0 || iov_len / IOV_ENTRY_SIZE > IOV_MAX {
+        return Ok(Value::I64(Errno::Einval.neg()));
+    }
+    let raw = match sys.read_vec(iov_addr, iov_len) {
+        Ok(b) => b,
+        Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
+            return Ok(Value::I64(Errno::Eacces.neg()))
+        }
+        Err(e) => return Err(e),
+    };
+    let mut iovs = Vec::with_capacity(iov_len / IOV_ENTRY_SIZE);
+    for c in raw.chunks_exact(IOV_ENTRY_SIZE) {
+        let addr = u64::from_le_bytes(c[0..8].try_into().expect("24-byte chunk"));
+        let len = u64::from_le_bytes(c[8..16].try_into().expect("24-byte chunk"));
+        let off = u64::from_le_bytes(c[16..24].try_into().expect("24-byte chunk"));
+        iovs.push((VAddr::new(addr), len as usize, off));
+    }
+    let vfs = component_mut::<Vfs>(this);
+    let Some(file) = vfs.file(fd).copied() else {
+        return Ok(Value::I64(Errno::Ebadf.neg()));
+    };
+    let ops = vfs.mounts[file.mount].ops;
+    let entry = if write { ops.write } else { ops.read };
+
+    if sys.batching_enabled() {
+        // One monitor crossing for the whole vector.
+        let elems: Vec<[Value; 3]> = iovs
+            .iter()
+            .map(|&(addr, len, off)| {
+                let bufval = if write {
+                    Value::buf_in(addr, len)
+                } else {
+                    Value::buf_out(addr, len)
+                };
+                [Value::I64(file.ino), bufval, Value::U64(off)]
+            })
+            .collect();
+        let refs: Vec<&[Value]> = elems.iter().map(|e| e.as_slice()).collect();
+        let vals = sys.cross_call_batch(entry, &refs)?;
+        let mut total: i64 = 0;
+        for (v, &(_, len, _)) in vals.iter().zip(&iovs) {
+            let r = v.as_i64();
+            if r < 0 {
+                if total == 0 {
+                    return Ok(Value::I64(r));
+                }
+                break;
+            }
+            total += r;
+            if r == 0 || (r as usize) < len {
+                break;
+            }
+        }
+        return Ok(Value::I64(total));
+    }
+
+    // Legacy path: one backend call per segment.
+    let mut total: i64 = 0;
+    for &(addr, len, off) in &iovs {
+        let r = backend_rw(sys, entry, file.ino, addr, len, off, write)?;
+        if r < 0 {
+            if total == 0 {
+                return Ok(Value::I64(r));
+            }
+            break;
+        }
+        total += r;
+        if r == 0 || (r as usize) < len {
+            break;
         }
     }
-    Ok(Value::I64(n))
+    Ok(Value::I64(total))
+}
+
+fn e_pread_vec(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    rw_vec(sys, this, args, false)
+}
+
+fn e_pwrite_vec(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    rw_vec(sys, this, args, true)
 }
 
 fn e_read(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
@@ -500,6 +652,42 @@ fn e_readdir(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resu
     )
 }
 
+/// `vfs_sendfile_map(fd, peer, out, n)`: resolves the fd to its backing
+/// inode and asks the backend to window the file's data pages to `peer`,
+/// writing the extent addresses into `out` (sendfile fast path — the
+/// consumer then reads response bytes straight from the file's pages).
+fn e_sendfile_map(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(VFS_OP_COST / 2);
+    let fd = args[0].as_i64();
+    let peer = args[1].as_i64();
+    let (out, n) = args[2].as_buf();
+    let vfs = component_mut::<Vfs>(this);
+    let Some(file) = vfs.file(fd).copied() else {
+        return Ok(Value::I64(Errno::Ebadf.neg()));
+    };
+    let ops = vfs.mounts[file.mount].ops;
+    sys.cross_call(
+        ops.map_extents,
+        &[
+            Value::I64(file.ino),
+            Value::I64(peer),
+            Value::buf_out(out, n),
+        ],
+    )
+}
+
+/// `vfs_sendfile_unmap(fd)`: releases one `vfs_sendfile_map` reference.
+fn e_sendfile_unmap(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result<Value> {
+    sys.charge(VFS_OP_COST / 2);
+    let fd = args[0].as_i64();
+    let vfs = component_mut::<Vfs>(this);
+    let Some(file) = vfs.file(fd).copied() else {
+        return Ok(Value::I64(Errno::Ebadf.neg()));
+    };
+    let ops = vfs.mounts[file.mount].ops;
+    sys.cross_call(ops.unmap_extents, &[Value::I64(file.ino)])
+}
+
 /// Typed application-side proxy for `VFSCORE`.
 ///
 /// Buffer and path pointers refer to *caller-owned* simulated memory; the
@@ -515,6 +703,8 @@ pub struct VfsProxy {
     write: EntryId,
     pread: EntryId,
     pwrite: EntryId,
+    pread_vec: EntryId,
+    pwrite_vec: EntryId,
     lseek: EntryId,
     fsync: EntryId,
     unlink: EntryId,
@@ -523,6 +713,8 @@ pub struct VfsProxy {
     fstat: EntryId,
     ftruncate: EntryId,
     readdir: EntryId,
+    sendfile_map: EntryId,
+    sendfile_unmap: EntryId,
 }
 
 macro_rules! proxy_call {
@@ -547,6 +739,8 @@ impl VfsProxy {
             write: loaded.entry("vfs_write")?,
             pread: loaded.entry("vfs_pread")?,
             pwrite: loaded.entry("vfs_pwrite")?,
+            pread_vec: loaded.entry("vfs_pread_vec")?,
+            pwrite_vec: loaded.entry("vfs_pwrite_vec")?,
             lseek: loaded.entry("vfs_lseek")?,
             fsync: loaded.entry("vfs_fsync")?,
             unlink: loaded.entry("vfs_unlink")?,
@@ -555,6 +749,8 @@ impl VfsProxy {
             fstat: loaded.entry("vfs_fstat")?,
             ftruncate: loaded.entry("vfs_ftruncate")?,
             readdir: loaded.entry("vfs_readdir")?,
+            sendfile_map: loaded.entry("vfs_sendfile_map")?,
+            sendfile_unmap: loaded.entry("vfs_sendfile_unmap")?,
         })
     }
 
@@ -634,6 +830,40 @@ impl VfsProxy {
             Value::I64(fd),
             Value::buf_in(buf, n),
             Value::U64(off)
+        )
+    }
+
+    /// `pread_vec(fd, iov, iov_len)` — `iov` points to caller-owned
+    /// memory holding [`IOV_ENTRY_SIZE`]-byte `(addr, len, off)` triples
+    /// ([`encode_iov`] builds it). Returns total bytes read, with
+    /// readv-style short-count semantics.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn pread_vec(&self, sys: &mut System, fd: i64, iov: VAddr, iov_len: usize) -> Result<i64> {
+        proxy_call!(
+            self,
+            sys,
+            pread_vec,
+            Value::I64(fd),
+            Value::buf_in(iov, iov_len)
+        )
+    }
+
+    /// `pwrite_vec(fd, iov, iov_len)` — writev-style positioned scatter
+    /// write; see [`VfsProxy::pread_vec`].
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn pwrite_vec(&self, sys: &mut System, fd: i64, iov: VAddr, iov_len: usize) -> Result<i64> {
+        proxy_call!(
+            self,
+            sys,
+            pwrite_vec,
+            Value::I64(fd),
+            Value::buf_in(iov, iov_len)
         )
     }
 
@@ -717,6 +947,42 @@ impl VfsProxy {
     /// Kernel errors from the cross-cubicle call.
     pub fn ftruncate(&self, sys: &mut System, fd: i64, len: u64) -> Result<i64> {
         proxy_call!(self, sys, ftruncate, Value::I64(fd), Value::U64(len))
+    }
+
+    /// `sendfile_map(fd, peer, out, n)` → extent count or `-errno`. On
+    /// success `out` holds that many little-endian `u64` page addresses
+    /// and `peer` holds a window over every one of them until the
+    /// matching [`VfsProxy::sendfile_unmap`].
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn sendfile_map(
+        &self,
+        sys: &mut System,
+        fd: i64,
+        peer: CubicleId,
+        out: VAddr,
+        n: usize,
+    ) -> Result<i64> {
+        proxy_call!(
+            self,
+            sys,
+            sendfile_map,
+            Value::I64(fd),
+            Value::I64(i64::from(peer.0)),
+            Value::buf_out(out, n)
+        )
+    }
+
+    /// `sendfile_unmap(fd)`: drops one [`VfsProxy::sendfile_map`]
+    /// reference.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the cross-cubicle call.
+    pub fn sendfile_unmap(&self, sys: &mut System, fd: i64) -> Result<i64> {
+        proxy_call!(self, sys, sendfile_unmap, Value::I64(fd))
     }
 
     /// `readdir(fd, buf, n, index)` → name length, or `-ENOENT` past the
