@@ -8,5 +8,6 @@
 //! any isolation mode or IPC kernel model.
 
 pub mod inject;
+pub mod mt;
 pub mod report;
 pub mod scenario;

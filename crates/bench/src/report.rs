@@ -175,11 +175,12 @@ pub fn top_table(sys: &mut System) -> String {
     });
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<12} {:>5} {:>3} {:>5} {:>6} {:>7} {:>7} {:>15} {:>9} {:>11} {:>11} {:>6}\n",
+        "{:<12} {:>5} {:>3} {:>5} {:>4} {:>6} {:>7} {:>7} {:>15} {:>9} {:>11} {:>11} {:>6}\n",
         "CUBICLE",
         "STATE",
         "GEN",
         "KEY",
+        "CORE",
         "PAGES",
         "FOREIGN",
         "WIN",
@@ -202,9 +203,10 @@ pub fn top_table(sys: &mut System) -> String {
             "-".to_string()
         };
         out.push_str(&format!(
-            "{:<12} {state:>5} {:>3} {key:>5} {:>6} {:>7} {:>7} {:>15} {:>9} {:>11} {:>11} {pct:>6}\n",
+            "{:<12} {state:>5} {:>3} {key:>5} {:>4} {:>6} {:>7} {:>7} {:>15} {:>9} {:>11} {:>11} {pct:>6}\n",
             r.name,
             r.generation,
+            r.last_core,
             r.pages_owned,
             r.pages_held_foreign,
             format!("{}/{}", r.windows_open, r.windows),

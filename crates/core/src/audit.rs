@@ -29,10 +29,16 @@
 //!   excepted always, their key is the parked sentinel);
 //! * **quarantine** — a quarantined cubicle is fully torn down: it owns
 //!   and holds no pages, publishes no windows, carries the parked key
-//!   and has no stack.
+//!   and has no stack;
+//! * **concurrency** — the monitor's lock discipline held: every lock's
+//!   recorded critical sections are pairwise non-overlapping in simulated
+//!   time, and each cubicle's re-entrancy stack pool is consistent (slot 0
+//!   mirrors the primary stack, pooled stacks are owned `Stack` regions
+//!   with intact guards, live slots match in-flight frames, quarantined
+//!   cubicles have no pool).
 
 use crate::cubicle::RegionType;
-use crate::system::{System, PARKED_KEY};
+use crate::system::{MonitorLock, System, PARKED_KEY};
 use cubicle_mpk::{pages_covering, VAddr, PAGE_SIZE};
 use std::fmt;
 
@@ -54,6 +60,10 @@ pub enum InvariantClass {
     /// A quarantined cubicle still owns resources (pages, windows, a
     /// stack or a live key) that [`System::quarantine`] must reclaim.
     Quarantine,
+    /// The multi-core lock/ownership discipline broke: overlapping
+    /// critical sections on a monitor lock, or an inconsistent
+    /// re-entrancy stack pool.
+    Concurrency,
 }
 
 impl fmt::Display for InvariantClass {
@@ -65,6 +75,7 @@ impl fmt::Display for InvariantClass {
             InvariantClass::StackGuard => "stack-guard",
             InvariantClass::KeyUniqueness => "key-uniqueness",
             InvariantClass::Quarantine => "quarantine",
+            InvariantClass::Concurrency => "concurrency",
         })
     }
 }
@@ -345,6 +356,123 @@ impl System {
             }
         }
 
+        // ── pass 6: concurrency (lock sections + stack pools) ────────
+        for lock in MonitorLock::all() {
+            let st = &self.locks.locks[lock as usize];
+            let mut prev_end = 0u64;
+            for &(start, end) in &st.sections {
+                if start < prev_end {
+                    findings.push(AuditFinding {
+                        class: InvariantClass::Concurrency,
+                        detail: format!(
+                            "{} lock sections overlap: [{start}, {end}) begins before \
+                             the previous section ended at {prev_end}",
+                            lock.name()
+                        ),
+                    });
+                }
+                if end < start {
+                    findings.push(AuditFinding {
+                        class: InvariantClass::Concurrency,
+                        detail: format!(
+                            "{} lock section [{start}, {end}) ends before it starts",
+                            lock.name()
+                        ),
+                    });
+                }
+                prev_end = prev_end.max(end);
+            }
+            if st.free_at < prev_end {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Concurrency,
+                    detail: format!(
+                        "{} lock free_at {} predates its last recorded section end {prev_end}",
+                        lock.name(),
+                        st.free_at
+                    ),
+                });
+            }
+        }
+        for c in &self.cubicles {
+            if c.is_quarantined() {
+                if !c.stack_pool.is_empty() {
+                    findings.push(AuditFinding {
+                        class: InvariantClass::Concurrency,
+                        detail: format!(
+                            "quarantined {} still has {} pooled stack slot(s)",
+                            c.name,
+                            c.stack_pool.len()
+                        ),
+                    });
+                }
+                continue;
+            }
+            if c.stack_pool.is_empty() {
+                continue;
+            }
+            let s0 = c.stack_pool[0];
+            if s0.base != c.stack_base || s0.len != c.stack_len {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Concurrency,
+                    detail: format!(
+                        "{}'s stack-pool slot 0 ({}, {} bytes) does not mirror the \
+                         primary stack ({}, {} bytes)",
+                        c.name, s0.base, s0.len, c.stack_base, c.stack_len
+                    ),
+                });
+            }
+            for (i, s) in c.stack_pool.iter().enumerate().skip(1) {
+                for page in pages_covering(s.base, s.len) {
+                    match self.page_meta.get(&page) {
+                        Some(m) if m.owner == c.id && m.region == RegionType::Stack => {}
+                        Some(m) => findings.push(AuditFinding {
+                            class: InvariantClass::Concurrency,
+                            detail: format!(
+                                "{}'s pooled stack slot {i} page {} is {:?} owned by {}",
+                                c.name,
+                                page,
+                                m.region,
+                                self.cubicles[m.owner.index()].name
+                            ),
+                        }),
+                        None => findings.push(AuditFinding {
+                            class: InvariantClass::Concurrency,
+                            detail: format!(
+                                "{}'s pooled stack slot {i} page {} is untracked",
+                                c.name, page
+                            ),
+                        }),
+                    }
+                }
+                let above = s.base + s.len;
+                if self.machine.page_entry(above).is_some() {
+                    findings.push(AuditFinding {
+                        class: InvariantClass::Concurrency,
+                        detail: format!(
+                            "guard page above {}'s pooled stack slot {i} is mapped ({above})",
+                            c.name
+                        ),
+                    });
+                }
+            }
+            let live = c
+                .stack_pool
+                .iter()
+                .filter(|s| s.busy_until == u64::MAX)
+                .count();
+            let frames = self.live_pool_frames(c.id);
+            if live != frames {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Concurrency,
+                    detail: format!(
+                        "{} has {live} live pooled stack slot(s) but {frames} in-flight \
+                         frame(s) holding one",
+                        c.name
+                    ),
+                });
+            }
+        }
+
         AuditReport {
             findings,
             pages_checked: mapped.len(),
@@ -376,6 +504,7 @@ mod tests {
         assert_eq!(InvariantClass::StackGuard.to_string(), "stack-guard");
         assert_eq!(InvariantClass::KeyUniqueness.to_string(), "key-uniqueness");
         assert_eq!(InvariantClass::Quarantine.to_string(), "quarantine");
+        assert_eq!(InvariantClass::Concurrency.to_string(), "concurrency");
     }
 
     #[test]

@@ -34,6 +34,24 @@ pub enum CubicleState {
     Quarantined,
 }
 
+/// One stack in a cubicle's re-entrancy pool. Slot 0 is the cubicle's
+/// primary stack (the `stack_base`/`stack_len` region); further slots are
+/// mapped on demand when several simulated cores are inside the cubicle
+/// at overlapping *simulated* times. `busy_until` is the simulated cycle
+/// at which the frame using the slot returned (`u64::MAX` while a frame
+/// is live on it): a slot is free for a new entry at cycle `t` iff
+/// `busy_until <= t`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StackSlot {
+    /// Base of the stack region.
+    pub base: VAddr,
+    /// Stack size in bytes.
+    pub len: usize,
+    /// Simulated cycle when the slot's last frame exited (`u64::MAX`
+    /// while occupied).
+    pub busy_until: u64,
+}
+
 /// Kernel-side record of one cubicle.
 #[derive(Debug)]
 pub struct Cubicle {
@@ -76,6 +94,14 @@ pub struct Cubicle {
     /// Simulated cycle at which this cubicle was last quarantined; feeds
     /// the restart backoff policy ([`crate::System::set_restart_policy`]).
     pub quarantined_at: u64,
+    /// Re-entrancy stack pool (multi-core): slot 0 mirrors the primary
+    /// stack, extra slots are pooled stacks for overlapping entries.
+    /// Lazily initialised on the first pooled cross-call; emptied by
+    /// quarantine teardown.
+    pub stack_pool: Vec<StackSlot>,
+    /// Core that most recently executed inside this cubicle (host-side
+    /// observability for the per-core ledger column).
+    pub last_core: u32,
 }
 
 impl Cubicle {
@@ -99,6 +125,8 @@ impl Cubicle {
             heap_limit_pages: None,
             heap_pages_granted: 0,
             quarantined_at: 0,
+            stack_pool: Vec::new(),
+            last_core: 0,
         }
     }
 

@@ -58,6 +58,9 @@ pub struct LedgerRow {
     /// Inclusive cycles: self plus everything its calls caused
     /// (0 when tracing is disabled).
     pub cycles_total: u64,
+    /// Simulated core that most recently executed inside the cubicle
+    /// (0 on a single-core run).
+    pub last_core: u32,
 }
 
 impl LedgerRow {

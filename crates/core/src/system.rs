@@ -17,7 +17,7 @@
 
 use crate::builder::Builder;
 use crate::component::{Component, ComponentImage, EntryFn};
-use crate::cubicle::{Cubicle, RegionType};
+use crate::cubicle::{Cubicle, RegionType, StackSlot};
 use crate::error::{CubicleError, Result};
 use crate::ids::{CubicleId, EntryId, WindowId};
 use crate::ledger::LedgerRow;
@@ -28,8 +28,8 @@ use crate::stats::SysStats;
 use crate::trace::{FaultAudit, FaultDecision, TraceBuffer, TraceEvent, WindowOpKind};
 use crate::value::Value;
 use cubicle_mpk::{
-    pages_covering, AccessKind, CostModel, Fault, FaultKind, Machine, MachineEvent, MachineStats,
-    PageFlags, PageNum, Pkru, ProtKey, VAddr, NUM_KEYS, PAGE_SIZE,
+    pages_covering, AccessKind, CoreStats, CostModel, Fault, FaultKind, Machine, MachineEvent,
+    MachineStats, PageFlags, PageNum, Pkru, ProtKey, VAddr, NUM_KEYS, PAGE_SIZE,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -110,6 +110,10 @@ struct Frame {
     /// cross-call watchdog armed a budget for its edge (`None`
     /// otherwise — merged calls, `run_in_cubicle`, watchdog off).
     deadline: Option<u64>,
+    /// The stack-pool slot of `cubicle` this frame runs on, when the
+    /// multi-core re-entrancy pool handed one out (`None` on single-core
+    /// runs, merged calls and non-MPK modes — the primary stack then).
+    stack_slot: Option<usize>,
 }
 
 /// Everything the loader needs to replay one [`System::install`] during a
@@ -203,6 +207,11 @@ pub struct System {
     /// Restart backoff policy ([`System::set_restart_policy`]); `None`
     /// (the default) keeps `restart` unconditional.
     restart_policy: Option<RestartPolicy>,
+    /// Simulated-time locks serialising the monitor's shared metadata
+    /// (page_meta, windows, grant cache, ledger) across cores. On a
+    /// single-core run every section is uncontended and free, so cycle
+    /// counts are bit-identical to the lock-free monitor.
+    pub(crate) locks: MonitorLocks,
 }
 
 /// Exponential-backoff policy for [`System::restart`]: a cubicle on its
@@ -237,6 +246,91 @@ struct GrantCache {
     hits_by_accessor: HashMap<CubicleId, u64>,
 }
 
+/// Pieces of monitor metadata that concurrent cross-calls from several
+/// simulated cores serialise on. The monitor executes host-sequentially,
+/// so these locks never block the host — they model the *simulated time*
+/// a core would spin waiting for a peer that holds the lock in an
+/// overlapping simulated interval.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MonitorLock {
+    /// The page-metadata map consulted and mutated by trap-and-map
+    /// fault resolution.
+    PageMeta = 0,
+    /// Window descriptors (open/close/destroy mutate peers' ACLs).
+    Windows = 1,
+    /// The window-grant authorisation cache and its invalidation paths.
+    GrantCache = 2,
+    /// The heap ledger: per-cubicle allocation and accounting state.
+    Ledger = 3,
+}
+
+/// Number of [`MonitorLock`] variants.
+const NUM_LOCKS: usize = 4;
+
+/// Critical sections remembered per lock for the audit's concurrency
+/// pass (bounded ring; oldest evicted first).
+const LOCK_SECTION_CAP: usize = 128;
+
+impl MonitorLock {
+    /// Stable lower-case name used in Prometheus labels and audit
+    /// findings.
+    pub fn name(self) -> &'static str {
+        match self {
+            MonitorLock::PageMeta => "page_meta",
+            MonitorLock::Windows => "windows",
+            MonitorLock::GrantCache => "grant_cache",
+            MonitorLock::Ledger => "ledger",
+        }
+    }
+
+    /// All lock identities, in index order.
+    pub fn all() -> [MonitorLock; NUM_LOCKS] {
+        [
+            MonitorLock::PageMeta,
+            MonitorLock::Windows,
+            MonitorLock::GrantCache,
+            MonitorLock::Ledger,
+        ]
+    }
+}
+
+/// Per-lock simulated state.
+#[derive(Default, Debug)]
+pub(crate) struct LockState {
+    /// Simulated cycle at which the last holder released the lock. A
+    /// core acquiring at cycle `t < free_at` spins for `free_at - t`.
+    pub(crate) free_at: u64,
+    /// Total acquisitions.
+    pub(crate) acquisitions: u64,
+    /// Acquisitions that found the lock held (in simulated time).
+    pub(crate) contended: u64,
+    /// Simulated cycles spent spin-waiting across all acquisitions.
+    pub(crate) wait_cycles: u64,
+    /// Recent critical sections as `(start, end)` cycle stamps, in
+    /// acquisition order — the audit checks they never overlap.
+    pub(crate) sections: VecDeque<(u64, u64)>,
+}
+
+/// The monitor's lock table.
+#[derive(Default, Debug)]
+pub(crate) struct MonitorLocks {
+    pub(crate) locks: [LockState; NUM_LOCKS],
+}
+
+/// Counters for one monitor lock, exported by
+/// [`System::monitor_lock_stats`] and the Prometheus endpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorLockStats {
+    /// Lock name (`page_meta`, `windows`, `grant_cache`, `ledger`).
+    pub name: &'static str,
+    /// Total acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that had to spin (simulated contention).
+    pub contended: u64,
+    /// Simulated cycles spent spinning.
+    pub wait_cycles: u64,
+}
+
 /// Observability state, present only while tracing is enabled
 /// ([`System::enable_tracing`]). Strictly an observer: recording never
 /// charges simulated cycles.
@@ -246,19 +340,51 @@ struct Tracer {
     audit: VecDeque<FaultAudit>,
     audit_capacity: usize,
     audit_dropped: u64,
-    /// Causal span profiler, fed every event the buffer receives.
-    spans: SpanProfiler,
-    /// Next span id to hand out (0 is reserved for "no span").
+    /// Causal span profilers, one per simulated core (index = core id),
+    /// grown lazily as cores first record events. Each profiler sees
+    /// only its own core's events, so per-core span trees stay causally
+    /// consistent under interleaving; cross-core views sum over them.
+    spans: Vec<SpanProfiler>,
+    /// Retained-span capacity used when a new core's profiler is grown.
+    span_capacity: usize,
+    /// Next span id to hand out (0 is reserved for "no span"). Shared
+    /// across cores so span ids are globally unique in the merged trace.
     next_span: u64,
 }
 
 impl Tracer {
-    /// Appends an event to the ring and feeds it to the span profiler —
-    /// the single door every recorded event passes through, so the span
-    /// tree always agrees with the event stream.
-    fn record(&mut self, at: u64, event: TraceEvent) {
-        self.spans.on_event(at, &event);
-        self.buf.push(at, event);
+    /// Appends an event to the ring and feeds it to `core`'s span
+    /// profiler — the single door every recorded event passes through,
+    /// so the span trees always agree with the event stream.
+    fn record(&mut self, at: u64, core: usize, event: TraceEvent) {
+        while self.spans.len() <= core {
+            self.spans.push(SpanProfiler::new(at, self.span_capacity));
+        }
+        self.spans[core].on_event(at, &event);
+        self.buf.push_on(at, core as u32, event);
+    }
+
+    /// The innermost open span on `core` (0 when none).
+    fn current_span(&self, core: usize) -> u64 {
+        self.spans.get(core).map_or(0, |p| p.current_span())
+    }
+
+    /// Self/total cycle attribution for a cubicle summed across every
+    /// core's profiler.
+    fn cubicle_attribution(&self, cid: CubicleId) -> CycleAttribution {
+        let mut sum = CycleAttribution::default();
+        for p in &self.spans {
+            let a = p.cubicle_attribution(cid);
+            sum.self_cycles += a.self_cycles;
+            sum.total_cycles += a.total_cycles;
+            sum.calls += a.calls;
+        }
+        sum
+    }
+
+    /// Completed spans across all cores.
+    fn spans_completed(&self) -> u64 {
+        self.spans.iter().map(|p| p.spans_completed()).sum()
     }
 }
 
@@ -335,6 +461,7 @@ impl System {
             grant_cache: None,
             batching: false,
             restart_policy: None,
+            locks: MonitorLocks::default(),
         }
     }
 
@@ -358,7 +485,8 @@ impl System {
             audit: VecDeque::new(),
             audit_capacity: capacity,
             audit_dropped: 0,
-            spans: SpanProfiler::new(self.machine.now(), capacity),
+            spans: vec![SpanProfiler::new(self.machine.now(), capacity)],
+            span_capacity: capacity,
             next_span: 1,
         });
     }
@@ -398,43 +526,86 @@ impl System {
         self.tracer.as_ref().map_or(0, |t| t.audit_dropped)
     }
 
-    /// The causal span profiler, when tracing is enabled. Pending
+    /// Core 0's causal span profiler, when tracing is enabled. Pending
     /// machine events are pumped in first so the span tree is complete.
+    /// On a single-core run this is *the* profiler; on a multi-core run
+    /// use [`System::core_span_profiler`] for the other cores.
     pub fn span_profiler(&mut self) -> Option<&SpanProfiler> {
+        self.core_span_profiler(0)
+    }
+
+    /// The span profiler of one simulated core, when tracing is enabled
+    /// and that core has recorded at least one event (core 0's profiler
+    /// always exists).
+    pub fn core_span_profiler(&mut self, core: usize) -> Option<&SpanProfiler> {
         self.pump_machine_events();
-        self.tracer.as_ref().map(|t| &t.spans)
+        self.tracer.as_ref().and_then(|t| t.spans.get(core))
     }
 
-    /// Completed spans retained by the profiler (oldest first); empty
-    /// when tracing is disabled.
+    /// Completed spans retained by the profilers, grouped by core in
+    /// core order (oldest first within a core); empty when tracing is
+    /// disabled.
     pub fn spans(&mut self) -> Vec<SpanRecord> {
-        self.span_profiler()
-            .map(|p| p.spans().copied().collect())
+        self.pump_machine_events();
+        self.tracer
+            .as_ref()
+            .map(|t| t.spans.iter().flat_map(|p| p.spans().copied()).collect())
             .unwrap_or_default()
     }
 
-    /// Per-cubicle self/total cycle attribution from the span profiler,
-    /// sorted by cubicle id; empty when tracing is disabled.
+    /// Per-cubicle self/total cycle attribution summed across every
+    /// core's span profiler, sorted by cubicle id; empty when tracing is
+    /// disabled.
     pub fn span_cubicle_attribution(&mut self) -> Vec<(CubicleId, CycleAttribution)> {
-        self.span_profiler()
-            .map(|p| p.per_cubicle())
-            .unwrap_or_default()
+        self.pump_machine_events();
+        let Some(t) = &self.tracer else {
+            return Vec::new();
+        };
+        let mut merged: HashMap<CubicleId, CycleAttribution> = HashMap::new();
+        for p in &t.spans {
+            for (cid, a) in p.per_cubicle() {
+                let e = merged.entry(cid).or_default();
+                e.self_cycles += a.self_cycles;
+                e.total_cycles += a.total_cycles;
+                e.calls += a.calls;
+            }
+        }
+        let mut rows: Vec<_> = merged.into_iter().collect();
+        rows.sort_by_key(|(cid, _)| *cid);
+        rows
     }
 
-    /// Per-entry-point self/total cycle attribution, sorted by entry
-    /// id; empty when tracing is disabled.
+    /// Per-entry-point self/total cycle attribution summed across every
+    /// core's span profiler, sorted by entry id; empty when tracing is
+    /// disabled.
     pub fn span_entry_attribution(&mut self) -> Vec<(EntryId, CycleAttribution)> {
-        self.span_profiler()
-            .map(|p| p.per_entry())
-            .unwrap_or_default()
+        self.pump_machine_events();
+        let Some(t) = &self.tracer else {
+            return Vec::new();
+        };
+        let mut merged: HashMap<EntryId, CycleAttribution> = HashMap::new();
+        for p in &t.spans {
+            for (eid, a) in p.per_entry() {
+                let e = merged.entry(eid).or_default();
+                e.self_cycles += a.self_cycles;
+                e.total_cycles += a.total_cycles;
+                e.calls += a.calls;
+            }
+        }
+        let mut rows: Vec<_> = merged.into_iter().collect();
+        rows.sort_by_key(|(eid, _)| *eid);
+        rows
     }
 
-    /// The profiler's attributed window: cycles between the tracing
-    /// epoch and the last span boundary. The per-cubicle self cycles of
-    /// [`System::span_cubicle_attribution`] sum to exactly this value.
-    /// `None` when tracing is disabled.
+    /// The profilers' attributed window, summed across cores: per-core
+    /// cycles between the tracing epoch and the last span boundary. The
+    /// per-cubicle self cycles of [`System::span_cubicle_attribution`]
+    /// sum to exactly this value. `None` when tracing is disabled.
     pub fn span_attribution_window(&mut self) -> Option<u64> {
-        self.span_profiler().map(SpanProfiler::attributed_window)
+        self.pump_machine_events();
+        self.tracer
+            .as_ref()
+            .map(|t| t.spans.iter().map(SpanProfiler::attributed_window).sum())
     }
 
     /// Assembles the live per-cubicle resource ledger: one
@@ -473,7 +644,7 @@ impl System {
             .iter()
             .map(|c| {
                 let cycles = tracer
-                    .map(|t| t.spans.cubicle_attribution(c.id))
+                    .map(|t| t.cubicle_attribution(c.id))
                     .unwrap_or_default();
                 LedgerRow {
                     cubicle: c.id,
@@ -498,6 +669,7 @@ impl System {
                         .unwrap_or(0),
                     cycles_self: cycles.self_cycles,
                     cycles_total: cycles.total_cycles,
+                    last_core: c.last_core,
                 }
             })
             .collect()
@@ -513,30 +685,32 @@ impl System {
             return String::new();
         };
         let mut out = String::new();
-        for (path, cycles) in tracer.spans.folded() {
-            let mut first = true;
-            for frame in path {
-                if !first {
-                    out.push(';');
-                }
-                first = false;
-                match *frame {
-                    SpanFrame::Root(cid) => {
-                        out.push_str(self.cubicle_frame_name(cid));
+        for profiler in &tracer.spans {
+            for (path, cycles) in profiler.folded() {
+                let mut first = true;
+                for frame in path {
+                    if !first {
+                        out.push(';');
                     }
-                    SpanFrame::Call(cid, entry) => {
-                        out.push_str(self.cubicle_frame_name(cid));
-                        out.push(':');
-                        match self.entries.get(entry.index()) {
-                            Some(d) => out.push_str(&d.name),
-                            None => out.push_str(&entry.to_string()),
+                    first = false;
+                    match *frame {
+                        SpanFrame::Root(cid) => {
+                            out.push_str(self.cubicle_frame_name(cid));
+                        }
+                        SpanFrame::Call(cid, entry) => {
+                            out.push_str(self.cubicle_frame_name(cid));
+                            out.push(':');
+                            match self.entries.get(entry.index()) {
+                                Some(d) => out.push_str(&d.name),
+                                None => out.push_str(&entry.to_string()),
+                            }
                         }
                     }
                 }
+                out.push(' ');
+                out.push_str(&cycles.to_string());
+                out.push('\n');
             }
-            out.push(' ');
-            out.push_str(&cycles.to_string());
-            out.push('\n');
         }
         out
     }
@@ -554,34 +728,39 @@ impl System {
     /// before every kernel-level event is appended, keeping the combined
     /// stream ordered by cycle stamp.
     fn pump_machine_events(&mut self) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let core = self.machine.current_core();
         let Some(tracer) = &mut self.tracer else {
             return;
         };
         for ev in self.machine.drain_events() {
             match ev {
                 MachineEvent::Retag { at, addr, from, to } => {
-                    tracer.record(at, TraceEvent::Retag { addr, from, to });
+                    tracer.record(at, core, TraceEvent::Retag { addr, from, to });
                 }
                 MachineEvent::WrPkru { at, pkru } => {
-                    tracer.record(at, TraceEvent::WrPkru { pkru });
+                    tracer.record(at, core, TraceEvent::WrPkru { pkru });
                 }
                 MachineEvent::Unmap { at, addr, key } => {
-                    tracer.record(at, TraceEvent::PageReclaim { addr, key });
+                    tracer.record(at, core, TraceEvent::PageReclaim { addr, key });
                 }
             }
         }
     }
 
     /// Appends a kernel-level event stamped with the current cycle count
-    /// (no-op when tracing is disabled).
+    /// and core (no-op when tracing is disabled).
     fn trace_push(&mut self, event: TraceEvent) {
         if self.tracer.is_none() {
             return;
         }
         self.pump_machine_events();
         let at = self.machine.now();
+        let core = self.machine.current_core();
         if let Some(tracer) = &mut self.tracer {
-            tracer.record(at, event);
+            tracer.record(at, core, event);
         }
     }
 
@@ -867,6 +1046,203 @@ impl System {
     /// Whether the simulator's software TLB is enabled.
     pub fn tlb_enabled(&self) -> bool {
         self.machine.tlb_enabled()
+    }
+
+    // =====================================================================
+    // Multi-core simulation
+    // =====================================================================
+
+    /// Reconfigures the machine to `n` simulated cores (each with its own
+    /// PKRU, TLB and cycle counter) and switches to core 0. `n == 1`
+    /// restores the plain single-core machine, whose cycle counts are
+    /// bit-identical to a build that never heard of cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or a cross-call chain is in flight —
+    /// reconfiguring cores mid-call would strand frames on a core that
+    /// no longer exists.
+    pub fn set_num_cores(&mut self, n: usize) {
+        assert!(
+            self.call_stack.is_empty(),
+            "cannot reconfigure cores while a cross-call chain is in flight"
+        );
+        self.pump_machine_events();
+        self.machine.set_num_cores(n);
+    }
+
+    /// Number of simulated cores (1 unless [`System::set_num_cores`]
+    /// grew the machine).
+    pub fn num_cores(&self) -> usize {
+        self.machine.num_cores()
+    }
+
+    /// The simulated core currently executing.
+    pub fn current_core(&self) -> usize {
+        self.machine.current_core()
+    }
+
+    /// Switches execution to core `i`. Only legal between top-level
+    /// operations: whole cross-call chains run on one core, and the
+    /// monitor's serialisation order is the order in which cores issue
+    /// their operations.
+    ///
+    /// Pending machine events are pumped first so trace records keep the
+    /// core that actually produced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or a cross-call chain is in flight.
+    pub fn switch_to_core(&mut self, i: usize) {
+        assert!(
+            self.call_stack.is_empty(),
+            "cannot switch cores while a cross-call chain is in flight"
+        );
+        self.pump_machine_events();
+        self.machine.switch_to_core(i);
+    }
+
+    /// Core `i`'s cycle counter (its private simulated clock).
+    pub fn core_cycles(&self, i: usize) -> u64 {
+        self.machine.core_cycles(i)
+    }
+
+    /// The furthest-ahead core clock — the simulated makespan of a
+    /// multi-core run.
+    pub fn max_core_cycles(&self) -> u64 {
+        self.machine.max_core_cycles()
+    }
+
+    /// Core `i`'s private event counters (TLB hits/misses, cross-calls,
+    /// PKRU writes).
+    pub fn core_stats(&self, i: usize) -> CoreStats {
+        self.machine.core_stats(i)
+    }
+
+    /// Counters for every monitor lock, in [`MonitorLock::all`] order.
+    pub fn monitor_lock_stats(&self) -> Vec<MonitorLockStats> {
+        MonitorLock::all()
+            .into_iter()
+            .map(|l| {
+                let st = &self.locks.locks[l as usize];
+                MonitorLockStats {
+                    name: l.name(),
+                    acquisitions: st.acquisitions,
+                    contended: st.contended,
+                    wait_cycles: st.wait_cycles,
+                }
+            })
+            .collect()
+    }
+
+    /// Acquires a monitor lock in simulated time, charging a spin-wait
+    /// if a core holds it in an overlapping simulated interval, and
+    /// returns the section's start stamp for [`System::lock_release`].
+    ///
+    /// Host execution is sequential, so the lock models contention
+    /// rather than enforcing mutual exclusion: a core whose clock sits
+    /// before the last release spins until `free_at`. On a single-core
+    /// run the clock is monotonic across sections, so no acquisition
+    /// ever waits and cycle counts are untouched.
+    fn lock_acquire(&mut self, lock: MonitorLock) -> u64 {
+        let now = self.machine.now();
+        let st = &mut self.locks.locks[lock as usize];
+        st.acquisitions += 1;
+        if st.free_at > now {
+            let wait = st.free_at - now;
+            st.contended += 1;
+            st.wait_cycles += wait;
+            self.machine.charge(wait);
+        }
+        self.machine.now()
+    }
+
+    /// Releases a monitor lock acquired at `start`, recording the
+    /// critical section for the audit's concurrency pass.
+    fn lock_release(&mut self, lock: MonitorLock, start: u64) {
+        let end = self.machine.now();
+        let st = &mut self.locks.locks[lock as usize];
+        st.free_at = end;
+        if st.sections.len() >= LOCK_SECTION_CAP {
+            st.sections.pop_front();
+        }
+        st.sections.push_back((start, end));
+    }
+
+    /// Hands out a stack for a cross-call entering `cid`, from the
+    /// cubicle's re-entrancy pool. Returns the slot index, or `None`
+    /// when pooling is inactive (single core, non-MPK mode, the monitor,
+    /// or a cubicle without a stack) and the primary stack serves as
+    /// always.
+    ///
+    /// Slot 0 mirrors the primary stack; a fresh stack is mapped (and
+    /// charged at `pkey_mprotect` per page, like any mapping) only when
+    /// every pooled slot is busy at the current simulated time — i.e.
+    /// when entries on several cores genuinely overlap in simulated
+    /// time.
+    fn stack_acquire(&mut self, cid: CubicleId) -> Option<usize> {
+        if self.machine.num_cores() == 1
+            || !self.mode.mpk_active()
+            || cid == CubicleId::MONITOR
+            || self.cubicles[cid.index()].stack_len == 0
+        {
+            if cid != CubicleId::MONITOR && cid.index() < self.cubicles.len() {
+                self.cubicles[cid.index()].last_core = self.machine.current_core() as u32;
+            }
+            return None;
+        }
+        let now = self.machine.now();
+        let core = self.machine.current_core() as u32;
+        let (key, len) = {
+            let c = &mut self.cubicles[cid.index()];
+            c.last_core = core;
+            if c.stack_pool.is_empty() {
+                // Lazily seed slot 0 with the primary stack.
+                let slot = StackSlot {
+                    base: c.stack_base,
+                    len: c.stack_len,
+                    busy_until: 0,
+                };
+                c.stack_pool.push(slot);
+            }
+            if let Some(i) = c.stack_pool.iter().position(|s| s.busy_until <= now) {
+                c.stack_pool[i].busy_until = u64::MAX;
+                return Some(i);
+            }
+            (c.key, c.stack_len)
+        };
+        // Every pooled stack is busy at `now`: map and tag a fresh one,
+        // charged like any runtime mapping (`pkey_mprotect` per page).
+        let pages = len.div_ceil(PAGE_SIZE);
+        let retag_cost = self.machine.cost_model().pkey_mprotect * pages as u64;
+        self.machine.charge(retag_cost);
+        let base = self.map_fresh(pages, key, PageFlags::rw(), cid, RegionType::Stack);
+        let c = &mut self.cubicles[cid.index()];
+        c.stack_pool.push(StackSlot {
+            base,
+            len,
+            busy_until: u64::MAX,
+        });
+        Some(c.stack_pool.len() - 1)
+    }
+
+    /// In-flight frames of `cid` currently holding a pooled stack slot
+    /// (the audit cross-checks them against live pool slots).
+    pub(crate) fn live_pool_frames(&self, cid: CubicleId) -> usize {
+        self.call_stack
+            .iter()
+            .filter(|f| f.cubicle == cid && f.stack_slot.is_some())
+            .count()
+    }
+
+    /// Returns a pooled stack slot at frame exit; the slot becomes free
+    /// for entries whose simulated time is past the exit stamp.
+    fn stack_release(&mut self, cid: CubicleId, slot: Option<usize>) {
+        let Some(i) = slot else { return };
+        let now = self.machine.now();
+        if let Some(s) = self.cubicles[cid.index()].stack_pool.get_mut(i) {
+            s.busy_until = now;
+        }
     }
 
     /// The cubicle currently executing (the monitor during boot).
@@ -1266,11 +1642,12 @@ impl System {
         let t0 = if self.tracer.is_some() {
             let t0 = self.machine.now();
             self.pump_machine_events();
+            let core = self.machine.current_core();
             let (span, parent) = {
                 let tracer = self.tracer.as_mut().expect("checked above");
                 let span = tracer.next_span;
                 tracer.next_span += 1;
-                (span, tracer.spans.current_span())
+                (span, tracer.current_span(core))
             };
             self.trace_push(TraceEvent::CrossCallEnter {
                 span,
@@ -1389,6 +1766,7 @@ impl System {
             self.call_stack.push(Frame {
                 cubicle: callee,
                 deadline: None,
+                stack_slot: None,
             });
             let result = func(self, comp.as_mut(), args);
             self.call_stack.pop();
@@ -1435,18 +1813,22 @@ impl System {
         let mut comp = self.components[slot]
             .take()
             .ok_or(CubicleError::ReentrantCall(callee))?;
+        self.machine.note_cross_call();
+        let stack_slot = self.stack_acquire(callee);
         let deadline = self
             .budget_for(caller, callee)
             .map(|b| self.machine.now().saturating_add(b));
         self.call_stack.push(Frame {
             cubicle: callee,
             deadline,
+            stack_slot,
         });
         if deadline.is_some() {
             self.refresh_cycle_alarm();
         }
         let result = func(self, comp.as_mut(), args);
         self.call_stack.pop();
+        self.stack_release(callee, stack_slot);
         if self.watchdog_armed() {
             self.refresh_cycle_alarm();
         }
@@ -1529,11 +1911,12 @@ impl System {
         let t0 = if self.tracer.is_some() {
             let t0 = self.machine.now();
             self.pump_machine_events();
+            let core = self.machine.current_core();
             let (span, parent) = {
                 let tracer = self.tracer.as_mut().expect("checked above");
                 let span = tracer.next_span;
                 tracer.next_span += 1;
-                (span, tracer.spans.current_span())
+                (span, tracer.current_span(core))
             };
             self.trace_push(TraceEvent::CrossCallEnter {
                 span,
@@ -1602,6 +1985,7 @@ impl System {
             self.call_stack.push(Frame {
                 cubicle: callee,
                 deadline: None,
+                stack_slot: None,
             });
             let mut status = Ok(());
             for args in batch {
@@ -1648,12 +2032,15 @@ impl System {
             Some(c) => c,
             None => return (values, Err(CubicleError::ReentrantCall(callee))),
         };
+        self.machine.note_cross_call();
+        let stack_slot = self.stack_acquire(callee);
         let deadline = self
             .budget_for(caller, callee)
             .map(|b| self.machine.now().saturating_add(b));
         self.call_stack.push(Frame {
             cubicle: callee,
             deadline,
+            stack_slot,
         });
         if deadline.is_some() {
             self.refresh_cycle_alarm();
@@ -1698,6 +2085,7 @@ impl System {
             }
         }
         self.call_stack.pop();
+        self.stack_release(callee, stack_slot);
         if self.watchdog_armed() {
             self.refresh_cycle_alarm();
         }
@@ -1725,9 +2113,11 @@ impl System {
         if self.mode.mpk_active() {
             self.ensure_bound(cid);
         }
+        let stack_slot = self.stack_acquire(cid);
         self.call_stack.push(Frame {
             cubicle: cid,
             deadline: None,
+            stack_slot,
         });
         if self.mode.mpk_active() {
             let pkru = self.pkru_for(cid);
@@ -1735,6 +2125,7 @@ impl System {
         }
         let out = f(self);
         self.call_stack.pop();
+        self.stack_release(cid, stack_slot);
         if self.mode.mpk_active() {
             let pkru = self.pkru_for(self.current_cubicle());
             self.machine.set_pkru_at_load(pkru);
@@ -1762,7 +2153,17 @@ impl System {
     // Monitor: trap-and-map (paper §5.3, Fig. 4)
     // =====================================================================
 
+    /// Trap-and-map entry: the monitor serialises fault resolution on
+    /// the page-metadata lock (the map is read and its holder records
+    /// mutated), then dispatches to the resolution logic.
     fn resolve_fault(&mut self, fault: Fault) -> Result<()> {
+        let start = self.lock_acquire(MonitorLock::PageMeta);
+        let result = self.resolve_fault_locked(fault);
+        self.lock_release(MonitorLock::PageMeta, start);
+        result
+    }
+
+    fn resolve_fault_locked(&mut self, fault: Fault) -> Result<()> {
         // Only protection-key faults are subject to window authorisation.
         let FaultKind::ProtectionKey(_) = fault.kind else {
             return Err(self.deny_raw_fault(fault));
@@ -1842,7 +2243,14 @@ impl System {
                     let cache = self.grant_cache.as_mut().unwrap();
                     *cache.hits_by_accessor.entry(accessor).or_insert(0) += 1;
                     self.stats.grant_cache_hits += 1;
-                    self.retag(fault.addr, accessor_key)?;
+                    // A hit pays only the trap and the O(1) lookups
+                    // already charged above: the kernel retags the page
+                    // through its cached mapping without a fresh
+                    // `pkey_mprotect` round-trip (the remembered grant
+                    // proves the ACL still authorises the access).
+                    self.machine
+                        .set_page_key_cached(fault.addr, accessor_key)
+                        .map_err(CubicleError::MachineFault)?;
                     self.record_holder(fault.addr, accessor, Some(entry.via));
                     self.stats.faults_resolved += 1;
                     self.trace_fault(
@@ -2077,6 +2485,10 @@ impl System {
     /// (quarantine, restart) — the cubicle's windows are gone and its
     /// held pages were reclaimed, so neither direction can be reused.
     fn grant_cache_purge_cubicle(&mut self, cid: CubicleId) {
+        if self.grant_cache.is_none() {
+            return;
+        }
+        let start = self.lock_acquire(MonitorLock::GrantCache);
         if let Some(cache) = &mut self.grant_cache {
             let before = cache.map.len();
             cache
@@ -2084,6 +2496,7 @@ impl System {
                 .retain(|(accessor, _), e| *accessor != cid && e.owner != cid);
             self.stats.grant_cache_invalidations += (before - cache.map.len()) as u64;
         }
+        self.lock_release(MonitorLock::GrantCache, start);
     }
 
     /// Drops grant-cache entries authorised via window `wid` of `owner`,
@@ -2095,6 +2508,10 @@ impl System {
         wid: WindowId,
         peer: Option<CubicleId>,
     ) {
+        if self.grant_cache.is_none() {
+            return;
+        }
+        let start = self.lock_acquire(MonitorLock::GrantCache);
         if let Some(cache) = &mut self.grant_cache {
             let before = cache.map.len();
             cache.map.retain(|(accessor, _), e| {
@@ -2102,12 +2519,17 @@ impl System {
             });
             self.stats.grant_cache_invalidations += (before - cache.map.len()) as u64;
         }
+        self.lock_release(MonitorLock::GrantCache, start);
     }
 
     /// Drops grant-cache entries for pages in `[first, last]` (ownership
     /// transfer via [`System::grant_pages_to`] retags and re-owns them,
     /// so any remembered grant is obsolete).
     fn grant_cache_invalidate_pages(&mut self, first: PageNum, last: PageNum) {
+        if self.grant_cache.is_none() {
+            return;
+        }
+        let start = self.lock_acquire(MonitorLock::GrantCache);
         if let Some(cache) = &mut self.grant_cache {
             let before = cache.map.len();
             cache
@@ -2115,6 +2537,7 @@ impl System {
                 .retain(|(_, page), _| page.0 < first.0 || page.0 > last.0);
             self.stats.grant_cache_invalidations += (before - cache.map.len()) as u64;
         }
+        self.lock_release(MonitorLock::GrantCache, start);
     }
 
     /// The bounded containment log: one line per quarantine, unwind
@@ -2262,13 +2685,16 @@ impl System {
         }
 
         // ❺ Reset the kernel-side record: empty heap, no stack, parked
-        // key, quarantined state.
+        // key, quarantined state. Pooled re-entrancy stacks were owned
+        // by the offender, so step ❸ already reclaimed their pages —
+        // drop the slot records with them.
         let c = &mut self.cubicles[cid.index()];
         c.key = PARKED_KEY;
         c.heap = crate::heap::SubAllocator::new();
         c.stack_base = VAddr::NULL;
         c.stack_len = 0;
         c.stack_used = 0;
+        c.stack_pool.clear();
         c.heap_pages_granted = 0;
         c.state = CubicleState::Quarantined;
         c.quarantine_reason = Some(reason.clone());
@@ -2661,6 +3087,15 @@ impl System {
         if self.cubicles[cid.index()].is_quarantined() {
             return Err(CubicleError::Quarantined { cubicle: cid });
         }
+        // The heap ledger (sub-allocator free lists, grant accounting)
+        // is monitor metadata shared across cores.
+        let start = self.lock_acquire(MonitorLock::Ledger);
+        let result = self.heap_alloc_locked(cid, size, align);
+        self.lock_release(MonitorLock::Ledger, start);
+        result
+    }
+
+    fn heap_alloc_locked(&mut self, cid: CubicleId, size: usize, align: usize) -> Result<VAddr> {
         if let Some(addr) = self.cubicles[cid.index()].heap.alloc(size, align) {
             if self.tracer.is_some() {
                 self.trace_push(TraceEvent::HeapAlloc {
@@ -2706,11 +3141,14 @@ impl System {
     /// allocation of this cubicle.
     pub fn heap_free(&mut self, addr: VAddr) -> Result<()> {
         let cid = self.current_cubicle();
-        self.cubicles[cid.index()]
+        let start = self.lock_acquire(MonitorLock::Ledger);
+        let freed = self.cubicles[cid.index()]
             .heap
             .free(addr)
             .map(|_| ())
-            .map_err(|_| CubicleError::InvalidArgument("heap_free: not a live allocation"))?;
+            .map_err(|_| CubicleError::InvalidArgument("heap_free: not a live allocation"));
+        self.lock_release(MonitorLock::Ledger, start);
+        freed?;
         if self.tracer.is_some() {
             self.trace_push(TraceEvent::HeapFree { cubicle: cid, addr });
         }
@@ -2810,8 +3248,12 @@ impl System {
         if self.mode.acls_active() {
             // Window management is a call into the trusted monitor
             // cubicle: trampoline + PKRU switches + the operation itself.
+            // Descriptor mutation serialises on the windows lock across
+            // cores.
+            let start = self.lock_acquire(MonitorLock::Windows);
             let cost = *self.machine.cost_model();
             self.machine.charge(cost.trampoline + 2 * cost.wrpkru + 25);
+            self.lock_release(MonitorLock::Windows, start);
         }
     }
 
@@ -2984,6 +3426,7 @@ impl System {
     /// Returns `"{}"`-style empty JSON when tracing is disabled.
     pub fn export_chrome_trace(&mut self) -> String {
         self.pump_machine_events();
+        let num_cores = self.machine.num_cores();
         let Some(tracer) = &self.tracer else {
             return "{\"traceEvents\":[]}".to_string();
         };
@@ -2996,12 +3439,23 @@ impl System {
             first = false;
             out.push_str(&line);
         };
+        // One Perfetto "process" per simulated core; a single-core run
+        // renders exactly the classic single-process trace.
         push(
             "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\
              \"args\":{\"name\":\"cubicleos\"}}"
                 .to_string(),
             &mut out,
         );
+        for core in 1..num_cores {
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{core},\"tid\":0,\
+                     \"args\":{{\"name\":\"cubicleos core {core}\"}}}}"
+                ),
+                &mut out,
+            );
+        }
         for c in &self.cubicles {
             push(
                 format!(
@@ -3012,6 +3466,19 @@ impl System {
                 ),
                 &mut out,
             );
+        }
+        for core in 1..num_cores {
+            for c in &self.cubicles {
+                push(
+                    format!(
+                        "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{core},\"tid\":{},\
+                         \"args\":{{\"name\":\"{}\"}}}}",
+                        c.id.index(),
+                        json_escape(&c.name),
+                    ),
+                    &mut out,
+                );
+            }
         }
         for r in tracer.buf.records() {
             let line = match r.event {
@@ -3033,7 +3500,8 @@ impl System {
                         push(
                             format!(
                                 "{{\"ph\":\"s\",\"id\":{span},\"name\":\"cross_call\",\
-                                 \"cat\":\"flow\",\"pid\":0,\"tid\":{},\"ts\":{}}}",
+                                 \"cat\":\"flow\",\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                                r.core,
                                 caller.index(),
                                 r.at,
                             ),
@@ -3042,8 +3510,9 @@ impl System {
                         push(
                             format!(
                                 "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{span},\
-                                 \"name\":\"cross_call\",\"cat\":\"flow\",\"pid\":0,\
+                                 \"name\":\"cross_call\",\"cat\":\"flow\",\"pid\":{},\
                                  \"tid\":{},\"ts\":{}}}",
+                                r.core,
                                 callee.index(),
                                 r.at,
                             ),
@@ -3051,10 +3520,11 @@ impl System {
                         );
                     }
                     format!(
-                        "{{\"ph\":\"B\",\"name\":\"{}\",\"cat\":\"cross_call\",\"pid\":0,\
+                        "{{\"ph\":\"B\",\"name\":\"{}\",\"cat\":\"cross_call\",\"pid\":{},\
                          \"tid\":{},\"ts\":{},\"args\":{{\"caller\":\"{}\",\"seq\":{},\
                          \"span\":{span},\"parent\":{parent}}}}}",
                         json_escape(&name),
+                        r.core,
                         callee.index(),
                         r.at,
                         json_escape(&self.cubicles[caller.index()].name),
@@ -3062,8 +3532,9 @@ impl System {
                     )
                 }
                 TraceEvent::CrossCallExit { span, callee, .. } => format!(
-                    "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{},\
+                    "{{\"ph\":\"E\",\"pid\":{},\"tid\":{},\"ts\":{},\
                      \"args\":{{\"span\":{span}}}}}",
+                    r.core,
                     callee.index(),
                     r.at,
                 ),
@@ -3166,7 +3637,8 @@ impl System {
                 // shows as one solid block in Perfetto.
                 TraceEvent::Quarantine { cubicle } => format!(
                     "{{\"ph\":\"B\",\"name\":\"quarantined\",\"cat\":\"containment\",\
-                     \"pid\":0,\"tid\":{},\"ts\":{}}}",
+                     \"pid\":{},\"tid\":{},\"ts\":{}}}",
+                    r.core,
                     cubicle.index(),
                     r.at,
                 ),
@@ -3174,8 +3646,9 @@ impl System {
                     cubicle,
                     generation,
                 } => format!(
-                    "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{},\
+                    "{{\"ph\":\"E\",\"pid\":{},\"tid\":{},\"ts\":{},\
                      \"args\":{{\"generation\":{generation}}}}}",
+                    r.core,
                     cubicle.index(),
                     r.at,
                 ),
@@ -3393,6 +3866,75 @@ impl System {
             &mut out,
         );
 
+        // Per-core counters (one series per simulated core).
+        let cores = self.machine.num_cores();
+        out.push_str(
+            "# HELP cubicle_core_cycles Per-core simulated cycle counter.\n\
+             # TYPE cubicle_core_cycles counter\n",
+        );
+        for i in 0..cores {
+            out.push_str(&format!(
+                "cubicle_core_cycles{{core=\"{i}\"}} {}\n",
+                self.machine.core_cycles(i)
+            ));
+        }
+        type Series<S> = (&'static str, &'static str, fn(&S) -> u64);
+        let core_series: [Series<CoreStats>; 4] = [
+            (
+                "cubicle_core_tlb_hits_total",
+                "Software-TLB hits on this core.",
+                |s| s.tlb_hits,
+            ),
+            (
+                "cubicle_core_tlb_misses_total",
+                "Software-TLB misses on this core.",
+                |s| s.tlb_misses,
+            ),
+            (
+                "cubicle_core_cross_calls_total",
+                "Cross-calls dispatched from this core.",
+                |s| s.cross_calls,
+            ),
+            (
+                "cubicle_core_wrpkru_total",
+                "PKRU writes performed on this core.",
+                |s| s.wrpkru,
+            ),
+        ];
+        for (name, help, get) in core_series {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for i in 0..cores {
+                let s = self.machine.core_stats(i);
+                out.push_str(&format!("{name}{{core=\"{i}\"}} {}\n", get(&s)));
+            }
+        }
+
+        // Monitor lock counters (one series per lock).
+        let lock_series: [Series<MonitorLockStats>; 3] = [
+            (
+                "cubicle_lock_acquisitions_total",
+                "Monitor lock acquisitions.",
+                |s| s.acquisitions,
+            ),
+            (
+                "cubicle_lock_contended_total",
+                "Monitor lock acquisitions that spun (simulated contention).",
+                |s| s.contended,
+            ),
+            (
+                "cubicle_lock_wait_cycles_total",
+                "Simulated cycles spent spinning on monitor locks.",
+                |s| s.wait_cycles,
+            ),
+        ];
+        let lock_stats = self.monitor_lock_stats();
+        for (name, help, get) in lock_series {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for st in &lock_stats {
+                out.push_str(&format!("{name}{{lock=\"{}\"}} {}\n", st.name, get(st)));
+            }
+        }
+
         // Per-edge call counters (available without tracing).
         out.push_str(
             "# HELP cubicle_call_edge_total Cross-calls per caller/callee edge.\n\
@@ -3519,7 +4061,7 @@ impl System {
         counter(
             "cubicle_spans_completed_total",
             "Cross-call spans closed by the profiler.",
-            tracer.spans.spans_completed(),
+            tracer.spans_completed(),
             &mut out,
         );
 
@@ -3621,12 +4163,13 @@ impl System {
     }
 }
 
-/// Formats one instant event ("ph":"i") for the Chrome trace.
+/// Formats one instant event ("ph":"i") for the Chrome trace, on the
+/// process of the core that recorded it.
 fn instant(r: &crate::trace::TraceRecord, name: &str, cat: &str, tid: usize, args: &str) -> String {
     format!(
-        "{{\"ph\":\"i\",\"name\":\"{name}\",\"cat\":\"{cat}\",\"pid\":0,\"tid\":{tid},\
+        "{{\"ph\":\"i\",\"name\":\"{name}\",\"cat\":\"{cat}\",\"pid\":{},\"tid\":{tid},\
          \"ts\":{},\"s\":\"t\",\"args\":{{{args}}}}}",
-        r.at,
+        r.core, r.at,
     )
 }
 

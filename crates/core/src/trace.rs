@@ -233,6 +233,8 @@ pub struct TraceRecord {
     pub seq: u64,
     /// Simulated cycle count when the event was recorded.
     pub at: u64,
+    /// Simulated core the event occurred on (0 on a single-core run).
+    pub core: u32,
     /// The event itself.
     pub event: TraceEvent,
 }
@@ -259,9 +261,17 @@ impl TraceBuffer {
         }
     }
 
-    /// Appends an event stamped `at` cycles, overwriting the oldest
-    /// record when full.
+    /// Appends an event stamped `at` cycles on core 0, overwriting the
+    /// oldest record when full.
     pub fn push(&mut self, at: u64, event: TraceEvent) {
+        self.push_on(at, 0, event);
+    }
+
+    /// Appends an event stamped `at` cycles on core `core`. The sequence
+    /// number totally orders records across cores (host order, which is
+    /// also the serialization order of the monitor), while `at` is the
+    /// per-core simulated clock.
+    pub fn push_on(&mut self, at: u64, core: u32, event: TraceEvent) {
         if self.records.len() >= self.capacity {
             self.records.pop_front();
             self.dropped += 1;
@@ -269,6 +279,7 @@ impl TraceBuffer {
         self.records.push_back(TraceRecord {
             seq: self.next_seq,
             at,
+            core,
             event,
         });
         self.next_seq += 1;

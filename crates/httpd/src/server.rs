@@ -182,7 +182,11 @@ fn e_poll(sys: &mut System, this: &mut dyn Component, _args: &[Value]) -> Result
         progressed += 1;
     }
 
-    let fds: Vec<i64> = component_mut::<Httpd>(this).conns.keys().copied().collect();
+    let mut fds: Vec<i64> = component_mut::<Httpd>(this).conns.keys().copied().collect();
+    // Service connections in fd order: the map's hash order varies from
+    // process to process, and a multi-core siege replay must be a pure
+    // function of the scheduler seed.
+    fds.sort_unstable();
     for fd in fds {
         progressed += step_conn(sys, this, lwip, fd, io_buf)?;
     }

@@ -106,6 +106,40 @@ pub struct MachineStats {
     pub tlb_misses: u64,
 }
 
+/// Per-core event counters (host-side observability; no simulated-cycle
+/// effect). The machine keeps one of these per simulated core so that
+/// multi-core runs can attribute TLB behaviour, PKRU churn and cross-call
+/// pressure to the core that caused it. On a single-core machine the core-0
+/// counters mirror the corresponding [`MachineStats`] fields.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CoreStats {
+    /// Software-TLB hits on this core.
+    pub tlb_hits: u64,
+    /// Software-TLB misses (full walks) on this core.
+    pub tlb_misses: u64,
+    /// Cross-cubicle calls dispatched while this core was current
+    /// (reported by the kernel via [`Machine::note_cross_call`]).
+    pub cross_calls: u64,
+    /// PKRU writes executed on this core.
+    pub wrpkru: u64,
+}
+
+/// The architectural state of one simulated core while it is *parked*
+/// (not the current core): its private PKRU register, cycle counter,
+/// software TLB, cycle alarm and per-core counters. The current core's
+/// state lives directly in the [`Machine`] fields — the hot paths never
+/// indirect through this struct — and is swapped in and out by
+/// [`Machine::switch_to_core`].
+#[derive(Debug)]
+struct CoreState {
+    pkru: Pkru,
+    cycles: u64,
+    tlb: Box<[TlbEntry]>,
+    tlb_gen: u64,
+    alarm: Option<u64>,
+    stats: CoreStats,
+}
+
 /// Pages per chunk of the flat page table (power of two). 512 pages cover
 /// a 2 MiB span — large enough that a whole component region usually sits
 /// in one or two chunks, small enough that sparse mappings stay cheap.
@@ -301,6 +335,18 @@ pub struct Machine {
     /// in-flight call deadline and polls [`Machine::cycle_alarm_expired`]
     /// on its entry paths. Pure bookkeeping — never charges cycles.
     alarm: Option<u64>,
+    /// Parked per-core state under multi-core simulation. Empty on a
+    /// single-core machine (the default), in which case every loop over
+    /// it degenerates to nothing and behaviour is bit-identical to the
+    /// pre-multi-core machine. When non-empty, `cores.len()` is the core
+    /// count and the slot at `cur` holds a stale placeholder (its live
+    /// state is in the `Machine` fields).
+    cores: Vec<CoreState>,
+    /// Index of the current core (0 on a single-core machine).
+    cur: usize,
+    /// Per-core counters of the *current* core; swapped with the parked
+    /// state on [`Machine::switch_to_core`].
+    cur_stats: CoreStats,
 }
 
 impl Default for Machine {
@@ -337,7 +383,145 @@ impl Machine {
             tlb_enabled: true,
             scan_scratch: Vec::new(),
             alarm: None,
+            cores: Vec::new(),
+            cur: 0,
+            cur_stats: CoreStats::default(),
         }
+    }
+
+    // ---------------------------------------------------------------------
+    // Cores
+    // ---------------------------------------------------------------------
+
+    /// Number of simulated cores (1 unless [`Machine::set_num_cores`]
+    /// grew the machine).
+    pub fn num_cores(&self) -> usize {
+        self.cores.len().max(1)
+    }
+
+    /// Index of the core currently executing.
+    pub fn current_core(&self) -> usize {
+        self.cur
+    }
+
+    /// Grows the machine to `n` cores (grow-only; shrinking a machine
+    /// with live per-core state would discard clocks and is a harness
+    /// bug). Every new core starts at the *current* core's cycle count
+    /// with the current PKRU, a cold TLB and zeroed counters — as if it
+    /// had just been released from a spin-at-boot barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or smaller than the current core count.
+    pub fn set_num_cores(&mut self, n: usize) {
+        assert!(n >= 1, "a machine has at least one core");
+        assert!(
+            n >= self.num_cores(),
+            "core count is grow-only ({} -> {n})",
+            self.num_cores()
+        );
+        if n == 1 {
+            return;
+        }
+        if self.cores.is_empty() {
+            // Placeholder for the current core; its live state stays in
+            // the Machine fields. The empty TLB box allocates nothing.
+            self.cores.push(CoreState {
+                pkru: self.pkru,
+                cycles: self.cycles,
+                tlb: Box::default(),
+                tlb_gen: self.tlb_gen,
+                alarm: self.alarm,
+                stats: self.cur_stats,
+            });
+        }
+        while self.cores.len() < n {
+            self.cores.push(CoreState {
+                pkru: self.pkru,
+                cycles: self.cycles,
+                tlb: vec![TlbEntry::INVALID; TLB_ENTRIES].into_boxed_slice(),
+                tlb_gen: 1,
+                alarm: None,
+                stats: CoreStats::default(),
+            });
+        }
+    }
+
+    /// Switches execution to core `i`: parks the current core's PKRU,
+    /// cycle counter, TLB, alarm and counters, and restores core `i`'s.
+    /// Host-side bookkeeping only — switching charges no simulated
+    /// cycles (the simulated cores run concurrently; the simulator just
+    /// serialises them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn switch_to_core(&mut self, i: usize) {
+        assert!(i < self.num_cores(), "core {i} out of range");
+        if i == self.cur {
+            return;
+        }
+        let parked = &mut self.cores[self.cur];
+        parked.pkru = self.pkru;
+        parked.cycles = self.cycles;
+        parked.tlb_gen = self.tlb_gen;
+        parked.alarm = self.alarm;
+        parked.stats = self.cur_stats;
+        parked.tlb = std::mem::take(&mut self.tlb);
+        let next = &mut self.cores[i];
+        self.pkru = next.pkru;
+        self.cycles = next.cycles;
+        self.tlb_gen = next.tlb_gen;
+        self.alarm = next.alarm;
+        self.cur_stats = next.stats;
+        self.tlb = std::mem::take(&mut next.tlb);
+        self.cur = i;
+    }
+
+    /// Cycle counter of core `i` (the current core reads its live value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn core_cycles(&self, i: usize) -> u64 {
+        assert!(i < self.num_cores(), "core {i} out of range");
+        if i == self.cur {
+            self.cycles
+        } else {
+            self.cores[i].cycles
+        }
+    }
+
+    /// The maximum cycle counter over all cores — the *makespan* of a
+    /// multi-core run, used as the denominator of aggregate throughput.
+    pub fn max_core_cycles(&self) -> u64 {
+        let mut max = self.cycles;
+        for (i, core) in self.cores.iter().enumerate() {
+            if i != self.cur {
+                max = max.max(core.cycles);
+            }
+        }
+        max
+    }
+
+    /// Per-core counters for core `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn core_stats(&self, i: usize) -> CoreStats {
+        assert!(i < self.num_cores(), "core {i} out of range");
+        if i == self.cur {
+            self.cur_stats
+        } else {
+            self.cores[i].stats
+        }
+    }
+
+    /// Tells the machine a cross-cubicle call was dispatched on the
+    /// current core (kernel-side observability; free of cycles).
+    pub fn note_cross_call(&mut self) {
+        self.cur_stats.cross_calls += 1;
     }
 
     /// Arms (or with `None` disarms) the cycle alarm at an absolute
@@ -447,18 +631,35 @@ impl Machine {
     // Translation (host fast path)
     // ---------------------------------------------------------------------
 
-    /// Invalidates every TLB entry.
+    /// Invalidates every TLB entry — on *every* core. A mapping change is
+    /// a global TLB shootdown: parked cores' generations are bumped too,
+    /// so a stale translation can never survive a core switch.
     #[inline]
     fn tlb_flush(&mut self) {
         self.tlb_gen += 1;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if i != self.cur {
+                core.tlb_gen += 1;
+            }
+        }
     }
 
-    /// Invalidates the TLB entry for one page, if cached.
+    /// Invalidates the TLB entry for one page, if cached — on every core
+    /// (the per-page analogue of the shootdown in [`Self::tlb_flush`]).
     #[inline]
     fn tlb_evict(&mut self, page: PageNum) {
-        let e = &mut self.tlb[(page.0 as usize) & (TLB_ENTRIES - 1)];
+        let idx = (page.0 as usize) & (TLB_ENTRIES - 1);
+        let e = &mut self.tlb[idx];
         if e.page == page.0 {
             e.gen = 0;
+        }
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if i != self.cur {
+                let e = &mut core.tlb[idx];
+                if e.page == page.0 {
+                    e.gen = 0;
+                }
+            }
         }
     }
 
@@ -492,12 +693,14 @@ impl Machine {
                 };
                 if granted {
                     self.stats.tlb_hits += 1;
+                    self.cur_stats.tlb_hits += 1;
                     return Ok((e.chunk as usize, e.slot as usize));
                 }
                 // Cached but denied: fall through to the walk so the
                 // fault carries the precise kind (Permission vs key).
             }
             self.stats.tlb_misses += 1;
+            self.cur_stats.tlb_misses += 1;
         }
         self.walk(page, access, fault_addr)
     }
@@ -719,6 +922,46 @@ impl Machine {
         }
     }
 
+    /// Re-assigns the protection key of a mapped page *without* charging
+    /// the `pkey_mprotect` kernel round trip. This is the grant-cache hit
+    /// path of trap-and-map: the monitor has already validated this
+    /// (accessor, page) pair, so the retag goes through a pre-armed
+    /// kernel descriptor whose permission walk is skipped — only the
+    /// trap and the metadata lookup (charged by the caller) remain. The
+    /// retag is still architecturally real: it counts in
+    /// [`MachineStats::retags`], records a [`MachineEvent::Retag`] and
+    /// shoots down the page's TLB entries on every core.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] with [`FaultKind::NotPresent`] if the page is
+    /// not mapped.
+    pub fn set_page_key_cached(&mut self, addr: VAddr, key: ProtKey) -> Result<(), Fault> {
+        let page = addr.page();
+        match self.table.entry_mut(page) {
+            Some(entry) => {
+                let from = entry.key;
+                entry.key = key;
+                self.tlb_evict(page);
+                self.stats.retags += 1;
+                if self.events.is_some() {
+                    self.record_event(MachineEvent::Retag {
+                        at: self.cycles,
+                        addr: page.base(),
+                        from,
+                        to: key,
+                    });
+                }
+                Ok(())
+            }
+            None => Err(Fault {
+                addr,
+                access: AccessKind::Write,
+                kind: FaultKind::NotPresent,
+            }),
+        }
+    }
+
     /// Like [`Machine::set_page_key`] but free of charge: used at load /
     /// deployment time, which the paper's measurements exclude.
     pub fn set_page_key_at_load(&mut self, addr: VAddr, key: ProtKey) -> Result<(), Fault> {
@@ -775,6 +1018,7 @@ impl Machine {
         self.pkru = pkru;
         self.cycles += self.cost.wrpkru;
         self.stats.wrpkru += 1;
+        self.cur_stats.wrpkru += 1;
         if self.events.is_some() {
             self.record_event(MachineEvent::WrPkru {
                 at: self.cycles,
@@ -1604,5 +1848,107 @@ mod tests {
         assert!(pages[1].1.flags.can_execute());
         m.unmap_page(lo);
         assert_eq!(m.mapped_pages().len(), 1);
+    }
+
+    #[test]
+    fn cores_have_private_clocks_and_pkru() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.set_num_cores(2);
+        m.charge(100);
+        assert_eq!(m.core_cycles(0), m.now());
+
+        m.switch_to_core(1);
+        m.set_pkru(Pkru::deny_all());
+        assert!(m.write(a, b"x").is_err(), "core 1's PKRU denies");
+        m.charge(7);
+        let c1_parked = m.core_cycles(1);
+
+        m.switch_to_core(0);
+        assert!(m.write(a, b"x").is_ok(), "core 0's PKRU still allows");
+        assert_eq!(
+            m.core_cycles(1),
+            c1_parked,
+            "a parked core's clock must not advance while another core runs"
+        );
+        assert_eq!(m.max_core_cycles(), m.core_cycles(0).max(m.core_cycles(1)));
+    }
+
+    #[test]
+    fn single_core_machine_is_unchanged_by_core_api() {
+        let mut m = Machine::new();
+        assert_eq!(m.num_cores(), 1);
+        assert_eq!(m.current_core(), 0);
+        m.charge(42);
+        assert_eq!(m.core_cycles(0), 42);
+        assert_eq!(m.max_core_cycles(), 42);
+        m.set_num_cores(1); // no-op
+        assert_eq!(m.num_cores(), 1);
+    }
+
+    #[test]
+    fn per_core_stats_are_private() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.set_num_cores(2);
+        m.note_cross_call();
+        m.write(a, b"hi").unwrap();
+        assert_eq!(m.core_stats(0).cross_calls, 1);
+        assert_eq!(m.core_stats(1).cross_calls, 0);
+        m.switch_to_core(1);
+        m.note_cross_call();
+        m.note_cross_call();
+        assert_eq!(m.core_stats(1).cross_calls, 2);
+        assert_eq!(m.core_stats(0).cross_calls, 1);
+        // Core 1's TLB is cold: its first touch of the page misses.
+        let misses_before = m.core_stats(1).tlb_misses;
+        m.write(a, b"yo").unwrap();
+        assert!(m.core_stats(1).tlb_misses > misses_before);
+    }
+
+    #[test]
+    fn retag_shoots_down_parked_core_tlbs() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        m.set_num_cores(2);
+        // Warm core 1's TLB on the page, then park it.
+        m.switch_to_core(1);
+        m.set_pkru(Pkru::allow_all());
+        m.write(a, b"warm").unwrap();
+        m.switch_to_core(0);
+        // Core 0 retags the page to a key core 1's PKRU denies.
+        m.set_page_key(a, ProtKey::new(3).unwrap()).unwrap();
+        m.switch_to_core(1);
+        m.set_pkru(Pkru::deny_all().allowing(ProtKey::new(1).unwrap()));
+        assert!(
+            m.write(a, b"stale").is_err(),
+            "a stale TLB entry must not survive a cross-core retag"
+        );
+    }
+
+    #[test]
+    fn set_page_key_cached_is_free_but_counted() {
+        let mut m = Machine::new();
+        let a = rw_page(&mut m, 0x1000, 1);
+        m.set_pkru(Pkru::allow_all());
+        let before = m.now();
+        let retags = m.stats().retags;
+        m.set_page_key_cached(a, ProtKey::new(2).unwrap()).unwrap();
+        assert_eq!(m.now(), before, "cached retag charges no cycles");
+        assert_eq!(m.stats().retags, retags + 1);
+        // And the tag really changed.
+        m.set_pkru(Pkru::deny_all().allowing(ProtKey::new(1).unwrap()));
+        assert!(m.write(a, b"x").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "grow-only")]
+    fn shrinking_cores_panics() {
+        let mut m = Machine::new();
+        m.set_num_cores(4);
+        m.set_num_cores(2);
     }
 }
