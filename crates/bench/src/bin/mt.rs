@@ -10,15 +10,21 @@
 //! 3. **Containment**: a faultstorm leg (wild RAMFS access from a
 //!    non-zero core mid-siege) is fully contained and the deployment
 //!    serves again after a microreboot.
+//! 4. **Sanitizer**: a CubicleSan leg re-runs the siege with race
+//!    detection on — the digest must match the detection-off run (the
+//!    detector is a pure observer), the run must be race-free with an
+//!    acyclic lock order, and a *seeded* lock elision must be caught
+//!    with exactly the planted access pair attributed.
 //!
-//! Exit status is non-zero unless all three hold. The CI `mt-smoke`
-//! job greps the literal `audit: clean`, `replay: deterministic` and
-//! `uncontained: 0` lines from stdout.
+//! Exit status is non-zero unless all four hold. The CI `mt-smoke` job
+//! greps the literal `audit: clean`, `replay: deterministic`,
+//! `uncontained: 0`, `races: 0` and `lockorder: acyclic` lines from
+//! stdout.
 //!
 //! Usage: `mt [cores] [requests]`
 
 use cubicle_bench::mt::{boot_and_siege, faultstorm_leg, MtConfig};
-use cubicle_core::IsolationMode;
+use cubicle_core::{IsolationMode, System};
 
 /// Seed of the smoke siege (the run is a pure function of it).
 const SEED: u64 = 0xC0DE_CAFE;
@@ -58,6 +64,54 @@ fn main() {
         println!("audit findings:\n{audit}");
     }
 
+    println!("== cubiclesan leg ({cores} cores) ==");
+    let mut san_cfg = cfg.clone();
+    san_cfg.race_detection = true;
+    let (s, san_sys) =
+        boot_and_siege(IsolationMode::Full, &san_cfg).expect("siege with CubicleSan");
+    let san_observer_ok = s == a;
+    if !san_observer_ok {
+        println!(
+            "DIVERGED: detection-on digest {:#018x} vs off {:#018x}",
+            s.digest, a.digest
+        );
+    }
+    // The verdict block of the fault-audit export, verbatim — CI greps
+    // `^races: 0$` and `^lockorder: acyclic$` from these lines.
+    for line in san_sys.export_fault_audit().lines() {
+        if line.starts_with("sanitizer:")
+            || line.starts_with("races:")
+            || line.starts_with("lockorder:")
+            || line.starts_with("lockset-violations:")
+        {
+            println!("{line}");
+        }
+    }
+    let san_clean = san_sys.race_reports().is_empty()
+        && san_sys.lockorder_cycle().is_none()
+        && san_sys.lockset_violations().is_empty();
+
+    // Seeded lock elision: plant the classic bug and require CubicleSan
+    // to report exactly that access pair — a silent detector must fail
+    // the gate just as loudly as a false positive.
+    let mut seeded = System::new(IsolationMode::Full);
+    seeded.set_race_detection(true);
+    seeded.set_num_cores(2);
+    seeded.switch_to_core(0);
+    seeded.san_probe_locked_for_test();
+    seeded.switch_to_core(1);
+    seeded.san_probe_elided_for_test();
+    let seeded_caught = seeded.race_reports().len() == 1
+        && seeded.race_reports()[0]
+            .to_string()
+            .contains("san_probe:page_meta.elided_write");
+    if !seeded_caught {
+        println!(
+            "MISSED: seeded lock elision not attributed: {:?}",
+            seeded.race_reports()
+        );
+    }
+
     println!("== faultstorm leg ({cores} cores) ==");
     let uncontained = faultstorm_leg(cores, SEED ^ 0xF00D);
 
@@ -73,7 +127,22 @@ fn main() {
         }
     );
     println!("audit: {}", if audit_ok { "clean" } else { "dirty" });
-    if !replay_ok || !audit_ok || uncontained != 0 || a.requests_done != requests {
+    println!(
+        "sanitizer: {}",
+        if san_observer_ok && san_clean && seeded_caught {
+            "clean"
+        } else {
+            "FAILED"
+        }
+    );
+    if !replay_ok
+        || !audit_ok
+        || uncontained != 0
+        || a.requests_done != requests
+        || !san_observer_ok
+        || !san_clean
+        || !seeded_caught
+    {
         std::process::exit(1);
     }
 }

@@ -62,6 +62,11 @@ pub struct MtConfig {
     /// Paths to request, cycled per request (must exist; see
     /// [`prepare_web_files`]).
     pub paths: Vec<String>,
+    /// Run the siege with CubicleSan enabled
+    /// ([`System::set_race_detection`]). The detector is a pure
+    /// observer, so the outcome (digest included) is bit-identical
+    /// either way; only host wall time changes. Default off.
+    pub race_detection: bool,
 }
 
 impl MtConfig {
@@ -78,6 +83,7 @@ impl MtConfig {
                 .iter()
                 .map(|(p, _)| (*p).to_string())
                 .collect(),
+            race_detection: false,
         }
     }
 }
@@ -179,6 +185,12 @@ fn mix(h: u64, v: u64) -> u64 {
 /// Panics if `cfg.cores` is zero.
 pub fn run_siege(dep: &mut WebDeployment, cfg: &MtConfig) -> Result<MtOutcome> {
     assert!(cfg.cores >= 1, "a siege needs at least one core");
+    // Enable-only: a caller that already armed CubicleSan on the System
+    // (e.g. the faultstorm leg, which watches across two sieges) keeps
+    // its accumulated history.
+    if cfg.race_detection && !dep.sys.race_detection_enabled() {
+        dep.sys.set_race_detection(true);
+    }
     dep.sys.set_num_cores(cfg.cores);
     let start: Vec<u64> = (0..cfg.cores).map(|i| dep.sys.core_cycles(i)).collect();
     let mut sched = CoreScheduler::new(cfg.seed, cfg.cores);
@@ -308,8 +320,11 @@ pub fn boot_and_siege(mode: IsolationMode, cfg: &MtConfig) -> Result<(MtOutcome,
 /// access inside RAMFS issued from a non-zero core; the cubicle must be
 /// quarantined, the fault must not cascade, the audit (including the
 /// concurrency/lock-discipline class) must stay clean, and after a
-/// microreboot a second siege must complete. Returns the number of
-/// uncontained faults (0 on success), printing `ESCAPE:` lines for each.
+/// microreboot a second siege must complete. CubicleSan stays armed
+/// across the whole leg — both sieges plus the fault handling in
+/// between — and any race report, lock-order cycle or lockset violation
+/// counts as an escape. Returns the number of uncontained faults (0 on
+/// success), printing `ESCAPE:` lines for each.
 ///
 /// # Panics
 ///
@@ -319,6 +334,7 @@ pub fn faultstorm_leg(cores: usize, seed: u64) -> u64 {
 
     let mut dep = boot_web(IsolationMode::Full).expect("boot_web");
     dep.sys.set_fault_containment(true);
+    dep.sys.set_race_detection(true);
     prepare_web_files(&mut dep).expect("prepare files");
     let mut cfg = MtConfig::new(cores, 2 * cores, seed);
     cfg.wire = WireModel {
@@ -377,6 +393,18 @@ pub fn faultstorm_leg(cores: usize, seed: u64) -> u64 {
     let audit = dep.sys.audit();
     if !audit.is_clean() {
         println!("ESCAPE: post-reboot audit dirty:\n{audit}");
+        uncontained += 1;
+    }
+    for r in dep.sys.race_reports() {
+        println!("ESCAPE: sanitizer race report: {r}");
+        uncontained += 1;
+    }
+    if let Some(cycle) = dep.sys.lockorder_cycle() {
+        println!("ESCAPE: sanitizer lock-order cycle: {cycle}");
+        uncontained += 1;
+    }
+    for v in dep.sys.lockset_violations() {
+        println!("ESCAPE: sanitizer lockset violation: {v}");
         uncontained += 1;
     }
     uncontained

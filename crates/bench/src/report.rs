@@ -221,6 +221,21 @@ pub fn top_table(sys: &mut System) -> String {
             "attributed window: {window} cycles ('*' marks a parked MPK key)\n"
         ));
     }
+    // Monitor-lock counters (the re-entrant monitor's four spin-modelled
+    // locks); silent only when the monitor took no lock at all.
+    let locks = sys.monitor_lock_stats();
+    if locks.iter().any(|l| l.acquisitions > 0) {
+        out.push_str(&format!(
+            "\n{:<12} {:>11} {:>11} {:>13}\n",
+            "LOCK", "ACQ", "CONTENDED", "WAIT_CYC"
+        ));
+        for l in &locks {
+            out.push_str(&format!(
+                "{:<12} {:>11} {:>11} {:>13}\n",
+                l.name, l.acquisitions, l.contended, l.wait_cycles
+            ));
+        }
+    }
     out
 }
 

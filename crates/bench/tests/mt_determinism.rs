@@ -67,6 +67,50 @@ fn multi_core_sieges_replay_bit_identically_across_seeds() {
     }
 }
 
+/// ISSUE 9 acceptance: the unmutated fig-5 siege, swept over the full
+/// core matrix and 16 scheduler seeds with CubicleSan armed, must be
+/// race-free with an acyclic lock order — and the detector must stay a
+/// pure observer (same digest as the detection-off run).
+#[test]
+fn cubiclesan_sweep_is_race_free_and_a_pure_observer() {
+    for cores in [1usize, 2, 4, 8] {
+        for seed in 0..16u64 {
+            let mut dep = boot_web(IsolationMode::Full).expect("boot_web");
+            prepare_web_files(&mut dep).expect("files");
+            let mut cfg = MtConfig::new(cores, 6, seed);
+            cfg.wire = fast_wire();
+            cfg.race_detection = true;
+            let on = run_siege(&mut dep, &cfg).expect("siege");
+            assert_eq!(
+                dep.sys.race_reports(),
+                &[],
+                "{cores} cores, seed {seed}: siege must be race-free"
+            );
+            assert_eq!(
+                dep.sys.lockorder_cycle(),
+                None,
+                "{cores} cores, seed {seed}: lock order must stay acyclic"
+            );
+            assert!(
+                dep.sys.lockset_violations().is_empty(),
+                "{cores} cores, seed {seed}: {:?}",
+                dep.sys.lockset_violations()
+            );
+            dep.sys.audit().assert_clean("cubiclesan sweep");
+
+            // Observer check once per core count: detection off must
+            // produce the identical outcome, per-core clocks included.
+            if seed == 0 {
+                let mut dep = boot_web(IsolationMode::Full).expect("boot_web");
+                prepare_web_files(&mut dep).expect("files");
+                cfg.race_detection = false;
+                let off = run_siege(&mut dep, &cfg).expect("siege");
+                assert_eq!(off, on, "{cores} cores: detector charged cycles");
+            }
+        }
+    }
+}
+
 #[test]
 fn different_seeds_interleave_differently() {
     // Not a correctness requirement per se, but if every seed produced

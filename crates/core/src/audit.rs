@@ -35,7 +35,11 @@
 //!   time, and each cubicle's re-entrancy stack pool is consistent (slot 0
 //!   mirrors the primary stack, pooled stacks are owned `Stack` regions
 //!   with intact guards, live slots match in-flight frames, quarantined
-//!   cubicles have no pool).
+//!   cubicles have no pool);
+//! * **sanitizer** — when CubicleSan is enabled
+//!   ([`crate::System::set_race_detection`]), its history is clean: no
+//!   data races, no lock-order cycle, no Eraser lockset violations.
+//!   Silent (like any disabled subsystem) when detection is off.
 
 use crate::cubicle::RegionType;
 use crate::system::{MonitorLock, System, PARKED_KEY};
@@ -64,6 +68,9 @@ pub enum InvariantClass {
     /// critical sections on a monitor lock, or an inconsistent
     /// re-entrancy stack pool.
     Concurrency,
+    /// CubicleSan (when enabled) recorded a data race, a lock-order
+    /// cycle or an Eraser lockset violation.
+    Sanitizer,
 }
 
 impl fmt::Display for InvariantClass {
@@ -76,6 +83,7 @@ impl fmt::Display for InvariantClass {
             InvariantClass::KeyUniqueness => "key-uniqueness",
             InvariantClass::Quarantine => "quarantine",
             InvariantClass::Concurrency => "concurrency",
+            InvariantClass::Sanitizer => "sanitizer",
         })
     }
 }
@@ -216,17 +224,24 @@ impl System {
         }
         // The reverse direction: monitor metadata for pages the machine
         // no longer maps would let trap-and-map hand out dead addresses.
-        for (&page, meta) in &self.page_meta {
-            if self.machine.page_entry(page.base()).is_none() {
-                findings.push(AuditFinding {
-                    class: InvariantClass::TagConsistency,
-                    detail: format!(
-                        "monitor metadata for unmapped page {} (owner {})",
-                        page,
-                        self.cubicles[meta.owner.index()].name
-                    ),
-                });
-            }
+        // Sorted by page so findings render in the same order run to run
+        // (the determinism lint caught this iterating the map directly).
+        let mut stale: Vec<_> = self
+            .page_meta
+            .iter() // verify: order-ok — sorted before reporting below
+            .filter(|(&page, _)| self.machine.page_entry(page.base()).is_none())
+            .map(|(&page, meta)| (page, meta.owner))
+            .collect();
+        stale.sort_unstable_by_key(|&(page, _)| page);
+        for (page, owner) in stale {
+            findings.push(AuditFinding {
+                class: InvariantClass::TagConsistency,
+                detail: format!(
+                    "monitor metadata for unmapped page {} (owner {})",
+                    page,
+                    self.cubicles[owner.index()].name
+                ),
+            });
         }
 
         // ── pass 2: window descriptors ───────────────────────────────
@@ -473,6 +488,31 @@ impl System {
             }
         }
 
+        // ── pass 7: sanitizer clean (CubicleSan) ─────────────────────
+        // Only meaningful while detection is on; a feature-off run has
+        // no detector history and this pass is silent, like any audit
+        // pass over a disabled subsystem.
+        if self.race_detection_enabled() {
+            for r in self.race_reports() {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Sanitizer,
+                    detail: r.to_string(),
+                });
+            }
+            if let Some(cycle) = self.lockorder_cycle() {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Sanitizer,
+                    detail: format!("lock-order cycle: {cycle}"),
+                });
+            }
+            for v in self.lockset_violations() {
+                findings.push(AuditFinding {
+                    class: InvariantClass::Sanitizer,
+                    detail: v,
+                });
+            }
+        }
+
         AuditReport {
             findings,
             pages_checked: mapped.len(),
@@ -505,6 +545,7 @@ mod tests {
         assert_eq!(InvariantClass::KeyUniqueness.to_string(), "key-uniqueness");
         assert_eq!(InvariantClass::Quarantine.to_string(), "quarantine");
         assert_eq!(InvariantClass::Concurrency.to_string(), "concurrency");
+        assert_eq!(InvariantClass::Sanitizer.to_string(), "sanitizer");
     }
 
     #[test]

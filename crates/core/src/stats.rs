@@ -64,6 +64,13 @@ pub struct SysStats {
     /// Grant-cache entries dropped by precise invalidation (window
     /// close/remove/destroy, ownership transfer, quarantine, restart).
     pub grant_cache_invalidations: u64,
+    /// Data races detected by CubicleSan (including pairs suppressed by
+    /// the dedup filter or the report cap). 0 when detection is off.
+    pub race_reports: u64,
+    /// Distinct lock-order edges CubicleSan observed. 0 when off.
+    pub lockorder_edges: u64,
+    /// Eraser lockset violations CubicleSan recorded. 0 when off.
+    pub lockset_violations: u64,
 }
 
 impl SysStats {
@@ -100,6 +107,8 @@ impl SysStats {
             "snapshot is not earlier"
         );
         let mut edges = HashMap::new();
+        // verify: order-ok — differences land in another hash map, so no
+        // iteration order is observable
         for (&edge, &n) in &self.call_edges {
             let base = earlier.call_edges.get(&edge).copied().unwrap_or(0);
             assert!(base <= n, "snapshot is not earlier");
@@ -130,7 +139,17 @@ impl SysStats {
             grant_cache_misses: self.grant_cache_misses - earlier.grant_cache_misses,
             grant_cache_invalidations: self.grant_cache_invalidations
                 - earlier.grant_cache_invalidations,
+            race_reports: self.race_reports - earlier.race_reports,
+            lockorder_edges: self.lockorder_edges - earlier.lockorder_edges,
+            lockset_violations: self.lockset_violations - earlier.lockset_violations,
         }
+    }
+
+    /// Folds one CubicleSan event delta into the sanitizer counters.
+    pub(crate) fn apply_race_delta(&mut self, delta: crate::race::RaceDelta) {
+        self.race_reports += delta.races;
+        self.lockorder_edges += delta.edges;
+        self.lockset_violations += delta.violations;
     }
 }
 
@@ -183,6 +202,16 @@ impl fmt::Display for SysStats {
                 f,
                 "grant-cache: {} hits / {} misses / {} invalidations",
                 self.grant_cache_hits, self.grant_cache_misses, self.grant_cache_invalidations
+            )?;
+        }
+        // Quiet when CubicleSan is off (lockorder_edges is nonzero on any
+        // detection-on run that nests locks, so the sanitizer line shows
+        // up exactly when the detector ran with something to say).
+        if self.race_reports + self.lockorder_edges + self.lockset_violations > 0 {
+            writeln!(
+                f,
+                "sanitizer: {} races / {} lock-order edges / {} lockset violations",
+                self.race_reports, self.lockorder_edges, self.lockset_violations
             )?;
         }
         let mut edges: Vec<_> = self.call_edges.iter().collect();

@@ -23,6 +23,7 @@ use crate::ids::{CubicleId, EntryId, WindowId};
 use crate::ledger::LedgerRow;
 use crate::metrics::Metrics;
 use crate::mode::IsolationMode;
+use crate::race::{RaceDetector, RaceObject, RaceReport};
 use crate::span::{CycleAttribution, SpanFrame, SpanProfiler, SpanRecord};
 use crate::stats::SysStats;
 use crate::trace::{FaultAudit, FaultDecision, TraceBuffer, TraceEvent, WindowOpKind};
@@ -212,6 +213,19 @@ pub struct System {
     /// single-core run every section is uncontended and free, so cycle
     /// counts are bit-identical to the lock-free monitor.
     pub(crate) locks: MonitorLocks,
+    /// Quarantines requested while the fault path held the page-metadata
+    /// lock, performed by [`System::resolve_fault`] right after the
+    /// release. Teardown needs the windows and ledger locks, and taking
+    /// the ledger lock *under* page_meta would invert the sanctioned
+    /// ledger → page_meta order (heap growth maps fresh pages while
+    /// holding the ledger) — a deadlock cycle CubicleSan would flag.
+    pending_quarantine: Vec<(CubicleId, String)>,
+    /// CubicleSan ([`System::set_race_detection`]): vector-clock
+    /// happens-before race detector + Eraser locksets + lock-order graph
+    /// over the monitor's shared metadata. `None` (the default) skips
+    /// every hook; the detector is a pure observer either way — it never
+    /// charges simulated cycles, so clocks are bit-identical on or off.
+    race: Option<Box<RaceDetector>>,
 }
 
 /// Exponential-backoff policy for [`System::restart`]: a cubicle on its
@@ -462,6 +476,8 @@ impl System {
             batching: false,
             restart_policy: None,
             locks: MonitorLocks::default(),
+            pending_quarantine: Vec::new(),
+            race: None,
         }
     }
 
@@ -620,6 +636,7 @@ impl System {
         let n = self.cubicles.len();
         let mut owned = vec![0usize; n];
         let mut foreign = vec![0usize; n];
+        // verify: order-ok — commutative counting into per-cubicle slots
         for m in self.page_meta.values() {
             if m.owner.index() < n {
                 owned[m.owner.index()] += 1;
@@ -630,6 +647,7 @@ impl System {
         }
         let mut calls_in = vec![0u64; n];
         let mut calls_out = vec![0u64; n];
+        // verify: order-ok — commutative counting into per-cubicle slots
         for (&(from, to), &count) in &self.stats.call_edges {
             if from.index() < n {
                 calls_out[from.index()] += count;
@@ -1016,6 +1034,35 @@ impl System {
         self.cubicles[cid.index()].state = crate::cubicle::CubicleState::Quarantined;
     }
 
+    /// Feeds CubicleSan a page-metadata write performed *with* the lock
+    /// held — the well-behaved half of the seeded lock-elision
+    /// experiment (see [`System::corrupt_machine_for_test`] for the
+    /// `*_for_test` convention; `cubicle-verify` bans the name in
+    /// component sources).
+    #[doc(hidden)]
+    pub fn san_probe_locked_for_test(&mut self) {
+        let start = self.lock_acquire(MonitorLock::PageMeta);
+        self.race_note(
+            RaceObject::PageMeta,
+            true,
+            "san_probe:page_meta.locked_write",
+        );
+        self.lock_release(MonitorLock::PageMeta, start);
+    }
+
+    /// Feeds CubicleSan a page-metadata write with the lock acquire
+    /// *elided* — the seeded mutation: issued on a different core with
+    /// no intervening lock operations, this is exactly the access pair
+    /// the detector must report.
+    #[doc(hidden)]
+    pub fn san_probe_elided_for_test(&mut self) {
+        self.race_note(
+            RaceObject::PageMeta,
+            true,
+            "san_probe:page_meta.elided_write",
+        );
+    }
+
     /// Simulated cycle counter.
     pub fn now(&self) -> u64 {
         self.machine.now()
@@ -1100,6 +1147,9 @@ impl System {
         );
         self.pump_machine_events();
         self.machine.switch_to_core(i);
+        if let Some(race) = &mut self.race {
+            race.on_dispatch(i);
+        }
     }
 
     /// Core `i`'s cycle counter (its private simulated clock).
@@ -1154,6 +1204,10 @@ impl System {
             st.wait_cycles += wait;
             self.machine.charge(wait);
         }
+        if let Some(race) = &mut self.race {
+            let delta = race.on_acquire(self.machine.current_core(), lock);
+            self.stats.apply_race_delta(delta);
+        }
         self.machine.now()
     }
 
@@ -1167,6 +1221,66 @@ impl System {
             st.sections.pop_front();
         }
         st.sections.push_back((start, end));
+        if let Some(race) = &mut self.race {
+            race.on_release(self.machine.current_core(), lock);
+        }
+    }
+
+    /// Feeds CubicleSan one access to a protected monitor structure,
+    /// tagged with its lexical site. A no-op (and no cycle charge) when
+    /// detection is off; see [`System::set_race_detection`].
+    fn race_note(&mut self, object: RaceObject, write: bool, site: &'static str) {
+        if let Some(race) = &mut self.race {
+            let delta = race.on_access(self.machine.current_core(), object, write, site);
+            self.stats.apply_race_delta(delta);
+        }
+    }
+
+    /// Enables or disables CubicleSan, the monitor's dynamic race
+    /// detector: per-core vector clocks advanced on dispatch and lock
+    /// acquire/release, Eraser-style lockset tracking for every access
+    /// to the four lock-protected structures, and a lock-order graph
+    /// that records the first cycle. Enabling resets any prior history.
+    ///
+    /// The detector is a pure observer — it never charges simulated
+    /// cycles, so clock values are bit-identical with detection on or
+    /// off; only host wall time changes.
+    pub fn set_race_detection(&mut self, on: bool) {
+        self.race = if on {
+            Some(Box::new(RaceDetector::new()))
+        } else {
+            None
+        };
+    }
+
+    /// Is CubicleSan currently enabled?
+    pub fn race_detection_enabled(&self) -> bool {
+        self.race.is_some()
+    }
+
+    /// Race reports recorded by CubicleSan (deduplicated by site pair,
+    /// capped); empty when detection is off.
+    pub fn race_reports(&self) -> &[RaceReport] {
+        self.race.as_ref().map_or(&[], |r| r.reports())
+    }
+
+    /// Distinct lock-order edges CubicleSan has observed (0 when off).
+    pub fn lockorder_edges(&self) -> u64 {
+        self.race.as_ref().map_or(0, |r| r.lockorder_edges())
+    }
+
+    /// The first lock-order cycle CubicleSan found, rendered as
+    /// `a -> b -> a`; `None` means acyclic so far (or detection off).
+    pub fn lockorder_cycle(&self) -> Option<&str> {
+        self.race.as_ref().and_then(|r| r.lockorder_cycle())
+    }
+
+    /// Eraser lockset violations recorded by CubicleSan (at most one per
+    /// protected structure); empty when detection is off.
+    pub fn lockset_violations(&self) -> Vec<String> {
+        self.race.as_ref().map_or_else(Vec::new, |r| {
+            r.violations().iter().map(|v| v.to_string()).collect()
+        })
     }
 
     /// Hands out a stack for a cross-call entering `cid`, from the
@@ -1507,11 +1621,21 @@ impl System {
             );
         }
         if info.heap_pages > 0 {
+            // Heap accounting (heap_pages_granted inside map_fresh, the
+            // sub-allocator region list) is ledger state: restart replays
+            // race with concurrent heap_alloc calls on other cores.
+            let start = self.lock_acquire(MonitorLock::Ledger);
             let heap_base =
                 self.map_fresh(info.heap_pages, key, PageFlags::rw(), cid, RegionType::Heap);
-            self.cubicles[cid.index()]
+            self.race_note(
+                RaceObject::Ledger,
+                true,
+                "map_component_segments:heap.add_region",
+            );
+            self.cubicles[cid.index()] // verify: lock-held(ledger)
                 .heap
                 .add_region(heap_base, info.heap_pages * PAGE_SIZE);
+            self.lock_release(MonitorLock::Ledger, start);
         }
         if info.stack_pages > 0 {
             let stack_base = self.map_fresh(
@@ -1540,8 +1664,14 @@ impl System {
         // fault instead of silently touching a neighbour.
         self.next_page += pages as u64 + 1;
         if region == RegionType::Heap {
-            self.cubicles[owner.index()].heap_pages_granted += pages;
+            // Every heap-growing caller (heap_alloc_locked, the restart
+            // replay in map_component_segments) holds the ledger lock
+            // around this call.
+            self.race_note(RaceObject::Ledger, true, "map_fresh:heap_pages_granted");
+            self.cubicles[owner.index()].heap_pages_granted += pages; // verify: lock-held(ledger)
         }
+        let start = self.lock_acquire(MonitorLock::PageMeta);
+        self.race_note(RaceObject::PageMeta, true, "map_fresh:page_meta.insert");
         for i in 0..pages {
             let addr = base + i * PAGE_SIZE;
             self.machine.map_page(addr, key, flags);
@@ -1555,6 +1685,7 @@ impl System {
                 },
             );
         }
+        self.lock_release(MonitorLock::PageMeta, start);
         base
     }
 
@@ -2160,6 +2291,12 @@ impl System {
         let start = self.lock_acquire(MonitorLock::PageMeta);
         let result = self.resolve_fault_locked(fault);
         self.lock_release(MonitorLock::PageMeta, start);
+        // Quarantines decided under the lock run after its release:
+        // teardown takes the windows and ledger locks, which must never
+        // nest under page_meta (see `pending_quarantine`).
+        while let Some((cid, reason)) = self.pending_quarantine.pop() {
+            self.quarantine_for(cid, reason);
+        }
         result
     }
 
@@ -2176,6 +2313,7 @@ impl System {
         self.machine.charge(cost.trap);
         // ❷ O(1) page metadata lookup: owner + window descriptor array
         self.machine.charge(cost.page_meta_lookup);
+        self.race_note(RaceObject::PageMeta, false, "resolve_fault:page_meta.get");
         let meta = match self.page_meta.get(&fault.addr.page()) {
             Some(m) => *m,
             None => return Err(self.deny_raw_fault(fault)),
@@ -2214,11 +2352,18 @@ impl System {
         // remembered authority (window remove/close/close-all/destroy,
         // ownership transfer, quarantine, restart) drops the entry.
         if self.grant_cache.is_some() {
+            let gstart = self.lock_acquire(MonitorLock::GrantCache);
             let cache_key = (accessor, fault.addr.page());
+            self.race_note(
+                RaceObject::GrantCache,
+                false,
+                "resolve_fault:grant_cache.get",
+            );
             let cached = self
                 .grant_cache
                 .as_ref()
                 .and_then(|c| c.map.get(&cache_key).copied());
+            let mut hit = None;
             if let Some(entry) = cached {
                 if entry.owner == meta.owner {
                     #[cfg(debug_assertions)]
@@ -2240,37 +2385,51 @@ impl System {
                             fault.addr, entry.via, meta.owner
                         );
                     }
+                    self.race_note(
+                        RaceObject::GrantCache,
+                        true,
+                        "resolve_fault:grant_cache.hit",
+                    );
                     let cache = self.grant_cache.as_mut().unwrap();
                     *cache.hits_by_accessor.entry(accessor).or_insert(0) += 1;
                     self.stats.grant_cache_hits += 1;
-                    // A hit pays only the trap and the O(1) lookups
-                    // already charged above: the kernel retags the page
-                    // through its cached mapping without a fresh
-                    // `pkey_mprotect` round-trip (the remembered grant
-                    // proves the ACL still authorises the access).
-                    self.machine
-                        .set_page_key_cached(fault.addr, accessor_key)
-                        .map_err(CubicleError::MachineFault)?;
-                    self.record_holder(fault.addr, accessor, Some(entry.via));
-                    self.stats.faults_resolved += 1;
-                    self.trace_fault(
-                        &fault,
-                        meta.owner,
-                        accessor,
-                        FaultDecision::Window(entry.via),
+                    hit = Some(entry.via);
+                } else {
+                    // Remembered owner is obsolete (ownership transferred
+                    // under the entry): drop it and take the slow path.
+                    self.race_note(
+                        RaceObject::GrantCache,
+                        true,
+                        "resolve_fault:grant_cache.remove",
                     );
-                    return Ok(());
+                    self.grant_cache.as_mut().unwrap().map.remove(&cache_key);
+                    self.stats.grant_cache_invalidations += 1;
                 }
-                // Remembered owner is obsolete (ownership transferred
-                // under the entry): drop it and take the slow path.
-                self.grant_cache.as_mut().unwrap().map.remove(&cache_key);
-                self.stats.grant_cache_invalidations += 1;
+            }
+            self.lock_release(MonitorLock::GrantCache, gstart);
+            if let Some(via) = hit {
+                // A hit pays only the trap and the O(1) lookups already
+                // charged above: the kernel retags the page through its
+                // cached mapping without a fresh `pkey_mprotect`
+                // round-trip (the remembered grant proves the ACL still
+                // authorises the access).
+                self.machine
+                    .set_page_key_cached(fault.addr, accessor_key)
+                    .map_err(CubicleError::MachineFault)?;
+                self.record_holder(fault.addr, accessor, Some(via));
+                self.stats.faults_resolved += 1;
+                self.trace_fault(&fault, meta.owner, accessor, FaultDecision::Window(via));
+                return Ok(());
             }
         }
 
         // ❸ linear search of the owner's window descriptors,
-        // ❹ O(1) bitmask check per covering descriptor.
+        // ❹ O(1) bitmask check per covering descriptor. The descriptor
+        // array can be mutated by its owner on another core mid-search,
+        // so the search runs under the windows lock (P → W nesting).
         let owner_idx = meta.owner.index();
+        let wstart = self.lock_acquire(MonitorLock::Windows);
+        self.race_note(RaceObject::Windows, false, "resolve_fault:windows.search");
         let mut probes = 0u64;
         let mut decided_by = None;
         for w in &self.cubicles[owner_idx].windows {
@@ -2283,12 +2442,20 @@ impl System {
         }
         self.stats.acl_probes += probes;
         self.machine.charge(cost.acl_probe * probes);
+        self.lock_release(MonitorLock::Windows, wstart);
         if let Some(wid) = decided_by {
             // ❺ assign the accessor's MPK tag to the page (zero-copy)
             self.retag(fault.addr, accessor_key)?;
             self.record_holder(fault.addr, accessor, Some(wid));
             self.stats.faults_resolved += 1;
-            if let Some(cache) = &mut self.grant_cache {
+            if self.grant_cache.is_some() {
+                let gstart = self.lock_acquire(MonitorLock::GrantCache);
+                self.race_note(
+                    RaceObject::GrantCache,
+                    true,
+                    "resolve_fault:grant_cache.insert",
+                );
+                let cache = self.grant_cache.as_mut().unwrap();
                 cache.map.insert(
                     (accessor, fault.addr.page()),
                     GrantEntry {
@@ -2297,6 +2464,7 @@ impl System {
                     },
                 );
                 self.stats.grant_cache_misses += 1;
+                self.lock_release(MonitorLock::GrantCache, gstart);
             }
             self.trace_fault(&fault, meta.owner, accessor, FaultDecision::Window(wid));
             Ok(())
@@ -2318,7 +2486,7 @@ impl System {
                 } else {
                     accessor
                 };
-                self.quarantine_for(
+                self.pending_quarantine.push((
                     offender,
                     format!(
                         "denied {} at {} (owner {}, accessor {})",
@@ -2327,7 +2495,7 @@ impl System {
                         self.cubicles[meta.owner.index()].name,
                         self.cubicles[accessor.index()].name,
                     ),
-                );
+                ));
             }
             Err(CubicleError::WindowDenied {
                 accessor,
@@ -2350,10 +2518,10 @@ impl System {
         if self.fault_containment {
             let accessor = self.current_cubicle();
             if accessor != CubicleId::MONITOR && !self.cubicles[accessor.index()].is_quarantined() {
-                self.quarantine_for(
+                self.pending_quarantine.push((
                     accessor,
                     format!("wild {} at unmapped {}", fault.access, fault.addr),
-                );
+                ));
             }
         }
         CubicleError::MachineFault(fault)
@@ -2407,7 +2575,15 @@ impl System {
     /// when the holder is not the owner. [`System::audit`] cross-checks
     /// the machine's page table against this record.
     fn record_holder(&mut self, addr: VAddr, holder: CubicleId, via: Option<WindowId>) {
+        // Every caller (fault resolution, quarantine teardown) holds the
+        // page-metadata lock around this mutation.
+        self.race_note(
+            RaceObject::PageMeta,
+            true,
+            "record_holder:page_meta.get_mut",
+        );
         if let Some(m) = self.page_meta.get_mut(&addr.page()) {
+            // verify: lock-held(page_meta)
             m.holder = holder;
             m.via = via;
         }
@@ -2489,6 +2665,11 @@ impl System {
             return;
         }
         let start = self.lock_acquire(MonitorLock::GrantCache);
+        self.race_note(
+            RaceObject::GrantCache,
+            true,
+            "grant_cache_purge_cubicle:map.retain",
+        );
         if let Some(cache) = &mut self.grant_cache {
             let before = cache.map.len();
             cache
@@ -2512,6 +2693,11 @@ impl System {
             return;
         }
         let start = self.lock_acquire(MonitorLock::GrantCache);
+        self.race_note(
+            RaceObject::GrantCache,
+            true,
+            "grant_cache_invalidate_window:map.retain",
+        );
         if let Some(cache) = &mut self.grant_cache {
             let before = cache.map.len();
             cache.map.retain(|(accessor, _), e| {
@@ -2530,6 +2716,11 @@ impl System {
             return;
         }
         let start = self.lock_acquire(MonitorLock::GrantCache);
+        self.race_note(
+            RaceObject::GrantCache,
+            true,
+            "grant_cache_invalidate_pages:map.retain",
+        );
         if let Some(cache) = &mut self.grant_cache {
             let before = cache.map.len();
             cache
@@ -2620,15 +2811,23 @@ impl System {
         self.cubicles[cid.index()].quarantined_at = self.machine.now();
 
         // ❶ Destroy the offender's window descriptors: nothing of its
-        // (soon reclaimed) memory stays published.
+        // (soon reclaimed) memory stays published. A fault on another
+        // core may be searching this array (P → W nesting).
+        let wstart = self.lock_acquire(MonitorLock::Windows);
+        self.race_note(RaceObject::Windows, true, "quarantine:windows.take");
         let windows = std::mem::take(&mut self.cubicles[cid.index()].windows);
+        self.lock_release(MonitorLock::Windows, wstart);
 
-        // ❷ Pages the offender *held* of other owners (faulted in via
+        // ❷ + ❸ mutate the page-metadata map (holder retags, removals,
+        // tombstones) — one critical section covers the whole teardown.
+        let pstart = self.lock_acquire(MonitorLock::PageMeta);
+        // Pages the offender *held* of other owners (faulted in via
         // trap-and-map) are retagged back to their owners — causal tag
         // consistency must not dangle on a parked key.
+        self.race_note(RaceObject::PageMeta, true, "quarantine:page_meta.teardown");
         let mut held: Vec<PageNum> = self
             .page_meta
-            .iter()
+            .iter() // verify: order-ok — sorted before replaying below
             .filter(|(_, m)| m.holder == cid && m.owner != cid)
             .map(|(&p, _)| p)
             .collect();
@@ -2649,11 +2848,11 @@ impl System {
             self.record_holder(page.base(), owner, None);
         }
 
-        // ❸ Reclaim every page the offender owns (tombstoned: a later
+        // Reclaim every page the offender owns (tombstoned: a later
         // touch through a dangling reference yields a typed error).
         let mut owned: Vec<PageNum> = self
             .page_meta
-            .iter()
+            .iter() // verify: order-ok — sorted before replaying below
             .filter(|(_, m)| m.owner == cid)
             .map(|(&p, _)| p)
             .collect();
@@ -2668,6 +2867,7 @@ impl System {
             self.page_meta.remove(&page);
             self.reclaimed.insert(page, cid);
         }
+        self.lock_release(MonitorLock::PageMeta, pstart);
 
         // ❹ Park the MPK key. Without virtualisation the physical key
         // returns to the reuse pool; with it, the binding is released.
@@ -2687,7 +2887,10 @@ impl System {
         // ❺ Reset the kernel-side record: empty heap, no stack, parked
         // key, quarantined state. Pooled re-entrancy stacks were owned
         // by the offender, so step ❸ already reclaimed their pages —
-        // drop the slot records with them.
+        // drop the slot records with them. The heap/accounting reset is
+        // ledger state a concurrent heap_alloc could be reading.
+        let lstart = self.lock_acquire(MonitorLock::Ledger);
+        self.race_note(RaceObject::Ledger, true, "quarantine:heap.reset");
         let c = &mut self.cubicles[cid.index()];
         c.key = PARKED_KEY;
         c.heap = crate::heap::SubAllocator::new();
@@ -2699,6 +2902,7 @@ impl System {
         c.state = CubicleState::Quarantined;
         c.quarantine_reason = Some(reason.clone());
         let name = c.name.clone();
+        self.lock_release(MonitorLock::Ledger, lstart);
         self.containment_push(format!(
             "containment: quarantined {name} ({cid}): {reason} \
              [{pages_reclaimed} page(s) reclaimed, {} window(s) destroyed]",
@@ -3096,6 +3300,7 @@ impl System {
     }
 
     fn heap_alloc_locked(&mut self, cid: CubicleId, size: usize, align: usize) -> Result<VAddr> {
+        self.race_note(RaceObject::Ledger, true, "heap_alloc_locked:heap.alloc");
         if let Some(addr) = self.cubicles[cid.index()].heap.alloc(size, align) {
             if self.tracer.is_some() {
                 self.trace_push(TraceEvent::HeapAlloc {
@@ -3142,6 +3347,7 @@ impl System {
     pub fn heap_free(&mut self, addr: VAddr) -> Result<()> {
         let cid = self.current_cubicle();
         let start = self.lock_acquire(MonitorLock::Ledger);
+        self.race_note(RaceObject::Ledger, true, "heap_free:heap.free");
         let freed = self.cubicles[cid.index()]
             .heap
             .free(addr)
@@ -3187,7 +3393,14 @@ impl System {
     pub fn alloc_pages(&mut self, pages: usize) -> VAddr {
         let cid = self.current_cubicle();
         let key = self.cubicles[cid.index()].key;
-        self.map_fresh(pages.max(1), key, PageFlags::rw(), cid, RegionType::Heap)
+        // Heap-region mappings update `heap_pages_granted` inside
+        // `map_fresh` — ledger state, racing with `heap_alloc`/`heap_free`
+        // on other cores. (CubicleSan caught this exact elision: ALLOC
+        // grants from a non-zero core raced the core-0 free path.)
+        let start = self.lock_acquire(MonitorLock::Ledger);
+        let base = self.map_fresh(pages.max(1), key, PageFlags::rw(), cid, RegionType::Heap);
+        self.lock_release(MonitorLock::Ledger, start);
+        base
     }
 
     /// Transfers ownership of the pages covering `[addr, addr+len)` from
@@ -3209,26 +3422,44 @@ impl System {
         if self.cubicles[to.index()].is_quarantined() {
             return Err(CubicleError::Quarantined { cubicle: to });
         }
+        // Check and transfer under one page-metadata section: a fault
+        // resolving concurrently on another core must not observe a
+        // half-transferred range.
+        let pstart = self.lock_acquire(MonitorLock::PageMeta);
+        self.race_note(RaceObject::PageMeta, false, "grant_pages_to:page_meta.get");
+        let mut result = Ok(());
         for page in pages_covering(addr, len) {
             match self.page_meta.get(&page) {
                 Some(m) if m.owner == cid => {}
-                _ => return Err(CubicleError::NotOwner { addr: page.base() }),
+                _ => {
+                    result = Err(CubicleError::NotOwner { addr: page.base() });
+                    break;
+                }
             }
         }
-        let key = self.cubicles[to.index()].key;
-        for page in pages_covering(addr, len) {
-            let m = self.page_meta.get_mut(&page).expect("checked above");
-            m.owner = to;
-            m.holder = to;
-            m.via = None;
-            if self.mode.mpk_active() {
-                self.machine.set_page_key(page.base(), key).expect("mapped");
-            } else {
-                self.machine
-                    .set_page_key_at_load(page.base(), key)
-                    .expect("mapped");
+        if result.is_ok() {
+            let key = self.cubicles[to.index()].key;
+            self.race_note(
+                RaceObject::PageMeta,
+                true,
+                "grant_pages_to:page_meta.get_mut",
+            );
+            for page in pages_covering(addr, len) {
+                let m = self.page_meta.get_mut(&page).expect("checked above");
+                m.owner = to;
+                m.holder = to;
+                m.via = None;
+                if self.mode.mpk_active() {
+                    self.machine.set_page_key(page.base(), key).expect("mapped");
+                } else {
+                    self.machine
+                        .set_page_key_at_load(page.base(), key)
+                        .expect("mapped");
+                }
             }
         }
+        self.lock_release(MonitorLock::PageMeta, pstart);
+        result?;
         // Ownership changed hands: any remembered grant over these pages
         // (for any accessor) is obsolete.
         if len > 0 {
@@ -3243,7 +3474,12 @@ impl System {
     // Window API (paper Table 1)
     // =====================================================================
 
-    fn charge_window_op(&mut self) {
+    /// Opens a window-management critical section: counts the op,
+    /// acquires the windows lock and charges the monitor-call cost.
+    /// Balance with [`System::window_op_end`], which releases the lock —
+    /// the section must cover the descriptor mutation itself, or a fault
+    /// searching the array on another core races with it.
+    fn window_op_begin(&mut self) -> Option<u64> {
         self.stats.window_ops += 1;
         if self.mode.acls_active() {
             // Window management is a call into the trusted monitor
@@ -3253,6 +3489,15 @@ impl System {
             let start = self.lock_acquire(MonitorLock::Windows);
             let cost = *self.machine.cost_model();
             self.machine.charge(cost.trampoline + 2 * cost.wrpkru + 25);
+            Some(start)
+        } else {
+            None
+        }
+    }
+
+    /// Closes the critical section opened by [`System::window_op_begin`].
+    fn window_op_end(&mut self, start: Option<u64>) {
+        if let Some(start) = start {
             self.lock_release(MonitorLock::Windows, start);
         }
     }
@@ -3268,9 +3513,11 @@ impl System {
     /// `cubicle_window_init`: creates an empty window owned by the
     /// current cubicle.
     pub fn window_init(&mut self) -> WindowId {
-        self.charge_window_op();
+        let wstart = self.window_op_begin();
         let cid = self.current_cubicle();
+        self.race_note(RaceObject::Windows, true, "window_init:windows.push");
         let wid = self.cubicles[cid.index()].window_init();
+        self.window_op_end(wstart);
         self.trace_window_op(WindowOpKind::Init, wid, None);
         wid
     }
@@ -3283,20 +3530,37 @@ impl System {
     /// [`CubicleError::NoSuchWindow`] or [`CubicleError::NotOwner`] when
     /// the range is not owned by the calling cubicle.
     pub fn window_add(&mut self, wid: WindowId, ptr: VAddr, len: usize) -> Result<()> {
-        self.charge_window_op();
+        // The ownership check reads page_meta, and fault resolution
+        // searches window descriptors while holding page_meta — acquire
+        // in the same page_meta → windows order so the lock graph stays
+        // acyclic.
+        let pstart = self.lock_acquire(MonitorLock::PageMeta);
+        let wstart = self.window_op_begin();
         let cid = self.current_cubicle();
+        self.race_note(RaceObject::PageMeta, false, "window_add:page_meta.get");
+        let mut result = Ok(());
         for page in pages_covering(ptr, len) {
             match self.page_meta.get(&page) {
                 Some(m) if m.owner == cid => {}
-                _ => return Err(CubicleError::NotOwner { addr: page.base() }),
+                _ => {
+                    result = Err(CubicleError::NotOwner { addr: page.base() });
+                    break;
+                }
             }
         }
-        self.cubicles[cid.index()]
-            .window_mut(wid)
-            .ok_or(CubicleError::NoSuchWindow(wid))?
-            .add_range(ptr, len);
-        self.trace_window_op(WindowOpKind::Add, wid, None);
-        Ok(())
+        if result.is_ok() {
+            self.race_note(RaceObject::Windows, true, "window_add:window_mut.add_range");
+            match self.cubicles[cid.index()].window_mut(wid) {
+                Some(w) => w.add_range(ptr, len),
+                None => result = Err(CubicleError::NoSuchWindow(wid)),
+            }
+        }
+        self.window_op_end(wstart);
+        self.lock_release(MonitorLock::PageMeta, pstart);
+        if result.is_ok() {
+            self.trace_window_op(WindowOpKind::Add, wid, None);
+        }
+        result
     }
 
     /// `cubicle_window_remove`: removes the range previously added at
@@ -3307,23 +3571,36 @@ impl System {
     /// [`CubicleError::NoSuchWindow`] when `wid` does not exist or
     /// [`CubicleError::InvalidArgument`] when no range starts at `ptr`.
     pub fn window_remove(&mut self, wid: WindowId, ptr: VAddr) -> Result<()> {
-        self.charge_window_op();
+        let wstart = self.window_op_begin();
         let cid = self.current_cubicle();
-        let w = self.cubicles[cid.index()]
-            .window_mut(wid)
-            .ok_or(CubicleError::NoSuchWindow(wid))?;
-        if w.remove_range(ptr) {
+        self.race_note(
+            RaceObject::Windows,
+            true,
+            "window_remove:window_mut.remove_range",
+        );
+        let result = match self.cubicles[cid.index()].window_mut(wid) {
+            None => Err(CubicleError::NoSuchWindow(wid)),
+            Some(w) => {
+                if w.remove_range(ptr) {
+                    Ok(())
+                } else {
+                    Err(CubicleError::InvalidArgument(
+                        "window_remove: no range at ptr",
+                    ))
+                }
+            }
+        };
+        if result.is_ok() {
             // The window narrowed: drop every grant it authorised (pages
             // outside the removed range will simply re-resolve and
             // repopulate — correctness over cleverness).
             self.grant_cache_invalidate_window(cid, wid, None);
-            self.trace_window_op(WindowOpKind::Remove, wid, None);
-            Ok(())
-        } else {
-            Err(CubicleError::InvalidArgument(
-                "window_remove: no range at ptr",
-            ))
         }
+        self.window_op_end(wstart);
+        if result.is_ok() {
+            self.trace_window_op(WindowOpKind::Remove, wid, None);
+        }
+        result
     }
 
     /// `cubicle_window_open`: allows `peer` to access the window.
@@ -3332,14 +3609,21 @@ impl System {
     ///
     /// [`CubicleError::NoSuchWindow`].
     pub fn window_open(&mut self, wid: WindowId, peer: CubicleId) -> Result<()> {
-        self.charge_window_op();
+        let wstart = self.window_op_begin();
         let cid = self.current_cubicle();
-        self.cubicles[cid.index()]
-            .window_mut(wid)
-            .ok_or(CubicleError::NoSuchWindow(wid))?
-            .open_for(peer);
-        self.trace_window_op(WindowOpKind::Open, wid, Some(peer));
-        Ok(())
+        self.race_note(RaceObject::Windows, true, "window_open:window_mut.open_for");
+        let result = match self.cubicles[cid.index()].window_mut(wid) {
+            Some(w) => {
+                w.open_for(peer);
+                Ok(())
+            }
+            None => Err(CubicleError::NoSuchWindow(wid)),
+        };
+        self.window_op_end(wstart);
+        if result.is_ok() {
+            self.trace_window_op(WindowOpKind::Open, wid, Some(peer));
+        }
+        result
     }
 
     /// `cubicle_window_close`: disallows `peer`.
@@ -3352,18 +3636,31 @@ impl System {
     ///
     /// [`CubicleError::NoSuchWindow`].
     pub fn window_close(&mut self, wid: WindowId, peer: CubicleId) -> Result<()> {
-        self.charge_window_op();
+        let wstart = self.window_op_begin();
         let cid = self.current_cubicle();
-        self.cubicles[cid.index()]
-            .window_mut(wid)
-            .ok_or(CubicleError::NoSuchWindow(wid))?
-            .close_for(peer);
-        // Closing is lazy for already-retagged pages, but the *authority*
-        // is gone: the peer's next fault must take the full search and
-        // be denied, not ride a cached grant.
-        self.grant_cache_invalidate_window(cid, wid, Some(peer));
-        self.trace_window_op(WindowOpKind::Close, wid, Some(peer));
-        Ok(())
+        self.race_note(
+            RaceObject::Windows,
+            true,
+            "window_close:window_mut.close_for",
+        );
+        let result = match self.cubicles[cid.index()].window_mut(wid) {
+            Some(w) => {
+                w.close_for(peer);
+                Ok(())
+            }
+            None => Err(CubicleError::NoSuchWindow(wid)),
+        };
+        if result.is_ok() {
+            // Closing is lazy for already-retagged pages, but the
+            // *authority* is gone: the peer's next fault must take the
+            // full search and be denied, not ride a cached grant.
+            self.grant_cache_invalidate_window(cid, wid, Some(peer));
+        }
+        self.window_op_end(wstart);
+        if result.is_ok() {
+            self.trace_window_op(WindowOpKind::Close, wid, Some(peer));
+        }
+        result
     }
 
     /// `cubicle_window_close_all`: closes the window for every cubicle.
@@ -3372,15 +3669,28 @@ impl System {
     ///
     /// [`CubicleError::NoSuchWindow`].
     pub fn window_close_all(&mut self, wid: WindowId) -> Result<()> {
-        self.charge_window_op();
+        let wstart = self.window_op_begin();
         let cid = self.current_cubicle();
-        self.cubicles[cid.index()]
-            .window_mut(wid)
-            .ok_or(CubicleError::NoSuchWindow(wid))?
-            .close_all();
-        self.grant_cache_invalidate_window(cid, wid, None);
-        self.trace_window_op(WindowOpKind::CloseAll, wid, None);
-        Ok(())
+        self.race_note(
+            RaceObject::Windows,
+            true,
+            "window_close_all:window_mut.close_all",
+        );
+        let result = match self.cubicles[cid.index()].window_mut(wid) {
+            Some(w) => {
+                w.close_all();
+                Ok(())
+            }
+            None => Err(CubicleError::NoSuchWindow(wid)),
+        };
+        if result.is_ok() {
+            self.grant_cache_invalidate_window(cid, wid, None);
+        }
+        self.window_op_end(wstart);
+        if result.is_ok() {
+            self.trace_window_op(WindowOpKind::CloseAll, wid, None);
+        }
+        result
     }
 
     /// `cubicle_window_destroy`: destroys the window.
@@ -3389,15 +3699,24 @@ impl System {
     ///
     /// [`CubicleError::NoSuchWindow`].
     pub fn window_destroy(&mut self, wid: WindowId) -> Result<()> {
-        self.charge_window_op();
+        let wstart = self.window_op_begin();
         let cid = self.current_cubicle();
-        if self.cubicles[cid.index()].window_destroy(wid) {
+        self.race_note(
+            RaceObject::Windows,
+            true,
+            "window_destroy:windows.swap_remove",
+        );
+        let result = if self.cubicles[cid.index()].window_destroy(wid) {
             self.grant_cache_invalidate_window(cid, wid, None);
-            self.trace_window_op(WindowOpKind::Destroy, wid, None);
             Ok(())
         } else {
             Err(CubicleError::NoSuchWindow(wid))
+        };
+        self.window_op_end(wstart);
+        if result.is_ok() {
+            self.trace_window_op(WindowOpKind::Destroy, wid, None);
         }
+        result
     }
 
     /// Verifies the access `kind` at `[addr, addr+len)` is possible under
@@ -3935,6 +4254,30 @@ impl System {
             }
         }
 
+        // CubicleSan sanitizer counters, only while detection is on —
+        // feature-off exports are byte-identical to the pre-sanitizer
+        // kernel.
+        if self.race.is_some() {
+            out.push_str(&format!(
+                "# HELP cubicle_san_races_total Data races reported by CubicleSan.\n\
+                 # TYPE cubicle_san_races_total counter\n\
+                 cubicle_san_races_total {}\n\
+                 # HELP cubicle_san_lockorder_edges Distinct monitor lock-order edges observed.\n\
+                 # TYPE cubicle_san_lockorder_edges gauge\n\
+                 cubicle_san_lockorder_edges {}\n\
+                 # HELP cubicle_san_lockset_violations_total Eraser lockset violations.\n\
+                 # TYPE cubicle_san_lockset_violations_total counter\n\
+                 cubicle_san_lockset_violations_total {}\n\
+                 # HELP cubicle_san_lockorder_cyclic 1 when the lock-order graph has a cycle.\n\
+                 # TYPE cubicle_san_lockorder_cyclic gauge\n\
+                 cubicle_san_lockorder_cyclic {}\n",
+                self.stats.race_reports,
+                self.stats.lockorder_edges,
+                self.stats.lockset_violations,
+                u64::from(self.lockorder_cycle().is_some()),
+            ));
+        }
+
         // Per-edge call counters (available without tracing).
         out.push_str(
             "# HELP cubicle_call_edge_total Cross-calls per caller/callee edge.\n\
@@ -4158,6 +4501,27 @@ impl System {
                     tracer.audit_dropped,
                 ));
             }
+        }
+        // CubicleSan verdict, only while detection is on — harnesses and
+        // CI grep `races: 0` / `lockorder: acyclic` from this block, and
+        // feature-off exports stay byte-identical to the pre-sanitizer
+        // kernel.
+        if let Some(race) = &self.race {
+            for r in race.reports() {
+                out.push_str(&format!("sanitizer: {r}\n"));
+            }
+            for v in race.violations() {
+                out.push_str(&format!("sanitizer: {v}\n"));
+            }
+            out.push_str(&format!("races: {}\n", self.stats.race_reports));
+            match race.lockorder_cycle() {
+                None => out.push_str("lockorder: acyclic\n"),
+                Some(cycle) => out.push_str(&format!("lockorder: cycle {cycle}\n")),
+            }
+            out.push_str(&format!(
+                "lockset-violations: {}\n",
+                self.stats.lockset_violations
+            ));
         }
         out
     }

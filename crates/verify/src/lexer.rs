@@ -23,6 +23,11 @@ pub enum Tok {
     Comma,
     /// Any other punctuation (single character).
     Other(char),
+    /// A `// verify: …` marker comment — the one comment form the lint
+    /// *keeps*, because the discipline and determinism passes read them
+    /// as annotations (`lock-held(page_meta)`, `order-ok`, …). Payload
+    /// is the trimmed text after `verify:`.
+    Marker(String),
 }
 
 /// A token plus the 1-based line it starts on.
@@ -70,8 +75,19 @@ pub fn lex(src: &str) -> Vec<Spanned> {
 
         // ── comments ─────────────────────────────────────────────────
         if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
             while i < b.len() && b[i] != '\n' {
                 i += 1;
+            }
+            // `// verify: …` (also `/// verify: …`) survives as a marker
+            // token; every other comment is dropped.
+            let text: String = b[start..i].iter().collect();
+            let body = text.trim_start_matches('/').trim_start();
+            if let Some(rest) = body.strip_prefix("verify:") {
+                toks.push(Spanned {
+                    tok: Tok::Marker(rest.trim().to_string()),
+                    line,
+                });
             }
             continue;
         }
@@ -142,6 +158,13 @@ pub fn lex(src: &str) -> Vec<Spanned> {
             i += 1; // opening quote
             while i < b.len() {
                 if b[i] == '\\' {
+                    // An escaped newline (line-continuation) still ends a
+                    // source line — without this, every `\` continuation
+                    // in a multi-line string shifts all later line
+                    // numbers.
+                    if b.get(i + 1) == Some(&'\n') {
+                        line += 1;
+                    }
                     i = (i + 2).min(b.len());
                     continue;
                 }
@@ -322,6 +345,36 @@ mod tests {
         let toks = lex("a\nb\n\nc");
         let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn line_numbers_survive_string_continuations() {
+        // `\` at end of line inside a string literal consumes the
+        // newline but the *source* line still advances.
+        let toks = lex("let s = \"a\\\nb\";\nafter");
+        let after = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("after".into()))
+            .unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn verify_markers_survive_as_tokens() {
+        let toks = lex("let x = 1; // verify: lock-held(page_meta)\nok");
+        assert!(toks
+            .iter()
+            .any(|t| t.tok == Tok::Marker("lock-held(page_meta)".into())));
+        let toks = lex(".iter() // verify: order-ok — sorted below");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Marker(m) if m.starts_with("order-ok"))));
+        // ordinary comments still vanish, even ones mentioning verify
+        // mid-sentence
+        assert!(lex("// we should verify: nothing")
+            .iter()
+            .all(|t| !matches!(t.tok, Tok::Marker(_))));
+        assert!(lex("// plain comment").is_empty());
     }
 
     #[test]

@@ -21,10 +21,21 @@
 //!   uniqueness. The `cubicle-verify` binary exercises it as a
 //!   smoke test; harnesses and the kernel test suite run it at scenario
 //!   end.
+//! * **Pass 3 — lock discipline** ([`discipline`]): every mutation of
+//!   the multi-core monitor's four lock-protected structures in
+//!   `crates/core/src/system.rs` must sit lexically inside a matching
+//!   lock-acquire scope — the static complement of the CubicleSan
+//!   dynamic race detector ([`cubicle_core::System::set_race_detection`]).
+//! * **Pass 4 — replay determinism** ([`determinism`]): no unsorted
+//!   `HashMap`/`HashSet` iteration in the TCB crates (`crates/core`,
+//!   `crates/mpk`) without a commutative terminal, a sort, or an
+//!   explicit `// verify: order-ok` marker.
 //!
 //! Zero external dependencies, by the same policy it enforces.
 
 pub mod deps;
+pub mod determinism;
+pub mod discipline;
 pub mod lexer;
 pub mod lint;
 pub mod report;
@@ -47,6 +58,21 @@ pub fn run_all(workspace_root: &Path) -> std::io::Result<Report> {
 
     for name in lint::COMPONENT_CRATES {
         let (findings, scanned) = lint::lint_crate_sources(&crates.join(name))?;
+        report.findings.extend(findings);
+        report.files_scanned += scanned;
+    }
+
+    // Pass 3: the monitor's lock discipline (static half of CubicleSan).
+    let monitor = crates.join("core").join("src").join("system.rs");
+    let text = std::fs::read_to_string(&monitor)?;
+    report
+        .findings
+        .extend(discipline::check_source(&monitor, &text));
+    report.files_scanned += 1;
+
+    // Pass 4: replay determinism over the TCB crates.
+    for name in ["core", "mpk"] {
+        let (findings, scanned) = determinism::check_crate_sources(&crates.join(name))?;
         report.findings.extend(findings);
         report.files_scanned += scanned;
     }

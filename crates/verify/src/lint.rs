@@ -19,7 +19,15 @@ pub const COMPONENT_CRATES: &[&str] = &["vfs", "ramfs", "net", "sqldb", "httpd",
 /// component reaching for any of these bypasses the simulated kernel the
 /// way a real component calling `open(2)` directly would bypass
 /// CubicleOS' VFS.
-const AMBIENT_STD: &[&str] = &["fs", "net", "process", "thread"];
+const AMBIENT_STD: &[&str] = &["fs", "net", "process"];
+
+/// First path segments under `std::` (or `core::`) that grant *ambient
+/// concurrency*: host threads and host synchronisation. Cubicles run
+/// only when the monitor's core scheduler dispatches them; a component
+/// spawning a `std::thread` or hiding state behind a `Mutex`/atomic
+/// would race the monitor outside its lock discipline — exactly what
+/// CubicleSan exists to rule out.
+const AMBIENT_SYNC: &[&str] = &["thread", "sync"];
 
 /// Identifiers naming privileged machine/kernel facilities. Mentioning
 /// one in a component is the source-level analog of a `wrpkru` byte
@@ -93,8 +101,8 @@ pub fn lint_source(file: &Path, src: &str) -> Vec<Finding> {
                     }
                 }
             }
-            "std" if toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::PathSep) => {
-                check_std_path(&toks, i + 2, &mut findings, file);
+            "std" | "core" if toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::PathSep) => {
+                check_std_path(name == "std", &toks, i + 2, &mut findings, file);
             }
             banned if PRIVILEGED.contains(&banned) => push(
                 &mut findings,
@@ -108,18 +116,37 @@ pub fn lint_source(file: &Path, src: &str) -> Vec<Finding> {
     findings
 }
 
-/// Checks what follows `std::` at token index `i`: either a single
-/// segment (`std::fs::File`) or a use-group (`std::{fs, io}`), whose
-/// *leading* segments are what grant authority.
-fn check_std_path(toks: &[Spanned], i: usize, findings: &mut Vec<Finding>, file: &Path) {
+/// Checks what follows `std::` (or `core::`, with `is_std` false) at
+/// token index `i`: either a single segment (`std::fs::File`) or a
+/// use-group (`std::{fs, io}`), whose *leading* segments are what grant
+/// authority.
+fn check_std_path(
+    is_std: bool,
+    toks: &[Spanned],
+    i: usize,
+    findings: &mut Vec<Finding>,
+    file: &Path,
+) {
+    let root = if is_std { "std" } else { "core" };
     let mut ambient = |seg: &str, line: usize| {
-        if AMBIENT_STD.contains(&seg) {
+        if is_std && AMBIENT_STD.contains(&seg) {
             findings.push(Finding {
                 rule: Rule::AmbientAuthority,
                 file: file.to_path_buf(),
                 line,
                 message: format!(
                     "`std::{seg}` is ambient authority — route through the simulated kernel"
+                ),
+            });
+        }
+        if AMBIENT_SYNC.contains(&seg) {
+            findings.push(Finding {
+                rule: Rule::AmbientConcurrency,
+                file: file.to_path_buf(),
+                line,
+                message: format!(
+                    "`{root}::{seg}` is ambient concurrency — cubicles are scheduled by \
+                     the monitor, never by host threads"
                 ),
             });
         }
@@ -221,11 +248,30 @@ mod tests {
         );
         assert_eq!(
             rules("use std::{io, fs, thread};"),
-            vec![Rule::AmbientAuthority, Rule::AmbientAuthority]
+            vec![Rule::AmbientAuthority, Rule::AmbientConcurrency]
         );
         // `fs` deeper in a group names someone else's module, not std's
         assert!(rules("use std::{io::Read};").is_empty());
         assert!(rules("use std::collections::HashMap;").is_empty());
+    }
+
+    #[test]
+    fn ambient_concurrency_fires() {
+        assert_eq!(
+            rules("std::thread::spawn(|| {});"),
+            vec![Rule::AmbientConcurrency]
+        );
+        assert_eq!(
+            rules("use std::sync::Mutex;"),
+            vec![Rule::AmbientConcurrency]
+        );
+        assert_eq!(
+            rules("use core::sync::atomic::AtomicUsize;"),
+            vec![Rule::AmbientConcurrency]
+        );
+        // `core::` is only concurrency-checked, never ambient authority
+        assert!(rules("use core::fmt;").is_empty());
+        assert!(rules("core::mem::swap(&mut a, &mut b);").is_empty());
     }
 
     #[test]

@@ -20,6 +20,17 @@ pub enum Rule {
     /// A `Cargo.toml` dependency edge outside the allow-listed component
     /// graph (e.g. a lateral `vfs → net` edge).
     DependencyGraph,
+    /// Ambient concurrency: `std::thread` / `std::sync` /
+    /// `core::sync::atomic` in a component — cubicles are scheduled by
+    /// the monitor's core scheduler, never by host threads.
+    AmbientConcurrency,
+    /// A mutation of one of the monitor's four lock-protected structures
+    /// (page metadata, windows, grant cache, ledger) outside a lexical
+    /// lock-acquire scope in `crates/core/src/system.rs`.
+    LockDiscipline,
+    /// Unsorted iteration over a `HashMap`/`HashSet` in the TCB — replay
+    /// determinism requires every observable order to be defined.
+    Nondeterminism,
 }
 
 impl fmt::Display for Rule {
@@ -29,6 +40,9 @@ impl fmt::Display for Rule {
             Rule::AmbientAuthority => "ambient-authority",
             Rule::PrivilegedApi => "privileged-api",
             Rule::DependencyGraph => "dependency-graph",
+            Rule::AmbientConcurrency => "ambient-concurrency",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::Nondeterminism => "nondeterminism",
         })
     }
 }
@@ -112,6 +126,9 @@ mod tests {
         assert_eq!(Rule::TcbConfinement.to_string(), "tcb-confinement");
         assert_eq!(Rule::PrivilegedApi.to_string(), "privileged-api");
         assert_eq!(Rule::DependencyGraph.to_string(), "dependency-graph");
+        assert_eq!(Rule::AmbientConcurrency.to_string(), "ambient-concurrency");
+        assert_eq!(Rule::LockDiscipline.to_string(), "lock-discipline");
+        assert_eq!(Rule::Nondeterminism.to_string(), "nondeterminism");
     }
 
     #[test]

@@ -1,0 +1,13 @@
+// Fixture: ambient-concurrency violations — a component spawning host
+// threads and smuggling state through host synchronisation, bypassing
+// the monitor's core scheduler and lock discipline. Never compiled; fed
+// to the lint as text.
+
+use std::sync::{Arc, Mutex};
+use core::sync::atomic::AtomicUsize;
+
+pub fn sneaky_worker(shared: Arc<Mutex<Vec<u8>>>) {
+    std::thread::spawn(move || {
+        shared.lock().unwrap().push(1);
+    });
+}

@@ -1,0 +1,30 @@
+// Fixture: lock-discipline violations — monitor code mutating the four
+// protected structures outside their lock sections. Never compiled; fed
+// to the discipline pass as text, standing in for system.rs.
+
+impl System {
+    // Elided PageMeta lock: the classic seeded mutation the dynamic
+    // detector catches at runtime and this pass catches at review time.
+    fn resolve_fault(&mut self, addr: VAddr) {
+        self.page_meta.insert(addr.page(), meta);
+    }
+
+    // Acquired the wrong lock entirely.
+    fn grant_pages(&mut self, peer: CubicleId) {
+        let start = self.lock_acquire(MonitorLock::Ledger);
+        let m = self.page_meta.get_mut(&page).unwrap();
+        self.lock_release(MonitorLock::Ledger, start);
+    }
+
+    // Released before mutating: the section does not cover the site.
+    fn window_add(&mut self, wid: WindowId) {
+        let wstart = self.window_op_begin();
+        self.window_op_end(wstart);
+        self.cubicles[0].window_mut(wid);
+    }
+
+    // Ledger accounting outside any section.
+    fn heap_grow(&mut self, owner: CubicleId, pages: usize) {
+        self.cubicles[owner.index()].heap_pages_granted += pages;
+    }
+}

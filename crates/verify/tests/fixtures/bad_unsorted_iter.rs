@@ -1,0 +1,19 @@
+// Fixture: replay-determinism violations — TCB code iterating hash
+// maps in randomized order straight into observable output. Never
+// compiled; fed to the determinism pass as text.
+
+pub struct Exporter {
+    rows: HashMap<PageNum, PageMeta>,
+}
+
+impl Exporter {
+    pub fn dump(&self, out: &mut String) {
+        for (page, meta) in &self.rows {
+            out.push_str(&format!("{page}: {meta:?}\n"));
+        }
+    }
+
+    pub fn labels(&self) -> Vec<String> {
+        self.rows.keys().map(|p| p.to_string()).collect()
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: the determinism pass's three legitimate outs — an explicit
+// order-ok marker, a collect-then-sort, and a commutative terminal.
+// Never compiled; fed to the determinism pass as text.
+
+pub struct Exporter {
+    rows: HashMap<PageNum, PageMeta>,
+}
+
+impl Exporter {
+    pub fn tally(&self, owned: &mut [usize]) {
+        // verify: order-ok — commutative counting into per-cubicle slots
+        for meta in self.rows.values() {
+            owned[meta.owner.index()] += 1;
+        }
+    }
+
+    pub fn dump(&self, out: &mut String) {
+        let mut rows: Vec<_> = self.rows.iter().collect();
+        rows.sort();
+        for (page, meta) in rows {
+            out.push_str(&format!("{page}: {meta:?}\n"));
+        }
+    }
+
+    pub fn live(&self) -> usize {
+        self.rows.values().filter(|m| m.holder == m.owner).count()
+    }
+}

@@ -3,7 +3,8 @@
 //! must not.
 
 use cubicle_verify::lint::lint_source;
-use cubicle_verify::{deps, Rule};
+use cubicle_verify::{deps, determinism, discipline, Rule};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 fn fixture(name: &str) -> (PathBuf, String) {
@@ -39,7 +40,21 @@ fn ambient_fixture_fires_for_every_escape_route() {
     let (path, text) = fixture("bad_ambient.rs");
     let findings = lint_source(&path, &text);
     assert_eq!(findings.len(), 4, "net, fs, thread, process: {findings:#?}");
-    assert!(findings.iter().all(|f| f.rule == Rule::AmbientAuthority));
+    // `std::thread` is concurrency; the host-I/O escapes are authority.
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == Rule::AmbientAuthority)
+            .count(),
+        3
+    );
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == Rule::AmbientConcurrency)
+            .count(),
+        1
+    );
     let all = findings
         .iter()
         .map(|f| f.message.as_str())
@@ -81,6 +96,68 @@ fn findings_carry_real_line_numbers() {
         .expect("fixture declares one")
         + 1;
     assert_eq!(findings[0].line, wanted);
+}
+
+#[test]
+fn ambient_concurrency_fixture_fires_for_every_route() {
+    let (path, text) = fixture("bad_ambient_concurrency.rs");
+    let findings = lint_source(&path, &text);
+    assert!(
+        findings.len() >= 3,
+        "std::sync, core::sync, std::thread: {findings:#?}"
+    );
+    assert!(findings.iter().all(|f| f.rule == Rule::AmbientConcurrency));
+    let all = findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    for escape in ["std::sync", "core::sync", "std::thread"] {
+        assert!(all.contains(escape), "missing {escape} in: {all}");
+    }
+}
+
+#[test]
+fn lock_discipline_fixture_fires_per_elision() {
+    let (path, text) = fixture("bad_mutation_outside_lock.rs");
+    let findings = discipline::check_source(&path, &text);
+    assert_eq!(findings.len(), 4, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::LockDiscipline));
+    let all = findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    // Each seeded elision is attributed to its function and structure.
+    for (func, obj) in [
+        ("resolve_fault", "page_meta"),
+        ("grant_pages", "page_meta"),
+        ("window_add", "windows"),
+        ("heap_grow", "ledger"),
+    ] {
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains(func) && f.message.contains(obj)),
+            "missing {func}/{obj} in: {all}"
+        );
+    }
+}
+
+#[test]
+fn unsorted_iter_fixture_fires_and_marker_fixture_is_clean() {
+    let (bad_path, bad_text) = fixture("bad_unsorted_iter.rs");
+    let mut maps = BTreeSet::new();
+    determinism::collect_map_idents(&bad_text, &mut maps);
+    let findings = determinism::check_source(&bad_path, &bad_text, &maps);
+    assert_eq!(findings.len(), 2, "for-loop + .keys(): {findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Nondeterminism));
+
+    let (ok_path, ok_text) = fixture("ok_order_marker.rs");
+    let mut maps = BTreeSet::new();
+    determinism::collect_map_idents(&ok_text, &mut maps);
+    let findings = determinism::check_source(&ok_path, &ok_text, &maps);
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
 }
 
 #[test]
