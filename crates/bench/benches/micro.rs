@@ -438,6 +438,92 @@ fn bench_speedtest_statement(results: &mut BenchResults) {
     });
 }
 
+/// Commit-path A/B: the PR-1 rollback journal against the WAL at group
+/// sizes 1/8/32, over the real cubicle stack (SQL → VFSCORE → RAMFS),
+/// where every page write and sync is a cross-cubicle call with a
+/// simulated cost. One iteration commits 8 single-row transactions and
+/// flushes; the recorded `sim_cycles` cover only that burst (the
+/// bounded-state cleanup between iterations is excluded), exposing the
+/// sync coalescing: group 8 pays one WAL sync where group 1 pays eight
+/// and the rollback journal pays journal + db write-back per txn.
+fn bench_sql_commit(results: &mut BenchResults) {
+    use cubicle_ramfs::{mount_at, Ramfs};
+    use cubicle_sqldb::storage::CubicleEnv;
+    use cubicle_sqldb::{Database, JournalMode};
+    use cubicle_ukbase::boot_base;
+    use cubicle_vfs::{Vfs, VfsPort, VfsProxy};
+
+    let variants: [(&str, JournalMode, u32); 4] = [
+        ("sql_commit_rollback_journal", JournalMode::Rollback, 1),
+        ("sql_commit_wal_group1", JournalMode::Wal, 1),
+        ("sql_commit_wal_group8", JournalMode::Wal, 8),
+        ("sql_commit_wal_group32", JournalMode::Wal, 32),
+    ];
+    for (name, mode, group) in variants {
+        let mut sys = System::new(IsolationMode::Full);
+        let base = boot_base(&mut sys).unwrap();
+        let vfs_loaded = sys
+            .load(cubicle_vfs::image(), Box::new(Vfs::default()))
+            .unwrap();
+        let ramfs_loaded = sys
+            .load(cubicle_ramfs::image(), Box::new(Ramfs::default()))
+            .unwrap();
+        sys.with_component_mut::<Ramfs, _>(ramfs_loaded.slot, |fs, _| fs.set_alloc(base.alloc))
+            .unwrap();
+        mount_at(&mut sys, vfs_loaded.slot, &ramfs_loaded, "/").unwrap();
+        let app = sys
+            .load(
+                ComponentImage::new("SQL", CodeImage::plain(4096)).heap_pages(128),
+                Box::new(Dummy),
+            )
+            .unwrap();
+        sys.mark_boot_complete();
+        let vfs = VfsProxy::resolve(&vfs_loaded).unwrap();
+        let (app, ramfs_cid) = (app.cid, ramfs_loaded.cid);
+        let mut db = sys.run_in_cubicle(app, |sys| {
+            let port = VfsPort::new(sys, vfs, &[ramfs_cid]).unwrap();
+            let mut db = Database::open_with_mode(
+                sys,
+                Box::new(CubicleEnv::new(port)),
+                "/bench.db",
+                64,
+                mode,
+            )
+            .unwrap();
+            db.execute(sys, "CREATE TABLE t(v INTEGER)").unwrap();
+            db
+        });
+        db.set_group_commit(group);
+
+        let burst = |sys: &mut System, db: &mut Database| {
+            for _ in 0..8 {
+                db.execute(sys, "BEGIN").unwrap();
+                db.execute(sys, "INSERT INTO t VALUES (42)").unwrap();
+                db.execute(sys, "COMMIT").unwrap();
+            }
+            db.flush(sys).unwrap();
+        };
+        // Keeps the data set and the WAL bounded across wall-clock
+        // iterations (checkpoint is a no-op under the rollback journal).
+        let cleanup = |sys: &mut System, db: &mut Database| {
+            db.execute(sys, "DELETE FROM t").unwrap();
+            db.flush(sys).unwrap();
+            db.query(sys, "PRAGMA wal_checkpoint").unwrap();
+        };
+
+        let c0 = sys.now();
+        sys.run_in_cubicle(app, |sys| burst(sys, &mut db));
+        let cycles = sys.now() - c0;
+        sys.run_in_cubicle(app, |sys| cleanup(sys, &mut db));
+        bench_function(results, name, cycles, || {
+            sys.run_in_cubicle(app, |sys| {
+                burst(sys, &mut db);
+                cleanup(sys, &mut db);
+            });
+        });
+    }
+}
+
 fn main() {
     let mut results = BenchResults::new();
     bench_cross_call(&mut results);
@@ -449,6 +535,7 @@ fn main() {
     bench_grant_cache(&mut results);
     bench_fig7_large_file(&mut results);
     bench_speedtest_statement(&mut results);
+    bench_sql_commit(&mut results);
     let path = BenchResults::default_path();
     results.save(&path).unwrap();
     println!("\nresults written to {}", path.display());

@@ -28,7 +28,14 @@ pub trait Component: Any {
     /// (reclaimed) simulated memory — caches, connection tables, pointers
     /// into the old heap. Wiring that survives a reboot (proxies to other
     /// cubicles, whose entry IDs stay stable) may be kept.
-    fn on_restart(&mut self) {}
+    ///
+    /// The hook runs *inside* the freshly rebooted cubicle (the monitor
+    /// pushes a frame before invoking it), so `sys` may be used for
+    /// checked memory access — e.g. replaying a redo journal that a
+    /// surviving peer kept reachable through a window.
+    fn on_restart(&mut self, sys: &mut crate::System) {
+        let _ = sys;
+    }
 }
 
 /// Downcasts a component reference inside an entry point.
@@ -47,7 +54,9 @@ pub fn component_mut<T: Component>(c: &mut dyn Component) -> &mut T {
 /// Implements [`Component`] for a concrete state type.
 ///
 /// The `restart = method` form wires an inherent method as the
-/// [`Component::on_restart`] microreboot hook.
+/// [`Component::on_restart`] microreboot hook; `restart_sys = method`
+/// wires a method that also takes the kernel (for hooks that replay
+/// recovery state through checked memory access).
 #[macro_export]
 macro_rules! impl_component {
     ($ty:ty) => {
@@ -62,8 +71,18 @@ macro_rules! impl_component {
             fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
                 self
             }
-            fn on_restart(&mut self) {
+            fn on_restart(&mut self, _sys: &mut $crate::System) {
                 self.$method();
+            }
+        }
+    };
+    ($ty:ty, restart_sys = $method:ident) => {
+        impl $crate::Component for $ty {
+            fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+                self
+            }
+            fn on_restart(&mut self, sys: &mut $crate::System) {
+                self.$method(sys);
             }
         }
     };

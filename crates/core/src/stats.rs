@@ -71,6 +71,19 @@ pub struct SysStats {
     pub lockorder_edges: u64,
     /// Eraser lockset violations CubicleSan recorded. 0 when off.
     pub lockset_violations: u64,
+    /// Write-ahead-log replays performed on database open (each one
+    /// recovered a crashed commit path).
+    pub wal_replays: u64,
+    /// Committed WAL frames applied during replays.
+    pub wal_frames_recovered: u64,
+    /// Torn / uncommitted WAL tails discarded during replays.
+    pub wal_torn_tails_discarded: u64,
+    /// RAMFS inode-journal replays performed by `on_restart` after a
+    /// microreboot.
+    pub ramfs_journal_replays: u64,
+    /// Group-commit syncs that coalesced two or more transactions into
+    /// one durable write.
+    pub group_commit_batches: u64,
 }
 
 impl SysStats {
@@ -142,6 +155,12 @@ impl SysStats {
             race_reports: self.race_reports - earlier.race_reports,
             lockorder_edges: self.lockorder_edges - earlier.lockorder_edges,
             lockset_violations: self.lockset_violations - earlier.lockset_violations,
+            wal_replays: self.wal_replays - earlier.wal_replays,
+            wal_frames_recovered: self.wal_frames_recovered - earlier.wal_frames_recovered,
+            wal_torn_tails_discarded: self.wal_torn_tails_discarded
+                - earlier.wal_torn_tails_discarded,
+            ramfs_journal_replays: self.ramfs_journal_replays - earlier.ramfs_journal_replays,
+            group_commit_batches: self.group_commit_batches - earlier.group_commit_batches,
         }
     }
 
@@ -203,6 +222,26 @@ impl fmt::Display for SysStats {
                 "grant-cache: {} hits / {} misses / {} invalidations",
                 self.grant_cache_hits, self.grant_cache_misses, self.grant_cache_invalidations
             )?;
+        }
+        // Quiet unless crash recovery actually ran, so healthy-run
+        // snapshots (golden Fig. 6) render identically.
+        if self.wal_replays
+            + self.wal_frames_recovered
+            + self.wal_torn_tails_discarded
+            + self.ramfs_journal_replays
+            > 0
+        {
+            writeln!(
+                f,
+                "recovery: {} wal replays ({} frames, {} torn tails) / {} ramfs journal replays",
+                self.wal_replays,
+                self.wal_frames_recovered,
+                self.wal_torn_tails_discarded,
+                self.ramfs_journal_replays
+            )?;
+        }
+        if self.group_commit_batches > 0 {
+            writeln!(f, "group-commit-batches: {}", self.group_commit_batches)?;
         }
         // Quiet when CubicleSan is off (lockorder_edges is nonzero on any
         // detection-on run that nests locks, so the sanitizer line shows

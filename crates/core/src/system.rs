@@ -133,6 +133,28 @@ struct ReloadInfo {
 /// [`LOADER_AUDIT_CAP`]).
 const CONTAINMENT_LOG_CAP: usize = 64;
 
+/// Maximum lines kept in the recovery log (same rationale as
+/// [`LOADER_AUDIT_CAP`]).
+const RECOVERY_LOG_CAP: usize = 64;
+
+/// A crash-recovery milestone reported to the monitor by a durable
+/// subsystem (see [`System::record_recovery`]). Feeds the recovery
+/// counters in [`SysStats`], the Prometheus export, and the
+/// human-readable recovery block of [`System::export_fault_audit`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoveryEvent {
+    /// A write-ahead-log replay ran on database open: `frames` committed
+    /// frames were recovered; `torn` says whether a torn / uncommitted
+    /// tail was discarded.
+    WalReplay { frames: u64, torn: bool },
+    /// A RAMFS inode-journal replay restored `records` journal records
+    /// inside a microrebooted cubicle's `on_restart` hook.
+    RamfsJournalReplay { records: u64 },
+    /// A group-commit sync made `commits` transactions durable with a
+    /// single write barrier (recorded only when `commits >= 2`).
+    GroupCommitBatch { commits: u64 },
+}
+
 /// Snapshot of clock + counters, used to window measurements.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
@@ -191,6 +213,9 @@ pub struct System {
     /// Human-readable quarantine/unwind/restart records (bounded, kept
     /// outside the tracer like `loader_audit`).
     containment_log: Vec<String>,
+    /// Human-readable crash-recovery records (WAL replays, RAMFS journal
+    /// replays, group-commit batches; bounded like `containment_log`).
+    recovery_log: Vec<String>,
     /// Default cross-call cycle budget enforced by the watchdog
     /// ([`System::set_cycle_budget`]); `None` (the default) disarms it.
     cycle_budget: Option<u64>,
@@ -470,6 +495,7 @@ impl System {
             reclaimed: HashMap::new(),
             reloads: Vec::new(),
             containment_log: Vec::new(),
+            recovery_log: Vec::new(),
             cycle_budget: None,
             edge_budgets: HashMap::new(),
             grant_cache: None,
@@ -1875,6 +1901,41 @@ impl System {
         }
     }
 
+    /// Records a crash-recovery milestone: bumps the matching
+    /// [`SysStats`] counters and appends a line to the bounded recovery
+    /// log rendered by [`System::export_fault_audit`].
+    pub fn record_recovery(&mut self, event: RecoveryEvent) {
+        let line = match event {
+            RecoveryEvent::WalReplay { frames, torn } => {
+                self.stats.wal_replays += 1;
+                self.stats.wal_frames_recovered += frames;
+                if torn {
+                    self.stats.wal_torn_tails_discarded += 1;
+                }
+                format!(
+                    "recovery: wal replay applied {frames} frame(s){}",
+                    if torn { ", torn tail discarded" } else { "" }
+                )
+            }
+            RecoveryEvent::RamfsJournalReplay { records } => {
+                self.stats.ramfs_journal_replays += 1;
+                format!("recovery: ramfs journal replay restored {records} record(s)")
+            }
+            RecoveryEvent::GroupCommitBatch { commits } => {
+                self.stats.group_commit_batches += 1;
+                format!("recovery: group commit coalesced {commits} txn(s) into one sync")
+            }
+        };
+        if self.recovery_log.len() < RECOVERY_LOG_CAP {
+            self.recovery_log.push(line);
+        }
+    }
+
+    /// Crash-recovery records (bounded), one line per replay / batch.
+    pub fn recovery_log(&self) -> &[String] {
+        &self.recovery_log
+    }
+
     fn cross_call_inner(
         &mut self,
         func: EntryFn,
@@ -3018,9 +3079,6 @@ impl System {
                 stack_pages: info.stack_pages,
             };
             self.map_component_segments(&info);
-            let mut comp = self.components[slot].take().expect("checked above");
-            comp.on_restart();
-            self.components[slot] = Some(comp);
         }
 
         // Belt and braces: quarantine already purged the offender's
@@ -3034,6 +3092,17 @@ impl System {
         c.generation += 1;
         let generation = c.generation;
         let name = c.name.clone();
+
+        // The restart hooks run *inside* the freshly activated cubicle:
+        // a recovery hook (e.g. a redo-journal replay) needs checked
+        // memory access under the reborn cubicle's own privileges, so a
+        // window kept open by a surviving custodian resolves exactly as
+        // it would for ordinary component code.
+        for &slot in &slots {
+            let mut comp = self.components[slot].take().expect("checked above");
+            self.run_in_cubicle(cid, |sys| comp.on_restart(sys));
+            self.components[slot] = Some(comp);
+        }
         self.stats.restarts += 1;
         self.trace_push(TraceEvent::Restart {
             cubicle: cid,
@@ -4134,6 +4203,36 @@ impl System {
             s.grant_cache_invalidations,
             &mut out,
         );
+        counter(
+            "cubicle_wal_replays_total",
+            "Write-ahead-log replays performed on database open.",
+            s.wal_replays,
+            &mut out,
+        );
+        counter(
+            "cubicle_wal_frames_recovered_total",
+            "Committed WAL frames applied during replays.",
+            s.wal_frames_recovered,
+            &mut out,
+        );
+        counter(
+            "cubicle_wal_torn_tails_discarded_total",
+            "Torn or uncommitted WAL tails discarded during replays.",
+            s.wal_torn_tails_discarded,
+            &mut out,
+        );
+        counter(
+            "cubicle_ramfs_journal_replays_total",
+            "RAMFS inode-journal replays after microreboots.",
+            s.ramfs_journal_replays,
+            &mut out,
+        );
+        counter(
+            "cubicle_group_commit_batches_total",
+            "Group-commit syncs covering two or more transactions.",
+            s.group_commit_batches,
+            &mut out,
+        );
         let m = self.machine.stats();
         counter(
             "cubicle_wrpkru_total",
@@ -4472,6 +4571,10 @@ impl System {
             out.push('\n');
         }
         for line in &self.containment_log {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for line in &self.recovery_log {
             out.push_str(line);
             out.push('\n');
         }

@@ -21,8 +21,12 @@ pub struct WebDeployment {
     pub base: BaseSystem,
     /// `VFSCORE` proxy (for file population).
     pub vfs: VfsProxy,
+    /// `VFSCORE`'s cubicle (the RAMFS journal's custodian).
+    pub vfs_cid: CubicleId,
     /// The file-system backend cubicle.
     pub ramfs_cid: CubicleId,
+    /// Registry slot of the file-system backend (journal wiring).
+    pub ramfs_slot: usize,
     /// Registry slot of the server (statistics).
     pub httpd_slot: usize,
     next_client_port: u16,
@@ -68,13 +72,33 @@ pub fn boot_web(mode: IsolationMode) -> Result<WebDeployment> {
         net,
         base,
         vfs,
+        vfs_cid: vfs_loaded.cid,
         ramfs_cid,
+        ramfs_slot: ramfs_loaded.slot,
         httpd_slot: nginx_loaded.slot,
         next_client_port: 40_000,
     })
 }
 
 impl WebDeployment {
+    /// Wires a crash-surviving inode journal into `RAMFS`, custodied by
+    /// `VFSCORE`: after this, a quarantined-and-microrebooted `RAMFS`
+    /// replays its namespace instead of coming back empty, and NGINX
+    /// keeps serving pre-crash content without re-population.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the allocation, window or format path.
+    pub fn enable_ramfs_journal(&mut self, pages: usize) -> Result<cubicle_mpk::VAddr> {
+        cubicle_ramfs::install_journal(
+            &mut self.sys,
+            self.vfs_cid,
+            self.ramfs_cid,
+            self.ramfs_slot,
+            pages,
+        )
+    }
+
     /// Creates a file in the document root (runs in the server cubicle,
     /// like an admin populating the image).
     ///

@@ -1,0 +1,618 @@
+//! Crash-surviving redo journal for the `RAMFS` inode table.
+//!
+//! A quarantine reclaims every page the offending cubicle *owns* — for
+//! `RAMFS` that is all file extents plus its heap, which is why a
+//! microrebooted file system comes back empty. The journal sidesteps the
+//! blast radius by living in pages owned by a surviving **custodian**
+//! cubicle: the custodian allocates the region, opens a window over it
+//! for `RAMFS`, and from then on every namespace mutation is appended
+//! through that window *before* it is applied. Quarantining `RAMFS`
+//! destroys `RAMFS`'s windows and pages, but the custodian's pages — and
+//! the ACL it granted — survive untouched, so the restart hook can read
+//! the log back under the reborn cubicle's own privileges and redo every
+//! acknowledged operation.
+//!
+//! ## On-region layout
+//!
+//! ```text
+//! header (32 bytes):
+//!   magic   "CBFSJRN1"                  8 bytes
+//!   len     valid record bytes          u64 LE
+//!   seq     records ever appended       u64 LE
+//!   flags   bit 0 = journal disabled    u64 LE
+//! records, back to back after the header:
+//!   tag     u8 (1=create 2=remove 3=write 4=truncate)
+//!   body    per-tag fields, integers LE
+//!   check   u64 LE — chained FNV-1a over tag ‖ body, seeded with the
+//!           previous record's checksum (the first record seeds from the
+//!           FNV offset basis)
+//! ```
+//!
+//! ## Crash ordering
+//!
+//! Appends write the record bytes first and update `len` (one 8-byte
+//! store) last. A crash mid-append leaves `len` pointing before the
+//! partial record, so replay never sees it — the same torn-tail
+//! discipline as the sqldb WAL, with the header's `len` standing in for
+//! the commit record. The chained checksum rejects any record whose
+//! bytes did land but whose predecessors did not.
+//!
+//! When the region fills up, the journal is rewritten in place as a
+//! snapshot of the live tree (compaction). If even the snapshot does not
+//! fit, the journal flags itself disabled on-region and stops journaling
+//! rather than replaying a lie.
+
+use cubicle_core::{Result, System};
+use cubicle_mpk::{VAddr, PAGE_SIZE};
+
+/// Region header magic.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"CBFSJRN1";
+
+/// Region header size in bytes.
+pub const JOURNAL_HEADER: u64 = 32;
+
+/// Header flag: journal overflowed and is no longer maintained.
+pub const FLAG_DISABLED: u64 = 1;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// An address far outside anything the monitor maps: touching it from
+/// inside an append is the crash-injection hook (the kernel quarantines
+/// the toucher mid-append, after the record bytes but before `len`).
+const WILD: VAddr = VAddr::new(0x0FFF_0000);
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One redo record. Inode numbers are explicit so replay cannot drift
+/// from the order the original operations assigned them in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// `ino` was created under directory `parent` as `name`.
+    Create {
+        /// Assigned inode number.
+        ino: u32,
+        /// Parent directory inode.
+        parent: u32,
+        /// Entry name within the parent.
+        name: String,
+        /// Directory (true) or regular file (false).
+        is_dir: bool,
+    },
+    /// `ino` was unlinked from `parent`.
+    Remove {
+        /// Removed inode number.
+        ino: u32,
+        /// Parent directory inode.
+        parent: u32,
+        /// Entry name within the parent.
+        name: String,
+    },
+    /// `data` was written into `ino` at byte offset `off`.
+    Write {
+        /// Target inode.
+        ino: u32,
+        /// Byte offset of the write.
+        off: u64,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// `ino` was truncated (or extended, zero-filled) to `len` bytes.
+    Truncate {
+        /// Target inode.
+        ino: u32,
+        /// New length.
+        len: u64,
+    },
+}
+
+impl JournalRecord {
+    /// Serialises tag + body (checksum appended separately).
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            JournalRecord::Create {
+                ino,
+                parent,
+                name,
+                is_dir,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&ino.to_le_bytes());
+                out.extend_from_slice(&parent.to_le_bytes());
+                out.push(u8::from(*is_dir));
+                let name = name.as_bytes();
+                out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                out.extend_from_slice(name);
+            }
+            JournalRecord::Remove { ino, parent, name } => {
+                out.push(2);
+                out.extend_from_slice(&ino.to_le_bytes());
+                out.extend_from_slice(&parent.to_le_bytes());
+                let name = name.as_bytes();
+                out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                out.extend_from_slice(name);
+            }
+            JournalRecord::Write { ino, off, data } => {
+                out.push(3);
+                out.extend_from_slice(&ino.to_le_bytes());
+                out.extend_from_slice(&off.to_le_bytes());
+                out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            JournalRecord::Truncate { ino, len } => {
+                out.push(4);
+                out.extend_from_slice(&ino.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses one record at `bytes[pos..]`; returns `(record, bytes
+    /// consumed including checksum)` or `None` on a short / malformed /
+    /// checksum-failing suffix (the torn tail).
+    fn decode(bytes: &[u8], pos: usize, chain: u64) -> Option<(JournalRecord, usize, u64)> {
+        let tail = &bytes[pos..];
+        if tail.is_empty() {
+            return None;
+        }
+        let body_len = match tail[0] {
+            1 => {
+                if tail.len() < 12 {
+                    return None;
+                }
+                let name_len = u16::from_le_bytes(tail[10..12].try_into().ok()?) as usize;
+                12 + name_len
+            }
+            2 => {
+                if tail.len() < 11 {
+                    return None;
+                }
+                let name_len = u16::from_le_bytes(tail[9..11].try_into().ok()?) as usize;
+                11 + name_len
+            }
+            3 => {
+                if tail.len() < 17 {
+                    return None;
+                }
+                let data_len = u32::from_le_bytes(tail[13..17].try_into().ok()?) as usize;
+                17 + data_len
+            }
+            4 => 13,
+            _ => return None,
+        };
+        if tail.len() < body_len + 8 {
+            return None;
+        }
+        let want = u64::from_le_bytes(tail[body_len..body_len + 8].try_into().ok()?);
+        let got = fnv1a(chain, &tail[..body_len]);
+        if want != got {
+            return None;
+        }
+        let rec = match tail[0] {
+            1 => JournalRecord::Create {
+                ino: u32::from_le_bytes(tail[1..5].try_into().ok()?),
+                parent: u32::from_le_bytes(tail[5..9].try_into().ok()?),
+                is_dir: tail[9] != 0,
+                name: String::from_utf8(tail[12..body_len].to_vec()).ok()?,
+            },
+            2 => JournalRecord::Remove {
+                ino: u32::from_le_bytes(tail[1..5].try_into().ok()?),
+                parent: u32::from_le_bytes(tail[5..9].try_into().ok()?),
+                name: String::from_utf8(tail[11..body_len].to_vec()).ok()?,
+            },
+            3 => JournalRecord::Write {
+                ino: u32::from_le_bytes(tail[1..5].try_into().ok()?),
+                off: u64::from_le_bytes(tail[5..13].try_into().ok()?),
+                data: tail[17..body_len].to_vec(),
+            },
+            4 => JournalRecord::Truncate {
+                ino: u32::from_le_bytes(tail[1..5].try_into().ok()?),
+                len: u64::from_le_bytes(tail[5..13].try_into().ok()?),
+            },
+            _ => unreachable!("matched above"),
+        };
+        Some((rec, body_len + 8, got))
+    }
+}
+
+/// What [`Journal::append`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// Record is on the region; safe to apply the operation.
+    Logged,
+    /// Region is full; the caller must compact (or disable) before the
+    /// operation may proceed.
+    Full,
+    /// Journal is disabled (overflowed earlier); nothing was logged.
+    Disabled,
+}
+
+/// Host-side handle to the custodian-owned journal region. The handle
+/// itself survives a microreboot (component state is retained across
+/// restarts); everything it *caches* is re-derivable from the region.
+#[derive(Debug)]
+pub struct Journal {
+    base: VAddr,
+    capacity: u64,
+    /// Cached mirror of the header's `len` field.
+    len: u64,
+    /// Cached mirror of the header's `seq` field.
+    seq: u64,
+    /// Chained checksum of the last valid record.
+    chain: u64,
+    /// Journal gave up after an overflow the snapshot could not cure.
+    pub disabled: bool,
+    /// Records appended over the journal's lifetime (statistics).
+    pub appends: u64,
+    /// Snapshot rewrites performed (statistics).
+    pub compactions: u64,
+    /// Crash-injection hook: after this many more appends, touch wild
+    /// memory *between* the record bytes and the `len` update.
+    crash_after: Option<u64>,
+}
+
+impl Journal {
+    /// Attaches to a freshly formatted region of `pages` pages at
+    /// `base`. Call [`Journal::format`] (or have the custodian zero the
+    /// region) before the first append.
+    pub fn new(base: VAddr, pages: usize) -> Journal {
+        Journal {
+            base,
+            capacity: (pages * PAGE_SIZE) as u64,
+            len: 0,
+            seq: 0,
+            chain: FNV_OFFSET,
+            disabled: false,
+            appends: 0,
+            compactions: 0,
+            crash_after: None,
+        }
+    }
+
+    /// Writes an empty header. Runs with the *current* cubicle's
+    /// privileges — the custodian formats its own pages directly; `RAMFS`
+    /// would need its window.
+    ///
+    /// # Errors
+    ///
+    /// Checked-memory errors (window denied, unmapped region).
+    pub fn format(&mut self, sys: &mut System) -> Result<()> {
+        self.len = 0;
+        self.seq = 0;
+        self.chain = FNV_OFFSET;
+        self.disabled = false;
+        let mut header = [0u8; JOURNAL_HEADER as usize];
+        header[..8].copy_from_slice(JOURNAL_MAGIC);
+        sys.write(self.base, &header)
+    }
+
+    /// Arms (or disarms) the crash-injection hook.
+    pub fn set_crash_after(&mut self, appends: Option<u64>) {
+        self.crash_after = appends;
+    }
+
+    /// Bytes of live records (excluding the header).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// No records logged?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Region capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn write_header(&mut self, sys: &mut System) -> Result<()> {
+        let mut header = [0u8; JOURNAL_HEADER as usize];
+        header[..8].copy_from_slice(JOURNAL_MAGIC);
+        header[8..16].copy_from_slice(&self.len.to_le_bytes());
+        header[16..24].copy_from_slice(&self.seq.to_le_bytes());
+        header[24..32].copy_from_slice(&u64::from(self.disabled).to_le_bytes());
+        sys.write(self.base, &header)
+    }
+
+    /// Appends one record: bytes first, `len` last. Returns
+    /// [`AppendOutcome::Full`] without touching the region when the
+    /// record does not fit — the caller compacts and retries.
+    ///
+    /// # Errors
+    ///
+    /// Checked-memory errors; with the crash hook armed, the wild-access
+    /// error from mid-append (the record bytes are on-region, `len` is
+    /// not — exactly the torn state replay must discard).
+    pub fn append(&mut self, sys: &mut System, rec: &JournalRecord) -> Result<AppendOutcome> {
+        if self.disabled {
+            return Ok(AppendOutcome::Disabled);
+        }
+        let body = rec.encode();
+        let check = fnv1a(self.chain, &body);
+        let total = body.len() as u64 + 8;
+        if JOURNAL_HEADER + self.len + total > self.capacity {
+            return Ok(AppendOutcome::Full);
+        }
+        let off = self.base + (JOURNAL_HEADER + self.len) as usize;
+        sys.write(off, &body)?;
+        sys.write(off + body.len(), &check.to_le_bytes())?;
+        if let Some(n) = self.crash_after {
+            if n == 0 {
+                self.crash_after = None;
+                // Record bytes are down, `len` is not: the injected
+                // quarantine lands exactly in the torn-append window.
+                sys.read_vec(WILD, 8)?;
+            } else {
+                self.crash_after = Some(n - 1);
+            }
+        }
+        self.len += total;
+        self.seq += 1;
+        self.chain = check;
+        self.appends += 1;
+        self.write_header(sys)?;
+        Ok(AppendOutcome::Logged)
+    }
+
+    /// Flags the journal disabled, on-region and in the handle: replay
+    /// after this point reports "not replayable" instead of lying.
+    ///
+    /// # Errors
+    ///
+    /// Checked-memory errors.
+    pub fn disable(&mut self, sys: &mut System) -> Result<()> {
+        self.disabled = true;
+        self.write_header(sys)
+    }
+
+    /// Rewrites the region as `snapshot` (compaction). Returns `false` —
+    /// and flags the journal disabled on-region — when even the snapshot
+    /// does not fit.
+    ///
+    /// # Errors
+    ///
+    /// Checked-memory errors.
+    pub fn rewrite(&mut self, sys: &mut System, snapshot: &[JournalRecord]) -> Result<bool> {
+        let mut bytes = Vec::new();
+        let mut chain = FNV_OFFSET;
+        for rec in snapshot {
+            let body = rec.encode();
+            chain = fnv1a(chain, &body);
+            bytes.extend_from_slice(&body);
+            bytes.extend_from_slice(&chain.to_le_bytes());
+        }
+        if JOURNAL_HEADER + bytes.len() as u64 > self.capacity {
+            self.disabled = true;
+            self.write_header(sys)?;
+            return Ok(false);
+        }
+        // Order within the rewrite: invalidate (len = 0) first, then the
+        // snapshot bytes, then publish the new len. A crash at any point
+        // loses at most the ops folded into the snapshot *since the
+        // journal only compacts state it already made durable, replaying
+        // the shorter prefix under-approximates — it never invents*.
+        self.len = 0;
+        self.write_header(sys)?;
+        sys.write(self.base + JOURNAL_HEADER as usize, &bytes)?;
+        self.len = bytes.len() as u64;
+        self.seq += snapshot.len() as u64;
+        self.chain = chain;
+        self.compactions += 1;
+        self.write_header(sys)?;
+        Ok(true)
+    }
+
+    /// Reads the region back and returns every intact record, stopping
+    /// at the first torn or checksum-failing suffix. Re-syncs the cached
+    /// `len`/`chain` to what was actually recovered. Runs with the
+    /// current cubicle's privileges (the restart hook runs inside the
+    /// reborn `RAMFS`, resolving through the custodian's window).
+    ///
+    /// # Errors
+    ///
+    /// Checked-memory errors. A bad magic or a disabled flag yields
+    /// `Ok(None)`: the journal is not replayable.
+    pub fn replay(&mut self, sys: &mut System) -> Result<Option<Vec<JournalRecord>>> {
+        let header = sys.read_vec(self.base, JOURNAL_HEADER as usize)?;
+        if &header[..8] != JOURNAL_MAGIC {
+            return Ok(None);
+        }
+        let len = u64::from_le_bytes(header[8..16].try_into().expect("8"));
+        let seq = u64::from_le_bytes(header[16..24].try_into().expect("8"));
+        let flags = u64::from_le_bytes(header[24..32].try_into().expect("8"));
+        if flags & FLAG_DISABLED != 0 {
+            self.disabled = true;
+            return Ok(None);
+        }
+        let len = len.min(self.capacity - JOURNAL_HEADER);
+        let bytes = sys.read_vec(self.base + JOURNAL_HEADER as usize, len as usize)?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        let mut chain = FNV_OFFSET;
+        while pos < bytes.len() {
+            match JournalRecord::decode(&bytes, pos, chain) {
+                Some((rec, used, next_chain)) => {
+                    records.push(rec);
+                    pos += used;
+                    chain = next_chain;
+                }
+                None => break, // torn tail: everything after is void
+            }
+        }
+        self.len = pos as u64;
+        self.seq = seq;
+        self.chain = chain;
+        self.disabled = false;
+        Ok(Some(records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubicle_core::IsolationMode;
+
+    fn region(sys: &mut System) -> Journal {
+        let base = sys.alloc_pages(4);
+        let mut j = Journal::new(base, 4);
+        j.format(sys).unwrap();
+        j
+    }
+
+    fn sample() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Create {
+                ino: 1,
+                parent: 0,
+                name: "www".into(),
+                is_dir: true,
+            },
+            JournalRecord::Create {
+                ino: 2,
+                parent: 1,
+                name: "index.html".into(),
+                is_dir: false,
+            },
+            JournalRecord::Write {
+                ino: 2,
+                off: 0,
+                data: b"<h1>hello</h1>".to_vec(),
+            },
+            JournalRecord::Truncate { ino: 2, len: 4 },
+            JournalRecord::Remove {
+                ino: 2,
+                parent: 1,
+                name: "index.html".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let mut sys = System::new(IsolationMode::Unikraft);
+        let mut j = region(&mut sys);
+        for rec in sample() {
+            assert_eq!(j.append(&mut sys, &rec).unwrap(), AppendOutcome::Logged);
+        }
+        let mut fresh = Journal::new(j.base, 4);
+        let got = fresh.replay(&mut sys).unwrap().unwrap();
+        assert_eq!(got, sample());
+        assert_eq!(fresh.len(), j.len());
+    }
+
+    #[test]
+    fn torn_len_update_hides_the_last_record() {
+        let mut sys = System::new(IsolationMode::Unikraft);
+        let mut j = region(&mut sys);
+        let recs = sample();
+        for rec in &recs {
+            j.append(&mut sys, rec).unwrap();
+        }
+        // Simulate the torn append: record bytes down, len one byte
+        // short of covering the final record.
+        let mut header = [0u8; JOURNAL_HEADER as usize];
+        header[..8].copy_from_slice(JOURNAL_MAGIC);
+        header[8..16].copy_from_slice(&(j.len() - 1).to_le_bytes());
+        sys.write(j.base, &header).unwrap();
+        let mut fresh = Journal::new(j.base, 4);
+        let got = fresh.replay(&mut sys).unwrap().unwrap();
+        // One byte short of the Remove record's end: it must vanish whole.
+        assert_eq!(got.len(), recs.len() - 1);
+        assert_eq!(got[..], recs[..recs.len() - 1]);
+    }
+
+    #[test]
+    fn corrupt_byte_voids_the_suffix() {
+        let mut sys = System::new(IsolationMode::Unikraft);
+        let mut j = region(&mut sys);
+        let recs = sample();
+        for rec in &recs {
+            j.append(&mut sys, rec).unwrap();
+        }
+        // Flip one byte inside the second record's body: it and every
+        // later record fail the chained checksum.
+        let first_len = recs[0].encode().len() as u64 + 8;
+        let victim = j.base + (JOURNAL_HEADER + first_len + 3) as usize;
+        let byte = sys.read_vec(victim, 1).unwrap()[0];
+        sys.write(victim, &[byte ^ 0x40]).unwrap();
+        let mut fresh = Journal::new(j.base, 4);
+        let got = fresh.replay(&mut sys).unwrap().unwrap();
+        assert_eq!(got[..], recs[..1]);
+    }
+
+    #[test]
+    fn rewrite_compacts_and_replays() {
+        let mut sys = System::new(IsolationMode::Unikraft);
+        let mut j = region(&mut sys);
+        for rec in sample() {
+            j.append(&mut sys, &rec).unwrap();
+        }
+        let snapshot = vec![JournalRecord::Create {
+            ino: 1,
+            parent: 0,
+            name: "www".into(),
+            is_dir: true,
+        }];
+        assert!(j.rewrite(&mut sys, &snapshot).unwrap());
+        assert_eq!(j.compactions, 1);
+        let mut fresh = Journal::new(j.base, 4);
+        assert_eq!(fresh.replay(&mut sys).unwrap().unwrap(), snapshot);
+    }
+
+    #[test]
+    fn overflow_disables_on_region() {
+        let mut sys = System::new(IsolationMode::Unikraft);
+        let base = sys.alloc_pages(1);
+        let mut j = Journal::new(base, 1);
+        j.format(&mut sys).unwrap();
+        let big = JournalRecord::Write {
+            ino: 1,
+            off: 0,
+            data: vec![0xAB; 2 * PAGE_SIZE],
+        };
+        assert_eq!(j.append(&mut sys, &big).unwrap(), AppendOutcome::Full);
+        assert!(!j.rewrite(&mut sys, &[big]).unwrap());
+        assert!(j.disabled);
+        // A fresh handle sees the disabled flag and refuses to replay.
+        let mut fresh = Journal::new(base, 1);
+        assert_eq!(fresh.replay(&mut sys).unwrap(), None);
+        assert!(fresh.disabled);
+    }
+
+    #[test]
+    fn full_region_reports_full_without_writing() {
+        let mut sys = System::new(IsolationMode::Unikraft);
+        let base = sys.alloc_pages(1);
+        let mut j = Journal::new(base, 1);
+        j.format(&mut sys).unwrap();
+        let rec = JournalRecord::Write {
+            ino: 1,
+            off: 0,
+            data: vec![7u8; 1024],
+        };
+        let mut logged = 0;
+        loop {
+            match j.append(&mut sys, &rec).unwrap() {
+                AppendOutcome::Logged => logged += 1,
+                AppendOutcome::Full => break,
+                AppendOutcome::Disabled => unreachable!(),
+            }
+        }
+        assert!(logged >= 3, "a page fits a few 1 KiB records");
+        let mut fresh = Journal::new(base, 1);
+        assert_eq!(
+            fresh.replay(&mut sys).unwrap().unwrap().len(),
+            logged,
+            "Full must leave the region exactly as it was"
+        );
+    }
+}

@@ -1,16 +1,18 @@
 //! The `RAMFS` component implementation.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use cubicle_core::{
     component_mut, impl_component, Builder, Component, ComponentImage, CubicleId, Errno,
-    LoadedComponent, Result, System, Value, WindowId,
+    LoadedComponent, RecoveryEvent, Result, System, Value, WindowId,
 };
 use cubicle_mpk::insn::CodeImage;
 use cubicle_mpk::{VAddr, PAGE_SIZE};
 use cubicle_ukbase::AllocProxy;
 use cubicle_vfs::path::components;
 use cubicle_vfs::{FsOps, Vfs};
+
+use crate::journal::{AppendOutcome, Journal, JournalRecord};
 
 /// Pages requested from `ALLOC` per pool refill (coarse-grained
 /// allocation, paper Fig. 8).
@@ -44,6 +46,8 @@ pub struct Ramfs {
     pub pages_used: u64,
     /// Live sendfile windows by inode (`map_extents`/`unmap_extents`).
     sendfile_maps: HashMap<i64, SendfileMap>,
+    /// Redo journal in custodian-owned pages ([`install_journal`]).
+    journal: Option<Journal>,
 }
 
 impl Default for Ramfs {
@@ -56,21 +60,49 @@ impl Default for Ramfs {
             alloc: None,
             pages_used: 0,
             sendfile_maps: HashMap::new(),
+            journal: None,
         }
     }
 }
 
-impl_component!(Ramfs, restart = reboot_reset);
+impl_component!(Ramfs, restart_sys = reboot_recover);
 
 impl Ramfs {
     /// Microreboot hook: the quarantine path reclaimed every extent page
     /// and the cubicle heap, so inode contents, the extent pool and the
     /// usage counter are all dead — back to an empty root directory. The
-    /// `ALLOC` proxy survives (entry IDs are stable across reboots).
-    fn reboot_reset(&mut self) {
+    /// `ALLOC` proxy survives (entry IDs are stable across reboots), and
+    /// so does the journal region: it lives in a surviving custodian's
+    /// pages, reachable through the window the custodian kept open, so
+    /// every acknowledged namespace operation is redone here — the hook
+    /// runs inside the reborn cubicle, resolving reads like any other
+    /// component code would.
+    fn reboot_recover(&mut self, sys: &mut System) {
         let alloc = self.alloc;
+        let journal = self.journal.take();
         *self = Ramfs::default();
         self.alloc = alloc;
+        self.journal = journal;
+        let Some(mut j) = self.journal.take() else {
+            return;
+        };
+        let replayed = match j.replay(sys) {
+            Ok(Some(records)) => {
+                let mut applied = 0u64;
+                for rec in &records {
+                    if self.apply_record(sys, rec).is_err() {
+                        break; // never apply past a failed redo
+                    }
+                    applied += 1;
+                }
+                Some(applied)
+            }
+            Ok(None) | Err(_) => None,
+        };
+        self.journal = Some(j);
+        if let Some(records) = replayed {
+            sys.record_recovery(RecoveryEvent::RamfsJournalReplay { records });
+        }
     }
     /// Wires the coarse allocator; without it the backend grows extents
     /// from its own cubicle heap (standalone tests).
@@ -138,6 +170,243 @@ impl Ramfs {
         }
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Redo journal
+    // ------------------------------------------------------------------
+
+    /// The attached journal, if any (statistics, tests).
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Arms the journal's crash-injection hook: after `appends` more
+    /// record appends, `RAMFS` touches wild memory *between* writing the
+    /// record bytes and publishing the length — the torn-append window
+    /// the crashstorm campaign aims at. No-op without a journal.
+    pub fn set_journal_crash_after(&mut self, appends: Option<u64>) {
+        if let Some(j) = self.journal.as_mut() {
+            j.set_crash_after(appends);
+        }
+    }
+
+    /// Logs `rec` ahead of applying it. On a full region the journal is
+    /// compacted to a snapshot of the live tree and the append retried;
+    /// if even the snapshot does not fit, the journal flags itself
+    /// disabled rather than replay a lie.
+    fn journal_append(&mut self, sys: &mut System, rec: &JournalRecord) -> Result<()> {
+        match self.journal.as_mut() {
+            None => return Ok(()),
+            Some(j) if j.disabled => return Ok(()),
+            Some(_) => {}
+        }
+        let outcome = self.journal.as_mut().expect("checked").append(sys, rec)?;
+        if outcome != AppendOutcome::Full {
+            return Ok(());
+        }
+        let snapshot = self.snapshot_records(sys)?;
+        let j = self.journal.as_mut().expect("checked");
+        if !j.rewrite(sys, &snapshot)? {
+            return Ok(()); // disabled on-region
+        }
+        if j.append(sys, rec)? == AppendOutcome::Full {
+            // A single record larger than the whole region.
+            j.disable(sys)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the live tree as the minimal record sequence that
+    /// recreates it: one `Create` per inode (parents before children)
+    /// plus one whole-content `Write` per non-empty file.
+    fn snapshot_records(&self, sys: &mut System) -> Result<Vec<JournalRecord>> {
+        let mut recs = Vec::new();
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(dir) = queue.pop_front() {
+            let Some(Inode::Dir { entries }) = self.inodes.get(dir).and_then(Option::as_ref) else {
+                continue;
+            };
+            for (name, child) in entries {
+                match self.inodes.get(*child).and_then(Option::as_ref) {
+                    Some(Inode::Dir { .. }) => {
+                        recs.push(JournalRecord::Create {
+                            ino: *child as u32,
+                            parent: dir as u32,
+                            name: name.clone(),
+                            is_dir: true,
+                        });
+                        queue.push_back(*child);
+                    }
+                    Some(Inode::File { size, extents }) => {
+                        recs.push(JournalRecord::Create {
+                            ino: *child as u32,
+                            parent: dir as u32,
+                            name: name.clone(),
+                            is_dir: false,
+                        });
+                        if *size > 0 {
+                            let mut data = Vec::with_capacity(*size as usize);
+                            let mut remaining = *size as usize;
+                            for page in extents {
+                                let chunk = remaining.min(PAGE_SIZE);
+                                data.extend_from_slice(&sys.read_vec(*page, chunk)?);
+                                remaining -= chunk;
+                                if remaining == 0 {
+                                    break;
+                                }
+                            }
+                            recs.push(JournalRecord::Write {
+                                ino: *child as u32,
+                                off: 0,
+                                data,
+                            });
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+        Ok(recs)
+    }
+
+    /// Redoes one journal record against the (freshly reset) tree.
+    /// Unlike the export wrappers this never journals — replay must not
+    /// feed the log it is reading.
+    fn apply_record(&mut self, sys: &mut System, rec: &JournalRecord) -> Result<()> {
+        match rec {
+            JournalRecord::Create {
+                ino,
+                parent,
+                name,
+                is_dir,
+            } => {
+                let (ino, parent) = (*ino as usize, *parent as usize);
+                if self.inodes.len() <= ino {
+                    self.inodes.resize_with(ino + 1, || None);
+                }
+                self.inodes[ino] = Some(if *is_dir {
+                    Inode::Dir {
+                        entries: Vec::new(),
+                    }
+                } else {
+                    Inode::File {
+                        size: 0,
+                        extents: Vec::new(),
+                    }
+                });
+                if let Some(Inode::Dir { entries }) =
+                    self.inodes.get_mut(parent).and_then(Option::as_mut)
+                {
+                    entries.retain(|(n, _)| n != name);
+                    entries.push((name.clone(), ino));
+                }
+            }
+            JournalRecord::Remove { ino, parent, name } => {
+                let (ino, parent) = (*ino as usize, *parent as usize);
+                if let Some(slot) = self.inodes.get_mut(ino) {
+                    if let Some(Inode::File { extents, .. }) = slot.take() {
+                        self.pages_used -= extents.len() as u64;
+                        self.pool.extend(extents);
+                    }
+                }
+                if let Some(Inode::Dir { entries }) =
+                    self.inodes.get_mut(parent).and_then(Option::as_mut)
+                {
+                    entries.retain(|(n, _)| n != name);
+                }
+            }
+            JournalRecord::Write { ino, off, data } => {
+                let ino = i64::from(*ino);
+                let needed = (*off as usize + data.len()).div_ceil(PAGE_SIZE);
+                loop {
+                    let have = match self.file_mut(ino) {
+                        Ok((_, extents)) => extents.len(),
+                        Err(_) => return Ok(()), // redo against a hole: skip
+                    };
+                    if have >= needed {
+                        break;
+                    }
+                    let page = self.take_page(sys)?;
+                    let (_, extents) = self.file_mut(ino).expect("checked");
+                    extents.push(page);
+                }
+                let extents = {
+                    let (_, extents) = self.file_mut(ino).expect("checked");
+                    extents.clone()
+                };
+                let mut copied = 0usize;
+                while copied < data.len() {
+                    let pos = *off as usize + copied;
+                    let (pi, po) = (pos / PAGE_SIZE, pos % PAGE_SIZE);
+                    let chunk = (PAGE_SIZE - po).min(data.len() - copied);
+                    sys.write(extents[pi] + po, &data[copied..copied + chunk])?;
+                    copied += chunk;
+                }
+                let (size, _) = self.file_mut(ino).expect("checked");
+                *size = (*size).max(*off + data.len() as u64);
+            }
+            JournalRecord::Truncate { ino, len } => {
+                let ino = i64::from(*ino);
+                let needed = (*len as usize).div_ceil(PAGE_SIZE);
+                let surplus = match self.file_mut(ino) {
+                    Ok((_, extents)) => {
+                        let keep = needed.min(extents.len());
+                        extents.split_off(keep)
+                    }
+                    Err(_) => return Ok(()),
+                };
+                self.pages_used -= surplus.len() as u64;
+                self.pool.extend(surplus);
+                loop {
+                    let have = self.file_mut(ino).expect("checked").1.len();
+                    if have >= needed {
+                        break;
+                    }
+                    let page = self.take_page(sys)?;
+                    self.file_mut(ino).expect("checked").1.push(page);
+                }
+                let (size, _) = self.file_mut(ino).expect("checked");
+                *size = *len;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wires a crash-surviving journal into a loaded `RAMFS`: `custodian`
+/// (any cubicle that outlives `RAMFS` quarantines — typically `VFSCORE`)
+/// allocates `pages` pages, opens a window over them for `RAMFS`, and
+/// formats the region; `RAMFS` then journals every namespace mutation
+/// through that window ahead of applying it. Returns the region base.
+///
+/// # Errors
+///
+/// Kernel errors from the allocation, window or format path.
+///
+/// # Panics
+///
+/// Panics when `ramfs_slot` does not hold a [`Ramfs`] component.
+pub fn install_journal(
+    sys: &mut System,
+    custodian: CubicleId,
+    ramfs_cid: CubicleId,
+    ramfs_slot: usize,
+    pages: usize,
+) -> Result<VAddr> {
+    let base = sys.run_in_cubicle(custodian, |sys| -> Result<VAddr> {
+        let base = sys.alloc_pages(pages);
+        let wid = sys.window_init();
+        sys.window_add(wid, base, pages * PAGE_SIZE)?;
+        sys.window_open(wid, ramfs_cid)?;
+        // The custodian formats its own pages directly.
+        Journal::new(base, pages).format(sys)?;
+        Ok(base)
+    })?;
+    sys.with_component_mut::<Ramfs, _>(ramfs_slot, |fs, _| {
+        fs.journal = Some(Journal::new(base, pages));
+    })
+    .expect("ramfs slot holds the Ramfs component");
+    Ok(base)
 }
 
 /// Builds the loadable `RAMFS` image.
@@ -294,6 +563,17 @@ fn e_create(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resul
         _ => return Ok(Value::I64(Errno::Enotdir.neg())),
     }
     let ino = fs.inodes.len();
+    if fs.journal.is_some() {
+        let rec = JournalRecord::Create {
+            ino: ino as u32,
+            parent: parent as u32,
+            name: name.clone(),
+            is_dir,
+        };
+        let fs = component_mut::<Ramfs>(this);
+        fs.journal_append(sys, &rec)?;
+    }
+    let fs = component_mut::<Ramfs>(this);
     fs.inodes.push(Some(if is_dir {
         Inode::Dir {
             entries: Vec::new(),
@@ -341,6 +621,16 @@ fn e_remove(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Resul
         }
         _ => {}
     }
+    if fs.journal.is_some() {
+        let rec = JournalRecord::Remove {
+            ino: ino as u32,
+            parent: parent as u32,
+            name: name.clone(),
+        };
+        let fs = component_mut::<Ramfs>(this);
+        fs.journal_append(sys, &rec)?;
+    }
+    let fs = component_mut::<Ramfs>(this);
     fs.drop_sendfile_map(sys, ino as i64)?;
     if let Some(Inode::File { extents, .. }) = fs.inodes[ino].take() {
         fs.pages_used -= extents.len() as u64;
@@ -394,6 +684,37 @@ fn e_write(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result
     let ino = args[0].as_i64();
     let (buf, n) = args[1].as_buf();
     let off = args[2].as_u64();
+    // Journal ahead of any mutation. The payload is pulled through the
+    // caller's window once, logged, and applied from the local copy, so
+    // the journaled bytes and the extent bytes can never diverge.
+    let payload: Option<Vec<u8>> = {
+        let fs = component_mut::<Ramfs>(this);
+        if fs.journal.is_some() {
+            if let Err(e) = fs.file_mut(ino) {
+                return Ok(Value::I64(e));
+            }
+            let data = match sys.read_vec(buf, n) {
+                Ok(d) => d,
+                Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
+                    return Ok(Value::I64(Errno::Eacces.neg()))
+                }
+                Err(e) => return Err(e),
+            };
+            let rec = JournalRecord::Write {
+                ino: ino as u32,
+                off,
+                data,
+            };
+            let fs = component_mut::<Ramfs>(this);
+            fs.journal_append(sys, &rec)?;
+            let JournalRecord::Write { data, .. } = rec else {
+                unreachable!("built above");
+            };
+            Some(data)
+        } else {
+            None
+        }
+    };
     // Grow extents to cover [off, off+n).
     let needed_pages = (off as usize + n).div_ceil(PAGE_SIZE);
     {
@@ -434,7 +755,11 @@ fn e_write(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Result
         let page_off = pos % PAGE_SIZE;
         let chunk = (PAGE_SIZE - page_off).min(n - copied);
         let dst = extents[page_idx] + page_off;
-        match cubicle_ukbase::libc::memcpy(sys, dst, buf + copied, chunk) {
+        let r = match &payload {
+            Some(data) => sys.write(dst, &data[copied..copied + chunk]),
+            None => cubicle_ukbase::libc::memcpy(sys, dst, buf + copied, chunk),
+        };
+        match r {
             Ok(()) => {}
             Err(cubicle_core::CubicleError::WindowDenied { .. }) => {
                 return Ok(Value::I64(Errno::Eacces.neg()))
@@ -454,6 +779,19 @@ fn e_truncate(sys: &mut System, this: &mut dyn Component, args: &[Value]) -> Res
     let ino = args[0].as_i64();
     let new_len = args[1].as_u64();
     let needed_pages = (new_len as usize).div_ceil(PAGE_SIZE);
+    {
+        let fs = component_mut::<Ramfs>(this);
+        if fs.journal.is_some() {
+            if let Err(e) = fs.file_mut(ino) {
+                return Ok(Value::I64(e));
+            }
+            let rec = JournalRecord::Truncate {
+                ino: ino as u32,
+                len: new_len,
+            };
+            fs.journal_append(sys, &rec)?;
+        }
+    }
     {
         let fs = component_mut::<Ramfs>(this);
         fs.drop_sendfile_map(sys, ino)?;

@@ -5,7 +5,7 @@ use crate::ast::{ColumnDef, Stmt};
 use crate::btree;
 use crate::error::{Result, SqlError};
 use crate::exec;
-use crate::pager::{Pager, DEFAULT_CACHE_PAGES};
+use crate::pager::{JournalMode, Pager, DEFAULT_CACHE_PAGES};
 use crate::parser::parse_all;
 use crate::record::{decode_record, encode_index_key, encode_record, encode_rowid};
 use crate::storage::StorageEnv;
@@ -108,7 +108,24 @@ impl Database {
         path: &str,
         cache_pages: usize,
     ) -> Result<Database> {
-        let pager = Pager::open(sys, env, path, cache_pages)?;
+        Database::open_with_mode(sys, env, path, cache_pages, JournalMode::Wal)
+    }
+
+    /// [`Database::open`] with an explicit page-cache size and journal
+    /// mode ([`JournalMode::Rollback`] is the pre-WAL baseline, kept for
+    /// A/B measurement).
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors.
+    pub fn open_with_mode(
+        sys: &mut System,
+        env: Box<dyn StorageEnv>,
+        path: &str,
+        cache_pages: usize,
+        mode: JournalMode,
+    ) -> Result<Database> {
+        let pager = Pager::open_with_mode(sys, env, path, cache_pages, mode)?;
         let mut db = Database {
             pager,
             tables: HashMap::new(),
@@ -122,6 +139,39 @@ impl Database {
     /// Pager statistics (cache hits/misses, syncs, commits).
     pub fn pager_stats(&self) -> crate::pager::PagerStats {
         self.pager.stats
+    }
+
+    /// Sets the group-commit size: how many committed transactions may
+    /// share one durable WAL sync (see [`Pager::set_group_commit`]).
+    pub fn set_group_commit(&mut self, n: u32) {
+        self.pager.set_group_commit(n);
+    }
+
+    /// Makes all pending group commits durable now.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn flush(&mut self, sys: &mut System) -> Result<()> {
+        self.pager.flush(sys)
+    }
+
+    /// Folds the WAL back into the database file (no-op outside WAL
+    /// mode). Returns `true` when the log was fully checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Transaction`] inside an explicit transaction; I/O
+    /// errors.
+    pub fn checkpoint(&mut self, sys: &mut System) -> Result<bool> {
+        self.pager.checkpoint(sys)
+    }
+
+    /// Direct access to the pager, for harnesses that need WAL
+    /// introspection ([`Pager::wal_end`] etc.) or incremental
+    /// checkpoints.
+    pub fn pager_mut(&mut self) -> &mut Pager {
+        &mut self.pager
     }
 
     /// Executes a single SQL statement.
@@ -181,6 +231,10 @@ impl Database {
                 Ok(QueryResult::default())
             }
             Stmt::Select(sel) => exec::run_select(self, sys, &sel),
+            // `wal_checkpoint` must not sit inside a transaction of its
+            // own making; every other pragma takes the ordinary
+            // auto-commit path below.
+            Stmt::Pragma(name) if name == "wal_checkpoint" => self.pragma(sys, &name),
             other => {
                 // Writes are wrapped in an automatic transaction unless
                 // an explicit one is open.
@@ -229,9 +283,9 @@ impl Database {
                 where_,
             } => exec::run_update(self, sys, &table, &sets, where_.as_ref()),
             Stmt::Delete { table, where_ } => exec::run_delete(self, sys, &table, where_.as_ref()),
-            Stmt::Pragma(name) => self.pragma(sys, &name),
             Stmt::AlterRename { table, to } => self.alter_rename(sys, &table, &to),
             Stmt::AlterAddColumn { table, column } => self.alter_add_column(sys, &table, &column),
+            Stmt::Pragma(name) => self.pragma(sys, &name),
             Stmt::Select(_) | Stmt::Begin | Stmt::Commit | Stmt::Rollback => {
                 unreachable!("handled by execute_stmt")
             }
@@ -819,6 +873,20 @@ impl Database {
                 Ok(QueryResult {
                     columns: vec!["integrity_check".into()],
                     rows,
+                    rows_affected: 0,
+                })
+            }
+            "wal_checkpoint" => {
+                let done = if self.explicit_txn {
+                    false // busy: cannot checkpoint under an open txn
+                } else {
+                    self.pager.checkpoint(sys)?
+                };
+                Ok(QueryResult {
+                    columns: vec!["wal_checkpoint".into()],
+                    rows: vec![vec![SqlValue::Text(
+                        if done { "ok" } else { "busy" }.into(),
+                    )]],
                     rows_affected: 0,
                 })
             }

@@ -31,6 +31,14 @@ pub enum SqlError {
     Kernel(CubicleError),
     /// Transaction state error (e.g. COMMIT without BEGIN).
     Transaction(String),
+    /// The write-ahead log ends in a torn frame at `offset`: the frame
+    /// is short or fails its chained checksum. Recovery treats
+    /// everything from `offset` on as never written.
+    TornWal { offset: u64 },
+    /// A journal / WAL file exists but is not recognisable (bad magic or
+    /// malformed header) at `offset`. Unlike [`SqlError::TornWal`] this
+    /// is not the benign artifact of a crash and is surfaced to callers.
+    CorruptJournal { offset: u64, detail: String },
 }
 
 impl fmt::Display for SqlError {
@@ -48,6 +56,15 @@ impl fmt::Display for SqlError {
             SqlError::Corrupt(m) => write!(f, "database corrupt: {m}"),
             SqlError::Kernel(e) => write!(f, "kernel error: {e}"),
             SqlError::Transaction(m) => write!(f, "transaction error: {m}"),
+            SqlError::TornWal { offset } => {
+                write!(
+                    f,
+                    "torn write-ahead log: frame at offset {offset} incomplete"
+                )
+            }
+            SqlError::CorruptJournal { offset, detail } => {
+                write!(f, "corrupt journal at offset {offset}: {detail}")
+            }
         }
     }
 }
@@ -80,6 +97,18 @@ mod tests {
             .to_string()
             .contains("t1"));
         assert!(SqlError::Io(-5).to_string().contains("-5"));
+    }
+
+    #[test]
+    fn recovery_errors_carry_offsets() {
+        let torn = SqlError::TornWal { offset: 4128 };
+        assert!(torn.to_string().contains("4128"));
+        let corrupt = SqlError::CorruptJournal {
+            offset: 0,
+            detail: "bad wal magic".into(),
+        };
+        let msg = corrupt.to_string();
+        assert!(msg.contains("offset 0") && msg.contains("bad wal magic"));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! running `speedtest1` on top of the CubicleOS file stack. This crate is
 //! the laboratory substitute: a complete embedded SQL engine —
 //! tokenizer → parser → planner → executor over a B+tree storage layer
-//! with a page cache and a rollback journal — whose only door to the OS
-//! is the [`storage::StorageEnv`] abstraction.
+//! with a page cache and a crash-consistent write-ahead log (a rollback
+//! journal remains available as the A/B baseline) — whose only door to
+//! the OS is the [`storage::StorageEnv`] abstraction.
 //!
 //! Two storage environments exist: [`storage::HostEnv`] (in-process, for
 //! engine unit tests) and [`storage::CubicleEnv`] (the real port: every
@@ -25,7 +26,9 @@ pub mod speedtest;
 pub mod storage;
 pub mod token;
 mod value;
+pub mod wal;
 
 pub use db::{Database, QueryResult};
 pub use error::{Result, SqlError};
+pub use pager::JournalMode;
 pub use value::{Affinity, SqlValue};

@@ -100,6 +100,10 @@ fn figure8_cubicle_graph_edges() {
             .unwrap();
         }
         db.execute(sys, "COMMIT").unwrap();
+        // Fold the WAL back into the db file through the same windowed
+        // stack (the write-back half of the commit path).
+        let ck = db.query(sys, "PRAGMA wal_checkpoint").unwrap();
+        assert_eq!(ck[0][0], SqlValue::Text("ok".into()));
         let rows = db.query(sys, "SELECT count(*) FROM t").unwrap();
         assert_eq!(rows[0][0], SqlValue::Integer(200));
     });
